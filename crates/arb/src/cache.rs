@@ -1,0 +1,188 @@
+//! The shared L1 data cache that backs the ARB (paper §4.2: "a shared
+//! data cache of 32KB or 64KB direct-mapped storage in 16-byte lines
+//! backs up the ARB").
+
+use svc_mem::{CacheArray, CacheGeometry, MainMemory, Slot};
+use svc_types::{Addr, LineId, Word};
+
+#[derive(Debug, Clone, Default)]
+struct DataLine {
+    line: Option<LineId>,
+    dirty: bool,
+    data: Vec<Word>,
+}
+
+impl Slot for DataLine {
+    fn held_line(&self) -> Option<LineId> {
+        self.line
+    }
+}
+
+/// A conventional (non-speculative) write-back data cache over a
+/// [`MainMemory`]. Used as the ARB's backing store; only committed data
+/// ever enters it.
+#[derive(Debug, Clone)]
+pub struct SharedCache {
+    array: CacheArray<DataLine>,
+    fills: u64,
+    writebacks: u64,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// The word read (for reads) or previously stored (for writes).
+    pub value: Word,
+    /// Whether the access missed and was filled from memory.
+    pub missed: bool,
+}
+
+impl SharedCache {
+    /// Creates a cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> SharedCache {
+        SharedCache {
+            array: CacheArray::new(geometry),
+            fills: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        *self.array.geometry()
+    }
+
+    /// Reads one word, filling from `memory` on a miss.
+    pub fn read(&mut self, addr: Addr, memory: &mut MainMemory) -> CacheAccess {
+        let missed = self.ensure(addr, memory);
+        let g = *self.array.geometry();
+        let r = self.array.find(g.line_of(addr)).expect("just ensured");
+        self.array.touch(r);
+        CacheAccess {
+            value: self.array.slot(r).data[g.offset(addr)],
+            missed,
+        }
+    }
+
+    /// Writes one word (write-allocate, write-back), filling from `memory`
+    /// on a miss.
+    pub fn write(&mut self, addr: Addr, value: Word, memory: &mut MainMemory) -> CacheAccess {
+        let missed = self.ensure(addr, memory);
+        let g = *self.array.geometry();
+        let r = self.array.find(g.line_of(addr)).expect("just ensured");
+        self.array.touch(r);
+        let slot = self.array.slot_mut(r);
+        let old = slot.data[g.offset(addr)];
+        slot.data[g.offset(addr)] = value;
+        slot.dirty = true;
+        CacheAccess { value: old, missed }
+    }
+
+    /// The word currently visible at `addr` through cache-then-memory (no
+    /// state change, no stats).
+    pub fn peek(&self, addr: Addr, memory: &MainMemory) -> Word {
+        let g = *self.array.geometry();
+        match self.array.find(g.line_of(addr)) {
+            Some(r) => self.array.slot(r).data[g.offset(addr)],
+            None => memory.peek(addr),
+        }
+    }
+
+    /// Writes every dirty line back to `memory`.
+    pub fn flush_all(&mut self, memory: &mut MainMemory) {
+        let wpl = self.array.geometry().words_per_line();
+        for slot in self.array.iter_mut() {
+            if slot.dirty {
+                let line = slot.line.expect("dirty line has a tag");
+                let words: Vec<Option<Word>> = slot.data.iter().map(|w| Some(*w)).collect();
+                memory.write_line(line, &words, wpl);
+                slot.dirty = false;
+            }
+        }
+    }
+
+    /// Number of fills from memory (misses).
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Number of dirty lines written back.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Makes `addr`'s line resident; returns whether a fill was needed.
+    fn ensure(&mut self, addr: Addr, memory: &mut MainMemory) -> bool {
+        let g = *self.array.geometry();
+        let line = g.line_of(addr);
+        if self.array.find(line).is_some() {
+            return false;
+        }
+        let r = self.array.victim_way(line);
+        let victim = self.array.slot(r);
+        if victim.dirty {
+            let vline = victim.line.expect("dirty line has a tag");
+            let words: Vec<Option<Word>> = victim.data.iter().map(|w| Some(*w)).collect();
+            memory.write_line(vline, &words, g.words_per_line());
+            self.writebacks += 1;
+        }
+        let data = memory.read_line(line, g.words_per_line());
+        *self.array.slot_mut(r) = DataLine {
+            line: Some(line),
+            dirty: false,
+            data,
+        };
+        self.array.touch(r);
+        self.fills += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use svc_mem::CacheGeometry;
+
+    use super::*;
+
+    fn setup() -> (SharedCache, MainMemory) {
+        (
+            SharedCache::new(CacheGeometry::new(4, 1, 4, 4)),
+            MainMemory::new(),
+        )
+    }
+
+    #[test]
+    fn read_fills_then_hits() {
+        let (mut c, mut m) = setup();
+        m.write(Addr(5), Word(9));
+        let a = c.read(Addr(5), &mut m);
+        assert!(a.missed);
+        assert_eq!(a.value, Word(9));
+        let b = c.read(Addr(5), &mut m);
+        assert!(!b.missed);
+        assert_eq!(c.fills(), 1);
+    }
+
+    #[test]
+    fn write_allocates_and_dirties() {
+        let (mut c, mut m) = setup();
+        let a = c.write(Addr(3), Word(7), &mut m);
+        assert!(a.missed);
+        assert_eq!(c.read(Addr(3), &mut m).value, Word(7));
+        assert_eq!(m.peek(Addr(3)), Word::ZERO, "write-back, not through");
+        c.flush_all(&mut m);
+        assert_eq!(m.peek(Addr(3)), Word(7));
+    }
+
+    #[test]
+    fn conflict_eviction_writes_back() {
+        let (mut c, mut m) = setup();
+        // Direct-mapped, 4 sets of 4-word lines: addresses 0 and 64 conflict.
+        c.write(Addr(0), Word(1), &mut m);
+        c.write(Addr(64), Word(2), &mut m);
+        assert_eq!(c.writebacks(), 1);
+        assert_eq!(m.peek(Addr(0)), Word(1));
+        assert_eq!(c.peek(Addr(64), &m), Word(2));
+        assert_eq!(c.peek(Addr(0), &m), Word(1), "falls through to memory");
+    }
+}

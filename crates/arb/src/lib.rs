@@ -1,0 +1,43 @@
+//! The Address Resolution Buffer (ARB) — the paper's baseline.
+//!
+//! The ARB (Franklin & Sohi, IEEE ToC 1996; SVC paper §1, §4) is the
+//! *shared-buffer* solution to speculative versioning for hierarchical
+//! processors: a fully-associative buffer in front of a shared L1 data
+//! cache. Each row tracks one address, with a load bit, a store bit and a
+//! value per *stage* (one stage per processing unit, plus one extra
+//! *architectural* stage that absorbs committed versions — the paper's
+//! mitigation for the ARB's commit-time burst, §4: "we mitigate the commit
+//! time bottlenecks by using an extra stage, that contains architectural
+//! data").
+//!
+//! Following the paper's evaluation setup, the model is deliberately
+//! generous to the ARB: bandwidth is unlimited (no bank or crossbar
+//! contention is modelled) and the commit path from any stage to the
+//! architectural stage is free; the *only* cost every access pays is the
+//! configurable hit latency (1–4 cycles) of reaching the shared structure
+//! through the interconnect — the exact effect Figures 19/20 isolate.
+//!
+//! # Example
+//!
+//! ```
+//! use svc_arb::{ArbConfig, ArbSystem};
+//! use svc_types::{Addr, Cycle, PuId, TaskId, VersionedMemory, Word};
+//!
+//! let mut arb = ArbSystem::new(ArbConfig::paper(4, 2, 32));
+//! arb.assign(PuId(0), TaskId(0));
+//! arb.assign(PuId(1), TaskId(1));
+//! arb.store(PuId(0), Addr(8), Word(7), Cycle(0))?;
+//! let out = arb.load(PuId(1), Addr(8), Cycle(5))?;
+//! assert_eq!(out.value, Word(7)); // bypassed from task 0's stage
+//! assert_eq!(out.done_at, Cycle(7)); // 2-cycle hit latency
+//! # Ok::<(), svc_types::AccessError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod system;
+
+pub use cache::SharedCache;
+pub use system::{ArbConfig, ArbSystem};

@@ -1,0 +1,48 @@
+//! The ARB must agree with the `IdealMemory` oracle on load values,
+//! violation victims and final architectural memory (DESIGN.md invariant
+//! 5): both the SVC and the ARB approximate the same abstract versioned
+//! memory, which is what makes their experimental comparison meaningful.
+
+use svc::conformance::{run_lockstep, Workload};
+use svc_arb::{ArbConfig, ArbSystem};
+
+#[test]
+fn differential_small_hot_set() {
+    let mut squashes = 0;
+    for seed in 0..30 {
+        let wl = Workload::random(seed, 24, 8, 4);
+        for hit in [1, 2, 4] {
+            squashes += run_lockstep(&wl, ArbSystem::new(ArbConfig::paper(4, hit, 32)), seed);
+        }
+    }
+    assert!(squashes > 30, "hot set should squash (got {squashes})");
+}
+
+#[test]
+fn differential_medium_address_space() {
+    for seed in 100..120 {
+        let wl = Workload::random(seed, 40, 128, 4);
+        run_lockstep(&wl, ArbSystem::new(ArbConfig::paper(4, 1, 32)), seed);
+    }
+}
+
+#[test]
+fn differential_row_pressure() {
+    // Few rows force reclaims and structural stalls mid-run.
+    for seed in 200..210 {
+        let wl = Workload::random(seed, 30, 64, 4);
+        let mut cfg = ArbConfig::paper(4, 1, 32);
+        cfg.rows = 8;
+        run_lockstep(&wl, ArbSystem::new(cfg), seed);
+    }
+}
+
+#[test]
+fn differential_two_and_eight_pus() {
+    for seed in 300..310 {
+        for pus in [2usize, 8] {
+            let wl = Workload::random(seed, 30, 32, pus);
+            run_lockstep(&wl, ArbSystem::new(ArbConfig::paper(pus, 2, 32)), seed);
+        }
+    }
+}

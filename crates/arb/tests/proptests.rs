@@ -1,0 +1,29 @@
+//! Property-based conformance of the ARB against the oracle, over
+//! arbitrary workloads, schedules and structural pressure.
+
+use proptest::prelude::*;
+use svc::conformance::{run_lockstep, Workload};
+use svc_arb::{ArbConfig, ArbSystem};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn arb_matches_oracle(
+        seed in 0u64..1_000_000,
+        tasks in 2usize..28,
+        addr_space in 4u64..48,
+        pus in 2usize..5,
+        hit in 1u64..5,
+        // Rows must at least cover one task's maximal footprint (7 ops →
+        // up to 7 distinct addresses, plus replay slack); fewer rows make
+        // the workload structurally impossible, which the conformance
+        // harness correctly reports as exceeding speculative capacity.
+        rows in proptest::sample::select(vec![12usize, 16, 256]),
+    ) {
+        let wl = Workload::random(seed, tasks, addr_space, pus);
+        let mut cfg = ArbConfig::paper(pus, hit, 32);
+        cfg.rows = rows;
+        run_lockstep(&wl, ArbSystem::new(cfg), seed);
+    }
+}

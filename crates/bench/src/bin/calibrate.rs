@@ -1,0 +1,82 @@
+//! Calibration sweep: prints, per benchmark, every metric the paper
+//! reports (miss ratios, IPCs at all ARB latencies, bus utilization),
+//! side by side with the paper's values, so the workload profiles in
+//! `svc-workloads` can be tuned. Not itself a paper artifact — see
+//! `table2`, `table3`, `fig19`, `fig20` for those.
+
+use svc_bench::{run_spec95, MemoryKind};
+use svc_sim::table::{fmt_ipc, fmt_ratio, Table};
+use svc_workloads::Spec95;
+
+/// The paper's measurements, for side-by-side display.
+/// (benchmark, arb_miss, svc_miss, bus_util_8k, bus_util_16k)
+const PAPER: [(&str, f64, f64, f64, f64); 7] = [
+    ("compress", 0.031, 0.075, 0.348, 0.341),
+    ("gcc", 0.021, 0.036, 0.219, 0.203),
+    ("vortex", 0.019, 0.025, 0.360, 0.354),
+    ("perl", 0.026, 0.024, 0.313, 0.291),
+    ("ijpeg", 0.015, 0.027, 0.241, 0.226),
+    ("mgrid", 0.081, 0.093, 0.747, 0.632),
+    ("apsi", 0.023, 0.034, 0.276, 0.255),
+];
+
+fn main() {
+    let mut t = Table::new(
+        [
+            "bench", "ARBmiss", "(paper)", "SVCmiss", "(paper)", "bus8K", "(paper)", "ARB1",
+            "ARB2", "ARB3", "ARB4", "SVC", "sq", "mp",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    for (i, b) in Spec95::ALL.into_iter().enumerate() {
+        let arb1 = run_spec95(
+            b,
+            MemoryKind::Arb {
+                hit_cycles: 1,
+                cache_kb: 32,
+            },
+        );
+        let arb2 = run_spec95(
+            b,
+            MemoryKind::Arb {
+                hit_cycles: 2,
+                cache_kb: 32,
+            },
+        );
+        let arb3 = run_spec95(
+            b,
+            MemoryKind::Arb {
+                hit_cycles: 3,
+                cache_kb: 32,
+            },
+        );
+        let arb4 = run_spec95(
+            b,
+            MemoryKind::Arb {
+                hit_cycles: 4,
+                cache_kb: 32,
+            },
+        );
+        let svc = run_spec95(b, MemoryKind::Svc { kb_per_cache: 8 });
+        let p = PAPER[i];
+        t.row(vec![
+            b.name().into(),
+            fmt_ratio(arb1.miss_ratio),
+            fmt_ratio(p.1),
+            fmt_ratio(svc.miss_ratio),
+            fmt_ratio(p.2),
+            fmt_ratio(svc.bus_utilization),
+            fmt_ratio(p.3),
+            fmt_ipc(arb1.ipc),
+            fmt_ipc(arb2.ipc),
+            fmt_ipc(arb3.ipc),
+            fmt_ipc(arb4.ipc),
+            fmt_ipc(svc.ipc),
+            format!("{}", svc.report.squashes),
+            format!("{}", svc.report.mispredictions),
+        ]);
+    }
+    println!("{}", t.render());
+}

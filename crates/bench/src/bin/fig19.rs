@@ -1,0 +1,87 @@
+//! **Figure 19** of the paper: SPEC95 IPCs for the ARB (hit latency 1–4
+//! cycles, contention-free) and the SVC (1-cycle private hits), at 32KB
+//! total data storage.
+//!
+//! Shape targets (§4.4): (i) ARB IPC falls monotonically with hit
+//! latency; (ii) the SVC beats the ARB at 3+ cycles everywhere and at 2
+//! cycles for gcc, apsi and mgrid; (iii) the SVC is close to the 1-cycle
+//! ARB on the rest.
+
+use svc_bench::{run_spec95, MemoryKind};
+use svc_sim::table::{fmt_ipc, fmt_pct, Table};
+use svc_workloads::Spec95;
+
+#[allow(dead_code)]
+fn main() {
+    run_figure(32, 8, "Figure 19: SPEC95 IPCs for ARB and SVC — 32KB total data storage");
+}
+
+pub fn run_figure(arb_kb: usize, svc_kb: usize, title: &str) {
+    println!("{title}\n");
+    let mut t = Table::new(
+        ["Benchmark", "ARB(1c)", "ARB(2c)", "ARB(3c)", "ARB(4c)", "SVC(1c)", "SVC vs ARB2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let mut ok = true;
+    let mut checks = Vec::new();
+    for b in Spec95::ALL {
+        let arb: Vec<f64> = (1..=4)
+            .map(|h| {
+                run_spec95(
+                    b,
+                    MemoryKind::Arb {
+                        hit_cycles: h,
+                        cache_kb: arb_kb,
+                    },
+                )
+                .ipc
+            })
+            .collect();
+        let svc = run_spec95(b, MemoryKind::Svc { kb_per_cache: svc_kb }).ipc;
+        t.row(vec![
+            b.name().into(),
+            fmt_ipc(arb[0]),
+            fmt_ipc(arb[1]),
+            fmt_ipc(arb[2]),
+            fmt_ipc(arb[3]),
+            fmt_ipc(svc),
+            fmt_pct(svc / arb[1] - 1.0),
+        ]);
+        // (i) monotone ARB degradation
+        let mono = arb.windows(2).all(|w| w[0] > w[1]);
+        ok &= mono;
+        checks.push(format!(
+            "  {} {:8}: ARB IPC falls monotonically 1c..4c",
+            if mono { "PASS" } else { "FAIL" },
+            b.name()
+        ));
+        // (ii) SVC > ARB(3c) everywhere
+        let beats3 = svc > arb[2];
+        ok &= beats3;
+        checks.push(format!(
+            "  {} {:8}: SVC ({svc:.2}) > ARB-3c ({:.2})",
+            if beats3 { "PASS" } else { "FAIL" },
+            b.name(),
+            arb[2]
+        ));
+        // (iii) SVC > ARB(2c) for gcc, apsi, mgrid
+        if matches!(b, Spec95::Gcc | Spec95::Apsi | Spec95::Mgrid) {
+            let beats2 = svc > arb[1];
+            ok &= beats2;
+            checks.push(format!(
+                "  {} {:8}: SVC ({svc:.2}) > ARB-2c ({:.2}) [paper: gcc/apsi/mgrid]",
+                if beats2 { "PASS" } else { "FAIL" },
+                b.name(),
+                arb[1]
+            ));
+        }
+    }
+    println!("{}", t.render());
+    println!("Shape checks:");
+    for c in checks {
+        println!("{c}");
+    }
+    std::process::exit(i32::from(!ok));
+}

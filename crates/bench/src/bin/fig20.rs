@@ -1,0 +1,31 @@
+//! **Figure 20** of the paper: SPEC95 IPCs for the ARB (hit latency 1–4
+//! cycles) and the SVC, at 64KB total data storage. Same shape targets as
+//! Figure 19, plus the paper's headline: "for a total storage of 64KB,
+//! the SVC outperforms the ARB [with 2-cycle hits] by as much as 8% for
+//! mgrid".
+
+use svc_bench::{run_spec95, MemoryKind};
+use svc_workloads::Spec95;
+
+#[path = "fig19.rs"]
+mod fig19_impl;
+
+fn main() {
+    // Print the paper's mgrid headline comparison first (non-fatal).
+    let arb2 = run_spec95(
+        Spec95::Mgrid,
+        MemoryKind::Arb {
+            hit_cycles: 2,
+            cache_kb: 64,
+        },
+    )
+    .ipc;
+    let svc = run_spec95(Spec95::Mgrid, MemoryKind::Svc { kb_per_cache: 16 }).ipc;
+    println!(
+        "mgrid headline: SVC-4x16KB {:.2} vs ARB-2c-64KB {:.2} ({:+.1}%; paper: up to +8%)\n",
+        svc,
+        arb2,
+        (svc / arb2 - 1.0) * 100.0
+    );
+    fig19_impl::run_figure(64, 16, "Figure 20: SPEC95 IPCs for ARB and SVC — 64KB total data storage");
+}

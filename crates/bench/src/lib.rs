@@ -1,0 +1,193 @@
+//! The experiment harness: one function per metric the paper reports,
+//! shared by the table/figure binaries (`table2`, `table3`, `fig19`,
+//! `fig20`, the ablations) and the Criterion benches.
+//!
+//! Every experiment builds a memory system ([`MemoryKind`]), runs a
+//! [`Spec95`] workload (or a kernel) on the multiscalar engine for a
+//! committed-instruction budget, and reports the paper's metrics: IPC
+//! (Figures 19/20), miss ratio (Table 2) and snooping-bus utilization
+//! (Table 3).
+//!
+//! The default budget is 400k committed instructions per run — the
+//! paper's 200M scaled to laptop time; override with the
+//! `SVC_EXPERIMENT_BUDGET` environment variable (the shapes are stable
+//! well below the default, see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use svc::{SvcConfig, SvcSystem};
+use svc_arb::{ArbConfig, ArbSystem};
+use svc_multiscalar::{Engine, EngineConfig, RunReport, TaskSource};
+use svc_workloads::Spec95;
+
+/// Which memory system to run an experiment on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryKind {
+    /// The SVC final design with `kb_per_cache` KB per private cache
+    /// (the paper's 4×8KB and 4×16KB points).
+    Svc {
+        /// KB per private cache.
+        kb_per_cache: usize,
+    },
+    /// The ARB with the given hit latency and backing-cache size (the
+    /// paper's 32KB/64KB, 1–4 cycle points).
+    Arb {
+        /// Access latency of the shared structure, cycles.
+        hit_cycles: u64,
+        /// Backing data-cache size in KB.
+        cache_kb: usize,
+    },
+}
+
+impl MemoryKind {
+    /// Short label used in tables, e.g. `SVC-4x8KB` or `ARB-2c-32KB`.
+    pub fn label(&self, num_pus: usize) -> String {
+        match *self {
+            MemoryKind::Svc { kb_per_cache } => format!("SVC-{num_pus}x{kb_per_cache}KB"),
+            MemoryKind::Arb {
+                hit_cycles,
+                cache_kb,
+            } => format!("ARB-{hit_cycles}c-{cache_kb}KB"),
+        }
+    }
+}
+
+/// The measurements one experiment run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Workload name.
+    pub workload: String,
+    /// Memory-system label.
+    pub memory: String,
+    /// Committed instructions per cycle.
+    pub ipc: f64,
+    /// Next-level-fill miss ratio (the paper's Table 2 definition).
+    pub miss_ratio: f64,
+    /// Snooping-bus utilization (0 for the ARB: it has no shared bus).
+    pub bus_utilization: f64,
+    /// The full engine report, for deeper digging.
+    pub report: RunReport,
+}
+
+/// The number of processing units used throughout the evaluation (§4.2).
+pub const NUM_PUS: usize = 4;
+
+/// Committed-instruction budget per run, overridable via
+/// `SVC_EXPERIMENT_BUDGET`.
+pub fn instruction_budget() -> u64 {
+    std::env::var("SVC_EXPERIMENT_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400_000)
+}
+
+/// Runs `source` on `memory` with the engine configured per the paper
+/// (4 PUs, 2-issue) and the workload's predictor model.
+pub fn run_source(
+    source: &dyn TaskSource,
+    memory: MemoryKind,
+    engine_cfg: EngineConfig,
+) -> ExperimentResult {
+    let label = memory.label(engine_cfg.num_pus);
+    let report = match memory {
+        MemoryKind::Svc { kb_per_cache } => {
+            let mut cfg = SvcConfig::final_design(engine_cfg.num_pus);
+            cfg.geometry = SvcConfig::paper_geometry(kb_per_cache);
+            let mut engine = Engine::new(engine_cfg, SvcSystem::new(cfg));
+            engine.run(source)
+        }
+        MemoryKind::Arb {
+            hit_cycles,
+            cache_kb,
+        } => {
+            let cfg = ArbConfig::paper(engine_cfg.num_pus, hit_cycles, cache_kb);
+            let mut engine = Engine::new(engine_cfg, ArbSystem::new(cfg));
+            engine.run(source)
+        }
+    };
+    ExperimentResult {
+        workload: source.name().to_string(),
+        memory: label,
+        ipc: report.ipc(),
+        miss_ratio: report.mem.miss_ratio(),
+        bus_utilization: report.bus_utilization(),
+        report,
+    }
+}
+
+/// Runs one SPEC95 benchmark model on `memory` with the default budget
+/// and seed.
+pub fn run_spec95(bench: Spec95, memory: MemoryKind) -> ExperimentResult {
+    run_spec95_with(bench, memory, instruction_budget(), 42)
+}
+
+/// Runs one SPEC95 benchmark model with an explicit budget and seed.
+pub fn run_spec95_with(
+    bench: Spec95,
+    memory: MemoryKind,
+    budget: u64,
+    seed: u64,
+) -> ExperimentResult {
+    let wl = bench.workload(seed);
+    let cfg = EngineConfig {
+        num_pus: NUM_PUS,
+        predictor: wl.profile().predictor(seed),
+        max_instructions: budget,
+        seed,
+        // Wrong-path work touches warm program data (the hot region),
+        // as real wrong-path execution does — not a cold private region.
+        garbage_addr_space: wl.profile().hot_set.max(64),
+        load_dep_frac: wl.profile().load_dep_frac,
+        ..EngineConfig::default()
+    };
+    run_source(&wl, memory, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(MemoryKind::Svc { kb_per_cache: 8 }.label(4), "SVC-4x8KB");
+        assert_eq!(
+            MemoryKind::Arb {
+                hit_cycles: 2,
+                cache_kb: 32
+            }
+            .label(4),
+            "ARB-2c-32KB"
+        );
+    }
+
+    #[test]
+    fn tiny_run_produces_sane_metrics() {
+        let r = run_spec95_with(Spec95::Ijpeg, MemoryKind::Svc { kb_per_cache: 8 }, 5_000, 7);
+        assert!(r.ipc > 0.0 && r.ipc < 8.0, "ipc {}", r.ipc);
+        assert!(r.miss_ratio >= 0.0 && r.miss_ratio < 1.0);
+        assert!(r.bus_utilization >= 0.0 && r.bus_utilization <= 1.0);
+        assert!(!r.report.hit_cycle_limit);
+    }
+
+    #[test]
+    fn arb_run_has_no_bus() {
+        let r = run_spec95_with(
+            Spec95::Ijpeg,
+            MemoryKind::Arb {
+                hit_cycles: 1,
+                cache_kb: 32,
+            },
+            5_000,
+            7,
+        );
+        assert_eq!(r.bus_utilization, 0.0);
+    }
+
+    #[test]
+    fn budget_env_override() {
+        // Default without the env var.
+        std::env::remove_var("SVC_EXPERIMENT_BUDGET");
+        assert_eq!(instruction_budget(), 400_000);
+    }
+}

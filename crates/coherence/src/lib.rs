@@ -1,0 +1,36 @@
+//! Snooping-bus cache coherence: the Multiple-Reader-Single-Writer (MRSW)
+//! substrate the SVC builds on.
+//!
+//! Paper §3.1 reviews the invalidation-based protocol of a snooping-bus
+//! Symmetric Multiprocessor (Figures 2–4): private L1 caches, each line in
+//! Invalid / Clean / Dirty (optionally Exclusive), `BusRead` on load misses,
+//! `BusWrite` invalidations on store misses, `BusWback` casting out dirty
+//! victims. The SVC (crate `svc`) is "a progression of designs" starting
+//! from exactly this machine, so this crate exists both as the
+//! non-speculative baseline for experiments and as the reference point the
+//! SVC's own tests compare against.
+//!
+//! The protocol here is *not* speculative: it tracks copies of a single
+//! version per line (an MRSW protocol), whereas the SVC tracks multiple
+//! speculative versions (an MRMW protocol).
+//!
+//! # Example
+//!
+//! ```
+//! use svc_coherence::{SmpConfig, SmpSystem};
+//! use svc_types::{Addr, Cycle, PuId, Word};
+//!
+//! let mut smp = SmpSystem::new(SmpConfig::small_for_tests());
+//! smp.store(PuId(0), Addr(8), Word(5), Cycle(0));
+//! let out = smp.load(PuId(1), Addr(8), Cycle(10));
+//! assert_eq!(out.value, Word(5)); // supplied cache-to-cache
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod protocol;
+mod system;
+
+pub use protocol::{BusRequest, SmpState};
+pub use system::{SmpConfig, SmpSystem};

@@ -1,0 +1,99 @@
+//! The line states and bus request vocabulary of the MRSW protocol
+//! (paper Figure 3).
+
+use core::fmt;
+
+/// State of one line in an SMP private cache.
+///
+/// The paper's Figure 3 uses three states — Invalid (`V̄`), Clean (`V S̄`)
+/// and Dirty (`V S`) — and notes the protocol "can be extended by adding an
+/// exclusive bit to the state of each line to cut down coherence traffic";
+/// [`SmpState::CleanExclusive`] is that extension (enabled by
+/// [`SmpConfig::exclusive`](crate::SmpConfig)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SmpState {
+    /// No valid copy (`V` reset).
+    #[default]
+    Invalid,
+    /// Valid, not modified; other caches may hold copies.
+    Clean,
+    /// Valid, not modified, and guaranteed to be the only cached copy;
+    /// a store can upgrade to [`SmpState::Dirty`] without a bus request.
+    CleanExclusive,
+    /// Valid and modified (the `S`/dirty bit); the only valid copy among
+    /// the caches, more recent than memory.
+    Dirty,
+}
+
+impl SmpState {
+    /// Whether the line holds usable data.
+    pub fn is_valid(self) -> bool {
+        self != SmpState::Invalid
+    }
+
+    /// Whether the line must be written back when evicted.
+    pub fn is_dirty(self) -> bool {
+        self == SmpState::Dirty
+    }
+}
+
+impl fmt::Display for SmpState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SmpState::Invalid => "I",
+            SmpState::Clean => "C",
+            SmpState::CleanExclusive => "E",
+            SmpState::Dirty => "D",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The bus request types of the snooping protocol (paper Figure 3b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusRequest {
+    /// Read request on a load miss; a dirty holder flushes.
+    BusRead,
+    /// Write/invalidate request on a store miss; all other copies are
+    /// invalidated.
+    BusWrite,
+    /// Castout of a dirty replacement victim to the next level.
+    BusWback,
+}
+
+impl fmt::Display for BusRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BusRequest::BusRead => "BusRead",
+            BusRequest::BusWrite => "BusWrite",
+            BusRequest::BusWback => "BusWback",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_and_dirtiness() {
+        assert!(!SmpState::Invalid.is_valid());
+        assert!(SmpState::Clean.is_valid());
+        assert!(SmpState::CleanExclusive.is_valid());
+        assert!(SmpState::Dirty.is_valid());
+        assert!(SmpState::Dirty.is_dirty());
+        assert!(!SmpState::Clean.is_dirty());
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(SmpState::default(), SmpState::Invalid);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", SmpState::Dirty), "D");
+        assert_eq!(format!("{}", BusRequest::BusWback), "BusWback");
+    }
+}

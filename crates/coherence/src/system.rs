@@ -1,0 +1,506 @@
+//! The complete SMP memory system: private caches + snooping bus + next
+//! level of memory, implementing the invalidation protocol of Figure 3.
+
+use svc_mem::{Bus, CacheArray, CacheGeometry, MainMemory, MemTiming, Slot, WayRef};
+use svc_types::{Addr, Cycle, DataSource, LineId, LoadOutcome, MemStats, PuId, Word};
+
+use crate::protocol::SmpState;
+
+/// One line of an SMP private cache: tag + state + data.
+#[derive(Debug, Clone, Default)]
+struct SmpLine {
+    line: Option<LineId>,
+    state: SmpState,
+    data: Vec<Word>,
+}
+
+impl Slot for SmpLine {
+    fn held_line(&self) -> Option<LineId> {
+        if self.state.is_valid() {
+            self.line
+        } else {
+            None
+        }
+    }
+}
+
+/// Configuration of an [`SmpSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmpConfig {
+    /// Number of processors (each with one private cache).
+    pub num_pus: usize,
+    /// Geometry of each private cache.
+    pub geometry: CacheGeometry,
+    /// Latency parameters.
+    pub timing: MemTiming,
+    /// Whether to use the exclusive-bit optimization (§3.1: a load miss
+    /// that no other cache can serve installs exclusively; a later store
+    /// upgrades silently).
+    pub exclusive: bool,
+}
+
+impl SmpConfig {
+    /// A tiny configuration for unit tests and doc examples: 4 PUs, 8 sets,
+    /// 2 ways, 4-word lines.
+    pub fn small_for_tests() -> SmpConfig {
+        SmpConfig {
+            num_pus: 4,
+            geometry: CacheGeometry::new(8, 2, 4, 4),
+            timing: MemTiming::PAPER,
+            exclusive: false,
+        }
+    }
+}
+
+/// A snooping-bus cache-coherent SMP memory system (paper §3.1).
+///
+/// This is the non-speculative MRSW baseline: loads and stores are
+/// performed immediately (no versioning, no squashes), with coherence kept
+/// by invalidation. See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct SmpSystem {
+    config: SmpConfig,
+    caches: Vec<CacheArray<SmpLine>>,
+    bus: Bus,
+    memory: MainMemory,
+    stats: MemStats,
+}
+
+impl SmpSystem {
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_pus` is zero.
+    pub fn new(config: SmpConfig) -> SmpSystem {
+        assert!(config.num_pus > 0);
+        SmpSystem {
+            caches: (0..config.num_pus)
+                .map(|_| CacheArray::new(config.geometry))
+                .collect(),
+            bus: Bus::new(config.timing.bus_txn_cycles),
+            memory: MainMemory::new(),
+            stats: MemStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SmpConfig {
+        &self.config
+    }
+
+    /// State of `pu`'s copy of the line containing `addr` (for tests and
+    /// introspection).
+    pub fn line_state(&self, pu: PuId, addr: Addr) -> SmpState {
+        let line = self.config.geometry.line_of(addr);
+        match self.caches[pu.index()].find(line) {
+            Some(r) => self.caches[pu.index()].slot(r).state,
+            None => SmpState::Invalid,
+        }
+    }
+
+    /// Executes a load by `pu`.
+    pub fn load(&mut self, pu: PuId, addr: Addr, now: Cycle) -> LoadOutcome {
+        self.stats.loads += 1;
+        let line = self.config.geometry.line_of(addr);
+        let off = self.config.geometry.offset(addr);
+        if let Some(r) = self.caches[pu.index()].find(line) {
+            self.caches[pu.index()].touch(r);
+            self.stats.local_hits += 1;
+            return LoadOutcome {
+                value: self.caches[pu.index()].slot(r).data[off],
+                done_at: now + self.config.timing.hit_cycles,
+                source: DataSource::LocalHit,
+            };
+        }
+        // Miss: BusRead, snooped by the other caches and memory.
+        let (value, done, source) = self.bus_read(pu, line, off, now);
+        LoadOutcome {
+            value,
+            done_at: done,
+            source,
+        }
+    }
+
+    /// Executes a store by `pu`.
+    /// Returns the cycle at which the store is globally ordered.
+    pub fn store(&mut self, pu: PuId, addr: Addr, value: Word, now: Cycle) -> Cycle {
+        self.stats.stores += 1;
+        let line = self.config.geometry.line_of(addr);
+        let off = self.config.geometry.offset(addr);
+        if let Some(r) = self.caches[pu.index()].find(line) {
+            let state = self.caches[pu.index()].slot(r).state;
+            match state {
+                SmpState::Dirty => {
+                    self.caches[pu.index()].touch(r);
+                    let slot = self.caches[pu.index()].slot_mut(r);
+                    slot.data[off] = value;
+                    self.stats.local_hits += 1;
+                    return now + self.config.timing.hit_cycles;
+                }
+                SmpState::CleanExclusive => {
+                    // Silent upgrade: the exclusive-bit optimization.
+                    self.caches[pu.index()].touch(r);
+                    let slot = self.caches[pu.index()].slot_mut(r);
+                    slot.state = SmpState::Dirty;
+                    slot.data[off] = value;
+                    self.stats.local_hits += 1;
+                    return now + self.config.timing.hit_cycles;
+                }
+                SmpState::Clean | SmpState::Invalid => {
+                    // Fall through to BusWrite below.
+                }
+            }
+        }
+        // Store miss (or upgrade from shared Clean): BusWrite invalidates
+        // every other copy; we then own the line dirty.
+        let done = self.bus_write(pu, line, now);
+        let r = self.ensure_resident(pu, line, now);
+        self.caches[pu.index()].touch(r);
+        let slot = self.caches[pu.index()].slot_mut(r);
+        slot.state = SmpState::Dirty;
+        slot.data[off] = value;
+        done
+    }
+
+    /// Reads the value visible in memory/caches for verification, preferring
+    /// a dirty cached copy (the freshest) over memory.
+    pub fn coherent_peek(&self, addr: Addr) -> Word {
+        let line = self.config.geometry.line_of(addr);
+        let off = self.config.geometry.offset(addr);
+        for cache in &self.caches {
+            if let Some(r) = cache.find(line) {
+                let slot = cache.slot(r);
+                if slot.state.is_dirty() {
+                    return slot.data[off];
+                }
+            }
+        }
+        self.memory.peek(addr)
+    }
+
+    /// Statistics snapshot (bus fields included).
+    pub fn stats(&self) -> MemStats {
+        let mut s = self.stats;
+        s.bus_transactions = self.bus.transactions();
+        s.bus_busy_cycles = self.bus.busy_cycles();
+        s
+    }
+
+    /// Checks the MRSW invariant: at most one dirty copy of any line, and
+    /// no other valid copies coexist with a dirty one.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) if the invariant is violated — intended
+    /// for use in tests.
+    pub fn assert_coherent(&self) {
+        use std::collections::HashMap;
+        let mut holders: HashMap<LineId, (usize, usize)> = HashMap::new(); // (valid, dirty)
+        for cache in &self.caches {
+            for slot in cache.iter() {
+                if let Some(line) = slot.held_line() {
+                    let e = holders.entry(line).or_insert((0, 0));
+                    e.0 += 1;
+                    if slot.state.is_dirty() {
+                        e.1 += 1;
+                    }
+                }
+            }
+        }
+        for (line, (valid, dirty)) in holders {
+            assert!(dirty <= 1, "{line} has {dirty} dirty copies");
+            assert!(
+                dirty == 0 || valid == 1,
+                "{line} is dirty in one cache but valid in {valid}"
+            );
+        }
+    }
+
+    /// BusRead: find a supplier (dirty cache flushes and becomes clean;
+    /// else memory), install the line clean (or exclusive) in `pu`.
+    fn bus_read(
+        &mut self,
+        pu: PuId,
+        line: LineId,
+        off: usize,
+        now: Cycle,
+    ) -> (Word, Cycle, DataSource) {
+        let grant = self.bus.transact(now, 0);
+        // Snoop: is there a dirty copy elsewhere?
+        let mut supplier: Option<usize> = None;
+        let mut any_copy = false;
+        for i in 0..self.caches.len() {
+            if i == pu.index() {
+                continue;
+            }
+            if let Some(r) = self.caches[i].find(line) {
+                any_copy = true;
+                if self.caches[i].slot(r).state.is_dirty() {
+                    supplier = Some(i);
+                }
+            }
+        }
+        let wpl = self.config.geometry.words_per_line();
+        let (data, done, source) = if let Some(i) = supplier {
+            // Dirty holder flushes on the bus; memory is updated and the
+            // holder's copy becomes Clean (Figure 3b: BusRead/Flush).
+            let r = self.caches[i].find(line).expect("supplier has the line");
+            let data = self.caches[i].slot(r).data.clone();
+            self.caches[i].slot_mut(r).state = SmpState::Clean;
+            let masked: Vec<Option<Word>> = data.iter().map(|w| Some(*w)).collect();
+            self.memory.write_line(line, &masked, wpl);
+            self.stats.cache_transfers += 1;
+            (data, grant.done, DataSource::Transfer)
+        } else {
+            let data = self.memory.read_line(line, wpl);
+            self.stats.next_level_fills += 1;
+            (
+                data,
+                grant.done + self.config.timing.memory_cycles,
+                DataSource::NextLevel,
+            )
+        };
+        let value = data[off];
+        let r = self.ensure_resident(pu, line, now);
+        self.caches[pu.index()].touch(r);
+        let slot = self.caches[pu.index()].slot_mut(r);
+        slot.state = if !any_copy && self.config.exclusive {
+            SmpState::CleanExclusive
+        } else {
+            SmpState::Clean
+        };
+        slot.data = data;
+        // Any exclusive holder elsewhere loses exclusivity.
+        for i in 0..self.caches.len() {
+            if i == pu.index() {
+                continue;
+            }
+            if let Some(r) = self.caches[i].find(line) {
+                if self.caches[i].slot(r).state == SmpState::CleanExclusive {
+                    self.caches[i].slot_mut(r).state = SmpState::Clean;
+                }
+            }
+        }
+        (value, done, source)
+    }
+
+    /// BusWrite: invalidate every other copy; if one was dirty, its data is
+    /// flushed to memory first so the requestor can fetch the latest line.
+    fn bus_write(&mut self, pu: PuId, line: LineId, now: Cycle) -> Cycle {
+        let grant = self.bus.transact(now, 0);
+        let wpl = self.config.geometry.words_per_line();
+        let mut fetched: Option<Vec<Word>> = None;
+        for i in 0..self.caches.len() {
+            if i == pu.index() {
+                continue;
+            }
+            if let Some(r) = self.caches[i].find(line) {
+                let slot = self.caches[i].slot_mut(r);
+                if slot.state.is_dirty() {
+                    fetched = Some(slot.data.clone());
+                }
+                slot.state = SmpState::Invalid;
+                slot.line = None;
+            }
+        }
+        // If the requestor does not hold the line, it needs its current
+        // content (write-allocate): from the flushed dirty copy or memory.
+        let mut done = grant.done;
+        if self.caches[pu.index()].find(line).is_none() {
+            let data = match fetched {
+                Some(d) => {
+                    self.stats.cache_transfers += 1;
+                    d
+                }
+                None => {
+                    self.stats.next_level_fills += 1;
+                    done += self.config.timing.memory_cycles;
+                    self.memory.read_line(line, wpl)
+                }
+            };
+            let r = self.ensure_resident(pu, line, now);
+            let slot = self.caches[pu.index()].slot_mut(r);
+            slot.state = SmpState::Clean; // will be set Dirty by caller
+            slot.data = data;
+        } else if let Some(d) = fetched {
+            // We held a stale clean copy while another cache had it dirty —
+            // cannot happen under MRSW, but keep memory consistent anyway.
+            let masked: Vec<Option<Word>> = d.iter().map(|w| Some(*w)).collect();
+            self.memory.write_line(line, &masked, wpl);
+        }
+        done
+    }
+
+    /// Makes sure `pu` has a slot holding `line`, evicting (with writeback)
+    /// if needed. Returns the slot.
+    fn ensure_resident(&mut self, pu: PuId, line: LineId, now: Cycle) -> WayRef {
+        if let Some(r) = self.caches[pu.index()].find(line) {
+            return r;
+        }
+        let wpl = self.config.geometry.words_per_line();
+        let r = self.caches[pu.index()].victim_way(line);
+        // Cast out a dirty victim (Figure 3a: Replace/BusWback).
+        let victim = self.caches[pu.index()].slot(r);
+        if victim.state.is_dirty() {
+            let vline = victim.line.expect("dirty line has a tag");
+            let data: Vec<Option<Word>> = victim.data.iter().map(|w| Some(*w)).collect();
+            self.bus.transact(now, 0);
+            self.memory.write_line(vline, &data, wpl);
+            self.stats.writebacks += 1;
+        }
+        let slot = self.caches[pu.index()].slot_mut(r);
+        *slot = SmpLine {
+            line: Some(line),
+            state: SmpState::Invalid,
+            data: vec![Word::ZERO; wpl],
+        };
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> SmpSystem {
+        SmpSystem::new(SmpConfig::small_for_tests())
+    }
+
+    #[test]
+    fn figure4_example_sequence() {
+        // Paper Figure 4: X dirty; Z loads (flush, both clean); Y stores
+        // (invalidate X and Z); Y replaces (writeback).
+        let mut s = sys();
+        let a = Addr(0);
+        s.store(PuId(0), a, Word(1), Cycle(0)); // X has dirty copy
+        assert_eq!(s.line_state(PuId(0), a), SmpState::Dirty);
+
+        let out = s.load(PuId(2), a, Cycle(10)); // Z loads
+        assert_eq!(out.value, Word(1));
+        assert_eq!(out.source, DataSource::Transfer);
+        assert_eq!(s.line_state(PuId(0), a), SmpState::Clean);
+        assert_eq!(s.line_state(PuId(2), a), SmpState::Clean);
+
+        s.store(PuId(1), a, Word(2), Cycle(20)); // Y stores
+        assert_eq!(s.line_state(PuId(0), a), SmpState::Invalid);
+        assert_eq!(s.line_state(PuId(2), a), SmpState::Invalid);
+        assert_eq!(s.line_state(PuId(1), a), SmpState::Dirty);
+        s.assert_coherent();
+        assert_eq!(s.coherent_peek(a), Word(2));
+    }
+
+    #[test]
+    fn load_miss_from_memory() {
+        let mut s = sys();
+        let out = s.load(PuId(0), Addr(100), Cycle(0));
+        assert_eq!(out.value, Word::ZERO);
+        assert_eq!(out.source, DataSource::NextLevel);
+        // bus (3) + memory (10)
+        assert_eq!(out.done_at, Cycle(13));
+    }
+
+    #[test]
+    fn hit_is_one_cycle_and_no_bus() {
+        let mut s = sys();
+        s.load(PuId(0), Addr(0), Cycle(0));
+        let t0 = s.stats().bus_transactions;
+        let out = s.load(PuId(0), Addr(1), Cycle(20)); // same 4-word line
+        assert_eq!(out.done_at, Cycle(21));
+        assert_eq!(out.source, DataSource::LocalHit);
+        assert_eq!(s.stats().bus_transactions, t0);
+    }
+
+    #[test]
+    fn exclusive_upgrade_is_silent() {
+        let mut cfg = SmpConfig::small_for_tests();
+        cfg.exclusive = true;
+        let mut s = SmpSystem::new(cfg);
+        s.load(PuId(0), Addr(0), Cycle(0));
+        assert_eq!(s.line_state(PuId(0), Addr(0)), SmpState::CleanExclusive);
+        let t0 = s.stats().bus_transactions;
+        s.store(PuId(0), Addr(0), Word(1), Cycle(10));
+        assert_eq!(s.stats().bus_transactions, t0, "no BusWrite needed");
+        assert_eq!(s.line_state(PuId(0), Addr(0)), SmpState::Dirty);
+    }
+
+    #[test]
+    fn second_reader_cancels_exclusivity() {
+        let mut cfg = SmpConfig::small_for_tests();
+        cfg.exclusive = true;
+        let mut s = SmpSystem::new(cfg);
+        s.load(PuId(0), Addr(0), Cycle(0));
+        s.load(PuId(1), Addr(0), Cycle(10));
+        assert_eq!(s.line_state(PuId(0), Addr(0)), SmpState::Clean);
+        assert_eq!(s.line_state(PuId(1), Addr(0)), SmpState::Clean);
+        s.assert_coherent();
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut s = sys();
+        // Fill one set (8 sets, 2 ways, 4-word lines): lines 0 and 8 map to
+        // set 0; adding line 16 evicts the LRU.
+        s.store(PuId(0), Addr(0), Word(10), Cycle(0)); // line 0 dirty
+        s.store(PuId(0), Addr(32), Word(20), Cycle(10)); // line 8 dirty
+        s.store(PuId(0), Addr(64), Word(30), Cycle(20)); // line 16 evicts line 0
+        assert_eq!(s.stats().writebacks, 1);
+        assert_eq!(s.memory.peek(Addr(0)), Word(10), "victim reached memory");
+        s.assert_coherent();
+    }
+
+    #[test]
+    fn store_miss_fetches_rest_of_line() {
+        let mut s = sys();
+        s.store(PuId(0), Addr(1), Word(7), Cycle(0));
+        s.store(PuId(1), Addr(2), Word(8), Cycle(10)); // same line, other PU
+        // PU1's line must carry PU0's word too.
+        let out = s.load(PuId(1), Addr(1), Cycle(20));
+        assert_eq!(out.value, Word(7));
+        assert_eq!(out.source, DataSource::LocalHit);
+    }
+
+    #[test]
+    fn sequential_trace_matches_flat_memory() {
+        use svc_sim::rng::Xoshiro256;
+        let mut s = sys();
+        let mut flat = std::collections::HashMap::new();
+        let mut rng = Xoshiro256::seed_from(42);
+        let mut now = Cycle(0);
+        for i in 0..4000u64 {
+            let pu = PuId(rng.gen_index(0..4));
+            let addr = Addr(rng.gen_range(0..256));
+            if rng.gen_bool(0.4) {
+                let v = Word(i + 1);
+                now = s.store(pu, addr, v, now);
+                flat.insert(addr, v);
+            } else {
+                let out = s.load(pu, addr, now);
+                now = out.done_at;
+                let expect = flat.get(&addr).copied().unwrap_or(Word::ZERO);
+                assert_eq!(out.value, expect, "load {i} at {addr}");
+            }
+            if i % 256 == 0 {
+                s.assert_coherent();
+            }
+        }
+        s.assert_coherent();
+        for (addr, v) in flat {
+            assert_eq!(s.coherent_peek(addr), v);
+        }
+    }
+
+    #[test]
+    fn stats_fields_populate() {
+        let mut s = sys();
+        s.load(PuId(0), Addr(0), Cycle(0));
+        s.store(PuId(1), Addr(0), Word(1), Cycle(10));
+        let st = s.stats();
+        assert_eq!(st.loads, 1);
+        assert_eq!(st.stores, 1);
+        assert!(st.bus_transactions >= 2);
+        assert!(st.bus_busy_cycles >= 6);
+        assert!(st.miss_ratio() > 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Property-based tests for the MRSW baseline: for any sequence of
+//! (sequentially completed) loads and stores from any processors, the
+//! system behaves as a single flat memory and never violates the
+//! single-writer invariant.
+
+use proptest::prelude::*;
+use svc_coherence::{SmpConfig, SmpSystem};
+use svc_mem::CacheGeometry;
+use svc_types::{Addr, Cycle, PuId, Word};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn smp_is_a_coherent_flat_memory(
+        ops in proptest::collection::vec((0u64..96, 0usize..4, any::<bool>()), 1..300),
+        exclusive in any::<bool>(),
+        tiny in any::<bool>(),
+    ) {
+        let mut cfg = SmpConfig::small_for_tests();
+        cfg.exclusive = exclusive;
+        if tiny {
+            cfg.geometry = CacheGeometry::new(2, 1, 4, 4); // maximal conflicts
+        }
+        let mut smp = SmpSystem::new(cfg);
+        let mut model = std::collections::HashMap::new();
+        let mut now = Cycle(0);
+        for (i, (addr, pu, is_store)) in ops.into_iter().enumerate() {
+            let a = Addr(addr);
+            if is_store {
+                let v = Word(i as u64 + 1);
+                now = smp.store(PuId(pu), a, v, now);
+                model.insert(a, v);
+            } else {
+                let out = smp.load(PuId(pu), a, now);
+                now = out.done_at;
+                prop_assert_eq!(out.value, model.get(&a).copied().unwrap_or(Word::ZERO));
+            }
+            if i % 64 == 0 {
+                smp.assert_coherent();
+            }
+        }
+        smp.assert_coherent();
+        for (a, v) in model {
+            prop_assert_eq!(smp.coherent_peek(a), v);
+        }
+    }
+}

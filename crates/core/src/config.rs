@@ -1,0 +1,325 @@
+use svc_mem::{CacheGeometry, L2Config, MemTiming};
+
+/// Which of the paper's design points a configuration corresponds to, when
+/// it matches one exactly. Mostly used for labelling experiment output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SvcDesign {
+    /// §3.2: minimal additions to an SMP (V/S/L + VOL pointer).
+    Base,
+    /// §3.4: efficient commits (C and T bits), assumes squashes are rare.
+    Ec,
+    /// §3.5: efficient commits and squashes (adds the A bit).
+    Ecs,
+    /// §3.6: ECS plus snarfing (hit-rate optimizations).
+    Hr,
+    /// §3.7: HR plus realistic (multi-word, sub-blocked) lines.
+    Rl,
+    /// §3.8: RL plus the hybrid update–invalidate protocol.
+    Final,
+}
+
+impl core::fmt::Display for SvcDesign {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            SvcDesign::Base => "base",
+            SvcDesign::Ec => "EC",
+            SvcDesign::Ecs => "ECS",
+            SvcDesign::Hr => "HR",
+            SvcDesign::Rl => "RL",
+            SvcDesign::Final => "final",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of an [`SvcSystem`](crate::SvcSystem).
+///
+/// The named constructors reproduce the paper's design progression
+/// (§3.2–§3.8); individual feature flags can also be toggled for ablation
+/// studies. See the crate docs for the preset table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SvcConfig {
+    /// Number of processing units (= private caches).
+    pub num_pus: usize,
+    /// Geometry of each private cache.
+    pub geometry: CacheGeometry,
+    /// Latency parameters (§4.2).
+    pub timing: MemTiming,
+    /// EC (§3.4): commit by flash-setting the C bit, write back lazily.
+    /// When `false`, commit flushes every dirty line immediately and
+    /// invalidates the whole cache (the base design's burst).
+    pub lazy_commit: bool,
+    /// EC (§3.4.3): maintain the T bit and let loads reuse non-stale
+    /// passive-clean copies without a bus request.
+    pub stale_bit: bool,
+    /// ECS (§3.5.1): maintain the A bit and retain architectural copies
+    /// across task squashes.
+    pub arch_bit: bool,
+    /// HR (§3.6): caches snarf compatible versions off the bus.
+    pub snarfing: bool,
+    /// Final (§3.8): hybrid update–invalidate — non-violated copies within
+    /// a store's invalidation range are updated in place instead of
+    /// invalidated.
+    pub hybrid_update: bool,
+    /// With [`hybrid_update`](Self::hybrid_update), at most this many
+    /// copies are updated per store; any further range copies are
+    /// invalidated (the "dynamic selection" knob of §3.8 — updating close
+    /// consumers buys communication latency, invalidating distant ones
+    /// saves bus data traffic).
+    pub update_limit: usize,
+    /// §3.8.1's "further optimization": retain a passive-dirty line that a
+    /// BusRead flushed, as a passive-clean architectural copy, instead of
+    /// invalidating it — fewer refetches at the cost of more VOL
+    /// book-keeping. Off by default, as in the paper's final design.
+    pub retain_flushed: bool,
+    /// MSHR entries per cache (§4.2: 8 for the SVC).
+    pub mshr_entries: usize,
+    /// Accesses combinable per MSHR (§4.2: 4 for the SVC).
+    pub mshr_combine: usize,
+    /// Writeback buffer entries per cache (§4.2: 8 for the SVC).
+    pub wb_entries: usize,
+    /// Optional shared L2 between the snooping bus and main memory — an
+    /// extension beyond the paper's flat 10-cycle next level (see the
+    /// `l2` ablation). `None` reproduces the paper.
+    pub l2: Option<L2Config>,
+}
+
+impl SvcConfig {
+    /// The geometry of the paper's SVC experiments: per-PU 4-way caches
+    /// with 16-byte (4-word) lines and word-granularity versioning blocks.
+    /// `kb_per_cache` selects 8 or 16 (or any power-of-two) KB per cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size does not yield a power-of-two set count.
+    pub fn paper_geometry(kb_per_cache: usize) -> CacheGeometry {
+        // 4-byte words, 4-word (16-byte) lines, 4-way.
+        let lines = kb_per_cache * 1024 / 16;
+        let sets = lines / 4;
+        CacheGeometry::new(sets, 4, 4, 1)
+    }
+
+    fn with_flags(
+        num_pus: usize,
+        geometry: CacheGeometry,
+        lazy_commit: bool,
+        stale_bit: bool,
+        arch_bit: bool,
+        snarfing: bool,
+        hybrid_update: bool,
+    ) -> SvcConfig {
+        SvcConfig {
+            num_pus,
+            geometry,
+            timing: MemTiming::PAPER,
+            lazy_commit,
+            stale_bit,
+            arch_bit,
+            snarfing,
+            hybrid_update,
+            update_limit: usize::MAX,
+            retain_flushed: false,
+            mshr_entries: 8,
+            mshr_combine: 4,
+            wb_entries: 8,
+            l2: None,
+        }
+    }
+
+    /// §3.2 base design: one-word lines, flush-on-commit,
+    /// invalidate-all-on-squash.
+    pub fn base(num_pus: usize) -> SvcConfig {
+        SvcConfig::with_flags(
+            num_pus,
+            CacheGeometry::word_lines(512, 4),
+            false,
+            false,
+            false,
+            false,
+            false,
+        )
+    }
+
+    /// §3.4 EC design: base + lazy commits (C bit) + stale-copy reuse
+    /// (T bit). Still one-word lines.
+    pub fn ec(num_pus: usize) -> SvcConfig {
+        SvcConfig::with_flags(
+            num_pus,
+            CacheGeometry::word_lines(512, 4),
+            true,
+            true,
+            false,
+            false,
+            false,
+        )
+    }
+
+    /// §3.5 ECS design: EC + architectural-copy retention across squashes
+    /// (A bit).
+    pub fn ecs(num_pus: usize) -> SvcConfig {
+        SvcConfig::with_flags(
+            num_pus,
+            CacheGeometry::word_lines(512, 4),
+            true,
+            true,
+            true,
+            false,
+            false,
+        )
+    }
+
+    /// §3.6 HR design: ECS + snarfing.
+    pub fn hr(num_pus: usize) -> SvcConfig {
+        SvcConfig::with_flags(
+            num_pus,
+            CacheGeometry::word_lines(512, 4),
+            true,
+            true,
+            true,
+            true,
+            false,
+        )
+    }
+
+    /// §3.7 RL design: HR with realistic multi-word lines (the paper's
+    /// 8KB-per-cache geometry) and per-sub-block L/S bits.
+    pub fn rl(num_pus: usize) -> SvcConfig {
+        SvcConfig::with_flags(
+            num_pus,
+            SvcConfig::paper_geometry(8),
+            true,
+            true,
+            true,
+            true,
+            false,
+        )
+    }
+
+    /// §3.8 final design: RL + the hybrid update–invalidate protocol.
+    pub fn final_design(num_pus: usize) -> SvcConfig {
+        SvcConfig::with_flags(
+            num_pus,
+            SvcConfig::paper_geometry(8),
+            true,
+            true,
+            true,
+            true,
+            true,
+        )
+    }
+
+    /// A small geometry for unit tests: 4 sets, 2 ways, 4-word lines,
+    /// 2-word sub-blocks.
+    pub fn small_for_tests(num_pus: usize) -> SvcConfig {
+        let mut c = SvcConfig::final_design(num_pus);
+        c.geometry = CacheGeometry::new(4, 2, 4, 2);
+        c
+    }
+
+    /// The design point this configuration matches, if any.
+    pub fn design(&self) -> Option<SvcDesign> {
+        let flags = (
+            self.lazy_commit,
+            self.stale_bit,
+            self.arch_bit,
+            self.snarfing,
+            self.hybrid_update,
+        );
+        let word_lines = self.geometry.words_per_line() == 1;
+        match flags {
+            (false, false, false, false, false) if word_lines => Some(SvcDesign::Base),
+            (true, true, false, false, false) if word_lines => Some(SvcDesign::Ec),
+            (true, true, true, false, false) if word_lines => Some(SvcDesign::Ecs),
+            (true, true, true, true, false) if word_lines => Some(SvcDesign::Hr),
+            (true, true, true, true, false) => Some(SvcDesign::Rl),
+            (true, true, true, true, true) if !word_lines => Some(SvcDesign::Final),
+            _ => None,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flag requires another that is disabled (e.g. the A bit
+    /// without lazy commits) or if `num_pus` is zero.
+    pub fn validate(&self) {
+        assert!(self.num_pus > 0, "need at least one PU");
+        assert!(
+            !self.stale_bit || self.lazy_commit,
+            "the T bit only matters with lazy commits"
+        );
+        assert!(
+            !self.arch_bit || self.lazy_commit,
+            "the A bit builds on the EC design"
+        );
+        assert!(self.mshr_entries > 0 && self.mshr_combine > 0 && self.wb_entries > 0);
+        assert!(
+            self.geometry.subblocks_per_line() <= 64,
+            "SubMask supports at most 64 sub-blocks"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_designs() {
+        assert_eq!(SvcConfig::base(4).design(), Some(SvcDesign::Base));
+        assert_eq!(SvcConfig::ec(4).design(), Some(SvcDesign::Ec));
+        assert_eq!(SvcConfig::ecs(4).design(), Some(SvcDesign::Ecs));
+        assert_eq!(SvcConfig::hr(4).design(), Some(SvcDesign::Hr));
+        assert_eq!(SvcConfig::rl(4).design(), Some(SvcDesign::Rl));
+        assert_eq!(SvcConfig::final_design(4).design(), Some(SvcDesign::Final));
+    }
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            SvcConfig::base(4),
+            SvcConfig::ec(4),
+            SvcConfig::ecs(4),
+            SvcConfig::hr(4),
+            SvcConfig::rl(4),
+            SvcConfig::final_design(4),
+            SvcConfig::small_for_tests(4),
+        ] {
+            cfg.validate();
+        }
+    }
+
+    #[test]
+    fn paper_geometry_sizes() {
+        let g8 = SvcConfig::paper_geometry(8);
+        // 8KB = 512 lines of 16 bytes; 4-way => 128 sets.
+        assert_eq!(g8.sets(), 128);
+        assert_eq!(g8.ways(), 4);
+        assert_eq!(g8.words_per_line(), 4);
+        assert_eq!(g8.capacity_words() * 4, 8 * 1024);
+        let g16 = SvcConfig::paper_geometry(16);
+        assert_eq!(g16.sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "A bit builds on the EC design")]
+    fn inconsistent_flags_panic() {
+        let mut c = SvcConfig::base(4);
+        c.arch_bit = true;
+        c.validate();
+    }
+
+    #[test]
+    fn custom_config_has_no_design_label() {
+        let mut c = SvcConfig::final_design(4);
+        c.snarfing = false;
+        assert_eq!(c.design(), None);
+    }
+
+    #[test]
+    fn design_display() {
+        assert_eq!(format!("{}", SvcDesign::Final), "final");
+        assert_eq!(format!("{}", SvcDesign::Base), "base");
+    }
+}

@@ -1,0 +1,313 @@
+//! A conformance harness for [`VersionedMemory`] implementations.
+//!
+//! [`run_lockstep`] drives a memory system under test and the
+//! [`IdealMemory`] oracle through the same randomized
+//! speculative execution — dispatching tasks to PUs, interleaving their
+//! loads and stores in a seeded random order, squashing and replaying on
+//! violations, and committing head-first, exactly the paper's §2.1
+//! execution model — and panics on any divergence:
+//!
+//! * a load returning a different value than the oracle's
+//!   closest-previous-version semantics,
+//! * a memory-dependence violation detected with a different victim (or
+//!   not at all),
+//! * a different architectural memory image after all tasks commit.
+//!
+//! Both the SVC and the ARB are validated against this harness in their
+//! test suites; any new `VersionedMemory` implementation should be too.
+
+use svc_sim::rng::Xoshiro256;
+use svc_types::{AccessError, Addr, Cycle, PuId, TaskId, VersionedMemory, Word};
+
+use crate::ideal::IdealMemory;
+
+/// One memory operation of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Read a word.
+    Load(Addr),
+    /// Write a word.
+    Store(Addr, Word),
+}
+
+/// A speculative workload: an ordered sequence of tasks, each a list of
+/// memory operations, to be executed on `num_pus` processing units.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The dynamic task sequence.
+    pub tasks: Vec<Vec<Op>>,
+    /// Number of processing units to execute on.
+    pub num_pus: usize,
+}
+
+impl Workload {
+    /// Generates a seeded random workload of `num_tasks` tasks over a
+    /// word-address space of `addr_space` words. Store values are unique
+    /// per (task, op) so divergences are attributable.
+    pub fn random(seed: u64, num_tasks: usize, addr_space: u64, num_pus: usize) -> Workload {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let tasks = (0..num_tasks)
+            .map(|t| {
+                let len = rng.gen_index(1..8);
+                (0..len)
+                    .map(|i| {
+                        let addr = Addr(rng.gen_range(0..addr_space));
+                        if rng.gen_bool(0.45) {
+                            Op::Store(addr, Word(((t as u64) << 16) | (i as u64 + 1)))
+                        } else {
+                            Op::Load(addr)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload { tasks, num_pus }
+    }
+}
+
+/// Drives `dut` and a fresh oracle in lockstep over `wl` with the given
+/// interleaving seed. Returns the number of violation squash events.
+///
+/// # Panics
+///
+/// Panics on any divergence between `dut` and the oracle (that is the
+/// point), or if the run livelocks.
+pub fn run_lockstep<M: VersionedMemory>(wl: &Workload, dut: M, seed: u64) -> u64 {
+    run_lockstep_impl(wl, dut, seed, false)
+}
+
+/// Like [`run_lockstep`], but for designs whose violation detection is
+/// *coarser* than word granularity (multi-word versioning blocks, §3.7):
+/// the DUT may report violations the word-exact oracle does not (false
+/// sharing) — those squash both sides and execution continues — but a
+/// violation the oracle detects and the DUT misses is still fatal, as are
+/// value and final-memory divergences.
+pub fn run_lockstep_coarse<M: VersionedMemory>(wl: &Workload, dut: M, seed: u64) -> u64 {
+    run_lockstep_impl(wl, dut, seed, true)
+}
+
+fn run_lockstep_impl<M: VersionedMemory>(
+    wl: &Workload,
+    mut dut: M,
+    seed: u64,
+    allow_extra_violations: bool,
+) -> u64 {
+    assert_eq!(dut.num_pus(), wl.num_pus, "DUT sized for the workload");
+    let mut oracle = IdealMemory::new(wl.num_pus, 1);
+    let mut rng = Xoshiro256::seed_from(seed ^ 0xD1F);
+    let mut running: Vec<Option<(usize, usize)>> = vec![None; wl.num_pus];
+    let mut next_task = 0usize;
+    let mut committed = 0usize;
+    let mut now = Cycle(0);
+    let mut squashes = 0u64;
+
+    fn dispatch<M: VersionedMemory>(
+        pu: usize,
+        task: usize,
+        running: &mut [Option<(usize, usize)>],
+        dut: &mut M,
+        oracle: &mut IdealMemory,
+    ) {
+        running[pu] = Some((task, 0));
+        dut.assign(PuId(pu), TaskId(task as u64));
+        oracle.assign(PuId(pu), TaskId(task as u64));
+    }
+
+    for pu in 0..wl.num_pus {
+        if next_task < wl.tasks.len() {
+            dispatch(pu, next_task, &mut running, &mut dut, &mut oracle);
+            next_task += 1;
+        }
+    }
+
+    let mut guard = 0u64;
+    while committed < wl.tasks.len() {
+        guard += 1;
+        assert!(guard < 2_000_000, "lockstep engine livelocked");
+        now += 1;
+        let busy: Vec<usize> = (0..wl.num_pus).filter(|&p| running[p].is_some()).collect();
+        if busy.is_empty() {
+            break;
+        }
+        let pu = busy[rng.gen_index(0..busy.len())];
+        let (task, op_idx) = running[pu].expect("picked busy");
+        let ops = &wl.tasks[task];
+
+        if op_idx >= ops.len() {
+            let oldest = running
+                .iter()
+                .flatten()
+                .map(|&(t, _)| t)
+                .min()
+                .expect("busy");
+            if task == oldest {
+                dut.commit(PuId(pu), now);
+                oracle.commit(PuId(pu), now);
+                committed += 1;
+                running[pu] = None;
+                if next_task < wl.tasks.len() {
+                    dispatch(pu, next_task, &mut running, &mut dut, &mut oracle);
+                    next_task += 1;
+                }
+            }
+            continue;
+        }
+
+        // A stalled *head* task can never be unblocked by a commit (it is
+        // the one that has to commit); the machine frees resources by
+        // squashing the youngest running task instead. Younger stalled
+        // tasks simply retry after a commit.
+        let free_for_head = |running: &mut Vec<Option<(usize, usize)>>,
+                                 dut: &mut M,
+                                 oracle: &mut IdealMemory| {
+            // The squash model is contiguous (victim..tail), so free every
+            // task younger than the stalled head, youngest first, and
+            // restart them.
+            let mut younger: Vec<(usize, usize)> = running
+                .iter()
+                .enumerate()
+                .filter_map(|(p, s)| s.map(|(t, _)| (p, t)))
+                .filter(|&(_, t)| t > task)
+                .collect();
+            assert!(
+                !younger.is_empty(),
+                "head task alone exceeds the memory system's speculative capacity"
+            );
+            younger.sort_by_key(|&(_, t)| core::cmp::Reverse(t));
+            for &(p, _) in &younger {
+                dut.squash(PuId(p));
+                oracle.squash(PuId(p));
+                running[p] = None;
+            }
+            for &(p, t) in younger.iter().rev() {
+                dispatch(p, t, running, dut, oracle);
+            }
+        };
+        let is_head = running
+            .iter()
+            .flatten()
+            .map(|&(t, _)| t)
+            .min()
+            .expect("busy")
+            == task;
+
+        match ops[op_idx] {
+            Op::Load(addr) => {
+                let s = match dut.load(PuId(pu), addr, now) {
+                    Ok(out) => out,
+                    Err(AccessError::ReplacementStall { .. } | AccessError::Structural(_)) => {
+                        if is_head {
+                            free_for_head(&mut running, &mut dut, &mut oracle);
+                        }
+                        continue; // retry this op later
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                };
+                let o = oracle.load(PuId(pu), addr, now).expect("oracle never stalls");
+                assert_eq!(
+                    s.value, o.value,
+                    "load divergence: task {task} addr {addr} (dut={}, oracle={})",
+                    s.value, o.value
+                );
+                now = now.max(s.done_at);
+                running[pu] = Some((task, op_idx + 1));
+            }
+            Op::Store(addr, value) => {
+                let s = match dut.store(PuId(pu), addr, value, now) {
+                    Ok(out) => out,
+                    Err(AccessError::ReplacementStall { .. } | AccessError::Structural(_)) => {
+                        if is_head {
+                            free_for_head(&mut running, &mut dut, &mut oracle);
+                        }
+                        continue;
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                };
+                let o = oracle.store(PuId(pu), addr, value, now).expect("oracle");
+                match (s.violation, o.violation) {
+                    (Some(sv), Some(ov)) => {
+                        // A coarse design may pick an *earlier* victim
+                        // (false sharing widens the squash) — that is
+                        // conservative and safe. A *later* victim would
+                        // leave the oracle's victim unsquashed: fatal.
+                        if sv.victim != ov.victim {
+                            assert!(
+                                allow_extra_violations && sv.victim < ov.victim,
+                                "violation victim divergence: task {task} stores {addr} \
+                                 (dut {}, oracle {})",
+                                sv.victim,
+                                ov.victim
+                            );
+                        }
+                    }
+                    (None, None) => {}
+                    (Some(sv), None) => assert!(
+                        allow_extra_violations,
+                        "spurious violation: task {task} stores {addr} squashing {}",
+                        sv.victim
+                    ),
+                    (None, Some(ov)) => panic!(
+                        "MISSED violation: task {task} stores {addr}, oracle squashes {}",
+                        ov.victim
+                    ),
+                }
+                now = now.max(s.done_at);
+                running[pu] = Some((task, op_idx + 1));
+                if let Some(v) = s.violation {
+                    squashes += 1;
+                    let victim = v.victim.0 as usize;
+                    let mut to_squash: Vec<(usize, usize)> = running
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(pu, s)| s.map(|(t, _)| (pu, t)))
+                        .filter(|&(_, t)| t >= victim)
+                        .collect();
+                    to_squash.sort_by_key(|&(_, t)| core::cmp::Reverse(t));
+                    for &(pu, _) in &to_squash {
+                        dut.squash(PuId(pu));
+                        oracle.squash(PuId(pu));
+                        running[pu] = None;
+                    }
+                    let mut tasks: Vec<usize> = to_squash.iter().map(|&(_, t)| t).collect();
+                    tasks.sort_unstable();
+                    let pus: Vec<usize> = to_squash.iter().map(|&(pu, _)| pu).collect();
+                    for (i, t) in tasks.into_iter().enumerate() {
+                        dispatch(pus[i], t, &mut running, &mut dut, &mut oracle);
+                    }
+                }
+            }
+        }
+    }
+
+    dut.drain();
+    oracle.drain();
+    for a in 0..2048 {
+        assert_eq!(
+            dut.architectural(Addr(a)),
+            oracle.architectural(Addr(a)),
+            "architectural divergence at {}",
+            Addr(a)
+        );
+    }
+    squashes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = Workload::random(7, 10, 32, 4);
+        let b = Workload::random(7, 10, 32, 4);
+        assert_eq!(a.tasks, b.tasks);
+        assert_eq!(a.tasks.len(), 10);
+        assert!(a.tasks.iter().all(|t| (1..8).contains(&t.len())));
+    }
+
+    #[test]
+    fn oracle_against_itself_has_no_divergence() {
+        let wl = Workload::random(1, 20, 16, 4);
+        run_lockstep(&wl, IdealMemory::new(4, 1), 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! An idealised speculative-versioning memory, used as the correctness
+//! oracle in differential tests and as an upper-bound ("perfect memory")
+//! configuration in experiments.
+//!
+//! `IdealMemory` keeps, per address, an explicit ordered map from task id
+//! to the version that task created — the abstract object the SVC and the
+//! ARB both approximate in hardware. Every access completes in
+//! `hit_cycles`; there is no bus, no capacity, no replacement. Violation
+//! detection is exact: a store by task *t* squashes the oldest younger
+//! task that already loaded the location without an intervening version.
+
+use std::collections::{BTreeMap, HashMap};
+
+use svc_types::{
+    AccessError, Addr, Cycle, DataSource, LoadOutcome, MemStats, PuId, StoreOutcome,
+    TaskAssignments, TaskId, VersionedMemory, Violation, Word,
+};
+
+/// The oracle versioned memory. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use svc::IdealMemory;
+/// use svc_types::{Addr, Cycle, PuId, TaskId, VersionedMemory, Word};
+///
+/// let mut m = IdealMemory::new(2, 1);
+/// m.assign(PuId(0), TaskId(0));
+/// m.assign(PuId(1), TaskId(1));
+/// // Task 1 loads before task 0 stores: a violation is detected when the
+/// // store arrives.
+/// let out = m.load(PuId(1), Addr(4), Cycle(0))?;
+/// assert_eq!(out.value, Word::ZERO);
+/// let st = m.store(PuId(0), Addr(4), Word(7), Cycle(1))?;
+/// assert_eq!(st.violation.unwrap().victim, TaskId(1));
+/// # Ok::<(), svc_types::AccessError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdealMemory {
+    hit_cycles: u64,
+    assignments: TaskAssignments,
+    /// Speculative versions: addr -> (creating task -> value).
+    versions: HashMap<Addr, BTreeMap<TaskId, Word>>,
+    /// Use-before-define records: addr -> tasks that loaded before storing.
+    exposed_loads: HashMap<Addr, Vec<TaskId>>,
+    /// Architectural (committed) state.
+    memory: HashMap<Addr, Word>,
+    stats: MemStats,
+}
+
+impl IdealMemory {
+    /// Creates an oracle for `num_pus` processing units with the given hit
+    /// latency (the paper's ideal configuration uses 1 cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pus` or `hit_cycles` is zero.
+    pub fn new(num_pus: usize, hit_cycles: u64) -> IdealMemory {
+        assert!(num_pus > 0 && hit_cycles > 0);
+        IdealMemory {
+            hit_cycles,
+            assignments: TaskAssignments::new(num_pus),
+            versions: HashMap::new(),
+            exposed_loads: HashMap::new(),
+            memory: HashMap::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    fn task_of(&self, pu: PuId) -> Result<TaskId, AccessError> {
+        self.assignments.task_of(pu).ok_or(AccessError::NoTask(pu))
+    }
+
+    /// The value the closest previous version (or architectural memory)
+    /// holds for `addr` as seen by `task`. A task sees its own version.
+    fn visible(&self, addr: Addr, task: TaskId) -> Word {
+        if let Some(vs) = self.versions.get(&addr) {
+            if let Some((_, v)) = vs.range(..=task).next_back() {
+                return *v;
+            }
+        }
+        self.memory.get(&addr).copied().unwrap_or(Word::ZERO)
+    }
+}
+
+impl VersionedMemory for IdealMemory {
+    fn num_pus(&self) -> usize {
+        self.assignments.num_pus()
+    }
+
+    fn assign(&mut self, pu: PuId, task: TaskId) {
+        self.assignments.assign(pu, task);
+    }
+
+    fn load(&mut self, pu: PuId, addr: Addr, now: Cycle) -> Result<LoadOutcome, AccessError> {
+        let task = self.task_of(pu)?;
+        self.stats.loads += 1;
+        self.stats.local_hits += 1;
+        let value = self.visible(addr, task);
+        let own_version = self
+            .versions
+            .get(&addr)
+            .is_some_and(|vs| vs.contains_key(&task));
+        if !own_version {
+            let recs = self.exposed_loads.entry(addr).or_default();
+            if !recs.contains(&task) {
+                recs.push(task);
+            }
+        }
+        Ok(LoadOutcome {
+            value,
+            done_at: now + self.hit_cycles,
+            source: DataSource::LocalHit,
+        })
+    }
+
+    fn store(
+        &mut self,
+        pu: PuId,
+        addr: Addr,
+        value: Word,
+        now: Cycle,
+    ) -> Result<StoreOutcome, AccessError> {
+        let task = self.task_of(pu)?;
+        self.stats.stores += 1;
+        self.stats.local_hits += 1;
+        // A younger task that loaded this address is violated unless a
+        // version from a task strictly between the storer and the loader
+        // already shielded it. The loader's own later store does NOT
+        // shield its earlier exposed load (the L bit stays set, §3.2).
+        let shield = |loader: TaskId, vs: &BTreeMap<TaskId, Word>| {
+            vs.range(TaskId(task.0 + 1)..loader).next().is_some()
+        };
+        let empty = BTreeMap::new();
+        let vs = self.versions.get(&addr).unwrap_or(&empty);
+        let victim = self
+            .exposed_loads
+            .get(&addr)
+            .into_iter()
+            .flatten()
+            .filter(|&&loader| task.is_older_than(loader) && !shield(loader, vs))
+            .min()
+            .copied();
+        self.versions.entry(addr).or_default().insert(task, value);
+        if victim.is_some() {
+            self.stats.violations += 1;
+        }
+        Ok(StoreOutcome {
+            done_at: now + self.hit_cycles,
+            violation: victim.map(|victim| Violation { victim, addr }),
+        })
+    }
+
+    fn commit(&mut self, pu: PuId, now: Cycle) -> Cycle {
+        if let Some(task) = self.assignments.task_of(pu) {
+            let addrs: Vec<Addr> = self
+                .versions
+                .iter()
+                .filter(|(_, vs)| vs.contains_key(&task))
+                .map(|(a, _)| *a)
+                .collect();
+            for addr in addrs {
+                let vs = self.versions.get_mut(&addr).expect("listed");
+                let v = vs.remove(&task).expect("listed");
+                self.memory.insert(addr, v);
+                self.stats.writebacks += 1;
+            }
+            for recs in self.exposed_loads.values_mut() {
+                recs.retain(|&t| t != task);
+            }
+        }
+        self.assignments.release(pu);
+        now + self.hit_cycles
+    }
+
+    fn squash(&mut self, pu: PuId) {
+        if let Some(task) = self.assignments.task_of(pu) {
+            for vs in self.versions.values_mut() {
+                vs.remove(&task);
+            }
+            for recs in self.exposed_loads.values_mut() {
+                recs.retain(|&t| t != task);
+            }
+        }
+        self.assignments.release(pu);
+    }
+
+    fn drain(&mut self) {
+        // Committed state is already in `memory`; nothing is buffered.
+    }
+
+    fn architectural(&self, addr: Addr) -> Word {
+        self.memory.get(&addr).copied().unwrap_or(Word::ZERO)
+    }
+
+    fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal() -> IdealMemory {
+        let mut m = IdealMemory::new(4, 1);
+        for i in 0..4 {
+            m.assign(PuId(i), TaskId(i as u64));
+        }
+        m
+    }
+
+    #[test]
+    fn load_sees_closest_previous_version() {
+        let mut m = ideal();
+        m.store(PuId(0), Addr(8), Word(10), Cycle(0)).unwrap();
+        m.store(PuId(2), Addr(8), Word(30), Cycle(0)).unwrap();
+        // Task 1 sees task 0's version; task 3 sees task 2's.
+        assert_eq!(m.load(PuId(1), Addr(8), Cycle(1)).unwrap().value, Word(10));
+        assert_eq!(m.load(PuId(3), Addr(8), Cycle(1)).unwrap().value, Word(30));
+    }
+
+    #[test]
+    fn own_store_shadows_everything() {
+        let mut m = ideal();
+        m.store(PuId(0), Addr(8), Word(1), Cycle(0)).unwrap();
+        m.store(PuId(1), Addr(8), Word(2), Cycle(0)).unwrap();
+        assert_eq!(m.load(PuId(1), Addr(8), Cycle(1)).unwrap().value, Word(2));
+    }
+
+    #[test]
+    fn violation_on_late_store() {
+        let mut m = ideal();
+        m.load(PuId(2), Addr(4), Cycle(0)).unwrap(); // task 2 exposed load
+        let st = m.store(PuId(0), Addr(4), Word(5), Cycle(1)).unwrap();
+        assert_eq!(st.violation.unwrap().victim, TaskId(2));
+    }
+
+    #[test]
+    fn intervening_version_shields_the_load() {
+        let mut m = ideal();
+        m.store(PuId(1), Addr(4), Word(9), Cycle(0)).unwrap(); // version by task 1
+        m.load(PuId(2), Addr(4), Cycle(1)).unwrap(); // reads task 1's version
+        let st = m.store(PuId(0), Addr(4), Word(5), Cycle(2)).unwrap();
+        assert!(st.violation.is_none(), "task 2's load read version 1, not memory");
+    }
+
+    #[test]
+    fn own_version_prevents_exposure() {
+        let mut m = ideal();
+        m.store(PuId(2), Addr(4), Word(9), Cycle(0)).unwrap();
+        m.load(PuId(2), Addr(4), Cycle(1)).unwrap(); // reads own store
+        let st = m.store(PuId(0), Addr(4), Word(5), Cycle(2)).unwrap();
+        assert!(st.violation.is_none());
+    }
+
+    #[test]
+    fn commit_moves_versions_to_memory() {
+        let mut m = ideal();
+        m.store(PuId(0), Addr(4), Word(5), Cycle(0)).unwrap();
+        m.commit(PuId(0), Cycle(1));
+        m.drain();
+        assert_eq!(m.architectural(Addr(4)), Word(5));
+    }
+
+    #[test]
+    fn squash_discards_versions_and_records() {
+        let mut m = ideal();
+        m.store(PuId(2), Addr(4), Word(9), Cycle(0)).unwrap();
+        m.load(PuId(3), Addr(8), Cycle(0)).unwrap();
+        m.squash(PuId(2));
+        m.squash(PuId(3));
+        m.assign(PuId(2), TaskId(2));
+        assert_eq!(m.load(PuId(2), Addr(4), Cycle(1)).unwrap().value, Word::ZERO);
+        // The squashed task-3 load no longer triggers violations.
+        let st = m.store(PuId(0), Addr(8), Word(1), Cycle(2)).unwrap();
+        assert!(st.violation.is_none());
+    }
+
+    #[test]
+    fn commit_order_determines_final_value() {
+        let mut m = ideal();
+        m.store(PuId(0), Addr(4), Word(1), Cycle(0)).unwrap();
+        m.store(PuId(1), Addr(4), Word(2), Cycle(0)).unwrap();
+        m.commit(PuId(0), Cycle(1));
+        m.commit(PuId(1), Cycle(2));
+        assert_eq!(m.architectural(Addr(4)), Word(2));
+    }
+
+    #[test]
+    fn no_task_errors() {
+        let mut m = IdealMemory::new(2, 1);
+        assert!(matches!(
+            m.load(PuId(0), Addr(0), Cycle(0)),
+            Err(AccessError::NoTask(_))
+        ));
+    }
+}

@@ -1,0 +1,193 @@
+use core::fmt;
+use core::ops::{BitAnd, BitOr, Not};
+
+/// A per-sub-block bit mask over one cache line.
+///
+/// The RL design (paper §3.7) keeps the `L` and `S` bits per *versioning
+/// block* (sub-block) rather than per line, and BusWrite requests carry
+/// "mask bits that indicate the versioning blocks modified by the store".
+/// `SubMask` is that mask; designs with one-word lines simply use masks of
+/// width 1. This implementation also keeps per-sub-block valid bits, as a
+/// sector cache does.
+///
+/// Supports up to 64 sub-blocks per line.
+///
+/// # Example
+///
+/// ```
+/// use svc::SubMask;
+/// let m = SubMask::single(2) | SubMask::single(0);
+/// assert!(m.contains(0) && !m.contains(1) && m.contains(2));
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SubMask(pub u64);
+
+impl SubMask {
+    /// The empty mask.
+    pub const EMPTY: SubMask = SubMask(0);
+
+    /// A mask with only sub-block `i` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    #[inline]
+    pub fn single(i: usize) -> SubMask {
+        assert!(i < 64, "at most 64 sub-blocks per line");
+        SubMask(1 << i)
+    }
+
+    /// A mask with sub-blocks `0..n` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn all(n: usize) -> SubMask {
+        assert!(n <= 64, "at most 64 sub-blocks per line");
+        if n == 64 {
+            SubMask(u64::MAX)
+        } else {
+            SubMask((1u64 << n) - 1)
+        }
+    }
+
+    /// Whether sub-block `i` is set.
+    #[inline]
+    pub fn contains(self, i: usize) -> bool {
+        i < 64 && self.0 & (1 << i) != 0
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `self` and `other` share any bit.
+    #[inline]
+    pub fn intersects(self, other: SubMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Sets sub-block `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        *self = *self | SubMask::single(i);
+    }
+
+    /// Clears sub-block `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.0 &= !SubMask::single(i).0;
+    }
+
+    /// The bits in `self` but not in `other`.
+    #[inline]
+    pub fn minus(self, other: SubMask) -> SubMask {
+        SubMask(self.0 & !other.0)
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterator over the set sub-block indices, ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..64).filter(move |&i| self.contains(i))
+    }
+}
+
+impl BitOr for SubMask {
+    type Output = SubMask;
+    #[inline]
+    fn bitor(self, rhs: SubMask) -> SubMask {
+        SubMask(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for SubMask {
+    type Output = SubMask;
+    #[inline]
+    fn bitand(self, rhs: SubMask) -> SubMask {
+        SubMask(self.0 & rhs.0)
+    }
+}
+
+impl Not for SubMask {
+    type Output = SubMask;
+    #[inline]
+    fn not(self) -> SubMask {
+        SubMask(!self.0)
+    }
+}
+
+impl fmt::Debug for SubMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SubMask({:#b})", self.0)
+    }
+}
+
+impl fmt::Display for SubMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#b}", self.0)
+    }
+}
+
+impl fmt::Binary for SubMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_contains() {
+        let m = SubMask::single(3);
+        assert!(m.contains(3));
+        assert!(!m.contains(2));
+        assert!(!m.contains(64));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn all_widths() {
+        assert_eq!(SubMask::all(0), SubMask::EMPTY);
+        assert_eq!(SubMask::all(3).0, 0b111);
+        assert_eq!(SubMask::all(64).0, u64::MAX);
+    }
+
+    #[test]
+    fn set_clear_minus() {
+        let mut m = SubMask::EMPTY;
+        m.set(1);
+        m.set(4);
+        assert_eq!(m.count(), 2);
+        m.clear(1);
+        assert!(!m.contains(1) && m.contains(4));
+        assert_eq!(SubMask::all(4).minus(SubMask::single(2)).0, 0b1011);
+    }
+
+    #[test]
+    fn ops_and_iter() {
+        let a = SubMask::single(0) | SubMask::single(2);
+        let b = SubMask::single(2) | SubMask::single(3);
+        assert_eq!((a & b), SubMask::single(2));
+        assert!(a.intersects(b));
+        assert!(!a.intersects(SubMask::single(1)));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!((!SubMask::EMPTY).contains(63));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn oversized_single_panics() {
+        SubMask::single(64);
+    }
+}

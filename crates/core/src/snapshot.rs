@@ -1,0 +1,107 @@
+use svc_types::{PuId, TaskId};
+
+use crate::mask::SubMask;
+
+/// What the Version Control Logic sees of one cache's copy of the requested
+/// line when a bus request is snooped (paper §3.2: "the states of the
+/// requested line in each L1 cache are supplied to the VCL").
+///
+/// Snapshots carry state bits and the VOL pointer, not data; data movement
+/// is performed by the system when it applies the VCL's plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineSnapshot {
+    /// The cache/PU holding this copy.
+    pub pu: PuId,
+    /// The task currently assigned to that PU, if any. Uncommitted lines
+    /// belong to this task; committed lines may predate it.
+    pub task: Option<TaskId>,
+    /// Per-sub-block valid bits.
+    pub valid: SubMask,
+    /// Per-sub-block store (S) bits.
+    pub store: SubMask,
+    /// Per-sub-block load (L) bits.
+    pub load: SubMask,
+    /// The commit (C) bit.
+    pub committed: bool,
+    /// The stale (T) bit.
+    pub stale: bool,
+    /// The architectural (A) bit.
+    pub arch: bool,
+    /// The VOL pointer.
+    pub next: Option<PuId>,
+}
+
+impl LineSnapshot {
+    /// Whether this snapshot holds any valid data.
+    pub fn is_valid(&self) -> bool {
+        !self.valid.is_empty()
+    }
+
+    /// Whether this copy is a *version* (has store data) rather than a pure
+    /// copy.
+    pub fn is_version(&self) -> bool {
+        !self.store.is_empty()
+    }
+
+    /// The task this line's VOL position is keyed by, for uncommitted
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is uncommitted but the PU has no task — the
+    /// system maintains the invariant that every uncommitted valid line
+    /// belongs to its PU's current task.
+    pub fn ordering_task(&self) -> Option<TaskId> {
+        if self.committed {
+            None
+        } else {
+            Some(
+                self.task
+                    .expect("uncommitted valid line on a PU with no task"),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(committed: bool, task: Option<TaskId>) -> LineSnapshot {
+        LineSnapshot {
+            pu: PuId(0),
+            task,
+            valid: SubMask::all(1),
+            store: SubMask::EMPTY,
+            load: SubMask::EMPTY,
+            committed,
+            stale: false,
+            arch: false,
+            next: None,
+        }
+    }
+
+    #[test]
+    fn version_vs_copy() {
+        let mut s = snap(false, Some(TaskId(1)));
+        assert!(!s.is_version());
+        s.store = SubMask::single(0);
+        assert!(s.is_version());
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn ordering_task_rules() {
+        assert_eq!(snap(true, None).ordering_task(), None);
+        assert_eq!(
+            snap(false, Some(TaskId(7))).ordering_task(),
+            Some(TaskId(7))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no task")]
+    fn uncommitted_without_task_panics() {
+        snap(false, None).ordering_task();
+    }
+}

@@ -1,0 +1,940 @@
+//! The complete SVC memory system: private caches, snooping bus, VCL,
+//! MSHRs, writeback buffers and the next level of memory.
+
+use svc_mem::{Backing, Bus, CacheArray, MshrFile, WayRef, WritebackBuffer};
+use svc_types::{
+    AccessError, Addr, Cycle, DataSource, LineId, LoadOutcome, MemStats, PuId, StoreOutcome,
+    TaskAssignments, TaskId, VersionedMemory, Violation, Word,
+};
+
+use crate::config::SvcConfig;
+use crate::line::{LineState, SvcLine};
+use crate::mask::SubMask;
+use crate::snapshot::LineSnapshot;
+use crate::vcl::{ReadPlan, SupplySource, Vcl, WritePlan};
+use crate::vol::order_vol;
+
+/// The Speculative Versioning Cache memory system (paper Figure 5).
+///
+/// One private L1 cache per processing unit, kept consistent — and
+/// speculatively versioned — by the [`Vcl`] over a snooping bus. Implements
+/// [`VersionedMemory`]; see the crate docs for a usage example and the
+/// paper-to-code map.
+#[derive(Debug, Clone)]
+pub struct SvcSystem {
+    config: SvcConfig,
+    vcl: Vcl,
+    caches: Vec<CacheArray<SvcLine>>,
+    bus: Bus,
+    backing: Backing,
+    mshrs: Vec<MshrFile>,
+    wbufs: Vec<WritebackBuffer>,
+    assignments: TaskAssignments,
+    stats: MemStats,
+}
+
+impl SvcSystem {
+    /// Builds an SVC from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (see
+    /// [`SvcConfig::validate`]).
+    pub fn new(config: SvcConfig) -> SvcSystem {
+        config.validate();
+        let t = config.timing;
+        SvcSystem {
+            vcl: Vcl {
+                hybrid_update: config.hybrid_update,
+                snarfing: config.snarfing,
+                trust_stale: config.stale_bit,
+                update_limit: config.update_limit,
+                retain_flushed: config.retain_flushed,
+            },
+            caches: (0..config.num_pus)
+                .map(|_| CacheArray::new(config.geometry))
+                .collect(),
+            bus: Bus::pipelined(t.bus_txn_cycles, (t.bus_txn_cycles - 1).max(1)),
+            backing: match config.l2 {
+                Some(l2) => Backing::with_l2(l2),
+                None => Backing::flat(t.memory_cycles),
+            },
+            mshrs: (0..config.num_pus)
+                .map(|_| MshrFile::new(config.mshr_entries, config.mshr_combine))
+                .collect(),
+            wbufs: (0..config.num_pus)
+                .map(|_| WritebackBuffer::new(config.wb_entries, t.bus_txn_cycles))
+                .collect(),
+            assignments: TaskAssignments::new(config.num_pus),
+            stats: MemStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SvcConfig {
+        &self.config
+    }
+
+    /// The current task-assignment table (for inspection).
+    pub fn assignments(&self) -> &TaskAssignments {
+        &self.assignments
+    }
+
+    /// The derived five-state classification of `pu`'s copy of the line
+    /// containing `addr` (for tests and tracing).
+    pub fn line_state(&self, pu: PuId, addr: Addr) -> LineState {
+        let line = self.config.geometry.line_of(addr);
+        match self.caches[pu.index()].find(line) {
+            Some(r) => self.caches[pu.index()].slot(r).state(),
+            None => LineState::Invalid,
+        }
+    }
+
+    /// The reconstructed Version Ordering List for the line containing
+    /// `addr` (for tests and tracing).
+    pub fn vol_of(&self, addr: Addr) -> Vec<PuId> {
+        order_vol(&self.snapshots(self.config.geometry.line_of(addr)))
+    }
+
+    /// The word at `addr` as cached by `pu`, if the holding sub-block is
+    /// valid there. Read-only; used by the inspection helpers and tests.
+    pub fn peek_word(&self, pu: PuId, addr: Addr) -> Option<Word> {
+        let g = self.config.geometry;
+        let r = self.caches[pu.index()].find(g.line_of(addr))?;
+        let l = self.caches[pu.index()].slot(r);
+        if l.valid.contains(g.subblock_of(addr)) {
+            Some(l.data[g.offset(addr)])
+        } else {
+            None
+        }
+    }
+
+    /// States of every slot of `pu`'s cache (for the census).
+    pub(crate) fn line_states_of(&self, pu: PuId) -> Vec<LineState> {
+        self.caches[pu.index()].iter().map(|l| l.state()).collect()
+    }
+
+    /// Snooped snapshots of `line` (for the inspection helpers).
+    pub(crate) fn snapshots_of(&self, line: LineId) -> Vec<LineSnapshot> {
+        self.snapshots(line)
+    }
+
+    // -----------------------------------------------------------------
+    // Snapshots and plan application
+    // -----------------------------------------------------------------
+
+    fn snapshots(&self, line: LineId) -> Vec<LineSnapshot> {
+        (0..self.config.num_pus)
+            .map(|i| {
+                let pu = PuId(i);
+                let task = self.assignments.task_of(pu);
+                match self.caches[i].find(line) {
+                    Some(r) => {
+                        let l = self.caches[i].slot(r);
+                        LineSnapshot {
+                            pu,
+                            task,
+                            valid: l.valid,
+                            store: l.store,
+                            load: l.load,
+                            committed: l.committed,
+                            stale: l.stale,
+                            arch: l.arch,
+                            next: l.next,
+                        }
+                    }
+                    None => LineSnapshot {
+                        pu,
+                        task,
+                        valid: SubMask::EMPTY,
+                        store: SubMask::EMPTY,
+                        load: SubMask::EMPTY,
+                        committed: false,
+                        stale: false,
+                        arch: false,
+                        next: None,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Words of sub-block `j` of `pu`'s copy of `line`.
+    fn read_subblock(&self, pu: PuId, line: LineId, j: usize) -> Vec<Word> {
+        let r = self.caches[pu.index()]
+            .find(line)
+            .expect("supplier holds the line");
+        let l = self.caches[pu.index()].slot(r);
+        let w = self.config.geometry.words_per_subblock();
+        l.data[j * w..(j + 1) * w].to_vec()
+    }
+
+    /// Gathers the data for a fill: `(sub-block, words, from_cache)`.
+    fn gather_fill(
+        &mut self,
+        line: LineId,
+        fill: &[(usize, SupplySource)],
+    ) -> Vec<(usize, Vec<Word>, bool)> {
+        let w = self.config.geometry.words_per_subblock();
+        let wpl = self.config.geometry.words_per_line();
+        fill.iter()
+            .map(|&(j, src)| match src {
+                SupplySource::Cache(q) => (j, self.read_subblock(q, line, j), true),
+                SupplySource::Memory => {
+                    let words = (0..w)
+                        .map(|k| self.backing.read(line.word(j * w + k, wpl)))
+                        .collect();
+                    (j, words, false)
+                }
+            })
+            .collect()
+    }
+
+    /// Installs a gathered fill into one cache slot. `set_load` is the
+    /// sub-block whose L bit the requesting load sets; snarfers pass
+    /// `None`. With `fresh`, the slot is reset first (refetch of a
+    /// committed/stale line); otherwise the fill merges into a
+    /// partially-valid active line, and the line stays architectural only
+    /// if it already was.
+    #[allow(clippy::too_many_arguments)]
+    fn install_fill(
+        &mut self,
+        pu: PuId,
+        slot: WayRef,
+        line: LineId,
+        data: &[(usize, Vec<Word>, bool)],
+        arch: bool,
+        set_load: Option<usize>,
+        fresh: bool,
+    ) {
+        let w = self.config.geometry.words_per_subblock();
+        let wpl = self.config.geometry.words_per_line();
+        let cache = &mut self.caches[pu.index()];
+        let l = cache.slot_mut(slot);
+        if fresh {
+            *l = SvcLine::invalid(wpl);
+        }
+        if l.data.len() != wpl {
+            l.data = vec![Word::ZERO; wpl];
+        }
+        let was_arch = l.arch || !l.is_valid();
+        l.line = Some(line);
+        for (j, words, _) in data {
+            for (k, word) in words.iter().enumerate() {
+                l.data[j * w + k] = *word;
+            }
+            l.valid.set(*j);
+        }
+        l.committed = false;
+        l.arch = arch && was_arch;
+        if let Some(j) = set_load {
+            if !l.store.contains(j) {
+                l.load.set(j);
+            }
+        }
+        cache.touch(slot);
+    }
+
+    /// Writes `pu`'s data for `mask` sub-blocks to memory (a committed
+    /// version flush) and charges the writeback buffer.
+    fn flush_to_memory(&mut self, pu: PuId, line: LineId, mask: SubMask, now: Cycle) {
+        let w = self.config.geometry.words_per_subblock();
+        let wpl = self.config.geometry.words_per_line();
+        for j in mask.iter() {
+            let words = self.read_subblock(pu, line, j);
+            for (k, word) in words.into_iter().enumerate() {
+                self.backing.write(line.word(j * w + k, wpl), word);
+            }
+        }
+        self.wbufs[pu.index()].push(now);
+        self.stats.writebacks += 1;
+    }
+
+    fn invalidate_line(&mut self, pu: PuId, line: LineId) {
+        if let Some(r) = self.caches[pu.index()].find(line) {
+            self.caches[pu.index()].slot_mut(r).invalidate();
+        }
+    }
+
+    /// Rewrites the VOL pointers of every copy of `line` to match `order`
+    /// (members no longer valid are skipped).
+    fn rewrite_pointers(&mut self, line: LineId, order: &[PuId]) {
+        let holders: Vec<PuId> = order
+            .iter()
+            .copied()
+            .filter(|q| self.caches[q.index()].find(line).is_some())
+            .collect();
+        let sole = holders.len() == 1;
+        for (i, &q) in holders.iter().enumerate() {
+            let r = self.caches[q.index()].find(line).expect("holder");
+            let l = self.caches[q.index()].slot_mut(r);
+            l.next = holders.get(i + 1).copied();
+            l.exclusive = sole;
+        }
+    }
+
+    /// Re-establishes the T-bit invariant over the final membership: the
+    /// most recent version and every younger copy are not stale; everything
+    /// older is (§3.4.3). Also repairs T after squashes (§3.5).
+    fn recompute_stale(&mut self, line: LineId) {
+        if !self.config.stale_bit {
+            return;
+        }
+        let snaps = self.snapshots(line);
+        let vol = order_vol(&snaps);
+        let has_store = |pu: PuId| {
+            let r = self.caches[pu.index()].find(line).expect("member");
+            !self.caches[pu.index()].slot(r).store.is_empty()
+        };
+        // With a version member present, position decides: the most recent
+        // version and the copies after it (necessarily copies of it, kept
+        // consistent by the invalidation walks) are fresh, everything
+        // older is stale. With *no* version member — the versions were
+        // flushed/purged to memory — staleness must not be cleared: a copy
+        // of an older architectural value may still be around, and only a
+        // refetch (which installs a fresh line) makes it current again.
+        let last_version = vol.iter().rposition(|&q| has_store(q));
+        let Some(k) = last_version else { return };
+        for (i, &q) in vol.iter().enumerate() {
+            let r = self.caches[q.index()].find(line).expect("member");
+            self.caches[q.index()].slot_mut(r).stale = i < k;
+        }
+    }
+
+    /// Counts purged committed versions (store data superseded without
+    /// writeback) and invalidates the purge set.
+    fn apply_purge(&mut self, line: LineId, purge: &[PuId], flushed: &[(PuId, SubMask)]) {
+        for &q in purge {
+            if let Some(r) = self.caches[q.index()].find(line) {
+                let l = self.caches[q.index()].slot(r);
+                let flushed_mask = flushed
+                    .iter()
+                    .find(|&&(p, _)| p == q)
+                    .map(|&(_, m)| m)
+                    .unwrap_or(SubMask::EMPTY);
+                if !l.store.minus(flushed_mask).is_empty() {
+                    self.stats.purged_versions += 1;
+                }
+            }
+            self.invalidate_line(q, line);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Replacement
+    // -----------------------------------------------------------------
+
+    /// Ensures `pu` has a slot for `line`, evicting a victim if necessary.
+    /// Returns the slot and the cycle by which any eviction traffic is
+    /// done.
+    ///
+    /// Victim preference (paper §3.2.5, §3.8.1): an invalid way, then a
+    /// passive-clean way (free), then a passive-dirty way (BusWback), and
+    /// only for the head task an active way. A speculative (non-head)
+    /// cache whose set holds only active lines must stall.
+    fn ensure_resident(
+        &mut self,
+        pu: PuId,
+        line: LineId,
+        now: Cycle,
+    ) -> Result<(WayRef, Cycle), AccessError> {
+        if let Some(r) = self.caches[pu.index()].find(line) {
+            return Ok((r, now));
+        }
+        let is_head = self.assignments.head() == Some(pu);
+        let ways = self.caches[pu.index()].ways_by_lru(line);
+        let classify = |l: &SvcLine| l.state();
+        let pick = |want: &[LineState]| {
+            ways.iter()
+                .copied()
+                .find(|&r| want.contains(&classify(self.caches[pu.index()].slot(r))))
+        };
+        let victim = pick(&[LineState::Invalid])
+            .or_else(|| pick(&[LineState::PassiveClean]))
+            .or_else(|| pick(&[LineState::PassiveDirty]))
+            .or_else(|| {
+                if is_head {
+                    pick(&[LineState::ActiveClean]).or_else(|| pick(&[LineState::ActiveDirty]))
+                } else {
+                    None
+                }
+            });
+        let Some(r) = victim else {
+            self.stats.replacement_stalls += 1;
+            return Err(AccessError::ReplacementStall {
+                pu,
+                addr: line.first_word(self.config.geometry.words_per_line()),
+            });
+        };
+        let state = self.caches[pu.index()].slot(r).state();
+        let mut done = now;
+        match state {
+            LineState::Invalid | LineState::PassiveClean | LineState::ActiveClean => {
+                // Clean castout: no bus request (§3.8.1).
+            }
+            LineState::PassiveDirty | LineState::ActiveDirty => {
+                let vline = self.caches[pu.index()]
+                    .slot(r)
+                    .line
+                    .expect("dirty line has a tag");
+                done = self.do_wback(pu, vline, now);
+            }
+        }
+        let wpl = self.config.geometry.words_per_line();
+        let slot = self.caches[pu.index()].slot_mut(r);
+        slot.invalidate();
+        if slot.data.len() != wpl {
+            // Freshly-constructed slots carry no storage yet.
+            slot.data = vec![Word::ZERO; wpl];
+        }
+        slot.line = Some(line);
+        Ok((r, done))
+    }
+
+    /// Executes a BusWback transaction for `pu`'s dirty copy of `line`.
+    fn do_wback(&mut self, pu: PuId, line: LineId, now: Cycle) -> Cycle {
+        let snaps = self.snapshots(line);
+        let plan = self.vcl.plan_wback(&snaps, pu);
+        let grant = self.bus.transact(now, 0);
+        for &(q, mask) in &plan.flush {
+            self.flush_to_memory(q, line, mask, now);
+        }
+        // The evicted data itself.
+        if !plan.write_evicted.is_empty() {
+            self.flush_to_memory(pu, line, plan.write_evicted, now);
+        }
+        self.apply_purge(line, &plan.purge, &plan.flush);
+        self.invalidate_line(pu, line);
+        self.rewrite_pointers(line, &plan.vol_after);
+        self.recompute_stale(line);
+        grant.done
+    }
+
+    // -----------------------------------------------------------------
+    // The BusRead / BusWrite miss paths
+    // -----------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_read_plan(
+        &mut self,
+        plan: &ReadPlan,
+        pu: PuId,
+        line: LineId,
+        slot: WayRef,
+        requested: usize,
+        fresh: bool,
+        now: Cycle,
+    ) -> DataSource {
+        let data = self.gather_fill(line, &plan.fill);
+        for &(q, mask) in &plan.flush {
+            self.flush_to_memory(q, line, mask, now);
+        }
+        self.apply_purge(line, &plan.purge, &plan.flush);
+        // §3.8.1 optimization: flushed lines demote to architectural
+        // passive-clean copies instead of leaving the cache.
+        for &q in &plan.demote {
+            if let Some(r) = self.caches[q.index()].find(line) {
+                let l = self.caches[q.index()].slot_mut(r);
+                l.store = SubMask::EMPTY;
+                l.arch = true;
+            }
+        }
+        // Install the fill in the requestor (and snarfers).
+        self.install_fill(pu, slot, line, &data, plan.arch, Some(requested), fresh);
+        for &q in &plan.snarfers {
+            // Snarf only into a free way; never evict for a snarf.
+            let r = self.caches[q.index()].victim_way(line);
+            if self.caches[q.index()].slot(r).state() == LineState::Invalid {
+                self.install_fill(q, r, line, &data, plan.arch, None, true);
+                self.stats.snarfs += 1;
+            }
+        }
+        self.rewrite_pointers(line, &plan.vol_after);
+        self.recompute_stale(line);
+        // Classify the requested sub-block's source for miss accounting.
+        let (_, _, from_cache) = data
+            .iter()
+            .find(|&&(j, _, _)| j == requested)
+            .expect("requested sub-block is in the fill");
+        if *from_cache {
+            self.stats.cache_transfers += 1;
+            DataSource::Transfer
+        } else {
+            self.stats.next_level_fills += 1;
+            DataSource::NextLevel
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_write_plan(
+        &mut self,
+        plan: &WritePlan,
+        pu: PuId,
+        line: LineId,
+        slot: WayRef,
+        j: usize,
+        off: usize,
+        value: Word,
+        fresh: bool,
+        now: Cycle,
+    ) -> Option<Violation> {
+        let data = self.gather_fill(line, &plan.fill);
+        for &(q, mask) in &plan.flush {
+            self.flush_to_memory(q, line, mask, now);
+        }
+        self.apply_purge(line, &plan.purge, &plan.flush);
+        // Invalidate stale copies in the range (partial, per sub-block).
+        for &(q, mask) in &plan.invalidate {
+            if q == pu {
+                continue;
+            }
+            if let Some(r) = self.caches[q.index()].find(line) {
+                self.caches[q.index()].slot_mut(r).invalidate_subblocks(mask);
+            }
+        }
+        // Hybrid update: push the stored word into surviving copies.
+        for &q in &plan.update {
+            if let Some(r) = self.caches[q.index()].find(line) {
+                let l = self.caches[q.index()].slot_mut(r);
+                if l.valid.contains(j) {
+                    l.data[off] = value;
+                    l.arch = false;
+                }
+            }
+        }
+        // Install the store in the requestor.
+        let w = self.config.geometry.words_per_subblock();
+        let cache = &mut self.caches[pu.index()];
+        let l = cache.slot_mut(slot);
+        if fresh {
+            let words = l.data.len();
+            *l = SvcLine::invalid(words);
+        }
+        l.line = Some(line);
+        for (fj, words, _) in &data {
+            for (k, word) in words.iter().enumerate() {
+                l.data[fj * w + k] = *word;
+            }
+            l.valid.set(*fj);
+        }
+        l.data[off] = value;
+        l.valid.set(j);
+        l.store.set(j);
+        // A one-word store into a wider versioning block *consumes* the
+        // block's other words (the new version is built on the closest
+        // previous version's content), so the dependence must be recorded
+        // exactly like a load's: an older task's later store to this
+        // block invalidates the consumed words and must squash us, or the
+        // committed winner would carry stale words (DESIGN.md §5.6).
+        if w > 1 {
+            l.load.set(j);
+        }
+        l.committed = false;
+        l.arch = false;
+        cache.touch(slot);
+        self.rewrite_pointers(line, &plan.vol_after);
+        self.recompute_stale(line);
+        // Report the oldest violated task, if any.
+        if plan.victims.is_empty() {
+            None
+        } else {
+            self.stats.violations += 1;
+            let victim = plan
+                .victims
+                .iter()
+                .map(|&(_, t)| t)
+                .min()
+                .expect("non-empty");
+            Some(Violation {
+                victim,
+                addr: line.first_word(self.config.geometry.words_per_line()),
+            })
+        }
+    }
+
+    /// Head task's id, if any task is running.
+    fn head_task(&self) -> Option<TaskId> {
+        self.assignments
+            .head()
+            .and_then(|pu| self.assignments.task_of(pu))
+    }
+
+    /// Caches eligible to snarf a fill of `line`: no copy, a free way, and
+    /// an assigned task.
+    fn snarf_candidates(&self, line: LineId, exclude: PuId) -> Vec<(PuId, TaskId)> {
+        if !self.config.snarfing {
+            return Vec::new();
+        }
+        (0..self.config.num_pus)
+            .filter_map(|i| {
+                let q = PuId(i);
+                if q == exclude || self.caches[i].find(line).is_some() {
+                    return None;
+                }
+                let task = self.assignments.task_of(q)?;
+                let r = self.caches[i].victim_way(line);
+                if self.caches[i].slot(r).state() == LineState::Invalid {
+                    Some((q, task))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+impl VersionedMemory for SvcSystem {
+    fn num_pus(&self) -> usize {
+        self.config.num_pus
+    }
+
+    fn assign(&mut self, pu: PuId, task: TaskId) {
+        self.assignments.assign(pu, task);
+    }
+
+    fn load(&mut self, pu: PuId, addr: Addr, now: Cycle) -> Result<LoadOutcome, AccessError> {
+        let task = self
+            .assignments
+            .task_of(pu)
+            .ok_or(AccessError::NoTask(pu))?;
+        self.stats.loads += 1;
+        let g = self.config.geometry;
+        let line = g.line_of(addr);
+        let j = g.subblock_of(addr);
+        let off = g.offset(addr);
+
+        // Local paths first: active hit, or non-stale passive-clean reuse.
+        if let Some(r) = self.caches[pu.index()].find(line) {
+            let l = self.caches[pu.index()].slot(r);
+            if !l.committed && l.valid.contains(j) {
+                let value = l.data[off];
+                let l = self.caches[pu.index()].slot_mut(r);
+                if !l.store.contains(j) {
+                    l.load.set(j);
+                }
+                self.caches[pu.index()].touch(r);
+                self.stats.local_hits += 1;
+                return Ok(LoadOutcome {
+                    value,
+                    done_at: now + self.config.timing.hit_cycles,
+                    source: DataSource::LocalHit,
+                });
+            }
+            if l.committed
+                && self.config.stale_bit
+                && !l.stale
+                && l.store.is_empty()
+                && l.valid.contains(j)
+            {
+                // §3.4.3 / §3.5.1: reuse a non-stale passive-clean copy by
+                // resetting C and remembering it is architectural.
+                let value = l.data[off];
+                let l = self.caches[pu.index()].slot_mut(r);
+                l.committed = false;
+                l.arch = true;
+                l.load = SubMask::single(j);
+                self.caches[pu.index()].touch(r);
+                self.stats.local_hits += 1;
+                return Ok(LoadOutcome {
+                    value,
+                    done_at: now + self.config.timing.hit_cycles,
+                    source: DataSource::LocalHit,
+                });
+            }
+        }
+
+        // Miss: BusRead.
+        let (slot, evict_done) = self.ensure_resident(pu, line, now)?;
+        let l = self.caches[pu.index()].slot(slot);
+        // A partially-valid *active* line keeps its sub-blocks; anything
+        // else (fresh slot, committed or stale line) refills fully.
+        let fresh = l.line != Some(line) || l.committed || l.valid.is_empty();
+        let fill_mask = if fresh {
+            SubMask::all(g.subblocks_per_line())
+        } else {
+            SubMask::all(g.subblocks_per_line()).minus(l.valid)
+        };
+        let snaps = self.snapshots(line);
+        let candidates = self.snarf_candidates(line, pu);
+        let plan = self
+            .vcl
+            .plan_read(&snaps, pu, task, self.head_task(), fill_mask, &candidates);
+        let extra = if plan.flush.is_empty() {
+            0
+        } else {
+            self.config.timing.commit_flush_extra
+        };
+        // The MSHR file limits outstanding misses; a combined miss shares
+        // the in-flight fill and skips the bus.
+        let t = self.config.timing;
+        let est = t.bus_txn_cycles + t.memory_cycles;
+        let mshr = self.mshrs[pu.index()].begin_miss(line, evict_done, est);
+        let source = self.apply_read_plan(&plan, pu, line, slot, j, fresh, now);
+        let done = if mshr.combined {
+            mshr.data_ready
+        } else {
+            let grant = self.bus.transact(evict_done + mshr.stalled, extra);
+            match source {
+                DataSource::NextLevel => {
+                    let penalty = self
+                        .backing
+                        .fill_penalty(line, self.config.geometry.words_per_line());
+                    grant.done + penalty
+                }
+                _ => grant.done,
+            }
+        };
+        let value = {
+            let r = self.caches[pu.index()].find(line).expect("just installed");
+            self.caches[pu.index()].slot(r).data[off]
+        };
+        Ok(LoadOutcome {
+            value,
+            done_at: done,
+            source,
+        })
+    }
+
+    fn store(
+        &mut self,
+        pu: PuId,
+        addr: Addr,
+        value: Word,
+        now: Cycle,
+    ) -> Result<StoreOutcome, AccessError> {
+        let task = self
+            .assignments
+            .task_of(pu)
+            .ok_or(AccessError::NoTask(pu))?;
+        self.stats.stores += 1;
+        let g = self.config.geometry;
+        let line = g.line_of(addr);
+        let j = g.subblock_of(addr);
+        let off = g.offset(addr);
+
+        // Local path: this task already owns a version of this line (it
+        // is Active Dirty, per the paper's FSM) AND no later task can have
+        // copied it. The VOL pointer is exactly that local knowledge: a
+        // non-null pointer means a successor copy or version exists, so
+        // the store must be re-communicated on the bus or a successor
+        // that read this line would keep stale data silently. (The
+        // paper's FSM keeps Active-Dirty stores local unconditionally and
+        // does not discuss this hazard; see DESIGN.md "Errata &
+        // clarifications".) A sub-block the task has not touched can be
+        // claimed locally only if the store covers it entirely or its
+        // words are already valid.
+        if let Some(r) = self.caches[pu.index()].find(line) {
+            let l = self.caches[pu.index()].slot(r);
+            let covers = self.config.geometry.words_per_subblock() == 1 || l.valid.contains(j);
+            if !l.committed && !l.store.is_empty() && l.next.is_none() && covers {
+                let wide = self.config.geometry.words_per_subblock() > 1;
+                let l = self.caches[pu.index()].slot_mut(r);
+                l.data[off] = value;
+                l.valid.set(j);
+                l.store.set(j);
+                if wide {
+                    l.load.set(j); // partial-coverage dependence (§5.6)
+                }
+                self.caches[pu.index()].touch(r);
+                self.stats.local_hits += 1;
+                return Ok(StoreOutcome {
+                    done_at: now + self.config.timing.hit_cycles,
+                    violation: None,
+                });
+            }
+            // X-bit silent store (Figure 16): the line is the only cached
+            // copy anywhere, so no later task can have loaded it — no
+            // violation is possible and no invalidation is needed. A
+            // passive line's committed store data is pushed to the
+            // writeback buffer first so the architectural version is not
+            // lost if this task squashes.
+            if l.exclusive && !l.stale && l.next.is_none() && covers {
+                let committed = l.committed;
+                let flush_mask = l.store;
+                if committed && !flush_mask.is_empty() {
+                    self.flush_to_memory(pu, line, flush_mask, now);
+                }
+                let wide = self.config.geometry.words_per_subblock() > 1;
+                let l = self.caches[pu.index()].slot_mut(r);
+                if committed {
+                    l.committed = false;
+                    l.load = SubMask::EMPTY;
+                    l.store = SubMask::EMPTY;
+                }
+                l.data[off] = value;
+                l.valid.set(j);
+                l.store.set(j);
+                if wide {
+                    l.load.set(j); // partial-coverage dependence (§5.6)
+                }
+                l.arch = false;
+                self.caches[pu.index()].touch(r);
+                self.stats.local_hits += 1;
+                return Ok(StoreOutcome {
+                    done_at: now + self.config.timing.hit_cycles,
+                    violation: None,
+                });
+            }
+        }
+
+        // Miss: BusWrite with the store mask (§3.7).
+        let (slot, evict_done) = self.ensure_resident(pu, line, now)?;
+        let l = self.caches[pu.index()].slot(slot);
+        let fresh = l.line != Some(line) || l.committed || l.valid.is_empty();
+        let store_mask = SubMask::single(j);
+        let have = if fresh { SubMask::EMPTY } else { l.valid };
+        // Write-allocate: fetch sub-blocks we do not hold. The stored
+        // sub-block itself needs a fetch only if it is wider than the one
+        // word this store writes.
+        let mut fill_mask = SubMask::all(g.subblocks_per_line()).minus(have);
+        if g.words_per_subblock() == 1 {
+            fill_mask = fill_mask.minus(store_mask);
+        }
+        let snaps = self.snapshots(line);
+        let plan = self.vcl.plan_write(&snaps, pu, task, store_mask, fill_mask);
+        let extra = if plan.flush.is_empty() {
+            0
+        } else {
+            self.config.timing.commit_flush_extra
+        };
+        let t = self.config.timing;
+        let mshr = self.mshrs[pu.index()].begin_miss(line, evict_done, t.bus_txn_cycles);
+        let violation = self.apply_write_plan(&plan, pu, line, slot, j, off, value, fresh, now);
+        let done_at = if mshr.combined {
+            // An outstanding transaction to this line carries the store's
+            // mask as well; no separate bus transaction.
+            mshr.data_ready
+        } else {
+            self.bus.transact(evict_done + mshr.stalled, extra).done
+        };
+        Ok(StoreOutcome { done_at, violation })
+    }
+
+    fn commit(&mut self, pu: PuId, now: Cycle) -> Cycle {
+        let done = if self.config.lazy_commit {
+            // EC (§3.4): flash-set the C bit; writebacks happen lazily.
+            for l in self.caches[pu.index()].iter_mut() {
+                if l.is_valid() {
+                    l.committed = true;
+                    l.load = SubMask::EMPTY;
+                }
+            }
+            now + 1
+        } else {
+            // Base (§3.2.4): write back every dirty line immediately and
+            // invalidate the cache — the commit-serialization bottleneck.
+            let lines: Vec<LineId> = self.caches[pu.index()]
+                .iter()
+                .filter(|l| l.is_valid() && !l.store.is_empty())
+                .map(|l| l.line.expect("valid line has a tag"))
+                .collect();
+            let mut done = now + 1;
+            for line in lines {
+                let mask = {
+                    let r = self.caches[pu.index()].find(line).expect("listed");
+                    self.caches[pu.index()].slot(r).store
+                };
+                let grant = self.bus.transact(done, 0);
+                self.flush_to_memory(pu, line, mask, done);
+                done = grant.done;
+            }
+            for l in self.caches[pu.index()].iter_mut() {
+                l.invalidate();
+            }
+            done
+        };
+        self.assignments.release(pu);
+        done
+    }
+
+    fn squash(&mut self, pu: PuId) {
+        let lazy = self.config.lazy_commit;
+        let arch_bit = self.config.arch_bit;
+        let mut invalidated = 0;
+        let mut retained = 0;
+        for l in self.caches[pu.index()].iter_mut() {
+            if !l.is_valid() {
+                continue;
+            }
+            if lazy && l.committed {
+                continue; // committed state survives squashes
+            }
+            if arch_bit && l.arch && l.store.is_empty() {
+                // §3.5.1: architectural copies survive; they become
+                // passive-clean so the next task re-validates via C.
+                l.committed = true;
+                l.load = SubMask::EMPTY;
+                retained += 1;
+            } else {
+                l.invalidate();
+                invalidated += 1;
+            }
+        }
+        self.stats.squash_invalidations += invalidated;
+        self.stats.squash_retained += retained;
+        self.assignments.release(pu);
+    }
+
+    fn drain(&mut self) {
+        // Push every committed version to memory, most recent committed
+        // winner per sub-block, in VOL order.
+        let mut lines: Vec<LineId> = Vec::new();
+        for cache in &self.caches {
+            for l in cache.iter() {
+                if l.is_valid() && l.committed && !l.store.is_empty() {
+                    let id = l.line.expect("valid line has a tag");
+                    if !lines.contains(&id) {
+                        lines.push(id);
+                    }
+                }
+            }
+        }
+        for line in lines {
+            let snaps = self.snapshots(line);
+            let vol = order_vol(&snaps);
+            let committed: Vec<&LineSnapshot> = vol
+                .iter()
+                .map(|&q| snaps.iter().find(|s| s.pu == q).expect("member"))
+                .filter(|s| s.committed)
+                .collect();
+            let subblocks = self.config.geometry.subblocks_per_line();
+            let mut flushes: Vec<(PuId, SubMask)> = Vec::new();
+            for j in 0..subblocks {
+                if let Some(s) = committed.iter().rev().find(|s| s.store.contains(j)) {
+                    match flushes.iter_mut().find(|(q, _)| *q == s.pu) {
+                        Some((_, m)) => m.set(j),
+                        None => flushes.push((s.pu, SubMask::single(j))),
+                    }
+                }
+            }
+            for (q, mask) in flushes {
+                self.flush_to_memory(q, line, mask, Cycle::ZERO);
+                if let Some(r) = self.caches[q.index()].find(line) {
+                    let l = self.caches[q.index()].slot_mut(r);
+                    l.store = l.store.minus(mask);
+                }
+            }
+        }
+    }
+
+    fn architectural(&self, addr: Addr) -> Word {
+        self.backing.peek(addr)
+    }
+
+    fn stats(&self) -> MemStats {
+        let mut s = self.stats;
+        s.bus_transactions = self.bus.transactions();
+        s.bus_busy_cycles = self.bus.busy_cycles();
+        let (l2_hits, l2_misses, _) = self.backing.l2_stats();
+        s.l2_hits = l2_hits;
+        s.l2_misses = l2_misses;
+        s
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+        self.bus.reset_stats();
+        self.backing.reset_stats();
+    }
+}

@@ -1,0 +1,184 @@
+//! Version Ordering List reconstruction.
+//!
+//! The VOL of a line is the program-order list of its copies and versions
+//! (paper §2.3). It is stored distributed, as one pointer per line; on each
+//! bus request the VCL reassembles it from the snooped snapshots. Squashes
+//! invalidate the (uncommitted) tail of the list and may leave a dangling
+//! pointer in the last surviving entry (§3.5, Figure 17); reconstruction
+//! here simply ignores pointers to caches that no longer hold the line,
+//! which *is* the repair — the system rewrites all pointers from the
+//! reconstructed order when it applies the plan.
+
+use svc_types::PuId;
+
+use crate::snapshot::LineSnapshot;
+
+/// Reconstructs the VOL (oldest first) from the snooped line snapshots.
+///
+/// The order is: all *committed* copies/versions first, in their stored
+/// pointer-chain order (their creating tasks are gone, so the chain is the
+/// only record of their relative age); then all *uncommitted* lines,
+/// ordered by the task currently on their PU — valid because an
+/// uncommitted line always belongs to its PU's current task.
+///
+/// Invalid snapshots are skipped. Dangling pointers (to PUs whose line was
+/// squash-invalidated) are ignored.
+///
+/// # Panics
+///
+/// Panics if an uncommitted valid line sits on a PU with no assigned task
+/// (a system invariant violation).
+pub fn order_vol(snapshots: &[LineSnapshot]) -> Vec<PuId> {
+    let members: Vec<&LineSnapshot> = snapshots.iter().filter(|s| s.is_valid()).collect();
+
+    // --- Committed prefix: follow the pointer chain. ---
+    let committed: Vec<&LineSnapshot> = members.iter().copied().filter(|s| s.committed).collect();
+    let mut chain: Vec<PuId> = Vec::with_capacity(committed.len());
+    if !committed.is_empty() {
+        let is_committed_member = |pu: PuId| committed.iter().any(|s| s.pu == pu);
+        // Heads: committed members not pointed to by any other committed
+        // member.
+        let mut heads: Vec<&LineSnapshot> = committed
+            .iter()
+            .copied()
+            .filter(|s| {
+                !committed
+                    .iter()
+                    .any(|o| o.pu != s.pu && o.next == Some(s.pu))
+            })
+            .collect();
+        // Normally exactly one head; multiple fragments can only arise
+        // from repaired state. Process heads deterministically by PU index.
+        heads.sort_by_key(|s| s.pu.index());
+        let mut visited = vec![false; snapshots.len()];
+        let lookup = |pu: PuId| committed.iter().copied().find(|s| s.pu == pu);
+        for head in heads {
+            let mut cur = Some(head.pu);
+            while let Some(pu) = cur {
+                if !is_committed_member(pu) {
+                    break; // pointer leads out of the committed set
+                }
+                let idx = members
+                    .iter()
+                    .position(|s| s.pu == pu)
+                    .expect("committed member is a member");
+                if visited[idx] {
+                    break; // cycle protection (corrupt state)
+                }
+                visited[idx] = true;
+                chain.push(pu);
+                cur = lookup(pu).and_then(|s| s.next);
+            }
+        }
+        // Any committed member the chains missed (fully corrupt pointers):
+        // append deterministically.
+        for s in &committed {
+            if !chain.contains(&s.pu) {
+                chain.push(s.pu);
+            }
+        }
+    }
+
+    // --- Uncommitted suffix: order by current task. ---
+    let mut uncommitted: Vec<&LineSnapshot> =
+        members.iter().copied().filter(|s| !s.committed).collect();
+    uncommitted.sort_by_key(|s| s.ordering_task().expect("uncommitted lines have tasks"));
+    chain.extend(uncommitted.iter().map(|s| s.pu));
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use svc_types::TaskId;
+
+    use super::*;
+    use crate::mask::SubMask;
+
+    fn snap(pu: usize, task: Option<u64>, committed: bool, next: Option<usize>) -> LineSnapshot {
+        LineSnapshot {
+            pu: PuId(pu),
+            task: task.map(TaskId),
+            valid: SubMask::all(1),
+            store: SubMask::EMPTY,
+            load: SubMask::EMPTY,
+            committed,
+            stale: false,
+            arch: false,
+            next: next.map(PuId),
+        }
+    }
+
+    fn invalid(pu: usize) -> LineSnapshot {
+        LineSnapshot {
+            valid: SubMask::EMPTY,
+            ..snap(pu, None, false, None)
+        }
+    }
+
+    #[test]
+    fn uncommitted_sorted_by_task() {
+        // Paper Figure 8: X/0, Z/1, W/2 (requestor), Y/3 — all uncommitted.
+        let snaps = vec![
+            snap(0, Some(0), false, Some(2)), // X/0 -> Z
+            snap(1, Some(3), false, None),    // Y/3
+            snap(2, Some(1), false, Some(1)), // Z/1 -> Y
+            invalid(3),                       // W: no copy yet
+        ];
+        assert_eq!(order_vol(&snaps), vec![PuId(0), PuId(2), PuId(1)]);
+    }
+
+    #[test]
+    fn committed_prefix_uses_pointer_chain() {
+        // Paper Figure 12: X holds committed version 0, Z holds committed
+        // version 1 (X -> Z), while X and Z now run tasks 5 and 4. Y/3 is
+        // uncommitted. Chain order must be X, Z (creation order), NOT the
+        // current-task order (which would put Z/4 before X/5).
+        let snaps = vec![
+            snap(0, Some(5), true, Some(2)), // X: committed v0 -> Z
+            snap(1, Some(3), false, None),   // Y/3: uncommitted v3
+            snap(2, Some(4), true, Some(1)), // Z: committed v1 -> Y
+            invalid(3),
+        ];
+        assert_eq!(order_vol(&snaps), vec![PuId(0), PuId(2), PuId(1)]);
+    }
+
+    #[test]
+    fn dangling_pointer_after_squash_is_repaired() {
+        // Paper Figure 17: versions 0 (committed, X), 1 (Z), 3 (Y). Tasks 3
+        // and 4 squash; Y's line is invalidated, leaving Z's pointer
+        // dangling. Reconstruction must yield X, Z.
+        let snaps = vec![
+            snap(0, None, true, Some(2)),     // X: committed v0 -> Z
+            invalid(1),                       // Y: squashed
+            snap(2, Some(1), false, Some(1)), // Z/1 -> Y (dangling)
+            snap(3, Some(2), false, None),    // W/2 has a copy
+        ];
+        assert_eq!(order_vol(&snaps), vec![PuId(0), PuId(2), PuId(3)]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(order_vol(&[]).is_empty());
+        assert!(order_vol(&[invalid(0), invalid(1)]).is_empty());
+        let one = vec![snap(2, Some(9), false, None)];
+        assert_eq!(order_vol(&one), vec![PuId(2)]);
+    }
+
+    #[test]
+    fn corrupt_committed_cycle_terminates() {
+        // Two committed lines pointing at each other must not loop forever.
+        let snaps = vec![snap(0, None, true, Some(1)), snap(1, None, true, Some(0))];
+        let vol = order_vol(&snaps);
+        assert_eq!(vol.len(), 2);
+        assert!(vol.contains(&PuId(0)) && vol.contains(&PuId(1)));
+    }
+
+    #[test]
+    fn committed_always_precede_uncommitted() {
+        let snaps = vec![
+            snap(0, Some(9), false, None),  // uncommitted, young task
+            snap(1, Some(10), true, None),  // committed on PU running task 10
+        ];
+        assert_eq!(order_vol(&snaps), vec![PuId(1), PuId(0)]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Differential testing: every SVC design, run in lockstep against the
+//! `IdealMemory` oracle on randomized speculative task workloads, must
+//! return the same value for every load, detect the same memory-dependence
+//! violations, and commit the same architectural memory image (DESIGN.md
+//! invariants 1 and 5). The driver lives in `svc::conformance`.
+
+use svc::conformance::{run_lockstep, Op, Workload};
+use svc::{SvcConfig, SvcSystem};
+use svc_sim::rng::Xoshiro256;
+use svc_types::{Addr, Word};
+
+/// Word-granularity configs (sub-block = 1 word), where violation
+/// detection is exact and must match the oracle bit for bit.
+fn configs_exact() -> Vec<SvcConfig> {
+    vec![
+        SvcConfig::base(4),
+        SvcConfig::ec(4),
+        SvcConfig::ecs(4),
+        SvcConfig::hr(4),
+    ]
+}
+
+#[test]
+fn differential_small_hot_set() {
+    // Tiny address space: maximal version conflicts and violations.
+    let mut total_squashes = 0;
+    for seed in 0..30 {
+        let wl = Workload::random(seed, 24, 8, 4);
+        for cfg in configs_exact() {
+            total_squashes += run_lockstep(&wl, SvcSystem::new(cfg), seed);
+        }
+    }
+    assert!(
+        total_squashes > 50,
+        "the hot-set workload should exercise squashes (got {total_squashes})"
+    );
+}
+
+#[test]
+fn differential_medium_address_space() {
+    for seed in 100..120 {
+        let wl = Workload::random(seed, 40, 128, 4);
+        for cfg in configs_exact() {
+            run_lockstep(&wl, SvcSystem::new(cfg), seed);
+        }
+    }
+}
+
+#[test]
+fn differential_multiword_lines() {
+    // rl()/final_design() use 4-word lines with 1-word versioning blocks:
+    // violation detection stays exact while line-granularity transfer,
+    // write-allocate fills, snarfing and hybrid update are all exercised.
+    for seed in 200..215 {
+        let wl = Workload::random(seed, 32, 64, 4);
+        for cfg in [SvcConfig::rl(4), SvcConfig::final_design(4)] {
+            run_lockstep(&wl, SvcSystem::new(cfg), seed);
+        }
+    }
+}
+
+#[test]
+fn differential_two_pus_and_eight_pus() {
+    for seed in 300..310 {
+        for pus in [2usize, 8] {
+            let wl = Workload::random(seed, 30, 32, pus);
+            run_lockstep(&wl, SvcSystem::new(SvcConfig::ecs(pus)), seed);
+            run_lockstep(&wl, SvcSystem::new(SvcConfig::final_design(pus)), seed);
+        }
+    }
+}
+
+#[test]
+fn differential_store_heavy() {
+    // Store-heavy traffic stresses the committed-winner writeback logic.
+    for seed in 400..410 {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let tasks: Vec<Vec<Op>> = (0..24)
+            .map(|t| {
+                (0..6)
+                    .map(|i| Op::Store(Addr(rng.gen_range(0..16)), Word((t << 8) + i + 1)))
+                    .collect()
+            })
+            .collect();
+        let wl = Workload { tasks, num_pus: 4 };
+        for cfg in configs_exact() {
+            run_lockstep(&wl, SvcSystem::new(cfg), seed);
+        }
+    }
+}
+
+#[test]
+fn differential_tiny_cache_forces_replacements() {
+    // A tiny cache maximizes evictions and replacement stalls.
+    for seed in 500..510 {
+        let wl = Workload::random(seed, 24, 64, 4);
+        let mut cfg = SvcConfig::ecs(4);
+        cfg.geometry = svc_mem::CacheGeometry::word_lines(4, 2);
+        run_lockstep(&wl, SvcSystem::new(cfg), seed);
+        let mut cfg = SvcConfig::final_design(4);
+        cfg.geometry = svc_mem::CacheGeometry::new(2, 2, 4, 1);
+        run_lockstep(&wl, SvcSystem::new(cfg), seed);
+    }
+}

@@ -1,0 +1,252 @@
+//! Focused tests for the protocol clarifications documented in DESIGN.md
+//! §5 ("Errata & clarifications") — the cases where the paper's text
+//! under-specifies the protocol and a naive reading loses correctness.
+
+use svc::{LineState, SvcConfig, SvcSystem};
+use svc_types::{Addr, Cycle, DataSource, PuId, TaskId, VersionedMemory, Word};
+
+const A: Addr = Addr(64);
+
+fn svc_with_tasks(cfg: SvcConfig, n: usize) -> SvcSystem {
+    let mut svc = SvcSystem::new(cfg);
+    for i in 0..n {
+        svc.assign(PuId(i), TaskId(i as u64));
+    }
+    svc
+}
+
+// ---- Erratum 1: the repeat-store hazard --------------------------------
+
+#[test]
+fn repeat_store_after_copy_is_recommunicated() {
+    // Task 0 stores; task 1 loads the version (copy, L set); task 0
+    // stores AGAIN. A naive Active-Dirty local store would leave task 1
+    // holding the first value silently; the VOL pointer forces a BusWrite
+    // that detects the violation.
+    let mut svc = svc_with_tasks(SvcConfig::base(4), 2);
+    svc.store(PuId(0), A, Word(1), Cycle(0)).unwrap();
+    let out = svc.load(PuId(1), A, Cycle(5)).unwrap();
+    assert_eq!(out.value, Word(1));
+    let st = svc.store(PuId(0), A, Word(2), Cycle(10)).unwrap();
+    let v = st.violation.expect("task 1 consumed a value that changed");
+    assert_eq!(v.victim, TaskId(1));
+    // Replay gets the final value.
+    svc.squash(PuId(1));
+    svc.assign(PuId(1), TaskId(1));
+    assert_eq!(svc.load(PuId(1), A, Cycle(20)).unwrap().value, Word(2));
+}
+
+#[test]
+fn repeat_store_without_copies_stays_local() {
+    // No one copied the version: the second store must NOT pay a bus
+    // transaction (this is what keeps store-rich tasks off the bus).
+    let mut svc = svc_with_tasks(SvcConfig::base(4), 2);
+    svc.store(PuId(0), A, Word(1), Cycle(0)).unwrap();
+    let t0 = svc.stats().bus_transactions;
+    let st = svc.store(PuId(0), A, Word(2), Cycle(10)).unwrap();
+    assert!(st.violation.is_none());
+    assert_eq!(svc.stats().bus_transactions, t0, "local overwrite");
+    assert_eq!(st.done_at, Cycle(11), "one-cycle hit");
+}
+
+#[test]
+fn repeat_store_to_other_word_of_owned_line_is_local() {
+    // Multi-word line: the task owns the line dirty with no successors;
+    // a store to a different word of the line is also local.
+    let mut svc = svc_with_tasks(SvcConfig::rl(4), 2);
+    svc.store(PuId(0), Addr(64), Word(1), Cycle(0)).unwrap();
+    let t0 = svc.stats().bus_transactions;
+    svc.store(PuId(0), Addr(65), Word(2), Cycle(10)).unwrap();
+    assert_eq!(svc.stats().bus_transactions, t0);
+    assert_eq!(svc.peek_word(PuId(0), Addr(65)), Some(Word(2)));
+}
+
+// ---- Erratum 2: the X (exclusive) bit ----------------------------------
+
+#[test]
+fn exclusive_store_to_own_passive_line_is_silent_and_safe() {
+    // Task 0 stores and commits; nobody else touches the line. The next
+    // task on the same PU stores to it with no bus transaction, and the
+    // committed value is preserved (pushed to memory) in case of a squash.
+    let mut svc = svc_with_tasks(SvcConfig::final_design(4), 1);
+    svc.store(PuId(0), A, Word(1), Cycle(0)).unwrap();
+    svc.commit(PuId(0), Cycle(5));
+    svc.assign(PuId(0), TaskId(1));
+    let t0 = svc.stats().bus_transactions;
+    let st = svc.store(PuId(0), A, Word(2), Cycle(10)).unwrap();
+    assert!(st.violation.is_none());
+    assert_eq!(svc.stats().bus_transactions, t0, "X-bit silent store");
+    assert_eq!(st.done_at, Cycle(11));
+    // Squash the new task: the architectural value must survive.
+    svc.squash(PuId(0));
+    assert_eq!(svc.architectural(A), Word(1), "committed version flushed first");
+    // Replay commits the new value.
+    svc.assign(PuId(0), TaskId(1));
+    svc.store(PuId(0), A, Word(2), Cycle(20)).unwrap();
+    svc.commit(PuId(0), Cycle(30));
+    svc.drain();
+    assert_eq!(svc.architectural(A), Word(2));
+}
+
+#[test]
+fn exclusivity_is_lost_when_another_cache_copies() {
+    let mut svc = svc_with_tasks(SvcConfig::final_design(4), 2);
+    svc.store(PuId(0), A, Word(1), Cycle(0)).unwrap();
+    svc.load(PuId(1), A, Cycle(5)).unwrap(); // copy clears exclusivity
+    svc.commit(PuId(0), Cycle(8));
+    svc.assign(PuId(0), TaskId(2));
+    let t0 = svc.stats().bus_transactions;
+    // PU0's line is no longer exclusive: the store must hit the bus so
+    // PU1's copy is handled.
+    svc.store(PuId(0), A, Word(9), Cycle(10)).unwrap();
+    assert!(svc.stats().bus_transactions > t0, "BusWrite required");
+}
+
+#[test]
+fn exclusive_store_never_misses_a_violation() {
+    // The dangerous shape: task 1 loads the line, then task 0 stores. If
+    // task 0's line were wrongly marked exclusive the violation would be
+    // lost. The load's BusRead clears PU0's exclusivity, so the store
+    // goes to the bus and squashes task 1.
+    let mut svc = svc_with_tasks(SvcConfig::final_design(4), 2);
+    svc.store(PuId(0), A, Word(1), Cycle(0)).unwrap(); // exclusive version
+    svc.load(PuId(1), A, Cycle(5)).unwrap(); // task 1 consumes speculatively
+    let st = svc.store(PuId(0), A, Word(2), Cycle(10)).unwrap();
+    assert_eq!(st.violation.unwrap().victim, TaskId(1));
+}
+
+// ---- Erratum 3/4: stale committed copies -------------------------------
+
+#[test]
+fn stale_committed_copy_never_supplies_a_load() {
+    // PU0 copies the architectural value of A (0). Task 1 creates and
+    // commits version 1, which is flushed to memory by task 2's load.
+    // PU0's old copy is still cached but stale: a later task's load must
+    // NOT be supplied from it.
+    let mut svc = svc_with_tasks(SvcConfig::ec(4), 3);
+    svc.load(PuId(0), A, Cycle(0)).unwrap(); // copy of architectural 0
+    svc.store(PuId(1), A, Word(1), Cycle(5)).unwrap();
+    svc.commit(PuId(0), Cycle(8));
+    svc.commit(PuId(1), Cycle(9));
+    let out = svc.load(PuId(2), A, Cycle(12)).unwrap();
+    assert_eq!(out.value, Word(1), "flushes committed winner");
+    svc.commit(PuId(2), Cycle(15));
+    // New task on PU3 loads: PU0 still caches the stale 0-copy; the load
+    // must get 1 (from PU2's copy or memory), never 0.
+    svc.assign(PuId(3), TaskId(3));
+    let out = svc.load(PuId(3), A, Cycle(20)).unwrap();
+    assert_eq!(out.value, Word(1));
+    // And PU0's own next task must also refetch, not reuse.
+    svc.assign(PuId(0), TaskId(4));
+    let out = svc.load(PuId(0), A, Cycle(25)).unwrap();
+    assert_ne!(out.source, DataSource::LocalHit, "stale copy not reused");
+    assert_eq!(out.value, Word(1));
+}
+
+// ---- Erratum 6: per-sub-block committed winners -------------------------
+
+#[test]
+fn different_committed_lines_win_different_subblocks() {
+    // Task 0 stores word 0; task 1 stores word 1 of the same line. Both
+    // commit. The architectural line must combine both stores regardless
+    // of which cache's line gets flushed first.
+    let mut svc = svc_with_tasks(SvcConfig::rl(4), 3);
+    svc.store(PuId(0), Addr(64), Word(10), Cycle(0)).unwrap();
+    svc.store(PuId(1), Addr(65), Word(20), Cycle(2)).unwrap();
+    svc.commit(PuId(0), Cycle(5));
+    svc.commit(PuId(1), Cycle(6));
+    // A later task reads both words (one bus access fills the line).
+    let w0 = svc.load(PuId(2), Addr(64), Cycle(10)).unwrap().value;
+    let w1 = svc.load(PuId(2), Addr(65), Cycle(11)).unwrap().value;
+    assert_eq!((w0, w1), (Word(10), Word(20)));
+    svc.commit(PuId(2), Cycle(20));
+    svc.drain();
+    assert_eq!(svc.architectural(Addr(64)), Word(10));
+    assert_eq!(svc.architectural(Addr(65)), Word(20));
+}
+
+#[test]
+fn superseding_store_purges_older_committed_subblock_without_writeback() {
+    // Word 0 committed by task 0, then re-stored and committed by task 1:
+    // only task 1's value may ever reach memory.
+    let mut svc = svc_with_tasks(SvcConfig::rl(4), 3);
+    svc.store(PuId(0), Addr(64), Word(1), Cycle(0)).unwrap();
+    svc.store(PuId(1), Addr(64), Word(2), Cycle(2)).unwrap();
+    svc.commit(PuId(0), Cycle(5));
+    svc.commit(PuId(1), Cycle(6));
+    let out = svc.load(PuId(2), Addr(64), Cycle(10)).unwrap();
+    assert_eq!(out.value, Word(2));
+    assert_eq!(
+        svc.architectural(Addr(64)),
+        Word(2),
+        "older committed version purged, never written back over the winner"
+    );
+    let stats = svc.stats();
+    assert!(stats.purged_versions >= 1, "version 1 was superseded");
+}
+
+// ---- Replacement discipline ---------------------------------------------
+
+#[test]
+fn eviction_of_passive_dirty_respects_winner_order() {
+    // Fill a tiny cache so a passive-dirty line is evicted; a younger
+    // committed version of the same sub-block elsewhere must still win.
+    let mut cfg = SvcConfig::small_for_tests(2);
+    cfg.snarfing = false;
+    let mut svc = SvcSystem::new(cfg);
+    svc.assign(PuId(0), TaskId(0));
+    svc.assign(PuId(1), TaskId(1));
+    // Both tasks store the same word; commit both: PU1 holds the winner.
+    svc.store(PuId(0), Addr(0), Word(1), Cycle(0)).unwrap();
+    svc.store(PuId(1), Addr(0), Word(2), Cycle(1)).unwrap();
+    svc.commit(PuId(0), Cycle(5));
+    svc.commit(PuId(1), Cycle(6));
+    // Force PU0 to evict its (superseded) passive-dirty line: lines 0, 4,
+    // 8 map to set 0 in the 4-set geometry.
+    svc.assign(PuId(0), TaskId(2));
+    svc.store(PuId(0), Addr(16), Word(7), Cycle(10)).unwrap();
+    svc.store(PuId(0), Addr(32), Word(8), Cycle(11)).unwrap();
+    svc.store(PuId(0), Addr(48), Word(9), Cycle(12)).unwrap();
+    // Memory must never see the superseded value 1 as the final word.
+    svc.assign(PuId(1), TaskId(3));
+    let out = svc.load(PuId(1), Addr(0), Cycle(20)).unwrap();
+    assert_eq!(out.value, Word(2), "winner survives PU0's eviction");
+}
+
+#[test]
+fn base_design_commit_is_a_writeback_burst() {
+    // Quantify erratum-adjacent behaviour: the base design's commit cost
+    // scales with dirty lines; EC's does not (paper §3.2.6 / §3.4).
+    for n in [4u64, 16, 32] {
+        let mut base = SvcSystem::new(SvcConfig::base(1));
+        let mut ec = SvcSystem::new(SvcConfig::ec(1));
+        for svc in [&mut base, &mut ec] {
+            svc.assign(PuId(0), TaskId(0));
+            for i in 0..n {
+                svc.store(PuId(0), Addr(i * 4), Word(i), Cycle(i * 20)).unwrap();
+            }
+        }
+        let base_cost = base.commit(PuId(0), Cycle(10_000)) - Cycle(10_000);
+        let ec_cost = ec.commit(PuId(0), Cycle(10_000)) - Cycle(10_000);
+        assert_eq!(ec_cost, 1);
+        assert!(base_cost >= n, "burst of {n} writebacks took {base_cost}");
+    }
+}
+
+#[test]
+fn committed_state_survives_squash_in_every_lazy_design() {
+    for cfg in [SvcConfig::ec(2), SvcConfig::ecs(2), SvcConfig::final_design(2)] {
+        let mut svc = SvcSystem::new(cfg);
+        svc.assign(PuId(0), TaskId(0));
+        svc.store(PuId(0), A, Word(5), Cycle(0)).unwrap();
+        svc.commit(PuId(0), Cycle(5));
+        svc.assign(PuId(0), TaskId(1));
+        svc.store(PuId(0), Addr(128), Word(6), Cycle(10)).unwrap();
+        svc.squash(PuId(0));
+        // The committed version of A is untouched; task 1's store is gone.
+        assert_ne!(svc.line_state(PuId(0), A), LineState::Invalid);
+        svc.drain();
+        assert_eq!(svc.architectural(A), Word(5));
+        assert_eq!(svc.architectural(Addr(128)), Word::ZERO);
+    }
+}

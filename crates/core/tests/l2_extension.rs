@@ -1,0 +1,80 @@
+//! Tests for the optional shared-L2 extension (beyond the paper's flat
+//! next level; see DESIGN.md and the `l2` ablation).
+
+use svc::conformance::{run_lockstep, Workload};
+use svc::{SvcConfig, SvcSystem};
+use svc_mem::{CacheGeometry, L2Config};
+use svc_types::{Addr, Cycle, DataSource, PuId, TaskId, VersionedMemory, Word};
+
+fn with_l2(mut cfg: SvcConfig) -> SvcConfig {
+    cfg.l2 = Some(L2Config::typical());
+    cfg
+}
+
+#[test]
+fn l2_conforms_to_the_oracle() {
+    for seed in 900..912 {
+        let wl = Workload::random(seed, 24, 32, 4);
+        run_lockstep(&wl, SvcSystem::new(with_l2(SvcConfig::final_design(4))), seed);
+        run_lockstep(&wl, SvcSystem::new(with_l2(SvcConfig::ecs(4))), seed);
+    }
+}
+
+#[test]
+fn l2_absorbs_repeat_misses() {
+    // A line is fetched, evicted from the small L1, and refetched: the
+    // second fill must be an L2 hit (cheaper than memory).
+    let mut cfg = with_l2(SvcConfig::final_design(1));
+    cfg.geometry = CacheGeometry::new(1, 1, 4, 1); // one-line L1
+    cfg.snarfing = false;
+    let mut svc = SvcSystem::new(cfg);
+    svc.assign(PuId(0), TaskId(0));
+    let a = svc.load(PuId(0), Addr(0), Cycle(0)).unwrap();
+    assert_eq!(a.source, DataSource::NextLevel);
+    let cold = a.done_at.since(Cycle(0));
+    svc.load(PuId(0), Addr(64), Cycle(100)).unwrap(); // evicts line 0
+    let b = svc.load(PuId(0), Addr(0), Cycle(200)).unwrap();
+    assert_eq!(b.source, DataSource::NextLevel);
+    let warm = b.done_at.since(Cycle(200));
+    assert!(
+        warm < cold,
+        "L2 hit ({warm} cycles) must be cheaper than memory ({cold} cycles)"
+    );
+    let stats = svc.stats();
+    assert!(stats.l2_hits >= 1, "second fill hit the L2");
+    assert!(stats.l2_misses >= 1, "first fill missed it");
+}
+
+#[test]
+fn without_l2_repeat_misses_cost_the_same() {
+    let mut cfg = SvcConfig::final_design(1);
+    cfg.geometry = CacheGeometry::new(1, 1, 4, 1);
+    cfg.snarfing = false;
+    let mut svc = SvcSystem::new(cfg);
+    svc.assign(PuId(0), TaskId(0));
+    let a = svc.load(PuId(0), Addr(0), Cycle(0)).unwrap();
+    svc.load(PuId(0), Addr(64), Cycle(100)).unwrap();
+    let b = svc.load(PuId(0), Addr(0), Cycle(200)).unwrap();
+    assert_eq!(
+        a.done_at.since(Cycle(0)),
+        b.done_at.since(Cycle(200)),
+        "flat next level: constant penalty"
+    );
+    assert_eq!(svc.stats().l2_hits, 0);
+}
+
+#[test]
+fn committed_writebacks_are_visible_through_the_l2() {
+    // Write, commit, drain; then make sure the architectural value reads
+    // back even though the L2 may cache (and dirty) the line.
+    let mut svc = SvcSystem::new(with_l2(SvcConfig::final_design(2)));
+    svc.assign(PuId(0), TaskId(0));
+    svc.assign(PuId(1), TaskId(1));
+    svc.store(PuId(0), Addr(8), Word(5), Cycle(0)).unwrap();
+    svc.commit(PuId(0), Cycle(5));
+    let out = svc.load(PuId(1), Addr(8), Cycle(10)).unwrap();
+    assert_eq!(out.value, Word(5));
+    svc.commit(PuId(1), Cycle(20));
+    svc.drain();
+    assert_eq!(svc.architectural(Addr(8)), Word(5));
+}

@@ -1,0 +1,203 @@
+//! Tests for the optional protocol knobs: §3.8.1's retain-flushed
+//! optimization and the hybrid protocol's update limit.
+
+use svc::conformance::{run_lockstep, Workload};
+use svc::{LineState, SvcConfig, SvcSystem};
+use svc_types::{Addr, Cycle, DataSource, PuId, TaskId, VersionedMemory, Word};
+
+#[test]
+fn retain_flushed_keeps_flushed_line_as_architectural_copy() {
+    let mut on = SvcConfig::ecs(4);
+    on.retain_flushed = true;
+    let mut svc = SvcSystem::new(on);
+    let a = Addr(64);
+    svc.assign(PuId(0), TaskId(0));
+    svc.assign(PuId(1), TaskId(1));
+    svc.store(PuId(0), a, Word(7), Cycle(0)).unwrap();
+    svc.commit(PuId(0), Cycle(5));
+    assert_eq!(svc.line_state(PuId(0), a), LineState::PassiveDirty);
+
+    // Task 1's load flushes the committed winner; with retain_flushed the
+    // line survives as a passive-clean architectural copy.
+    let out = svc.load(PuId(1), a, Cycle(10)).unwrap();
+    assert_eq!(out.value, Word(7));
+    assert_eq!(svc.line_state(PuId(0), a), LineState::PassiveClean);
+
+    // ...so a later task on PU0 can reuse it locally (T bit unset: no
+    // newer version exists).
+    svc.assign(PuId(0), TaskId(2));
+    let out = svc.load(PuId(0), a, Cycle(20)).unwrap();
+    assert_eq!(out.source, DataSource::LocalHit, "retained copy reused");
+    assert_eq!(out.value, Word(7));
+}
+
+#[test]
+fn without_retain_flushed_the_line_is_purged() {
+    let mut svc = SvcSystem::new(SvcConfig::ecs(4));
+    let a = Addr(64);
+    svc.assign(PuId(0), TaskId(0));
+    svc.assign(PuId(1), TaskId(1));
+    svc.store(PuId(0), a, Word(7), Cycle(0)).unwrap();
+    svc.commit(PuId(0), Cycle(5));
+    svc.load(PuId(1), a, Cycle(10)).unwrap();
+    assert_eq!(
+        svc.line_state(PuId(0), a),
+        LineState::Invalid,
+        "final-design rule: passive dirty invalidates on bus requests"
+    );
+}
+
+#[test]
+fn update_limit_bounds_hybrid_updates() {
+    // Consumers load word 1 of a 4-word line; the producer stores word 0.
+    // No violation (different versioning blocks), so the copies are
+    // hybrid-update candidates: with updates enabled PU1's copy receives
+    // the new word 0 in place; with update_limit 0 it loses that word.
+    let mut cfg = SvcConfig::final_design(4);
+    cfg.update_limit = 0; // degenerate hybrid: behaves like invalidate
+    cfg.snarfing = false;
+    let mut inv = SvcSystem::new(cfg);
+    let mut cfg2 = cfg;
+    cfg2.update_limit = usize::MAX;
+    let mut upd = SvcSystem::new(cfg2);
+    for svc in [&mut inv, &mut upd] {
+        for i in 0..3 {
+            svc.assign(PuId(i), TaskId(i as u64));
+        }
+        svc.load(PuId(1), Addr(65), Cycle(0)).unwrap();
+        svc.load(PuId(2), Addr(65), Cycle(1)).unwrap();
+        let st = svc.store(PuId(0), Addr(64), Word(9), Cycle(5)).unwrap();
+        assert!(st.violation.is_none(), "different sub-blocks");
+    }
+    assert_eq!(upd.peek_word(PuId(1), Addr(64)), Some(Word(9)), "updated in place");
+    assert_eq!(inv.peek_word(PuId(1), Addr(64)), None, "invalidated");
+    // An intermediate limit updates exactly one copy.
+    let mut cfg1 = cfg;
+    cfg1.update_limit = 1;
+    let mut one = SvcSystem::new(cfg1);
+    for i in 0..3 {
+        one.assign(PuId(i), TaskId(i as u64));
+    }
+    one.load(PuId(1), Addr(65), Cycle(0)).unwrap();
+    one.load(PuId(2), Addr(65), Cycle(1)).unwrap();
+    one.store(PuId(0), Addr(64), Word(9), Cycle(5)).unwrap();
+    let updated = [PuId(1), PuId(2)]
+        .into_iter()
+        .filter(|&q| one.peek_word(q, Addr(64)) == Some(Word(9)))
+        .count();
+    assert_eq!(updated, 1, "exactly one copy updated under limit 1");
+}
+
+#[test]
+fn retain_flushed_conforms_to_the_oracle() {
+    for seed in 700..712 {
+        let wl = Workload::random(seed, 24, 16, 4);
+        let mut cfg = SvcConfig::final_design(4);
+        cfg.retain_flushed = true;
+        run_lockstep(&wl, SvcSystem::new(cfg), seed);
+        let mut cfg = SvcConfig::ecs(4);
+        cfg.retain_flushed = true;
+        run_lockstep(&wl, SvcSystem::new(cfg), seed);
+    }
+}
+
+#[test]
+fn update_limit_conforms_to_the_oracle() {
+    for seed in 800..812 {
+        let wl = Workload::random(seed, 24, 16, 4);
+        for limit in [0usize, 1, 2] {
+            let mut cfg = SvcConfig::final_design(4);
+            cfg.update_limit = limit;
+            run_lockstep(&wl, SvcSystem::new(cfg), seed);
+        }
+    }
+}
+
+#[test]
+fn kitchen_sink_conforms_to_the_oracle() {
+    // Every optional mechanism at once, on a deliberately tiny geometry:
+    // multi-word lines, L2, retain-flushed, bounded hybrid updates,
+    // snarfing — plus replacement pressure. Versioning blocks stay
+    // one-word so violation detection is exact (wider blocks add
+    // false-sharing squashes the word-exact oracle cannot model).
+    for seed in 1000..1015 {
+        let wl = Workload::random(seed, 28, 40, 4);
+        let mut cfg = SvcConfig::final_design(4);
+        cfg.geometry = svc_mem::CacheGeometry::new(4, 2, 4, 1);
+        cfg.l2 = Some(svc_mem::L2Config::typical());
+        cfg.retain_flushed = true;
+        cfg.update_limit = 1;
+        run_lockstep(&wl, SvcSystem::new(cfg), seed);
+    }
+}
+
+#[test]
+fn kitchen_sink_full_engine_matches_ideal() {
+    use svc::IdealMemory;
+    use svc_multiscalar::{Engine, EngineConfig, PredictorModel, TaskSource};
+
+    let profile = {
+        let mut p = svc_workloads::WorkloadProfile::demo();
+        p.num_tasks = 300;
+        p.mispredict_rate = 0.05;
+        p
+    };
+    let wl = svc_workloads::SyntheticWorkload::new(profile, 21);
+    let engine_cfg = EngineConfig {
+        predictor: PredictorModel {
+            accuracy: 0.95,
+            detect_cycles: 10,
+            seed: 21,
+        },
+        seed: 21,
+        garbage_addr_space: 128,
+        ..EngineConfig::default()
+    };
+    let mut cfg = SvcConfig::final_design(4);
+    cfg.l2 = Some(svc_mem::L2Config::typical());
+    cfg.retain_flushed = true;
+    cfg.update_limit = 2;
+
+    let mut svc_engine = Engine::new(engine_cfg, SvcSystem::new(cfg));
+    svc_engine.run(&wl);
+    let mut svc_mem_sys = svc_engine.into_memory();
+    svc_mem_sys.drain();
+
+    let mut ideal_engine = Engine::new(engine_cfg, IdealMemory::new(4, 1));
+    ideal_engine.run(&wl);
+    let mut ideal = ideal_engine.into_memory();
+    ideal.drain();
+
+    // Compare the full touched address set.
+    let mut id = 0;
+    while let Some(task) = wl.task(TaskId(id)) {
+        for ins in task {
+            if let svc_multiscalar::Instr::Store(a, _) = ins {
+                assert_eq!(
+                    svc_mem_sys.architectural(a),
+                    ideal.architectural(a),
+                    "kitchen-sink divergence at {a}"
+                );
+            }
+        }
+        id += 1;
+    }
+}
+
+#[test]
+fn coarse_versioning_blocks_never_miss_violations() {
+    // 2-word versioning blocks (true RL semantics): extra false-sharing
+    // squashes are allowed; missed violations or wrong values are not.
+    use svc::conformance::run_lockstep_coarse;
+    for seed in 1100..1115 {
+        let wl = Workload::random(seed, 28, 40, 4);
+        let mut cfg = SvcConfig::final_design(4);
+        cfg.geometry = svc_mem::CacheGeometry::new(8, 2, 4, 2);
+        run_lockstep_coarse(&wl, SvcSystem::new(cfg), seed);
+        // Even whole-line L/S bits (the pre-RL strawman) must only ever
+        // over-squash.
+        let mut cfg = SvcConfig::final_design(4);
+        cfg.geometry = svc_mem::CacheGeometry::new(8, 2, 4, 4);
+        run_lockstep_coarse(&wl, SvcSystem::new(cfg), seed);
+    }
+}

@@ -1,0 +1,390 @@
+//! End-to-end walk-throughs of the paper's figures and the running example
+//! program of Figure 7, executed on the real `SvcSystem`.
+//!
+//! The example program (all to address A):
+//!   task 0: store 0      task 3: store 3
+//!   task 1: store 1      task 5: store 5
+//!   task 2: load         task 6: load
+//! (values follow the paper's convention: task i stores the value i).
+
+use svc::{LineState, SvcConfig, SvcSystem};
+use svc_types::{Addr, Cycle, DataSource, PuId, TaskId, VersionedMemory, Word};
+
+const A: Addr = Addr(64);
+// The paper's PU designators.
+const X: PuId = PuId(0);
+const Y: PuId = PuId(1);
+const Z: PuId = PuId(2);
+const W: PuId = PuId(3);
+
+fn word_line_svc(cfg: SvcConfig) -> SvcSystem {
+    SvcSystem::new(cfg)
+}
+
+/// Sets up the Figure 8/9 allocation: X/0, Z/1, W/2, Y/3.
+fn assign_fig8(svc: &mut SvcSystem) {
+    svc.assign(X, TaskId(0));
+    svc.assign(Z, TaskId(1));
+    svc.assign(W, TaskId(2));
+    svc.assign(Y, TaskId(3));
+}
+
+#[test]
+fn figure8_load_supplied_by_task1_version() {
+    let mut svc = word_line_svc(SvcConfig::base(4));
+    assign_fig8(&mut svc);
+    // Stores by tasks 0, 3, 1 execute (out of order), as in the snapshot.
+    svc.store(X, A, Word(0), Cycle(0)).unwrap();
+    svc.store(Y, A, Word(3), Cycle(10)).unwrap();
+    svc.store(Z, A, Word(1), Cycle(20)).unwrap();
+    // W (task 2) loads: must see version 1, via a cache-to-cache transfer.
+    let out = svc.load(W, A, Cycle(30)).unwrap();
+    assert_eq!(out.value, Word(1));
+    assert_eq!(out.source, DataSource::Transfer);
+    // VOL is X/0, Z/1, W/2, Y/3 as in the figure.
+    assert_eq!(svc.vol_of(A), vec![X, Z, W, Y]);
+}
+
+#[test]
+fn figure9_stores_and_violation() {
+    let mut svc = word_line_svc(SvcConfig::base(4));
+    assign_fig8(&mut svc);
+    svc.store(X, A, Word(0), Cycle(0)).unwrap();
+    // Task 2 loads early (sees version 0) — a use before definition.
+    let out = svc.load(W, A, Cycle(10)).unwrap();
+    assert_eq!(out.value, Word(0));
+    // Task 3 stores: most recent task, no invalidations, no squash.
+    let st = svc.store(Y, A, Word(3), Cycle(20)).unwrap();
+    assert!(st.violation.is_none());
+    // Task 1 stores: task 2's load was incorrect -> violation, victim 2.
+    let st = svc.store(Z, A, Word(1), Cycle(30)).unwrap();
+    let v = st.violation.expect("task 2 loaded a stale version");
+    assert_eq!(v.victim, TaskId(2));
+    // The engine squashes tasks 2 and 3 (simple squash model).
+    svc.squash(W);
+    svc.squash(Y);
+    assert_eq!(svc.line_state(W, A), LineState::Invalid);
+    // Replay: task 2 now loads version 1.
+    svc.assign(W, TaskId(2));
+    svc.assign(Y, TaskId(3));
+    let out = svc.load(W, A, Cycle(40)).unwrap();
+    assert_eq!(out.value, Word(1));
+}
+
+#[test]
+fn full_example_program_commits_value_5() {
+    // Runs the whole Figure 7 program in order on the final design and
+    // checks sequential semantics: A ends with task 5's value.
+    let mut svc = word_line_svc(SvcConfig::final_design(4));
+    assign_fig8(&mut svc);
+    svc.store(X, A, Word(0), Cycle(0)).unwrap();
+    svc.store(Z, A, Word(1), Cycle(5)).unwrap();
+    let out = svc.load(W, A, Cycle(10)).unwrap();
+    assert_eq!(out.value, Word(1), "task 2 reads version 1");
+    svc.store(Y, A, Word(3), Cycle(15)).unwrap();
+
+    // Commit tasks 0..3 in order; PUs are recycled for tasks 4..7.
+    svc.commit(X, Cycle(20));
+    svc.commit(Z, Cycle(21));
+    svc.commit(W, Cycle(22));
+    svc.commit(Y, Cycle(23));
+    svc.assign(Z, TaskId(4));
+    svc.assign(X, TaskId(5));
+    svc.assign(W, TaskId(6));
+    svc.assign(Y, TaskId(7));
+
+    // Task 5 stores 5; task 6 loads and must see 5.
+    svc.store(X, A, Word(5), Cycle(30)).unwrap();
+    let out = svc.load(W, A, Cycle(40)).unwrap();
+    assert_eq!(out.value, Word(5), "task 6 reads version 5");
+
+    svc.commit(Z, Cycle(50));
+    svc.commit(X, Cycle(51));
+    svc.commit(W, Cycle(52));
+    svc.commit(Y, Cycle(53));
+    svc.drain();
+    assert_eq!(svc.architectural(A), Word(5));
+}
+
+#[test]
+fn figure12_committed_version_supplies_later_load() {
+    // EC design: tasks 0 and 1 store and commit; task 2's load must get
+    // committed version 1 (flushed to memory on the way).
+    let mut svc = word_line_svc(SvcConfig::ec(4));
+    assign_fig8(&mut svc);
+    svc.store(X, A, Word(0), Cycle(0)).unwrap();
+    svc.store(Z, A, Word(1), Cycle(5)).unwrap();
+    svc.store(Y, A, Word(3), Cycle(10)).unwrap();
+    svc.commit(X, Cycle(20)); // one-cycle commits: C flash-set
+    svc.commit(Z, Cycle(21));
+    assert_eq!(svc.line_state(X, A), LineState::PassiveDirty);
+    assert_eq!(svc.line_state(Z, A), LineState::PassiveDirty);
+
+    let out = svc.load(W, A, Cycle(30)).unwrap();
+    assert_eq!(out.value, Word(1), "most recent committed version");
+    // Version 1 is now in memory; version 0 was purged without writeback.
+    assert_eq!(svc.architectural(A), Word(1));
+    let stats = svc.stats();
+    assert_eq!(stats.writebacks, 1, "only the winner is written back");
+    assert_eq!(stats.purged_versions, 1, "version 0 purged");
+}
+
+#[test]
+fn ec_commit_is_one_cycle_base_commit_is_not() {
+    let addrs: Vec<Addr> = (0..16).map(|i| Addr(i * 4)).collect();
+    let run = |cfg: SvcConfig| {
+        let mut svc = word_line_svc(cfg);
+        svc.assign(X, TaskId(0));
+        for (i, &a) in addrs.iter().enumerate() {
+            svc.store(X, a, Word(i as u64), Cycle(i as u64 * 10)).unwrap();
+        }
+        svc.commit(X, Cycle(1000)) - Cycle(1000)
+    };
+    let base_cost = run(SvcConfig::base(4));
+    let ec_cost = run(SvcConfig::ec(4));
+    assert_eq!(ec_cost, 1, "EC commit: flash-set the C bit");
+    assert!(
+        base_cost > 16,
+        "base commit writes back 16 dirty lines serially (took {base_cost})"
+    );
+}
+
+#[test]
+fn stale_bit_allows_local_reuse_of_read_only_data() {
+    // Read-only data: task 0 loads A (from memory), commits. The next task
+    // on the same PU loads A again: with the T bit this is a local hit.
+    let mut svc = word_line_svc(SvcConfig::ec(4));
+    svc.assign(X, TaskId(0));
+    let out = svc.load(X, A, Cycle(0)).unwrap();
+    assert_eq!(out.source, DataSource::NextLevel);
+    svc.commit(X, Cycle(10));
+    svc.assign(X, TaskId(1));
+    let out = svc.load(X, A, Cycle(20)).unwrap();
+    assert_eq!(
+        out.source,
+        DataSource::LocalHit,
+        "non-stale passive-clean copy is reused by resetting C"
+    );
+    assert_eq!(out.done_at, Cycle(21));
+}
+
+#[test]
+fn figure15_stale_copy_is_not_reused() {
+    // Second time line of Figure 14/15: task 3 creates version 3, making
+    // W's copy of version 1 stale; after commits, task 6 on W must issue a
+    // bus request instead of reusing the stale copy.
+    let mut svc = word_line_svc(SvcConfig::ec(4));
+    assign_fig8(&mut svc);
+    svc.store(X, A, Word(0), Cycle(0)).unwrap();
+    svc.store(Z, A, Word(1), Cycle(5)).unwrap();
+    let out = svc.load(W, A, Cycle(10)).unwrap();
+    assert_eq!(out.value, Word(1)); // W copies version 1
+    svc.store(Y, A, Word(3), Cycle(15)).unwrap(); // version 3: W now stale
+    svc.commit(X, Cycle(20));
+    svc.commit(Z, Cycle(21));
+    svc.commit(W, Cycle(22));
+    svc.commit(Y, Cycle(23));
+    svc.assign(W, TaskId(6));
+    let out = svc.load(W, A, Cycle(30)).unwrap();
+    assert_ne!(out.source, DataSource::LocalHit, "stale copy: bus request");
+    assert_eq!(out.value, Word(3), "the correct (most recent) version");
+}
+
+#[test]
+fn figure15_not_stale_copy_is_reused() {
+    // First time line of Figure 14/15: without the version-3 store, W's
+    // copy of version 1 stays the most recent version; task 6 reuses it.
+    let mut svc = word_line_svc(SvcConfig::ec(4));
+    assign_fig8(&mut svc);
+    svc.store(X, A, Word(0), Cycle(0)).unwrap();
+    svc.store(Z, A, Word(1), Cycle(5)).unwrap();
+    let out = svc.load(W, A, Cycle(10)).unwrap();
+    assert_eq!(out.value, Word(1));
+    svc.commit(X, Cycle(20));
+    svc.commit(Z, Cycle(21));
+    svc.commit(W, Cycle(22));
+    svc.commit(Y, Cycle(23));
+    svc.assign(W, TaskId(6));
+    let out = svc.load(W, A, Cycle(30)).unwrap();
+    assert_eq!(out.source, DataSource::LocalHit, "copy is not stale");
+    assert_eq!(out.value, Word(1));
+}
+
+#[test]
+fn figure17_vol_repair_after_squash() {
+    // Versions 0 (committed), 1, 3; tasks 3+ squash; task 2's load must
+    // still find version 1 after the VOL is repaired.
+    let mut svc = word_line_svc(SvcConfig::ecs(4));
+    assign_fig8(&mut svc);
+    svc.store(X, A, Word(0), Cycle(0)).unwrap();
+    svc.store(Z, A, Word(1), Cycle(5)).unwrap();
+    svc.store(Y, A, Word(3), Cycle(10)).unwrap();
+    svc.commit(X, Cycle(15));
+    svc.assign(X, TaskId(4));
+    // Tasks 3 and 4 squash (e.g. a task misprediction).
+    svc.squash(Y);
+    svc.squash(X);
+    assert_eq!(svc.line_state(Y, A), LineState::Invalid);
+    // Task 2 loads: dangling pointer (Z -> Y) is repaired; version 1 wins.
+    let out = svc.load(W, A, Cycle(20)).unwrap();
+    assert_eq!(out.value, Word(1));
+    assert_eq!(svc.vol_of(A), vec![Z, W]);
+    // The committed version 0 was the only committed one: flushed.
+    assert_eq!(svc.architectural(A), Word(0));
+}
+
+#[test]
+fn architectural_bit_preserves_read_only_data_across_squashes() {
+    // ECS: task 1 loads architectural data; a squash of task 1 keeps the
+    // line (A bit), so the restarted task hits locally.
+    let mut svc = word_line_svc(SvcConfig::ecs(4));
+    svc.assign(X, TaskId(0));
+    svc.assign(Z, TaskId(1));
+    svc.load(Z, A, Cycle(0)).unwrap(); // from memory: architectural
+    svc.squash(Z);
+    svc.assign(Z, TaskId(1));
+    let out = svc.load(Z, A, Cycle(10)).unwrap();
+    assert_eq!(out.source, DataSource::LocalHit, "A-bit retention");
+    let stats = svc.stats();
+    assert_eq!(stats.squash_retained, 1);
+    assert_eq!(stats.squash_invalidations, 0);
+}
+
+#[test]
+fn ec_design_without_arch_bit_loses_data_on_squash() {
+    let mut svc = word_line_svc(SvcConfig::ec(4));
+    svc.assign(Z, TaskId(1));
+    svc.load(Z, A, Cycle(0)).unwrap();
+    svc.squash(Z);
+    svc.assign(Z, TaskId(1));
+    let out = svc.load(Z, A, Cycle(10)).unwrap();
+    assert_ne!(out.source, DataSource::LocalHit, "no A bit: cold restart");
+}
+
+#[test]
+fn snarfing_spreads_read_only_fills() {
+    // HR design: Z and W run tasks; Z loads a line from memory, and W
+    // (same correct version) snarfs it; W's later load hits locally.
+    let mut svc = word_line_svc(SvcConfig::hr(4));
+    svc.assign(Z, TaskId(1));
+    svc.assign(W, TaskId(2));
+    svc.load(Z, A, Cycle(0)).unwrap();
+    assert_eq!(svc.stats().snarfs, 1, "W snarfed the fill");
+    let out = svc.load(W, A, Cycle(10)).unwrap();
+    assert_eq!(out.source, DataSource::LocalHit);
+    assert_eq!(out.value, Word::ZERO);
+}
+
+#[test]
+fn false_sharing_does_not_squash_with_subblocks() {
+    // RL design: 4-word lines, word sub-blocks. Task 2 loads word 1; task
+    // 1 stores word 0 of the same line. No violation.
+    let mut svc = word_line_svc(SvcConfig::rl(4));
+    svc.assign(Z, TaskId(1));
+    svc.assign(W, TaskId(2));
+    let line_base = Addr(64);
+    svc.load(W, line_base + 1, Cycle(0)).unwrap();
+    let st = svc.store(Z, line_base, Word(9), Cycle(10)).unwrap();
+    assert!(st.violation.is_none(), "different words of the same line");
+    // True sharing still squashes.
+    let st = svc.store(Z, line_base + 1, Word(7), Cycle(20)).unwrap();
+    assert_eq!(st.violation.unwrap().victim, TaskId(2));
+}
+
+#[test]
+fn hybrid_update_forwards_store_to_consumer_copy() {
+    // Final design: W holds a copy (no exposed load on word 0); Z stores
+    // word 0. With hybrid update W's copy receives the new value, and W's
+    // later load of word 0 hits locally with the updated data.
+    let mut svc = word_line_svc(SvcConfig::final_design(4));
+    svc.assign(Z, TaskId(1));
+    svc.assign(W, TaskId(2));
+    let line_base = Addr(64);
+    svc.load(W, line_base + 1, Cycle(0)).unwrap(); // copy, L on word 1 only
+    let st = svc.store(Z, line_base, Word(9), Cycle(10)).unwrap();
+    assert!(st.violation.is_none());
+    let out = svc.load(W, line_base, Cycle(20)).unwrap();
+    assert_eq!(out.source, DataSource::LocalHit, "copy was updated in place");
+    assert_eq!(out.value, Word(9));
+}
+
+#[test]
+fn writeback_order_is_preserved_for_committed_versions() {
+    // Two committed versions exist; a later store purges them; memory must
+    // hold the most recent committed version, never the older one.
+    let mut svc = word_line_svc(SvcConfig::ec(4));
+    assign_fig8(&mut svc);
+    svc.store(X, A, Word(0), Cycle(0)).unwrap();
+    svc.store(Z, A, Word(1), Cycle(5)).unwrap();
+    svc.commit(X, Cycle(10));
+    svc.commit(Z, Cycle(11));
+    svc.assign(X, TaskId(5));
+    svc.store(X, A, Word(5), Cycle(20)).unwrap();
+    assert_eq!(svc.architectural(A), Word(1), "winner flushed before purge");
+    svc.commit(W, Cycle(30));
+    svc.commit(Y, Cycle(31));
+    svc.commit(X, Cycle(32));
+    svc.drain();
+    assert_eq!(svc.architectural(A), Word(5));
+}
+
+#[test]
+fn speculative_cache_stalls_instead_of_evicting_versioning_state() {
+    // Fill one set of a tiny cache with active lines from a speculative
+    // (non-head) task, then force a conflict miss: the access must report
+    // a replacement stall, not silently drop state.
+    let mut cfg = SvcConfig::small_for_tests(2); // 4 sets, 2 ways, 4-word lines
+    cfg.snarfing = false;
+    let mut svc = SvcSystem::new(cfg);
+    svc.assign(X, TaskId(0)); // head
+    svc.assign(Y, TaskId(1)); // speculative
+    // Lines 0, 4, 8 map to set 0 (4 sets). Fill both ways with stores.
+    svc.store(Y, Addr(0), Word(1), Cycle(0)).unwrap();
+    svc.store(Y, Addr(16), Word(2), Cycle(10)).unwrap();
+    let err = svc.store(Y, Addr(32), Word(3), Cycle(20)).unwrap_err();
+    assert!(matches!(
+        err,
+        svc_types::AccessError::ReplacementStall { .. }
+    ));
+    // The head task can do the same thing freely.
+    svc.store(X, Addr(0), Word(1), Cycle(30)).unwrap();
+    svc.store(X, Addr(16), Word(2), Cycle(40)).unwrap();
+    svc.store(X, Addr(32), Word(3), Cycle(50)).unwrap();
+}
+
+#[test]
+fn head_eviction_of_dirty_line_reaches_memory() {
+    let mut cfg = SvcConfig::small_for_tests(2);
+    cfg.snarfing = false;
+    let mut svc = SvcSystem::new(cfg);
+    svc.assign(X, TaskId(0)); // head
+    svc.store(X, Addr(0), Word(11), Cycle(0)).unwrap();
+    svc.store(X, Addr(16), Word(22), Cycle(10)).unwrap();
+    svc.store(X, Addr(32), Word(33), Cycle(20)).unwrap(); // evicts line 0
+    assert_eq!(
+        svc.architectural(Addr(0)),
+        Word(11),
+        "evicted active-dirty data lands in memory"
+    );
+    // And a later task's load sees it.
+    svc.assign(Y, TaskId(1));
+    let out = svc.load(Y, Addr(0), Cycle(30)).unwrap();
+    assert_eq!(out.value, Word(11));
+}
+
+#[test]
+fn load_miss_counts_follow_paper_definition() {
+    let mut svc = word_line_svc(SvcConfig::ecs(4));
+    svc.assign(X, TaskId(0));
+    svc.assign(Z, TaskId(1));
+    svc.store(X, A, Word(1), Cycle(0)).unwrap(); // miss to memory? store-miss
+    let s0 = svc.stats();
+    let out = svc.load(Z, A, Cycle(10)).unwrap();
+    assert_eq!(out.source, DataSource::Transfer);
+    let s1 = svc.stats();
+    assert_eq!(
+        s1.next_level_fills, s0.next_level_fills,
+        "cache-to-cache transfers are not misses (§4.4)"
+    );
+    assert_eq!(s1.cache_transfers, s0.cache_transfers + 1);
+}

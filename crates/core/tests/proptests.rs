@@ -1,0 +1,203 @@
+//! Property-based tests for the SVC core: DESIGN.md invariants 1–3 under
+//! proptest-generated workloads and schedules, plus algebraic laws of the
+//! small building blocks.
+
+use proptest::prelude::*;
+use svc::conformance::{run_lockstep, Op, Workload};
+use svc::{order_vol, LineSnapshot, SubMask, SvcConfig, SvcSystem};
+use svc_types::{Addr, PuId, TaskId, Word};
+
+// ---------------------------------------------------------------------
+// SubMask algebra
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn submask_algebra(a in any::<u64>(), b in any::<u64>(), i in 0usize..64) {
+        let (ma, mb) = (SubMask(a), SubMask(b));
+        // De Morgan, intersection/difference consistency.
+        prop_assert_eq!((ma | mb).0, a | b);
+        prop_assert_eq!((ma & mb).0, a & b);
+        prop_assert_eq!(ma.minus(mb) | (ma & mb), ma);
+        prop_assert_eq!(ma.intersects(mb), (a & b) != 0);
+        prop_assert_eq!(ma.contains(i), (a >> i) & 1 == 1);
+        prop_assert_eq!(ma.count(), a.count_ones() as usize);
+        // iter() enumerates exactly the set bits.
+        let bits: Vec<usize> = ma.iter().collect();
+        prop_assert_eq!(bits.len(), ma.count());
+        for &j in &bits {
+            prop_assert!(ma.contains(j));
+        }
+        // set/clear round-trip.
+        let mut m = ma;
+        m.set(i);
+        prop_assert!(m.contains(i));
+        m.clear(i);
+        prop_assert!(!m.contains(i));
+    }
+}
+
+// ---------------------------------------------------------------------
+// VOL reconstruction (DESIGN.md invariant 2)
+// ---------------------------------------------------------------------
+
+/// Random snapshots: a subset of 4 PUs hold the line, committed or not,
+/// with arbitrary (possibly dangling) pointers.
+fn snapshots_strategy() -> impl Strategy<Value = Vec<LineSnapshot>> {
+    proptest::collection::vec(
+        (any::<bool>(), any::<bool>(), 0u64..16, proptest::option::of(0usize..4)),
+        4,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (valid, committed, task, next))| LineSnapshot {
+                pu: PuId(i),
+                task: Some(TaskId(task * 4 + i as u64)), // unique per PU
+                valid: if valid { SubMask::all(1) } else { SubMask::EMPTY },
+                store: SubMask::EMPTY,
+                load: SubMask::EMPTY,
+                committed,
+                stale: false,
+                arch: false,
+                next: next.map(PuId),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// order_vol always returns a permutation of the valid members, with
+    /// every committed member before every uncommitted member, and the
+    /// uncommitted suffix sorted by task — for ANY pointer contents
+    /// (including dangling pointers and cycles).
+    #[test]
+    fn order_vol_is_total_and_stable(snaps in snapshots_strategy()) {
+        let vol = order_vol(&snaps);
+        let valid: Vec<PuId> = snaps.iter().filter(|s| s.is_valid()).map(|s| s.pu).collect();
+        prop_assert_eq!(vol.len(), valid.len());
+        for pu in &valid {
+            prop_assert!(vol.contains(pu));
+        }
+        let member = |pu: PuId| snaps.iter().find(|s| s.pu == pu).expect("member");
+        // Committed prefix property.
+        let first_uncommitted = vol.iter().position(|&q| !member(q).committed);
+        if let Some(k) = first_uncommitted {
+            for &q in &vol[k..] {
+                prop_assert!(!member(q).committed, "no committed after an uncommitted");
+            }
+            // Uncommitted suffix sorted by task.
+            let tasks: Vec<TaskId> = vol[k..].iter().map(|&q| member(q).task.expect("set")).collect();
+            let mut sorted = tasks.clone();
+            sorted.sort();
+            prop_assert_eq!(tasks, sorted);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full-system differential properties (invariants 1 and 5)
+// ---------------------------------------------------------------------
+
+/// Strategy for a small speculative workload.
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (
+        proptest::collection::vec(
+            proptest::collection::vec((0u64..24, 0u64..1000, any::<bool>()), 1..7),
+            2..24,
+        ),
+        2usize..5,
+    )
+        .prop_map(|(raw, num_pus)| Workload {
+            tasks: raw
+                .into_iter()
+                .enumerate()
+                .map(|(t, ops)| {
+                    ops.into_iter()
+                        .enumerate()
+                        .map(|(k, (addr, _, is_store))| {
+                            if is_store {
+                                Op::Store(Addr(addr), Word(((t as u64) << 16) | (k as u64 + 1)))
+                            } else {
+                                Op::Load(Addr(addr))
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+            num_pus,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every SVC design agrees with the oracle on every load value, every
+    /// violation victim, and the final architectural memory, for
+    /// arbitrary workloads and schedules.
+    #[test]
+    fn svc_matches_oracle(wl in workload_strategy(), seed in 0u64..1_000_000) {
+        let n = wl.num_pus;
+        for cfg in [SvcConfig::base(n), SvcConfig::ecs(n), SvcConfig::final_design(n)] {
+            run_lockstep(&wl, SvcSystem::new(cfg), seed);
+        }
+    }
+
+    /// Sequential-semantics check without the oracle: running the tasks
+    /// through the engine-less lockstep must leave memory identical to a
+    /// serial interpretation of the task sequence.
+    #[test]
+    fn final_memory_is_serial(wl in workload_strategy(), seed in 0u64..1_000_000) {
+        // Serial model.
+        let mut serial = std::collections::HashMap::new();
+        for task in &wl.tasks {
+            for op in task {
+                if let Op::Store(a, v) = op {
+                    serial.insert(*a, *v);
+                }
+            }
+        }
+        // run_lockstep already asserts DUT == oracle; the oracle's final
+        // memory must equal the serial model too.
+        let mut svc = SvcSystem::new(SvcConfig::final_design(wl.num_pus));
+        run_lockstep(&wl, svc.clone(), seed);
+        // Run again retaining the system to inspect memory.
+        use svc_types::VersionedMemory;
+        run_lockstep(&wl, SvcSystem::new(SvcConfig::final_design(wl.num_pus)), seed);
+        // Drive the serial schedule directly through one PU to cross-check.
+        let mut now = svc_types::Cycle(0);
+        for (t, task) in wl.tasks.iter().enumerate() {
+            svc.assign(PuId(0), TaskId(t as u64));
+            for op in task {
+                now += 1;
+                match *op {
+                    Op::Load(a) => {
+                        let out = loop {
+                            match svc.load(PuId(0), a, now) {
+                                Ok(out) => break out,
+                                Err(_) => now += 1,
+                            }
+                        };
+                        let _ = out;
+                    }
+                    Op::Store(a, v) => {
+                        loop {
+                            match svc.store(PuId(0), a, v, now) {
+                                Ok(st) => {
+                                    prop_assert!(st.violation.is_none(), "serial run cannot violate");
+                                    break;
+                                }
+                                Err(_) => now += 1,
+                            }
+                        }
+                    }
+                }
+            }
+            now = svc.commit(PuId(0), now).max(now);
+        }
+        svc.drain();
+        for (a, v) in serial {
+            prop_assert_eq!(svc.architectural(a), v, "serial SVC at {}", a);
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! The centralized load/store-queue baseline.
+//!
+//! Paper §1: "Most modern microprocessors dispatch instructions from a
+//! single instruction stream, and issue load and store instructions from a
+//! common set of hardware buffers ... the hardware maintains a
+//! time-ordering of loads and stores via simple queue mechanisms, coupled
+//! with address comparison logic. The presence of store queues provides a
+//! simple form of speculative versioning. However ... load-store queues
+//! are not designed to support speculative versioning in hierarchical
+//! organizations."
+//!
+//! [`LsqMemory`] generalizes that mechanism to the task model so it can be
+//! compared head-to-head with the ARB and the SVC: one *centralized*
+//! store queue holds every uncommitted store (ordered by task, then by
+//! arrival); loads associatively search it for the youngest older store
+//! (store-to-load forwarding) and are recorded in a load queue for
+//! violation detection; commits retire the head task's stores, in order,
+//! to a backing cache. Like the ARB it is a shared structure — every
+//! access pays its port latency — and unlike the ARB its *capacity* is
+//! the number of buffered stores, not tracked addresses, so store-rich
+//! speculation fills it quickly. Those two costs are precisely the
+//! paper's motivation for the SVC.
+//!
+//! # Example
+//!
+//! ```
+//! use svc_lsq::{LsqConfig, LsqMemory};
+//! use svc_types::{Addr, Cycle, PuId, TaskId, VersionedMemory, Word};
+//!
+//! let mut lsq = LsqMemory::new(LsqConfig::default());
+//! lsq.assign(PuId(0), TaskId(0));
+//! lsq.assign(PuId(1), TaskId(1));
+//! lsq.store(PuId(0), Addr(4), Word(9), Cycle(0))?;
+//! let out = lsq.load(PuId(1), Addr(4), Cycle(1))?;
+//! assert_eq!(out.value, Word(9)); // forwarded from the store queue
+//! # Ok::<(), svc_types::AccessError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use svc_mem::{CacheArray, CacheGeometry, Slot};
+use svc_types::{
+    AccessError, Addr, Cycle, DataSource, LoadOutcome, MemStats, PuId, StoreOutcome,
+    TaskAssignments, TaskId, VersionedMemory, Violation, Word,
+};
+
+/// Configuration of the [`LsqMemory`] baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsqConfig {
+    /// Number of processing units sharing the queue.
+    pub num_pus: usize,
+    /// Store-queue entries (uncommitted stores buffered). The classic
+    /// scaling limit: a full queue stalls the storing PU.
+    pub store_entries: usize,
+    /// Load-queue entries (speculative loads remembered for violation
+    /// detection).
+    pub load_entries: usize,
+    /// Latency of reaching the shared queue structure (its port), like
+    /// the ARB's hit latency.
+    pub hit_cycles: u64,
+    /// Additional penalty when the backing cache misses to memory.
+    pub memory_cycles: u64,
+    /// Geometry of the backing data cache holding retired state.
+    pub cache_geometry: CacheGeometry,
+}
+
+impl Default for LsqConfig {
+    fn default() -> LsqConfig {
+        LsqConfig {
+            num_pus: 4,
+            store_entries: 64,
+            load_entries: 64,
+            hit_cycles: 1,
+            memory_cycles: 10,
+            // 32KB direct-mapped, 16-byte lines, like the ARB's backing.
+            cache_geometry: CacheGeometry::new(2048, 1, 4, 4),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StoreEntry {
+    task: TaskId,
+    seq: u64, // arrival order, for same-task ordering
+    addr: Addr,
+    value: Word,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoadEntry {
+    task: TaskId,
+    addr: Addr,
+}
+
+/// Tag-only resident line of the backing cache (data lives in `Backing`;
+/// the array models capacity and conflicts for miss accounting).
+#[derive(Debug, Clone, Default)]
+struct ResidentLine {
+    line: Option<svc_types::LineId>,
+}
+
+impl Slot for ResidentLine {
+    fn held_line(&self) -> Option<svc_types::LineId> {
+        self.line
+    }
+}
+
+/// The centralized LSQ memory system. See the crate docs.
+#[derive(Debug, Clone)]
+pub struct LsqMemory {
+    config: LsqConfig,
+    assignments: TaskAssignments,
+    stores: Vec<StoreEntry>,
+    loads: Vec<LoadEntry>,
+    cache: svc_mem::Backing,
+    // Tag array of the backing cache: capacity and conflict behaviour for
+    // miss accounting (the data itself is always consistent in `cache`).
+    resident: CacheArray<ResidentLine>,
+    seq: u64,
+    stats: MemStats,
+}
+
+impl LsqMemory {
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity in `config` is zero.
+    pub fn new(config: LsqConfig) -> LsqMemory {
+        assert!(config.num_pus > 0 && config.store_entries > 0 && config.load_entries > 0);
+        LsqMemory {
+            assignments: TaskAssignments::new(config.num_pus),
+            stores: Vec::new(),
+            loads: Vec::new(),
+            cache: svc_mem::Backing::flat(config.memory_cycles),
+            resident: CacheArray::new(config.cache_geometry),
+            seq: 0,
+            stats: MemStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &LsqConfig {
+        &self.config
+    }
+
+    /// Buffered (uncommitted) stores right now — the occupancy that
+    /// limits speculation depth.
+    pub fn buffered_stores(&self) -> usize {
+        self.stores.len()
+    }
+
+    fn task_of(&self, pu: PuId) -> Result<TaskId, AccessError> {
+        self.assignments.task_of(pu).ok_or(AccessError::NoTask(pu))
+    }
+
+    /// Youngest store older than or equal to `task` for `addr`.
+    fn forward(&self, addr: Addr, task: TaskId) -> Option<Word> {
+        self.stores
+            .iter()
+            .filter(|e| e.addr == addr && !task.is_older_than(e.task))
+            .max_by_key(|e| (e.task, e.seq))
+            .map(|e| e.value)
+    }
+}
+
+impl VersionedMemory for LsqMemory {
+    fn num_pus(&self) -> usize {
+        self.config.num_pus
+    }
+
+    fn assign(&mut self, pu: PuId, task: TaskId) {
+        self.assignments.assign(pu, task);
+    }
+
+    fn load(&mut self, pu: PuId, addr: Addr, now: Cycle) -> Result<LoadOutcome, AccessError> {
+        let task = self.task_of(pu)?;
+        // The head (oldest) task is non-speculative: no older store can
+        // ever violate its loads, so they need no load-queue entry. This
+        // also guarantees the head can always make progress, whatever the
+        // queue occupancy — the liveness property real processors get
+        // from retiring the oldest instructions unconditionally.
+        let is_head = self.assignments.head() == Some(pu);
+        if !is_head && self.loads.len() >= self.config.load_entries {
+            // Retired loads are pruned at commit; a full queue stalls.
+            self.stats.replacement_stalls += 1;
+            return Err(AccessError::Structural("load queue full"));
+        }
+        self.stats.loads += 1;
+        // Record for violation detection unless the task already stored
+        // here (own store shields the load).
+        let own = self
+            .stores
+            .iter()
+            .any(|e| e.addr == addr && e.task == task);
+        if !own && !is_head {
+            self.loads.push(LoadEntry { task, addr });
+        }
+        if let Some(value) = self.forward(addr, task) {
+            self.stats.local_hits += 1;
+            return Ok(LoadOutcome {
+                value,
+                done_at: now + self.config.hit_cycles,
+                source: DataSource::LocalHit,
+            });
+        }
+        // Backing cache, then memory.
+        let value = self.cache.read(addr);
+        let line = self.config.cache_geometry.line_of(addr);
+        if let Some(r) = self.resident.find(line) {
+            self.resident.touch(r);
+            self.stats.local_hits += 1;
+            Ok(LoadOutcome {
+                value,
+                done_at: now + self.config.hit_cycles,
+                source: DataSource::LocalHit,
+            })
+        } else {
+            let r = self.resident.victim_way(line);
+            *self.resident.slot_mut(r) = ResidentLine { line: Some(line) };
+            self.resident.touch(r);
+            self.stats.next_level_fills += 1;
+            Ok(LoadOutcome {
+                value,
+                done_at: now + self.config.hit_cycles + self.config.memory_cycles,
+                source: DataSource::NextLevel,
+            })
+        }
+    }
+
+    fn store(
+        &mut self,
+        pu: PuId,
+        addr: Addr,
+        value: Word,
+        now: Cycle,
+    ) -> Result<StoreOutcome, AccessError> {
+        let task = self.task_of(pu)?;
+        let is_head = self.assignments.head() == Some(pu);
+        if !is_head && self.stores.len() >= self.config.store_entries {
+            self.stats.replacement_stalls += 1;
+            return Err(AccessError::Structural("store queue full"));
+        }
+        self.stats.stores += 1;
+        self.stats.local_hits += 1;
+        if is_head {
+            // Non-speculative store: retire straight to the backing cache
+            // (the head can never squash), keeping the head un-stallable.
+            // Queued stores this task issued to the same address before it
+            // became head are superseded in program order — drop them so
+            // commit cannot replay an older value over this one.
+            self.stores.retain(|e| !(e.task == task && e.addr == addr));
+            self.cache.write(addr, value);
+            let line = self.config.cache_geometry.line_of(addr);
+            if self.resident.find(line).is_none() {
+                let r = self.resident.victim_way(line);
+                *self.resident.slot_mut(r) = ResidentLine { line: Some(line) };
+                self.resident.touch(r);
+            }
+            self.stats.writebacks += 1;
+        } else {
+            self.seq += 1;
+            self.stores.push(StoreEntry {
+                task,
+                seq: self.seq,
+                addr,
+                value,
+            });
+        }
+        // Violation: the oldest younger load to this address without a
+        // shielding store in between.
+        let victim = self
+            .loads
+            .iter()
+            .filter(|l| l.addr == addr && task.is_older_than(l.task))
+            .filter(|l| {
+                !self.stores.iter().any(|s| {
+                    s.addr == addr && task.is_older_than(s.task) && s.task.is_older_than(l.task)
+                })
+            })
+            .map(|l| l.task)
+            .min();
+        if victim.is_some() {
+            self.stats.violations += 1;
+        }
+        Ok(StoreOutcome {
+            done_at: now + self.config.hit_cycles,
+            violation: victim.map(|victim| Violation { victim, addr }),
+        })
+    }
+
+    fn commit(&mut self, pu: PuId, now: Cycle) -> Cycle {
+        let mut done = now + self.config.hit_cycles;
+        if let Some(task) = self.assignments.task_of(pu) {
+            // Retire this task's stores in arrival order: this is the
+            // drain the paper calls out as a commit-time cost for shared
+            // structures — each retiring store is a cache write.
+            let mut retiring: Vec<StoreEntry> = self
+                .stores
+                .iter()
+                .copied()
+                .filter(|e| e.task == task)
+                .collect();
+            retiring.sort_by_key(|e| e.seq);
+            for e in &retiring {
+                self.cache.write(e.addr, e.value);
+                let line = self.config.cache_geometry.line_of(e.addr);
+                if self.resident.find(line).is_none() {
+                    let r = self.resident.victim_way(line);
+                    *self.resident.slot_mut(r) = ResidentLine { line: Some(line) };
+                    self.resident.touch(r);
+                }
+                self.stats.writebacks += 1;
+                done += 1; // one drain slot per store
+            }
+            self.stores.retain(|e| e.task != task);
+            self.loads.retain(|l| l.task != task);
+        }
+        self.assignments.release(pu);
+        done
+    }
+
+    fn squash(&mut self, pu: PuId) {
+        if let Some(task) = self.assignments.task_of(pu) {
+            let before = self.stores.len();
+            self.stores.retain(|e| e.task != task);
+            self.stats.squash_invalidations += (before - self.stores.len()) as u64;
+            self.loads.retain(|l| l.task != task);
+        }
+        self.assignments.release(pu);
+    }
+
+    fn drain(&mut self) {
+        // Committed state already lives in the backing store.
+    }
+
+    fn architectural(&self, addr: Addr) -> Word {
+        self.cache.peek(addr)
+    }
+
+    fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lsq() -> LsqMemory {
+        let mut m = LsqMemory::new(LsqConfig::default());
+        for i in 0..4 {
+            m.assign(PuId(i), TaskId(i as u64));
+        }
+        m
+    }
+
+    #[test]
+    fn forwards_youngest_older_store() {
+        let mut m = lsq();
+        m.store(PuId(0), Addr(4), Word(10), Cycle(0)).unwrap();
+        m.store(PuId(2), Addr(4), Word(30), Cycle(0)).unwrap();
+        assert_eq!(m.load(PuId(1), Addr(4), Cycle(1)).unwrap().value, Word(10));
+        assert_eq!(m.load(PuId(3), Addr(4), Cycle(1)).unwrap().value, Word(30));
+        // Same-task double store: the later one wins.
+        m.store(PuId(0), Addr(4), Word(11), Cycle(2)).unwrap();
+        assert_eq!(m.load(PuId(1), Addr(4), Cycle(3)).unwrap().value, Word(11));
+    }
+
+    #[test]
+    fn detects_violations_with_shielding() {
+        let mut m = lsq();
+        m.load(PuId(2), Addr(8), Cycle(0)).unwrap();
+        let st = m.store(PuId(0), Addr(8), Word(1), Cycle(1)).unwrap();
+        assert_eq!(st.violation.unwrap().victim, TaskId(2));
+        // A version in between shields.
+        let mut m = lsq();
+        m.store(PuId(1), Addr(8), Word(7), Cycle(0)).unwrap();
+        m.load(PuId(2), Addr(8), Cycle(1)).unwrap();
+        let st = m.store(PuId(0), Addr(8), Word(1), Cycle(2)).unwrap();
+        assert!(st.violation.is_none());
+    }
+
+    #[test]
+    fn own_store_shields_own_load() {
+        let mut m = lsq();
+        m.store(PuId(2), Addr(8), Word(9), Cycle(0)).unwrap();
+        assert_eq!(m.load(PuId(2), Addr(8), Cycle(1)).unwrap().value, Word(9));
+        let st = m.store(PuId(0), Addr(8), Word(1), Cycle(2)).unwrap();
+        assert!(st.violation.is_none());
+    }
+
+    #[test]
+    fn capacity_stalls_speculative_tasks() {
+        let cfg = LsqConfig {
+            store_entries: 2,
+            ..LsqConfig::default()
+        };
+        let mut m = LsqMemory::new(cfg);
+        m.assign(PuId(0), TaskId(0)); // head: exempt from capacity
+        m.assign(PuId(1), TaskId(1)); // speculative: bounded
+        m.store(PuId(1), Addr(0), Word(1), Cycle(0)).unwrap();
+        m.store(PuId(1), Addr(4), Word(2), Cycle(0)).unwrap();
+        let e = m.store(PuId(1), Addr(8), Word(3), Cycle(0)).unwrap_err();
+        assert!(matches!(e, AccessError::Structural(_)));
+        assert_eq!(m.buffered_stores(), 2);
+        // The head sails through regardless.
+        m.store(PuId(0), Addr(8), Word(9), Cycle(1)).unwrap();
+    }
+
+    #[test]
+    fn commit_drains_queued_stores_in_order_and_charges_time() {
+        let mut m = lsq();
+        // Task 1 is speculative: its stores queue.
+        m.store(PuId(1), Addr(0), Word(1), Cycle(0)).unwrap();
+        m.store(PuId(1), Addr(0), Word(2), Cycle(1)).unwrap();
+        m.store(PuId(1), Addr(4), Word(3), Cycle(2)).unwrap();
+        assert_eq!(m.buffered_stores(), 3);
+        // Head (task 0) commits cheaply, then task 1's commit drains.
+        m.commit(PuId(0), Cycle(5));
+        let done = m.commit(PuId(1), Cycle(10));
+        assert_eq!(done, Cycle(10) + 1 + 3, "port + one slot per store");
+        assert_eq!(m.architectural(Addr(0)), Word(2), "program order within task");
+        assert_eq!(m.architectural(Addr(4)), Word(3));
+        assert_eq!(m.buffered_stores(), 0);
+    }
+
+    #[test]
+    fn squash_discards_buffered_state() {
+        let mut m = lsq();
+        m.store(PuId(2), Addr(0), Word(9), Cycle(0)).unwrap();
+        m.load(PuId(3), Addr(4), Cycle(0)).unwrap();
+        m.squash(PuId(2));
+        m.squash(PuId(3));
+        m.assign(PuId(2), TaskId(2));
+        assert_eq!(m.load(PuId(2), Addr(0), Cycle(1)).unwrap().value, Word::ZERO);
+        let st = m.store(PuId(0), Addr(4), Word(1), Cycle(2)).unwrap();
+        assert!(st.violation.is_none(), "squashed load forgotten");
+    }
+
+    #[test]
+    fn head_is_never_stalled_by_queue_capacity() {
+        let cfg = LsqConfig {
+            store_entries: 2,
+            load_entries: 2,
+            ..LsqConfig::default()
+        };
+        let mut m = LsqMemory::new(cfg);
+        m.assign(PuId(0), TaskId(0)); // head
+        for i in 0..10u64 {
+            m.store(PuId(0), Addr(i), Word(i + 1), Cycle(i)).unwrap();
+            m.load(PuId(0), Addr(i), Cycle(i)).unwrap();
+        }
+        assert_eq!(m.buffered_stores(), 0, "head stores retire directly");
+        for i in 0..10u64 {
+            assert_eq!(m.architectural(Addr(i)), Word(i + 1));
+        }
+    }
+
+    #[test]
+    fn becoming_head_mid_task_keeps_program_order() {
+        let mut m = LsqMemory::new(LsqConfig::default());
+        m.assign(PuId(0), TaskId(0));
+        m.assign(PuId(1), TaskId(1));
+        // Task 1 stores speculatively (queued)...
+        m.store(PuId(1), Addr(4), Word(1), Cycle(0)).unwrap();
+        // ...task 0 commits, making task 1 the head...
+        m.commit(PuId(0), Cycle(1));
+        // ...and task 1 overwrites the same address (direct).
+        m.store(PuId(1), Addr(4), Word(2), Cycle(2)).unwrap();
+        m.commit(PuId(1), Cycle(3));
+        assert_eq!(
+            m.architectural(Addr(4)),
+            Word(2),
+            "the queued older store must not replay over the newer one"
+        );
+    }
+
+    #[test]
+    fn miss_accounting_uses_line_residency() {
+        let mut m = lsq();
+        let a = m.load(PuId(0), Addr(0), Cycle(0)).unwrap();
+        assert_eq!(a.source, DataSource::NextLevel);
+        let b = m.load(PuId(1), Addr(1), Cycle(1)).unwrap();
+        assert_eq!(b.source, DataSource::LocalHit, "same 4-word line");
+        assert_eq!(m.stats().next_level_fills, 1);
+    }
+}

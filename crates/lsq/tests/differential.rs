@@ -1,0 +1,46 @@
+//! The LSQ baseline must agree with the oracle like every other
+//! `VersionedMemory` (DESIGN.md invariant 5).
+
+use proptest::prelude::*;
+use svc::conformance::{run_lockstep, Workload};
+use svc_lsq::{LsqConfig, LsqMemory};
+
+#[test]
+fn differential_seeded() {
+    for seed in 0..20 {
+        let wl = Workload::random(seed, 24, 16, 4);
+        run_lockstep(&wl, LsqMemory::new(LsqConfig::default()), seed);
+    }
+}
+
+#[test]
+fn differential_tiny_queues() {
+    for seed in 100..110 {
+        let wl = Workload::random(seed, 20, 24, 4);
+        let cfg = LsqConfig {
+            store_entries: 8,
+            load_entries: 8,
+            ..LsqConfig::default()
+        };
+        run_lockstep(&wl, LsqMemory::new(cfg), seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lsq_matches_oracle(
+        seed in 0u64..1_000_000,
+        tasks in 2usize..24,
+        addr_space in 4u64..40,
+        pus in 2usize..5,
+    ) {
+        let wl = Workload::random(seed, tasks, addr_space, pus);
+        let cfg = LsqConfig {
+            num_pus: pus,
+            ..LsqConfig::default()
+        };
+        run_lockstep(&wl, LsqMemory::new(cfg), seed);
+    }
+}

@@ -1,0 +1,239 @@
+//! The backing store behind the L1 level: main memory, optionally fronted
+//! by a shared L2 cache.
+//!
+//! The paper models the next level as a flat 10-cycle penalty (§4.2);
+//! [`Backing`] reproduces exactly that by default, and adds an opt-in
+//! shared L2 (an extension study — see the `l2` ablation) that absorbs
+//! part of the miss traffic at a lower latency. Only *architectural* data
+//! ever lives here; speculative versions stay in the L1 level.
+
+use svc_types::{Addr, LineId, Word};
+
+use crate::{CacheArray, CacheGeometry, MainMemory, Slot};
+
+/// Configuration of the optional shared L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Config {
+    /// Geometry of the L2 (e.g. 256KB, 8-way, 16-byte lines).
+    pub geometry: CacheGeometry,
+    /// Penalty for a fill supplied by the L2.
+    pub hit_cycles: u64,
+    /// Additional penalty when the L2 misses to main memory.
+    pub memory_cycles: u64,
+}
+
+impl L2Config {
+    /// A 256KB, 8-way L2 with 6-cycle hits and a 24-cycle memory behind
+    /// it — a plausible mid-90s second level for the paper's machine.
+    pub fn typical() -> L2Config {
+        // 256KB / 16B lines = 16384 lines; 8-way => 2048 sets.
+        L2Config {
+            geometry: CacheGeometry::new(2048, 8, 4, 4),
+            hit_cycles: 6,
+            memory_cycles: 24,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct L2Line {
+    line: Option<LineId>,
+    dirty: bool,
+    data: Vec<Word>,
+}
+
+impl Slot for L2Line {
+    fn held_line(&self) -> Option<LineId> {
+        self.line
+    }
+}
+
+#[derive(Debug, Clone)]
+struct L2 {
+    array: CacheArray<L2Line>,
+    config: L2Config,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+/// Main memory, optionally fronted by a shared L2. Drop-in replacement
+/// for direct [`MainMemory`] access in the L1 controllers: word reads and
+/// writes are functional (data is always consistent), while
+/// [`fill_penalty`](Backing::fill_penalty) reports the *timing* of a fill
+/// and updates the L2's state.
+#[derive(Debug, Clone)]
+pub struct Backing {
+    l2: Option<L2>,
+    memory: MainMemory,
+    /// Flat penalty when no L2 is configured (the paper's 10 cycles).
+    flat_cycles: u64,
+}
+
+impl Backing {
+    /// A flat backing store: every fill costs `flat_cycles` (the paper's
+    /// configuration).
+    pub fn flat(flat_cycles: u64) -> Backing {
+        Backing {
+            l2: None,
+            memory: MainMemory::new(),
+            flat_cycles,
+        }
+    }
+
+    /// A backing store fronted by a shared L2.
+    pub fn with_l2(config: L2Config) -> Backing {
+        Backing {
+            l2: Some(L2 {
+                array: CacheArray::new(config.geometry),
+                config,
+                hits: 0,
+                misses: 0,
+                writebacks: 0,
+            }),
+            memory: MainMemory::new(),
+            flat_cycles: config.hit_cycles + config.memory_cycles,
+        }
+    }
+
+    /// Whether an L2 is configured.
+    pub fn has_l2(&self) -> bool {
+        self.l2.is_some()
+    }
+
+    /// Functional read of one word (counts as next-level traffic).
+    pub fn read(&mut self, addr: Addr) -> Word {
+        self.memory.read(addr)
+    }
+
+    /// Functional write of one word. With an L2, the write lands in any
+    /// resident L2 line too so later L2 hits see it.
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        if let Some(l2) = &mut self.l2 {
+            let g = *l2.array.geometry();
+            if let Some(r) = l2.array.find(g.line_of(addr)) {
+                let slot = l2.array.slot_mut(r);
+                slot.data[g.offset(addr)] = value;
+                slot.dirty = true;
+            }
+        }
+        self.memory.write(addr, value);
+    }
+
+    /// Reads a word without counting traffic.
+    pub fn peek(&self, addr: Addr) -> Word {
+        self.memory.peek(addr)
+    }
+
+    /// The timing penalty for a fill of `line` (an *L1 line*, in the L1's
+    /// geometry-agnostic line-id space scaled by `words_per_line`), and
+    /// the L2 state update it implies. Without an L2, the flat penalty.
+    pub fn fill_penalty(&mut self, line: LineId, words_per_line: usize) -> u64 {
+        let Some(l2) = &mut self.l2 else {
+            return self.flat_cycles;
+        };
+        let g = *l2.array.geometry();
+        // Map the L1 line's first word into the L2's line space.
+        let addr = line.first_word(words_per_line);
+        let l2_line = g.line_of(addr);
+        if l2.array.find(l2_line).is_some() {
+            let r = l2.array.find(l2_line).expect("found");
+            l2.array.touch(r);
+            l2.hits += 1;
+            return l2.config.hit_cycles;
+        }
+        // Miss: allocate in the L2 (evicting writes back to memory).
+        l2.misses += 1;
+        let r = l2.array.victim_way(l2_line);
+        let victim = l2.array.slot(r);
+        if victim.dirty {
+            let vline = victim.line.expect("dirty line has a tag");
+            let words: Vec<Option<Word>> = victim.data.iter().map(|w| Some(*w)).collect();
+            self.memory.write_line(vline, &words, g.words_per_line());
+            l2.writebacks += 1;
+        }
+        let data = self.memory.read_line(l2_line, g.words_per_line());
+        *l2.array.slot_mut(r) = L2Line {
+            line: Some(l2_line),
+            dirty: false,
+            data,
+        };
+        l2.array.touch(r);
+        l2.config.hit_cycles + l2.config.memory_cycles
+    }
+
+    /// `(hits, misses, writebacks)` of the L2, all zero when absent.
+    pub fn l2_stats(&self) -> (u64, u64, u64) {
+        match &self.l2 {
+            Some(l2) => (l2.hits, l2.misses, l2.writebacks),
+            None => (0, 0, 0),
+        }
+    }
+
+    /// Resets traffic counters.
+    pub fn reset_stats(&mut self) {
+        self.memory.reset_stats();
+        if let Some(l2) = &mut self.l2 {
+            l2.hits = 0;
+            l2.misses = 0;
+            l2.writebacks = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_backing_charges_constant_penalty() {
+        let mut b = Backing::flat(10);
+        assert!(!b.has_l2());
+        assert_eq!(b.fill_penalty(LineId(0), 4), 10);
+        assert_eq!(b.fill_penalty(LineId(0), 4), 10);
+        assert_eq!(b.l2_stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn l2_miss_then_hit() {
+        let mut cfg = L2Config::typical();
+        cfg.geometry = CacheGeometry::new(4, 2, 4, 4);
+        let mut b = Backing::with_l2(cfg);
+        assert!(b.has_l2());
+        let miss = b.fill_penalty(LineId(3), 4);
+        assert_eq!(miss, 30, "hit 6 + memory 24");
+        let hit = b.fill_penalty(LineId(3), 4);
+        assert_eq!(hit, 6);
+        assert_eq!(b.l2_stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn writes_update_resident_l2_lines() {
+        let mut cfg = L2Config::typical();
+        cfg.geometry = CacheGeometry::new(4, 2, 4, 4);
+        let mut b = Backing::with_l2(cfg);
+        b.write(Addr(12), Word(5));
+        b.fill_penalty(LineId(3), 4); // L2 now caches the line
+        b.write(Addr(13), Word(6)); // resident: must land in L2 too
+        assert_eq!(b.peek(Addr(13)), Word(6));
+        // Evict the line through conflicting fills; the dirty write must
+        // survive to memory.
+        b.fill_penalty(LineId(7), 4);
+        b.fill_penalty(LineId(11), 4);
+        assert_eq!(b.peek(Addr(13)), Word(6));
+    }
+
+    #[test]
+    fn l1_lines_smaller_than_l2_lines_map_correctly() {
+        // One-word L1 lines against 4-word L2 lines: four consecutive L1
+        // lines share one L2 line, so after one miss the rest hit.
+        let mut cfg = L2Config::typical();
+        cfg.geometry = CacheGeometry::new(4, 2, 4, 4);
+        let mut b = Backing::with_l2(cfg);
+        assert_eq!(b.fill_penalty(LineId(0), 1), 30);
+        assert_eq!(b.fill_penalty(LineId(1), 1), 6);
+        assert_eq!(b.fill_penalty(LineId(2), 1), 6);
+        assert_eq!(b.fill_penalty(LineId(3), 1), 6);
+        assert_eq!(b.fill_penalty(LineId(4), 1), 30, "next L2 line");
+    }
+}

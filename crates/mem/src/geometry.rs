@@ -1,0 +1,165 @@
+use svc_types::{Addr, LineId};
+
+/// The shape of one cache: sets × ways, line size, and sub-block
+/// (versioning-block) size.
+///
+/// The paper's RL design (§3.7) distinguishes the *address block* (the
+/// storage unit with a tag — here [`words_per_line`](Self::words_per_line))
+/// from the *versioning block* (the unit at which the `L`/`S` bits are kept
+/// — here [`words_per_subblock`](Self::words_per_subblock)). Designs before
+/// RL simply use one-word lines, i.e. both set to 1.
+///
+/// # Example
+///
+/// ```
+/// use svc_mem::CacheGeometry;
+/// use svc_types::Addr;
+/// // 4-way 8KB cache with 16-byte (4-word) lines: 128 sets.
+/// let g = CacheGeometry::new(128, 4, 4, 1);
+/// assert_eq!(g.lines(), 512);
+/// let a = Addr(0x1234);
+/// assert_eq!(g.set_index(g.line_of(a)), (0x1234 / 4) % 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    sets: usize,
+    ways: usize,
+    words_per_line: usize,
+    words_per_subblock: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, if `sets` is not a power of two, or
+    /// if `words_per_subblock` does not divide `words_per_line`.
+    pub fn new(
+        sets: usize,
+        ways: usize,
+        words_per_line: usize,
+        words_per_subblock: usize,
+    ) -> CacheGeometry {
+        assert!(sets > 0 && ways > 0 && words_per_line > 0 && words_per_subblock > 0);
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert_eq!(
+            words_per_line % words_per_subblock,
+            0,
+            "sub-block size must divide line size"
+        );
+        CacheGeometry {
+            sets,
+            ways,
+            words_per_line,
+            words_per_subblock,
+        }
+    }
+
+    /// Geometry for the pedagogical designs with one-word lines (paper
+    /// §3.2: "This design also assumes that the cache line size is one
+    /// word").
+    pub fn word_lines(sets: usize, ways: usize) -> CacheGeometry {
+        CacheGeometry::new(sets, ways, 1, 1)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Words per line (address block).
+    pub fn words_per_line(&self) -> usize {
+        self.words_per_line
+    }
+
+    /// Words per sub-block (versioning block).
+    pub fn words_per_subblock(&self) -> usize {
+        self.words_per_subblock
+    }
+
+    /// Number of sub-blocks per line.
+    pub fn subblocks_per_line(&self) -> usize {
+        self.words_per_line / self.words_per_subblock
+    }
+
+    /// Total line capacity (sets × ways).
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Total data capacity in words.
+    pub fn capacity_words(&self) -> usize {
+        self.lines() * self.words_per_line
+    }
+
+    /// The line containing `addr`.
+    pub fn line_of(&self, addr: Addr) -> LineId {
+        addr.line(self.words_per_line)
+    }
+
+    /// The set that `line` maps to.
+    pub fn set_index(&self, line: LineId) -> usize {
+        (line.0 % self.sets as u64) as usize
+    }
+
+    /// The word offset of `addr` within its line.
+    pub fn offset(&self, addr: Addr) -> usize {
+        addr.offset_in_line(self.words_per_line)
+    }
+
+    /// The sub-block (versioning block) index of `addr` within its line.
+    pub fn subblock_of(&self, addr: Addr) -> usize {
+        self.offset(addr) / self.words_per_subblock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let g = CacheGeometry::new(64, 4, 4, 2);
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.ways(), 4);
+        assert_eq!(g.lines(), 256);
+        assert_eq!(g.capacity_words(), 1024);
+        assert_eq!(g.subblocks_per_line(), 2);
+    }
+
+    #[test]
+    fn address_slicing() {
+        let g = CacheGeometry::new(4, 1, 4, 2);
+        let a = Addr(0x2B); // word 43: line 10, offset 3, subblock 1, set 2
+        assert_eq!(g.line_of(a), LineId(10));
+        assert_eq!(g.set_index(LineId(10)), 2);
+        assert_eq!(g.offset(a), 3);
+        assert_eq!(g.subblock_of(a), 1);
+    }
+
+    #[test]
+    fn word_lines_constructor() {
+        let g = CacheGeometry::word_lines(8, 2);
+        assert_eq!(g.words_per_line(), 1);
+        assert_eq!(g.subblocks_per_line(), 1);
+        assert_eq!(g.offset(Addr(123)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_panics() {
+        CacheGeometry::new(3, 1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_subblock_panics() {
+        CacheGeometry::new(4, 1, 4, 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! Memory-hierarchy substrate for the SVC reproduction.
+//!
+//! The paper evaluates the SVC and the ARB on top of a conventional memory
+//! substrate (§4.2): private or shared L1 storage, a split-transaction
+//! snooping bus, a next level of memory with a 10-cycle penalty, MSHRs with
+//! access combining, and writeback buffers. This crate implements those
+//! building blocks; the `svc`, `svc-arb` and `svc-coherence` crates compose
+//! them into complete memory systems.
+//!
+//! * [`CacheGeometry`] — sets × ways × line/sub-block sizes, address
+//!   slicing;
+//! * [`CacheArray`] — a generic set-associative array with LRU replacement,
+//!   parameterised over the line-metadata type (each protocol brings its
+//!   own);
+//! * [`MainMemory`] — the word-addressable next level of memory;
+//! * [`Bus`] — the shared snooping bus as a timed, occupancy-tracked
+//!   resource;
+//! * [`MshrFile`] — miss status holding registers with combining;
+//! * [`WritebackBuffer`] — a bounded buffer of castouts draining to memory;
+//! * [`Backing`] — main memory optionally fronted by a shared L2 (an
+//!   extension study; the paper's flat 10-cycle next level is the
+//!   default);
+//! * [`MemTiming`] — the latency parameters of §4.2 in one place.
+//!
+//! # Example
+//!
+//! ```
+//! use svc_mem::{Bus, MemTiming};
+//! use svc_types::Cycle;
+//!
+//! let t = MemTiming::default();
+//! let mut bus = Bus::new(t.bus_txn_cycles);
+//! let g1 = bus.transact(Cycle(0), 0);
+//! let g2 = bus.transact(Cycle(0), 0);
+//! assert!(g2.start >= g1.done); // second transaction waits its turn
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod backing;
+mod bus;
+mod geometry;
+mod memory;
+mod mshr;
+mod timing;
+mod writeback;
+
+pub use array::{CacheArray, Slot, WayRef};
+pub use backing::{Backing, L2Config};
+pub use bus::{Bus, BusGrant};
+pub use geometry::CacheGeometry;
+pub use memory::MainMemory;
+pub use mshr::{MshrFile, MshrResult};
+pub use timing::MemTiming;
+pub use writeback::WritebackBuffer;

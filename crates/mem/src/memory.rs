@@ -1,0 +1,155 @@
+use std::collections::HashMap;
+
+use svc_types::{Addr, Cycle, LineId, Word};
+
+/// The next level of the memory hierarchy: a flat, word-addressable store
+/// with a fixed access penalty.
+///
+/// Every unwritten word reads as [`Word::ZERO`]. The paper charges "an
+/// additional penalty of 10 cycles for a miss supplied by the next level of
+/// the data memory" (§4.2); that penalty lives in
+/// [`MemTiming::memory_cycles`](crate::MemTiming::memory_cycles) and is
+/// applied by the requesting controller — `MainMemory` itself only stores
+/// data and counts traffic.
+#[derive(Debug, Clone, Default)]
+pub struct MainMemory {
+    words: HashMap<Addr, Word>,
+    reads: u64,
+    writes: u64,
+}
+
+impl MainMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> MainMemory {
+        MainMemory::default()
+    }
+
+    /// Reads one word.
+    pub fn read(&mut self, addr: Addr) -> Word {
+        self.reads += 1;
+        self.peek(addr)
+    }
+
+    /// Writes one word.
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        self.writes += 1;
+        if value == Word::ZERO {
+            // Keep the map sparse: zero is the default content.
+            self.words.remove(&addr);
+        } else {
+            self.words.insert(addr, value);
+        }
+    }
+
+    /// Reads a full line of `words_per_line` words.
+    pub fn read_line(&mut self, line: LineId, words_per_line: usize) -> Vec<Word> {
+        (0..words_per_line)
+            .map(|i| self.read(line.word(i, words_per_line)))
+            .collect()
+    }
+
+    /// Writes a full line. Entries that are `None` are words the writer does
+    /// not own (e.g. sub-blocks never stored to); they are left unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != words_per_line`.
+    pub fn write_line(&mut self, line: LineId, data: &[Option<Word>], words_per_line: usize) {
+        assert_eq!(data.len(), words_per_line);
+        for (i, w) in data.iter().enumerate() {
+            if let Some(w) = w {
+                self.write(line.word(i, words_per_line), *w);
+            }
+        }
+    }
+
+    /// Reads a word without counting it as traffic (for end-of-run
+    /// verification).
+    pub fn peek(&self, addr: Addr) -> Word {
+        self.words.get(&addr).copied().unwrap_or(Word::ZERO)
+    }
+
+    /// Number of word reads served.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of word writes absorbed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Resets the traffic counters.
+    pub fn reset_stats(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+    }
+
+    /// Completion time of an access that reaches memory at `now` with a
+    /// `penalty`-cycle access time.
+    pub fn access_done(&self, now: Cycle, penalty: u64) -> Cycle {
+        now + penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mut m = MainMemory::new();
+        assert_eq!(m.read(Addr(1000)), Word::ZERO);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = MainMemory::new();
+        m.write(Addr(4), Word(99));
+        assert_eq!(m.read(Addr(4)), Word(99));
+        assert_eq!(m.peek(Addr(4)), Word(99));
+    }
+
+    #[test]
+    fn zero_write_keeps_map_sparse() {
+        let mut m = MainMemory::new();
+        m.write(Addr(4), Word(99));
+        m.write(Addr(4), Word::ZERO);
+        assert_eq!(m.peek(Addr(4)), Word::ZERO);
+        assert!(m.words.is_empty());
+    }
+
+    #[test]
+    fn line_roundtrip_with_partial_mask() {
+        let mut m = MainMemory::new();
+        m.write(Addr(9), Word(7)); // line 2 (of 4-word lines), offset 1
+        let line = LineId(2);
+        m.write_line(line, &[Some(Word(1)), None, Some(Word(3)), None], 4);
+        assert_eq!(
+            m.read_line(line, 4),
+            vec![Word(1), Word(7), Word(3), Word::ZERO],
+            "masked-out words keep their previous content"
+        );
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let mut m = MainMemory::new();
+        m.write(Addr(0), Word(1));
+        m.read(Addr(0));
+        m.read(Addr(1));
+        assert_eq!(m.writes(), 1);
+        assert_eq!(m.reads(), 2);
+        m.reset_stats();
+        assert_eq!((m.reads(), m.writes()), (0, 0));
+        // peek is not traffic
+        m.peek(Addr(0));
+        assert_eq!(m.reads(), 0);
+    }
+
+    #[test]
+    fn access_done_applies_penalty() {
+        let m = MainMemory::new();
+        assert_eq!(m.access_done(Cycle(5), 10), Cycle(15));
+    }
+}

@@ -1,0 +1,202 @@
+use svc_types::{Cycle, LineId};
+
+/// Outcome of presenting a miss to the [`MshrFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrResult {
+    /// Cycle at which the requested line's data arrives.
+    pub data_ready: Cycle,
+    /// Whether this access combined into an already-outstanding miss to the
+    /// same line (no new entry, no new fill).
+    pub combined: bool,
+    /// Cycles the request had to wait for a free register (structural
+    /// stall), zero if an entry (or a combinable miss) was available.
+    pub stalled: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    line: LineId,
+    done_at: Cycle,
+    combines: usize,
+}
+
+/// A file of Miss Status Holding Registers.
+///
+/// Models the paper's non-blocking load/store support (§4.2): a fixed number
+/// of outstanding misses, with up to `max_combine` accesses to the same line
+/// sharing one register and one fill. A miss that finds the file full stalls
+/// until the earliest outstanding fill returns.
+///
+/// # Example
+///
+/// ```
+/// use svc_mem::MshrFile;
+/// use svc_types::{Cycle, LineId};
+/// let mut m = MshrFile::new(2, 4);
+/// let a = m.begin_miss(LineId(1), Cycle(0), 10);
+/// let b = m.begin_miss(LineId(1), Cycle(2), 10);
+/// assert!(!a.combined);
+/// assert!(b.combined);
+/// assert_eq!(b.data_ready, a.data_ready); // shares the fill
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Entry>,
+    capacity: usize,
+    max_combine: usize,
+    total_misses: u64,
+    total_combines: u64,
+    total_stall_cycles: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers, each combining up to
+    /// `max_combine` accesses (including the one that allocated it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `max_combine` is zero.
+    pub fn new(capacity: usize, max_combine: usize) -> MshrFile {
+        assert!(capacity > 0 && max_combine > 0);
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            max_combine,
+            total_misses: 0,
+            total_combines: 0,
+            total_stall_cycles: 0,
+        }
+    }
+
+    /// Presents a miss on `line` at `now` whose fill would take
+    /// `fill_latency` cycles once a register is held. Returns when the data
+    /// arrives and whether the access combined or stalled.
+    pub fn begin_miss(&mut self, line: LineId, now: Cycle, fill_latency: u64) -> MshrResult {
+        self.expire(now);
+        self.total_misses += 1;
+        // Combine into an outstanding miss to the same line if possible.
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.line == line && e.combines < self.max_combine)
+        {
+            e.combines += 1;
+            self.total_combines += 1;
+            return MshrResult {
+                data_ready: e.done_at,
+                combined: true,
+                stalled: 0,
+            };
+        }
+        // Allocate a new register, stalling for the earliest fill if full.
+        let (start, stalled) = if self.entries.len() < self.capacity {
+            (now, 0)
+        } else {
+            let earliest = self
+                .entries
+                .iter()
+                .map(|e| e.done_at)
+                .min()
+                .expect("file is full, so non-empty");
+            let idx = self
+                .entries
+                .iter()
+                .position(|e| e.done_at == earliest)
+                .expect("just found it");
+            self.entries.swap_remove(idx);
+            let start = now.max(earliest);
+            (start, start.since(now))
+        };
+        let done_at = start + fill_latency;
+        self.entries.push(Entry {
+            line,
+            done_at,
+            combines: 1,
+        });
+        self.total_stall_cycles += stalled;
+        MshrResult {
+            data_ready: done_at,
+            combined: false,
+            stalled,
+        }
+    }
+
+    /// Number of fills still outstanding at `now`.
+    pub fn outstanding(&mut self, now: Cycle) -> usize {
+        self.expire(now);
+        self.entries.len()
+    }
+
+    /// Total misses presented (including combined ones).
+    pub fn total_misses(&self) -> u64 {
+        self.total_misses
+    }
+
+    /// Misses that combined into an existing register.
+    pub fn total_combines(&self) -> u64 {
+        self.total_combines
+    }
+
+    /// Total cycles spent stalled for a free register.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.total_stall_cycles
+    }
+
+    fn expire(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.done_at > now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_misses_use_separate_entries() {
+        let mut m = MshrFile::new(4, 4);
+        let a = m.begin_miss(LineId(1), Cycle(0), 10);
+        let b = m.begin_miss(LineId(2), Cycle(0), 10);
+        assert!(!a.combined && !b.combined);
+        assert_eq!(m.outstanding(Cycle(5)), 2);
+        assert_eq!(m.outstanding(Cycle(10)), 0, "fills expire");
+    }
+
+    #[test]
+    fn combining_caps_out() {
+        let mut m = MshrFile::new(4, 2);
+        m.begin_miss(LineId(1), Cycle(0), 10); // allocates, combines=1
+        let b = m.begin_miss(LineId(1), Cycle(0), 10); // combines=2 (cap)
+        let c = m.begin_miss(LineId(1), Cycle(0), 10); // must allocate anew
+        assert!(b.combined);
+        assert!(!c.combined);
+        assert_eq!(m.total_combines(), 1);
+    }
+
+    #[test]
+    fn full_file_stalls_until_earliest_fill() {
+        let mut m = MshrFile::new(1, 1);
+        let a = m.begin_miss(LineId(1), Cycle(0), 10);
+        assert_eq!(a.data_ready, Cycle(10));
+        let b = m.begin_miss(LineId(2), Cycle(3), 10);
+        assert_eq!(b.stalled, 7, "waited for the line-1 fill at cycle 10");
+        assert_eq!(b.data_ready, Cycle(20));
+        assert_eq!(m.total_stall_cycles(), 7);
+    }
+
+    #[test]
+    fn expired_entries_free_registers() {
+        let mut m = MshrFile::new(1, 1);
+        m.begin_miss(LineId(1), Cycle(0), 10);
+        let b = m.begin_miss(LineId(2), Cycle(10), 10);
+        assert_eq!(b.stalled, 0, "previous fill completed at cycle 10");
+    }
+
+    #[test]
+    fn counters() {
+        let mut m = MshrFile::new(2, 8);
+        m.begin_miss(LineId(1), Cycle(0), 5);
+        m.begin_miss(LineId(1), Cycle(1), 5);
+        assert_eq!(m.total_misses(), 2);
+        assert_eq!(m.total_combines(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+/// The latency parameters of the paper's evaluation (§4.2), gathered in one
+/// place so that every memory system draws from the same clock assumptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTiming {
+    /// Private-cache (SVC) hit time. The paper assumes 1 cycle.
+    pub hit_cycles: u64,
+    /// Base occupancy of one snooping-bus transaction. The paper: "a
+    /// typical transaction requires 3 processor cycles".
+    pub bus_txn_cycles: u64,
+    /// Extra bus cycle "used to flush a committed version to the next level
+    /// memory" during a transaction (§4.2 footnote 7).
+    pub commit_flush_extra: u64,
+    /// Additional penalty for data supplied by the next level of memory.
+    /// The paper: 10 cycles, "plus any bus contention".
+    pub memory_cycles: u64,
+}
+
+impl MemTiming {
+    /// The paper's SVC-side configuration: 1-cycle hit, 3-cycle bus
+    /// transaction, 1 extra flush cycle, 10-cycle next-level penalty.
+    pub const PAPER: MemTiming = MemTiming {
+        hit_cycles: 1,
+        bus_txn_cycles: 3,
+        commit_flush_extra: 1,
+        memory_cycles: 10,
+    };
+
+    /// Completion latency of a local hit.
+    pub fn hit_done(&self) -> u64 {
+        self.hit_cycles
+    }
+}
+
+impl Default for MemTiming {
+    fn default() -> MemTiming {
+        MemTiming::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let t = MemTiming::default();
+        assert_eq!(t.hit_cycles, 1);
+        assert_eq!(t.bus_txn_cycles, 3);
+        assert_eq!(t.commit_flush_extra, 1);
+        assert_eq!(t.memory_cycles, 10);
+        assert_eq!(t.hit_done(), 1);
+        assert_eq!(t, MemTiming::PAPER);
+    }
+}

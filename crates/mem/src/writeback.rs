@@ -1,0 +1,145 @@
+use std::collections::VecDeque;
+
+use svc_types::Cycle;
+
+/// A bounded writeback buffer.
+///
+/// Castouts (dirty replacements, committed-version flushes) enter the
+/// buffer and drain to the next level one at a time, each drain occupying
+/// `drain_cycles`. A push that finds the buffer full stalls the pushing
+/// controller until the oldest entry has drained — this is what makes the
+/// base SVC design's commit-time writeback *burst* visible as commit
+/// latency (paper §3.2.6 problem 1).
+///
+/// # Example
+///
+/// ```
+/// use svc_mem::WritebackBuffer;
+/// use svc_types::Cycle;
+/// let mut wb = WritebackBuffer::new(1, 4);
+/// assert_eq!(wb.push(Cycle(0)), Cycle(0));      // accepted immediately
+/// let accepted = wb.push(Cycle(0));             // buffer full: stall
+/// assert_eq!(accepted, Cycle(4));               // until the first drains
+/// ```
+#[derive(Debug, Clone)]
+pub struct WritebackBuffer {
+    capacity: usize,
+    drain_cycles: u64,
+    // Completion times of entries still in the buffer, oldest first.
+    drains: VecDeque<Cycle>,
+    last_drain_done: Cycle,
+    pushes: u64,
+    stall_cycles: u64,
+}
+
+impl WritebackBuffer {
+    /// Creates a buffer of `capacity` entries, each taking `drain_cycles`
+    /// to reach the next level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `drain_cycles` is zero.
+    pub fn new(capacity: usize, drain_cycles: u64) -> WritebackBuffer {
+        assert!(capacity > 0 && drain_cycles > 0);
+        WritebackBuffer {
+            capacity,
+            drain_cycles,
+            drains: VecDeque::new(),
+            last_drain_done: Cycle::ZERO,
+            pushes: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Offers one castout at `now`; returns the cycle at which the buffer
+    /// accepts it (equal to `now` unless the buffer is full).
+    pub fn push(&mut self, now: Cycle) -> Cycle {
+        self.expire(now);
+        self.pushes += 1;
+        let accepted = if self.drains.len() < self.capacity {
+            now
+        } else {
+            let oldest = *self.drains.front().expect("full buffer is non-empty");
+            self.drains.pop_front();
+            self.stall_cycles += oldest.since(now);
+            now.max(oldest)
+        };
+        // Drains are serial: each begins after the previous one finishes.
+        let start = accepted.max(self.last_drain_done);
+        let done = start + self.drain_cycles;
+        self.last_drain_done = done;
+        self.drains.push_back(done);
+        accepted
+    }
+
+    /// Entries still draining at `now`.
+    pub fn occupancy(&mut self, now: Cycle) -> usize {
+        self.expire(now);
+        self.drains.len()
+    }
+
+    /// The cycle by which everything currently buffered will have drained.
+    pub fn drained_by(&self) -> Cycle {
+        self.last_drain_done
+    }
+
+    /// Total castouts accepted.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total cycles pushers spent stalled on a full buffer.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    fn expire(&mut self, now: Cycle) {
+        while matches!(self.drains.front(), Some(&d) if d <= now) {
+            self.drains.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_until_full() {
+        let mut wb = WritebackBuffer::new(2, 4);
+        assert_eq!(wb.push(Cycle(0)), Cycle(0));
+        assert_eq!(wb.push(Cycle(0)), Cycle(0));
+        assert_eq!(wb.occupancy(Cycle(0)), 2);
+    }
+
+    #[test]
+    fn full_buffer_stalls_push() {
+        let mut wb = WritebackBuffer::new(1, 4);
+        wb.push(Cycle(0)); // drains at 4
+        let accepted = wb.push(Cycle(1));
+        assert_eq!(accepted, Cycle(4));
+        assert_eq!(wb.stall_cycles(), 3);
+    }
+
+    #[test]
+    fn drains_are_serialized() {
+        let mut wb = WritebackBuffer::new(4, 4);
+        wb.push(Cycle(0)); // drains 0..4
+        wb.push(Cycle(0)); // drains 4..8
+        wb.push(Cycle(0)); // drains 8..12
+        assert_eq!(wb.drained_by(), Cycle(12));
+        assert_eq!(wb.occupancy(Cycle(4)), 2);
+        assert_eq!(wb.occupancy(Cycle(12)), 0);
+    }
+
+    #[test]
+    fn burst_then_idle_recovers() {
+        let mut wb = WritebackBuffer::new(2, 2);
+        wb.push(Cycle(0));
+        wb.push(Cycle(0));
+        // Long idle period lets everything drain.
+        assert_eq!(wb.push(Cycle(100)), Cycle(100));
+        assert_eq!(wb.pushes(), 3);
+        assert_eq!(wb.stall_cycles(), 0);
+    }
+}

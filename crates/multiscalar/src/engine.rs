@@ -1,0 +1,523 @@
+use std::collections::HashMap;
+
+use svc_sim::rng::Xoshiro256;
+use svc_sim::stats::Histogram;
+use svc_types::{Addr, Cycle, MemStats, PuId, TaskId, VersionedMemory, Word};
+
+use crate::predictor::PredictorModel;
+use crate::task::{Instr, TaskSource};
+
+/// Configuration of the execution [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Number of processing units (must match the memory system).
+    pub num_pus: usize,
+    /// Instructions a PU can retire per cycle when nothing stalls
+    /// (the paper's PUs are 2-issue).
+    pub issue_width: usize,
+    /// Cycles of load latency the PU hides for loads whose value is not
+    /// needed immediately (standing in for out-of-order issue within the
+    /// PU).
+    pub load_overlap: u64,
+    /// Fraction of loads whose value feeds the next instruction
+    /// (dependent use): those expose their full latency. Decided
+    /// deterministically per load from the seed.
+    pub load_dep_frac: f64,
+    /// Sequencer overhead: cycles between task dispatches.
+    pub dispatch_cycles: u64,
+    /// The task predictor model.
+    pub predictor: PredictorModel,
+    /// Stop once this many instructions have committed (0 = run the whole
+    /// task sequence).
+    pub max_instructions: u64,
+    /// Hard safety stop.
+    pub max_cycles: u64,
+    /// Word-address space wrong-path (garbage) tasks touch, polluting the
+    /// caches like real wrong-path execution does.
+    pub garbage_addr_space: u64,
+    /// Seed for wrong-path work generation.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            num_pus: 4,
+            issue_width: 2,
+            load_overlap: 2,
+            load_dep_frac: 0.35,
+            dispatch_cycles: 1,
+            predictor: PredictorModel::perfect(),
+            max_instructions: 0,
+            max_cycles: 500_000_000,
+            garbage_addr_space: 4096,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of one [`Engine::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions belonging to committed tasks.
+    pub committed_instrs: u64,
+    /// Tasks committed.
+    pub committed_tasks: u64,
+    /// Task squash events (mispredictions + violations + resource frees).
+    pub squashes: u64,
+    /// Squash events caused by detected memory-dependence violations.
+    pub violation_squashes: u64,
+    /// Squash events freeing speculative resources for a stalled head.
+    pub resource_squashes: u64,
+    /// Task-misprediction detections.
+    pub mispredictions: u64,
+    /// Distribution of committed task lengths (instructions; 8-wide
+    /// buckets).
+    pub task_lengths: Histogram,
+    /// Final memory-system statistics.
+    pub mem: MemStats,
+    /// Whether the run stopped on the cycle safety limit.
+    pub hit_cycle_limit: bool,
+}
+
+impl RunReport {
+    /// Mean committed task length in instructions.
+    pub fn avg_task_len(&self) -> f64 {
+        if self.committed_tasks == 0 {
+            0.0
+        } else {
+            self.committed_instrs as f64 / self.committed_tasks as f64
+        }
+    }
+
+    /// Committed instructions per cycle — the metric of Figures 19/20.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Bus utilization over the run (Table 3).
+    pub fn bus_utilization(&self) -> f64 {
+        self.mem.bus_utilization(self.cycles)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PuState {
+    pos: Option<u64>,
+    instrs: Vec<Instr>,
+    pc: usize,
+    ready_at: Cycle,
+    /// The PU's memory port: a store occupies it until the memory system
+    /// has accepted the store (its full latency — this is where a shared
+    /// structure's hit latency taxes store-rich code); loads pipeline
+    /// through it at one per cycle.
+    port_free: Cycle,
+    wrong: bool,
+    detect_at: Cycle,
+    done: bool,
+}
+
+impl PuState {
+    fn idle() -> PuState {
+        PuState {
+            pos: None,
+            instrs: Vec::new(),
+            pc: 0,
+            ready_at: Cycle::ZERO,
+            port_free: Cycle::ZERO,
+            wrong: false,
+            detect_at: Cycle::ZERO,
+            done: false,
+        }
+    }
+}
+
+/// The hierarchical execution engine: sequencer + PUs over a speculative
+/// memory system. See the crate docs for the model and an example.
+#[derive(Debug)]
+pub struct Engine<M> {
+    config: EngineConfig,
+    mem: M,
+    pus: Vec<PuState>,
+    attempts: HashMap<u64, u32>,
+    next_pos: u64,
+    dispatch_ready: Cycle,
+    squashes: u64,
+    violation_squashes: u64,
+    resource_squashes: u64,
+    mispredictions: u64,
+    task_lengths: Histogram,
+}
+
+/// Why a squash happened, for the report's breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SquashCause {
+    Misprediction,
+    Violation,
+    Resource,
+}
+
+impl<M: VersionedMemory> Engine<M> {
+    /// Creates an engine over `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_pus` disagrees with `mem.num_pus()` or is 0.
+    pub fn new(config: EngineConfig, mem: M) -> Engine<M> {
+        assert!(config.num_pus > 0);
+        assert_eq!(config.num_pus, mem.num_pus(), "engine and memory sizes differ");
+        Engine {
+            pus: (0..config.num_pus).map(|_| PuState::idle()).collect(),
+            mem,
+            attempts: HashMap::new(),
+            next_pos: 0,
+            dispatch_ready: Cycle::ZERO,
+            squashes: 0,
+            violation_squashes: 0,
+            resource_squashes: 0,
+            mispredictions: 0,
+            task_lengths: Histogram::new(8, 32),
+            config,
+        }
+    }
+
+    /// Consumes the engine, returning the memory system (for end-of-run
+    /// inspection: `drain()`, `architectural()`).
+    pub fn into_memory(self) -> M {
+        self.mem
+    }
+
+    /// A reference to the memory system.
+    pub fn memory(&self) -> &M {
+        &self.mem
+    }
+
+    /// Runs `source` to completion (or to the configured instruction or
+    /// cycle budget) and reports the results.
+    pub fn run(&mut self, source: &dyn TaskSource) -> RunReport {
+        let mut now = Cycle::ZERO;
+        let mut committed_instrs = 0u64;
+        let mut committed_tasks = 0u64;
+        let mut hit_cycle_limit = false;
+
+        loop {
+            // Termination checks.
+            let any_running = self.pus.iter().any(|p| p.pos.is_some());
+            let more_tasks = source.task(TaskId(self.next_pos)).is_some();
+            if !any_running && !more_tasks {
+                break;
+            }
+            if self.config.max_instructions > 0 && committed_instrs >= self.config.max_instructions
+            {
+                break;
+            }
+            if now.0 >= self.config.max_cycles {
+                hit_cycle_limit = true;
+                break;
+            }
+
+            let mut progressed = false;
+
+            // 1. Sequencer: dispatch the next predicted task to a free PU.
+            if more_tasks && now >= self.dispatch_ready {
+                // Prefer the position's round-robin home PU (gives
+                // stack-frame lines PU affinity); fall back to any free PU.
+                let want = (self.next_pos % self.config.num_pus as u64) as usize;
+                let free = if self.pus[want].pos.is_none() {
+                    Some(want)
+                } else {
+                    self.pus.iter().position(|p| p.pos.is_none())
+                };
+                if let Some(pu) = free {
+                    self.dispatch(pu, self.next_pos, source, now);
+                    self.next_pos += 1;
+                    self.dispatch_ready = now + self.config.dispatch_cycles;
+                    progressed = true;
+                }
+            }
+
+            // 2. Execute: PUs issue in program order (oldest task first).
+            let order = self.pu_program_order();
+            for pu in order {
+                if self.pus[pu].pos.is_none() {
+                    continue;
+                }
+                // Misprediction detection.
+                if self.pus[pu].wrong && now >= self.pus[pu].detect_at {
+                    let pos = self.pus[pu].pos.expect("checked");
+                    self.mispredictions += 1;
+                    *self.attempts.entry(pos).or_insert(0) += 1;
+                    self.squash_from(pos, SquashCause::Misprediction);
+                    progressed = true;
+                    continue;
+                }
+                if now < self.pus[pu].ready_at || self.pus[pu].done {
+                    continue;
+                }
+                progressed |= self.issue(pu, now);
+            }
+
+            // 3. Commit: the head task, if finished and correctly
+            //    predicted, commits its speculative state.
+            if let Some(pu) = self.head_pu() {
+                let p = &self.pus[pu];
+                if p.done && !p.wrong && now >= p.ready_at {
+                    let n = p.instrs.len() as u64;
+                    let done = self.mem.commit(PuId(pu), now);
+                    committed_instrs += n;
+                    committed_tasks += 1;
+                    self.task_lengths.record(n);
+                    self.pus[pu] = PuState::idle();
+                    self.pus[pu].ready_at = done;
+                    progressed = true;
+                }
+            }
+
+            // 4. Advance time: to the next cycle if something happened, or
+            //    jump to the next event when everything is waiting.
+            if progressed {
+                now += 1;
+            } else {
+                let mut next = Cycle(now.0 + 1);
+                let mut wake = Cycle(u64::MAX);
+                for p in &self.pus {
+                    if p.pos.is_some() {
+                        if p.wrong {
+                            wake = Cycle(wake.0.min(p.detect_at.0));
+                        }
+                        wake = Cycle(wake.0.min(p.ready_at.0));
+                    }
+                }
+                if more_tasks && self.pus.iter().any(|p| p.pos.is_none()) {
+                    wake = Cycle(wake.0.min(self.dispatch_ready.0.max(next.0)));
+                }
+                if wake.0 != u64::MAX {
+                    next = next.max(wake);
+                }
+                now = next;
+            }
+        }
+
+        RunReport {
+            cycles: now.0,
+            committed_instrs,
+            committed_tasks,
+            squashes: self.squashes,
+            violation_squashes: self.violation_squashes,
+            resource_squashes: self.resource_squashes,
+            mispredictions: self.mispredictions,
+            task_lengths: self.task_lengths.clone(),
+            mem: self.mem.stats(),
+            hit_cycle_limit,
+        }
+    }
+
+    /// Issues up to `issue_width` instructions on `pu` at `now`. Returns
+    /// whether anything happened.
+    fn issue(&mut self, pu: usize, now: Cycle) -> bool {
+        let mut issued = 0;
+        let width = self.config.issue_width;
+        while issued < width {
+            let p = &self.pus[pu];
+            if p.pc >= p.instrs.len() {
+                self.pus[pu].done = true;
+                return true;
+            }
+            match p.instrs[p.pc] {
+                Instr::Compute(c) => {
+                    self.pus[pu].pc += 1;
+                    issued += 1;
+                    if c > 0 {
+                        self.pus[pu].ready_at = now + 1 + u64::from(c);
+                        break;
+                    }
+                }
+                Instr::Load(addr) => {
+                    if now < self.pus[pu].port_free {
+                        self.pus[pu].ready_at = self.pus[pu].port_free;
+                        break;
+                    }
+                    match self.mem.load(PuId(pu), addr, now) {
+                        Ok(out) => {
+                            let p = &self.pus[pu];
+                            // Deterministic per-load dependence draw: a
+                            // dependent use exposes the full latency; an
+                            // independent load is fire-and-forget (the
+                            // paper's non-blocking, MSHR-backed PUs).
+                            let mut h = svc_sim::rng::SplitMix64::new(
+                                self.config.seed
+                                    ^ (p.pos.unwrap_or(0) << 20)
+                                    ^ p.pc as u64,
+                            );
+                            let dep = (h.next_u64() >> 11) as f64
+                                * (1.0 / (1u64 << 53) as f64)
+                                < self.config.load_dep_frac;
+                            self.pus[pu].pc += 1;
+                            self.pus[pu].port_free = now + 1;
+                            let visible = if dep { out.done_at.0 } else { now.0 + 1 };
+                            self.pus[pu].ready_at = Cycle(visible.max(now.0 + 1));
+                        }
+                        Err(_) => self.stall(pu, now),
+                    }
+                    issued += 1;
+                    break; // one memory operation per PU per cycle
+                }
+                Instr::Store(addr, value) => {
+                    if now < self.pus[pu].port_free {
+                        self.pus[pu].ready_at = self.pus[pu].port_free;
+                        break;
+                    }
+                    match self.mem.store(PuId(pu), addr, value, now) {
+                        Ok(out) => {
+                            self.pus[pu].pc += 1;
+                            // Non-blocking for the pipeline; the store
+                            // buffer absorbs roughly half the latency of
+                            // reaching the memory structure, the rest
+                            // shows as port pressure.
+                            let tax = out.done_at.since(now).div_ceil(2);
+                            self.pus[pu].port_free = now + tax;
+                            self.pus[pu].ready_at = now + 1;
+                            if let Some(v) = out.violation {
+                                self.squash_from(v.victim.0, SquashCause::Violation);
+                            }
+                        }
+                        Err(_) => self.stall(pu, now),
+                    }
+                    issued += 1;
+                    break;
+                }
+            }
+            if self.pus[pu].ready_at > now + 1 {
+                break;
+            }
+        }
+        if issued > 0 && self.pus[pu].ready_at <= now {
+            self.pus[pu].ready_at = now + 1;
+        }
+        let p = &mut self.pus[pu];
+        if p.pos.is_some() && p.pc >= p.instrs.len() {
+            p.done = true;
+        }
+        issued > 0
+    }
+
+    /// Handles a replacement/structural stall: the head frees resources by
+    /// squashing everything younger; others simply retry next cycle.
+    fn stall(&mut self, pu: usize, now: Cycle) {
+        let is_head = self.head_pu() == Some(pu);
+        if is_head {
+            if let Some(pos) = self.pus[pu].pos {
+                // Squash strictly younger tasks to free speculative state.
+                let younger = self
+                    .pus
+                    .iter()
+                    .filter_map(|p| p.pos)
+                    .filter(|&t| t > pos)
+                    .min();
+                if let Some(victim) = younger {
+                    self.squash_from(victim, SquashCause::Resource);
+                }
+            }
+        }
+        self.pus[pu].ready_at = now + 1;
+    }
+
+    fn dispatch(&mut self, pu: usize, pos: u64, source: &dyn TaskSource, now: Cycle) {
+        let attempt = *self.attempts.get(&pos).unwrap_or(&0);
+        let wrong = self.config.predictor.mispredicts(TaskId(pos), attempt);
+        let instrs = if wrong {
+            self.garbage_task(pos, attempt)
+        } else {
+            source.task(TaskId(pos)).expect("dispatched past the end")
+        };
+        self.mem.assign(PuId(pu), TaskId(pos));
+        let ready = now.max(self.pus[pu].ready_at) + self.config.dispatch_cycles;
+        self.pus[pu] = PuState {
+            pos: Some(pos),
+            instrs,
+            pc: 0,
+            ready_at: ready,
+            port_free: ready,
+            wrong,
+            detect_at: now + self.config.predictor.detect_cycles.max(1),
+            done: false,
+        };
+    }
+
+    /// Squashes every task at position `victim` and younger (the paper's
+    /// simple squash model), rewinding the sequencer to re-dispatch them.
+    fn squash_from(&mut self, victim: u64, cause: SquashCause) {
+        match cause {
+            SquashCause::Misprediction => {}
+            SquashCause::Violation => self.violation_squashes += 1,
+            SquashCause::Resource => self.resource_squashes += 1,
+        }
+        let mut hit: Vec<(usize, u64)> = self
+            .pus
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.pos.map(|t| (i, t)))
+            .filter(|&(_, t)| t >= victim)
+            .collect();
+        hit.sort_by_key(|&(_, t)| core::cmp::Reverse(t));
+        for &(pu, _) in &hit {
+            self.mem.squash(PuId(pu));
+            let ready = self.pus[pu].ready_at;
+            self.pus[pu] = PuState::idle();
+            self.pus[pu].ready_at = ready;
+            self.squashes += 1;
+        }
+        self.next_pos = self.next_pos.min(victim);
+    }
+
+    /// The PU running the oldest task, if any.
+    fn head_pu(&self) -> Option<usize> {
+        self.pus
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.pos.map(|t| (i, t)))
+            .min_by_key(|&(_, t)| t)
+            .map(|(i, _)| i)
+    }
+
+    /// PU indices ordered oldest task first (idle PUs last).
+    fn pu_program_order(&self) -> Vec<usize> {
+        let mut v: Vec<(usize, u64)> = self
+            .pus
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.pos.map(|t| (i, t)))
+            .collect();
+        v.sort_by_key(|&(_, t)| t);
+        v.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// Deterministic wrong-path work for a mispredicted dispatch.
+    fn garbage_task(&self, pos: u64, attempt: u32) -> Vec<Instr> {
+        let mut rng = Xoshiro256::seed_from(
+            self.config.seed ^ 0xBAD ^ pos.wrapping_mul(0x9E37_79B9) ^ u64::from(attempt) << 32,
+        );
+        let len = rng.gen_index(4..20);
+        (0..len)
+            .map(|_| {
+                let r = rng.gen_f64();
+                if r < 0.25 {
+                    Instr::Load(Addr(rng.gen_range(0..self.config.garbage_addr_space)))
+                } else if r < 0.35 {
+                    Instr::Store(
+                        Addr(rng.gen_range(0..self.config.garbage_addr_space)),
+                        Word(rng.next_u64()),
+                    )
+                } else {
+                    Instr::Compute((rng.gen_range(0..2)) as u8)
+                }
+            })
+            .collect()
+    }
+}

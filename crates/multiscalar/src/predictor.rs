@@ -1,0 +1,85 @@
+use svc_sim::rng::SplitMix64;
+use svc_types::TaskId;
+
+/// The control-flow (task) predictor model.
+///
+/// The paper's sequencer uses a path-based predictor with target/address
+/// tables (§4.2); per DESIGN.md substitution 3, this reproduction models
+/// only its *consequence*: each dispatch of a task position is correct
+/// with probability `accuracy`, decided deterministically from
+/// `(seed, position, attempt)` so that squash-and-replay is reproducible.
+/// A mispredicted position runs garbage work until the misprediction is
+/// detected `detect_cycles` after dispatch, then squashes (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorModel {
+    /// Probability a dispatch is correct (e.g. 0.95).
+    pub accuracy: f64,
+    /// Cycles from dispatching a wrong task to detecting the
+    /// misprediction.
+    pub detect_cycles: u64,
+    /// Seed decorrelating the prediction stream from the workload.
+    pub seed: u64,
+}
+
+impl PredictorModel {
+    /// A perfect predictor (never mispredicts).
+    pub fn perfect() -> PredictorModel {
+        PredictorModel {
+            accuracy: 1.0,
+            detect_cycles: 0,
+            seed: 0,
+        }
+    }
+
+    /// Whether dispatching `task` on its `attempt`-th try mispredicts.
+    /// Deterministic in all arguments.
+    pub fn mispredicts(&self, task: TaskId, attempt: u32) -> bool {
+        if self.accuracy >= 1.0 {
+            return false;
+        }
+        let mut g = SplitMix64::new(
+            self.seed ^ task.0.wrapping_mul(0x9E37_79B9) ^ u64::from(attempt) << 40,
+        );
+        let u = (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u >= self.accuracy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_never_mispredicts() {
+        let p = PredictorModel::perfect();
+        assert!((0..1000).all(|i| !p.mispredicts(TaskId(i), 0)));
+    }
+
+    #[test]
+    fn accuracy_is_respected() {
+        let p = PredictorModel {
+            accuracy: 0.9,
+            detect_cycles: 10,
+            seed: 42,
+        };
+        let n = 20_000;
+        let wrong = (0..n).filter(|&i| p.mispredicts(TaskId(i), 0)).count();
+        let rate = wrong as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "mispredict rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_per_attempt() {
+        let p = PredictorModel {
+            accuracy: 0.5,
+            detect_cycles: 10,
+            seed: 1,
+        };
+        for i in 0..100 {
+            assert_eq!(p.mispredicts(TaskId(i), 0), p.mispredicts(TaskId(i), 0));
+            assert_eq!(p.mispredicts(TaskId(i), 3), p.mispredicts(TaskId(i), 3));
+        }
+        // Different attempts give a fresh draw somewhere.
+        assert!((0..100).any(|i| p.mispredicts(TaskId(i), 0) != p.mispredicts(TaskId(i), 1)));
+    }
+}

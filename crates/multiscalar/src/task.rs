@@ -1,0 +1,94 @@
+use svc_types::{Addr, TaskId, Word};
+
+/// One instruction of a task, as the engine models it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Non-memory work occupying the PU for the given number of cycles
+    /// beyond its issue slot (0 = single-cycle ALU work).
+    Compute(u8),
+    /// A load from a word address.
+    Load(Addr),
+    /// A store of a value to a word address.
+    Store(Addr, Word),
+}
+
+/// A deterministic source of tasks: the dynamic task sequence of a
+/// program.
+///
+/// Determinism in `task(id)` is a hard requirement: squashed tasks are
+/// re-dispatched by id and must re-execute exactly the same instructions.
+pub trait TaskSource {
+    /// The instructions of task `id`, or `None` past the end of the
+    /// program. Must return the same list every time it is asked for the
+    /// same `id`.
+    fn task(&self, id: TaskId) -> Option<Vec<Instr>>;
+
+    /// A human-readable name for reports.
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+/// A [`TaskSource`] over an explicit vector of tasks — the simplest
+/// source, used by tests and small examples.
+#[derive(Debug, Clone)]
+pub struct VecTaskSource {
+    tasks: Vec<Vec<Instr>>,
+    name: String,
+}
+
+impl VecTaskSource {
+    /// Wraps an explicit task list.
+    pub fn new(tasks: Vec<Vec<Instr>>) -> VecTaskSource {
+        VecTaskSource {
+            tasks,
+            name: "vec".to_string(),
+        }
+    }
+
+    /// Sets the report name.
+    pub fn with_name(mut self, name: &str) -> VecTaskSource {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the source has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+impl TaskSource for VecTaskSource {
+    fn task(&self, id: TaskId) -> Option<Vec<Instr>> {
+        self.tasks.get(id.0 as usize).cloned()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_source_is_deterministic_and_bounded() {
+        let src = VecTaskSource::new(vec![
+            vec![Instr::Compute(0)],
+            vec![Instr::Load(Addr(1))],
+        ])
+        .with_name("t");
+        assert_eq!(src.name(), "t");
+        assert_eq!(src.len(), 2);
+        assert!(!src.is_empty());
+        assert_eq!(src.task(TaskId(0)), src.task(TaskId(0)));
+        assert_eq!(src.task(TaskId(1)).unwrap(), vec![Instr::Load(Addr(1))]);
+        assert_eq!(src.task(TaskId(2)), None);
+    }
+}

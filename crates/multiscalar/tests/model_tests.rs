@@ -1,0 +1,210 @@
+//! Tests of the engine's timing and policy machinery: dispatch affinity,
+//! wrong-path determinism, idle fast-forwarding, and the reported
+//! breakdowns.
+
+use svc::{IdealMemory, SvcConfig, SvcSystem};
+use svc_multiscalar::{Engine, EngineConfig, Instr, PredictorModel, VecTaskSource};
+use svc_types::{Addr, Word};
+
+/// Tasks that each store to a per-position slot and then read it back:
+/// with round-robin PU affinity the second access is a guaranteed local
+/// hit in the SVC, so affinity is observable through the hit counters.
+fn affinity_program(n: u64) -> VecTaskSource {
+    let tasks = (0..n)
+        .map(|i| {
+            let slot = Addr((i % 4) * 4);
+            vec![
+                Instr::Load(slot),
+                Instr::Compute(1),
+                Instr::Compute(1),
+                Instr::Store(slot, Word(i + 1)),
+            ]
+        })
+        .collect();
+    VecTaskSource::new(tasks)
+}
+
+#[test]
+fn dispatch_affinity_gives_slot_locality() {
+    // Snarfing is disabled: it would hand every PU a copy of each fill,
+    // clearing the X bit and forcing stores onto the bus (see the
+    // companion test below for that interaction).
+    let mut cfg = SvcConfig::final_design(4);
+    cfg.snarfing = false;
+    let src = affinity_program(400);
+    let mut engine = Engine::new(EngineConfig::default(), SvcSystem::new(cfg));
+    let report = engine.run(&src);
+    assert_eq!(report.committed_tasks, 400);
+    // With affinity, each slot stays in one PU's cache: stores are X-bit
+    // local and half of all accesses avoid the bus entirely.
+    let local = report.mem.local_hits as f64 / report.mem.accesses() as f64;
+    assert!(local > 0.4, "local-hit ratio {local:.2} with PU affinity");
+    // Without affinity-friendly slots the same config loses the locality:
+    // rotate the slot by one position per epoch, so each PU always needs
+    // the slot its neighbour wrote last epoch.
+    let rotated: Vec<Vec<Instr>> = (0..400u64)
+        .map(|i| {
+            let slot = Addr(((i + i / 4) % 4) * 4);
+            vec![
+                Instr::Load(slot),
+                Instr::Compute(1),
+                Instr::Compute(1),
+                Instr::Store(slot, Word(i + 1)),
+            ]
+        })
+        .collect();
+    let mut cfg2 = SvcConfig::final_design(4);
+    cfg2.snarfing = false;
+    let mut engine = Engine::new(EngineConfig::default(), SvcSystem::new(cfg2));
+    let rotated_report = engine.run(&VecTaskSource::new(rotated));
+    let rotated_local =
+        rotated_report.mem.local_hits as f64 / rotated_report.mem.accesses() as f64;
+    assert!(
+        local > rotated_local,
+        "affinity locality ({local:.2}) must beat rotated slots ({rotated_local:.2})"
+    );
+}
+
+#[test]
+fn snarfing_trades_store_locality_for_load_spreading() {
+    // With snarfing on, every fill is copied into the other caches: loads
+    // of shared data get cheaper, but private slots lose their X bit and
+    // every store pays a bus transaction. Both effects are measurable.
+    let src = affinity_program(400);
+    let mut on_cfg = SvcConfig::final_design(4);
+    on_cfg.snarfing = true;
+    let mut off_cfg = on_cfg;
+    off_cfg.snarfing = false;
+    let mut on = Engine::new(EngineConfig::default(), SvcSystem::new(on_cfg));
+    let on_report = on.run(&src);
+    let mut off = Engine::new(EngineConfig::default(), SvcSystem::new(off_cfg));
+    let off_report = off.run(&src);
+    assert!(on_report.mem.snarfs > 0);
+    assert_eq!(off_report.mem.snarfs, 0);
+    assert!(
+        on_report.mem.local_hits < off_report.mem.local_hits,
+        "snarfed copies clear exclusivity: {} vs {} local hits",
+        on_report.mem.local_hits,
+        off_report.mem.local_hits
+    );
+}
+
+#[test]
+fn wrong_path_work_is_deterministic() {
+    let src = affinity_program(200);
+    let mk = || {
+        let cfg = EngineConfig {
+            predictor: PredictorModel {
+                accuracy: 0.7,
+                detect_cycles: 10,
+                seed: 99,
+            },
+            seed: 99,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(cfg, SvcSystem::new(SvcConfig::final_design(4)));
+        e.run(&src)
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a, b, "same seeds, same wrong-path work, same report");
+    assert!(a.mispredictions > 0, "30% misprediction rate must show");
+}
+
+#[test]
+fn idle_fast_forward_does_not_distort_time() {
+    // One task with a single long compute: the run must take (roughly)
+    // that many cycles, whether the engine steps or jumps.
+    let src = VecTaskSource::new(vec![vec![
+        Instr::Compute(200),
+        Instr::Compute(0),
+    ]]);
+    let mut engine = Engine::new(EngineConfig::default(), IdealMemory::new(4, 1));
+    let report = engine.run(&src);
+    assert!(
+        (200..260).contains(&report.cycles),
+        "a 201-cycle task took {} cycles",
+        report.cycles
+    );
+}
+
+#[test]
+fn squash_cause_breakdown_is_reported() {
+    // Violation squashes: a tight producer-consumer chain.
+    let chain: Vec<Vec<Instr>> = (0..60u64)
+        .map(|i| {
+            let mut t = Vec::new();
+            if i > 0 {
+                t.push(Instr::Load(Addr(i - 1)));
+            }
+            t.extend([Instr::Compute(1); 3]);
+            t.push(Instr::Store(Addr(i), Word(i + 1)));
+            t
+        })
+        .collect();
+    let src = VecTaskSource::new(chain);
+    let mut engine = Engine::new(EngineConfig::default(), IdealMemory::new(4, 1));
+    let report = engine.run(&src);
+    assert!(report.violation_squashes > 0);
+    assert_eq!(report.mispredictions, 0, "perfect predictor");
+    assert!(report.squashes >= report.violation_squashes);
+}
+
+#[test]
+fn task_length_histogram_matches_committed_work() {
+    let src = affinity_program(100); // all tasks are 4 instructions
+    let mut engine = Engine::new(EngineConfig::default(), IdealMemory::new(4, 1));
+    let report = engine.run(&src);
+    assert_eq!(report.task_lengths.total(), 100);
+    assert_eq!(report.task_lengths.bucket(0), 100, "all in the 0..8 bucket");
+    assert_eq!(report.avg_task_len(), 4.0);
+}
+
+#[test]
+fn issue_width_bounds_throughput() {
+    // Pure compute tasks: IPC per PU cannot exceed the issue width.
+    let tasks: Vec<Vec<Instr>> = (0..100).map(|_| vec![Instr::Compute(0); 32]).collect();
+    let src = VecTaskSource::new(tasks);
+    for width in [1usize, 2, 4] {
+        let cfg = EngineConfig {
+            issue_width: width,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(cfg, IdealMemory::new(4, 1));
+        let report = engine.run(&src);
+        let bound = (width * 4) as f64;
+        assert!(
+            report.ipc() <= bound + 1e-9,
+            "IPC {} exceeds {width}-wide x 4 PUs",
+            report.ipc()
+        );
+        if width > 1 {
+            // Wider issue must actually help on pure compute.
+            let narrow_cfg = EngineConfig {
+                issue_width: width / 2,
+                ..EngineConfig::default()
+            };
+            let mut narrow = Engine::new(narrow_cfg, IdealMemory::new(4, 1));
+            let narrow_report = narrow.run(&src);
+            assert!(report.ipc() > narrow_report.ipc());
+        }
+    }
+}
+
+#[test]
+fn store_port_pressure_shows_in_timing() {
+    // Store-dense tasks: a memory system with slow stores must yield a
+    // slower run than the 1-cycle ideal.
+    let tasks: Vec<Vec<Instr>> = (0..200u64)
+        .map(|i| (0..8).map(|k| Instr::Store(Addr(i * 8 + k), Word(k))).collect())
+        .collect();
+    let src = VecTaskSource::new(tasks);
+    let mut fast = Engine::new(EngineConfig::default(), IdealMemory::new(4, 1));
+    let fast_ipc = fast.run(&src).ipc();
+    let mut slow = Engine::new(EngineConfig::default(), IdealMemory::new(4, 6));
+    let slow_ipc = slow.run(&src).ipc();
+    assert!(
+        fast_ipc > slow_ipc * 1.3,
+        "6-cycle stores ({slow_ipc:.2}) must trail 1-cycle stores ({fast_ipc:.2})"
+    );
+}

@@ -1,0 +1,219 @@
+//! Measurement helpers: running means and histograms.
+//!
+//! `svc_types::MemStats` carries the memory-system event counts; the types
+//! here serve the execution engine and the harness for everything else
+//! (task sizes, squash distances, latency distributions, IPC windows).
+
+/// Incremental mean/min/max over a stream of samples.
+///
+/// # Example
+///
+/// ```
+/// use svc_sim::stats::Running;
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0] { r.push(x); }
+/// assert_eq!(r.mean(), 2.0);
+/// assert_eq!(r.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Running {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    pub fn new() -> Running {
+        Running::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            if x < self.min {
+                self.min = x;
+            }
+            if x > self.max {
+                self.max = x;
+            }
+        }
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples; 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample; 0.0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; 0.0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples with an overflow bucket.
+///
+/// Buckets are `[i*width, (i+1)*width)`; samples at or beyond
+/// `buckets*width` land in the overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    width: u64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `buckets` is zero.
+    pub fn new(width: u64, buckets: usize) -> Histogram {
+        assert!(width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = (sample / self.width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Count of samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The smallest value `v` such that at least `q` (0..=1) of samples are
+    /// `< v + width` — a bucket-resolution quantile. Returns 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return i as u64 * self.width;
+            }
+        }
+        self.counts.len() as u64 * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_empty() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.min(), 0.0);
+        assert_eq!(r.max(), 0.0);
+        assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn running_tracks_extremes() {
+        let mut r = Running::new();
+        for x in [5.0, -1.0, 3.0] {
+            r.push(x);
+        }
+        assert_eq!(r.min(), -1.0);
+        assert_eq!(r.max(), 5.0);
+        assert!((r.mean() - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.sum(), 7.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 3); // [0,10) [10,20) [20,30) + overflow
+        for s in [0, 9, 10, 25, 29, 30, 1000] {
+            h.record(s);
+        }
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 2);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(1, 100);
+        for s in 0..100 {
+            h.record(s);
+        }
+        assert_eq!(h.quantile(0.5), 49);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 99);
+        assert_eq!(Histogram::new(1, 1).quantile(0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        Histogram::new(0, 4);
+    }
+}

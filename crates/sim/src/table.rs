@@ -1,0 +1,168 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! The harness binaries print the paper's tables and figure series as
+//! aligned text tables; this module keeps the formatting in one place.
+//!
+//! # Example
+//!
+//! ```
+//! use svc_sim::table::Table;
+//! let mut t = Table::new(vec!["Benchmark".into(), "IPC".into()]);
+//! t.row(vec!["compress".into(), format!("{:.2}", 2.5)]);
+//! let s = t.render();
+//! assert!(s.contains("compress"));
+//! assert!(s.contains("2.50"));
+//! ```
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: Vec<String>) -> Table {
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows are
+    /// rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` has more entries than the header.
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        assert!(
+            cells.len() <= self.header.len(),
+            "row has {} cells but table has {} columns",
+            cells.len(),
+            self.header.len()
+        );
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: header, separator, rows; first column
+    /// left-aligned, the rest right-aligned (numeric convention).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.chars().count();
+                if i == 0 {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+            }
+            while line.ends_with(' ') {
+                line.pop();
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio with three decimals, the precision the paper's Tables 2
+/// and 3 use.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an IPC with two decimals, matching the paper's figures.
+pub fn fmt_ipc(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage difference, e.g. `+8.1%`.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name".into(), "v".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned second column: "1" should be preceded by a space.
+        assert!(lines[2].ends_with(" 1"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        t.render(); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 3 cells")]
+    fn long_row_panics() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ratio(0.0314), "0.031");
+        assert_eq!(fmt_ipc(2.345), "2.35");
+        assert_eq!(fmt_pct(0.081), "+8.1%");
+        assert_eq!(fmt_pct(-0.02), "-2.0%");
+    }
+}

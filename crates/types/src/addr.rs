@@ -1,0 +1,177 @@
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// A word-granularity memory address.
+///
+/// The paper's caches disambiguate at byte granularity; this reproduction
+/// disambiguates at *word* granularity, the unit at which the synthetic
+/// workloads read and write values. One `Addr` names one [`crate::Word`] of
+/// storage. Cache geometry (line size, sub-blocks) is expressed in words.
+///
+/// # Example
+///
+/// ```
+/// use svc_types::Addr;
+/// let a = Addr(0x13);
+/// assert_eq!(a.line(4), svc_types::LineId(0x4));
+/// assert_eq!(a.offset_in_line(4), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The line (address-block) this word falls into, for a line of
+    /// `words_per_line` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_line` is zero.
+    #[inline]
+    pub fn line(self, words_per_line: usize) -> LineId {
+        assert!(words_per_line > 0, "line size must be non-zero");
+        LineId(self.0 / words_per_line as u64)
+    }
+
+    /// Offset of this word within its line, in words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_line` is zero.
+    #[inline]
+    pub fn offset_in_line(self, words_per_line: usize) -> usize {
+        assert!(words_per_line > 0, "line size must be non-zero");
+        (self.0 % words_per_line as u64) as usize
+    }
+
+    /// Returns the address `n` words after this one.
+    #[inline]
+    pub fn offset(self, n: u64) -> Addr {
+        Addr(self.0 + n)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0 - rhs)
+    }
+}
+
+impl From<u64> for Addr {
+    #[inline]
+    fn from(v: u64) -> Addr {
+        Addr(v)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Identifier of a cache line (an *address block* in the paper's §3.7
+/// terminology): the word address divided by the line size.
+///
+/// A `LineId` is only meaningful together with the line size that produced
+/// it; all components of one simulation share a single geometry, so this is
+/// not carried in the type.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineId(pub u64);
+
+impl LineId {
+    /// The address of word `offset` within this line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= words_per_line`.
+    #[inline]
+    pub fn word(self, offset: usize, words_per_line: usize) -> Addr {
+        assert!(offset < words_per_line, "offset {offset} outside line of {words_per_line} words");
+        Addr(self.0 * words_per_line as u64 + offset as u64)
+    }
+
+    /// The address of the first word of this line.
+    #[inline]
+    pub fn first_word(self, words_per_line: usize) -> Addr {
+        Addr(self.0 * words_per_line as u64)
+    }
+}
+
+impl fmt::Debug for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineId({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_offset_roundtrip() {
+        for wpl in [1usize, 2, 4, 8] {
+            for raw in [0u64, 1, 7, 63, 64, 1000] {
+                let a = Addr(raw);
+                let line = a.line(wpl);
+                let off = a.offset_in_line(wpl);
+                assert_eq!(line.word(off, wpl), a, "wpl={wpl} raw={raw}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_line_size_one_is_identity() {
+        let a = Addr(42);
+        assert_eq!(a.line(1).0, 42);
+        assert_eq!(a.offset_in_line(1), 0);
+    }
+
+    #[test]
+    fn first_word_is_offset_zero() {
+        let l = LineId(5);
+        assert_eq!(l.first_word(4), l.word(0, 4));
+        assert_eq!(l.first_word(4), Addr(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside line")]
+    fn word_offset_out_of_range_panics() {
+        LineId(0).word(4, 4);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Addr(10) + 5, Addr(15));
+        assert_eq!(Addr(10) - 5, Addr(5));
+        assert_eq!(Addr(10).offset(3), Addr(13));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Addr(255)), "0xff");
+        assert_eq!(format!("{:?}", Addr(255)), "Addr(0xff)");
+        assert_eq!(format!("{}", LineId(16)), "L0x10");
+    }
+}

@@ -1,0 +1,256 @@
+use crate::{PuId, TaskId};
+
+/// The task-assignment table: which task each processing unit is currently
+/// executing, if any.
+///
+/// The sequence of tasks assigned to the PUs "enforces an implicit total
+/// order among the PUs" (paper §2.1, Figure 1). The Version Control Logic
+/// consults this order on every bus request to position the requestor in the
+/// Version Ordering List, and the ARB uses it to map PUs to stages. Both
+/// memory systems receive assignment updates through
+/// [`crate::VersionedMemory::assign`].
+///
+/// # Example
+///
+/// ```
+/// use svc_types::{PuId, TaskId, TaskAssignments};
+/// let mut asg = TaskAssignments::new(4);
+/// asg.assign(PuId(1), TaskId(10));
+/// asg.assign(PuId(3), TaskId(11));
+/// asg.assign(PuId(0), TaskId(12));
+/// assert_eq!(asg.head(), Some(PuId(1)));
+/// assert_eq!(asg.program_order(), vec![PuId(1), PuId(3), PuId(0)]);
+/// assert!(asg.precedes(PuId(1), PuId(0)));
+/// asg.release(PuId(1));
+/// assert_eq!(asg.head(), Some(PuId(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskAssignments {
+    task_of: Vec<Option<TaskId>>,
+}
+
+impl TaskAssignments {
+    /// Creates an empty table for `num_pus` processing units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pus` is zero.
+    pub fn new(num_pus: usize) -> TaskAssignments {
+        assert!(num_pus > 0, "need at least one PU");
+        TaskAssignments {
+            task_of: vec![None; num_pus],
+        }
+    }
+
+    /// Number of processing units this table covers.
+    pub fn num_pus(&self) -> usize {
+        self.task_of.len()
+    }
+
+    /// Records that `pu` now executes `task`. Overwrites any previous
+    /// assignment of `pu` (the PU was re-allocated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pu` is out of range, or if `task` is already assigned to a
+    /// different PU (two PUs can never run the same dynamic task).
+    pub fn assign(&mut self, pu: PuId, task: TaskId) {
+        for (i, t) in self.task_of.iter().enumerate() {
+            assert!(
+                *t != Some(task) || i == pu.index(),
+                "{task} already assigned to PU{i}"
+            );
+        }
+        self.task_of[pu.index()] = Some(task);
+    }
+
+    /// Clears the assignment of `pu` (its task committed or was squashed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pu` is out of range.
+    pub fn release(&mut self, pu: PuId) {
+        self.task_of[pu.index()] = None;
+    }
+
+    /// The task currently executing on `pu`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pu` is out of range.
+    pub fn task_of(&self, pu: PuId) -> Option<TaskId> {
+        self.task_of[pu.index()]
+    }
+
+    /// The PU currently executing `task`, if any.
+    pub fn pu_of(&self, task: TaskId) -> Option<PuId> {
+        self.task_of
+            .iter()
+            .position(|t| *t == Some(task))
+            .map(PuId)
+    }
+
+    /// The *head* PU: the one executing the oldest (non-speculative) task.
+    /// `None` if no PU has an assignment.
+    pub fn head(&self) -> Option<PuId> {
+        self.occupied()
+            .min_by_key(|&(_, t)| t)
+            .map(|(pu, _)| pu)
+    }
+
+    /// The PU executing the youngest (most speculative) task, if any.
+    pub fn tail(&self) -> Option<PuId> {
+        self.occupied()
+            .max_by_key(|&(_, t)| t)
+            .map(|(pu, _)| pu)
+    }
+
+    /// All occupied PUs ordered oldest task first — the implicit total order
+    /// of paper §2.1 (the solid arrowheads in the paper's figures).
+    pub fn program_order(&self) -> Vec<PuId> {
+        let mut v: Vec<(PuId, TaskId)> = self.occupied().collect();
+        v.sort_by_key(|&(_, t)| t);
+        v.into_iter().map(|(pu, _)| pu).collect()
+    }
+
+    /// Whether `a`'s task is older than `b`'s task. Unassigned PUs follow all
+    /// assigned ones and compare by index among themselves, so the order is
+    /// still total.
+    pub fn precedes(&self, a: PuId, b: PuId) -> bool {
+        match (self.task_of(a), self.task_of(b)) {
+            (Some(ta), Some(tb)) => ta.is_older_than(tb),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a.index() < b.index(),
+        }
+    }
+
+    /// Occupied PUs strictly younger than `pu`'s task, oldest first. Used by
+    /// the VCL to walk "the requestor's immediate successor (in task
+    /// assignment order)" onward when a store invalidates later copies
+    /// (paper §3.2.3).
+    pub fn successors_of(&self, pu: PuId) -> Vec<PuId> {
+        let Some(me) = self.task_of(pu) else {
+            return Vec::new();
+        };
+        let mut v: Vec<(PuId, TaskId)> = self
+            .occupied()
+            .filter(|&(_, t)| me.is_older_than(t))
+            .collect();
+        v.sort_by_key(|&(_, t)| t);
+        v.into_iter().map(|(pu, _)| pu).collect()
+    }
+
+    /// Occupied PUs strictly older than `pu`'s task, youngest first (the
+    /// reverse-order search direction used when locating the version to
+    /// supply a load, paper §3.2.2).
+    pub fn predecessors_of(&self, pu: PuId) -> Vec<PuId> {
+        let Some(me) = self.task_of(pu) else {
+            return Vec::new();
+        };
+        let mut v: Vec<(PuId, TaskId)> = self
+            .occupied()
+            .filter(|&(_, t)| t.is_older_than(me))
+            .collect();
+        v.sort_by_key(|&(_, t)| core::cmp::Reverse(t));
+        v.into_iter().map(|(pu, _)| pu).collect()
+    }
+
+    /// Iterator over `(pu, task)` pairs for occupied PUs, in PU-index order.
+    fn occupied(&self) -> impl Iterator<Item = (PuId, TaskId)> + '_ {
+        self.task_of
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (PuId(i), t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TaskAssignments {
+        // Mirrors the paper's Figure 13 snapshot: tasks need not be assigned
+        // to PUs in circular order.
+        let mut asg = TaskAssignments::new(4);
+        asg.assign(PuId(0), TaskId(5)); // X/5
+        asg.assign(PuId(1), TaskId(3)); // Y/3
+        asg.assign(PuId(2), TaskId(4)); // Z/4
+        asg.assign(PuId(3), TaskId(2)); // W/2
+        asg
+    }
+
+    #[test]
+    fn head_and_tail() {
+        let asg = table();
+        assert_eq!(asg.head(), Some(PuId(3)));
+        assert_eq!(asg.tail(), Some(PuId(0)));
+    }
+
+    #[test]
+    fn program_order_sorts_by_task() {
+        assert_eq!(
+            table().program_order(),
+            vec![PuId(3), PuId(1), PuId(2), PuId(0)]
+        );
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let asg = table();
+        assert_eq!(asg.successors_of(PuId(1)), vec![PuId(2), PuId(0)]);
+        assert_eq!(asg.predecessors_of(PuId(1)), vec![PuId(3)]);
+        assert_eq!(asg.predecessors_of(PuId(0)), vec![PuId(2), PuId(1), PuId(3)]);
+        assert_eq!(asg.successors_of(PuId(0)), Vec::<PuId>::new());
+    }
+
+    #[test]
+    fn precedes_total_order() {
+        let mut asg = table();
+        assert!(asg.precedes(PuId(3), PuId(1)));
+        assert!(!asg.precedes(PuId(1), PuId(3)));
+        asg.release(PuId(0));
+        // Unassigned PU follows all assigned PUs.
+        assert!(asg.precedes(PuId(1), PuId(0)));
+        assert!(!asg.precedes(PuId(0), PuId(1)));
+    }
+
+    #[test]
+    fn release_updates_head() {
+        let mut asg = table();
+        asg.release(PuId(3));
+        assert_eq!(asg.head(), Some(PuId(1)));
+        assert_eq!(asg.task_of(PuId(3)), None);
+    }
+
+    #[test]
+    fn pu_of_lookup() {
+        let asg = table();
+        assert_eq!(asg.pu_of(TaskId(4)), Some(PuId(2)));
+        assert_eq!(asg.pu_of(TaskId(99)), None);
+    }
+
+    #[test]
+    fn reassigning_same_pu_is_allowed() {
+        let mut asg = table();
+        asg.assign(PuId(0), TaskId(9));
+        assert_eq!(asg.task_of(PuId(0)), Some(TaskId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already assigned")]
+    fn duplicate_task_panics() {
+        let mut asg = table();
+        asg.assign(PuId(0), TaskId(3)); // T3 is on PU1
+    }
+
+    #[test]
+    fn empty_table() {
+        let asg = TaskAssignments::new(2);
+        assert_eq!(asg.head(), None);
+        assert_eq!(asg.tail(), None);
+        assert!(asg.program_order().is_empty());
+        assert!(asg.successors_of(PuId(0)).is_empty());
+        assert!(asg.predecessors_of(PuId(0)).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+use core::fmt;
+
+/// Identifier of a processing unit (PU) and, equivalently, of its private
+/// L1 cache.
+///
+/// The paper's examples name PUs `W`, `X`, `Y`, `Z`; here they are dense
+/// indices `0..num_pus`. The Version Ordering List pointers in SVC lines
+/// identify PUs (not tasks), exactly as in the paper §3.2: "the pointer
+/// identifies a PU rather than a task because identifying a dynamic task
+/// would require an infinite number of tags".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PuId(pub usize);
+
+impl PuId {
+    /// Index into per-PU arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for PuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PU{}", self.0)
+    }
+}
+
+impl fmt::Display for PuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PU{}", self.0)
+    }
+}
+
+impl From<usize> for PuId {
+    #[inline]
+    fn from(v: usize) -> PuId {
+        PuId(v)
+    }
+}
+
+/// Identifier of a dynamic task: its position in the dynamic task sequence
+/// (paper §2.1).
+///
+/// Smaller ids are older tasks; the task with the smallest id among the
+/// currently executing tasks is the *head* (non-speculative) task. Ids are
+/// never reused within a run, including across squashes — a squashed task
+/// that is re-dispatched keeps the same position in the program but receives
+/// the same `TaskId`, since the id *is* the program position.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    /// The task immediately after this one in program order.
+    #[inline]
+    pub fn next(self) -> TaskId {
+        TaskId(self.0 + 1)
+    }
+
+    /// Whether `self` precedes `other` in program order (is older).
+    #[inline]
+    pub fn is_older_than(self, other: TaskId) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u64> for TaskId {
+    #[inline]
+    fn from(v: u64) -> TaskId {
+        TaskId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_order() {
+        assert!(TaskId(3).is_older_than(TaskId(4)));
+        assert!(!TaskId(4).is_older_than(TaskId(4)));
+        assert!(!TaskId(5).is_older_than(TaskId(4)));
+        assert_eq!(TaskId(3).next(), TaskId(4));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", PuId(2)), "PU2");
+        assert_eq!(format!("{}", TaskId(9)), "T9");
+        assert_eq!(format!("{:?}", PuId(2)), "PU2");
+    }
+
+    #[test]
+    fn pu_index() {
+        assert_eq!(PuId(7).index(), 7);
+        assert_eq!(PuId::from(3), PuId(3));
+        assert_eq!(TaskId::from(3), TaskId(3));
+    }
+}

@@ -1,0 +1,198 @@
+use core::fmt;
+
+/// Statistics reported by a [`crate::VersionedMemory`] implementation.
+///
+/// Every field is a plain event count; the experiment harness derives the
+/// paper's reported metrics from them:
+///
+/// * **miss ratio** (Table 2) = `next_level_fills / (loads + stores)` —
+///   "an access is counted as a miss if data is supplied by the next level
+///   memory; data transfers between the L1 caches are not counted as
+///   misses" (§4.4);
+/// * **bus utilization** (Table 3) = `bus_busy_cycles / elapsed cycles`.
+///
+/// The struct is plain data with public fields (a passive record, in the C
+/// spirit) so that implementations can fill in exactly the events that
+/// apply to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct MemStats {
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Accesses satisfied entirely locally (no bus transaction).
+    pub local_hits: u64,
+    /// Accesses whose data came from another L1 cache / buffer stage over
+    /// the interconnect.
+    pub cache_transfers: u64,
+    /// Accesses whose data came from the next level of memory (the paper's
+    /// definition of a miss).
+    pub next_level_fills: u64,
+    /// Bus transactions issued (BusRead + BusWrite + BusWback).
+    pub bus_transactions: u64,
+    /// Cycles during which the snooping bus was occupied.
+    pub bus_busy_cycles: u64,
+    /// Lines written back to the next level of memory.
+    pub writebacks: u64,
+    /// Committed versions purged without writeback (superseded by a newer
+    /// committed version, §3.4.1).
+    pub purged_versions: u64,
+    /// Memory-dependence violations detected (each triggers a task squash).
+    pub violations: u64,
+    /// Lines invalidated by task squashes.
+    pub squash_invalidations: u64,
+    /// Lines retained across a squash thanks to the architectural (A) bit
+    /// (§3.5.1) — zero for designs without it.
+    pub squash_retained: u64,
+    /// Lines snarfed off the bus (§3.6) — zero for designs without snarfing.
+    pub snarfs: u64,
+    /// Accesses that stalled because a speculative cache could not replace a
+    /// line (§3.2.5).
+    pub replacement_stalls: u64,
+    /// Fills served by a shared L2 between the L1 level and memory
+    /// (zero unless the optional L2 extension is configured).
+    pub l2_hits: u64,
+    /// Fills that missed the optional L2 and went to main memory.
+    pub l2_misses: u64,
+}
+
+impl MemStats {
+    /// Total loads + stores.
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// The paper's miss ratio: next-level fills over total accesses.
+    /// Returns 0.0 when no accesses were issued.
+    pub fn miss_ratio(&self) -> f64 {
+        ratio(self.next_level_fills, self.accesses())
+    }
+
+    /// Fraction of accesses satisfied without any bus transaction.
+    pub fn local_hit_ratio(&self) -> f64 {
+        ratio(self.local_hits, self.accesses())
+    }
+
+    /// Bus utilization over an `elapsed`-cycle window.
+    /// Returns 0.0 when `elapsed` is zero.
+    pub fn bus_utilization(&self, elapsed: u64) -> f64 {
+        ratio(self.bus_busy_cycles, elapsed)
+    }
+
+    /// Field-wise difference `self - earlier`, for measuring a window
+    /// between two snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter decreased (snapshots out of
+    /// order).
+    pub fn since(&self, earlier: &MemStats) -> MemStats {
+        let d = |a: u64, b: u64| {
+            debug_assert!(a >= b, "stats snapshot went backwards");
+            a - b
+        };
+        MemStats {
+            loads: d(self.loads, earlier.loads),
+            stores: d(self.stores, earlier.stores),
+            local_hits: d(self.local_hits, earlier.local_hits),
+            cache_transfers: d(self.cache_transfers, earlier.cache_transfers),
+            next_level_fills: d(self.next_level_fills, earlier.next_level_fills),
+            bus_transactions: d(self.bus_transactions, earlier.bus_transactions),
+            bus_busy_cycles: d(self.bus_busy_cycles, earlier.bus_busy_cycles),
+            writebacks: d(self.writebacks, earlier.writebacks),
+            purged_versions: d(self.purged_versions, earlier.purged_versions),
+            violations: d(self.violations, earlier.violations),
+            squash_invalidations: d(self.squash_invalidations, earlier.squash_invalidations),
+            squash_retained: d(self.squash_retained, earlier.squash_retained),
+            snarfs: d(self.snarfs, earlier.snarfs),
+            replacement_stalls: d(self.replacement_stalls, earlier.replacement_stalls),
+            l2_hits: d(self.l2_hits, earlier.l2_hits),
+            l2_misses: d(self.l2_misses, earlier.l2_misses),
+        }
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} loads, {} stores, miss ratio {:.3}, {} bus txns, {} writebacks, {} violations",
+            self.loads,
+            self.stores,
+            self.miss_ratio(),
+            self.bus_transactions,
+            self.writebacks,
+            self.violations
+        )
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominator() {
+        let s = MemStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.local_hit_ratio(), 0.0);
+        assert_eq!(s.bus_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_matches_paper_definition() {
+        let s = MemStats {
+            loads: 60,
+            stores: 40,
+            next_level_fills: 5,
+            cache_transfers: 10, // transfers are NOT misses
+            ..MemStats::default()
+        };
+        assert!((s.miss_ratio() - 0.05).abs() < 1e-12);
+        assert_eq!(s.accesses(), 100);
+    }
+
+    #[test]
+    fn bus_utilization() {
+        let s = MemStats {
+            bus_busy_cycles: 25,
+            ..MemStats::default()
+        };
+        assert!((s.bus_utilization(100) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = MemStats {
+            loads: 10,
+            stores: 4,
+            bus_busy_cycles: 7,
+            ..MemStats::default()
+        };
+        let b = MemStats {
+            loads: 25,
+            stores: 9,
+            bus_busy_cycles: 20,
+            ..MemStats::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.loads, 15);
+        assert_eq!(d.stores, 5);
+        assert_eq!(d.bus_busy_cycles, 13);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = MemStats::default();
+        assert!(!format!("{s}").is_empty());
+    }
+}

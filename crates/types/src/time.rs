@@ -1,0 +1,102 @@
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point on the simulated clock, in processor cycles.
+///
+/// The whole reproduction is cycle-stepped: components receive the current
+/// `Cycle` with each request and answer with the cycle at which the request
+/// completes. `Cycle` is also used for durations where the meaning is clear
+/// from context (e.g. `Cycle(3)` as "three cycles of bus occupancy").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Cycle zero, the start of the simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The later of two cycles.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating difference `self - other`, as a number of cycles.
+    #[inline]
+    pub fn since(self, other: Cycle) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cycle(5) + 3, Cycle(8));
+        assert_eq!(Cycle(8) - Cycle(5), 3);
+        let mut c = Cycle(1);
+        c += 2;
+        assert_eq!(c, Cycle(3));
+    }
+
+    #[test]
+    fn max_and_since() {
+        assert_eq!(Cycle(5).max(Cycle(9)), Cycle(9));
+        assert_eq!(Cycle(9).max(Cycle(5)), Cycle(9));
+        assert_eq!(Cycle(9).since(Cycle(5)), 4);
+        assert_eq!(Cycle(5).since(Cycle(9)), 0, "since saturates");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Cycle(7)), "cycle 7");
+        assert_eq!(format!("{:?}", Cycle(7)), "@7");
+    }
+}

@@ -1,0 +1,85 @@
+use core::fmt;
+
+/// A machine word of data — the unit of storage named by one [`crate::Addr`].
+///
+/// Memory is initialised to `Word::ZERO`; workload generators write
+/// distinguishable values so that the correctness checks (sequential
+/// semantics, SVC-vs-ARB architectural equivalence) can compare final
+/// memory images word by word.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Word(pub u64);
+
+impl Word {
+    /// The all-zero word, the initial content of every memory location.
+    pub const ZERO: Word = Word(0);
+}
+
+impl From<u64> for Word {
+    #[inline]
+    fn from(v: u64) -> Word {
+        Word(v)
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Word::default(), Word::ZERO);
+        assert_eq!(Word::ZERO.0, 0);
+    }
+
+    #[test]
+    fn formatting() {
+        let w = Word(0xab);
+        assert_eq!(format!("{w}"), "0xab");
+        assert_eq!(format!("{w:x}"), "ab");
+        assert_eq!(format!("{w:X}"), "AB");
+        assert_eq!(format!("{w:b}"), "10101011");
+        assert_eq!(format!("{w:o}"), "253");
+        assert_eq!(format!("{w:?}"), "Word(0xab)");
+    }
+
+    #[test]
+    fn conversion() {
+        assert_eq!(Word::from(5u64), Word(5));
+    }
+}

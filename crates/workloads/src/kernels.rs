@@ -1,0 +1,188 @@
+//! Small named kernels for examples, ablation benches and tests.
+//!
+//! Unlike the [`crate::spec95`] models, these isolate a single memory
+//! behaviour each, so an ablation can attribute an effect to one
+//! mechanism (commit policy, squash policy, snarfing, line size, update
+//! protocol).
+
+use svc_multiscalar::{Instr, VecTaskSource};
+use svc_sim::rng::Xoshiro256;
+use svc_types::{Addr, Word};
+
+/// Streaming sweep: task `i` reads and writes a fresh block of
+/// `block` words. Compulsory misses, zero sharing — the base caching
+/// cost.
+pub fn streaming(tasks: u64, block: u64) -> VecTaskSource {
+    let v = (0..tasks)
+        .map(|i| {
+            let base = i * block;
+            let mut t = Vec::new();
+            for k in 0..block {
+                t.push(Instr::Load(Addr(base + k)));
+                t.push(Instr::Compute(0));
+                t.push(Instr::Store(Addr(base + k), Word(i + k + 1)));
+            }
+            t
+        })
+        .collect();
+    VecTaskSource::new(v).with_name("streaming")
+}
+
+/// Read-only sharing: every task reads the same `table` words. Exercises
+/// reference spreading, the T bit and snarfing.
+pub fn readonly_sharing(tasks: u64, table: u64) -> VecTaskSource {
+    let v = (0..tasks)
+        .map(|i| {
+            let mut t = Vec::new();
+            for k in 0..table {
+                t.push(Instr::Load(Addr(k)));
+                if k % 4 == 0 {
+                    t.push(Instr::Compute(0));
+                }
+            }
+            t.push(Instr::Store(Addr(1 << 20) + i, Word(i + 1)));
+            t
+        })
+        .collect();
+    VecTaskSource::new(v).with_name("readonly-sharing")
+}
+
+/// Producer→consumer chain: task `i` loads what task `i-1` stored, early,
+/// and stores its own result late. Maximizes memory-dependence
+/// violations and squash-replay traffic.
+pub fn producer_consumer(tasks: u64, work: usize) -> VecTaskSource {
+    let v = (0..tasks)
+        .map(|i| {
+            let mut t = Vec::new();
+            if i > 0 {
+                t.push(Instr::Load(Addr(i - 1)));
+            }
+            t.extend(std::iter::repeat_n(Instr::Compute(1), work));
+            t.push(Instr::Store(Addr(i), Word(i + 1)));
+            t
+        })
+        .collect();
+    VecTaskSource::new(v).with_name("producer-consumer")
+}
+
+/// Migratory reduction: every task read-modify-writes the same cell.
+/// Fully serialized; the line migrates cache-to-cache every task.
+pub fn reduction(tasks: u64, work: usize) -> VecTaskSource {
+    let v = (0..tasks)
+        .map(|i| {
+            let mut t = vec![Instr::Load(Addr(0))];
+            t.extend(std::iter::repeat_n(Instr::Compute(0), work));
+            t.push(Instr::Store(Addr(0), Word(i + 1)));
+            t
+        })
+        .collect();
+    VecTaskSource::new(v).with_name("reduction")
+}
+
+/// False sharing: neighbouring tasks store to *different words of the
+/// same 4-word line*. With word-granularity versioning blocks this is
+/// harmless; with line-granularity L/S bits it squashes constantly.
+pub fn false_sharing(tasks: u64, work: usize) -> VecTaskSource {
+    let v = (0..tasks)
+        .map(|i| {
+            let line = i / 4;
+            let word = i % 4;
+            let mut t = vec![Instr::Load(Addr(line * 4 + (word + 1) % 4))];
+            t.extend(std::iter::repeat_n(Instr::Compute(0), work));
+            t.push(Instr::Store(Addr(line * 4 + word), Word(i + 1)));
+            t
+        })
+        .collect();
+    VecTaskSource::new(v).with_name("false-sharing")
+}
+
+/// Slot revisiting: `slots` cells, each owned by one PU (task-id modulo
+/// slots, with round-robin dispatch giving PU affinity). Every task
+/// read-modify-writes its own slot (last written by the same PU an epoch
+/// ago) and reads a neighbour's slot, whose BusRead flushes that PU's
+/// committed version. Whether the flushed line is *retained* (§3.8.1) or
+/// purged decides if the owner's next-epoch revisit is a local hit.
+pub fn revisit(tasks: u64, slots: u64, work: usize) -> VecTaskSource {
+    assert!(slots >= 4, "need enough slots to separate owners");
+    let v = (0..tasks)
+        .map(|i| {
+            let own = i % slots;
+            // Last written 5 tasks ago: safely committed (4 PUs), so the
+            // read never races the writer.
+            let neighbour = (i + slots - 5) % slots;
+            let mut t = vec![Instr::Load(Addr(own)), Instr::Load(Addr(neighbour))];
+            t.extend(std::iter::repeat_n(Instr::Compute(0), work));
+            t.push(Instr::Store(Addr(own), Word(i + 1)));
+            t
+        })
+        .collect();
+    VecTaskSource::new(v).with_name("revisit")
+}
+
+/// Pointer chase: dependent loads walking a deterministic pseudo-random
+/// permutation. Every load's latency is exposed — the most
+/// hit-latency-sensitive kernel.
+pub fn pointer_chase(tasks: u64, hops: usize, table: u64, seed: u64) -> VecTaskSource {
+    // Build a permutation table; tasks chase `hops` steps each, handing
+    // the cursor to the next task through a mailbox.
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut perm: Vec<u64> = (0..table).collect();
+    rng.shuffle(&mut perm);
+    let mut cursor = 0u64;
+    let v = (0..tasks)
+        .map(|i| {
+            let mut t = Vec::new();
+            for _ in 0..hops {
+                t.push(Instr::Load(Addr(cursor)));
+                t.push(Instr::Compute(0));
+                cursor = perm[cursor as usize];
+            }
+            t.push(Instr::Store(Addr(1 << 20) + i, Word(cursor + 1)));
+            t
+        })
+        .collect();
+    VecTaskSource::new(v).with_name("pointer-chase")
+}
+
+#[cfg(test)]
+mod tests {
+    use svc_multiscalar::TaskSource;
+    use svc_types::TaskId;
+
+    use super::*;
+
+    #[test]
+    fn kernels_generate_expected_shapes() {
+        assert_eq!(streaming(4, 8).task(TaskId(0)).unwrap().len(), 24);
+        assert_eq!(
+            readonly_sharing(4, 8).task(TaskId(3)).unwrap().len(),
+            8 + 2 + 1
+        );
+        let pc = producer_consumer(4, 3);
+        assert_eq!(pc.task(TaskId(0)).unwrap().len(), 4, "task 0 has no load");
+        assert_eq!(pc.task(TaskId(1)).unwrap().len(), 5);
+        assert_eq!(reduction(4, 2).task(TaskId(2)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn false_sharing_uses_distinct_words_of_one_line() {
+        let fs = false_sharing(8, 0);
+        for i in 0..4u64 {
+            let t = fs.task(TaskId(i)).unwrap();
+            let Instr::Store(addr, _) = *t.last().unwrap() else {
+                panic!("last is a store");
+            };
+            assert_eq!(addr.0 / 4, 0, "first four tasks share line 0");
+            assert_eq!(addr.0 % 4, i);
+        }
+    }
+
+    #[test]
+    fn pointer_chase_is_deterministic() {
+        let a = pointer_chase(10, 4, 256, 9);
+        let b = pointer_chase(10, 4, 256, 9);
+        for i in 0..10 {
+            assert_eq!(a.task(TaskId(i)), b.task(TaskId(i)));
+        }
+    }
+}

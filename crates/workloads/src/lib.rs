@@ -1,0 +1,52 @@
+//! Synthetic workload models for the SVC reproduction.
+//!
+//! The paper evaluates on SPEC95 binaries compiled by the multiscalar gcc
+//! and run for 200M instructions (§4.3). Those binaries and that compiler
+//! are not available, so — per DESIGN.md substitution 1 — each benchmark
+//! is modelled as a *deterministic, seeded task generator* parameterised
+//! by the memory-behaviour properties that actually drive the ARB-vs-SVC
+//! comparison:
+//!
+//! * instruction mix and task-size distribution,
+//! * working-set size, temporal (hot-set) and spatial (streaming)
+//!   locality,
+//! * cross-task dependence density and distance (producer→consumer
+//!   mailboxes, serializing reductions),
+//! * read-only shared data (what the SVC's T bit and snarfing exploit),
+//! * cache-conflict patterns (what the ARB's direct-mapped backing cache
+//!   is sensitive to),
+//! * task-misprediction rate.
+//!
+//! [`profile::WorkloadProfile`] is the parameter block and
+//! [`profile::SyntheticWorkload`] the generator (a
+//! [`TaskSource`](svc_multiscalar::TaskSource) usable with the engine);
+//! [`spec95`] instantiates the seven benchmarks of the paper's Table 2;
+//! [`kernels`] provides small named kernels (streaming, pointer chase,
+//! reduction, read-only sharing, producer–consumer, slot revisiting) for
+//! examples and ablations; [`trace`] reads and writes a plain-text trace
+//! format so external task streams can be run through the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use svc_multiscalar::TaskSource;
+//! use svc_workloads::spec95::Spec95;
+//!
+//! let wl = Spec95::Compress.workload(42);
+//! let t0 = wl.task(svc_types::TaskId(0)).expect("tasks exist");
+//! assert!(!t0.is_empty());
+//! // Deterministic: the same task id always yields the same instructions.
+//! assert_eq!(t0, wl.task(svc_types::TaskId(0)).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod profile;
+pub mod spec95;
+pub mod trace;
+
+pub use profile::{SyntheticWorkload, WorkloadProfile};
+pub use spec95::Spec95;
+pub use trace::{parse_trace, render_trace, ParseTraceError};

@@ -1,0 +1,347 @@
+//! The parameterised synthetic workload generator.
+
+use svc_multiscalar::{Instr, PredictorModel, TaskSource};
+use svc_sim::rng::Xoshiro256;
+use svc_types::{Addr, TaskId, Word};
+
+/// Base word addresses of the regions a workload touches. Spread far
+/// apart so the regions never alias.
+// The offsets added to each power-of-two base stagger the regions in the
+// index space of a 32KB direct-mapped cache (8192 words), the way a sane
+// program layout does — without them the synthetic regions would alias
+// pathologically, which real SPEC95 images do not.
+const HOT_BASE: u64 = 0;
+const PRIVATE_BASE: u64 = (1 << 25) + 1536;
+const MAILBOX_BASE: u64 = (1 << 20) + 2304;
+const REDUCTION_BASE: u64 = (1 << 21) + 2400;
+const FRINGE_BASE: u64 = (1 << 19) + 2432;
+const CONFLICT_BASE: u64 = (1 << 22) + 7760;
+const STREAM_BASE: u64 = 1 << 23;
+const UNIFORM_BASE: u64 = (1 << 24) + 5680;
+const PRIVATE_SLOTS: u64 = 96;
+
+/// The memory-behaviour parameter block of one synthetic benchmark.
+///
+/// Fractions need not sum to 1: accesses fall through hot → stream →
+/// conflict → uniform in that order. See the crate docs for what each
+/// knob models and [`crate::spec95`] for the seven instantiations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name for reports.
+    pub name: &'static str,
+    /// Length of the dynamic task sequence.
+    pub num_tasks: u64,
+    /// Mean instructions per task (geometric-ish distribution).
+    pub mean_task_len: f64,
+    /// Fraction of instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of compute instructions with 1 extra cycle of latency
+    /// (the rest are single-cycle).
+    pub long_compute_frac: f64,
+
+    /// Fraction of accesses to the small hot (mostly read-shared) set.
+    pub hot_frac: f64,
+    /// Hot-set size in words.
+    pub hot_set: u64,
+    /// Fraction of accesses to the *fringe* set: sized to fit the shared
+    /// 32KB cache but overflow an 8KB private cache — the knob that
+    /// produces the SVC-vs-ARB miss-ratio gap of Table 2 (reference
+    /// spreading / replication pressure).
+    pub fringe_frac: f64,
+    /// Fringe-set size in words.
+    pub fringe_set: u64,
+    /// Fraction of accesses that stream sequentially (spatial locality).
+    pub stream_frac: f64,
+    /// Total extent of the streamed region in words.
+    pub stream_extent: u64,
+    /// Words the stream window advances per advance period.
+    pub stream_advance: u64,
+    /// Tasks per stream advance (larger = more cross-task reuse, fewer
+    /// compulsory misses).
+    pub stream_period: u64,
+    /// Words of the stream visible to one task.
+    pub stream_window: u64,
+    /// Fraction of accesses to the conflict blocks (aliased in a
+    /// direct-mapped cache, fine in a set-associative one).
+    pub conflict_frac: f64,
+    /// Number of conflict blocks.
+    pub conflict_blocks: u64,
+    /// Words per conflict block.
+    pub conflict_block: u64,
+    /// Word stride between conflict blocks (pick a multiple of the
+    /// direct-mapped cache's size to force aliasing).
+    pub conflict_stride: u64,
+    /// Extent of the uniform (low-locality) region in words.
+    pub ws_extent: u64,
+
+    /// Probability a task consumes its `dep_distance`-predecessor's
+    /// mailbox and produces into its own (true cross-task RAW).
+    pub mailbox_frac: f64,
+    /// Producer→consumer distance in tasks.
+    pub dep_distance: u64,
+    /// Number of mailbox cells.
+    pub mailboxes: u64,
+    /// Probability a task read-modify-writes a shared reduction cell
+    /// (serializing RAW chains, frequent violations).
+    pub reduction_frac: f64,
+    /// Number of reduction cells.
+    pub reduction_cells: u64,
+
+    /// Probability a store samples the shared regions like a load does;
+    /// the rest go to a rotating per-task private buffer (models the
+    /// mostly-private writable data of real programs — unconstrained
+    /// shared stores would drown the run in dependence violations).
+    pub store_shared_frac: f64,
+    /// Words per private store slot (small = stores cluster on few lines).
+    pub private_spread: u64,
+
+    /// Fraction of loads whose value feeds the next instruction (exposed
+    /// latency); differs by code style — stencil FP kernels chain loads
+    /// into arithmetic tightly, integer code has more slack.
+    pub load_dep_frac: f64,
+
+    /// Task-misprediction rate of the control-flow predictor model.
+    pub mispredict_rate: f64,
+    /// Cycles from dispatching a wrong task to detecting it.
+    pub detect_cycles: u64,
+}
+
+impl WorkloadProfile {
+    /// A small, fast, dependence-light profile for tests and examples.
+    pub fn demo() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "demo",
+            num_tasks: 200,
+            mean_task_len: 24.0,
+            load_frac: 0.25,
+            store_frac: 0.12,
+            long_compute_frac: 0.2,
+            hot_frac: 0.5,
+            hot_set: 128,
+            fringe_frac: 0.02,
+            fringe_set: 4096,
+            stream_frac: 0.3,
+            stream_extent: 16 * 1024,
+            stream_advance: 16,
+            stream_period: 1,
+            stream_window: 32,
+            conflict_frac: 0.0,
+            conflict_blocks: 1,
+            conflict_block: 1,
+            conflict_stride: 8192,
+            ws_extent: 4 * 1024,
+            mailbox_frac: 0.2,
+            dep_distance: 1,
+            mailboxes: 64,
+            reduction_frac: 0.02,
+            reduction_cells: 4,
+            store_shared_frac: 0.10,
+            private_spread: 8,
+            load_dep_frac: 0.35,
+            mispredict_rate: 0.02,
+            detect_cycles: 12,
+        }
+    }
+
+    /// The predictor model this profile implies.
+    pub fn predictor(&self, seed: u64) -> PredictorModel {
+        PredictorModel {
+            accuracy: 1.0 - self.mispredict_rate,
+            detect_cycles: self.detect_cycles,
+            seed: seed ^ 0x5EED,
+        }
+    }
+}
+
+/// A deterministic [`TaskSource`] generated from a [`WorkloadProfile`]
+/// and a seed. Task `id`'s instructions are a pure function of
+/// `(profile, seed, id)`, which is what makes squash-and-replay sound.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    profile: WorkloadProfile,
+    seed: u64,
+}
+
+impl SyntheticWorkload {
+    /// Creates the workload.
+    pub fn new(profile: WorkloadProfile, seed: u64) -> SyntheticWorkload {
+        SyntheticWorkload { profile, seed }
+    }
+
+    /// The profile used.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    fn sample_addr(&self, rng: &mut Xoshiro256, id: u64) -> Addr {
+        let p = &self.profile;
+        let mut r = rng.gen_f64();
+        if r < p.hot_frac {
+            return Addr(HOT_BASE + rng.gen_range(0..p.hot_set.max(1)));
+        }
+        r -= p.hot_frac;
+        if r < p.fringe_frac {
+            return Addr(FRINGE_BASE + rng.gen_range(0..p.fringe_set.max(1)));
+        }
+        r -= p.fringe_frac;
+        if r < p.stream_frac {
+            let advances = id / p.stream_period.max(1);
+            let off = (advances * p.stream_advance + rng.gen_range(0..p.stream_window.max(1)))
+                % p.stream_extent.max(1);
+            return Addr(STREAM_BASE + off);
+        }
+        r -= p.stream_frac;
+        if r < p.conflict_frac {
+            let block = rng.gen_range(0..p.conflict_blocks.max(1));
+            let off = rng.gen_range(0..p.conflict_block.max(1));
+            return Addr(CONFLICT_BASE + block * p.conflict_stride + off);
+        }
+        Addr(UNIFORM_BASE + rng.gen_range(0..p.ws_extent.max(1)))
+    }
+}
+
+impl TaskSource for SyntheticWorkload {
+    fn task(&self, id: TaskId) -> Option<Vec<Instr>> {
+        let p = &self.profile;
+        if id.0 >= p.num_tasks {
+            return None;
+        }
+        let mut rng = Xoshiro256::seed_from(self.seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let len = rng.gen_length(p.mean_task_len, (p.mean_task_len * 4.0) as u64 + 2) as usize;
+        let mut instrs: Vec<Instr> = Vec::with_capacity(len + 4);
+        for k in 0..len {
+            let r = rng.gen_f64();
+            if r < p.load_frac {
+                instrs.push(Instr::Load(self.sample_addr(&mut rng, id.0)));
+            } else if r < p.load_frac + p.store_frac {
+                let addr = if rng.gen_bool(p.store_shared_frac) {
+                    self.sample_addr(&mut rng, id.0)
+                } else {
+                    // Tasks reuse private slots (stack frames) at a
+                    // distance that keeps reuse off the concurrent window
+                    // but inside cache lifetimes; with round-robin task
+                    // placement the same PU sees the same slot again.
+                    let slot = id.0 % PRIVATE_SLOTS;
+                    let spread = p.private_spread.max(1);
+                    Addr(PRIVATE_BASE + slot * spread + rng.gen_range(0..spread))
+                };
+                instrs.push(Instr::Store(addr, Word((id.0 << 24) | k as u64)));
+            } else {
+                let lat = u8::from(rng.gen_bool(p.long_compute_frac));
+                instrs.push(Instr::Compute(lat));
+            }
+        }
+        // Cross-task mailbox dependence: consume early, produce late.
+        if rng.gen_bool(p.mailbox_frac) && p.mailboxes > 0 {
+            if id.0 >= p.dep_distance {
+                let from = (id.0 - p.dep_distance) % p.mailboxes;
+                instrs.insert(
+                    instrs.len().min(1),
+                    Instr::Load(Addr(MAILBOX_BASE + from)),
+                );
+            }
+            let to = id.0 % p.mailboxes;
+            instrs.push(Instr::Store(Addr(MAILBOX_BASE + to), Word(id.0 + 1)));
+        }
+        // Serializing reduction: read-modify-write of a shared cell.
+        if rng.gen_bool(p.reduction_frac) && p.reduction_cells > 0 {
+            let cell = Addr(REDUCTION_BASE + rng.gen_range(0..p.reduction_cells));
+            let at = rng.gen_index(0..instrs.len().max(1));
+            instrs.insert(at, Instr::Store(cell, Word(id.0 ^ 0xACC)));
+            instrs.insert(at, Instr::Load(cell));
+        }
+        Some(instrs)
+    }
+
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_tasks() {
+        let wl = SyntheticWorkload::new(WorkloadProfile::demo(), 7);
+        for i in [0u64, 1, 5, 100, 199] {
+            assert_eq!(wl.task(TaskId(i)), wl.task(TaskId(i)), "task {i}");
+        }
+        assert_eq!(wl.task(TaskId(200)), None);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticWorkload::new(WorkloadProfile::demo(), 1);
+        let b = SyntheticWorkload::new(WorkloadProfile::demo(), 2);
+        assert_ne!(a.task(TaskId(0)), b.task(TaskId(0)));
+    }
+
+    #[test]
+    fn instruction_mix_roughly_matches_profile() {
+        let wl = SyntheticWorkload::new(WorkloadProfile::demo(), 3);
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        let mut total = 0usize;
+        for i in 0..200 {
+            for ins in wl.task(TaskId(i)).expect("in range") {
+                total += 1;
+                match ins {
+                    Instr::Load(_) => loads += 1,
+                    Instr::Store(_, _) => stores += 1,
+                    Instr::Compute(_) => {}
+                }
+            }
+        }
+        let lf = loads as f64 / total as f64;
+        let sf = stores as f64 / total as f64;
+        assert!((lf - 0.27).abs() < 0.06, "load fraction {lf}");
+        assert!((sf - 0.13).abs() < 0.05, "store fraction {sf}");
+    }
+
+    #[test]
+    fn regions_do_not_alias() {
+        // Generate a lot of addresses and check region bases partition them.
+        let wl = SyntheticWorkload::new(WorkloadProfile::demo(), 5);
+        for i in 0..50 {
+            for ins in wl.task(TaskId(i)).expect("in range") {
+                let a = match ins {
+                    Instr::Load(a) => a,
+                    Instr::Store(a, _) => a,
+                    _ => continue,
+                };
+                let ok = a.0 < WorkloadProfile::demo().hot_set
+                    || (FRINGE_BASE..FRINGE_BASE + 8192).contains(&a.0)
+                    || (MAILBOX_BASE..MAILBOX_BASE + 64).contains(&a.0)
+                    || (REDUCTION_BASE..REDUCTION_BASE + 4).contains(&a.0)
+                    || (STREAM_BASE..STREAM_BASE + (1 << 20)).contains(&a.0)
+                    || (UNIFORM_BASE..UNIFORM_BASE + (1 << 20)).contains(&a.0)
+                    || (PRIVATE_BASE..PRIVATE_BASE + (1 << 20)).contains(&a.0);
+                assert!(ok, "address {a} outside every region");
+            }
+        }
+    }
+
+    #[test]
+    fn predictor_from_profile() {
+        let p = WorkloadProfile::demo().predictor(9);
+        assert!((p.accuracy - 0.98).abs() < 1e-12);
+        assert_eq!(p.detect_cycles, 12);
+    }
+
+    #[test]
+    fn mean_length_tracks_parameter() {
+        let mut profile = WorkloadProfile::demo();
+        profile.mean_task_len = 40.0;
+        profile.num_tasks = 2000;
+        let wl = SyntheticWorkload::new(profile, 11);
+        let total: usize = (0..2000)
+            .map(|i| wl.task(TaskId(i)).expect("in range").len())
+            .sum();
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 40.0).abs() < 4.0, "mean task length {mean}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Text trace format: run externally-generated task traces through the
+//! simulator, and dump generated workloads for inspection or exchange.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! task            # starts a new task (tasks are in program order)
+//! l 0x40          # load from word address 0x40
+//! s 0x41 7        # store value 7 to word address 0x41
+//! c 2             # compute occupying 1+2 cycles
+//! ```
+//!
+//! Addresses and values accept decimal or `0x` hex. See
+//! [`parse_trace`] and [`render_trace`].
+
+use core::fmt;
+
+use svc_multiscalar::{Instr, TaskSource, VecTaskSource};
+use svc_types::{Addr, TaskId, Word};
+
+/// A parse failure, with the 1-based line number it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn parse_num(s: &str, line: usize, what: &str) -> Result<u64, ParseTraceError> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| ParseTraceError {
+        line,
+        message: format!("invalid {what} {s:?}"),
+    })
+}
+
+/// Parses a text trace into a [`VecTaskSource`].
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] naming the offending line for unknown
+/// directives, malformed numbers, instructions before the first `task`,
+/// or an empty trace.
+pub fn parse_trace(text: &str) -> Result<VecTaskSource, ParseTraceError> {
+    let mut tasks: Vec<Vec<Instr>> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        let op = parts.next().expect("non-empty line");
+        let mut arg = |what: &str| {
+            parts
+                .next()
+                .ok_or_else(|| ParseTraceError {
+                    line,
+                    message: format!("{op:?} needs {what}"),
+                })
+        };
+        let instr = match op {
+            "task" => {
+                tasks.push(Vec::new());
+                continue;
+            }
+            "l" => Instr::Load(Addr(parse_num(arg("an address")?, line, "address")?)),
+            "s" => {
+                let a = parse_num(arg("an address")?, line, "address")?;
+                let v = parse_num(arg("a value")?, line, "value")?;
+                Instr::Store(Addr(a), Word(v))
+            }
+            "c" => {
+                let lat = parse_num(arg("a latency")?, line, "latency")?;
+                if lat > u8::MAX as u64 {
+                    return Err(ParseTraceError {
+                        line,
+                        message: format!("compute latency {lat} exceeds 255"),
+                    });
+                }
+                Instr::Compute(lat as u8)
+            }
+            other => {
+                return Err(ParseTraceError {
+                    line,
+                    message: format!("unknown directive {other:?}"),
+                })
+            }
+        };
+        if let Some(extra) = parts.next() {
+            return Err(ParseTraceError {
+                line,
+                message: format!("unexpected trailing token {extra:?}"),
+            });
+        }
+        match tasks.last_mut() {
+            Some(t) => t.push(instr),
+            None => {
+                return Err(ParseTraceError {
+                    line,
+                    message: "instruction before the first `task`".to_string(),
+                })
+            }
+        }
+    }
+    if tasks.is_empty() {
+        return Err(ParseTraceError {
+            line: text.lines().count().max(1),
+            message: "trace contains no tasks".to_string(),
+        });
+    }
+    Ok(VecTaskSource::new(tasks).with_name("trace"))
+}
+
+/// Renders any [`TaskSource`] in the trace format (the inverse of
+/// [`parse_trace`] up to formatting).
+pub fn render_trace(source: &dyn TaskSource) -> String {
+    let mut out = String::new();
+    let mut id = 0u64;
+    while let Some(task) = source.task(TaskId(id)) {
+        out.push_str("task\n");
+        for instr in task {
+            match instr {
+                Instr::Load(a) => out.push_str(&format!("l {:#x}\n", a.0)),
+                Instr::Store(a, v) => out.push_str(&format!("s {:#x} {:#x}\n", a.0, v.0)),
+                Instr::Compute(c) => out.push_str(&format!("c {c}\n")),
+            }
+        }
+        id += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use svc_multiscalar::TaskSource as _;
+
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a two-task trace
+task
+l 0x40
+c 2
+s 0x41 7   # hex addresses, decimal values
+task
+s 65 0x10
+";
+
+    #[test]
+    fn parses_sample() {
+        let src = parse_trace(SAMPLE).expect("valid trace");
+        assert_eq!(src.len(), 2);
+        assert_eq!(
+            src.task(TaskId(0)).expect("two tasks"),
+            vec![
+                Instr::Load(Addr(0x40)),
+                Instr::Compute(2),
+                Instr::Store(Addr(0x41), Word(7)),
+            ]
+        );
+        assert_eq!(
+            src.task(TaskId(1)).expect("two tasks"),
+            vec![Instr::Store(Addr(65), Word(16))]
+        );
+    }
+
+    #[test]
+    fn round_trips() {
+        let src = parse_trace(SAMPLE).expect("valid");
+        let text = render_trace(&src);
+        let again = parse_trace(&text).expect("rendered trace parses");
+        for i in 0..2 {
+            assert_eq!(src.task(TaskId(i)), again.task(TaskId(i)));
+        }
+    }
+
+    #[test]
+    fn round_trips_generated_workloads() {
+        let wl = crate::Spec95::Gcc.workload(3);
+        // Render only a prefix (the generator is large).
+        let mut tasks = Vec::new();
+        for i in 0..20 {
+            tasks.push(wl.task(TaskId(i)).expect("in range"));
+        }
+        let src = VecTaskSource::new(tasks.clone());
+        let again = parse_trace(&render_trace(&src)).expect("parses");
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(again.task(TaskId(i as u64)).as_ref(), Some(t));
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_trace("task\nx 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown directive"));
+
+        let e = parse_trace("l 0x40\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("before the first"));
+
+        let e = parse_trace("task\ns 0x40\n").unwrap_err();
+        assert!(e.message.contains("needs a value"));
+
+        let e = parse_trace("task\nl zzz\n").unwrap_err();
+        assert!(e.message.contains("invalid address"));
+
+        let e = parse_trace("task\nc 999\n").unwrap_err();
+        assert!(e.message.contains("exceeds 255"));
+
+        let e = parse_trace("task\nl 1 2\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+
+        let e = parse_trace("# nothing\n").unwrap_err();
+        assert!(e.message.contains("no tasks"));
+        assert!(!format!("{e}").is_empty());
+    }
+}

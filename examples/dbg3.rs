@@ -1,0 +1,94 @@
+fn main() {
+    use svc_repro::svc::conformance::Workload;
+    use svc_repro::svc::{SvcConfig, SvcSystem};
+    use svc_repro::types::*;
+    use svc_repro::sim::rng::Xoshiro256;
+    // find failing seed
+    for seed in 1100..1115u64 {
+        let wl = Workload::random(seed, 28, 40, 4);
+        let mut cfg = SvcConfig::final_design(4);
+        cfg.geometry = svc_repro::mem::CacheGeometry::new(8, 2, 4, 2);
+        let r = std::panic::catch_unwind(|| {
+            svc_repro::svc::conformance::run_lockstep_coarse(&wl, SvcSystem::new(cfg), seed)
+        });
+        if r.is_err() {
+            println!("failing seed {seed}");
+            // rerun manually with logging of ops touching line 7 (addr 28..32)
+            let mut dut = SvcSystem::new(cfg);
+            let mut oracle = svc_repro::svc::IdealMemory::new(4, 1);
+            let mut rng = Xoshiro256::seed_from(seed ^ 0xD1F);
+            let mut running: Vec<Option<(usize, usize)>> = vec![None; 4];
+            let mut next_task = 0usize;
+            let mut committed = 0usize;
+            let mut now = Cycle(0);
+            for pu in 0..4 { if next_task < wl.tasks.len() {
+                running[pu] = Some((next_task, 0));
+                dut.assign(PuId(pu), TaskId(next_task as u64));
+                oracle.assign(PuId(pu), TaskId(next_task as u64));
+                next_task += 1; } }
+            let watch = |a: Addr| (28..32).contains(&a.0);
+            let mut guard = 0;
+            while committed < wl.tasks.len() {
+                guard += 1; if guard > 500000 { println!("livelock"); break; }
+                now += 1;
+                let busy: Vec<usize> = (0..4).filter(|&p| running[p].is_some()).collect();
+                if busy.is_empty() { break; }
+                let pu = busy[rng.gen_index(0..busy.len())];
+                let (task, op_idx) = running[pu].unwrap();
+                let ops = &wl.tasks[task];
+                if op_idx >= ops.len() {
+                    let oldest = running.iter().flatten().map(|&(t, _)| t).min().unwrap();
+                    if task == oldest {
+                        dut.commit(PuId(pu), now); oracle.commit(PuId(pu), now);
+                        committed += 1; running[pu] = None;
+                        if next_task < wl.tasks.len() {
+                            running[pu] = Some((next_task, 0));
+                            dut.assign(PuId(pu), TaskId(next_task as u64));
+                            oracle.assign(PuId(pu), TaskId(next_task as u64));
+                            next_task += 1; } }
+                    continue;
+                }
+                use svc_repro::svc::conformance::Op;
+                match ops[op_idx] {
+                    Op::Load(a) => {
+                        let s = match dut.load(PuId(pu), a, now) { Ok(o) => o, Err(_) => continue };
+                        let o = oracle.load(PuId(pu), a, now).unwrap();
+                        if watch(a) { println!("T{task} load {a} dut={} oracle={}", s.value, o.value); }
+                        if s.value != o.value {
+                            println!("DIVERGE T{task} load {a}: dut {} oracle {}", s.value, o.value);
+                            println!("{}", dut.dump_line(a));
+                            return;
+                        }
+                        now = now.max(s.done_at); running[pu] = Some((task, op_idx + 1));
+                    }
+                    Op::Store(a, v) => {
+                        let s = match dut.store(PuId(pu), a, v, now) { Ok(o) => o, Err(_) => continue };
+                        let o = oracle.store(PuId(pu), a, v, now).unwrap();
+                        if watch(a) { println!("T{task} store {a}={v} dutviol={:?} oviol={:?}", s.violation.map(|x|x.victim), o.violation.map(|x|x.victim)); }
+                        now = now.max(s.done_at); running[pu] = Some((task, op_idx + 1));
+                        let viol = s.violation.or(o.violation);
+                        if let Some(v) = viol {
+                            let victim = v.victim.0 as usize;
+                            let mut hit: Vec<(usize, usize)> = running.iter().enumerate()
+                                .filter_map(|(p, s)| s.map(|(t, _)| (p, t)))
+                                .filter(|&(_, t)| t >= victim).collect();
+                            hit.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
+                            for &(p, _) in &hit { dut.squash(PuId(p)); oracle.squash(PuId(p)); running[p] = None; }
+                            let mut ts: Vec<usize> = hit.iter().map(|&(_, t)| t).collect();
+                            ts.sort_unstable();
+                            let pus: Vec<usize> = hit.iter().map(|&(p, _)| p).collect();
+                            for (i, t) in ts.into_iter().enumerate() {
+                                running[pus[i]] = Some((t, 0));
+                                dut.assign(PuId(pus[i]), TaskId(t as u64));
+                                oracle.assign(PuId(pus[i]), TaskId(t as u64));
+                            }
+                        }
+                    }
+                }
+            }
+            println!("no divergence on manual rerun?");
+            return;
+        }
+    }
+    println!("no failure found");
+}

@@ -1,0 +1,43 @@
+//! Watch speculation fail and recover: a producer→consumer chain where
+//! every consumer loads *before* its producer has stored, on the full
+//! engine. Shows violations, squash-and-replay, and that the final
+//! memory image still matches sequential semantics.
+//!
+//! Run with: `cargo run --release --example violation_replay`
+
+use svc_repro::multiscalar::{Engine, EngineConfig};
+use svc_repro::svc::{SvcConfig, SvcSystem};
+use svc_repro::types::{Addr, VersionedMemory, Word};
+use svc_repro::workloads::kernels;
+
+fn main() {
+    let n = 200;
+    // Each task i loads cell i-1 first and stores cell i last: with four
+    // PUs running eagerly, the load almost always beats the store.
+    let program = kernels::producer_consumer(n, 6);
+
+    let mut engine = Engine::new(
+        EngineConfig::default(),
+        SvcSystem::new(SvcConfig::final_design(4)),
+    );
+    let report = engine.run(&program);
+
+    println!("tasks committed     {}", report.committed_tasks);
+    println!("violations detected {}", report.mem.violations);
+    println!("tasks squashed      {}", report.squashes);
+    println!("cycles              {}", report.cycles);
+    println!("IPC                 {:.2}", report.ipc());
+    assert!(
+        report.mem.violations > 0,
+        "the eager consumer loads must mis-speculate"
+    );
+
+    // Sequential semantics survived all of it.
+    let mut mem = engine.into_memory();
+    mem.drain();
+    for i in 0..n {
+        assert_eq!(mem.architectural(Addr(i)), Word(i + 1), "cell {i}");
+    }
+    println!("\nfinal memory matches sequential execution for all {n} cells ✓");
+    println!("(speculation broke {} times and recovery replayed every one)", report.mem.violations);
+}

@@ -1,0 +1,309 @@
+//! `svc-sim` — command-line front end for the simulator.
+//!
+//! ```text
+//! svc-sim run   [--bench NAME|--kernel NAME|--trace FILE]
+//!               [--memory svc|arb] [--kb N] [--hit N] [--budget N]
+//!               [--seed N] [--pus N]
+//! svc-sim designs [--bench NAME] [--budget N] [--seed N]
+//! svc-sim list
+//! ```
+//!
+//! `run` executes one workload on one memory system and prints the
+//! report; `designs` walks the §3 design progression on one benchmark;
+//! `list` shows the available workloads.
+
+use std::process::ExitCode;
+
+use svc_repro::bench::{run_source, MemoryKind, NUM_PUS};
+use svc_repro::multiscalar::{Engine, EngineConfig, TaskSource, VecTaskSource};
+use svc_repro::svc::{SvcConfig, SvcSystem};
+use svc_repro::types::VersionedMemory;
+use svc_repro::workloads::{kernels, Spec95, SyntheticWorkload};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    command: String,
+    bench: Option<String>,
+    kernel: Option<String>,
+    trace: Option<String>,
+    memory: String,
+    kb: usize,
+    hit: u64,
+    budget: u64,
+    seed: u64,
+    pus: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            command: String::new(),
+            bench: None,
+            kernel: None,
+            trace: None,
+            memory: "svc".to_string(),
+            kb: 8,
+            hit: 1,
+            budget: 200_000,
+            seed: 42,
+            pus: NUM_PUS,
+        }
+    }
+}
+
+/// Parses `args` (without the program name). Pure, for testability.
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    o.command = it.next().cloned().ok_or("missing command")?;
+    if !matches!(o.command.as_str(), "run" | "designs" | "list") {
+        return Err(format!("unknown command {:?}", o.command));
+    }
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--bench" | "-b" => o.bench = Some(value()?),
+            "--kernel" | "-k" => o.kernel = Some(value()?),
+            "--trace" | "-t" => o.trace = Some(value()?),
+            "--memory" | "-m" => o.memory = value()?,
+            "--kb" => o.kb = value()?.parse().map_err(|e| format!("--kb: {e}"))?,
+            "--hit" => o.hit = value()?.parse().map_err(|e| format!("--hit: {e}"))?,
+            "--budget" => o.budget = value()?.parse().map_err(|e| format!("--budget: {e}"))?,
+            "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--pus" => o.pus = value()?.parse().map_err(|e| format!("--pus: {e}"))?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if [o.bench.is_some(), o.kernel.is_some(), o.trace.is_some()]
+        .into_iter()
+        .filter(|&b| b)
+        .count()
+        > 1
+    {
+        return Err("--bench, --kernel and --trace are mutually exclusive".to_string());
+    }
+    if !matches!(o.memory.as_str(), "svc" | "arb") {
+        return Err(format!("--memory must be svc or arb, got {:?}", o.memory));
+    }
+    Ok(o)
+}
+
+fn lookup_bench(name: &str) -> Result<Spec95, String> {
+    Spec95::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown benchmark {name:?} (try `svc-sim list`)"))
+}
+
+fn lookup_kernel(name: &str, seed: u64) -> Result<VecTaskSource, String> {
+    Ok(match name {
+        "streaming" => kernels::streaming(2_000, 8),
+        "readonly" => kernels::readonly_sharing(2_000, 32),
+        "producer-consumer" => kernels::producer_consumer(2_000, 6),
+        "reduction" => kernels::reduction(2_000, 3),
+        "false-sharing" => kernels::false_sharing(2_000, 2),
+        "pointer-chase" => kernels::pointer_chase(2_000, 6, 4096, seed),
+        other => return Err(format!("unknown kernel {other:?} (try `svc-sim list`)")),
+    })
+}
+
+fn cmd_list() {
+    println!("benchmarks (SPEC95 models):");
+    for b in Spec95::ALL {
+        println!("  {b}");
+    }
+    println!("kernels:");
+    for k in [
+        "streaming",
+        "readonly",
+        "producer-consumer",
+        "reduction",
+        "false-sharing",
+        "pointer-chase",
+    ] {
+        println!("  {k}");
+    }
+}
+
+fn engine_config(o: &Options, wl: Option<&SyntheticWorkload>) -> EngineConfig {
+    let mut cfg = EngineConfig {
+        num_pus: o.pus,
+        max_instructions: o.budget,
+        seed: o.seed,
+        ..EngineConfig::default()
+    };
+    if let Some(wl) = wl {
+        cfg.predictor = wl.profile().predictor(o.seed);
+        cfg.garbage_addr_space = wl.profile().hot_set.max(64);
+        cfg.load_dep_frac = wl.profile().load_dep_frac;
+    }
+    cfg
+}
+
+fn cmd_run(o: &Options) -> Result<(), String> {
+    let memory = match o.memory.as_str() {
+        "svc" => MemoryKind::Svc { kb_per_cache: o.kb },
+        _ => MemoryKind::Arb {
+            hit_cycles: o.hit,
+            cache_kb: o.kb.max(32),
+        },
+    };
+    let (result, name) = if let Some(path) = &o.trace {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let src = svc_repro::workloads::parse_trace(&text).map_err(|e| e.to_string())?;
+        (
+            run_source(&src, memory, engine_config(o, None)),
+            path.clone(),
+        )
+    } else if let Some(k) = &o.kernel {
+        let src = lookup_kernel(k, o.seed)?;
+        (run_source(&src, memory, engine_config(o, None)), k.clone())
+    } else {
+        let bench = lookup_bench(o.bench.as_deref().unwrap_or("gcc"))?;
+        let wl = bench.workload(o.seed);
+        (
+            run_source(&wl, memory, engine_config(o, Some(&wl))),
+            bench.name().to_string(),
+        )
+    };
+    println!("workload   {name}");
+    println!("memory     {}", result.memory);
+    println!("IPC        {:.3}", result.ipc);
+    println!("miss ratio {:.4}", result.miss_ratio);
+    if result.bus_utilization > 0.0 {
+        println!("bus util   {:.3}", result.bus_utilization);
+    }
+    let r = &result.report;
+    println!(
+        "tasks      {} committed (avg {:.1} instrs), {} squashes ({} violation, {} resource), {} mispredictions",
+        r.committed_tasks,
+        r.avg_task_len(),
+        r.squashes,
+        r.violation_squashes,
+        r.resource_squashes,
+        r.mispredictions
+    );
+    println!(
+        "memory     {} loads, {} stores, {} fills, {} transfers, {} writebacks, {} snarfs",
+        r.mem.loads, r.mem.stores, r.mem.next_level_fills, r.mem.cache_transfers,
+        r.mem.writebacks, r.mem.snarfs
+    );
+    Ok(())
+}
+
+fn cmd_designs(o: &Options) -> Result<(), String> {
+    let bench = lookup_bench(o.bench.as_deref().unwrap_or("gcc"))?;
+    let wl = bench.workload(o.seed);
+    println!("design progression on {bench} ({} instructions):\n", o.budget);
+    println!("{:8} {:>6} {:>9} {:>8}", "design", "IPC", "missrate", "busutil");
+    for (name, cfg) in [
+        ("base", SvcConfig::base(o.pus)),
+        ("EC", SvcConfig::ec(o.pus)),
+        ("ECS", SvcConfig::ecs(o.pus)),
+        ("HR", SvcConfig::hr(o.pus)),
+        ("RL", SvcConfig::rl(o.pus)),
+        ("final", SvcConfig::final_design(o.pus)),
+    ] {
+        let mut engine = Engine::new(engine_config(o, Some(&wl)), SvcSystem::new(cfg));
+        let report = engine.run(&wl as &dyn TaskSource);
+        let stats = engine.memory().stats();
+        println!(
+            "{:8} {:6.2} {:9.4} {:8.3}",
+            name,
+            report.ipc(),
+            stats.miss_ratio(),
+            report.bus_utilization()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: svc-sim run|designs|list [flags] (see `cargo doc`)");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match opts.command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => cmd_run(&opts),
+        _ => cmd_designs(&opts),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = parse(&argv("run")).unwrap();
+        assert_eq!(o.command, "run");
+        assert_eq!(o.memory, "svc");
+        assert_eq!(o.kb, 8);
+        assert_eq!(o.budget, 200_000);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = parse(&argv(
+            "run --bench mgrid --memory arb --hit 3 --kb 64 --budget 5000 --seed 9 --pus 8",
+        ))
+        .unwrap();
+        assert_eq!(o.bench.as_deref(), Some("mgrid"));
+        assert_eq!(o.memory, "arb");
+        assert_eq!(o.hit, 3);
+        assert_eq!(o.kb, 64);
+        assert_eq!(o.budget, 5000);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.pus, 8);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run --bench gcc --kernel reduction")).is_err());
+        assert!(parse(&argv("run --memory weird")).is_err());
+        assert!(parse(&argv("run --budget notanumber")).is_err());
+        assert!(parse(&argv("run --budget")).is_err());
+    }
+
+    #[test]
+    fn parse_trace_flag() {
+        let o = parse(&argv("run --trace foo.trace")).unwrap();
+        assert_eq!(o.trace.as_deref(), Some("foo.trace"));
+        assert!(parse(&argv("run --trace f --kernel reduction")).is_err());
+    }
+
+    #[test]
+    fn lookups() {
+        assert!(lookup_bench("gcc").is_ok());
+        assert!(lookup_bench("nope").is_err());
+        assert!(lookup_kernel("reduction", 1).is_ok());
+        assert!(lookup_kernel("nope", 1).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # svc-repro — a reproduction of the Speculative Versioning Cache
+//!
+//! This is the umbrella crate of a from-scratch Rust reproduction of
+//! *"Speculative Versioning Cache"* (Gopal, Vijaykumar, Smith, Sohi; HPCA
+//! 1998). It re-exports the public API of every subsystem so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`svc`] — the SVC itself (private caches + Version Control Logic),
+//!   its design progression Base → EC → ECS → HR → RL → Final, the
+//!   [`svc::IdealMemory`] oracle and the [`svc::conformance`] harness;
+//! * [`arb`] — the Address Resolution Buffer baseline;
+//! * [`lsq`] — the centralized load/store-queue baseline of §1;
+//! * [`coherence`] — the non-speculative MRSW snooping
+//!   protocol the SVC builds on;
+//! * [`multiscalar`] — the hierarchical task execution
+//!   engine;
+//! * [`workloads`] — SPEC95-like synthetic workload models
+//!   and kernels;
+//! * [`bench`](mod@bench) — the experiment harness regenerating every
+//!   table and figure of the paper;
+//! * [`types`], [`mem`], [`sim`] — shared
+//!   vocabulary, the memory substrate, and simulation utilities.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the paper-to-code map, and
+//! `EXPERIMENTS.md` for paper-vs-measured results. Runnable examples live
+//! in `examples/`:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! cargo run --release --example spec95
+//! cargo run --release --example design_progression
+//! cargo run --release --example violation_replay
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use svc;
+pub use svc_arb as arb;
+pub use svc_lsq as lsq;
+pub use svc_bench as bench;
+pub use svc_coherence as coherence;
+pub use svc_mem as mem;
+pub use svc_multiscalar as multiscalar;
+pub use svc_sim as sim;
+pub use svc_types as types;
+pub use svc_workloads as workloads;

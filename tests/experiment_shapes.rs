@@ -1,0 +1,123 @@
+//! Reduced-budget versions of the experiment shape checks that the
+//! `table2`/`table3`/`fig19`/`fig20` binaries assert at full budget —
+//! the robust subset that holds even at a small instruction budget, so
+//! `cargo test` exercises the evaluation pipeline end to end.
+
+use svc_repro::bench::{run_spec95_with, MemoryKind};
+use svc_repro::workloads::Spec95;
+
+const BUDGET: u64 = 60_000;
+
+fn arb(bench: Spec95, hit: u64, kb: usize) -> svc_repro::bench::ExperimentResult {
+    run_spec95_with(
+        bench,
+        MemoryKind::Arb {
+            hit_cycles: hit,
+            cache_kb: kb,
+        },
+        BUDGET,
+        42,
+    )
+}
+
+fn svc(bench: Spec95, kb: usize) -> svc_repro::bench::ExperimentResult {
+    run_spec95_with(bench, MemoryKind::Svc { kb_per_cache: kb }, BUDGET, 42)
+}
+
+#[test]
+fn arb_ipc_degrades_with_hit_latency_everywhere() {
+    for b in Spec95::ALL {
+        let a1 = arb(b, 1, 32).ipc;
+        let a4 = arb(b, 4, 32).ipc;
+        assert!(
+            a1 > a4 * 1.05,
+            "{b}: ARB-1c ({a1:.2}) should clearly beat ARB-4c ({a4:.2})"
+        );
+    }
+}
+
+#[test]
+fn svc_beats_slow_arb_everywhere() {
+    for b in Spec95::ALL {
+        let s = svc(b, 8).ipc;
+        let a3 = arb(b, 3, 32).ipc;
+        assert!(
+            s > a3,
+            "{b}: SVC ({s:.2}) should beat contention-free ARB-3c ({a3:.2})"
+        );
+    }
+}
+
+#[test]
+fn svc_beats_arb2_on_the_papers_three() {
+    for b in [Spec95::Gcc, Spec95::Apsi] {
+        let s = svc(b, 8).ipc;
+        let a2 = arb(b, 2, 32).ipc;
+        assert!(
+            s > a2,
+            "{b}: SVC ({s:.2}) should beat ARB-2c ({a2:.2}) per §4.4"
+        );
+    }
+    // mgrid's margin over ARB-2c is ~1% at full budget — too thin to
+    // assert at this reduced budget, so require "within noise" instead.
+    let s = svc(Spec95::Mgrid, 8).ipc;
+    let a2 = arb(Spec95::Mgrid, 2, 32).ipc;
+    assert!(
+        s > a2 * 0.95,
+        "mgrid: SVC ({s:.2}) should at least match ARB-2c ({a2:.2})"
+    );
+}
+
+#[test]
+fn miss_ratio_gap_directions_match_table2() {
+    for b in Spec95::ALL {
+        // The gap direction needs warm caches to show (cold compulsory
+        // misses hit the ARB's direct-mapped cache harder): full budget.
+        let budget = 300_000;
+        let s = run_spec95_with(b, MemoryKind::Svc { kb_per_cache: 8 }, budget, 42).miss_ratio;
+        let a = run_spec95_with(
+            b,
+            MemoryKind::Arb { hit_cycles: 1, cache_kb: 32 },
+            budget,
+            42,
+        )
+        .miss_ratio;
+        if b == Spec95::Perl {
+            assert!(s < a, "perl inverts: SVC {s:.3} < ARB {a:.3}");
+        } else {
+            assert!(s > a, "{b}: SVC {s:.3} > ARB {a:.3} (reference spreading)");
+        }
+    }
+}
+
+#[test]
+fn bus_utilization_shape_matches_table3() {
+    let mgrid = svc(Spec95::Mgrid, 8).bus_utilization;
+    for b in [Spec95::Gcc, Spec95::Vortex, Spec95::Perl, Spec95::Ijpeg, Spec95::Apsi] {
+        let u = svc(b, 8).bus_utilization;
+        assert!(
+            mgrid > u,
+            "mgrid ({mgrid:.3}) has the highest bus utilization (vs {b}: {u:.3})"
+        );
+    }
+    for b in Spec95::ALL {
+        let u8kb = svc(b, 8).bus_utilization;
+        let u16kb = svc(b, 16).bus_utilization;
+        assert!(
+            u16kb <= u8kb + 0.02,
+            "{b}: bigger caches don't need more bus ({u16kb:.3} vs {u8kb:.3})"
+        );
+    }
+}
+
+#[test]
+fn bigger_caches_never_hurt_miss_ratio() {
+    for b in Spec95::ALL {
+        let m8 = svc(b, 8).miss_ratio;
+        let m16 = svc(b, 16).miss_ratio;
+        assert!(
+            m16 <= m8 + 0.003,
+            "{b}: 4x16KB miss ({m16:.3}) <= 4x8KB miss ({m8:.3})"
+        );
+    }
+}
