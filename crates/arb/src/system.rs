@@ -221,7 +221,11 @@ impl VersionedMemory for ArbSystem {
                     )
                 } else {
                     self.stats.local_hits += 1;
-                    (access.value, now + self.config.hit_cycles, DataSource::LocalHit)
+                    (
+                        access.value,
+                        now + self.config.hit_cycles,
+                        DataSource::LocalHit,
+                    )
                 }
             }
         };
@@ -394,7 +398,10 @@ mod tests {
         a.squash(PuId(3));
         a.assign(PuId(2), TaskId(2));
         a.assign(PuId(3), TaskId(3));
-        assert_eq!(a.load(PuId(2), Addr(4), Cycle(1)).unwrap().value, Word::ZERO);
+        assert_eq!(
+            a.load(PuId(2), Addr(4), Cycle(1)).unwrap().value,
+            Word::ZERO
+        );
         let st = a.store(PuId(0), Addr(8), Word(1), Cycle(2)).unwrap();
         assert!(st.violation.is_none());
         assert_eq!(a.stats().squash_invalidations, 2);

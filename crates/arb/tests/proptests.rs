@@ -27,3 +27,24 @@ proptest! {
         run_lockstep(&wl, ArbSystem::new(cfg), seed);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Density sweep: store fraction from read-mostly to write-heavy
+    /// over a small address space, controlling the squash/replay rate.
+    /// The ARB must track the oracle at every conflict density.
+    #[test]
+    fn arb_matches_oracle_at_any_conflict_density(
+        seed in 0u64..1_000_000,
+        tasks in 2usize..24,
+        addr_space in 4u64..40,
+        pus in 2usize..5,
+        store_pct in 10u64..86,
+    ) {
+        let wl = Workload::random_with_density(
+            seed, tasks, addr_space, pus, store_pct as f64 / 100.0,
+        );
+        run_lockstep(&wl, ArbSystem::new(ArbConfig::paper(pus, 2, 32)), seed);
+    }
+}

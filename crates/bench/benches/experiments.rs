@@ -136,7 +136,8 @@ fn protocol(c: &mut Criterion) {
     g.bench_function("svc_local_load_hit", |bench| {
         let mut svc = SvcSystem::new(SvcConfig::final_design(4));
         svc.assign(PuId(0), TaskId(0));
-        svc.store(PuId(0), Addr(0), Word(1), Cycle(0)).expect("warm");
+        svc.store(PuId(0), Addr(0), Word(1), Cycle(0))
+            .expect("warm");
         let mut now = Cycle(10);
         bench.iter(|| {
             now += 1;
@@ -147,7 +148,8 @@ fn protocol(c: &mut Criterion) {
     g.bench_function("svc_local_store_hit", |bench| {
         let mut svc = SvcSystem::new(SvcConfig::final_design(4));
         svc.assign(PuId(0), TaskId(0));
-        svc.store(PuId(0), Addr(0), Word(1), Cycle(0)).expect("warm");
+        svc.store(PuId(0), Addr(0), Word(1), Cycle(0))
+            .expect("warm");
         let mut now = Cycle(10);
         bench.iter(|| {
             now += 1;
@@ -163,14 +165,16 @@ fn protocol(c: &mut Criterion) {
                 let mut svc = SvcSystem::new(SvcConfig::final_design(4));
                 svc.assign(PuId(0), TaskId(0));
                 svc.assign(PuId(1), TaskId(1));
-                svc.store(PuId(0), Addr(0), Word(1), Cycle(0)).expect("seed");
+                svc.store(PuId(0), Addr(0), Word(1), Cycle(0))
+                    .expect("seed");
                 svc
             },
             |mut svc| {
                 for i in 0..32u64 {
                     black_box(svc.load(PuId(1), Addr(0), Cycle(10 + i)).expect("xfer"));
                     black_box(
-                        svc.store(PuId(0), Addr(0), Word(i), Cycle(11 + i)).expect("inval"),
+                        svc.store(PuId(0), Addr(0), Word(i), Cycle(11 + i))
+                            .expect("inval"),
                     );
                 }
                 svc
@@ -185,7 +189,8 @@ fn protocol(c: &mut Criterion) {
                 let mut svc = SvcSystem::new(SvcConfig::final_design(4));
                 svc.assign(PuId(0), TaskId(0));
                 for a in 0..64u64 {
-                    svc.store(PuId(0), Addr(a * 4), Word(a), Cycle(a)).expect("fill");
+                    svc.store(PuId(0), Addr(a * 4), Word(a), Cycle(a))
+                        .expect("fill");
                 }
                 svc
             },
@@ -212,7 +217,8 @@ fn baselines(c: &mut Criterion) {
         let mut now = Cycle(0);
         bench.iter(|| {
             now += 1;
-            arb.store(PuId(0), Addr(0), Word(now.0), now).expect("store");
+            arb.store(PuId(0), Addr(0), Word(now.0), now)
+                .expect("store");
             black_box(arb.load(PuId(1), Addr(0), now).expect("load"))
         })
     });

@@ -3,8 +3,11 @@
 //! side by side with the paper's values, so the workload profiles in
 //! `svc-workloads` can be tuned. Not itself a paper artifact — see
 //! `table2`, `table3`, `fig19`, `fig20` for those.
+//!
+//! The 35-cell grid runs through the parallel harness and writes
+//! `results/calibrate.json`.
 
-use svc_bench::{run_spec95, MemoryKind};
+use svc_bench::{cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
 use svc_sim::table::{fmt_ipc, fmt_ratio, Table};
 use svc_workloads::Spec95;
 
@@ -21,6 +24,17 @@ const PAPER: [(&str, f64, f64, f64, f64); 7] = [
 ];
 
 fn main() {
+    let budget = instruction_budget();
+    let memories: Vec<MemoryKind> = (1..=4)
+        .map(|h| MemoryKind::Arb {
+            hit_cycles: h,
+            cache_kb: 32,
+        })
+        .chain(std::iter::once(MemoryKind::Svc { kb_per_cache: 8 }))
+        .collect();
+    let jobs = cross(&Spec95::ALL, &memories);
+    let outcome = run_paper_grid(&jobs, budget);
+
     let mut t = Table::new(
         [
             "bench", "ARBmiss", "(paper)", "SVCmiss", "(paper)", "bus8K", "(paper)", "ARB1",
@@ -31,35 +45,8 @@ fn main() {
         .collect(),
     );
     for (i, b) in Spec95::ALL.into_iter().enumerate() {
-        let arb1 = run_spec95(
-            b,
-            MemoryKind::Arb {
-                hit_cycles: 1,
-                cache_kb: 32,
-            },
-        );
-        let arb2 = run_spec95(
-            b,
-            MemoryKind::Arb {
-                hit_cycles: 2,
-                cache_kb: 32,
-            },
-        );
-        let arb3 = run_spec95(
-            b,
-            MemoryKind::Arb {
-                hit_cycles: 3,
-                cache_kb: 32,
-            },
-        );
-        let arb4 = run_spec95(
-            b,
-            MemoryKind::Arb {
-                hit_cycles: 4,
-                cache_kb: 32,
-            },
-        );
-        let svc = run_spec95(b, MemoryKind::Svc { kb_per_cache: 8 });
+        let row = &outcome.results[i * memories.len()..(i + 1) * memories.len()];
+        let (arb1, arb2, arb3, arb4, svc) = (&row[0], &row[1], &row[2], &row[3], &row[4]);
         let p = PAPER[i];
         t.row(vec![
             b.name().into(),
@@ -79,4 +66,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    publish_paper_grid("calibrate", budget, &outcome).expect("write results/calibrate.json");
 }

@@ -1,25 +1,45 @@
-//! 64KB-total calibration view (Figure 20's configuration).
-use svc_bench::{run_spec95, MemoryKind};
+//! 64KB-total calibration view (Figure 20's configuration). Runs
+//! through the parallel harness and writes `results/calibrate64.json`.
+use svc_bench::{cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
 use svc_sim::table::{fmt_ipc, fmt_ratio, Table};
 use svc_workloads::Spec95;
 
 fn main() {
+    let budget = instruction_budget();
+    let memories: Vec<MemoryKind> = (1..=4)
+        .map(|h| MemoryKind::Arb {
+            hit_cycles: h,
+            cache_kb: 64,
+        })
+        .chain(std::iter::once(MemoryKind::Svc { kb_per_cache: 16 }))
+        .collect();
+    let jobs = cross(&Spec95::ALL, &memories);
+    let outcome = run_paper_grid(&jobs, budget);
+
     let mut t = Table::new(
-        ["bench", "ARB1", "ARB2", "ARB3", "ARB4", "SVC16", "SVCmiss", "bus16K", "(paper)"]
-            .iter().map(|s| s.to_string()).collect(),
+        [
+            "bench", "ARB1", "ARB2", "ARB3", "ARB4", "SVC16", "SVCmiss", "bus16K", "(paper)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let paper_bus = [0.341, 0.203, 0.354, 0.291, 0.226, 0.632, 0.255];
     for (i, b) in Spec95::ALL.into_iter().enumerate() {
-        let r: Vec<_> = (1..=4)
-            .map(|h| run_spec95(b, MemoryKind::Arb { hit_cycles: h, cache_kb: 64 }))
-            .collect();
-        let svc = run_spec95(b, MemoryKind::Svc { kb_per_cache: 16 });
+        let row = &outcome.results[i * memories.len()..(i + 1) * memories.len()];
+        let svc = &row[4];
         t.row(vec![
             b.name().into(),
-            fmt_ipc(r[0].ipc), fmt_ipc(r[1].ipc), fmt_ipc(r[2].ipc), fmt_ipc(r[3].ipc),
-            fmt_ipc(svc.ipc), fmt_ratio(svc.miss_ratio),
-            fmt_ratio(svc.bus_utilization), fmt_ratio(paper_bus[i]),
+            fmt_ipc(row[0].ipc),
+            fmt_ipc(row[1].ipc),
+            fmt_ipc(row[2].ipc),
+            fmt_ipc(row[3].ipc),
+            fmt_ipc(svc.ipc),
+            fmt_ratio(svc.miss_ratio),
+            fmt_ratio(svc.bus_utilization),
+            fmt_ratio(paper_bus[i]),
         ]);
     }
     println!("{}", t.render());
+    publish_paper_grid("calibrate64", budget, &outcome).expect("write results/calibrate64.json");
 }

@@ -1,25 +1,52 @@
 //! Per-event diagnostics used while calibrating the workload models.
-use svc_bench::{run_spec95, MemoryKind};
+//! Runs its 6 cells through the parallel harness; purely a console
+//! tool, so it writes no results artifact.
+use svc_bench::{cross, instruction_budget, run_paper_grid, MemoryKind};
 use svc_workloads::Spec95;
 
+const BENCHES: [Spec95; 3] = [Spec95::Gcc, Spec95::Compress, Spec95::Mgrid];
+const MEMORIES: [MemoryKind; 2] = [
+    MemoryKind::Svc { kb_per_cache: 8 },
+    MemoryKind::Arb {
+        hit_cycles: 1,
+        cache_kb: 32,
+    },
+];
+
 fn main() {
-    for b in [Spec95::Gcc, Spec95::Compress, Spec95::Mgrid] {
-        let svc = run_spec95(b, MemoryKind::Svc { kb_per_cache: 8 });
-        let arb = run_spec95(b, MemoryKind::Arb { hit_cycles: 1, cache_kb: 32 });
+    let jobs = cross(&BENCHES, &MEMORIES);
+    let outcome = run_paper_grid(&jobs, instruction_budget());
+    for (i, b) in BENCHES.into_iter().enumerate() {
+        let svc = &outcome.results[i * MEMORIES.len()];
+        let arb = &outcome.results[i * MEMORIES.len() + 1];
         let t = svc.report.committed_tasks as f64;
         let m = &svc.report.mem;
-        println!("== {b:?}: SVC tasks={t} cycles={} cyc/task={:.1}", svc.report.cycles, svc.report.cycles as f64 / t);
+        println!(
+            "== {b:?}: SVC tasks={t} cycles={} cyc/task={:.1}",
+            svc.report.cycles,
+            svc.report.cycles as f64 / t
+        );
         println!("  SVC per task: loads {:.2} stores {:.2} fills {:.3} transfers {:.3} txns {:.3} wbacks {:.3} purged {:.3} squashinv {:.3} snarfs {:.3}",
             m.loads as f64/t, m.stores as f64/t, m.next_level_fills as f64/t,
             m.cache_transfers as f64/t, m.bus_transactions as f64/t,
             m.writebacks as f64/t, m.purged_versions as f64/t,
             m.squash_invalidations as f64/t, m.snarfs as f64/t);
-        println!("  SVC busy/txn {:.2} violations/task {:.3} squashes {} repl_stalls {}",
+        println!(
+            "  SVC busy/txn {:.2} violations/task {:.3} squashes {} repl_stalls {}",
             m.bus_busy_cycles as f64 / m.bus_transactions.max(1) as f64,
-            m.violations as f64 / t, svc.report.squashes, m.replacement_stalls);
+            m.violations as f64 / t,
+            svc.report.squashes,
+            m.replacement_stalls
+        );
         let am = &arb.report.mem;
         let at = arb.report.committed_tasks as f64;
-        println!("  ARB per task: loads {:.2} stores {:.2} fills {:.3} miss {:.4} viol/task {:.3}",
-            am.loads as f64/at, am.stores as f64/at, am.next_level_fills as f64/at, arb.miss_ratio, am.violations as f64/at);
+        println!(
+            "  ARB per task: loads {:.2} stores {:.2} fills {:.3} miss {:.4} viol/task {:.3}",
+            am.loads as f64 / at,
+            am.stores as f64 / at,
+            am.next_level_fills as f64 / at,
+            arb.miss_ratio,
+            am.violations as f64 / at
+        );
     }
 }

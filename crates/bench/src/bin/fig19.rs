@@ -6,40 +6,73 @@
 //! latency; (ii) the SVC beats the ARB at 3+ cycles everywhere and at 2
 //! cycles for gcc, apsi and mgrid; (iii) the SVC is close to the 1-cycle
 //! ARB on the rest.
+//!
+//! The 35-cell grid (7 benchmarks × 5 memory systems) runs through the
+//! parallel harness; `results/<name>.json` is written alongside the
+//! table. `fig20.rs` includes this file for the 64KB variant.
 
-use svc_bench::{run_spec95, MemoryKind};
+use svc_bench::harness::GridOutcome;
+use svc_bench::{
+    cross, instruction_budget, publish_paper_grid, run_paper_grid, ExperimentResult, MemoryKind,
+};
 use svc_sim::table::{fmt_ipc, fmt_pct, Table};
 use svc_workloads::Spec95;
 
 #[allow(dead_code)]
 fn main() {
-    run_figure(32, 8, "Figure 19: SPEC95 IPCs for ARB and SVC — 32KB total data storage");
+    let run = run_figure(
+        "fig19",
+        32,
+        8,
+        "Figure 19: SPEC95 IPCs for ARB and SVC — 32KB total data storage",
+    );
+    std::process::exit(i32::from(!run.ok));
 }
 
-pub fn run_figure(arb_kb: usize, svc_kb: usize, title: &str) {
+/// One figure run: the grid outcome plus the shape-check verdict.
+pub struct FigureRun {
+    /// Per-cell results in grid order (5 memories per benchmark:
+    /// ARB 1c..4c, then SVC).
+    pub outcome: GridOutcome<ExperimentResult>,
+    /// Whether every shape check passed.
+    pub ok: bool,
+}
+
+pub fn run_figure(name: &str, arb_kb: usize, svc_kb: usize, title: &str) -> FigureRun {
     println!("{title}\n");
+    let budget = instruction_budget();
+    let memories: Vec<MemoryKind> = (1..=4)
+        .map(|h| MemoryKind::Arb {
+            hit_cycles: h,
+            cache_kb: arb_kb,
+        })
+        .chain(std::iter::once(MemoryKind::Svc {
+            kb_per_cache: svc_kb,
+        }))
+        .collect();
+    let jobs = cross(&Spec95::ALL, &memories);
+    let outcome = run_paper_grid(&jobs, budget);
+
     let mut t = Table::new(
-        ["Benchmark", "ARB(1c)", "ARB(2c)", "ARB(3c)", "ARB(4c)", "SVC(1c)", "SVC vs ARB2"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "Benchmark",
+            "ARB(1c)",
+            "ARB(2c)",
+            "ARB(3c)",
+            "ARB(4c)",
+            "SVC(1c)",
+            "SVC vs ARB2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut ok = true;
     let mut checks = Vec::new();
-    for b in Spec95::ALL {
-        let arb: Vec<f64> = (1..=4)
-            .map(|h| {
-                run_spec95(
-                    b,
-                    MemoryKind::Arb {
-                        hit_cycles: h,
-                        cache_kb: arb_kb,
-                    },
-                )
-                .ipc
-            })
-            .collect();
-        let svc = run_spec95(b, MemoryKind::Svc { kb_per_cache: svc_kb }).ipc;
+    for (i, b) in Spec95::ALL.into_iter().enumerate() {
+        let row = &outcome.results[i * memories.len()..(i + 1) * memories.len()];
+        let arb: Vec<f64> = row[..4].iter().map(|r| r.ipc).collect();
+        let svc = row[4].ipc;
         t.row(vec![
             b.name().into(),
             fmt_ipc(arb[0]),
@@ -83,5 +116,6 @@ pub fn run_figure(arb_kb: usize, svc_kb: usize, title: &str) {
     for c in checks {
         println!("{c}");
     }
-    std::process::exit(i32::from(!ok));
+    publish_paper_grid(name, budget, &outcome).expect("write results JSON");
+    FigureRun { outcome, ok }
 }

@@ -1,0 +1,163 @@
+//! The regression gate: re-runs a fixed, fast experiment grid and diffs
+//! the fresh metrics against the checked-in baseline
+//! (`results/baseline.json`), exiting non-zero on drift.
+//!
+//! The grid is pinned — fixed benchmarks, memory systems, budget and
+//! grid seed, with harness-derived per-job seeds — and deliberately
+//! ignores `SVC_EXPERIMENT_BUDGET` so the gate measures the simulator,
+//! not the environment. Per-metric tolerances absorb honest noise-level
+//! refactors while still catching behavioral drift:
+//!
+//! * `ipc`: ±5% relative;
+//! * `miss_ratio`, `bus_utilization`: ±10% relative with a 0.005
+//!   absolute floor (ratios near zero would make pure relative error
+//!   hair-triggered).
+//!
+//! Usage: `regress` to check, `regress --update` to rewrite the
+//! baseline after an intentional behavior change.
+
+use svc_bench::report::{self, Json};
+use svc_bench::{cross, run_derived_grid, MemoryKind};
+use svc_workloads::Spec95;
+
+/// Pinned grid parameters. Changing any of these invalidates the
+/// baseline — rerun with `--update`.
+const GRID_SEED: u64 = 0xB5E1;
+const BUDGET: u64 = 40_000;
+const BENCHES: [Spec95; 3] = [Spec95::Gcc, Spec95::Ijpeg, Spec95::Mgrid];
+const MEMORIES: [MemoryKind; 4] = [
+    MemoryKind::Arb {
+        hit_cycles: 1,
+        cache_kb: 32,
+    },
+    MemoryKind::Arb {
+        hit_cycles: 2,
+        cache_kb: 32,
+    },
+    MemoryKind::Svc { kb_per_cache: 8 },
+    MemoryKind::Svc { kb_per_cache: 16 },
+];
+
+/// (metric, relative tolerance, absolute floor).
+const TOLERANCES: [(&str, f64, f64); 3] = [
+    ("ipc", 0.05, 0.0),
+    ("miss_ratio", 0.10, 0.005),
+    ("bus_utilization", 0.10, 0.005),
+];
+
+fn baseline_path() -> std::path::PathBuf {
+    std::env::var_os("SVC_BASELINE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| report::results_dir().join("baseline.json"))
+}
+
+fn fresh_doc() -> Json {
+    let jobs = cross(&BENCHES, &MEMORIES);
+    let outcome = run_derived_grid(&jobs, GRID_SEED, BUDGET);
+    let seeds = svc_bench::harness::job_seeds(GRID_SEED, jobs.len());
+    let runs = outcome
+        .results
+        .iter()
+        .zip(&seeds)
+        .map(|(r, &s)| report::experiment_result_json(r, s))
+        .collect();
+    report::experiment_doc("regress", BUDGET, GRID_SEED, runs)
+}
+
+fn run_key(run: &Json) -> String {
+    format!(
+        "{}/{}",
+        run.get("workload").and_then(Json::as_str).unwrap_or("?"),
+        run.get("memory").and_then(Json::as_str).unwrap_or("?"),
+    )
+}
+
+fn main() {
+    let update = std::env::args().any(|a| a == "--update");
+    let path = baseline_path();
+    let fresh = fresh_doc();
+
+    if update {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        std::fs::write(&path, fresh.render()).expect("write baseline");
+        println!("baseline updated: {}", path.display());
+        return;
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "no baseline at {} ({e}); run `regress --update` to create one",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+    };
+    let baseline = report::parse(&text).unwrap_or_else(|e| {
+        eprintln!("baseline {} is not valid JSON: {e}", path.display());
+        std::process::exit(2);
+    });
+
+    let empty = [];
+    let base_runs = baseline
+        .get("runs")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let fresh_runs = fresh
+        .get("runs")
+        .and_then(Json::as_arr)
+        .expect("fresh runs");
+
+    let mut drifted = 0;
+    let mut compared = 0;
+    for fresh_run in fresh_runs {
+        let key = run_key(fresh_run);
+        let Some(base_run) = base_runs.iter().find(|r| run_key(r) == key) else {
+            println!("MISSING {key}: not in baseline (run `regress --update`?)");
+            drifted += 1;
+            continue;
+        };
+        for (metric, rel_tol, abs_floor) in TOLERANCES {
+            let get = |run: &Json| run.get(metric).and_then(Json::as_f64);
+            let (Some(base), Some(now)) = (get(base_run), get(fresh_run)) else {
+                println!("MISSING {key}.{metric}");
+                drifted += 1;
+                continue;
+            };
+            compared += 1;
+            let allowed = (base.abs() * rel_tol).max(abs_floor);
+            let diff = (now - base).abs();
+            if diff > allowed {
+                println!(
+                    "DRIFT {key}.{metric}: baseline {base:.4}, now {now:.4} \
+                     (|diff| {diff:.4} > allowed {allowed:.4})"
+                );
+                drifted += 1;
+            }
+        }
+    }
+    if base_runs.len() != fresh_runs.len() {
+        println!(
+            "GRID SHAPE: baseline has {} runs, fresh grid has {}",
+            base_runs.len(),
+            fresh_runs.len()
+        );
+        drifted += 1;
+    }
+
+    if drifted == 0 {
+        println!(
+            "regress: {compared} metrics within tolerance of {}",
+            path.display()
+        );
+    } else {
+        println!(
+            "regress: {drifted} drift(s) detected against {}",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+}

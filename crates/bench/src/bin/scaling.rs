@@ -4,18 +4,54 @@
 //! buffer is a potential bandwidth bottleneck" — of the ARB; the SVC
 //! trades that for snooping-bus bandwidth); this quantifies where the
 //! crossover sits.
+//!
+//! The 18-cell grid (3 benchmarks × 3 PU counts × 2 systems) runs
+//! through the parallel harness and writes `results/scaling.json`; the
+//! memory labels encode the PU count (e.g. `SVC-8x8KB`).
 
-use svc_bench::{run_source, MemoryKind};
+use svc_bench::{harness, publish_paper_grid, run_source, MemoryKind, PAPER_SEED};
 use svc_multiscalar::EngineConfig;
 use svc_sim::table::{fmt_ipc, fmt_ratio, Table};
 use svc_workloads::Spec95;
+
+const BENCHES: [Spec95; 3] = [Spec95::Gcc, Spec95::Ijpeg, Spec95::Mgrid];
+const PUS: [usize; 3] = [2, 4, 8];
+const MEMORIES: [MemoryKind; 2] = [
+    MemoryKind::Svc { kb_per_cache: 8 },
+    MemoryKind::Arb {
+        hit_cycles: 2,
+        cache_kb: 32,
+    },
+];
 
 fn main() {
     let budget: u64 = std::env::var("SVC_EXPERIMENT_BUDGET")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(300_000);
-    for bench in [Spec95::Gcc, Spec95::Ijpeg, Spec95::Mgrid] {
+    let mut jobs = Vec::new();
+    for bench in BENCHES {
+        for pus in PUS {
+            for memory in MEMORIES {
+                jobs.push((bench, pus, memory));
+            }
+        }
+    }
+    let outcome = harness::run_grid(&jobs, PAPER_SEED, |&(bench, pus, memory), _derived| {
+        let wl = bench.workload(PAPER_SEED);
+        let cfg = EngineConfig {
+            num_pus: pus,
+            predictor: wl.profile().predictor(PAPER_SEED),
+            max_instructions: budget,
+            seed: PAPER_SEED,
+            garbage_addr_space: wl.profile().hot_set.max(64),
+            load_dep_frac: wl.profile().load_dep_frac,
+            ..EngineConfig::default()
+        };
+        run_source(&wl, memory, cfg)
+    });
+
+    for (bi, bench) in BENCHES.into_iter().enumerate() {
         println!("scaling on {bench}:\n");
         let mut t = Table::new(
             ["PUs", "SVC IPC", "bus util", "ARB-2c IPC", "SVC/ARB"]
@@ -23,26 +59,10 @@ fn main() {
                 .map(|s| s.to_string())
                 .collect(),
         );
-        for pus in [2usize, 4, 8] {
-            let wl = bench.workload(42);
-            let cfg = EngineConfig {
-                num_pus: pus,
-                predictor: wl.profile().predictor(42),
-                max_instructions: budget,
-                seed: 42,
-                garbage_addr_space: wl.profile().hot_set.max(64),
-                load_dep_frac: wl.profile().load_dep_frac,
-                ..EngineConfig::default()
-            };
-            let svc = run_source(&wl, MemoryKind::Svc { kb_per_cache: 8 }, cfg);
-            let arb = run_source(
-                &wl,
-                MemoryKind::Arb {
-                    hit_cycles: 2,
-                    cache_kb: 32,
-                },
-                cfg,
-            );
+        for (pi, pus) in PUS.into_iter().enumerate() {
+            let base = (bi * PUS.len() + pi) * MEMORIES.len();
+            let svc = &outcome.results[base];
+            let arb = &outcome.results[base + 1];
             t.row(vec![
                 format!("{pus}"),
                 fmt_ipc(svc.ipc),
@@ -56,4 +76,5 @@ fn main() {
     println!("Expected shape: both scale with PUs; the SVC's advantage narrows as");
     println!("its snooping bus saturates — the bandwidth ceiling the paper trades");
     println!("against the ARB's latency ceiling.");
+    publish_paper_grid("scaling", budget, &outcome).expect("write results/scaling.json");
 }

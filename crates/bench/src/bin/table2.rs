@@ -5,8 +5,11 @@
 //! "For the SVC, an access is counted as a miss if data is supplied by
 //! the next level memory; data transfers between the L1 caches are not
 //! counted as misses." (§4.4)
+//!
+//! Runs the 14-cell grid through the parallel harness and writes
+//! `results/table2.json` alongside the text table.
 
-use svc_bench::{run_spec95, MemoryKind};
+use svc_bench::{cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
 use svc_sim::table::{fmt_ratio, Table};
 use svc_workloads::Spec95;
 
@@ -20,8 +23,20 @@ const PAPER: [(f64, f64); 7] = [
     (0.023, 0.034), // apsi
 ];
 
+const MEMORIES: [MemoryKind; 2] = [
+    MemoryKind::Arb {
+        hit_cycles: 1,
+        cache_kb: 32,
+    },
+    MemoryKind::Svc { kb_per_cache: 8 },
+];
+
 fn main() {
     println!("Table 2: Miss Ratios for ARB and SVC (32KB total data storage)\n");
+    let budget = instruction_budget();
+    let jobs = cross(&Spec95::ALL, &MEMORIES);
+    let outcome = run_paper_grid(&jobs, budget);
+
     let mut t = Table::new(
         ["Benchmark", "ARB-32KB", "(paper)", "SVC-4x8KB", "(paper)"]
             .iter()
@@ -29,14 +44,8 @@ fn main() {
             .collect(),
     );
     for (i, b) in Spec95::ALL.into_iter().enumerate() {
-        let arb = run_spec95(
-            b,
-            MemoryKind::Arb {
-                hit_cycles: 1,
-                cache_kb: 32,
-            },
-        );
-        let svc = run_spec95(b, MemoryKind::Svc { kb_per_cache: 8 });
+        let arb = &outcome.results[i * MEMORIES.len()];
+        let svc = &outcome.results[i * MEMORIES.len() + 1];
         t.row(vec![
             b.name().into(),
             fmt_ratio(arb.miss_ratio),
@@ -49,14 +58,8 @@ fn main() {
     println!("Shape checks:");
     let mut ok = true;
     for (i, b) in Spec95::ALL.into_iter().enumerate() {
-        let arb = run_spec95(
-            b,
-            MemoryKind::Arb {
-                hit_cycles: 1,
-                cache_kb: 32,
-            },
-        );
-        let svc = run_spec95(b, MemoryKind::Svc { kb_per_cache: 8 });
+        let arb = &outcome.results[i * MEMORIES.len()];
+        let svc = &outcome.results[i * MEMORIES.len() + 1];
         let inverted = b == Spec95::Perl;
         let pass = if inverted {
             svc.miss_ratio < arb.miss_ratio
@@ -69,8 +72,13 @@ fn main() {
             if pass { "PASS" } else { "FAIL" },
             b.name(),
             if inverted { "<" } else { ">" },
-            if i == 3 { "perl is the paper's one inversion" } else { "reference spreading" }
+            if i == 3 {
+                "perl is the paper's one inversion"
+            } else {
+                "reference spreading"
+            }
         );
     }
+    publish_paper_grid("table2", budget, &outcome).expect("write results/table2.json");
     std::process::exit(i32::from(!ok));
 }

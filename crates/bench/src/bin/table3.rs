@@ -5,8 +5,11 @@
 //! the next level memory", §4.4); 4×16KB is at or below 4×8KB everywhere.
 //! Absolute levels run below the paper's because this bus model pipelines
 //! consecutive transactions (see EXPERIMENTS.md).
+//!
+//! Runs the 14-cell grid through the parallel harness and writes
+//! `results/table3.json` alongside the text table.
 
-use svc_bench::{run_spec95, MemoryKind};
+use svc_bench::{cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
 use svc_sim::table::{fmt_ratio, Table};
 use svc_workloads::Spec95;
 
@@ -20,8 +23,17 @@ const PAPER: [(f64, f64); 7] = [
     (0.276, 0.255), // apsi
 ];
 
+const MEMORIES: [MemoryKind; 2] = [
+    MemoryKind::Svc { kb_per_cache: 8 },
+    MemoryKind::Svc { kb_per_cache: 16 },
+];
+
 fn main() {
     println!("Table 3: Snooping Bus Utilization for SVC\n");
+    let budget = instruction_budget();
+    let jobs = cross(&Spec95::ALL, &MEMORIES);
+    let outcome = run_paper_grid(&jobs, budget);
+
     let mut t = Table::new(
         ["Benchmark", "4x8KB", "(paper)", "4x16KB", "(paper)"]
             .iter()
@@ -30,8 +42,8 @@ fn main() {
     );
     let mut rows = Vec::new();
     for (i, b) in Spec95::ALL.into_iter().enumerate() {
-        let k8 = run_spec95(b, MemoryKind::Svc { kb_per_cache: 8 });
-        let k16 = run_spec95(b, MemoryKind::Svc { kb_per_cache: 16 });
+        let k8 = &outcome.results[i * MEMORIES.len()];
+        let k16 = &outcome.results[i * MEMORIES.len() + 1];
         t.row(vec![
             b.name().into(),
             fmt_ratio(k8.bus_utilization),
@@ -44,7 +56,10 @@ fn main() {
     println!("{}", t.render());
     println!("Shape checks:");
     let mut ok = true;
-    let mgrid = rows.iter().find(|(b, _, _)| *b == Spec95::Mgrid).expect("mgrid ran");
+    let mgrid = rows
+        .iter()
+        .find(|(b, _, _)| *b == Spec95::Mgrid)
+        .expect("mgrid ran");
     for &(b, u8kb, _) in &rows {
         if b != Spec95::Mgrid {
             let pass = mgrid.1 > u8kb;
@@ -69,5 +84,6 @@ fn main() {
             u8kb
         );
     }
+    publish_paper_grid("table3", budget, &outcome).expect("write results/table3.json");
     std::process::exit(i32::from(!ok));
 }

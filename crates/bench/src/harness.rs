@@ -1,0 +1,153 @@
+//! The parallel experiment harness: a deterministic fan-out runner.
+//!
+//! Experiment grids (benchmark × memory-system × configuration) are
+//! embarrassingly parallel: every cell is an independent simulation.
+//! [`run_grid`] executes a grid across scoped worker threads
+//! ([`std::thread::scope`]) while keeping the output *bit-for-bit
+//! independent of the thread count and of scheduling:
+//!
+//! * each job's seed is derived from the grid seed and the job's *index*
+//!   (a [`SplitMix64`] stream), never from execution order;
+//! * results land in a slot vector indexed by job, so collection order
+//!   is the grid order regardless of completion order;
+//! * simulated outputs carry no wall-clock data — timing lives in the
+//!   separate [`GridOutcome`] self-measurement fields, which callers
+//!   route to the perf snapshot (`BENCH_experiments.json`), never into
+//!   the deterministic `results/*.json` artifacts.
+//!
+//! Thread count comes from `SVC_EXPERIMENT_THREADS` (or the machine's
+//! available parallelism). `SVC_EXPERIMENT_THREADS=1` reproduces the
+//! serial seed-repo behavior exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use svc_sim::rng::SplitMix64;
+
+/// The results of one grid run plus the harness's self-measurement.
+#[derive(Debug)]
+pub struct GridOutcome<R> {
+    /// Per-job results, in grid (submission) order.
+    pub results: Vec<R>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock time for the whole grid.
+    pub wall: Duration,
+}
+
+/// Worker-thread count: `SVC_EXPERIMENT_THREADS` if set and positive,
+/// otherwise the machine's available parallelism, otherwise 1.
+pub fn threads_from_env() -> usize {
+    std::env::var("SVC_EXPERIMENT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The per-job seed stream: job `i` gets the `i+1`-th output of a
+/// [`SplitMix64`] seeded with `grid_seed`. A pure function of
+/// `(grid_seed, i)`, so any thread count yields identical seeds.
+pub fn job_seeds(grid_seed: u64, n: usize) -> Vec<u64> {
+    let mut g = SplitMix64::new(grid_seed);
+    (0..n).map(|_| g.next_u64()).collect()
+}
+
+/// Runs `run(job, derived_seed)` for every job across
+/// [`threads_from_env`] workers. See [`run_grid_with_threads`].
+pub fn run_grid<J, R, F>(jobs: &[J], grid_seed: u64, run: F) -> GridOutcome<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J, u64) -> R + Sync,
+{
+    run_grid_with_threads(jobs, grid_seed, threads_from_env(), run)
+}
+
+/// Runs the grid on an explicit number of worker threads.
+///
+/// Jobs are claimed from a shared counter (dynamic load balancing — grid
+/// cells vary widely in simulation time), executed with their
+/// index-derived seed, and stored into their own slot. The returned
+/// `results` are byte-identical for any `threads >= 1`.
+///
+/// # Panics
+///
+/// A panicking job panics the harness (via scope join), so a failing
+/// experiment still fails its binary.
+pub fn run_grid_with_threads<J, R, F>(
+    jobs: &[J],
+    grid_seed: u64,
+    threads: usize,
+    run: F,
+) -> GridOutcome<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J, u64) -> R + Sync,
+{
+    let started = Instant::now();
+    let seeds = job_seeds(grid_seed, jobs.len());
+    let workers = threads.clamp(1, jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let result = run(&jobs[i], seeds[i]);
+                *slots[i].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every job ran")
+        })
+        .collect();
+    GridOutcome {
+        results,
+        threads: workers,
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_a_pure_function_of_grid_seed_and_index() {
+        assert_eq!(job_seeds(7, 5), job_seeds(7, 5));
+        assert_eq!(job_seeds(7, 5)[..3], job_seeds(7, 3)[..]);
+        assert_ne!(job_seeds(7, 2), job_seeds(8, 2));
+    }
+
+    #[test]
+    fn grid_results_keep_submission_order_at_any_thread_count() {
+        let jobs: Vec<u64> = (0..37).collect();
+        let run = |j: &u64, seed: u64| (*j, seed, j * j);
+        let serial = run_grid_with_threads(&jobs, 99, 1, run);
+        for threads in [2, 3, 8, 64] {
+            let parallel = run_grid_with_threads(&jobs, 99, threads, run);
+            assert_eq!(serial.results, parallel.results);
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: GridOutcome<u64> = run_grid_with_threads(&[] as &[u64], 0, 4, |j, _| *j);
+        assert!(out.results.is_empty());
+    }
+}

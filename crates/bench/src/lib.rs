@@ -16,6 +16,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+pub mod report;
+
 use svc::{SvcConfig, SvcSystem};
 use svc_arb::{ArbConfig, ArbSystem};
 use svc_multiscalar::{Engine, EngineConfig, RunReport, TaskSource};
@@ -144,9 +147,112 @@ pub fn run_spec95_with(
     run_source(&wl, memory, cfg)
 }
 
+/// The seed every paper-artifact binary pins. The workload profiles are
+/// calibrated against it (the EXPERIMENTS.md tables — and a couple of
+/// thin shape margins — depend on it), so the table/figure binaries
+/// ignore the harness's derived seed stream and run every cell at this
+/// seed. The derived stream is exercised by the regression gate and the
+/// determinism tests instead.
+pub const PAPER_SEED: u64 = 42;
+
+/// One cell of a standard experiment grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridJob {
+    /// The SPEC95 benchmark model to run.
+    pub bench: Spec95,
+    /// The memory system to run it on.
+    pub memory: MemoryKind,
+}
+
+/// The cartesian product `benches × memories`, in row-major order
+/// (all memories for the first benchmark, then the next benchmark).
+pub fn cross(benches: &[Spec95], memories: &[MemoryKind]) -> Vec<GridJob> {
+    let mut jobs = Vec::with_capacity(benches.len() * memories.len());
+    for &bench in benches {
+        for &memory in memories {
+            jobs.push(GridJob { bench, memory });
+        }
+    }
+    jobs
+}
+
+/// Runs a grid in parallel with every cell pinned to [`PAPER_SEED`]
+/// (the paper-artifact path; see [`PAPER_SEED`] for why).
+pub fn run_paper_grid(jobs: &[GridJob], budget: u64) -> harness::GridOutcome<ExperimentResult> {
+    harness::run_grid(jobs, PAPER_SEED, |job, _derived| {
+        run_spec95_with(job.bench, job.memory, budget, PAPER_SEED)
+    })
+}
+
+/// Runs a grid in parallel with harness-derived per-job seeds (the
+/// path the regression gate and the determinism tests exercise).
+pub fn run_derived_grid(
+    jobs: &[GridJob],
+    grid_seed: u64,
+    budget: u64,
+) -> harness::GridOutcome<ExperimentResult> {
+    harness::run_grid(jobs, grid_seed, |job, seed| {
+        run_spec95_with(job.bench, job.memory, budget, seed)
+    })
+}
+
+/// Writes both JSON artifacts for a finished grid: the deterministic
+/// `results/<name>.json` document (cell results under `seeds[i]`) and
+/// the wall-clock entry in the `BENCH_experiments.json` snapshot.
+pub fn publish_grid(
+    name: &str,
+    budget: u64,
+    grid_seed: u64,
+    seeds: &[u64],
+    outcome: &harness::GridOutcome<ExperimentResult>,
+) -> std::io::Result<()> {
+    assert_eq!(seeds.len(), outcome.results.len(), "one seed per result");
+    let runs = outcome
+        .results
+        .iter()
+        .zip(seeds)
+        .map(|(r, &s)| report::experiment_result_json(r, s))
+        .collect();
+    let doc = report::experiment_doc(name, budget, grid_seed, runs);
+    report::write_experiment(name, &doc)?;
+    let m = report::SelfMeasurement::from_reports(
+        outcome.results.iter().map(|r| &r.report),
+        outcome.wall.as_secs_f64(),
+        outcome.threads,
+    );
+    report::record_snapshot(name, m)?;
+    Ok(())
+}
+
+/// [`publish_grid`] for paper grids: every seed is [`PAPER_SEED`].
+pub fn publish_paper_grid(
+    name: &str,
+    budget: u64,
+    outcome: &harness::GridOutcome<ExperimentResult>,
+) -> std::io::Result<()> {
+    let seeds = vec![PAPER_SEED; outcome.results.len()];
+    publish_grid(name, budget, PAPER_SEED, &seeds, outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cross_is_row_major() {
+        let jobs = cross(
+            &[Spec95::Ijpeg, Spec95::Perl],
+            &[
+                MemoryKind::Svc { kb_per_cache: 8 },
+                MemoryKind::Svc { kb_per_cache: 16 },
+            ],
+        );
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].bench, Spec95::Ijpeg);
+        assert_eq!(jobs[1].bench, Spec95::Ijpeg);
+        assert_eq!(jobs[1].memory, MemoryKind::Svc { kb_per_cache: 16 });
+        assert_eq!(jobs[2].bench, Spec95::Perl);
+    }
 
     #[test]
     fn labels() {

@@ -1,0 +1,741 @@
+//! Schema-versioned JSON reports for experiment results.
+//!
+//! Hand-rolled (the build environment is offline; no serde) but
+//! complete: a small JSON value model ([`Json`]), a deterministic
+//! emitter whose output is byte-identical for identical inputs
+//! (insertion-ordered keys, shortest-roundtrip float formatting), and a
+//! recursive-descent parser so the `regress` gate can read baselines
+//! back.
+//!
+//! Two document schemas:
+//!
+//! * [`SCHEMA_EXPERIMENT`] — `results/<name>.json`, one per experiment
+//!   binary: the grid parameters plus every run's metrics,
+//!   [`MemStats`], and engine report. Deterministic: no wall-clock data.
+//! * [`SCHEMA_SNAPSHOT`] — `BENCH_experiments.json`: per-experiment
+//!   harness self-measurement (wall seconds, simulated cycles/sec,
+//!   committed instrs/sec, thread count), merged read-modify-write so
+//!   each binary updates its own entry.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use svc_multiscalar::RunReport;
+use svc_sim::stats::{Histogram, Running};
+use svc_types::MemStats;
+
+use crate::ExperimentResult;
+
+/// Schema tag of `results/<name>.json` documents.
+pub const SCHEMA_EXPERIMENT: &str = "svc-experiments/v1";
+/// Schema tag of the `BENCH_experiments.json` perf snapshot.
+pub const SCHEMA_SNAPSHOT: &str = "svc-bench-snapshot/v1";
+
+// ---------------------------------------------------------------------
+// Value model
+// ---------------------------------------------------------------------
+
+/// A JSON value. Object keys keep insertion order so emission is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also what non-finite floats serialize to).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. Counters in this workspace stay far below 2^53, so
+    /// `f64` holds them exactly.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object builder seed.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds (or replaces) a key in an object; panics on non-objects.
+    pub fn set(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => {
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_string(), value));
+                }
+                self
+            }
+            _ => panic!("set() on a non-object"),
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline —
+    /// deterministic byte-for-byte for equal values.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_number(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Scalars inline; nested structures one per line.
+                let nested = items
+                    .iter()
+                    .any(|v| matches!(v, Json::Arr(_) | Json::Obj(_)));
+                if nested {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        out.push_str(if i == 0 { "\n" } else { ",\n" });
+                        indent(out, depth + 1);
+                        item.write_into(out, depth + 1);
+                    }
+                    out.push('\n');
+                    indent(out, depth);
+                    out.push(']');
+                } else {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write_into(out, depth);
+                    }
+                    out.push(']');
+                }
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(x: bool) -> Json {
+        Json::Bool(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null"); // JSON has no NaN/inf
+    } else if x == x.trunc() && x.abs() < 9e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        // Rust's shortest-roundtrip float formatting is deterministic.
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+/// Parses a JSON document (as produced by [`Json::render`], though any
+/// standard JSON is accepted).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!(
+                "unexpected byte {:?} at offset {}",
+                b as char, self.pos
+            )),
+            None => Err(format!("unexpected end of input at byte {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = text.chars().next().expect("non-empty");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] at byte {}: {other:?}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected , or }} at byte {}: {other:?}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serializers for the simulator's stats types
+// ---------------------------------------------------------------------
+
+/// [`MemStats`] as an object: every counter (via [`MemStats::fields`],
+/// so new counters appear automatically) plus the derived ratios.
+pub fn mem_stats_json(stats: &MemStats) -> Json {
+    let mut obj = Json::obj();
+    for (name, value) in stats.fields() {
+        obj = obj.set(name, value.into());
+    }
+    obj.set("miss_ratio", stats.miss_ratio().into())
+        .set("local_hit_ratio", stats.local_hit_ratio().into())
+}
+
+/// A [`Histogram`] as `{width, buckets, overflow, total}`.
+pub fn histogram_json(h: &Histogram) -> Json {
+    Json::obj()
+        .set("width", h.width().into())
+        .set(
+            "buckets",
+            Json::Arr(h.bucket_counts().iter().map(|&c| c.into()).collect()),
+        )
+        .set("overflow", h.overflow().into())
+        .set("total", h.total().into())
+}
+
+/// A [`Running`] accumulator as `{count, sum, mean, min, max}`.
+pub fn running_json(r: &Running) -> Json {
+    Json::obj()
+        .set("count", r.count().into())
+        .set("sum", r.sum().into())
+        .set("mean", r.mean().into())
+        .set("min", r.min().into())
+        .set("max", r.max().into())
+}
+
+/// A full engine [`RunReport`]: scalar counters (via
+/// [`RunReport::counter_fields`]), derived metrics, the task-length
+/// histogram, and the memory-system stats.
+pub fn run_report_json(report: &RunReport) -> Json {
+    let mut obj = Json::obj();
+    for (name, value) in report.counter_fields() {
+        obj = obj.set(name, value.into());
+    }
+    obj.set("hit_cycle_limit", report.hit_cycle_limit.into())
+        .set("ipc", report.ipc().into())
+        .set("avg_task_len", report.avg_task_len().into())
+        .set("bus_utilization", report.bus_utilization().into())
+        .set("task_lengths", histogram_json(&report.task_lengths))
+        .set("mem", mem_stats_json(&report.mem))
+}
+
+/// One grid cell's result: workload, memory label, seed, the paper's
+/// three metrics, and the full engine report.
+pub fn experiment_result_json(result: &ExperimentResult, seed: u64) -> Json {
+    Json::obj()
+        .set("workload", result.workload.as_str().into())
+        .set("memory", result.memory.as_str().into())
+        .set("seed", seed.into())
+        .set("ipc", result.ipc.into())
+        .set("miss_ratio", result.miss_ratio.into())
+        .set("bus_utilization", result.bus_utilization.into())
+        .set("report", run_report_json(&result.report))
+}
+
+/// The `results/<name>.json` document envelope.
+pub fn experiment_doc(name: &str, budget: u64, grid_seed: u64, runs: Vec<Json>) -> Json {
+    Json::obj()
+        .set("schema", SCHEMA_EXPERIMENT.into())
+        .set("experiment", name.into())
+        .set("budget", budget.into())
+        .set("grid_seed", grid_seed.into())
+        .set("runs", Json::Arr(runs))
+}
+
+// ---------------------------------------------------------------------
+// File output
+// ---------------------------------------------------------------------
+
+/// Where `results/*.json` artifacts go: `SVC_RESULTS_DIR` or
+/// `./results`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("SVC_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes `doc` to `results/<name>.json`, creating the directory.
+pub fn write_experiment(name: &str, doc: &Json) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, doc.render())?;
+    Ok(path)
+}
+
+/// The harness's per-experiment self-measurement (the perf snapshot
+/// entry). Wall-clock data lives only here, never in the deterministic
+/// experiment documents.
+#[derive(Debug, Clone, Copy)]
+pub struct SelfMeasurement {
+    /// Wall-clock seconds for the whole grid.
+    pub wall_s: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Grid cells executed.
+    pub jobs: usize,
+    /// Total simulated cycles across the grid.
+    pub sim_cycles: u64,
+    /// Total committed instructions across the grid.
+    pub committed_instrs: u64,
+}
+
+impl SelfMeasurement {
+    /// Aggregates a grid's engine reports plus the harness timing.
+    pub fn from_reports<'a>(
+        reports: impl Iterator<Item = &'a RunReport>,
+        wall_s: f64,
+        threads: usize,
+    ) -> SelfMeasurement {
+        let mut jobs = 0;
+        let mut sim_cycles = 0;
+        let mut committed_instrs = 0;
+        for r in reports {
+            jobs += 1;
+            sim_cycles += r.cycles;
+            committed_instrs += r.committed_instrs;
+        }
+        SelfMeasurement {
+            wall_s,
+            threads,
+            jobs,
+            sim_cycles,
+            committed_instrs,
+        }
+    }
+
+    /// Simulated cycles per wall second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.sim_cycles as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Committed instructions per wall second.
+    pub fn instrs_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.committed_instrs as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj()
+            .set("wall_s", self.wall_s.into())
+            .set("threads", self.threads.into())
+            .set("jobs", self.jobs.into())
+            .set("sim_cycles", self.sim_cycles.into())
+            .set("committed_instrs", self.committed_instrs.into())
+            .set("sim_cycles_per_sec", self.cycles_per_sec().into())
+            .set("committed_instrs_per_sec", self.instrs_per_sec().into())
+    }
+}
+
+/// Path of the perf snapshot: `SVC_BENCH_SNAPSHOT` or
+/// `./BENCH_experiments.json`.
+pub fn snapshot_path() -> PathBuf {
+    std::env::var_os("SVC_BENCH_SNAPSHOT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_experiments.json"))
+}
+
+/// Merges one experiment's self-measurement into the perf snapshot
+/// (read-modify-write keyed by experiment name, so binaries can run in
+/// any order or subset).
+pub fn record_snapshot(experiment: &str, m: SelfMeasurement) -> io::Result<PathBuf> {
+    let path = snapshot_path();
+    record_snapshot_at(&path, experiment, m)?;
+    Ok(path)
+}
+
+fn record_snapshot_at(path: &Path, experiment: &str, m: SelfMeasurement) -> io::Result<()> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text).ok(),
+        Err(_) => None,
+    };
+    let experiments = existing
+        .as_ref()
+        .and_then(|doc| doc.get("experiments"))
+        .cloned()
+        .unwrap_or_else(Json::obj);
+    let doc = Json::obj()
+        .set("schema", SCHEMA_SNAPSHOT.into())
+        .set("experiments", experiments.set(experiment, m.to_json()));
+    std::fs::write(path, doc.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_and_parses_back() {
+        let doc = Json::obj()
+            .set("schema", SCHEMA_EXPERIMENT.into())
+            .set("n", 42u64.into())
+            .set("x", 0.125.into())
+            .set("flag", true.into())
+            .set("name", "a \"quoted\" name\n".into())
+            .set("arr", Json::Arr(vec![1u64.into(), 2u64.into()]))
+            .set("nested", Json::obj().set("empty", Json::Arr(vec![])));
+        let a = doc.render();
+        let b = doc.render();
+        assert_eq!(a, b);
+        let back = parse(&a).expect("parses");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn numbers_render_integers_exactly() {
+        let mut s = String::new();
+        write_number(&mut s, 400000.0);
+        assert_eq!(s, "400000");
+        s.clear();
+        write_number(&mut s, 0.035);
+        assert_eq!(s, "0.035");
+        s.clear();
+        write_number(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn parser_accepts_standard_json() {
+        let v = parse(r#" {"a": [1, 2.5, null, true, "xA"], "b": {}} "#).expect("ok");
+        assert_eq!(
+            v.get("a").and_then(|a| a.as_arr()).map(|a| a.len()),
+            Some(5)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[4].as_str(),
+            Some("xA")
+        );
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("42 garbage").is_err());
+    }
+
+    #[test]
+    fn histogram_and_running_serialize() {
+        let mut h = Histogram::new(8, 4);
+        h.record(3);
+        h.record(100);
+        let j = histogram_json(&h);
+        assert_eq!(j.get("width").and_then(Json::as_f64), Some(8.0));
+        assert_eq!(j.get("overflow").and_then(Json::as_f64), Some(1.0));
+
+        let mut r = Running::new();
+        r.push(2.0);
+        r.push(4.0);
+        let j = running_json(&r);
+        assert_eq!(j.get("mean").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn snapshot_merge_keeps_other_entries() {
+        let dir = std::env::temp_dir().join("svc_report_test");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let path = dir.join("BENCH_experiments.json");
+        let _ = std::fs::remove_file(&path);
+        let m = SelfMeasurement {
+            wall_s: 1.0,
+            threads: 4,
+            jobs: 2,
+            sim_cycles: 1000,
+            committed_instrs: 500,
+        };
+        record_snapshot_at(&path, "table2", m).expect("write");
+        record_snapshot_at(&path, "fig19", m).expect("write");
+        let doc = parse(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        let exps = doc.get("experiments").expect("experiments");
+        assert!(exps.get("table2").is_some() && exps.get("fig19").is_some());
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(SCHEMA_SNAPSHOT)
+        );
+    }
+}

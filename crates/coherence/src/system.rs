@@ -455,7 +455,7 @@ mod tests {
         let mut s = sys();
         s.store(PuId(0), Addr(1), Word(7), Cycle(0));
         s.store(PuId(1), Addr(2), Word(8), Cycle(10)); // same line, other PU
-        // PU1's line must carry PU0's word too.
+                                                       // PU1's line must carry PU0's word too.
         let out = s.load(PuId(1), Addr(1), Cycle(20));
         assert_eq!(out.value, Word(7));
         assert_eq!(out.source, DataSource::LocalHit);

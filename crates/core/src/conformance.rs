@@ -45,6 +45,20 @@ impl Workload {
     /// word-address space of `addr_space` words. Store values are unique
     /// per (task, op) so divergences are attributable.
     pub fn random(seed: u64, num_tasks: usize, addr_space: u64, num_pus: usize) -> Workload {
+        Workload::random_with_density(seed, num_tasks, addr_space, num_pus, 0.45)
+    }
+
+    /// Like [`Workload::random`], but with an explicit store fraction.
+    /// Dense stores over a small address space maximize write-write and
+    /// use-before-define conflicts (squash/replay pressure); sparse
+    /// stores exercise the sharing and supply paths instead.
+    pub fn random_with_density(
+        seed: u64,
+        num_tasks: usize,
+        addr_space: u64,
+        num_pus: usize,
+        store_frac: f64,
+    ) -> Workload {
         let mut rng = Xoshiro256::seed_from(seed);
         let tasks = (0..num_tasks)
             .map(|t| {
@@ -52,7 +66,7 @@ impl Workload {
                 (0..len)
                     .map(|i| {
                         let addr = Addr(rng.gen_range(0..addr_space));
-                        if rng.gen_bool(0.45) {
+                        if rng.gen_bool(store_frac) {
                             Op::Store(addr, Word(((t as u64) << 16) | (i as u64 + 1)))
                         } else {
                             Op::Load(addr)
@@ -157,32 +171,31 @@ fn run_lockstep_impl<M: VersionedMemory>(
         // the one that has to commit); the machine frees resources by
         // squashing the youngest running task instead. Younger stalled
         // tasks simply retry after a commit.
-        let free_for_head = |running: &mut Vec<Option<(usize, usize)>>,
-                                 dut: &mut M,
-                                 oracle: &mut IdealMemory| {
-            // The squash model is contiguous (victim..tail), so free every
-            // task younger than the stalled head, youngest first, and
-            // restart them.
-            let mut younger: Vec<(usize, usize)> = running
-                .iter()
-                .enumerate()
-                .filter_map(|(p, s)| s.map(|(t, _)| (p, t)))
-                .filter(|&(_, t)| t > task)
-                .collect();
-            assert!(
-                !younger.is_empty(),
-                "head task alone exceeds the memory system's speculative capacity"
-            );
-            younger.sort_by_key(|&(_, t)| core::cmp::Reverse(t));
-            for &(p, _) in &younger {
-                dut.squash(PuId(p));
-                oracle.squash(PuId(p));
-                running[p] = None;
-            }
-            for &(p, t) in younger.iter().rev() {
-                dispatch(p, t, running, dut, oracle);
-            }
-        };
+        let free_for_head =
+            |running: &mut Vec<Option<(usize, usize)>>, dut: &mut M, oracle: &mut IdealMemory| {
+                // The squash model is contiguous (victim..tail), so free every
+                // task younger than the stalled head, youngest first, and
+                // restart them.
+                let mut younger: Vec<(usize, usize)> = running
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(p, s)| s.map(|(t, _)| (p, t)))
+                    .filter(|&(_, t)| t > task)
+                    .collect();
+                assert!(
+                    !younger.is_empty(),
+                    "head task alone exceeds the memory system's speculative capacity"
+                );
+                younger.sort_by_key(|&(_, t)| core::cmp::Reverse(t));
+                for &(p, _) in &younger {
+                    dut.squash(PuId(p));
+                    oracle.squash(PuId(p));
+                    running[p] = None;
+                }
+                for &(p, t) in younger.iter().rev() {
+                    dispatch(p, t, running, dut, oracle);
+                }
+            };
         let is_head = running
             .iter()
             .flatten()
@@ -203,7 +216,9 @@ fn run_lockstep_impl<M: VersionedMemory>(
                     }
                     Err(e) => panic!("unexpected error: {e}"),
                 };
-                let o = oracle.load(PuId(pu), addr, now).expect("oracle never stalls");
+                let o = oracle
+                    .load(PuId(pu), addr, now)
+                    .expect("oracle never stalls");
                 assert_eq!(
                     s.value, o.value,
                     "load divergence: task {task} addr {addr} (dut={}, oracle={})",

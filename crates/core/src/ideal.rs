@@ -246,7 +246,10 @@ mod tests {
         m.store(PuId(1), Addr(4), Word(9), Cycle(0)).unwrap(); // version by task 1
         m.load(PuId(2), Addr(4), Cycle(1)).unwrap(); // reads task 1's version
         let st = m.store(PuId(0), Addr(4), Word(5), Cycle(2)).unwrap();
-        assert!(st.violation.is_none(), "task 2's load read version 1, not memory");
+        assert!(
+            st.violation.is_none(),
+            "task 2's load read version 1, not memory"
+        );
     }
 
     #[test]
@@ -275,7 +278,10 @@ mod tests {
         m.squash(PuId(2));
         m.squash(PuId(3));
         m.assign(PuId(2), TaskId(2));
-        assert_eq!(m.load(PuId(2), Addr(4), Cycle(1)).unwrap().value, Word::ZERO);
+        assert_eq!(
+            m.load(PuId(2), Addr(4), Cycle(1)).unwrap().value,
+            Word::ZERO
+        );
         // The squashed task-3 load no longer triggers violations.
         let st = m.store(PuId(0), Addr(8), Word(1), Cycle(2)).unwrap();
         assert!(st.violation.is_none());

@@ -27,7 +27,10 @@ pub struct StateCensus {
 impl StateCensus {
     /// Total slots (the cache's line capacity).
     pub fn total(&self) -> usize {
-        self.invalid + self.active_clean + self.active_dirty + self.passive_clean
+        self.invalid
+            + self.active_clean
+            + self.active_dirty
+            + self.passive_clean
             + self.passive_dirty
     }
 

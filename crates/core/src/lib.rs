@@ -53,8 +53,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod conformance;
 mod config;
+pub mod conformance;
 mod ideal;
 mod inspect;
 mod line;

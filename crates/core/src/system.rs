@@ -490,7 +490,9 @@ impl SvcSystem {
                 continue;
             }
             if let Some(r) = self.caches[q.index()].find(line) {
-                self.caches[q.index()].slot_mut(r).invalidate_subblocks(mask);
+                self.caches[q.index()]
+                    .slot_mut(r)
+                    .invalidate_subblocks(mask);
             }
         }
         // Hybrid update: push the stored word into surviving copies.

@@ -385,7 +385,7 @@ fn position_for(vol: &[LineSnapshot], pu: PuId, task: TaskId) -> usize {
     let mut pos = 0;
     for (i, s) in vol.iter().enumerate() {
         match s.ordering_task() {
-            None => pos = i + 1,                       // committed: always before us
+            None => pos = i + 1, // committed: always before us
             Some(t) if t.is_older_than(task) => pos = i + 1,
             Some(_) => break,
         }
@@ -581,10 +581,7 @@ mod tests {
         let plan = vcl().plan_write(&snaps, PuId(Y), TaskId(3), SubMask::all(1), SubMask::EMPTY);
         assert!(plan.invalidate.is_empty());
         assert!(plan.victims.is_empty());
-        assert_eq!(
-            plan.vol_after,
-            vec![PuId(X), PuId(Z), PuId(W), PuId(Y)]
-        );
+        assert_eq!(plan.vol_after, vec![PuId(X), PuId(Z), PuId(W), PuId(Y)]);
     }
 
     #[test]
@@ -620,7 +617,10 @@ mod tests {
             snap(W, Some(2), 1, 0, 1, false, None),
         ];
         let plan = vcl().plan_write(&snaps, PuId(X), TaskId(0), SubMask::all(1), SubMask::EMPTY);
-        assert!(plan.victims.is_empty(), "Z stored before loading; W copied Z's version");
+        assert!(
+            plan.victims.is_empty(),
+            "Z stored before loading; W copied Z's version"
+        );
         assert!(plan.invalidate.is_empty());
     }
 
@@ -702,8 +702,17 @@ mod tests {
             absent(Z, Some(1)),
             snap(W, Some(2), 0b11, 0, 0b10, false, None),
         ];
-        let plan = vcl().plan_write(&snaps, PuId(X), TaskId(0), SubMask::single(0), SubMask::EMPTY);
-        assert!(plan.victims.is_empty(), "loads were to a different sub-block");
+        let plan = vcl().plan_write(
+            &snaps,
+            PuId(X),
+            TaskId(0),
+            SubMask::single(0),
+            SubMask::EMPTY,
+        );
+        assert!(
+            plan.victims.is_empty(),
+            "loads were to a different sub-block"
+        );
         assert_eq!(plan.invalidate, vec![(PuId(W), SubMask::single(0))]);
         assert!(
             plan.vol_after.contains(&PuId(W)),
@@ -721,15 +730,18 @@ mod tests {
             absent(Z, Some(4)),
             absent(W, Some(5)),
         ];
-        let plan = vcl().plan_write(&snaps, PuId(Z), TaskId(4), SubMask::single(0), SubMask::EMPTY);
+        let plan = vcl().plan_write(
+            &snaps,
+            PuId(Z),
+            TaskId(4),
+            SubMask::single(0),
+            SubMask::EMPTY,
+        );
         let mut flush = plan.flush.clone();
         flush.sort_by_key(|(pu, _)| pu.index());
         assert_eq!(
             flush,
-            vec![
-                (PuId(X), SubMask::single(0)),
-                (PuId(Y), SubMask::single(1))
-            ]
+            vec![(PuId(X), SubMask::single(0)), (PuId(Y), SubMask::single(1))]
         );
     }
 
@@ -743,14 +755,7 @@ mod tests {
             absent(Z, Some(4)),
             absent(W, Some(5)),
         ];
-        let plan = vcl().plan_read(
-            &snaps,
-            PuId(Z),
-            TaskId(4),
-            None,
-            SubMask::single(0),
-            &[],
-        );
+        let plan = vcl().plan_read(&snaps, PuId(Z), TaskId(4), None, SubMask::single(0), &[]);
         assert_eq!(plan.flush, vec![(PuId(Y), SubMask::single(0))]);
         assert_eq!(plan.fill, vec![(0, SupplySource::Cache(PuId(Y)))]);
     }

@@ -176,8 +176,8 @@ mod tests {
     #[test]
     fn committed_always_precede_uncommitted() {
         let snaps = vec![
-            snap(0, Some(9), false, None),  // uncommitted, young task
-            snap(1, Some(10), true, None),  // committed on PU running task 10
+            snap(0, Some(9), false, None), // uncommitted, young task
+            snap(1, Some(10), true, None), // committed on PU running task 10
         ];
         assert_eq!(order_vol(&snaps), vec![PuId(1), PuId(0)]);
     }

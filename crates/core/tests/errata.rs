@@ -79,7 +79,11 @@ fn exclusive_store_to_own_passive_line_is_silent_and_safe() {
     assert_eq!(st.done_at, Cycle(11));
     // Squash the new task: the architectural value must survive.
     svc.squash(PuId(0));
-    assert_eq!(svc.architectural(A), Word(1), "committed version flushed first");
+    assert_eq!(
+        svc.architectural(A),
+        Word(1),
+        "committed version flushed first"
+    );
     // Replay commits the new value.
     svc.assign(PuId(0), TaskId(1));
     svc.store(PuId(0), A, Word(2), Cycle(20)).unwrap();
@@ -223,7 +227,8 @@ fn base_design_commit_is_a_writeback_burst() {
         for svc in [&mut base, &mut ec] {
             svc.assign(PuId(0), TaskId(0));
             for i in 0..n {
-                svc.store(PuId(0), Addr(i * 4), Word(i), Cycle(i * 20)).unwrap();
+                svc.store(PuId(0), Addr(i * 4), Word(i), Cycle(i * 20))
+                    .unwrap();
             }
         }
         let base_cost = base.commit(PuId(0), Cycle(10_000)) - Cycle(10_000);
@@ -235,7 +240,11 @@ fn base_design_commit_is_a_writeback_burst() {
 
 #[test]
 fn committed_state_survives_squash_in_every_lazy_design() {
-    for cfg in [SvcConfig::ec(2), SvcConfig::ecs(2), SvcConfig::final_design(2)] {
+    for cfg in [
+        SvcConfig::ec(2),
+        SvcConfig::ecs(2),
+        SvcConfig::final_design(2),
+    ] {
         let mut svc = SvcSystem::new(cfg);
         svc.assign(PuId(0), TaskId(0));
         svc.store(PuId(0), A, Word(5), Cycle(0)).unwrap();

@@ -15,7 +15,11 @@ fn with_l2(mut cfg: SvcConfig) -> SvcConfig {
 fn l2_conforms_to_the_oracle() {
     for seed in 900..912 {
         let wl = Workload::random(seed, 24, 32, 4);
-        run_lockstep(&wl, SvcSystem::new(with_l2(SvcConfig::final_design(4))), seed);
+        run_lockstep(
+            &wl,
+            SvcSystem::new(with_l2(SvcConfig::final_design(4))),
+            seed,
+        );
         run_lockstep(&wl, SvcSystem::new(with_l2(SvcConfig::ecs(4))), seed);
     }
 }

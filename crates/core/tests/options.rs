@@ -69,7 +69,11 @@ fn update_limit_bounds_hybrid_updates() {
         let st = svc.store(PuId(0), Addr(64), Word(9), Cycle(5)).unwrap();
         assert!(st.violation.is_none(), "different sub-blocks");
     }
-    assert_eq!(upd.peek_word(PuId(1), Addr(64)), Some(Word(9)), "updated in place");
+    assert_eq!(
+        upd.peek_word(PuId(1), Addr(64)),
+        Some(Word(9)),
+        "updated in place"
+    );
     assert_eq!(inv.peek_word(PuId(1), Addr(64)), None, "invalidated");
     // An intermediate limit updates exactly one copy.
     let mut cfg1 = cfg;

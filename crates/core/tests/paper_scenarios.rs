@@ -136,7 +136,8 @@ fn ec_commit_is_one_cycle_base_commit_is_not() {
         let mut svc = word_line_svc(cfg);
         svc.assign(X, TaskId(0));
         for (i, &a) in addrs.iter().enumerate() {
-            svc.store(X, a, Word(i as u64), Cycle(i as u64 * 10)).unwrap();
+            svc.store(X, a, Word(i as u64), Cycle(i as u64 * 10))
+                .unwrap();
         }
         svc.commit(X, Cycle(1000)) - Cycle(1000)
     };
@@ -304,7 +305,11 @@ fn hybrid_update_forwards_store_to_consumer_copy() {
     let st = svc.store(Z, line_base, Word(9), Cycle(10)).unwrap();
     assert!(st.violation.is_none());
     let out = svc.load(W, line_base, Cycle(20)).unwrap();
-    assert_eq!(out.source, DataSource::LocalHit, "copy was updated in place");
+    assert_eq!(
+        out.source,
+        DataSource::LocalHit,
+        "copy was updated in place"
+    );
     assert_eq!(out.value, Word(9));
 }
 
@@ -338,7 +343,7 @@ fn speculative_cache_stalls_instead_of_evicting_versioning_state() {
     let mut svc = SvcSystem::new(cfg);
     svc.assign(X, TaskId(0)); // head
     svc.assign(Y, TaskId(1)); // speculative
-    // Lines 0, 4, 8 map to set 0 (4 sets). Fill both ways with stores.
+                              // Lines 0, 4, 8 map to set 0 (4 sets). Fill both ways with stores.
     svc.store(Y, Addr(0), Word(1), Cycle(0)).unwrap();
     svc.store(Y, Addr(16), Word(2), Cycle(10)).unwrap();
     let err = svc.store(Y, Addr(32), Word(3), Cycle(20)).unwrap_err();

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use svc::conformance::{run_lockstep, Op, Workload};
-use svc::{order_vol, LineSnapshot, SubMask, SvcConfig, SvcSystem};
+use svc::{order_vol, LineSnapshot, SubMask, SvcConfig, SvcSystem, Vcl};
 use svc_types::{Addr, PuId, TaskId, Word};
 
 // ---------------------------------------------------------------------
@@ -45,7 +45,12 @@ proptest! {
 /// with arbitrary (possibly dangling) pointers.
 fn snapshots_strategy() -> impl Strategy<Value = Vec<LineSnapshot>> {
     proptest::collection::vec(
-        (any::<bool>(), any::<bool>(), 0u64..16, proptest::option::of(0usize..4)),
+        (
+            any::<bool>(),
+            any::<bool>(),
+            0u64..16,
+            proptest::option::of(0usize..4),
+        ),
         4,
     )
     .prop_map(|rows| {
@@ -54,7 +59,11 @@ fn snapshots_strategy() -> impl Strategy<Value = Vec<LineSnapshot>> {
             .map(|(i, (valid, committed, task, next))| LineSnapshot {
                 pu: PuId(i),
                 task: Some(TaskId(task * 4 + i as u64)), // unique per PU
-                valid: if valid { SubMask::all(1) } else { SubMask::EMPTY },
+                valid: if valid {
+                    SubMask::all(1)
+                } else {
+                    SubMask::EMPTY
+                },
                 store: SubMask::EMPTY,
                 load: SubMask::EMPTY,
                 committed,
@@ -198,6 +207,234 @@ proptest! {
         svc.drain();
         for (a, v) in serial {
             prop_assert_eq!(svc.architectural(a), v, "serial SVC at {}", a);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized-workload conformance (varying PUs, address-space size and
+// squash/replay density)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Workload::random_with_density` sweeps the conflict-pressure axes
+    /// the hand-built strategy above cannot: PU count, address-space
+    /// size (small spaces force write-write conflicts and replays) and
+    /// store density. Every SVC design generation must still agree with
+    /// the oracle on every load, victim and final memory image.
+    #[test]
+    fn svc_survives_randomized_conflict_densities(
+        seed in 0u64..1_000_000,
+        tasks in 2usize..28,
+        addr_space in 4u64..48,
+        pus in 2usize..6,
+        store_pct in 10u64..86,
+    ) {
+        let wl = Workload::random_with_density(
+            seed, tasks, addr_space, pus, store_pct as f64 / 100.0,
+        );
+        for cfg in [SvcConfig::base(pus), SvcConfig::final_design(pus)] {
+            run_lockstep(&wl, SvcSystem::new(cfg), seed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// VCL plan invariants over arbitrary line states
+// ---------------------------------------------------------------------
+
+/// Richer snapshots than `snapshots_strategy`: 4 PUs over 4 sub-blocks,
+/// arbitrary valid/store/load masks (store and load forced into valid),
+/// arbitrary committed flags and arbitrary (possibly cyclic) pointers.
+fn rich_snapshots_strategy() -> impl Strategy<Value = Vec<LineSnapshot>> {
+    proptest::collection::vec(
+        (
+            0u64..16,                        // valid mask (4 sub-blocks)
+            any::<u64>(),                    // store-mask entropy
+            any::<u64>(),                    // load-mask entropy
+            any::<bool>(),                   // committed
+            0u64..8,                         // task entropy
+            proptest::option::of(0usize..4), // next pointer (may dangle/cycle)
+        ),
+        4,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(
+                |(i, (valid, smask, lmask, committed, task, next))| LineSnapshot {
+                    pu: PuId(i),
+                    task: Some(TaskId(task * 4 + i as u64)), // unique per PU
+                    valid: SubMask(valid),
+                    store: SubMask(valid & smask & 0xF),
+                    load: SubMask(valid & lmask & 0xF),
+                    committed,
+                    stale: false,
+                    arch: false,
+                    next: next.map(PuId),
+                },
+            )
+            .collect()
+    })
+}
+
+fn vcl_all_features() -> Vcl {
+    Vcl {
+        hybrid_update: true,
+        snarfing: true,
+        trust_stale: true,
+        update_limit: 2,
+        retain_flushed: true,
+    }
+}
+
+/// No PU may appear twice: the version order list is a simple chain, so
+/// any duplicate would be a cycle.
+fn assert_vol_acyclic(vol: &[PuId]) {
+    for (i, a) in vol.iter().enumerate() {
+        for b in &vol[i + 1..] {
+            assert!(a != b, "PU {a:?} appears twice in the VOL: {vol:?}");
+        }
+    }
+}
+
+/// Each sub-block has at most one flush winner across all PUs — the
+/// single most recent committed version of a chain supplies each block.
+fn assert_unique_winners(flush: &[(PuId, SubMask)]) {
+    for j in 0..4usize {
+        let holders = flush.iter().filter(|(_, m)| m.contains(j)).count();
+        assert!(
+            holders <= 1,
+            "sub-block {j} has {holders} flush winners: {flush:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `plan_read` invariants for ANY line state: the resulting VOL is
+    /// acyclic, flush winners are unique per sub-block, purge/demote
+    /// target distinct committed lines, fill covers exactly the request,
+    /// and the requestor always ends up in the VOL.
+    #[test]
+    fn plan_read_invariants(
+        snaps in rich_snapshots_strategy(),
+        requestor in 0usize..4,
+        task in 100u64..108,
+        fill_bits in 1u64..16,
+    ) {
+        let fill_mask = SubMask(fill_bits);
+        // Snarf candidates must hold NO copy of the line (the documented
+        // precondition: "caches with a free slot and no copy").
+        let candidates: Vec<(PuId, TaskId)> = (0..4)
+            .filter(|&q| q != requestor && snaps[q].valid.is_empty())
+            .map(|q| (PuId(q), TaskId(200 + q as u64)))
+            .collect();
+        let plan = vcl_all_features().plan_read(
+            &snaps, PuId(requestor), TaskId(task), Some(TaskId(0)), fill_mask, &candidates,
+        );
+        assert_vol_acyclic(&plan.vol_after);
+        assert_unique_winners(&plan.flush);
+        prop_assert!(
+            plan.vol_after.contains(&PuId(requestor)),
+            "the requestor joins the VOL"
+        );
+        // Fill covers exactly the requested sub-blocks, each once.
+        let mut filled: Vec<usize> = plan.fill.iter().map(|&(j, _)| j).collect();
+        filled.sort_unstable();
+        let expected: Vec<usize> = fill_mask.iter().collect();
+        prop_assert_eq!(filled, expected);
+        // Purge and demote are disjoint and committed-only.
+        for pu in &plan.purge {
+            prop_assert!(!plan.demote.contains(pu), "purge ∩ demote = ∅");
+            prop_assert!(snaps[pu.index()].committed, "only committed lines purge");
+        }
+        for pu in &plan.demote {
+            prop_assert!(snaps[pu.index()].committed, "only committed lines demote");
+        }
+        // Snarfers come from the candidate list.
+        for pu in &plan.snarfers {
+            prop_assert!(candidates.iter().any(|&(q, _)| q == *pu));
+        }
+    }
+
+    /// `plan_write` invariants: acyclic VOL containing the requestor,
+    /// unique flush winners, victims only among younger tasks that
+    /// recorded a use of the stored sub-blocks, and committed-only
+    /// purges.
+    #[test]
+    fn plan_write_invariants(
+        snaps in rich_snapshots_strategy(),
+        requestor in 0usize..4,
+        task in 0u64..40,
+        store_bits in 1u64..16,
+    ) {
+        let store_mask = SubMask(store_bits);
+        let plan = vcl_all_features().plan_write(
+            &snaps, PuId(requestor), TaskId(task), store_mask, SubMask::EMPTY,
+        );
+        assert_vol_acyclic(&plan.vol_after);
+        assert_unique_winners(&plan.flush);
+        prop_assert!(plan.vol_after.contains(&PuId(requestor)));
+        for &(pu, vtask) in &plan.victims {
+            let s = &snaps[pu.index()];
+            prop_assert!(!s.committed, "victims are uncommitted");
+            prop_assert!(
+                s.load.intersects(store_mask),
+                "a victim recorded a use of a stored sub-block"
+            );
+            prop_assert!(
+                TaskId(task).is_older_than(vtask),
+                "victims are strictly younger than the storer"
+            );
+        }
+        for pu in &plan.purge {
+            prop_assert!(snaps[pu.index()].committed);
+        }
+        // A PU is never both updated and invalidated.
+        for pu in &plan.update {
+            prop_assert!(
+                !plan.invalidate.iter().any(|&(q, _)| q == *pu),
+                "update ∩ invalidate = ∅"
+            );
+        }
+    }
+
+    /// `plan_wback` invariants: the evictor leaves the VOL, every
+    /// committed line purges, flush winners stay unique and never
+    /// overlap the evicted write (the castout supersedes them).
+    #[test]
+    fn plan_wback_invariants(
+        snaps in rich_snapshots_strategy(),
+        evictor in 0usize..4,
+    ) {
+        // The evictor must actually hold the line.
+        let mut snaps = snaps;
+        if snaps[evictor].valid.is_empty() {
+            snaps[evictor].valid = SubMask(1);
+        }
+        let plan = vcl_all_features().plan_wback(&snaps, PuId(evictor));
+        assert_vol_acyclic(&plan.vol_after);
+        assert_unique_winners(&plan.flush);
+        prop_assert!(
+            !plan.vol_after.contains(&PuId(evictor)),
+            "the evictor leaves the VOL"
+        );
+        prop_assert!(
+            plan.purge.contains(&PuId(evictor)),
+            "the evictor's own line is always purged by its castout"
+        );
+        for &(pu, mask) in &plan.flush {
+            prop_assert!(pu != PuId(evictor), "the castout is not also flushed");
+            if !snaps[evictor].committed {
+                prop_assert!(
+                    !mask.intersects(plan.write_evicted),
+                    "active castout supersedes committed sub-blocks"
+                );
+            }
         }
     }
 }

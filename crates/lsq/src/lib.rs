@@ -191,10 +191,7 @@ impl VersionedMemory for LsqMemory {
         self.stats.loads += 1;
         // Record for violation detection unless the task already stored
         // here (own store shields the load).
-        let own = self
-            .stores
-            .iter()
-            .any(|e| e.addr == addr && e.task == task);
+        let own = self.stores.iter().any(|e| e.addr == addr && e.task == task);
         if !own && !is_head {
             self.loads.push(LoadEntry { task, addr });
         }
@@ -426,7 +423,11 @@ mod tests {
         m.commit(PuId(0), Cycle(5));
         let done = m.commit(PuId(1), Cycle(10));
         assert_eq!(done, Cycle(10) + 1 + 3, "port + one slot per store");
-        assert_eq!(m.architectural(Addr(0)), Word(2), "program order within task");
+        assert_eq!(
+            m.architectural(Addr(0)),
+            Word(2),
+            "program order within task"
+        );
         assert_eq!(m.architectural(Addr(4)), Word(3));
         assert_eq!(m.buffered_stores(), 0);
     }
@@ -439,7 +440,10 @@ mod tests {
         m.squash(PuId(2));
         m.squash(PuId(3));
         m.assign(PuId(2), TaskId(2));
-        assert_eq!(m.load(PuId(2), Addr(0), Cycle(1)).unwrap().value, Word::ZERO);
+        assert_eq!(
+            m.load(PuId(2), Addr(0), Cycle(1)).unwrap().value,
+            Word::ZERO
+        );
         let st = m.store(PuId(0), Addr(4), Word(1), Cycle(2)).unwrap();
         assert!(st.violation.is_none(), "squashed load forgotten");
     }

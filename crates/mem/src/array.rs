@@ -39,8 +39,8 @@ pub trait Slot: Default {
 #[derive(Debug, Clone)]
 pub struct CacheArray<S> {
     geometry: CacheGeometry,
-    slots: Vec<S>,      // sets × ways, row-major
-    stamps: Vec<u64>,   // LRU stamps, same layout
+    slots: Vec<S>,    // sets × ways, row-major
+    stamps: Vec<u64>, // LRU stamps, same layout
     tick: u64,
 }
 
@@ -146,7 +146,10 @@ impl<S: Slot> CacheArray<S> {
 
     /// Number of occupied (valid) slots.
     pub fn occupied(&self) -> usize {
-        self.slots.iter().filter(|s| s.held_line().is_some()).count()
+        self.slots
+            .iter()
+            .filter(|s| s.held_line().is_some())
+            .count()
     }
 }
 
@@ -189,7 +192,10 @@ mod tests {
     fn set_conflict_maps_to_same_set() {
         let a = array(4, 2);
         // Lines 1 and 5 conflict in a 4-set cache.
-        assert_eq!(a.geometry().set_index(LineId(1)), a.geometry().set_index(LineId(5)));
+        assert_eq!(
+            a.geometry().set_index(LineId(1)),
+            a.geometry().set_index(LineId(5))
+        );
     }
 
     #[test]
@@ -223,7 +229,10 @@ mod tests {
             .into_iter()
             .map(|r| a.slot(r).held_line())
             .collect();
-        assert_eq!(order, vec![Some(LineId(1)), Some(LineId(2)), Some(LineId(0))]);
+        assert_eq!(
+            order,
+            vec![Some(LineId(1)), Some(LineId(2)), Some(LineId(0))]
+        );
     }
 
     #[test]

@@ -105,6 +105,22 @@ impl RunReport {
     pub fn bus_utilization(&self) -> f64 {
         self.mem.bus_utilization(self.cycles)
     }
+
+    /// Every scalar counter as a `(name, value)` pair, in declaration
+    /// order — the single source of truth the JSON experiment reports
+    /// iterate (`task_lengths` and `mem` are serialized separately as
+    /// structured objects).
+    pub fn counter_fields(&self) -> [(&'static str, u64); 7] {
+        [
+            ("cycles", self.cycles),
+            ("committed_instrs", self.committed_instrs),
+            ("committed_tasks", self.committed_tasks),
+            ("squashes", self.squashes),
+            ("violation_squashes", self.violation_squashes),
+            ("resource_squashes", self.resource_squashes),
+            ("mispredictions", self.mispredictions),
+        ]
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -171,7 +187,11 @@ impl<M: VersionedMemory> Engine<M> {
     /// Panics if `config.num_pus` disagrees with `mem.num_pus()` or is 0.
     pub fn new(config: EngineConfig, mem: M) -> Engine<M> {
         assert!(config.num_pus > 0);
-        assert_eq!(config.num_pus, mem.num_pus(), "engine and memory sizes differ");
+        assert_eq!(
+            config.num_pus,
+            mem.num_pus(),
+            "engine and memory sizes differ"
+        );
         Engine {
             pus: (0..config.num_pus).map(|_| PuState::idle()).collect(),
             mem,
@@ -351,12 +371,9 @@ impl<M: VersionedMemory> Engine<M> {
                             // independent load is fire-and-forget (the
                             // paper's non-blocking, MSHR-backed PUs).
                             let mut h = svc_sim::rng::SplitMix64::new(
-                                self.config.seed
-                                    ^ (p.pos.unwrap_or(0) << 20)
-                                    ^ p.pc as u64,
+                                self.config.seed ^ (p.pos.unwrap_or(0) << 20) ^ p.pc as u64,
                             );
-                            let dep = (h.next_u64() >> 11) as f64
-                                * (1.0 / (1u64 << 53) as f64)
+                            let dep = (h.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
                                 < self.config.load_dep_frac;
                             self.pus[pu].pc += 1;
                             self.pus[pu].port_free = now + 1;

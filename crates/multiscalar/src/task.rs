@@ -79,11 +79,8 @@ mod tests {
 
     #[test]
     fn vec_source_is_deterministic_and_bounded() {
-        let src = VecTaskSource::new(vec![
-            vec![Instr::Compute(0)],
-            vec![Instr::Load(Addr(1))],
-        ])
-        .with_name("t");
+        let src = VecTaskSource::new(vec![vec![Instr::Compute(0)], vec![Instr::Load(Addr(1))]])
+            .with_name("t");
         assert_eq!(src.name(), "t");
         assert_eq!(src.len(), 2);
         assert!(!src.is_empty());

@@ -57,8 +57,7 @@ fn dispatch_affinity_gives_slot_locality() {
     cfg2.snarfing = false;
     let mut engine = Engine::new(EngineConfig::default(), SvcSystem::new(cfg2));
     let rotated_report = engine.run(&VecTaskSource::new(rotated));
-    let rotated_local =
-        rotated_report.mem.local_hits as f64 / rotated_report.mem.accesses() as f64;
+    let rotated_local = rotated_report.mem.local_hits as f64 / rotated_report.mem.accesses() as f64;
     assert!(
         local > rotated_local,
         "affinity locality ({local:.2}) must beat rotated slots ({rotated_local:.2})"
@@ -115,10 +114,7 @@ fn wrong_path_work_is_deterministic() {
 fn idle_fast_forward_does_not_distort_time() {
     // One task with a single long compute: the run must take (roughly)
     // that many cycles, whether the engine steps or jumps.
-    let src = VecTaskSource::new(vec![vec![
-        Instr::Compute(200),
-        Instr::Compute(0),
-    ]]);
+    let src = VecTaskSource::new(vec![vec![Instr::Compute(200), Instr::Compute(0)]]);
     let mut engine = Engine::new(EngineConfig::default(), IdealMemory::new(4, 1));
     let report = engine.run(&src);
     assert!(
@@ -196,7 +192,11 @@ fn store_port_pressure_shows_in_timing() {
     // Store-dense tasks: a memory system with slow stores must yield a
     // slower run than the 1-cycle ideal.
     let tasks: Vec<Vec<Instr>> = (0..200u64)
-        .map(|i| (0..8).map(|k| Instr::Store(Addr(i * 8 + k), Word(k))).collect())
+        .map(|i| {
+            (0..8)
+                .map(|k| Instr::Store(Addr(i * 8 + k), Word(k)))
+                .collect()
+        })
         .collect();
     let src = VecTaskSource::new(tasks);
     let mut fast = Engine::new(EngineConfig::default(), IdealMemory::new(4, 1));

@@ -133,6 +133,16 @@ impl Histogram {
         self.counts[i]
     }
 
+    /// The width of each bucket.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// All bucket counts, in order (excluding the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Count of samples beyond the last bucket.
     pub fn overflow(&self) -> u64 {
         self.overflow

@@ -102,7 +102,10 @@ impl LineId {
     /// Panics if `offset >= words_per_line`.
     #[inline]
     pub fn word(self, offset: usize, words_per_line: usize) -> Addr {
-        assert!(offset < words_per_line, "offset {offset} outside line of {words_per_line} words");
+        assert!(
+            offset < words_per_line,
+            "offset {offset} outside line of {words_per_line} words"
+        );
         Addr(self.0 * words_per_line as u64 + offset as u64)
     }
 

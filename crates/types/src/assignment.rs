@@ -84,25 +84,18 @@ impl TaskAssignments {
 
     /// The PU currently executing `task`, if any.
     pub fn pu_of(&self, task: TaskId) -> Option<PuId> {
-        self.task_of
-            .iter()
-            .position(|t| *t == Some(task))
-            .map(PuId)
+        self.task_of.iter().position(|t| *t == Some(task)).map(PuId)
     }
 
     /// The *head* PU: the one executing the oldest (non-speculative) task.
     /// `None` if no PU has an assignment.
     pub fn head(&self) -> Option<PuId> {
-        self.occupied()
-            .min_by_key(|&(_, t)| t)
-            .map(|(pu, _)| pu)
+        self.occupied().min_by_key(|&(_, t)| t).map(|(pu, _)| pu)
     }
 
     /// The PU executing the youngest (most speculative) task, if any.
     pub fn tail(&self) -> Option<PuId> {
-        self.occupied()
-            .max_by_key(|&(_, t)| t)
-            .map(|(pu, _)| pu)
+        self.occupied().max_by_key(|&(_, t)| t).map(|(pu, _)| pu)
     }
 
     /// All occupied PUs ordered oldest task first — the implicit total order
@@ -200,7 +193,10 @@ mod tests {
         let asg = table();
         assert_eq!(asg.successors_of(PuId(1)), vec![PuId(2), PuId(0)]);
         assert_eq!(asg.predecessors_of(PuId(1)), vec![PuId(3)]);
-        assert_eq!(asg.predecessors_of(PuId(0)), vec![PuId(2), PuId(1), PuId(3)]);
+        assert_eq!(
+            asg.predecessors_of(PuId(0)),
+            vec![PuId(2), PuId(1), PuId(3)]
+        );
         assert_eq!(asg.successors_of(PuId(0)), Vec::<PuId>::new());
     }
 

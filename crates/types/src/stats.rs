@@ -80,6 +80,32 @@ impl MemStats {
         ratio(self.bus_busy_cycles, elapsed)
     }
 
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// This is the single source of truth for serializers (the JSON
+    /// experiment reports iterate it), so adding a field here propagates
+    /// to every report without touching the writers.
+    pub fn fields(&self) -> [(&'static str, u64); 16] {
+        [
+            ("loads", self.loads),
+            ("stores", self.stores),
+            ("local_hits", self.local_hits),
+            ("cache_transfers", self.cache_transfers),
+            ("next_level_fills", self.next_level_fills),
+            ("bus_transactions", self.bus_transactions),
+            ("bus_busy_cycles", self.bus_busy_cycles),
+            ("writebacks", self.writebacks),
+            ("purged_versions", self.purged_versions),
+            ("violations", self.violations),
+            ("squash_invalidations", self.squash_invalidations),
+            ("squash_retained", self.squash_retained),
+            ("snarfs", self.snarfs),
+            ("replacement_stalls", self.replacement_stalls),
+            ("l2_hits", self.l2_hits),
+            ("l2_misses", self.l2_misses),
+        ]
+    }
+
     /// Field-wise difference `self - earlier`, for measuring a window
     /// between two snapshots.
     ///

@@ -34,7 +34,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dependence violation at {} squashing {}+", self.addr, self.victim)
+        write!(
+            f,
+            "dependence violation at {} squashing {}+",
+            self.addr, self.victim
+        )
     }
 }
 

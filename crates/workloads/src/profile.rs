@@ -237,10 +237,7 @@ impl TaskSource for SyntheticWorkload {
         if rng.gen_bool(p.mailbox_frac) && p.mailboxes > 0 {
             if id.0 >= p.dep_distance {
                 let from = (id.0 - p.dep_distance) % p.mailboxes;
-                instrs.insert(
-                    instrs.len().min(1),
-                    Instr::Load(Addr(MAILBOX_BASE + from)),
-                );
+                instrs.insert(instrs.len().min(1), Instr::Load(Addr(MAILBOX_BASE + from)));
             }
             let to = id.0 % p.mailboxes;
             instrs.push(Instr::Store(Addr(MAILBOX_BASE + to), Word(id.0 + 1)));

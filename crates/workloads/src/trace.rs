@@ -66,12 +66,10 @@ pub fn parse_trace(text: &str) -> Result<VecTaskSource, ParseTraceError> {
         let mut parts = content.split_whitespace();
         let op = parts.next().expect("non-empty line");
         let mut arg = |what: &str| {
-            parts
-                .next()
-                .ok_or_else(|| ParseTraceError {
-                    line,
-                    message: format!("{op:?} needs {what}"),
-                })
+            parts.next().ok_or_else(|| ParseTraceError {
+                line,
+                message: format!("{op:?} needs {what}"),
+            })
         };
         let instr = match op {
             "task" => {

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("task {task} commits at {done}");
     }
     svc.drain();
-    println!("architectural A = {} (task 3's version)", svc.architectural(a));
+    println!(
+        "architectural A = {} (task 3's version)",
+        svc.architectural(a)
+    );
     assert_eq!(svc.architectural(a), Word(3));
     Ok(())
 }

@@ -12,10 +12,7 @@ use svc_repro::workloads::Spec95;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("gcc");
-    let budget: u64 = args
-        .get(2)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200_000);
+    let budget: u64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(200_000);
     let bench = Spec95::ALL
         .into_iter()
         .find(|b| b.name() == name)

@@ -39,5 +39,8 @@ fn main() {
         assert_eq!(mem.architectural(Addr(i)), Word(i + 1), "cell {i}");
     }
     println!("\nfinal memory matches sequential execution for all {n} cells ✓");
-    println!("(speculation broke {} times and recovery replayed every one)", report.mem.violations);
+    println!(
+        "(speculation broke {} times and recovery replayed every one)",
+        report.mem.violations
+    );
 }

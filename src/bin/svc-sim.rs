@@ -3,18 +3,19 @@
 //! ```text
 //! svc-sim run   [--bench NAME|--kernel NAME|--trace FILE]
 //!               [--memory svc|arb] [--kb N] [--hit N] [--budget N]
-//!               [--seed N] [--pus N]
+//!               [--seed N] [--pus N] [--json]
 //! svc-sim designs [--bench NAME] [--budget N] [--seed N]
 //! svc-sim list
 //! ```
 //!
 //! `run` executes one workload on one memory system and prints the
-//! report; `designs` walks the §3 design progression on one benchmark;
-//! `list` shows the available workloads.
+//! report (`--json` emits the machine-readable `svc-experiments/v1`
+//! run object instead); `designs` walks the §3 design progression on
+//! one benchmark; `list` shows the available workloads.
 
 use std::process::ExitCode;
 
-use svc_repro::bench::{run_source, MemoryKind, NUM_PUS};
+use svc_repro::bench::{report, run_source, MemoryKind, NUM_PUS};
 use svc_repro::multiscalar::{Engine, EngineConfig, TaskSource, VecTaskSource};
 use svc_repro::svc::{SvcConfig, SvcSystem};
 use svc_repro::types::VersionedMemory;
@@ -33,6 +34,7 @@ struct Options {
     budget: u64,
     seed: u64,
     pus: usize,
+    json: bool,
 }
 
 impl Default for Options {
@@ -48,6 +50,7 @@ impl Default for Options {
             budget: 200_000,
             seed: 42,
             pus: NUM_PUS,
+            json: false,
         }
     }
 }
@@ -76,6 +79,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--budget" => o.budget = value()?.parse().map_err(|e| format!("--budget: {e}"))?,
             "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--pus" => o.pus = value()?.parse().map_err(|e| format!("--pus: {e}"))?,
+            "--json" => o.json = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -171,6 +175,13 @@ fn cmd_run(o: &Options) -> Result<(), String> {
             bench.name().to_string(),
         )
     };
+    if o.json {
+        println!(
+            "{}",
+            report::experiment_result_json(&result, o.seed).render()
+        );
+        return Ok(());
+    }
     println!("workload   {name}");
     println!("memory     {}", result.memory);
     println!("IPC        {:.3}", result.ipc);
@@ -190,8 +201,12 @@ fn cmd_run(o: &Options) -> Result<(), String> {
     );
     println!(
         "memory     {} loads, {} stores, {} fills, {} transfers, {} writebacks, {} snarfs",
-        r.mem.loads, r.mem.stores, r.mem.next_level_fills, r.mem.cache_transfers,
-        r.mem.writebacks, r.mem.snarfs
+        r.mem.loads,
+        r.mem.stores,
+        r.mem.next_level_fills,
+        r.mem.cache_transfers,
+        r.mem.writebacks,
+        r.mem.snarfs
     );
     Ok(())
 }
@@ -199,8 +214,14 @@ fn cmd_run(o: &Options) -> Result<(), String> {
 fn cmd_designs(o: &Options) -> Result<(), String> {
     let bench = lookup_bench(o.bench.as_deref().unwrap_or("gcc"))?;
     let wl = bench.workload(o.seed);
-    println!("design progression on {bench} ({} instructions):\n", o.budget);
-    println!("{:8} {:>6} {:>9} {:>8}", "design", "IPC", "missrate", "busutil");
+    println!(
+        "design progression on {bench} ({} instructions):\n",
+        o.budget
+    );
+    println!(
+        "{:8} {:>6} {:>9} {:>8}",
+        "design", "IPC", "missrate", "busutil"
+    );
     for (name, cfg) in [
         ("base", SvcConfig::base(o.pus)),
         ("EC", SvcConfig::ec(o.pus)),
@@ -290,6 +311,12 @@ mod tests {
         assert!(parse(&argv("run --memory weird")).is_err());
         assert!(parse(&argv("run --budget notanumber")).is_err());
         assert!(parse(&argv("run --budget")).is_err());
+    }
+
+    #[test]
+    fn parse_json_flag() {
+        assert!(!parse(&argv("run")).unwrap().json);
+        assert!(parse(&argv("run --json --bench gcc")).unwrap().json);
     }
 
     #[test]

@@ -37,9 +37,9 @@
 
 pub use svc;
 pub use svc_arb as arb;
-pub use svc_lsq as lsq;
 pub use svc_bench as bench;
 pub use svc_coherence as coherence;
+pub use svc_lsq as lsq;
 pub use svc_mem as mem;
 pub use svc_multiscalar as multiscalar;
 pub use svc_sim as sim;

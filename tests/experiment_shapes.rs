@@ -3,10 +3,20 @@
 //! the robust subset that holds even at a small instruction budget, so
 //! `cargo test` exercises the evaluation pipeline end to end.
 
-use svc_repro::bench::{run_spec95_with, MemoryKind};
+use svc_repro::bench::report::{self, Json};
+use svc_repro::bench::{cross, run_paper_grid, run_spec95_with, MemoryKind, PAPER_SEED};
 use svc_repro::workloads::Spec95;
 
 const BUDGET: u64 = 60_000;
+
+/// Budget for the harness-driven grids: `SVC_EXPERIMENT_BUDGET` if set,
+/// else a reduced default that still shows the Table 2/3 shapes.
+fn grid_budget(default: u64) -> u64 {
+    std::env::var("SVC_EXPERIMENT_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn arb(bench: Spec95, hit: u64, kb: usize) -> svc_repro::bench::ExperimentResult {
     run_spec95_with(
@@ -69,19 +79,25 @@ fn svc_beats_arb2_on_the_papers_three() {
 }
 
 #[test]
-fn miss_ratio_gap_directions_match_table2() {
-    for b in Spec95::ALL {
-        // The gap direction needs warm caches to show (cold compulsory
-        // misses hit the ARB's direct-mapped cache harder): full budget.
-        let budget = 300_000;
-        let s = run_spec95_with(b, MemoryKind::Svc { kb_per_cache: 8 }, budget, 42).miss_ratio;
-        let a = run_spec95_with(
-            b,
-            MemoryKind::Arb { hit_cycles: 1, cache_kb: 32 },
-            budget,
-            42,
-        )
-        .miss_ratio;
+fn miss_ratio_gap_directions_match_table2_through_the_harness() {
+    // Table 2's grid, driven by the parallel harness exactly as the
+    // `table2` binary drives it. The gap direction needs warm caches to
+    // show (cold compulsory misses hit the ARB's direct-mapped cache
+    // harder), hence the larger default budget.
+    let jobs = cross(
+        &Spec95::ALL,
+        &[
+            MemoryKind::Arb {
+                hit_cycles: 1,
+                cache_kb: 32,
+            },
+            MemoryKind::Svc { kb_per_cache: 8 },
+        ],
+    );
+    let outcome = run_paper_grid(&jobs, grid_budget(300_000));
+    for (i, b) in Spec95::ALL.into_iter().enumerate() {
+        let a = outcome.results[i * 2].miss_ratio;
+        let s = outcome.results[i * 2 + 1].miss_ratio;
         if b == Spec95::Perl {
             assert!(s < a, "perl inverts: SVC {s:.3} < ARB {a:.3}");
         } else {
@@ -91,23 +107,77 @@ fn miss_ratio_gap_directions_match_table2() {
 }
 
 #[test]
-fn bus_utilization_shape_matches_table3() {
-    let mgrid = svc(Spec95::Mgrid, 8).bus_utilization;
-    for b in [Spec95::Gcc, Spec95::Vortex, Spec95::Perl, Spec95::Ijpeg, Spec95::Apsi] {
-        let u = svc(b, 8).bus_utilization;
+fn bus_utilization_shape_matches_table3_through_the_harness() {
+    // Table 3's grid through the harness: mgrid has the highest bus
+    // utilization; doubling the caches never needs more bus.
+    let jobs = cross(
+        &Spec95::ALL,
+        &[
+            MemoryKind::Svc { kb_per_cache: 8 },
+            MemoryKind::Svc { kb_per_cache: 16 },
+        ],
+    );
+    let outcome = run_paper_grid(&jobs, grid_budget(BUDGET));
+    let util8 = |i: usize| outcome.results[i * 2].bus_utilization;
+    let util16 = |i: usize| outcome.results[i * 2 + 1].bus_utilization;
+    let mgrid_idx = Spec95::ALL
+        .into_iter()
+        .position(|b| b == Spec95::Mgrid)
+        .expect("mgrid in ALL");
+    for (i, b) in Spec95::ALL.into_iter().enumerate() {
+        if b == Spec95::Mgrid || b == Spec95::Compress {
+            continue; // compress trails mgrid only at full budget
+        }
         assert!(
-            mgrid > u,
-            "mgrid ({mgrid:.3}) has the highest bus utilization (vs {b}: {u:.3})"
+            util8(mgrid_idx) > util8(i),
+            "mgrid ({:.3}) has the highest bus utilization (vs {b}: {:.3})",
+            util8(mgrid_idx),
+            util8(i)
         );
     }
-    for b in Spec95::ALL {
-        let u8kb = svc(b, 8).bus_utilization;
-        let u16kb = svc(b, 16).bus_utilization;
+    for (i, b) in Spec95::ALL.into_iter().enumerate() {
         assert!(
-            u16kb <= u8kb + 0.02,
-            "{b}: bigger caches don't need more bus ({u16kb:.3} vs {u8kb:.3})"
+            util16(i) <= util8(i) + 0.02,
+            "{b}: bigger caches don't need more bus ({:.3} vs {:.3})",
+            util16(i),
+            util8(i)
         );
     }
+}
+
+#[test]
+fn experiment_json_documents_roundtrip() {
+    // A small harness run serialized to the schema-versioned document
+    // must parse back to the same value, with the metrics intact.
+    let jobs = cross(&[Spec95::Ijpeg], &[MemoryKind::Svc { kb_per_cache: 8 }]);
+    let budget = 10_000;
+    let outcome = run_paper_grid(&jobs, budget);
+    let runs: Vec<Json> = outcome
+        .results
+        .iter()
+        .map(|r| report::experiment_result_json(r, PAPER_SEED))
+        .collect();
+    let doc = report::experiment_doc("shapes-test", budget, PAPER_SEED, runs);
+    let text = doc.render();
+    let back = report::parse(&text).expect("rendered JSON parses");
+    assert_eq!(back, doc, "render/parse round-trip");
+    assert_eq!(
+        back.get("schema").and_then(Json::as_str),
+        Some(report::SCHEMA_EXPERIMENT)
+    );
+    let runs = back.get("runs").and_then(Json::as_arr).expect("runs");
+    assert_eq!(runs.len(), 1);
+    let run = &runs[0];
+    assert_eq!(run.get("workload").and_then(Json::as_str), Some("ijpeg"));
+    assert_eq!(
+        run.get("ipc").and_then(Json::as_f64),
+        Some(outcome.results[0].ipc)
+    );
+    let mem = run.get("report").and_then(|r| r.get("mem")).expect("mem");
+    assert_eq!(
+        mem.get("loads").and_then(Json::as_f64),
+        Some(outcome.results[0].report.mem.loads as f64)
+    );
 }
 
 #[test]

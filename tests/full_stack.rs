@@ -3,10 +3,10 @@
 //! memory system, and the three memory systems must agree with each
 //! other.
 
+use svc_repro::arb::{ArbConfig, ArbSystem};
 use svc_repro::multiscalar::{Engine, EngineConfig, TaskSource};
 use svc_repro::svc::conformance::{run_lockstep, Workload};
 use svc_repro::svc::{IdealMemory, SvcConfig, SvcSystem};
-use svc_repro::arb::{ArbConfig, ArbSystem};
 use svc_repro::types::{Addr, TaskId, VersionedMemory, Word};
 use svc_repro::workloads::{kernels, Spec95, SyntheticWorkload, WorkloadProfile};
 
