@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use svc_mem::{CacheGeometry, MainMemory};
+use svc_sim::trace::{AccessOp, Category, TraceEvent, Tracer};
 use svc_types::{
     AccessError, Addr, Cycle, DataSource, LoadOutcome, MemStats, PuId, StoreOutcome,
     TaskAssignments, TaskId, VersionedMemory, Violation, Word,
@@ -86,6 +87,7 @@ pub struct ArbSystem {
     cache: crate::SharedCache,
     memory: MainMemory,
     stats: MemStats,
+    tracer: Tracer,
 }
 
 impl ArbSystem {
@@ -104,6 +106,7 @@ impl ArbSystem {
             cache: crate::SharedCache::new(config.cache_geometry),
             memory: MainMemory::new(),
             stats: MemStats::default(),
+            tracer: Tracer::disabled(),
             config,
         }
     }
@@ -111,6 +114,13 @@ impl ArbSystem {
     /// The configuration this system was built with.
     pub fn config(&self) -> &ArbConfig {
         &self.config
+    }
+
+    /// Attaches `tracer` to this system. Loads and stores appear as
+    /// `access`-category events; detected dependence violations as
+    /// `task`-category [`TraceEvent::Violation`] events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of rows currently tracking speculative state (for tests).
@@ -188,9 +198,19 @@ impl VersionedMemory for ArbSystem {
         // Own version first (a load after the task's own store).
         if row.stages[pu.index()].stored {
             self.stats.local_hits += 1;
+            let done = now + self.config.hit_cycles;
+            self.tracer
+                .emit(now, Category::Access, || TraceEvent::Access {
+                    pu,
+                    task,
+                    op: AccessOp::Load,
+                    addr,
+                    source: "local",
+                    done_at: done,
+                });
             return Ok(LoadOutcome {
                 value: row.stages[pu.index()].value,
-                done_at: now + self.config.hit_cycles,
+                done_at: done,
                 source: DataSource::LocalHit,
             });
         }
@@ -229,6 +249,20 @@ impl VersionedMemory for ArbSystem {
                 }
             }
         };
+        let source_name = match source {
+            DataSource::LocalHit => "local",
+            DataSource::Transfer => "transfer",
+            DataSource::NextLevel => "next-level",
+        };
+        self.tracer
+            .emit(now, Category::Access, || TraceEvent::Access {
+                pu,
+                task,
+                op: AccessOp::Load,
+                addr,
+                source: source_name,
+                done_at: done,
+            });
         Ok(LoadOutcome {
             value,
             done_at: done,
@@ -267,11 +301,28 @@ impl VersionedMemory for ArbSystem {
                 break; // the next version shadows everything younger
             }
         }
-        if victim.is_some() {
+        let done = now + self.config.hit_cycles;
+        self.tracer
+            .emit(now, Category::Access, || TraceEvent::Access {
+                pu,
+                task,
+                op: AccessOp::Store,
+                addr,
+                source: "accepted",
+                done_at: done,
+            });
+        if let Some(victim) = victim {
             self.stats.violations += 1;
+            self.tracer
+                .emit(now, Category::Task, || TraceEvent::Violation {
+                    pu,
+                    task,
+                    victim,
+                    addr,
+                });
         }
         Ok(StoreOutcome {
-            done_at: now + self.config.hit_cycles,
+            done_at: done,
             violation: victim.map(|victim| Violation { victim, addr }),
         })
     }

@@ -22,6 +22,8 @@ pub mod report;
 use svc::{SvcConfig, SvcSystem};
 use svc_arb::{ArbConfig, ArbSystem};
 use svc_multiscalar::{Engine, EngineConfig, RunReport, TaskSource};
+use svc_sim::metrics::{MetricSource, MetricsRegistry};
+use svc_sim::trace::Tracer;
 use svc_workloads::Spec95;
 
 /// Which memory system to run an experiment on.
@@ -73,6 +75,18 @@ pub struct ExperimentResult {
     pub report: RunReport,
 }
 
+impl ExperimentResult {
+    /// This cell's unified metrics registry (engine counters, derived
+    /// rates, the task-length histogram, and every memory-system
+    /// counter), as serialized into the `metrics` object of
+    /// `results/<name>.json` by `report::metrics_json`.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        self.report.export_metrics("", &mut reg);
+        reg
+    }
+}
+
 /// The number of processing units used throughout the evaluation (§4.2).
 pub const NUM_PUS: usize = 4;
 
@@ -87,17 +101,48 @@ pub fn instruction_budget() -> u64 {
 
 /// Runs `source` on `memory` with the engine configured per the paper
 /// (4 PUs, 2-issue) and the workload's predictor model.
+///
+/// Tracing is driven by the environment: when `SVC_TRACE` names one or
+/// more categories, the run records events ([`Tracer::from_env`]) and —
+/// if `SVC_TRACE_OUT` points at a directory — writes the three sinks to
+/// `$SVC_TRACE_OUT/<workload>-<memory>-<seed>.{log,jsonl,trace.json}`.
 pub fn run_source(
     source: &dyn TaskSource,
     memory: MemoryKind,
     engine_cfg: EngineConfig,
+) -> ExperimentResult {
+    let tracer = Tracer::from_env();
+    let active = tracer.is_active();
+    let result = run_source_with(source, memory, engine_cfg, tracer.clone());
+    if active {
+        if let Some(dir) = std::env::var_os("SVC_TRACE_OUT") {
+            if let Err(e) = write_trace_files(dir.as_ref(), &result, engine_cfg.seed, &tracer) {
+                eprintln!("SVC_TRACE_OUT: {e}");
+            }
+        }
+    }
+    result
+}
+
+/// [`run_source`] with an explicit [`Tracer`] attached to both the
+/// memory system and the execution engine, interleaving memory and
+/// task-lifecycle events in one ring. The caller keeps a clone of the
+/// tracer and drains it with [`Tracer::records`] after the run.
+pub fn run_source_with(
+    source: &dyn TaskSource,
+    memory: MemoryKind,
+    engine_cfg: EngineConfig,
+    tracer: Tracer,
 ) -> ExperimentResult {
     let label = memory.label(engine_cfg.num_pus);
     let report = match memory {
         MemoryKind::Svc { kb_per_cache } => {
             let mut cfg = SvcConfig::final_design(engine_cfg.num_pus);
             cfg.geometry = SvcConfig::paper_geometry(kb_per_cache);
-            let mut engine = Engine::new(engine_cfg, SvcSystem::new(cfg));
+            let mut system = SvcSystem::new(cfg);
+            system.set_tracer(tracer.clone());
+            let mut engine = Engine::new(engine_cfg, system);
+            engine.set_tracer(tracer);
             engine.run(source)
         }
         MemoryKind::Arb {
@@ -105,7 +150,10 @@ pub fn run_source(
             cache_kb,
         } => {
             let cfg = ArbConfig::paper(engine_cfg.num_pus, hit_cycles, cache_kb);
-            let mut engine = Engine::new(engine_cfg, ArbSystem::new(cfg));
+            let mut system = ArbSystem::new(cfg);
+            system.set_tracer(tracer.clone());
+            let mut engine = Engine::new(engine_cfg, system);
+            engine.set_tracer(tracer);
             engine.run(source)
         }
     };
@@ -117,6 +165,32 @@ pub fn run_source(
         bus_utilization: report.bus_utilization(),
         report,
     }
+}
+
+/// Writes the text, JSONL, and Chrome-trace sinks for one traced cell
+/// into `dir`.
+fn write_trace_files(
+    dir: &std::path::Path,
+    result: &ExperimentResult,
+    seed: u64,
+    tracer: &Tracer,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let records = tracer.records();
+    let stem = format!("{}-{}-{}", result.workload, result.memory, seed);
+    std::fs::write(
+        dir.join(format!("{stem}.log")),
+        svc_sim::trace::render_text(&records),
+    )?;
+    std::fs::write(
+        dir.join(format!("{stem}.jsonl")),
+        svc_sim::trace::render_jsonl(&records),
+    )?;
+    std::fs::write(
+        dir.join(format!("{stem}.trace.json")),
+        svc_sim::trace::render_chrome(&records, &stem),
+    )?;
+    Ok(())
 }
 
 /// Runs one SPEC95 benchmark model on `memory` with the default budget

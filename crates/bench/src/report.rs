@@ -22,6 +22,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use svc_multiscalar::RunReport;
+use svc_sim::metrics::{HistogramSummary, MetricValue, MetricsRegistry};
 use svc_sim::stats::{Histogram, Running};
 use svc_types::MemStats;
 
@@ -370,10 +371,23 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let c = text.chars().next().expect("non-empty");
+                    // Consume one UTF-8 scalar. Validate at most the 4
+                    // bytes the scalar can span — validating the whole
+                    // remaining input here makes parsing quadratic,
+                    // which megabyte-scale trace documents actually hit.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(chunk) {
+                        Ok(text) => text.chars().next().expect("non-empty"),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .expect("non-empty")
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    };
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -501,8 +515,36 @@ pub fn run_report_json(report: &RunReport) -> Json {
         .set("mem", mem_stats_json(&report.mem))
 }
 
+/// A [`HistogramSummary`] as `{total, overflow, p50, p90, p99}`
+/// (absent quantiles — empty histogram — serialize to `null`).
+pub fn histogram_summary_json(s: &HistogramSummary) -> Json {
+    let q = |v: Option<u64>| v.map_or(Json::Null, Json::from);
+    Json::obj()
+        .set("total", s.total.into())
+        .set("overflow", s.overflow.into())
+        .set("p50", q(s.p50))
+        .set("p90", q(s.p90))
+        .set("p99", q(s.p99))
+}
+
+/// A [`MetricsRegistry`] as an object, keys in registration order.
+pub fn metrics_json(reg: &MetricsRegistry) -> Json {
+    let mut obj = Json::obj();
+    for (name, value) in reg.iter() {
+        let v = match value {
+            MetricValue::Counter(c) => Json::from(*c),
+            MetricValue::Gauge(g) => Json::from(*g),
+            MetricValue::Histogram(s) => histogram_summary_json(s),
+        };
+        obj = obj.set(name, v);
+    }
+    obj
+}
+
 /// One grid cell's result: workload, memory label, seed, the paper's
-/// three metrics, and the full engine report.
+/// three metrics plus the squash count and MSHR combine rate (the
+/// regression gate's per-cell diff set), the full engine report, and
+/// the unified metrics registry.
 pub fn experiment_result_json(result: &ExperimentResult, seed: u64) -> Json {
     Json::obj()
         .set("workload", result.workload.as_str().into())
@@ -511,7 +553,13 @@ pub fn experiment_result_json(result: &ExperimentResult, seed: u64) -> Json {
         .set("ipc", result.ipc.into())
         .set("miss_ratio", result.miss_ratio.into())
         .set("bus_utilization", result.bus_utilization.into())
+        .set("squashes", result.report.squashes.into())
+        .set(
+            "mshr_combine_rate",
+            result.report.mem.mshr_combine_rate().into(),
+        )
         .set("report", run_report_json(&result.report))
+        .set("metrics", metrics_json(&result.metrics()))
 }
 
 /// The `results/<name>.json` document envelope.

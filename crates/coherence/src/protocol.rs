@@ -35,17 +35,22 @@ impl SmpState {
     pub fn is_dirty(self) -> bool {
         self == SmpState::Dirty
     }
-}
 
-impl fmt::Display for SmpState {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Short state name (`I`/`C`/`E`/`D`), used by [`Display`](fmt::Display)
+    /// and by `line`-category trace events.
+    pub fn name(self) -> &'static str {
+        match self {
             SmpState::Invalid => "I",
             SmpState::Clean => "C",
             SmpState::CleanExclusive => "E",
             SmpState::Dirty => "D",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for SmpState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -2,6 +2,7 @@
 //! level of memory, implementing the invalidation protocol of Figure 3.
 
 use svc_mem::{Bus, CacheArray, CacheGeometry, MainMemory, MemTiming, Slot, WayRef};
+use svc_sim::trace::{BusOp, Category, TraceEvent, Tracer};
 use svc_types::{Addr, Cycle, DataSource, LineId, LoadOutcome, MemStats, PuId, Word};
 
 use crate::protocol::SmpState;
@@ -64,6 +65,7 @@ pub struct SmpSystem {
     bus: Bus,
     memory: MainMemory,
     stats: MemStats,
+    tracer: Tracer,
 }
 
 impl SmpSystem {
@@ -81,6 +83,7 @@ impl SmpSystem {
             bus: Bus::new(config.timing.bus_txn_cycles),
             memory: MainMemory::new(),
             stats: MemStats::default(),
+            tracer: Tracer::disabled(),
             config,
         }
     }
@@ -88,6 +91,27 @@ impl SmpSystem {
     /// The configuration this system was built with.
     pub fn config(&self) -> &SmpConfig {
         &self.config
+    }
+
+    /// Attaches `tracer` to this system and its bus. Coherence state
+    /// changes appear as `line`-category [`TraceEvent::CoherenceTransition`]
+    /// events; bus transactions carry the requesting PU and line.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.bus.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Emits a coherence state transition (no-op when equal or untraced).
+    fn emit_state(&self, pu: PuId, line: LineId, from: SmpState, to: SmpState, now: Cycle) {
+        if from != to {
+            self.tracer
+                .emit(now, Category::Line, || TraceEvent::CoherenceTransition {
+                    pu,
+                    line,
+                    from: from.name(),
+                    to: to.name(),
+                });
+        }
     }
 
     /// State of `pu`'s copy of the line containing `addr` (for tests and
@@ -146,6 +170,7 @@ impl SmpSystem {
                     slot.state = SmpState::Dirty;
                     slot.data[off] = value;
                     self.stats.local_hits += 1;
+                    self.emit_state(pu, line, SmpState::CleanExclusive, SmpState::Dirty, now);
                     return now + self.config.timing.hit_cycles;
                 }
                 SmpState::Clean | SmpState::Invalid => {
@@ -158,9 +183,11 @@ impl SmpSystem {
         let done = self.bus_write(pu, line, now);
         let r = self.ensure_resident(pu, line, now);
         self.caches[pu.index()].touch(r);
+        let from = self.caches[pu.index()].slot(r).state;
         let slot = self.caches[pu.index()].slot_mut(r);
         slot.state = SmpState::Dirty;
         slot.data[off] = value;
+        self.emit_state(pu, line, from, SmpState::Dirty, now);
         done
     }
 
@@ -227,7 +254,9 @@ impl SmpSystem {
         off: usize,
         now: Cycle,
     ) -> (Word, Cycle, DataSource) {
-        let grant = self.bus.transact(now, 0);
+        let grant = self
+            .bus
+            .transact_as(BusOp::Read, Some(pu), Some(line), now, 0);
         // Snoop: is there a dirty copy elsewhere?
         let mut supplier: Option<usize> = None;
         let mut any_copy = false;
@@ -249,6 +278,7 @@ impl SmpSystem {
             let r = self.caches[i].find(line).expect("supplier has the line");
             let data = self.caches[i].slot(r).data.clone();
             self.caches[i].slot_mut(r).state = SmpState::Clean;
+            self.emit_state(PuId(i), line, SmpState::Dirty, SmpState::Clean, now);
             let masked: Vec<Option<Word>> = data.iter().map(|w| Some(*w)).collect();
             self.memory.write_line(line, &masked, wpl);
             self.stats.cache_transfers += 1;
@@ -265,13 +295,16 @@ impl SmpSystem {
         let value = data[off];
         let r = self.ensure_resident(pu, line, now);
         self.caches[pu.index()].touch(r);
-        let slot = self.caches[pu.index()].slot_mut(r);
-        slot.state = if !any_copy && self.config.exclusive {
+        let from = self.caches[pu.index()].slot(r).state;
+        let installed = if !any_copy && self.config.exclusive {
             SmpState::CleanExclusive
         } else {
             SmpState::Clean
         };
+        let slot = self.caches[pu.index()].slot_mut(r);
+        slot.state = installed;
         slot.data = data;
+        self.emit_state(pu, line, from, installed, now);
         // Any exclusive holder elsewhere loses exclusivity.
         for i in 0..self.caches.len() {
             if i == pu.index() {
@@ -280,6 +313,13 @@ impl SmpSystem {
             if let Some(r) = self.caches[i].find(line) {
                 if self.caches[i].slot(r).state == SmpState::CleanExclusive {
                     self.caches[i].slot_mut(r).state = SmpState::Clean;
+                    self.emit_state(
+                        PuId(i),
+                        line,
+                        SmpState::CleanExclusive,
+                        SmpState::Clean,
+                        now,
+                    );
                 }
             }
         }
@@ -289,7 +329,9 @@ impl SmpSystem {
     /// BusWrite: invalidate every other copy; if one was dirty, its data is
     /// flushed to memory first so the requestor can fetch the latest line.
     fn bus_write(&mut self, pu: PuId, line: LineId, now: Cycle) -> Cycle {
-        let grant = self.bus.transact(now, 0);
+        let grant = self
+            .bus
+            .transact_as(BusOp::Write, Some(pu), Some(line), now, 0);
         let wpl = self.config.geometry.words_per_line();
         let mut fetched: Option<Vec<Word>> = None;
         for i in 0..self.caches.len() {
@@ -298,11 +340,13 @@ impl SmpSystem {
             }
             if let Some(r) = self.caches[i].find(line) {
                 let slot = self.caches[i].slot_mut(r);
+                let from = slot.state;
                 if slot.state.is_dirty() {
                     fetched = Some(slot.data.clone());
                 }
                 slot.state = SmpState::Invalid;
                 slot.line = None;
+                self.emit_state(PuId(i), line, from, SmpState::Invalid, now);
             }
         }
         // If the requestor does not hold the line, it needs its current
@@ -321,9 +365,11 @@ impl SmpSystem {
                 }
             };
             let r = self.ensure_resident(pu, line, now);
+            let from = self.caches[pu.index()].slot(r).state;
             let slot = self.caches[pu.index()].slot_mut(r);
             slot.state = SmpState::Clean; // will be set Dirty by caller
             slot.data = data;
+            self.emit_state(pu, line, from, SmpState::Clean, now);
         } else if let Some(d) = fetched {
             // We held a stale clean copy while another cache had it dirty —
             // cannot happen under MRSW, but keep memory consistent anyway.
@@ -343,12 +389,18 @@ impl SmpSystem {
         let r = self.caches[pu.index()].victim_way(line);
         // Cast out a dirty victim (Figure 3a: Replace/BusWback).
         let victim = self.caches[pu.index()].slot(r);
+        let victim_state = victim.state;
+        let victim_line = victim.held_line();
         if victim.state.is_dirty() {
             let vline = victim.line.expect("dirty line has a tag");
             let data: Vec<Option<Word>> = victim.data.iter().map(|w| Some(*w)).collect();
-            self.bus.transact(now, 0);
+            self.bus
+                .transact_as(BusOp::Wback, Some(pu), Some(vline), now, 0);
             self.memory.write_line(vline, &data, wpl);
             self.stats.writebacks += 1;
+        }
+        if let Some(vline) = victim_line {
+            self.emit_state(pu, vline, victim_state, SmpState::Invalid, now);
         }
         let slot = self.caches[pu.index()].slot_mut(r);
         *slot = SmpLine {

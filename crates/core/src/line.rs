@@ -89,6 +89,20 @@ impl SvcLine {
         self.line.is_some() && !self.valid.is_empty()
     }
 
+    /// This line's state bits as a trace-friendly value (old→new pairs of
+    /// these appear in `line`-category trace events).
+    pub fn bits(&self) -> svc_sim::trace::LineBits {
+        svc_sim::trace::LineBits {
+            valid: self.valid.0,
+            store: self.store.0,
+            load: self.load.0,
+            committed: self.committed,
+            stale: self.stale,
+            arch: self.arch,
+            exclusive: self.exclusive,
+        }
+    }
+
     /// The derived five-state classification (Figure 18).
     pub fn state(&self) -> LineState {
         if !self.is_valid() {

@@ -2,6 +2,7 @@
 //! MSHRs, writeback buffers and the next level of memory.
 
 use svc_mem::{Backing, Bus, CacheArray, MshrFile, WayRef, WritebackBuffer};
+use svc_sim::trace::{AccessOp, BusOp, Category, LineBits, TraceEvent, Tracer, VolOp};
 use svc_types::{
     AccessError, Addr, Cycle, DataSource, LineId, LoadOutcome, MemStats, PuId, StoreOutcome,
     TaskAssignments, TaskId, VersionedMemory, Violation, Word,
@@ -12,7 +13,7 @@ use crate::line::{LineState, SvcLine};
 use crate::mask::SubMask;
 use crate::snapshot::LineSnapshot;
 use crate::vcl::{ReadPlan, SupplySource, Vcl, WritePlan};
-use crate::vol::order_vol;
+use crate::vol::{order_vol, vol_trace_entries};
 
 /// The Speculative Versioning Cache memory system (paper Figure 5).
 ///
@@ -31,6 +32,7 @@ pub struct SvcSystem {
     wbufs: Vec<WritebackBuffer>,
     assignments: TaskAssignments,
     stats: MemStats,
+    tracer: Tracer,
 }
 
 impl SvcSystem {
@@ -67,8 +69,23 @@ impl SvcSystem {
                 .collect(),
             assignments: TaskAssignments::new(config.num_pus),
             stats: MemStats::default(),
+            tracer: Tracer::disabled(),
             config,
         }
+    }
+
+    /// Attaches a tracing handle to the whole memory system: the bus, the
+    /// per-PU MSHR files and writeback buffers, and the system's own
+    /// line/VOL/VCL/access emitters all share it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.bus.set_tracer(tracer.clone());
+        for (i, m) in self.mshrs.iter_mut().enumerate() {
+            m.set_tracer(tracer.clone(), PuId(i));
+        }
+        for (i, w) in self.wbufs.iter_mut().enumerate() {
+            w.set_tracer(tracer.clone(), PuId(i));
+        }
+        self.tracer = tracer;
     }
 
     /// The configuration this system was built with.
@@ -118,6 +135,84 @@ impl SvcSystem {
     /// Snooped snapshots of `line` (for the inspection helpers).
     pub(crate) fn snapshots_of(&self, line: LineId) -> Vec<LineSnapshot> {
         self.snapshots(line)
+    }
+
+    // -----------------------------------------------------------------
+    // Trace emission helpers
+    // -----------------------------------------------------------------
+
+    /// `pu`'s current bits for `line` (all-zero if not resident).
+    fn line_bits(&self, pu: PuId, line: LineId) -> LineBits {
+        match self.caches[pu.index()].find(line) {
+            Some(r) => self.caches[pu.index()].slot(r).bits(),
+            None => LineBits::default(),
+        }
+    }
+
+    /// Snapshot of every PU's bits for `line`, taken only when the `line`
+    /// category is traced (`None` keeps the disabled path allocation-free).
+    fn capture_line_bits(&self, line: LineId) -> Option<Vec<LineBits>> {
+        self.tracer.enabled(Category::Line).then(|| {
+            (0..self.config.num_pus)
+                .map(|i| self.line_bits(PuId(i), line))
+                .collect()
+        })
+    }
+
+    /// Emits one `LineTransition` per PU whose bits for `line` changed
+    /// since `before` was captured.
+    fn emit_line_transitions(&self, line: LineId, before: Option<Vec<LineBits>>, now: Cycle) {
+        let Some(before) = before else { return };
+        for (i, from) in before.into_iter().enumerate() {
+            let pu = PuId(i);
+            let to = self.line_bits(pu, line);
+            if from != to {
+                self.tracer
+                    .emit(now, Category::Line, || TraceEvent::LineTransition {
+                        pu,
+                        line,
+                        from,
+                        to,
+                    });
+            }
+        }
+    }
+
+    /// Emits the current VOL of `line` after a splice or purge.
+    fn emit_vol(&self, line: LineId, op: VolOp, now: Cycle) {
+        if !self.tracer.enabled(Category::Vol) {
+            return;
+        }
+        let order = vol_trace_entries(&self.snapshots(line));
+        self.tracer
+            .emit(now, Category::Vol, || TraceEvent::VolReorder {
+                line,
+                op,
+                order,
+            });
+    }
+
+    /// Emits a completed access for the `access` category.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_access(
+        &self,
+        pu: PuId,
+        task: TaskId,
+        op: AccessOp,
+        addr: Addr,
+        source: &'static str,
+        done_at: Cycle,
+        now: Cycle,
+    ) {
+        self.tracer
+            .emit(now, Category::Access, || TraceEvent::Access {
+                pu,
+                task,
+                op,
+                addr,
+                source,
+                done_at,
+            });
     }
 
     // -----------------------------------------------------------------
@@ -396,7 +491,13 @@ impl SvcSystem {
     fn do_wback(&mut self, pu: PuId, line: LineId, now: Cycle) -> Cycle {
         let snaps = self.snapshots(line);
         let plan = self.vcl.plan_wback(&snaps, pu);
-        let grant = self.bus.transact(now, 0);
+        self.tracer.emit(now, Category::Vcl, || {
+            TraceEvent::VclPlan(plan.trace_summary(pu, self.assignments.task_of(pu), line))
+        });
+        let before = self.capture_line_bits(line);
+        let grant = self
+            .bus
+            .transact_as(BusOp::Wback, Some(pu), Some(line), now, 0);
         for &(q, mask) in &plan.flush {
             self.flush_to_memory(q, line, mask, now);
         }
@@ -405,9 +506,14 @@ impl SvcSystem {
             self.flush_to_memory(pu, line, plan.write_evicted, now);
         }
         self.apply_purge(line, &plan.purge, &plan.flush);
+        if !plan.purge.is_empty() {
+            self.emit_vol(line, VolOp::Purge, now);
+        }
         self.invalidate_line(pu, line);
         self.rewrite_pointers(line, &plan.vol_after);
         self.recompute_stale(line);
+        self.emit_vol(line, VolOp::Splice, now);
+        self.emit_line_transitions(line, before, now);
         grant.done
     }
 
@@ -611,15 +717,30 @@ impl VersionedMemory for SvcSystem {
             let l = self.caches[pu.index()].slot(r);
             if !l.committed && l.valid.contains(j) {
                 let value = l.data[off];
+                let from = l.bits();
                 let l = self.caches[pu.index()].slot_mut(r);
                 if !l.store.contains(j) {
                     l.load.set(j);
                 }
                 self.caches[pu.index()].touch(r);
                 self.stats.local_hits += 1;
+                let done_at = now + self.config.timing.hit_cycles;
+                if self.tracer.enabled(Category::Line) {
+                    let to = self.line_bits(pu, line);
+                    if from != to {
+                        self.tracer
+                            .emit(now, Category::Line, || TraceEvent::LineTransition {
+                                pu,
+                                line,
+                                from,
+                                to,
+                            });
+                    }
+                }
+                self.emit_access(pu, task, AccessOp::Load, addr, "local", done_at, now);
                 return Ok(LoadOutcome {
                     value,
-                    done_at: now + self.config.timing.hit_cycles,
+                    done_at,
                     source: DataSource::LocalHit,
                 });
             }
@@ -632,15 +753,28 @@ impl VersionedMemory for SvcSystem {
                 // §3.4.3 / §3.5.1: reuse a non-stale passive-clean copy by
                 // resetting C and remembering it is architectural.
                 let value = l.data[off];
+                let from = l.bits();
                 let l = self.caches[pu.index()].slot_mut(r);
                 l.committed = false;
                 l.arch = true;
                 l.load = SubMask::single(j);
                 self.caches[pu.index()].touch(r);
                 self.stats.local_hits += 1;
+                let done_at = now + self.config.timing.hit_cycles;
+                if self.tracer.enabled(Category::Line) {
+                    let to = self.line_bits(pu, line);
+                    self.tracer
+                        .emit(now, Category::Line, || TraceEvent::LineTransition {
+                            pu,
+                            line,
+                            from,
+                            to,
+                        });
+                }
+                self.emit_access(pu, task, AccessOp::Load, addr, "local", done_at, now);
                 return Ok(LoadOutcome {
                     value,
-                    done_at: now + self.config.timing.hit_cycles,
+                    done_at,
                     source: DataSource::LocalHit,
                 });
             }
@@ -662,6 +796,10 @@ impl VersionedMemory for SvcSystem {
         let plan = self
             .vcl
             .plan_read(&snaps, pu, task, self.head_task(), fill_mask, &candidates);
+        self.tracer.emit(now, Category::Vcl, || {
+            TraceEvent::VclPlan(plan.trace_summary(pu, Some(task), line))
+        });
+        let before = self.capture_line_bits(line);
         let extra = if plan.flush.is_empty() {
             0
         } else {
@@ -673,10 +811,21 @@ impl VersionedMemory for SvcSystem {
         let est = t.bus_txn_cycles + t.memory_cycles;
         let mshr = self.mshrs[pu.index()].begin_miss(line, evict_done, est);
         let source = self.apply_read_plan(&plan, pu, line, slot, j, fresh, now);
+        if !plan.purge.is_empty() {
+            self.emit_vol(line, VolOp::Purge, now);
+        }
+        self.emit_vol(line, VolOp::Splice, now);
+        self.emit_line_transitions(line, before, now);
         let done = if mshr.combined {
             mshr.data_ready
         } else {
-            let grant = self.bus.transact(evict_done + mshr.stalled, extra);
+            let grant = self.bus.transact_as(
+                BusOp::Read,
+                Some(pu),
+                Some(line),
+                evict_done + mshr.stalled,
+                extra,
+            );
             match source {
                 DataSource::NextLevel => {
                     let penalty = self
@@ -691,6 +840,12 @@ impl VersionedMemory for SvcSystem {
             let r = self.caches[pu.index()].find(line).expect("just installed");
             self.caches[pu.index()].slot(r).data[off]
         };
+        let source_name = match source {
+            DataSource::Transfer => "transfer",
+            DataSource::NextLevel => "next-level",
+            _ => "local",
+        };
+        self.emit_access(pu, task, AccessOp::Load, addr, source_name, done, now);
         Ok(LoadOutcome {
             value,
             done_at: done,
@@ -731,6 +886,7 @@ impl VersionedMemory for SvcSystem {
             let covers = self.config.geometry.words_per_subblock() == 1 || l.valid.contains(j);
             if !l.committed && !l.store.is_empty() && l.next.is_none() && covers {
                 let wide = self.config.geometry.words_per_subblock() > 1;
+                let from = l.bits();
                 let l = self.caches[pu.index()].slot_mut(r);
                 l.data[off] = value;
                 l.valid.set(j);
@@ -740,8 +896,22 @@ impl VersionedMemory for SvcSystem {
                 }
                 self.caches[pu.index()].touch(r);
                 self.stats.local_hits += 1;
+                let done_at = now + self.config.timing.hit_cycles;
+                if self.tracer.enabled(Category::Line) {
+                    let to = self.line_bits(pu, line);
+                    if from != to {
+                        self.tracer
+                            .emit(now, Category::Line, || TraceEvent::LineTransition {
+                                pu,
+                                line,
+                                from,
+                                to,
+                            });
+                    }
+                }
+                self.emit_access(pu, task, AccessOp::Store, addr, "local", done_at, now);
                 return Ok(StoreOutcome {
-                    done_at: now + self.config.timing.hit_cycles,
+                    done_at,
                     violation: None,
                 });
             }
@@ -754,6 +924,7 @@ impl VersionedMemory for SvcSystem {
             if l.exclusive && !l.stale && l.next.is_none() && covers {
                 let committed = l.committed;
                 let flush_mask = l.store;
+                let from = l.bits();
                 if committed && !flush_mask.is_empty() {
                     self.flush_to_memory(pu, line, flush_mask, now);
                 }
@@ -773,8 +944,20 @@ impl VersionedMemory for SvcSystem {
                 l.arch = false;
                 self.caches[pu.index()].touch(r);
                 self.stats.local_hits += 1;
+                let done_at = now + self.config.timing.hit_cycles;
+                if self.tracer.enabled(Category::Line) {
+                    let to = self.line_bits(pu, line);
+                    self.tracer
+                        .emit(now, Category::Line, || TraceEvent::LineTransition {
+                            pu,
+                            line,
+                            from,
+                            to,
+                        });
+                }
+                self.emit_access(pu, task, AccessOp::Store, addr, "local", done_at, now);
                 return Ok(StoreOutcome {
-                    done_at: now + self.config.timing.hit_cycles,
+                    done_at,
                     violation: None,
                 });
             }
@@ -795,6 +978,10 @@ impl VersionedMemory for SvcSystem {
         }
         let snaps = self.snapshots(line);
         let plan = self.vcl.plan_write(&snaps, pu, task, store_mask, fill_mask);
+        self.tracer.emit(now, Category::Vcl, || {
+            TraceEvent::VclPlan(plan.trace_summary(pu, Some(task), line))
+        });
+        let before = self.capture_line_bits(line);
         let extra = if plan.flush.is_empty() {
             0
         } else {
@@ -803,23 +990,62 @@ impl VersionedMemory for SvcSystem {
         let t = self.config.timing;
         let mshr = self.mshrs[pu.index()].begin_miss(line, evict_done, t.bus_txn_cycles);
         let violation = self.apply_write_plan(&plan, pu, line, slot, j, off, value, fresh, now);
+        if !plan.purge.is_empty() {
+            self.emit_vol(line, VolOp::Purge, now);
+        }
+        self.emit_vol(line, VolOp::Splice, now);
+        self.emit_line_transitions(line, before, now);
         let done_at = if mshr.combined {
             // An outstanding transaction to this line carries the store's
             // mask as well; no separate bus transaction.
             mshr.data_ready
         } else {
-            self.bus.transact(evict_done + mshr.stalled, extra).done
+            self.bus
+                .transact_as(
+                    BusOp::Write,
+                    Some(pu),
+                    Some(line),
+                    evict_done + mshr.stalled,
+                    extra,
+                )
+                .done
         };
+        self.emit_access(pu, task, AccessOp::Store, addr, "accepted", done_at, now);
+        if let Some(v) = &violation {
+            let victim = v.victim;
+            self.tracer
+                .emit(now, Category::Task, || TraceEvent::Violation {
+                    pu,
+                    task,
+                    victim,
+                    addr,
+                });
+        }
         Ok(StoreOutcome { done_at, violation })
     }
 
     fn commit(&mut self, pu: PuId, now: Cycle) -> Cycle {
+        let trace_lines = self.tracer.enabled(Category::Line);
+        let tracer = self.tracer.clone();
         let done = if self.config.lazy_commit {
             // EC (§3.4): flash-set the C bit; writebacks happen lazily.
             for l in self.caches[pu.index()].iter_mut() {
                 if l.is_valid() {
+                    let from = l.bits();
                     l.committed = true;
                     l.load = SubMask::EMPTY;
+                    if trace_lines {
+                        let to = l.bits();
+                        if from != to {
+                            let line = l.line.expect("valid line has a tag");
+                            tracer.emit(now, Category::Line, || TraceEvent::LineTransition {
+                                pu,
+                                line,
+                                from,
+                                to,
+                            });
+                        }
+                    }
                 }
             }
             now + 1
@@ -837,12 +1063,27 @@ impl VersionedMemory for SvcSystem {
                     let r = self.caches[pu.index()].find(line).expect("listed");
                     self.caches[pu.index()].slot(r).store
                 };
-                let grant = self.bus.transact(done, 0);
+                let grant = self
+                    .bus
+                    .transact_as(BusOp::Commit, Some(pu), Some(line), done, 0);
                 self.flush_to_memory(pu, line, mask, done);
                 done = grant.done;
             }
             for l in self.caches[pu.index()].iter_mut() {
-                l.invalidate();
+                if trace_lines && l.is_valid() {
+                    let from = l.bits();
+                    let line = l.line.expect("valid line has a tag");
+                    l.invalidate();
+                    let to = l.bits();
+                    tracer.emit(now, Category::Line, || TraceEvent::LineTransition {
+                        pu,
+                        line,
+                        from,
+                        to,
+                    });
+                } else {
+                    l.invalidate();
+                }
             }
             done
         };
@@ -851,8 +1092,14 @@ impl VersionedMemory for SvcSystem {
     }
 
     fn squash(&mut self, pu: PuId) {
+        self.squash_at(pu, Cycle::ZERO);
+    }
+
+    fn squash_at(&mut self, pu: PuId, now: Cycle) {
         let lazy = self.config.lazy_commit;
         let arch_bit = self.config.arch_bit;
+        let trace_lines = self.tracer.enabled(Category::Line);
+        let tracer = self.tracer.clone();
         let mut invalidated = 0;
         let mut retained = 0;
         for l in self.caches[pu.index()].iter_mut() {
@@ -862,6 +1109,7 @@ impl VersionedMemory for SvcSystem {
             if lazy && l.committed {
                 continue; // committed state survives squashes
             }
+            let before = trace_lines.then(|| (l.bits(), l.line.expect("valid line has a tag")));
             if arch_bit && l.arch && l.store.is_empty() {
                 // §3.5.1: architectural copies survive; they become
                 // passive-clean so the next task re-validates via C.
@@ -871,6 +1119,17 @@ impl VersionedMemory for SvcSystem {
             } else {
                 l.invalidate();
                 invalidated += 1;
+            }
+            if let Some((from, line)) = before {
+                let to = l.bits();
+                if from != to {
+                    tracer.emit(now, Category::Line, || TraceEvent::LineTransition {
+                        pu,
+                        line,
+                        from,
+                        to,
+                    });
+                }
             }
         }
         self.stats.squash_invalidations += invalidated;
@@ -931,6 +1190,14 @@ impl VersionedMemory for SvcSystem {
         let (l2_hits, l2_misses, _) = self.backing.l2_stats();
         s.l2_hits = l2_hits;
         s.l2_misses = l2_misses;
+        for m in &self.mshrs {
+            s.mshr_misses += m.primary_misses();
+            s.mshr_combines += m.total_combines();
+            s.mshr_stall_cycles += m.total_stall_cycles();
+        }
+        for w in &self.wbufs {
+            s.wb_stall_cycles += w.stall_cycles();
+        }
         s
     }
 
@@ -938,5 +1205,11 @@ impl VersionedMemory for SvcSystem {
         self.stats = MemStats::default();
         self.bus.reset_stats();
         self.backing.reset_stats();
+        for m in &mut self.mshrs {
+            m.reset_stats();
+        }
+        for w in &mut self.wbufs {
+            w.reset_stats();
+        }
     }
 }

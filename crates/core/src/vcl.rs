@@ -14,11 +14,20 @@
 //! Keeping the VCL pure makes the paper's figure walk-throughs directly
 //! testable; see the unit tests at the bottom of this module.
 
-use svc_types::{PuId, TaskId};
+use svc_sim::trace::{PlanKind, PlanSummary};
+use svc_types::{LineId, PuId, TaskId};
 
 use crate::mask::SubMask;
 use crate::snapshot::LineSnapshot;
 use crate::vol::order_vol;
+
+fn fill_split(fill: &[(usize, SupplySource)]) -> (u32, u32) {
+    let from_cache = fill
+        .iter()
+        .filter(|(_, s)| matches!(s, SupplySource::Cache(_)))
+        .count() as u32;
+    (from_cache, fill.len() as u32 - from_cache)
+}
 
 /// Where one sub-block of a fill comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +106,71 @@ pub struct WbackPlan {
     pub write_evicted: SubMask,
     /// The VOL after the transaction (evictor removed).
     pub vol_after: Vec<PuId>,
+}
+
+impl ReadPlan {
+    /// Compresses the plan into a [`PlanSummary`] for the event trace.
+    pub fn trace_summary(&self, pu: PuId, task: Option<TaskId>, line: LineId) -> PlanSummary {
+        let (fill_from_cache, fill_from_memory) = fill_split(&self.fill);
+        PlanSummary {
+            kind: PlanKind::Read,
+            pu,
+            task,
+            line,
+            fill_from_cache,
+            fill_from_memory,
+            flush: self.flush.len() as u32,
+            purge: self.purge.len() as u32,
+            invalidate: 0,
+            update: 0,
+            snarfers: self.snarfers.len() as u32,
+            victims: Vec::new(),
+            arch: self.arch,
+        }
+    }
+}
+
+impl WritePlan {
+    /// Compresses the plan into a [`PlanSummary`] for the event trace.
+    pub fn trace_summary(&self, pu: PuId, task: Option<TaskId>, line: LineId) -> PlanSummary {
+        let (fill_from_cache, fill_from_memory) = fill_split(&self.fill);
+        PlanSummary {
+            kind: PlanKind::Write,
+            pu,
+            task,
+            line,
+            fill_from_cache,
+            fill_from_memory,
+            flush: self.flush.len() as u32,
+            purge: self.purge.len() as u32,
+            invalidate: self.invalidate.len() as u32,
+            update: self.update.len() as u32,
+            snarfers: 0,
+            victims: self.victims.iter().map(|&(_, t)| t).collect(),
+            arch: false,
+        }
+    }
+}
+
+impl WbackPlan {
+    /// Compresses the plan into a [`PlanSummary`] for the event trace.
+    pub fn trace_summary(&self, pu: PuId, task: Option<TaskId>, line: LineId) -> PlanSummary {
+        PlanSummary {
+            kind: PlanKind::Wback,
+            pu,
+            task,
+            line,
+            fill_from_cache: 0,
+            fill_from_memory: 0,
+            flush: self.flush.len() as u32,
+            purge: self.purge.len() as u32,
+            invalidate: 0,
+            update: 0,
+            snarfers: 0,
+            victims: Vec::new(),
+            arch: false,
+        }
+    }
 }
 
 /// The Version Control Logic. Holds only the protocol options that change

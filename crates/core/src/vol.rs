@@ -9,9 +9,30 @@
 //! which *is* the repair — the system rewrites all pointers from the
 //! reconstructed order when it applies the plan.
 
+use svc_sim::trace::VolEntry;
 use svc_types::PuId;
 
 use crate::snapshot::LineSnapshot;
+
+/// The reconstructed VOL as trace entries (oldest first): each member's
+/// PU, current task, and whether it is a *version* (holds store data)
+/// rather than a pure copy. Feeds `vol`-category trace events.
+pub fn vol_trace_entries(snapshots: &[LineSnapshot]) -> Vec<VolEntry> {
+    order_vol(snapshots)
+        .into_iter()
+        .map(|q| {
+            let s = snapshots
+                .iter()
+                .find(|s| s.pu == q)
+                .expect("VOL members come from the snapshots");
+            VolEntry {
+                pu: q,
+                task: s.task,
+                version: !s.store.is_empty(),
+            }
+        })
+        .collect()
+}
 
 /// Reconstructs the VOL (oldest first) from the snooped line snapshots.
 ///

@@ -1,4 +1,5 @@
-use svc_types::Cycle;
+use svc_sim::trace::{BusOp, Category, TraceEvent, Tracer};
+use svc_types::{Cycle, LineId, PuId};
 
 /// The time slice granted to one bus transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +28,7 @@ pub struct Bus {
     busy_until: Cycle,
     transactions: u64,
     busy_cycles: u64,
+    tracer: Tracer,
 }
 
 impl Bus {
@@ -58,7 +60,14 @@ impl Bus {
             busy_until: Cycle::ZERO,
             transactions: 0,
             busy_cycles: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracing handle; every grant emits a
+    /// [`TraceEvent::BusTransaction`] when the `bus` category is enabled.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Arbitrates for the bus at `now`: the transaction completes at
@@ -67,12 +76,34 @@ impl Bus {
     /// Requests are served in call order (the caller is the arbiter's
     /// queue).
     pub fn transact(&mut self, now: Cycle, extra: u64) -> BusGrant {
+        self.transact_as(BusOp::Other, None, None, now, extra)
+    }
+
+    /// Like [`transact`](Bus::transact), but attributes the grant to a
+    /// transaction kind, requesting PU and line for the event trace.
+    pub fn transact_as(
+        &mut self,
+        op: BusOp,
+        pu: Option<PuId>,
+        line: Option<LineId>,
+        now: Cycle,
+        extra: u64,
+    ) -> BusGrant {
         let start = now.max(self.busy_until);
         let occupancy = self.occupancy_cycles + extra;
         let done = start + (self.txn_cycles + extra);
         self.busy_until = start + occupancy;
         self.transactions += 1;
         self.busy_cycles += occupancy;
+        self.tracer
+            .emit(now, Category::Bus, || TraceEvent::BusTransaction {
+                op,
+                pu,
+                line,
+                start,
+                done,
+                extra,
+            });
         BusGrant { start, done }
     }
 
@@ -142,6 +173,40 @@ mod tests {
         assert_eq!(bus.busy_cycles(), 0);
         // Busy state survives the stats reset.
         assert_eq!(bus.free_at(), Cycle(5));
+    }
+
+    #[test]
+    fn traced_transactions_are_recorded() {
+        let tracer = Tracer::new(Category::Bus.bit(), 16);
+        let mut bus = Bus::new(3);
+        bus.set_tracer(tracer.clone());
+        bus.transact_as(BusOp::Read, Some(PuId(1)), Some(LineId(7)), Cycle(5), 0);
+        bus.transact(Cycle(6), 1);
+        let records = tracer.records();
+        assert_eq!(records.len(), 2);
+        match &records[0].event {
+            TraceEvent::BusTransaction {
+                op,
+                pu,
+                line,
+                start,
+                ..
+            } => {
+                assert_eq!(*op, BusOp::Read);
+                assert_eq!(*pu, Some(PuId(1)));
+                assert_eq!(*line, Some(LineId(7)));
+                assert_eq!(*start, Cycle(5));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(matches!(
+            records[1].event,
+            TraceEvent::BusTransaction {
+                op: BusOp::Other,
+                pu: None,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-use svc_types::{Cycle, LineId};
+use svc_sim::trace::{Category, TraceEvent, Tracer};
+use svc_types::{Cycle, LineId, PuId};
 
 /// Outcome of presenting a miss to the [`MshrFile`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,8 @@ pub struct MshrFile {
     total_misses: u64,
     total_combines: u64,
     total_stall_cycles: u64,
+    tracer: Tracer,
+    pu: PuId,
 }
 
 impl MshrFile {
@@ -65,7 +68,16 @@ impl MshrFile {
             total_misses: 0,
             total_combines: 0,
             total_stall_cycles: 0,
+            tracer: Tracer::disabled(),
+            pu: PuId(0),
         }
+    }
+
+    /// Attaches a tracing handle and names the owning PU; allocations,
+    /// combines and retirements emit `mshr`-category events.
+    pub fn set_tracer(&mut self, tracer: Tracer, pu: PuId) {
+        self.tracer = tracer;
+        self.pu = pu;
     }
 
     /// Presents a miss on `line` at `now` whose fill would take
@@ -82,8 +94,16 @@ impl MshrFile {
         {
             e.combines += 1;
             self.total_combines += 1;
+            let data_ready = e.done_at;
+            let pu = self.pu;
+            self.tracer
+                .emit(now, Category::Mshr, || TraceEvent::MshrCombine {
+                    pu,
+                    line,
+                    data_ready,
+                });
             return MshrResult {
-                data_ready: e.done_at,
+                data_ready,
                 combined: true,
                 stalled: 0,
             };
@@ -114,6 +134,14 @@ impl MshrFile {
             combines: 1,
         });
         self.total_stall_cycles += stalled;
+        let pu = self.pu;
+        self.tracer
+            .emit(now, Category::Mshr, || TraceEvent::MshrAllocate {
+                pu,
+                line,
+                data_ready: done_at,
+                stalled,
+            });
         MshrResult {
             data_ready: done_at,
             combined: false,
@@ -142,7 +170,30 @@ impl MshrFile {
         self.total_stall_cycles
     }
 
+    /// Primary misses: presentations that allocated a new register.
+    pub fn primary_misses(&self) -> u64 {
+        self.total_misses - self.total_combines
+    }
+
+    /// Resets the statistics counters (outstanding fills are kept).
+    pub fn reset_stats(&mut self) {
+        self.total_misses = 0;
+        self.total_combines = 0;
+        self.total_stall_cycles = 0;
+    }
+
     fn expire(&mut self, now: Cycle) {
+        if self.tracer.enabled(Category::Mshr) {
+            let pu = self.pu;
+            for e in self.entries.iter().filter(|e| e.done_at <= now) {
+                let line = e.line;
+                self.tracer
+                    .emit(e.done_at, Category::Mshr, || TraceEvent::MshrRetire {
+                        pu,
+                        line,
+                    });
+            }
+        }
         self.entries.retain(|e| e.done_at > now);
     }
 }

@@ -1,6 +1,7 @@
 use std::collections::VecDeque;
 
-use svc_types::Cycle;
+use svc_sim::trace::{Category, TraceEvent, Tracer};
+use svc_types::{Cycle, PuId};
 
 /// A bounded writeback buffer.
 ///
@@ -30,6 +31,8 @@ pub struct WritebackBuffer {
     last_drain_done: Cycle,
     pushes: u64,
     stall_cycles: u64,
+    tracer: Tracer,
+    pu: PuId,
 }
 
 impl WritebackBuffer {
@@ -48,7 +51,16 @@ impl WritebackBuffer {
             last_drain_done: Cycle::ZERO,
             pushes: 0,
             stall_cycles: 0,
+            tracer: Tracer::disabled(),
+            pu: PuId(0),
         }
+    }
+
+    /// Attaches a tracing handle and names the owning PU; pushes emit
+    /// `wb`-category events.
+    pub fn set_tracer(&mut self, tracer: Tracer, pu: PuId) {
+        self.tracer = tracer;
+        self.pu = pu;
     }
 
     /// Offers one castout at `now`; returns the cycle at which the buffer
@@ -56,19 +68,28 @@ impl WritebackBuffer {
     pub fn push(&mut self, now: Cycle) -> Cycle {
         self.expire(now);
         self.pushes += 1;
-        let accepted = if self.drains.len() < self.capacity {
-            now
+        let (accepted, stalled) = if self.drains.len() < self.capacity {
+            (now, 0)
         } else {
             let oldest = *self.drains.front().expect("full buffer is non-empty");
             self.drains.pop_front();
             self.stall_cycles += oldest.since(now);
-            now.max(oldest)
+            (now.max(oldest), oldest.since(now))
         };
         // Drains are serial: each begins after the previous one finishes.
         let start = accepted.max(self.last_drain_done);
         let done = start + self.drain_cycles;
         self.last_drain_done = done;
         self.drains.push_back(done);
+        let pu = self.pu;
+        let occupancy = self.drains.len();
+        self.tracer
+            .emit(now, Category::Writeback, || TraceEvent::WritebackPush {
+                pu,
+                accepted,
+                stalled,
+                occupancy,
+            });
         accepted
     }
 
@@ -91,6 +112,12 @@ impl WritebackBuffer {
     /// Total cycles pushers spent stalled on a full buffer.
     pub fn stall_cycles(&self) -> u64 {
         self.stall_cycles
+    }
+
+    /// Resets the statistics counters (entries still draining are kept).
+    pub fn reset_stats(&mut self) {
+        self.pushes = 0;
+        self.stall_cycles = 0;
     }
 
     fn expire(&mut self, now: Cycle) {

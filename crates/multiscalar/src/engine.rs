@@ -1,7 +1,9 @@
 use std::collections::HashMap;
 
+use svc_sim::metrics::{MetricSource, MetricsRegistry};
 use svc_sim::rng::Xoshiro256;
 use svc_sim::stats::Histogram;
+use svc_sim::trace::{Category, TraceEvent, Tracer};
 use svc_types::{Addr, Cycle, MemStats, PuId, TaskId, VersionedMemory, Word};
 
 use crate::predictor::PredictorModel;
@@ -123,6 +125,25 @@ impl RunReport {
     }
 }
 
+impl MetricSource for RunReport {
+    fn export_metrics(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        for (name, value) in self.counter_fields() {
+            reg.counter(&format!("{prefix}{name}"), value);
+        }
+        reg.gauge(&format!("{prefix}ipc"), self.ipc());
+        reg.gauge(&format!("{prefix}avg_task_len"), self.avg_task_len());
+        reg.gauge(&format!("{prefix}bus_utilization"), self.bus_utilization());
+        reg.histogram(&format!("{prefix}task_lengths"), &self.task_lengths);
+        for (name, value) in self.mem.fields() {
+            reg.counter(&format!("{prefix}mem.{name}"), value);
+        }
+        reg.gauge(
+            &format!("{prefix}mem.mshr_combine_rate"),
+            self.mem.mshr_combine_rate(),
+        );
+    }
+}
+
 #[derive(Debug, Clone)]
 struct PuState {
     pos: Option<u64>,
@@ -169,6 +190,7 @@ pub struct Engine<M> {
     resource_squashes: u64,
     mispredictions: u64,
     task_lengths: Histogram,
+    tracer: Tracer,
 }
 
 /// Why a squash happened, for the report's breakdown.
@@ -203,8 +225,18 @@ impl<M: VersionedMemory> Engine<M> {
             resource_squashes: 0,
             mispredictions: 0,
             task_lengths: Histogram::new(8, 32),
+            tracer: Tracer::disabled(),
             config,
         }
+    }
+
+    /// Attaches `tracer` to the engine (task-lifecycle events). The memory
+    /// system has its own [`set_tracer`]-style hook; attach the same tracer
+    /// there to interleave both streams in one ring.
+    ///
+    /// [`set_tracer`]: svc_sim::trace::Tracer
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Consumes the engine, returning the memory system (for end-of-run
@@ -273,7 +305,7 @@ impl<M: VersionedMemory> Engine<M> {
                     let pos = self.pus[pu].pos.expect("checked");
                     self.mispredictions += 1;
                     *self.attempts.entry(pos).or_insert(0) += 1;
-                    self.squash_from(pos, SquashCause::Misprediction);
+                    self.squash_from(pos, SquashCause::Misprediction, now);
                     progressed = true;
                     continue;
                 }
@@ -289,7 +321,14 @@ impl<M: VersionedMemory> Engine<M> {
                 let p = &self.pus[pu];
                 if p.done && !p.wrong && now >= p.ready_at {
                     let n = p.instrs.len() as u64;
+                    let task = p.pos.map(TaskId);
                     let done = self.mem.commit(PuId(pu), now);
+                    self.tracer
+                        .emit(now, Category::Task, || TraceEvent::TaskCommit {
+                            pu: PuId(pu),
+                            task: task.expect("committing PU has a task"),
+                            instrs: n,
+                        });
                     committed_instrs += n;
                     committed_tasks += 1;
                     self.task_lengths.record(n);
@@ -401,7 +440,7 @@ impl<M: VersionedMemory> Engine<M> {
                             self.pus[pu].port_free = now + tax;
                             self.pus[pu].ready_at = now + 1;
                             if let Some(v) = out.violation {
-                                self.squash_from(v.victim.0, SquashCause::Violation);
+                                self.squash_from(v.victim.0, SquashCause::Violation, now);
                             }
                         }
                         Err(_) => self.stall(pu, now),
@@ -438,7 +477,7 @@ impl<M: VersionedMemory> Engine<M> {
                     .filter(|&t| t > pos)
                     .min();
                 if let Some(victim) = younger {
-                    self.squash_from(victim, SquashCause::Resource);
+                    self.squash_from(victim, SquashCause::Resource, now);
                 }
             }
         }
@@ -453,6 +492,13 @@ impl<M: VersionedMemory> Engine<M> {
         } else {
             source.task(TaskId(pos)).expect("dispatched past the end")
         };
+        self.tracer
+            .emit(now, Category::Task, || TraceEvent::TaskDispatch {
+                pu: PuId(pu),
+                task: TaskId(pos),
+                attempt,
+                wrong_path: wrong,
+            });
         self.mem.assign(PuId(pu), TaskId(pos));
         let ready = now.max(self.pus[pu].ready_at) + self.config.dispatch_cycles;
         self.pus[pu] = PuState {
@@ -469,12 +515,17 @@ impl<M: VersionedMemory> Engine<M> {
 
     /// Squashes every task at position `victim` and younger (the paper's
     /// simple squash model), rewinding the sequencer to re-dispatch them.
-    fn squash_from(&mut self, victim: u64, cause: SquashCause) {
+    fn squash_from(&mut self, victim: u64, cause: SquashCause, now: Cycle) {
         match cause {
             SquashCause::Misprediction => {}
             SquashCause::Violation => self.violation_squashes += 1,
             SquashCause::Resource => self.resource_squashes += 1,
         }
+        let trace_cause = match cause {
+            SquashCause::Misprediction => svc_sim::trace::SquashCause::Misprediction,
+            SquashCause::Violation => svc_sim::trace::SquashCause::Violation,
+            SquashCause::Resource => svc_sim::trace::SquashCause::Resource,
+        };
         let mut hit: Vec<(usize, u64)> = self
             .pus
             .iter()
@@ -483,8 +534,15 @@ impl<M: VersionedMemory> Engine<M> {
             .filter(|&(_, t)| t >= victim)
             .collect();
         hit.sort_by_key(|&(_, t)| core::cmp::Reverse(t));
-        for &(pu, _) in &hit {
-            self.mem.squash(PuId(pu));
+        for &(pu, task) in &hit {
+            self.tracer
+                .emit(now, Category::Task, || TraceEvent::TaskSquash {
+                    pu: PuId(pu),
+                    task: TaskId(task),
+                    cause: trace_cause,
+                    restart: TaskId(victim),
+                });
+            self.mem.squash_at(PuId(pu), now);
             let ready = self.pus[pu].ready_at;
             self.pus[pu] = PuState::idle();
             self.pus[pu].ready_at = ready;

@@ -1,0 +1,457 @@
+//! Squash forensics: turning a raw event trace into causal explanations.
+//!
+//! A squash counter going up tells you *that* speculation failed; this
+//! module reconstructs *why*. Working over the recorded
+//! [`Record`](crate::trace::Record) stream it can
+//!
+//! * rebuild a chosen line's full version history
+//!   ([`line_history`] / [`render_line_report`]): every state-bit
+//!   transition, VOL splice/purge, VCL plan, and access that touched the
+//!   line, in cycle order; and
+//! * extract causal squash chains ([`squash_chains`]): for each detected
+//!   memory-dependence violation, the store that triggered it, the
+//!   premature load it exposed, the VOL order of the line at that moment
+//!   (hence which task held which version), and the set of tasks the
+//!   squash walk then tore down.
+//!
+//! The pass is pure — it reads records, it never re-runs the simulator —
+//! so it works equally on a live in-memory ring or on records re-read
+//! from a JSONL artifact.
+
+use svc_types::{Addr, LineId, PuId, TaskId};
+
+use crate::trace::{AccessOp, Record, SquashCause, TraceEvent, VolEntry};
+
+/// The line a word address maps to, given the line size in words.
+pub fn line_of(addr: Addr, words_per_line: u64) -> LineId {
+    LineId(addr.0 / words_per_line.max(1))
+}
+
+/// Whether `event` concerns `line` (directly, or via an address that maps
+/// to it).
+fn touches_line(event: &TraceEvent, line: LineId, words_per_line: u64) -> bool {
+    match event {
+        TraceEvent::BusTransaction { line: l, .. } => *l == Some(line),
+        TraceEvent::MshrAllocate { line: l, .. }
+        | TraceEvent::MshrCombine { line: l, .. }
+        | TraceEvent::MshrRetire { line: l, .. }
+        | TraceEvent::LineTransition { line: l, .. }
+        | TraceEvent::CoherenceTransition { line: l, .. }
+        | TraceEvent::VolReorder { line: l, .. } => *l == line,
+        TraceEvent::VclPlan(p) => p.line == line,
+        TraceEvent::Access { addr, .. } | TraceEvent::Violation { addr, .. } => {
+            line_of(*addr, words_per_line) == line
+        }
+        TraceEvent::WritebackPush { .. }
+        | TraceEvent::TaskDispatch { .. }
+        | TraceEvent::TaskCommit { .. }
+        | TraceEvent::TaskSquash { .. } => false,
+    }
+}
+
+/// All records that touched `line`, in trace order.
+pub fn line_history(records: &[Record], line: LineId, words_per_line: u64) -> Vec<&Record> {
+    records
+        .iter()
+        .filter(|r| touches_line(&r.event, line, words_per_line))
+        .collect()
+}
+
+/// One reconstructed violation → squash causal chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquashChain {
+    /// Cycle the violation was detected.
+    pub cycle: u64,
+    /// The conflicting word address.
+    pub addr: Addr,
+    /// The line that address maps to.
+    pub line: LineId,
+    /// The PU whose store exposed the violation.
+    pub store_pu: PuId,
+    /// The task whose store exposed the violation.
+    pub store_task: TaskId,
+    /// The oldest violated task (root of the squash walk).
+    pub victim: TaskId,
+    /// The store access that triggered detection, if the `access`
+    /// category was recorded.
+    pub trigger_store: Option<Record>,
+    /// The victim's premature load of the same address, if recorded.
+    pub victim_load: Option<Record>,
+    /// The line's VOL order at the moment of the violation (last
+    /// reorder seen before it), oldest first — identifies which task
+    /// held which version.
+    pub vol_at_violation: Vec<VolEntry>,
+    /// Tasks holding *versions* (store data) of the line at that moment,
+    /// oldest first, from the VOL.
+    pub version_writers: Vec<(PuId, TaskId)>,
+    /// The squash walk this violation caused: `(pu, task)` in squash
+    /// order, if the `task` category was recorded.
+    pub squashed: Vec<(PuId, TaskId)>,
+}
+
+/// Reconstructs every violation's causal chain from a trace.
+///
+/// Requires at least the `task` category in the trace (violations and
+/// squashes); `access` and `vol` categories enrich the chains with the
+/// triggering store, the premature load, and version ownership.
+pub fn squash_chains(records: &[Record], words_per_line: u64) -> Vec<SquashChain> {
+    let mut chains = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        let TraceEvent::Violation {
+            pu,
+            task,
+            victim,
+            addr,
+        } = r.event
+        else {
+            continue;
+        };
+        let line = line_of(addr, words_per_line);
+
+        // The store access that tripped detection: the last store to this
+        // address by the violating task at or before the violation.
+        let trigger_store = records[..=i]
+            .iter()
+            .rev()
+            .find(|c| {
+                matches!(
+                    c.event,
+                    TraceEvent::Access {
+                        task: t,
+                        op: AccessOp::Store,
+                        addr: a,
+                        ..
+                    } if t == task && a == addr
+                )
+            })
+            .cloned();
+
+        // The premature load: the victim task (or any task at/after it in
+        // program order — the walk squashes them all) loaded the address
+        // before this store defined it.
+        let victim_load = records[..i]
+            .iter()
+            .rev()
+            .find(|c| {
+                matches!(
+                    c.event,
+                    TraceEvent::Access {
+                        task: t,
+                        op: AccessOp::Load,
+                        addr: a,
+                        ..
+                    } if t >= victim && a == addr
+                )
+            })
+            .cloned();
+
+        // The line's VOL order at the moment of detection.
+        let vol_at_violation = records[..=i]
+            .iter()
+            .rev()
+            .find_map(|c| match &c.event {
+                TraceEvent::VolReorder { line: l, order, .. } if *l == line => Some(order.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        let version_writers = vol_at_violation
+            .iter()
+            .filter(|e| e.version)
+            .filter_map(|e| e.task.map(|t| (e.pu, t)))
+            .collect();
+
+        // The squash walk: every violation-caused squash restarting at
+        // this victim, from detection until the walk's batch ends (the
+        // next violation or the next dispatch breaks the batch).
+        let mut squashed = Vec::new();
+        for c in &records[i + 1..] {
+            match c.event {
+                TraceEvent::TaskSquash {
+                    pu: sp,
+                    task: st,
+                    cause: SquashCause::Violation,
+                    restart,
+                } if restart == victim => squashed.push((sp, st)),
+                TraceEvent::Violation { .. } | TraceEvent::TaskDispatch { .. } => break,
+                _ => {}
+            }
+        }
+
+        chains.push(SquashChain {
+            cycle: r.cycle,
+            addr,
+            line,
+            store_pu: pu,
+            store_task: task,
+            victim,
+            trigger_store,
+            victim_load,
+            vol_at_violation,
+            version_writers,
+            squashed,
+        });
+    }
+    chains
+}
+
+fn render_vol(out: &mut String, order: &[VolEntry]) {
+    if order.is_empty() {
+        out.push_str("(not recorded)");
+        return;
+    }
+    for (i, e) in order.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" -> ");
+        }
+        out.push_str(&format!("{}", e.pu));
+        if let Some(t) = e.task {
+            out.push_str(&format!("/T{}", t.0));
+        }
+        if e.version {
+            out.push('*');
+        }
+    }
+    out.push_str("  (* = holds a version)");
+}
+
+/// Renders one chain as a short human-readable explanation.
+pub fn render_chain(chain: &SquashChain) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "violation @ cycle {}: store by {}/T{} to addr {} (line {})\n",
+        chain.cycle, chain.store_pu, chain.store_task.0, chain.addr.0, chain.line.0
+    ));
+    match &chain.trigger_store {
+        Some(r) => out.push_str(&format!("  triggering store : {r}\n")),
+        None => out.push_str("  triggering store : (access category not recorded)\n"),
+    }
+    match &chain.victim_load {
+        Some(r) => out.push_str(&format!("  premature load   : {r}\n")),
+        None => out.push_str("  premature load   : (not recorded)\n"),
+    }
+    out.push_str("  VOL at violation : ");
+    render_vol(&mut out, &chain.vol_at_violation);
+    out.push('\n');
+    if !chain.version_writers.is_empty() {
+        out.push_str("  version writers  : ");
+        for (i, (pu, t)) in chain.version_writers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("T{} (on {pu})", t.0));
+        }
+        out.push('\n');
+    }
+    if chain.squashed.is_empty() {
+        out.push_str(&format!(
+            "  squash walk      : restart at T{} (task category not recorded)\n",
+            chain.victim.0
+        ));
+    } else {
+        out.push_str(&format!(
+            "  squash walk      : T{} and {} task(s) torn down:",
+            chain.victim.0,
+            chain.squashed.len()
+        ));
+        for (pu, t) in &chain.squashed {
+            out.push_str(&format!(" T{}@{pu}", t.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a chosen line's full version history plus every causal squash
+/// chain that involved it. This is the payload of `svc-sim trace`.
+pub fn render_line_report(records: &[Record], line: LineId, words_per_line: u64) -> String {
+    let mut out = String::new();
+    let history = line_history(records, line, words_per_line);
+    out.push_str(&format!(
+        "== line {} version history ({} event(s)) ==\n",
+        line.0,
+        history.len()
+    ));
+    for r in &history {
+        out.push_str(&format!("{r}\n"));
+    }
+    let chains: Vec<SquashChain> = squash_chains(records, words_per_line)
+        .into_iter()
+        .filter(|c| c.line == line)
+        .collect();
+    out.push_str(&format!(
+        "\n== squash chains on line {} ({}) ==\n",
+        line.0,
+        chains.len()
+    ));
+    for c in &chains {
+        out.push_str(&render_chain(c));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Category, Tracer, VolOp};
+    use svc_types::Cycle;
+
+    /// Builds the canonical conflict: T2 loads addr 5 early, T1 later
+    /// stores addr 5, the VCL flags the violation, T2 and T3 squash.
+    fn conflict_trace() -> Vec<Record> {
+        let t = Tracer::new(Category::ALL, 1024);
+        t.emit(Cycle(10), Category::Access, || TraceEvent::Access {
+            pu: PuId(2),
+            task: TaskId(2),
+            op: AccessOp::Load,
+            addr: Addr(5),
+            source: "next-level",
+            done_at: Cycle(12),
+        });
+        t.emit(Cycle(10), Category::Vol, || TraceEvent::VolReorder {
+            line: LineId(1),
+            op: VolOp::Splice,
+            order: vec![
+                VolEntry {
+                    pu: PuId(1),
+                    task: Some(TaskId(1)),
+                    version: true,
+                },
+                VolEntry {
+                    pu: PuId(2),
+                    task: Some(TaskId(2)),
+                    version: false,
+                },
+            ],
+        });
+        t.emit(Cycle(20), Category::Access, || TraceEvent::Access {
+            pu: PuId(1),
+            task: TaskId(1),
+            op: AccessOp::Store,
+            addr: Addr(5),
+            source: "accepted",
+            done_at: Cycle(20),
+        });
+        t.emit(Cycle(20), Category::Task, || TraceEvent::Violation {
+            pu: PuId(1),
+            task: TaskId(1),
+            victim: TaskId(2),
+            addr: Addr(5),
+        });
+        t.emit(Cycle(20), Category::Task, || TraceEvent::TaskSquash {
+            pu: PuId(3),
+            task: TaskId(3),
+            cause: SquashCause::Violation,
+            restart: TaskId(2),
+        });
+        t.emit(Cycle(20), Category::Task, || TraceEvent::TaskSquash {
+            pu: PuId(2),
+            task: TaskId(2),
+            cause: SquashCause::Violation,
+            restart: TaskId(2),
+        });
+        t.emit(Cycle(21), Category::Task, || TraceEvent::TaskDispatch {
+            pu: PuId(2),
+            task: TaskId(2),
+            attempt: 1,
+            wrong_path: false,
+        });
+        t.records()
+    }
+
+    #[test]
+    fn reconstructs_the_causal_chain() {
+        let records = conflict_trace();
+        let chains = squash_chains(&records, 4);
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        assert_eq!(c.cycle, 20);
+        assert_eq!(c.line, LineId(1), "addr 5 / 4 words per line");
+        assert_eq!(c.store_task, TaskId(1));
+        assert_eq!(c.victim, TaskId(2));
+        assert!(
+            matches!(
+                c.trigger_store.as_ref().map(|r| &r.event),
+                Some(TraceEvent::Access {
+                    op: AccessOp::Store,
+                    task: TaskId(1),
+                    ..
+                })
+            ),
+            "found the triggering store"
+        );
+        assert!(
+            matches!(
+                c.victim_load.as_ref().map(|r| &r.event),
+                Some(TraceEvent::Access {
+                    op: AccessOp::Load,
+                    task: TaskId(2),
+                    ..
+                })
+            ),
+            "found the premature load"
+        );
+        assert_eq!(c.vol_at_violation.len(), 2);
+        assert_eq!(c.version_writers, vec![(PuId(1), TaskId(1))]);
+        assert_eq!(c.squashed, vec![(PuId(3), TaskId(3)), (PuId(2), TaskId(2))]);
+    }
+
+    #[test]
+    fn squash_batch_stops_at_redispatch() {
+        let records = conflict_trace();
+        // The dispatch at cycle 21 ends the batch; a later unrelated
+        // squash with the same restart must not be absorbed.
+        let t = Tracer::new(Category::ALL, 16);
+        for r in &records {
+            t.emit(Cycle(r.cycle), r.event.category(), || r.event.clone());
+        }
+        t.emit(Cycle(30), Category::Task, || TraceEvent::TaskSquash {
+            pu: PuId(2),
+            task: TaskId(2),
+            cause: SquashCause::Violation,
+            restart: TaskId(2),
+        });
+        let chains = squash_chains(&t.records(), 4);
+        assert_eq!(chains[0].squashed.len(), 2, "batch ended at the dispatch");
+    }
+
+    #[test]
+    fn line_history_filters_by_line() {
+        let records = conflict_trace();
+        let hits = line_history(&records, LineId(1), 4);
+        // load, vol splice, store, violation — squash/dispatch are not
+        // line events.
+        assert_eq!(hits.len(), 4);
+        let misses = line_history(&records, LineId(9), 4);
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn line_report_reads_like_a_story() {
+        let records = conflict_trace();
+        let report = render_line_report(&records, LineId(1), 4);
+        assert!(report.contains("line 1 version history"));
+        assert!(report.contains("violation @ cycle 20"));
+        assert!(report.contains("premature load"));
+        assert!(report.contains("PU1/T1*"), "VOL shows T1 holding a version");
+        assert!(report.contains("T2"), "victim named");
+    }
+
+    #[test]
+    fn chains_degrade_gracefully_without_optional_categories() {
+        // Only the task category: no access / vol enrichment.
+        let full = conflict_trace();
+        let task_only: Vec<Record> = full
+            .into_iter()
+            .filter(|r| r.event.category() == Category::Task)
+            .collect();
+        let chains = squash_chains(&task_only, 4);
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        assert!(c.trigger_store.is_none());
+        assert!(c.victim_load.is_none());
+        assert!(c.vol_at_violation.is_empty());
+        assert_eq!(c.squashed.len(), 2);
+        // Rendering still works.
+        assert!(render_chain(c).contains("not recorded"));
+    }
+}

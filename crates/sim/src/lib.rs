@@ -10,7 +10,13 @@
 //! * [`stats`] — counters, running means, and histograms used for
 //!   simulator-side measurements;
 //! * [`table`] — plain-text table rendering used by the experiment harness
-//!   to print the paper's tables and figure series.
+//!   to print the paper's tables and figure series;
+//! * [`trace`] — cycle-stamped, category-filtered event tracing with a
+//!   bounded ring buffer and text/JSONL/Chrome-trace sinks;
+//! * [`metrics`] — a unified registry of named counter/gauge/histogram
+//!   metrics that subsystems export into;
+//! * [`forensics`] — causal squash-chain and line-history reconstruction
+//!   over recorded traces.
 //!
 //! # Example
 //!
@@ -26,6 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod forensics;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod trace;

@@ -1,0 +1,228 @@
+//! A unified metrics registry.
+//!
+//! Before this module, every subsystem kept its own ad-hoc counters
+//! (`MemStats` in `svc-types`, `RunReport` in `svc-multiscalar`, private
+//! tallies in the bus/MSHR/writeback models). The registry gives them a
+//! single namespace of **named** counter / gauge / histogram values with
+//! a stable, insertion-preserving order so that the harness can serialize
+//! one `metrics` object per experiment cell without knowing what each
+//! subsystem counts.
+//!
+//! The registry is intentionally dependency-free: it stores plain values
+//! and lets `svc_bench::report` (which depends on this crate, not the
+//! other way round) turn them into JSON.
+//!
+//! Components implement [`MetricSource`] and are exported under a prefix:
+//!
+//! ```
+//! use svc_sim::metrics::{MetricSource, MetricsRegistry, MetricValue};
+//!
+//! struct BusModel { transactions: u64, busy: u64, cycles: u64 }
+//! impl MetricSource for BusModel {
+//!     fn export_metrics(&self, prefix: &str, reg: &mut MetricsRegistry) {
+//!         reg.counter(&format!("{prefix}transactions"), self.transactions);
+//!         reg.ratio(&format!("{prefix}utilization"), self.busy, self.cycles);
+//!     }
+//! }
+//!
+//! let mut reg = MetricsRegistry::new();
+//! BusModel { transactions: 7, busy: 40, cycles: 100 }.export_metrics("bus.", &mut reg);
+//! assert_eq!(reg.get("bus.transactions"), Some(&MetricValue::Counter(7)));
+//! ```
+
+use crate::stats::Histogram;
+
+/// A point-in-time summary of a [`Histogram`], cheap to store and
+/// serialize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Total samples recorded.
+    pub total: u64,
+    /// Samples beyond the last bucket.
+    pub overflow: u64,
+    /// Bucket-resolution median; `None` if the histogram was empty.
+    pub p50: Option<u64>,
+    /// Bucket-resolution 90th percentile; `None` if empty.
+    pub p90: Option<u64>,
+    /// Bucket-resolution 99th percentile; `None` if empty.
+    pub p99: Option<u64>,
+}
+
+impl HistogramSummary {
+    /// Summarizes `h` (quantiles keep the histogram's documented
+    /// overflow sentinel).
+    pub fn of(h: &Histogram) -> HistogramSummary {
+        HistogramSummary {
+            total: h.total(),
+            overflow: h.overflow(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+/// One registered metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically accumulated event count.
+    Counter(u64),
+    /// A derived scalar (rates, ratios, averages).
+    Gauge(f64),
+    /// A summarized distribution.
+    Histogram(HistogramSummary),
+}
+
+/// An ordered registry of named metrics.
+///
+/// Registration order is preserved (it becomes the JSON key order, which
+/// keeps experiment artifacts byte-deterministic); re-registering an
+/// existing name replaces its value in place.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn set(&mut self, name: &str, value: MetricValue) {
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.entries.push((name.to_string(), value));
+        }
+    }
+
+    /// Registers (or replaces) a counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.set(name, MetricValue::Counter(value));
+    }
+
+    /// Registers (or replaces) a gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.set(name, MetricValue::Gauge(value));
+    }
+
+    /// Registers `num / den` as a gauge; a zero denominator registers 0.0
+    /// (not NaN) so artifacts stay JSON-representable.
+    pub fn ratio(&mut self, name: &str, num: u64, den: u64) {
+        let value = if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        };
+        self.set(name, MetricValue::Gauge(value));
+    }
+
+    /// Registers (or replaces) a histogram summary.
+    pub fn histogram(&mut self, name: &str, h: &Histogram) {
+        self.set(name, MetricValue::Histogram(HistogramSummary::of(h)));
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Convenience: the value of a counter, if `name` is one.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the value of a gauge, if `name` is one.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Iterates metrics in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Anything that can publish its counters into a [`MetricsRegistry`].
+///
+/// `prefix` namespaces the source (`"bus."`, `"pu3.mshr."`); implementors
+/// prepend it to every name they register.
+pub trait MetricSource {
+    /// Exports this component's metrics under `prefix`.
+    fn export_metrics(&self, prefix: &str, reg: &mut MetricsRegistry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_registration_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("z.last", 1);
+        reg.counter("a.first", 2);
+        reg.gauge("m.mid", 0.5);
+        let names: Vec<&str> = reg.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["z.last", "a.first", "m.mid"]);
+    }
+
+    #[test]
+    fn replaces_in_place() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x", 1);
+        reg.counter("y", 2);
+        reg.counter("x", 10);
+        assert_eq!(reg.counter_value("x"), Some(10));
+        let names: Vec<&str> = reg.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["x", "y"], "replacement keeps position");
+    }
+
+    #[test]
+    fn ratio_guards_zero_denominator() {
+        let mut reg = MetricsRegistry::new();
+        reg.ratio("ok", 1, 4);
+        reg.ratio("div0", 1, 0);
+        assert_eq!(reg.gauge_value("ok"), Some(0.25));
+        assert_eq!(reg.gauge_value("div0"), Some(0.0));
+    }
+
+    #[test]
+    fn histogram_summary_carries_sentinels() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("empty", &Histogram::new(1, 4));
+        let mut h = Histogram::new(10, 2);
+        h.record(500);
+        reg.histogram("overflowed", &h);
+        match reg.get("empty") {
+            Some(MetricValue::Histogram(s)) => {
+                assert_eq!(s.total, 0);
+                assert_eq!(s.p50, None);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        match reg.get("overflowed") {
+            Some(MetricValue::Histogram(s)) => {
+                assert_eq!(s.overflow, 1);
+                assert_eq!(s.p50, Some(20), "overflow sentinel = buckets*width");
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

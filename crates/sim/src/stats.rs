@@ -153,21 +153,38 @@ impl Histogram {
         self.total
     }
 
-    /// The smallest value `v` such that at least `q` (0..=1) of samples are
-    /// `< v + width` — a bucket-resolution quantile. Returns 0 if empty.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// The first sample value not representable by a regular bucket:
+    /// `buckets * width`. [`quantile`](Histogram::quantile) returns this
+    /// value as its documented sentinel whenever the requested quantile
+    /// falls in the overflow bucket, where the true sample values are
+    /// unknown.
+    pub fn overflow_threshold(&self) -> u64 {
+        self.counts.len() as u64 * self.width
+    }
+
+    /// The smallest value `v` such that at least `q` (0..=1) of samples
+    /// are `< v + width` — a bucket-resolution quantile.
+    ///
+    /// Edge cases are explicit rather than arbitrary buckets:
+    ///
+    /// * an **empty** histogram has no quantiles — returns `None`;
+    /// * a quantile landing in the **overflow** bucket (including the
+    ///   all-overflow histogram) returns
+    ///   `Some(`[`overflow_threshold()`](Histogram::overflow_threshold)`)`,
+    ///   a sentinel meaning "at or beyond the tracked range".
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
-            return 0;
+            return None;
         }
         let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
         let mut seen = 0;
         for (i, c) in self.counts.iter().enumerate() {
             seen += c;
-            if seen >= target {
-                return i as u64 * self.width;
+            if seen >= target && *c > 0 {
+                return Some(i as u64 * self.width);
             }
         }
-        self.counts.len() as u64 * self.width
+        Some(self.overflow_threshold())
     }
 }
 
@@ -215,10 +232,38 @@ mod tests {
         for s in 0..100 {
             h.record(s);
         }
-        assert_eq!(h.quantile(0.5), 49);
-        assert_eq!(h.quantile(0.0), 0);
-        assert_eq!(h.quantile(1.0), 99);
-        assert_eq!(Histogram::new(1, 1).quantile(0.5), 0);
+        assert_eq!(h.quantile(0.5), Some(49));
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(99));
+    }
+
+    #[test]
+    fn histogram_quantile_empty_is_none() {
+        let h = Histogram::new(1, 4);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn histogram_quantile_overflow_sentinel() {
+        // All samples land in overflow: every quantile is the sentinel.
+        let mut h = Histogram::new(10, 3);
+        for s in [30, 99, 1_000] {
+            h.record(s);
+        }
+        assert_eq!(h.overflow_threshold(), 30);
+        assert_eq!(h.quantile(0.0), Some(30));
+        assert_eq!(h.quantile(0.5), Some(30));
+        assert_eq!(h.quantile(1.0), Some(30));
+
+        // Mixed: median in a real bucket, tail in the sentinel.
+        let mut h = Histogram::new(10, 3);
+        for s in [1, 2, 3, 100, 200] {
+            h.record(s);
+        }
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(1.0), Some(h.overflow_threshold()));
     }
 
     #[test]

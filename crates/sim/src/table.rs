@@ -64,14 +64,57 @@ impl Table {
 
     /// Renders the table: header, separator, rows; first column
     /// left-aligned, the rest right-aligned (numeric convention).
+    ///
+    /// Multi-word headers (long metric identifiers like
+    /// `"mshr combine rate"`) wrap at spaces onto extra header lines
+    /// instead of widening their column: a column is only as wide as its
+    /// data and the longest single header *word*, so narrow numeric
+    /// columns stay narrow. Wrapped header lines are bottom-aligned
+    /// against the separator.
     pub fn render(&self) -> String {
         let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        // Data width first; a header only forces width through its
+        // longest word, not its full phrase.
+        let mut widths: Vec<usize> = self
+            .header
+            .iter()
+            .map(|h| {
+                h.split_whitespace()
+                    .map(|w| w.chars().count())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.chars().count());
             }
         }
+        // Greedy-wrap each header into lines no wider than its column.
+        let wrapped: Vec<Vec<String>> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let mut lines: Vec<String> = Vec::new();
+                for word in h.split_whitespace() {
+                    match lines.last_mut() {
+                        Some(last)
+                            if last.chars().count() + 1 + word.chars().count() <= widths[i] =>
+                        {
+                            last.push(' ');
+                            last.push_str(word);
+                        }
+                        _ => lines.push(word.to_string()),
+                    }
+                }
+                if lines.is_empty() {
+                    lines.push(String::new());
+                }
+                lines
+            })
+            .collect();
+        let header_lines = wrapped.iter().map(Vec::len).max().unwrap_or(1);
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::new();
@@ -94,8 +137,22 @@ impl Table {
             }
             line
         };
-        out.push_str(&fmt_row(&self.header, &widths));
-        out.push('\n');
+        for li in 0..header_lines {
+            // Bottom-align: column with fewer lines leaves its top blank.
+            let cells: Vec<String> = wrapped
+                .iter()
+                .map(|lines| {
+                    let offset = header_lines - lines.len();
+                    if li >= offset {
+                        lines[li - offset].clone()
+                    } else {
+                        String::new()
+                    }
+                })
+                .collect();
+            out.push_str(&fmt_row(&cells, &widths));
+            out.push('\n');
+        }
         let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
@@ -156,6 +213,47 @@ mod tests {
     fn long_row_panics() {
         let mut t = Table::new(vec!["a".into(), "b".into()]);
         t.row(vec!["1".into(), "2".into(), "3".into()]);
+    }
+
+    #[test]
+    fn multi_word_headers_wrap_instead_of_widening() {
+        let mut t = Table::new(vec![
+            "memory".into(),
+            "mshr combine rate".into(),
+            "bus utilization".into(),
+        ]);
+        t.row(vec!["svc".into(), "0.12".into(), "0.55".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Three header lines ("mshr combine rate" needs three at width 7,
+        // "bus utilization" needs two at width 11), then separator + row.
+        let sep = lines.iter().position(|l| l.starts_with('-')).unwrap();
+        assert!(sep >= 2, "multi-word headers wrapped onto extra lines");
+        // Column width follows the data/longest word, not the full phrase.
+        let width = lines[sep].len();
+        assert!(
+            width < "memory".len() + "mshr combine rate".len() + "bus utilization".len(),
+            "columns not widened to whole phrases (total {width})"
+        );
+        // Every header word survives the wrap.
+        let header_text = lines[..sep].join(" ");
+        for word in ["memory", "mshr", "combine", "rate", "bus", "utilization"] {
+            assert!(header_text.contains(word), "missing header word {word}");
+        }
+        // Bottom alignment: the last header line holds the last words.
+        assert!(lines[sep - 1].contains("rate"));
+        // Data row still aligned within the separator width.
+        assert!(lines[sep + 1].len() <= width);
+    }
+
+    #[test]
+    fn single_line_headers_render_one_header_line() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].chars().all(|c| c == '-'));
     }
 
     #[test]

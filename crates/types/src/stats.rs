@@ -55,6 +55,15 @@ pub struct MemStats {
     pub l2_hits: u64,
     /// Fills that missed the optional L2 and went to main memory.
     pub l2_misses: u64,
+    /// Primary misses that allocated an MSHR (zero for models without
+    /// MSHRs).
+    pub mshr_misses: u64,
+    /// Secondary misses combined into an outstanding MSHR.
+    pub mshr_combines: u64,
+    /// Cycles accesses stalled waiting for a free MSHR.
+    pub mshr_stall_cycles: u64,
+    /// Cycles castouts stalled on a full writeback buffer.
+    pub wb_stall_cycles: u64,
 }
 
 impl MemStats {
@@ -85,7 +94,7 @@ impl MemStats {
     /// This is the single source of truth for serializers (the JSON
     /// experiment reports iterate it), so adding a field here propagates
     /// to every report without touching the writers.
-    pub fn fields(&self) -> [(&'static str, u64); 16] {
+    pub fn fields(&self) -> [(&'static str, u64); 20] {
         [
             ("loads", self.loads),
             ("stores", self.stores),
@@ -103,7 +112,19 @@ impl MemStats {
             ("replacement_stalls", self.replacement_stalls),
             ("l2_hits", self.l2_hits),
             ("l2_misses", self.l2_misses),
+            ("mshr_misses", self.mshr_misses),
+            ("mshr_combines", self.mshr_combines),
+            ("mshr_stall_cycles", self.mshr_stall_cycles),
+            ("wb_stall_cycles", self.wb_stall_cycles),
         ]
+    }
+
+    /// The fraction of misses that combined into an outstanding MSHR
+    /// instead of allocating a new one:
+    /// `mshr_combines / (mshr_misses + mshr_combines)`. Returns 0.0 for
+    /// models without MSHRs.
+    pub fn mshr_combine_rate(&self) -> f64 {
+        ratio(self.mshr_combines, self.mshr_misses + self.mshr_combines)
     }
 
     /// Field-wise difference `self - earlier`, for measuring a window
@@ -135,6 +156,10 @@ impl MemStats {
             replacement_stalls: d(self.replacement_stalls, earlier.replacement_stalls),
             l2_hits: d(self.l2_hits, earlier.l2_hits),
             l2_misses: d(self.l2_misses, earlier.l2_misses),
+            mshr_misses: d(self.mshr_misses, earlier.mshr_misses),
+            mshr_combines: d(self.mshr_combines, earlier.mshr_combines),
+            mshr_stall_cycles: d(self.mshr_stall_cycles, earlier.mshr_stall_cycles),
+            wb_stall_cycles: d(self.wb_stall_cycles, earlier.wb_stall_cycles),
         }
     }
 }
@@ -214,6 +239,17 @@ mod tests {
         assert_eq!(d.loads, 15);
         assert_eq!(d.stores, 5);
         assert_eq!(d.bus_busy_cycles, 13);
+    }
+
+    #[test]
+    fn mshr_combine_rate() {
+        assert_eq!(MemStats::default().mshr_combine_rate(), 0.0);
+        let s = MemStats {
+            mshr_misses: 6,
+            mshr_combines: 2,
+            ..MemStats::default()
+        };
+        assert!((s.mshr_combine_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -166,6 +166,13 @@ pub trait VersionedMemory {
     /// invalidated (paper §2.2.3). The PU's assignment is released.
     fn squash(&mut self, pu: PuId);
 
+    /// [`squash`](VersionedMemory::squash) with the current cycle, so
+    /// implementations can stamp trace events. The default ignores `now`.
+    fn squash_at(&mut self, pu: PuId, now: Cycle) {
+        let _ = now;
+        self.squash(pu);
+    }
+
     /// Forces all committed state out to the next level of memory, so that
     /// [`architectural`](VersionedMemory::architectural) reflects every
     /// committed store. Used at end-of-run by correctness checks.

@@ -1,22 +1,32 @@
 //! `svc-sim` — command-line front end for the simulator.
 //!
 //! ```text
-//! svc-sim run   [--bench NAME|--kernel NAME|--trace FILE]
+//! svc-sim run   [--bench NAME|--kernel NAME|--replay FILE]
 //!               [--memory svc|arb] [--kb N] [--hit N] [--budget N]
 //!               [--seed N] [--pus N] [--json]
+//!               [--trace] [--trace-filter CATS] [--trace-out PREFIX]
+//! svc-sim trace [--addr N] [workload/memory flags as for run]
 //! svc-sim designs [--bench NAME] [--budget N] [--seed N]
 //! svc-sim list
 //! ```
 //!
 //! `run` executes one workload on one memory system and prints the
 //! report (`--json` emits the machine-readable `svc-experiments/v1`
-//! run object instead); `designs` walks the §3 design progression on
-//! one benchmark; `list` shows the available workloads.
+//! run object instead). With `--trace` it records cycle-stamped events
+//! (`--trace-filter` takes `all` or a comma list like `bus,task`) and
+//! either prints the text log or, with `--trace-out PREFIX`, writes
+//! `PREFIX.log`, `PREFIX.jsonl` and `PREFIX.trace.json` (Perfetto).
+//! `trace` runs a traced cell and prints the squash-forensics report —
+//! a line's version history plus the violation→squash causal chains —
+//! for the line containing `--addr`. `designs` walks the §3 design
+//! progression on one benchmark; `list` shows the available workloads.
 
 use std::process::ExitCode;
 
-use svc_repro::bench::{report, run_source, MemoryKind, NUM_PUS};
+use svc_repro::bench::{report, run_source, run_source_with, MemoryKind, NUM_PUS};
 use svc_repro::multiscalar::{Engine, EngineConfig, TaskSource, VecTaskSource};
+use svc_repro::sim::forensics;
+use svc_repro::sim::trace::{self, Tracer};
 use svc_repro::svc::{SvcConfig, SvcSystem};
 use svc_repro::types::VersionedMemory;
 use svc_repro::workloads::{kernels, Spec95, SyntheticWorkload};
@@ -27,7 +37,7 @@ struct Options {
     command: String,
     bench: Option<String>,
     kernel: Option<String>,
-    trace: Option<String>,
+    replay: Option<String>,
     memory: String,
     kb: usize,
     hit: u64,
@@ -35,6 +45,10 @@ struct Options {
     seed: u64,
     pus: usize,
     json: bool,
+    trace: bool,
+    trace_filter: String,
+    trace_out: Option<String>,
+    addr: Option<u64>,
 }
 
 impl Default for Options {
@@ -43,7 +57,7 @@ impl Default for Options {
             command: String::new(),
             bench: None,
             kernel: None,
-            trace: None,
+            replay: None,
             memory: "svc".to_string(),
             kb: 8,
             hit: 1,
@@ -51,6 +65,10 @@ impl Default for Options {
             seed: 42,
             pus: NUM_PUS,
             json: false,
+            trace: false,
+            trace_filter: "all".to_string(),
+            trace_out: None,
+            addr: None,
         }
     }
 }
@@ -60,7 +78,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
     let mut it = args.iter();
     o.command = it.next().cloned().ok_or("missing command")?;
-    if !matches!(o.command.as_str(), "run" | "designs" | "list") {
+    if !matches!(o.command.as_str(), "run" | "designs" | "list" | "trace") {
         return Err(format!("unknown command {:?}", o.command));
     }
     while let Some(flag) = it.next() {
@@ -72,7 +90,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         match flag.as_str() {
             "--bench" | "-b" => o.bench = Some(value()?),
             "--kernel" | "-k" => o.kernel = Some(value()?),
-            "--trace" | "-t" => o.trace = Some(value()?),
+            "--replay" | "-r" => o.replay = Some(value()?),
             "--memory" | "-m" => o.memory = value()?,
             "--kb" => o.kb = value()?.parse().map_err(|e| format!("--kb: {e}"))?,
             "--hit" => o.hit = value()?.parse().map_err(|e| format!("--hit: {e}"))?,
@@ -80,19 +98,30 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--pus" => o.pus = value()?.parse().map_err(|e| format!("--pus: {e}"))?,
             "--json" => o.json = true,
+            "--trace" | "-t" => o.trace = true,
+            "--trace-filter" => o.trace_filter = value()?,
+            "--trace-out" => o.trace_out = Some(value()?),
+            "--addr" => o.addr = Some(value()?.parse().map_err(|e| format!("--addr: {e}"))?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if [o.bench.is_some(), o.kernel.is_some(), o.trace.is_some()]
+    if [o.bench.is_some(), o.kernel.is_some(), o.replay.is_some()]
         .into_iter()
         .filter(|&b| b)
         .count()
         > 1
     {
-        return Err("--bench, --kernel and --trace are mutually exclusive".to_string());
+        return Err("--bench, --kernel and --replay are mutually exclusive".to_string());
     }
     if !matches!(o.memory.as_str(), "svc" | "arb") {
         return Err(format!("--memory must be svc or arb, got {:?}", o.memory));
+    }
+    // Validate the filter up front so a typo fails before a long run.
+    if o.trace || o.command == "trace" {
+        trace::parse_filter(&o.trace_filter).map_err(|e| format!("--trace-filter: {e}"))?;
+    }
+    if o.command == "trace" && o.addr.is_none() {
+        return Err("`svc-sim trace` needs --addr".to_string());
     }
     Ok(o)
 }
@@ -149,32 +178,101 @@ fn engine_config(o: &Options, wl: Option<&SyntheticWorkload>) -> EngineConfig {
     cfg
 }
 
-fn cmd_run(o: &Options) -> Result<(), String> {
-    let memory = match o.memory.as_str() {
+fn memory_kind(o: &Options) -> MemoryKind {
+    match o.memory.as_str() {
         "svc" => MemoryKind::Svc { kb_per_cache: o.kb },
         _ => MemoryKind::Arb {
             hit_cycles: o.hit,
             cache_kb: o.kb.max(32),
         },
+    }
+}
+
+/// Builds the tracer the options ask for (`Tracer::disabled()` when
+/// tracing is off; ring capacity from `SVC_TRACE_CAP` as usual).
+fn cli_tracer(o: &Options, force: bool) -> Result<Tracer, String> {
+    if !o.trace && !force {
+        return Ok(Tracer::disabled());
+    }
+    let mask = trace::parse_filter(&o.trace_filter).map_err(|e| format!("--trace-filter: {e}"))?;
+    let capacity = std::env::var("SVC_TRACE_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(trace::DEFAULT_CAPACITY);
+    Ok(Tracer::new(mask, capacity))
+}
+
+/// Runs the selected workload (bench/kernel/replay) on the selected
+/// memory system. An active `tracer` is attached explicitly; a disabled
+/// one falls back to [`run_source`], which keeps the `SVC_TRACE` /
+/// `SVC_TRACE_OUT` environment knobs working. Returns the result and
+/// the workload's display name.
+fn run_selected(
+    o: &Options,
+    tracer: Tracer,
+) -> Result<(svc_repro::bench::ExperimentResult, String), String> {
+    let memory = memory_kind(o);
+    let run = |src: &dyn TaskSource, cfg: EngineConfig| {
+        if tracer.is_active() {
+            run_source_with(src, memory, cfg, tracer.clone())
+        } else {
+            run_source(src, memory, cfg)
+        }
     };
-    let (result, name) = if let Some(path) = &o.trace {
+    Ok(if let Some(path) = &o.replay {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let src = svc_repro::workloads::parse_trace(&text).map_err(|e| e.to_string())?;
-        (
-            run_source(&src, memory, engine_config(o, None)),
-            path.clone(),
-        )
+        (run(&src, engine_config(o, None)), path.clone())
     } else if let Some(k) = &o.kernel {
         let src = lookup_kernel(k, o.seed)?;
-        (run_source(&src, memory, engine_config(o, None)), k.clone())
+        (run(&src, engine_config(o, None)), k.clone())
     } else {
         let bench = lookup_bench(o.bench.as_deref().unwrap_or("gcc"))?;
         let wl = bench.workload(o.seed);
         (
-            run_source(&wl, memory, engine_config(o, Some(&wl))),
+            run(&wl, engine_config(o, Some(&wl))),
             bench.name().to_string(),
         )
-    };
+    })
+}
+
+/// Writes (with `--trace-out PREFIX`) or prints the recorded trace.
+fn emit_trace(o: &Options, tracer: &Tracer, title: &str) -> Result<(), String> {
+    let records = tracer.records();
+    if let Some(prefix) = &o.trace_out {
+        for (ext, text) in [
+            ("log", trace::render_text(&records)),
+            ("jsonl", trace::render_jsonl(&records)),
+            ("trace.json", trace::render_chrome(&records, title)),
+        ] {
+            let path = format!("{prefix}.{ext}");
+            std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
+        }
+        eprintln!(
+            "trace: {} events ({} dropped) -> {}.{{log,jsonl,trace.json}}",
+            records.len(),
+            tracer.dropped(),
+            o.trace_out.as_deref().unwrap_or("")
+        );
+    } else {
+        print!("{}", trace::render_text(&records));
+        if tracer.dropped() > 0 {
+            eprintln!(
+                "trace: ring wrapped, {} oldest events dropped (raise SVC_TRACE_CAP)",
+                tracer.dropped()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(o: &Options) -> Result<(), String> {
+    let tracer = cli_tracer(o, false)?;
+    let (result, name) = run_selected(o, tracer.clone())?;
+    if tracer.is_active() {
+        emit_trace(o, &tracer, &name)?;
+    }
     if o.json {
         println!(
             "{}",
@@ -208,6 +306,30 @@ fn cmd_run(o: &Options) -> Result<(), String> {
         r.mem.writebacks,
         r.mem.snarfs
     );
+    Ok(())
+}
+
+/// `svc-sim trace`: run a fully traced cell and print the forensics
+/// report for the line containing `--addr`.
+fn cmd_trace(o: &Options) -> Result<(), String> {
+    let addr = o.addr.expect("parse() enforces --addr for `trace`");
+    let tracer = cli_tracer(o, true)?;
+    let (_, name) = run_selected(o, tracer.clone())?;
+    let records = tracer.records();
+    let wpl = match o.memory.as_str() {
+        "svc" => SvcConfig::paper_geometry(o.kb).words_per_line() as u64,
+        _ => svc_repro::arb::ArbConfig::paper(o.pus, o.hit, o.kb.max(32))
+            .cache_geometry
+            .words_per_line() as u64,
+    };
+    let line = forensics::line_of(svc_repro::types::Addr(addr), wpl);
+    println!(
+        "workload {name}: {} traced events ({} dropped), line {} (addr {addr}, {wpl} words/line)",
+        records.len(),
+        tracer.dropped(),
+        line.0
+    );
+    print!("{}", forensics::render_line_report(&records, line, wpl));
     Ok(())
 }
 
@@ -250,7 +372,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: svc-sim run|designs|list [flags] (see `cargo doc`)");
+            eprintln!("usage: svc-sim run|trace|designs|list [flags] (see `cargo doc`)");
             return ExitCode::from(2);
         }
     };
@@ -260,6 +382,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         "run" => cmd_run(&opts),
+        "trace" => cmd_trace(&opts),
         _ => cmd_designs(&opts),
     };
     match result {
@@ -320,10 +443,40 @@ mod tests {
     }
 
     #[test]
-    fn parse_trace_flag() {
-        let o = parse(&argv("run --trace foo.trace")).unwrap();
-        assert_eq!(o.trace.as_deref(), Some("foo.trace"));
-        assert!(parse(&argv("run --trace f --kernel reduction")).is_err());
+    fn parse_replay_flag() {
+        let o = parse(&argv("run --replay foo.trace")).unwrap();
+        assert_eq!(o.replay.as_deref(), Some("foo.trace"));
+        assert!(parse(&argv("run --replay f --kernel reduction")).is_err());
+    }
+
+    #[test]
+    fn parse_trace_flags() {
+        let o = parse(&argv("run --trace")).unwrap();
+        assert!(o.trace);
+        assert_eq!(o.trace_filter, "all");
+        let o = parse(&argv(
+            "run --trace --trace-filter bus,task --trace-out /tmp/t",
+        ))
+        .unwrap();
+        assert_eq!(o.trace_filter, "bus,task");
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t"));
+        // A bad filter fails at parse time, not after the run.
+        assert!(parse(&argv("run --trace --trace-filter nonsense")).is_err());
+        // --trace-filter without --trace is accepted but unvalidated
+        // only when tracing is off for a plain run.
+        assert!(parse(&argv("run --trace-filter bus")).is_ok());
+    }
+
+    #[test]
+    fn parse_trace_subcommand() {
+        let o = parse(&argv("trace --addr 128 --bench gcc")).unwrap();
+        assert_eq!(o.command, "trace");
+        assert_eq!(o.addr, Some(128));
+        assert!(
+            parse(&argv("trace --bench gcc")).is_err(),
+            "--addr required"
+        );
+        assert!(parse(&argv("trace --addr 1 --trace-filter bogus")).is_err());
     }
 
     #[test]
