@@ -6,8 +6,8 @@ use std::collections::HashMap;
 use svc_mem::{CacheGeometry, MainMemory};
 use svc_sim::trace::{AccessOp, Category, TraceEvent, Tracer};
 use svc_types::{
-    AccessError, Addr, Cycle, DataSource, LoadOutcome, MemStats, PuId, StoreOutcome,
-    TaskAssignments, TaskId, VersionedMemory, Violation, Word,
+    AccessError, Addr, Cycle, DataSource, InvariantKind, InvariantViolation, LoadOutcome, MemStats,
+    PuId, StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Violation, Word,
 };
 
 /// Configuration of an [`ArbSystem`].
@@ -167,6 +167,18 @@ impl ArbSystem {
         self.rows[i] = Row::new(addr, self.config.num_pus);
         self.index.insert(addr, i);
         Ok(i)
+    }
+
+    /// Deliberately corrupts the ARB row tracking `addr`: its recorded
+    /// address is flipped so the index no longer agrees with the row.
+    /// Returns `false` if no row tracks `addr`. **Watchdog drill only.**
+    #[doc(hidden)]
+    pub fn fault_corrupt_row(&mut self, addr: Addr) -> bool {
+        let Some(&i) = self.index.get(&addr) else {
+            return false;
+        };
+        self.rows[i].addr = Addr(addr.0 ^ 1);
+        true
     }
 
     /// PUs ordered oldest-task-first, as `(stage index, task)`.
@@ -353,6 +365,76 @@ impl VersionedMemory for ArbSystem {
         self.assignments.release(pu);
     }
 
+    fn check_invariants(&self, now: Cycle) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        // The address index and the row table must agree exactly.
+        for (&addr, &i) in &self.index {
+            if i >= self.rows.len() || self.rows[i].addr != addr {
+                out.push(InvariantViolation {
+                    kind: InvariantKind::Structure,
+                    pu: None,
+                    line: None,
+                    cycle: now,
+                    detail: format!("index maps {addr} to row {i}, which does not track it"),
+                });
+            }
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            if !self.free.contains(&i) && self.index.get(&row.addr) != Some(&i) {
+                out.push(InvariantViolation {
+                    kind: InvariantKind::Structure,
+                    pu: None,
+                    line: None,
+                    cycle: now,
+                    detail: format!("row {i} tracking {} is not indexed", row.addr),
+                });
+            }
+            // A stage with load/store bits must belong to a running task.
+            for (p, stage) in row.stages.iter().enumerate() {
+                if (stage.loaded || stage.stored) && self.assignments.task_of(PuId(p)).is_none() {
+                    out.push(InvariantViolation {
+                        kind: InvariantKind::Orphan,
+                        pu: Some(PuId(p)),
+                        line: None,
+                        cycle: now,
+                        detail: format!(
+                            "stage bits for {} in the row tracking {} but no task assigned",
+                            PuId(p),
+                            row.addr
+                        ),
+                    });
+                }
+            }
+        }
+        // Free entries must be in range and must not be indexed.
+        for &i in &self.free {
+            if i >= self.rows.len() {
+                out.push(InvariantViolation {
+                    kind: InvariantKind::Structure,
+                    pu: None,
+                    line: None,
+                    cycle: now,
+                    detail: format!("free-list entry {i} is out of range"),
+                });
+            }
+        }
+        out
+    }
+
+    fn check_post_squash(&self, pu: PuId, now: Cycle) -> Vec<InvariantViolation> {
+        self.rows
+            .iter()
+            .filter(|row| row.stages[pu.index()].loaded || row.stages[pu.index()].stored)
+            .map(|row| InvariantViolation {
+                kind: InvariantKind::SquashResidue,
+                pu: Some(pu),
+                line: None,
+                cycle: now,
+                detail: format!("stage bits for {} survived the squash", row.addr),
+            })
+            .collect()
+    }
+
     fn drain(&mut self) {
         for row in &mut self.rows {
             if let Some(v) = row.arch.take() {
@@ -497,6 +579,23 @@ mod tests {
         a.commit(PuId(1), Cycle(1));
         a.assign(PuId(1), TaskId(2));
         a.store(PuId(1), Addr(8), Word(3), Cycle(2)).unwrap();
+    }
+
+    #[test]
+    fn watchdog_clean_then_catches_corruption() {
+        let mut a = arb();
+        a.store(PuId(0), Addr(4), Word(5), Cycle(0)).unwrap();
+        a.load(PuId(1), Addr(4), Cycle(1)).unwrap();
+        assert_eq!(a.check_invariants(Cycle(2)), Vec::new());
+        a.squash(PuId(1));
+        assert_eq!(a.check_post_squash(PuId(1), Cycle(3)), Vec::new());
+        assert_eq!(a.check_invariants(Cycle(3)), Vec::new());
+        assert!(a.fault_corrupt_row(Addr(4)));
+        let found = a.check_invariants(Cycle(4));
+        assert!(
+            found.iter().any(|v| v.kind == InvariantKind::Structure),
+            "got {found:?}"
+        );
     }
 
     #[test]

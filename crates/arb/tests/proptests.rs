@@ -1,9 +1,12 @@
 //! Property-based conformance of the ARB against the oracle, over
-//! arbitrary workloads, schedules and structural pressure.
+//! arbitrary workloads, schedules and structural pressure — plus
+//! watchdog properties: silent on healthy runs, corruption always
+//! caught.
 
 use proptest::prelude::*;
-use svc::conformance::{run_lockstep, Workload};
+use svc::conformance::{run_lockstep, Watched, Workload};
 use svc_arb::{ArbConfig, ArbSystem};
+use svc_types::{Addr, Cycle, PuId, TaskId, VersionedMemory, Word};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
@@ -46,5 +49,60 @@ proptest! {
             seed, tasks, addr_space, pus, store_pct as f64 / 100.0,
         );
         run_lockstep(&wl, ArbSystem::new(ArbConfig::paper(pus, 2, 32)), seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The ARB watchdog stays silent across whole healthy executions:
+    /// `Watched` sweeps `check_invariants` after every operation and
+    /// panics on the first violation, so completing the lockstep run IS
+    /// the assertion.
+    #[test]
+    fn arb_watchdog_is_silent_on_healthy_runs(
+        seed in 0u64..1_000_000,
+        tasks in 2usize..20,
+        addr_space in 4u64..40,
+        pus in 2usize..5,
+        store_pct in 10u64..86,
+    ) {
+        let wl = Workload::random_with_density(
+            seed, tasks, addr_space, pus, store_pct as f64 / 100.0,
+        );
+        run_lockstep(&wl, Watched(ArbSystem::new(ArbConfig::paper(pus, 2, 32))), seed);
+    }
+
+    /// A corrupted row (address flipped under the index) is caught from
+    /// ANY reachable speculative state.
+    #[test]
+    fn arb_corrupted_row_is_always_caught(
+        seed in 0u64..1_000_000,
+        pus in 2usize..5,
+        ops in 1usize..24,
+    ) {
+        let mut arb = ArbSystem::new(ArbConfig::paper(pus, 1, 32));
+        let wl = Workload::random(seed, pus, 24, pus);
+        let mut now = Cycle(0);
+        for (i, task) in wl.tasks.iter().enumerate() {
+            let pu = PuId(i);
+            arb.assign(pu, TaskId(i as u64));
+            for op in task.iter().take(ops) {
+                now += 1;
+                match *op {
+                    svc::conformance::Op::Load(a) => { let _ = arb.load(pu, a, now); }
+                    svc::conformance::Op::Store(a, _) => {
+                        let _ = arb.store(pu, a, Word(i as u64 + 1), now);
+                    }
+                }
+            }
+        }
+        prop_assume!(arb.check_invariants(now).is_empty());
+        let hit = (0..24u64).any(|a| arb.fault_corrupt_row(Addr(a)));
+        prop_assume!(hit);
+        prop_assert!(
+            !arb.check_invariants(now).is_empty(),
+            "corrupted ARB row escaped the watchdog"
+        );
     }
 }

@@ -19,7 +19,7 @@
 //! Run all: `cargo run --release -p svc-bench --bin ablations`
 
 use svc::{SvcConfig, SvcSystem};
-use svc_bench::{harness, publish_paper_grid, ExperimentResult, PAPER_SEED};
+use svc_bench::{cli, harness, publish_paper_grid, ExperimentResult, PAPER_SEED};
 use svc_mem::CacheGeometry;
 use svc_multiscalar::{Engine, EngineConfig, PredictorModel, TaskSource};
 use svc_workloads::kernels;
@@ -267,6 +267,7 @@ fn show(label: &str, r: &ExperimentResult) {
 }
 
 fn main() {
+    cli::reject_args("ablations");
     let mut jobs = Vec::new();
     for &(study, arm_a, label_a, arm_b, label_b) in &STUDIES {
         jobs.push((study, arm_a, label_a));
@@ -339,7 +340,10 @@ fn main() {
     show(STUDIES[6].2, inv);
     show(STUDIES[6].4, upd);
 
-    publish_paper_grid("ablations", 0, &outcome).expect("write results/ablations.json");
+    cli::check_io(
+        "results/ablations.json",
+        publish_paper_grid("ablations", 0, &outcome),
+    );
 
     println!();
     if failures == 0 {

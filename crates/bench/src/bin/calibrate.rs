@@ -7,7 +7,7 @@
 //! The 35-cell grid runs through the parallel harness and writes
 //! `results/calibrate.json`.
 
-use svc_bench::{cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
+use svc_bench::{cli, cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
 use svc_sim::table::{fmt_ipc, fmt_ratio, Table};
 use svc_workloads::Spec95;
 
@@ -24,6 +24,7 @@ const PAPER: [(&str, f64, f64, f64, f64); 7] = [
 ];
 
 fn main() {
+    cli::reject_args("calibrate");
     let budget = instruction_budget();
     let memories: Vec<MemoryKind> = (1..=4)
         .map(|h| MemoryKind::Arb {
@@ -66,5 +67,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    publish_paper_grid("calibrate", budget, &outcome).expect("write results/calibrate.json");
+    cli::check_io(
+        "results/calibrate.json",
+        publish_paper_grid("calibrate", budget, &outcome),
+    );
 }

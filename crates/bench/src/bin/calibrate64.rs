@@ -1,10 +1,11 @@
 //! 64KB-total calibration view (Figure 20's configuration). Runs
 //! through the parallel harness and writes `results/calibrate64.json`.
-use svc_bench::{cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
+use svc_bench::{cli, cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
 use svc_sim::table::{fmt_ipc, fmt_ratio, Table};
 use svc_workloads::Spec95;
 
 fn main() {
+    cli::reject_args("calibrate64");
     let budget = instruction_budget();
     let memories: Vec<MemoryKind> = (1..=4)
         .map(|h| MemoryKind::Arb {
@@ -41,5 +42,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    publish_paper_grid("calibrate64", budget, &outcome).expect("write results/calibrate64.json");
+    cli::check_io(
+        "results/calibrate64.json",
+        publish_paper_grid("calibrate64", budget, &outcome),
+    );
 }

@@ -1,7 +1,7 @@
 //! Per-event diagnostics used while calibrating the workload models.
 //! Runs its 6 cells through the parallel harness; purely a console
 //! tool, so it writes no results artifact.
-use svc_bench::{cross, instruction_budget, run_paper_grid, MemoryKind};
+use svc_bench::{cli, cross, instruction_budget, run_paper_grid, MemoryKind};
 use svc_workloads::Spec95;
 
 const BENCHES: [Spec95; 3] = [Spec95::Gcc, Spec95::Compress, Spec95::Mgrid];
@@ -14,6 +14,7 @@ const MEMORIES: [MemoryKind; 2] = [
 ];
 
 fn main() {
+    cli::reject_args("diag");
     let jobs = cross(&BENCHES, &MEMORIES);
     let outcome = run_paper_grid(&jobs, instruction_budget());
     for (i, b) in BENCHES.into_iter().enumerate() {

@@ -13,13 +13,15 @@
 
 use svc_bench::harness::GridOutcome;
 use svc_bench::{
-    cross, instruction_budget, publish_paper_grid, run_paper_grid, ExperimentResult, MemoryKind,
+    cli, cross, instruction_budget, publish_paper_grid, run_paper_grid, ExperimentResult,
+    MemoryKind,
 };
 use svc_sim::table::{fmt_ipc, fmt_pct, Table};
 use svc_workloads::Spec95;
 
 #[allow(dead_code)]
 fn main() {
+    cli::reject_args("fig19");
     let run = run_figure(
         "fig19",
         32,
@@ -116,6 +118,9 @@ pub fn run_figure(name: &str, arb_kb: usize, svc_kb: usize, title: &str) -> Figu
     for c in checks {
         println!("{c}");
     }
-    publish_paper_grid(name, budget, &outcome).expect("write results JSON");
+    cli::check_io(
+        format!("results/{name}.json"),
+        publish_paper_grid(name, budget, &outcome),
+    );
     FigureRun { outcome, ok }
 }

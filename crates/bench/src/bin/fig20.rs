@@ -10,6 +10,7 @@
 mod fig19_impl;
 
 fn main() {
+    svc_bench::cli::reject_args("fig20");
     let run = fig19_impl::run_figure(
         "fig20",
         64,

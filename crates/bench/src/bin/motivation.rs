@@ -15,7 +15,7 @@
 
 use svc::{SvcConfig, SvcSystem};
 use svc_arb::{ArbConfig, ArbSystem};
-use svc_bench::{harness, publish_paper_grid, ExperimentResult, NUM_PUS, PAPER_SEED};
+use svc_bench::{cli, harness, publish_paper_grid, ExperimentResult, NUM_PUS, PAPER_SEED};
 use svc_lsq::{LsqConfig, LsqMemory};
 use svc_multiscalar::{Engine, EngineConfig, RunReport};
 use svc_sim::table::{fmt_ipc, Table};
@@ -93,6 +93,7 @@ fn run_cell(bench: Spec95, design: Design, budget: u64) -> ExperimentResult {
 const BENCHES: [Spec95; 3] = [Spec95::Compress, Spec95::Gcc, Spec95::Mgrid];
 
 fn main() {
+    cli::reject_args("motivation");
     let budget: u64 = std::env::var("SVC_EXPERIMENT_BUDGET")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -133,6 +134,9 @@ fn main() {
     println!("{}", t.render());
     println!("LSQ-16/LSQ-64: 16- vs 64-entry store/load queues (capacity stalls);");
     println!("ARB-2c: contention-free shared buffer, 2-cycle hits; SVC: 4x8KB.");
-    publish_paper_grid("motivation", budget, &outcome).expect("write results/motivation.json");
+    cli::check_io(
+        "results/motivation.json",
+        publish_paper_grid("motivation", budget, &outcome),
+    );
     std::process::exit(i32::from(!ok));
 }

@@ -13,11 +13,23 @@
 //!   absolute floor (ratios near zero would make pure relative error
 //!   hair-triggered).
 //!
+//! The grid runs under the failsafe harness, so a crashing cell does not
+//! hide the health of the rest: each cell is classified `OK`, `DRIFT`
+//! (ran, but a metric moved), `FAILED` (panicked or exhausted its cycle
+//! cap — reported with the cell's seed for reproduction), or `MISSING`
+//! (no baseline entry).
+//!
 //! Usage: `regress` to check, `regress --update` to rewrite the
 //! baseline after an intentional behavior change.
+//!
+//! Exit codes: 0 clean, 1 drift, 2 usage, 3 baseline I/O,
+//! 4 failed cells (simulator crash/timeout — worse than drift).
 
+use std::process::ExitCode;
+
+use svc_bench::cli::CliError;
 use svc_bench::report::{self, Json};
-use svc_bench::{cross, run_derived_grid, MemoryKind};
+use svc_bench::{cross, run_derived_grid_failsafe, MemoryKind};
 use svc_workloads::Spec95;
 
 /// Pinned grid parameters. Changing any of these invalidates the
@@ -57,17 +69,25 @@ fn baseline_path() -> std::path::PathBuf {
         .unwrap_or_else(|| report::results_dir().join("baseline.json"))
 }
 
-fn fresh_doc() -> Json {
+struct Fresh {
+    doc: Json,
+    failures: Vec<svc_bench::harness::JobFailure>,
+}
+
+fn fresh_doc() -> Fresh {
     let jobs = cross(&BENCHES, &MEMORIES);
-    let outcome = run_derived_grid(&jobs, GRID_SEED, BUDGET);
+    let outcome = run_derived_grid_failsafe(&jobs, GRID_SEED, BUDGET);
     let seeds = svc_bench::harness::job_seeds(GRID_SEED, jobs.len());
     let runs = outcome
         .results
         .iter()
         .zip(&seeds)
-        .map(|(r, &s)| report::experiment_result_json(r, s))
+        .filter_map(|(r, &s)| r.as_ref().map(|r| report::experiment_result_json(r, s)))
         .collect();
-    report::experiment_doc("regress", BUDGET, GRID_SEED, runs)
+    Fresh {
+        doc: report::experiment_doc_failsafe("regress", BUDGET, GRID_SEED, runs, &outcome.failures),
+        failures: outcome.failures,
+    }
 }
 
 fn run_key(run: &Json) -> String {
@@ -78,34 +98,62 @@ fn run_key(run: &Json) -> String {
     )
 }
 
-fn main() {
-    let update = std::env::args().any(|a| a == "--update");
+fn run(update: bool) -> Result<ExitCode, CliError> {
     let path = baseline_path();
     let fresh = fresh_doc();
 
-    if update {
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir).expect("create results dir");
-        }
-        std::fs::write(&path, fresh.render()).expect("write baseline");
-        println!("baseline updated: {}", path.display());
-        return;
+    // Cells that never produced metrics: report them regardless of mode.
+    // `FAILED` is a different statement than `DRIFT` — the simulator
+    // crashed or ran out of cycles, so there is nothing to compare.
+    let jobs = cross(&BENCHES, &MEMORIES);
+    for f in &fresh.failures {
+        let job = &jobs[f.index];
+        println!(
+            "FAILED {}/{}: {} after {} attempt(s) at seed {:#x}{}{}",
+            job.bench.name(),
+            job.memory.label(svc_bench::NUM_PUS),
+            f.error.kind(),
+            f.attempts,
+            f.seed,
+            if f.error.detail().is_empty() {
+                ""
+            } else {
+                ": "
+            },
+            f.error.detail(),
+        );
     }
 
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!(
-                "no baseline at {} ({e}); run `regress --update` to create one",
-                path.display()
-            );
-            std::process::exit(2);
+    if update {
+        if !fresh.failures.is_empty() {
+            return Err(CliError::Invariant(format!(
+                "refusing to update the baseline: {} grid cell(s) failed",
+                fresh.failures.len()
+            )));
         }
-    };
-    let baseline = report::parse(&text).unwrap_or_else(|e| {
-        eprintln!("baseline {} is not valid JSON: {e}", path.display());
-        std::process::exit(2);
-    });
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir.display(), e))?;
+        }
+        std::fs::write(&path, fresh.doc.render()).map_err(|e| CliError::io(path.display(), e))?;
+        println!("baseline updated: {}", path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        CliError::io(
+            format!(
+                "{} (run `regress --update` to create a baseline)",
+                path.display()
+            ),
+            e,
+        )
+    })?;
+    let baseline = report::parse(&text).map_err(|e| {
+        CliError::Io(format!(
+            "baseline {} is not valid JSON: {e}",
+            path.display()
+        ))
+    })?;
 
     let empty = [];
     let base_runs = baseline
@@ -113,6 +161,7 @@ fn main() {
         .and_then(Json::as_arr)
         .unwrap_or(&empty);
     let fresh_runs = fresh
+        .doc
         .get("runs")
         .and_then(Json::as_arr)
         .expect("fresh runs");
@@ -145,25 +194,60 @@ fn main() {
             }
         }
     }
-    if base_runs.len() != fresh_runs.len() {
+    // Failed cells are absent from `runs`, so only flag a shape mismatch
+    // the failures don't already explain.
+    if base_runs.len() != fresh_runs.len() + fresh.failures.len() {
         println!(
-            "GRID SHAPE: baseline has {} runs, fresh grid has {}",
+            "GRID SHAPE: baseline has {} runs, fresh grid has {} (+{} failed)",
             base_runs.len(),
-            fresh_runs.len()
+            fresh_runs.len(),
+            fresh.failures.len()
         );
         drifted += 1;
     }
 
+    if !fresh.failures.is_empty() {
+        println!(
+            "regress: {} cell(s) FAILED, {drifted} drift(s) against {}",
+            fresh.failures.len(),
+            path.display()
+        );
+        return Err(CliError::Invariant(format!(
+            "{} grid cell(s) failed to produce metrics",
+            fresh.failures.len()
+        )));
+    }
     if drifted == 0 {
         println!(
             "regress: {compared} metrics within tolerance of {}",
             path.display()
         );
+        Ok(ExitCode::SUCCESS)
     } else {
         println!(
             "regress: {drifted} drift(s) detected against {}",
             path.display()
         );
-        std::process::exit(1);
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut update = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--update" => update = true,
+            other => {
+                eprintln!("usage error: unknown argument {other:?}\nusage: regress [--update]");
+                return ExitCode::from(svc_bench::cli::EXIT_USAGE);
+            }
+        }
+    }
+    match run(update) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(e.exit_code())
+        }
     }
 }

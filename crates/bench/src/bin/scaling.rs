@@ -9,7 +9,7 @@
 //! through the parallel harness and writes `results/scaling.json`; the
 //! memory labels encode the PU count (e.g. `SVC-8x8KB`).
 
-use svc_bench::{harness, publish_paper_grid, run_source, MemoryKind, PAPER_SEED};
+use svc_bench::{cli, harness, publish_paper_grid, run_source, MemoryKind, PAPER_SEED};
 use svc_multiscalar::EngineConfig;
 use svc_sim::table::{fmt_ipc, fmt_ratio, Table};
 use svc_workloads::Spec95;
@@ -25,6 +25,7 @@ const MEMORIES: [MemoryKind; 2] = [
 ];
 
 fn main() {
+    cli::reject_args("scaling");
     let budget: u64 = std::env::var("SVC_EXPERIMENT_BUDGET")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -76,5 +77,8 @@ fn main() {
     println!("Expected shape: both scale with PUs; the SVC's advantage narrows as");
     println!("its snooping bus saturates — the bandwidth ceiling the paper trades");
     println!("against the ARB's latency ceiling.");
-    publish_paper_grid("scaling", budget, &outcome).expect("write results/scaling.json");
+    cli::check_io(
+        "results/scaling.json",
+        publish_paper_grid("scaling", budget, &outcome),
+    );
 }

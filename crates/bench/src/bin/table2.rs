@@ -9,7 +9,7 @@
 //! Runs the 14-cell grid through the parallel harness and writes
 //! `results/table2.json` alongside the text table.
 
-use svc_bench::{cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
+use svc_bench::{cli, cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
 use svc_sim::table::{fmt_ratio, Table};
 use svc_workloads::Spec95;
 
@@ -32,6 +32,7 @@ const MEMORIES: [MemoryKind; 2] = [
 ];
 
 fn main() {
+    cli::reject_args("table2");
     println!("Table 2: Miss Ratios for ARB and SVC (32KB total data storage)\n");
     let budget = instruction_budget();
     let jobs = cross(&Spec95::ALL, &MEMORIES);
@@ -79,6 +80,9 @@ fn main() {
             }
         );
     }
-    publish_paper_grid("table2", budget, &outcome).expect("write results/table2.json");
+    cli::check_io(
+        "results/table2.json",
+        publish_paper_grid("table2", budget, &outcome),
+    );
     std::process::exit(i32::from(!ok));
 }

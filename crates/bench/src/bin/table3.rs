@@ -9,7 +9,7 @@
 //! Runs the 14-cell grid through the parallel harness and writes
 //! `results/table3.json` alongside the text table.
 
-use svc_bench::{cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
+use svc_bench::{cli, cross, instruction_budget, publish_paper_grid, run_paper_grid, MemoryKind};
 use svc_sim::table::{fmt_ratio, Table};
 use svc_workloads::Spec95;
 
@@ -29,6 +29,7 @@ const MEMORIES: [MemoryKind; 2] = [
 ];
 
 fn main() {
+    cli::reject_args("table3");
     println!("Table 3: Snooping Bus Utilization for SVC\n");
     let budget = instruction_budget();
     let jobs = cross(&Spec95::ALL, &MEMORIES);
@@ -84,6 +85,9 @@ fn main() {
             u8kb
         );
     }
-    publish_paper_grid("table3", budget, &outcome).expect("write results/table3.json");
+    cli::check_io(
+        "results/table3.json",
+        publish_paper_grid("table3", budget, &outcome),
+    );
     std::process::exit(i32::from(!ok));
 }

@@ -19,6 +19,7 @@
 //! available parallelism). `SVC_EXPERIMENT_THREADS=1` reproduces the
 //! serial seed-repo behavior exactly.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -104,20 +105,185 @@ where
                     break;
                 }
                 let result = run(&jobs[i], seeds[i]);
-                *slots[i].lock().expect("result slot") = Some(result);
+                // Poison-tolerant: a panic elsewhere must not discard a
+                // finished result.
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
             });
         }
     });
     let results = slots
         .into_iter()
-        .map(|slot| {
+        .enumerate()
+        .map(|(i, slot)| {
             slot.into_inner()
-                .expect("result slot")
-                .expect("every job ran")
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| panic!("job {i}: worker thread died before storing a result"))
         })
         .collect();
     GridOutcome {
         results,
+        threads: workers,
+        wall: started.elapsed(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failsafe (graceful-degradation) runner
+// ---------------------------------------------------------------------
+
+/// Why one grid cell failed in [`run_grid_failsafe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked; the payload is the panic message.
+    Panic(String),
+    /// The job exceeded its deterministic cycle budget (reported by the
+    /// job itself — the harness never uses wall-clock deadlines, which
+    /// would break reproducibility).
+    Timeout,
+    /// The worker thread died before storing any result for this job
+    /// (only possible if the panic escaped [`std::panic::catch_unwind`],
+    /// e.g. an abort-on-drop; recorded rather than lost).
+    WorkerDied,
+}
+
+impl JobError {
+    /// Stable short tag (`panic` / `timeout` / `worker_died`) used in
+    /// the `svc-experiments/v2` failure records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Panic(_) => "panic",
+            JobError::Timeout => "timeout",
+            JobError::WorkerDied => "worker_died",
+        }
+    }
+
+    /// Human-readable detail (the panic message; empty otherwise).
+    pub fn detail(&self) -> &str {
+        match self {
+            JobError::Panic(msg) => msg,
+            JobError::Timeout | JobError::WorkerDied => "",
+        }
+    }
+}
+
+/// A structured record of one failed grid cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The cell's index in the grid (submission order).
+    pub index: usize,
+    /// The derived seed the cell ran under.
+    pub seed: u64,
+    /// The final error, after retries.
+    pub error: JobError,
+    /// Total attempts made (1 = no retry).
+    pub attempts: u32,
+}
+
+/// The results of one failsafe grid run: every cell either succeeded
+/// (`results[i]` is `Some`) or has a matching [`JobFailure`].
+#[derive(Debug)]
+pub struct FailsafeOutcome<R> {
+    /// Per-job results in grid order; `None` where the cell failed.
+    pub results: Vec<Option<R>>,
+    /// Structured failure records, in grid order.
+    pub failures: Vec<JobFailure>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock time for the whole grid.
+    pub wall: Duration,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_grid_with_threads`] that completes the grid even when cells
+/// fail.
+///
+/// Each cell runs under [`std::panic::catch_unwind`]; a panicking or
+/// `Err`-returning cell is retried up to `retries` more times with the
+/// *same* derived seed (so a flaky pass is still reproducible), then
+/// recorded as a [`JobFailure`] instead of killing the harness. Worker
+/// threads that die anyway (panics that escape `catch_unwind`) poison
+/// nothing: finished results are drained poison-tolerantly and the dead
+/// worker's unfinished cell is reported as [`JobError::WorkerDied`].
+///
+/// `results` and `failures` are byte-identical for any `threads >= 1`:
+/// both are indexed by grid order and seeds derive from the grid seed
+/// and cell index only.
+pub fn run_grid_failsafe<J, R, F>(
+    jobs: &[J],
+    grid_seed: u64,
+    threads: usize,
+    retries: u32,
+    run: F,
+) -> FailsafeOutcome<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J, u64) -> Result<R, JobError> + Sync,
+{
+    let started = Instant::now();
+    let seeds = job_seeds(grid_seed, jobs.len());
+    let workers = threads.clamp(1, jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    type Slot<R> = Mutex<Option<Result<(R, u32), (JobError, u32)>>>;
+    let slots: Vec<Slot<R>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let mut outcome = Err((JobError::WorkerDied, 0));
+                for attempt in 1..=retries.saturating_add(1) {
+                    let caught =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| run(&jobs[i], seeds[i])));
+                    match caught {
+                        Ok(Ok(result)) => {
+                            outcome = Ok((result, attempt));
+                            break;
+                        }
+                        Ok(Err(e)) => outcome = Err((e, attempt)),
+                        Err(payload) => {
+                            outcome = Err((JobError::Panic(panic_message(payload)), attempt))
+                        }
+                    }
+                }
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+            });
+        }
+    });
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut failures = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        let stored = slot
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or(Err((JobError::WorkerDied, 0)));
+        match stored {
+            Ok((result, _)) => results.push(Some(result)),
+            Err((error, attempts)) => {
+                results.push(None);
+                failures.push(JobFailure {
+                    index: i,
+                    seed: seeds[i],
+                    error,
+                    attempts,
+                });
+            }
+        }
+    }
+    FailsafeOutcome {
+        results,
+        failures,
         threads: workers,
         wall: started.elapsed(),
     }
@@ -149,5 +315,83 @@ mod tests {
     fn empty_grid_is_fine() {
         let out: GridOutcome<u64> = run_grid_with_threads(&[] as &[u64], 0, 4, |j, _| *j);
         assert!(out.results.is_empty());
+    }
+
+    /// A grid mixing healthy, panicking, and timed-out cells completes,
+    /// with every failure recorded as a structured entry.
+    #[test]
+    fn failsafe_grid_survives_panics_and_timeouts() {
+        let jobs: Vec<u64> = (0..12).collect();
+        let out = run_grid_failsafe(&jobs, 5, 4, 0, |j, seed| match j % 4 {
+            1 => panic!("cell {j} exploded"),
+            2 => Err(JobError::Timeout),
+            _ => Ok((*j, seed)),
+        });
+        assert_eq!(out.results.len(), 12);
+        assert_eq!(out.failures.len(), 6);
+        for f in &out.failures {
+            assert!(out.results[f.index].is_none());
+            match f.index % 4 {
+                1 => {
+                    assert_eq!(f.error.kind(), "panic");
+                    assert_eq!(f.error.detail(), format!("cell {} exploded", f.index));
+                }
+                2 => assert_eq!(f.error, JobError::Timeout),
+                _ => unreachable!("healthy cell {} reported as failed", f.index),
+            }
+            assert_eq!(f.attempts, 1);
+        }
+        for (i, r) in out.results.iter().enumerate() {
+            if i % 4 != 1 && i % 4 != 2 {
+                assert!(r.is_some(), "healthy cell {i} lost its result");
+            }
+        }
+    }
+
+    /// Failure records (index, seed, error, attempts) are identical at
+    /// any worker count, like the results themselves.
+    #[test]
+    fn failsafe_failures_are_thread_count_invariant() {
+        let jobs: Vec<u64> = (0..23).collect();
+        let run = |j: &u64, seed: u64| {
+            if j.is_multiple_of(3) {
+                panic!("boom {j}");
+            }
+            if j.is_multiple_of(5) {
+                return Err(JobError::Timeout);
+            }
+            Ok((*j, seed))
+        };
+        let serial = run_grid_failsafe(&jobs, 77, 1, 1, run);
+        for threads in [2, 8] {
+            let parallel = run_grid_failsafe(&jobs, 77, threads, 1, run);
+            assert_eq!(serial.results, parallel.results);
+            assert_eq!(serial.failures, parallel.failures);
+        }
+    }
+
+    /// A bounded same-seed retry re-runs the cell; a cell that succeeds
+    /// on a later attempt produces a result and no failure record.
+    #[test]
+    fn failsafe_retry_recovers_flaky_cells() {
+        use std::sync::atomic::AtomicU32;
+        let attempts = AtomicU32::new(0);
+        let jobs = [0u64];
+        let out = run_grid_failsafe(&jobs, 1, 1, 2, |_, seed| {
+            if attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("flaky");
+            }
+            Ok(seed)
+        });
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+        assert!(out.failures.is_empty());
+        assert_eq!(out.results[0], Some(job_seeds(1, 1)[0]));
+
+        // And a permanently failing cell records the attempt count.
+        let out = run_grid_failsafe(&jobs, 1, 1, 2, |_, _| -> Result<u64, JobError> {
+            panic!("always")
+        });
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].attempts, 3);
     }
 }

@@ -16,12 +16,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod harness;
 pub mod report;
 
 use svc::{SvcConfig, SvcSystem};
 use svc_arb::{ArbConfig, ArbSystem};
 use svc_multiscalar::{Engine, EngineConfig, RunReport, TaskSource};
+use svc_sim::fault::Faults;
 use svc_sim::metrics::{MetricSource, MetricsRegistry};
 use svc_sim::trace::Tracer;
 use svc_workloads::Spec95;
@@ -99,6 +101,39 @@ pub fn instruction_budget() -> u64 {
         .unwrap_or(400_000)
 }
 
+/// Invariant-watchdog cadence from `SVC_WATCHDOG`: unset/`0` disables
+/// it, `1` enables the default cadence (a sweep every 256 cycles), any
+/// larger value is the explicit cycle cadence. Commit/squash-boundary
+/// checks run whenever the watchdog is enabled, at any cadence.
+pub fn watchdog_from_env() -> u64 {
+    match std::env::var("SVC_WATCHDOG")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+    {
+        0 => 0,
+        1 => 256,
+        n => n,
+    }
+}
+
+/// With the env-driven watchdog on, a violation means the simulator
+/// corrupted speculative state silently — fail loudly so `SVC_WATCHDOG=1
+/// cargo test` turns every test into an invariant check.
+fn assert_watchdog_clean(watchdog: u64, violations: &[svc_types::InvariantViolation], label: &str) {
+    if watchdog == 0 || violations.is_empty() {
+        return;
+    }
+    let first = &violations[0];
+    panic!(
+        "SVC_WATCHDOG: {} invariant violation(s) on {label}; first: {} at cycle {} ({})",
+        violations.len(),
+        first.kind.name(),
+        first.cycle.0,
+        first.detail,
+    );
+}
+
 /// Runs `source` on `memory` with the engine configured per the paper
 /// (4 PUs, 2-issue) and the workload's predictor model.
 ///
@@ -106,6 +141,11 @@ pub fn instruction_budget() -> u64 {
 /// more categories, the run records events ([`Tracer::from_env`]) and —
 /// if `SVC_TRACE_OUT` points at a directory — writes the three sinks to
 /// `$SVC_TRACE_OUT/<workload>-<memory>-<seed>.{log,jsonl,trace.json}`.
+///
+/// Robustness is likewise env-driven: `SVC_FAULTS` attaches a seeded
+/// fault injector ([`Faults::from_env`]) and `SVC_WATCHDOG` an invariant
+/// watchdog ([`watchdog_from_env`]); with both unset the run is
+/// byte-identical to a build without either feature.
 pub fn run_source(
     source: &dyn TaskSource,
     memory: MemoryKind,
@@ -135,15 +175,22 @@ pub fn run_source_with(
     tracer: Tracer,
 ) -> ExperimentResult {
     let label = memory.label(engine_cfg.num_pus);
+    let faults = Faults::from_env(engine_cfg.seed);
+    let watchdog = watchdog_from_env();
     let report = match memory {
         MemoryKind::Svc { kb_per_cache } => {
             let mut cfg = SvcConfig::final_design(engine_cfg.num_pus);
             cfg.geometry = SvcConfig::paper_geometry(kb_per_cache);
             let mut system = SvcSystem::new(cfg);
             system.set_tracer(tracer.clone());
+            system.set_faults(faults.clone());
             let mut engine = Engine::new(engine_cfg, system);
             engine.set_tracer(tracer);
-            engine.run(source)
+            engine.set_faults(faults);
+            engine.set_watchdog(watchdog);
+            let report = engine.run(source);
+            assert_watchdog_clean(watchdog, engine.violations(), &label);
+            report
         }
         MemoryKind::Arb {
             hit_cycles,
@@ -154,7 +201,11 @@ pub fn run_source_with(
             system.set_tracer(tracer.clone());
             let mut engine = Engine::new(engine_cfg, system);
             engine.set_tracer(tracer);
-            engine.run(source)
+            engine.set_faults(faults);
+            engine.set_watchdog(watchdog);
+            let report = engine.run(source);
+            assert_watchdog_clean(watchdog, engine.violations(), &label);
+            report
         }
     };
     ExperimentResult {
@@ -270,6 +321,31 @@ pub fn run_derived_grid(
     })
 }
 
+/// [`run_derived_grid`] under the failsafe runner: a panicking cell or
+/// one that exhausts the engine's cycle cap ([`RunReport::hit_cycle_limit`],
+/// the deterministic notion of a timeout) is retried once at the same
+/// seed, then recorded as a [`harness::JobFailure`] while the rest of
+/// the grid completes.
+pub fn run_derived_grid_failsafe(
+    jobs: &[GridJob],
+    grid_seed: u64,
+    budget: u64,
+) -> harness::FailsafeOutcome<ExperimentResult> {
+    harness::run_grid_failsafe(
+        jobs,
+        grid_seed,
+        harness::threads_from_env(),
+        1,
+        |job, seed| {
+            let result = run_spec95_with(job.bench, job.memory, budget, seed);
+            if result.report.hit_cycle_limit {
+                return Err(harness::JobError::Timeout);
+            }
+            Ok(result)
+        },
+    )
+}
+
 /// Writes both JSON artifacts for a finished grid: the deterministic
 /// `results/<name>.json` document (cell results under `seeds[i]`) and
 /// the wall-clock entry in the `BENCH_experiments.json` snapshot.
@@ -291,6 +367,36 @@ pub fn publish_grid(
     report::write_experiment(name, &doc)?;
     let m = report::SelfMeasurement::from_reports(
         outcome.results.iter().map(|r| &r.report),
+        outcome.wall.as_secs_f64(),
+        outcome.threads,
+    );
+    report::record_snapshot(name, m)?;
+    Ok(())
+}
+
+/// [`publish_grid`] for a failsafe outcome. Healthy grids write
+/// byte-identical `svc-experiments/v1` documents; grids with failed
+/// cells write `svc-experiments/v2` with a `failures` array (failed
+/// cells are absent from `runs` but identifiable by their seed and
+/// grid index in `failures`).
+pub fn publish_grid_failsafe(
+    name: &str,
+    budget: u64,
+    grid_seed: u64,
+    seeds: &[u64],
+    outcome: &harness::FailsafeOutcome<ExperimentResult>,
+) -> std::io::Result<()> {
+    assert_eq!(seeds.len(), outcome.results.len(), "one seed per cell");
+    let runs = outcome
+        .results
+        .iter()
+        .zip(seeds)
+        .filter_map(|(r, &s)| r.as_ref().map(|r| report::experiment_result_json(r, s)))
+        .collect();
+    let doc = report::experiment_doc_failsafe(name, budget, grid_seed, runs, &outcome.failures);
+    report::write_experiment(name, &doc)?;
+    let m = report::SelfMeasurement::from_reports(
+        outcome.results.iter().flatten().map(|r| &r.report),
         outcome.wall.as_secs_f64(),
         outcome.threads,
     );

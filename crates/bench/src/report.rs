@@ -30,6 +30,10 @@ use crate::ExperimentResult;
 
 /// Schema tag of `results/<name>.json` documents.
 pub const SCHEMA_EXPERIMENT: &str = "svc-experiments/v1";
+/// Schema tag of experiment documents that carry a `failures` array
+/// (emitted only when a grid had failed cells; fully-healthy grids keep
+/// emitting byte-identical [`SCHEMA_EXPERIMENT`] documents).
+pub const SCHEMA_EXPERIMENT_V2: &str = "svc-experiments/v2";
 /// Schema tag of the `BENCH_experiments.json` perf snapshot.
 pub const SCHEMA_SNAPSHOT: &str = "svc-bench-snapshot/v1";
 
@@ -572,6 +576,45 @@ pub fn experiment_doc(name: &str, budget: u64, grid_seed: u64, runs: Vec<Json>) 
         .set("runs", Json::Arr(runs))
 }
 
+/// One [`JobFailure`] as `{index, seed, kind, detail, attempts}`.
+pub fn job_failure_json(f: &crate::harness::JobFailure) -> Json {
+    Json::obj()
+        .set("index", f.index.into())
+        .set("seed", f.seed.into())
+        .set("kind", f.error.kind().into())
+        .set("detail", f.error.detail().into())
+        .set("attempts", Json::Num(f.attempts as f64))
+}
+
+/// The experiment document for a grid that may have failed cells.
+///
+/// With no failures this is exactly [`experiment_doc`] — byte-identical
+/// `svc-experiments/v1` output, so healthy artifact regeneration never
+/// drifts. With failures the schema becomes
+/// [`SCHEMA_EXPERIMENT_V2`] and a `failures` array (grid order) is
+/// appended after `runs`.
+pub fn experiment_doc_failsafe(
+    name: &str,
+    budget: u64,
+    grid_seed: u64,
+    runs: Vec<Json>,
+    failures: &[crate::harness::JobFailure],
+) -> Json {
+    if failures.is_empty() {
+        return experiment_doc(name, budget, grid_seed, runs);
+    }
+    Json::obj()
+        .set("schema", SCHEMA_EXPERIMENT_V2.into())
+        .set("experiment", name.into())
+        .set("budget", budget.into())
+        .set("grid_seed", grid_seed.into())
+        .set("runs", Json::Arr(runs))
+        .set(
+            "failures",
+            Json::Arr(failures.iter().map(job_failure_json).collect()),
+        )
+}
+
 // ---------------------------------------------------------------------
 // File output
 // ---------------------------------------------------------------------
@@ -761,6 +804,36 @@ mod tests {
         r.push(4.0);
         let j = running_json(&r);
         assert_eq!(j.get("mean").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn failsafe_doc_is_v1_bytes_when_healthy_and_v2_with_failures() {
+        use crate::harness::{JobError, JobFailure};
+        let runs = || vec![Json::obj().set("ipc", 1.5.into())];
+        let healthy = experiment_doc_failsafe("t", 1000, 7, runs(), &[]);
+        assert_eq!(
+            healthy.render(),
+            experiment_doc("t", 1000, 7, runs()).render()
+        );
+
+        let failures = [JobFailure {
+            index: 3,
+            seed: 99,
+            error: JobError::Panic("boom".to_string()),
+            attempts: 2,
+        }];
+        let degraded = experiment_doc_failsafe("t", 1000, 7, runs(), &failures);
+        assert_eq!(
+            degraded.get("schema").and_then(Json::as_str),
+            Some(SCHEMA_EXPERIMENT_V2)
+        );
+        let fj = &degraded.get("failures").unwrap().as_arr().unwrap()[0];
+        assert_eq!(fj.get("kind").and_then(Json::as_str), Some("panic"));
+        assert_eq!(fj.get("detail").and_then(Json::as_str), Some("boom"));
+        assert_eq!(fj.get("index").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(fj.get("attempts").and_then(Json::as_f64), Some(2.0));
+        // Round-trips through the parser like any other document.
+        assert_eq!(parse(&degraded.render()).expect("parses"), degraded);
     }
 
     #[test]

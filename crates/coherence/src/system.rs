@@ -2,8 +2,12 @@
 //! level of memory, implementing the invalidation protocol of Figure 3.
 
 use svc_mem::{Bus, CacheArray, CacheGeometry, MainMemory, MemTiming, Slot, WayRef};
+use svc_sim::fault::Faults;
 use svc_sim::trace::{BusOp, Category, TraceEvent, Tracer};
-use svc_types::{Addr, Cycle, DataSource, LineId, LoadOutcome, MemStats, PuId, Word};
+use svc_types::{
+    Addr, Cycle, DataSource, InvariantKind, InvariantViolation, LineId, LoadOutcome, MemStats,
+    PuId, Word,
+};
 
 use crate::protocol::SmpState;
 
@@ -99,6 +103,11 @@ impl SmpSystem {
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.bus.set_tracer(tracer.clone());
         self.tracer = tracer;
+    }
+
+    /// Attaches a fault injector to the bus (transaction drop/delay).
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.bus.set_faults(faults);
     }
 
     /// Emits a coherence state transition (no-op when equal or untraced).
@@ -243,6 +252,83 @@ impl SmpSystem {
                 "{line} is dirty in one cache but valid in {valid}"
             );
         }
+    }
+
+    /// Non-panicking form of [`assert_coherent`](SmpSystem::assert_coherent):
+    /// reports every MRSW violation (multiple dirty copies, or a dirty copy
+    /// coexisting with other valid copies) as a structured
+    /// [`InvariantViolation`] for the watchdog, instead of aborting.
+    pub fn check_invariants(&self, now: Cycle) -> Vec<InvariantViolation> {
+        use std::collections::HashMap;
+        let mut holders: HashMap<LineId, (usize, usize)> = HashMap::new(); // (valid, dirty)
+        for cache in &self.caches {
+            for slot in cache.iter() {
+                if let Some(line) = slot.held_line() {
+                    let e = holders.entry(line).or_insert((0, 0));
+                    e.0 += 1;
+                    if slot.state.is_dirty() {
+                        e.1 += 1;
+                    }
+                }
+            }
+        }
+        let mut lines: Vec<(LineId, (usize, usize))> = holders.into_iter().collect();
+        lines.sort_by_key(|&(line, _)| line);
+        let mut out = Vec::new();
+        for (line, (valid, dirty)) in lines {
+            if dirty > 1 {
+                out.push(InvariantViolation {
+                    kind: InvariantKind::Ownership,
+                    pu: None,
+                    line: Some(line),
+                    cycle: now,
+                    detail: format!("{dirty} dirty copies"),
+                });
+            } else if dirty == 1 && valid > 1 {
+                out.push(InvariantViolation {
+                    kind: InvariantKind::Ownership,
+                    pu: None,
+                    line: Some(line),
+                    cycle: now,
+                    detail: format!("dirty in one cache but valid in {valid}"),
+                });
+            }
+        }
+        out
+    }
+
+    /// Deliberately breaks MRSW for the line containing `addr`: the first
+    /// two caches found holding it are both marked dirty (installing a
+    /// second stale copy if only one cache holds it). Returns `false` if
+    /// no cache holds the line. **Watchdog drill only.**
+    #[doc(hidden)]
+    pub fn fault_break_mrsw(&mut self, addr: Addr) -> bool {
+        let line = self.config.geometry.line_of(addr);
+        let holders: Vec<usize> = (0..self.caches.len())
+            .filter(|&i| self.caches[i].find(line).is_some())
+            .collect();
+        let Some(&first) = holders.first() else {
+            return false;
+        };
+        let second = match holders.get(1) {
+            Some(&i) => i,
+            None => {
+                let other = (first + 1) % self.caches.len();
+                let wpl = self.config.geometry.words_per_line();
+                let r = self.caches[other].victim_way(line);
+                *self.caches[other].slot_mut(r) = SmpLine {
+                    line: Some(line),
+                    state: SmpState::Clean,
+                    data: vec![Word::ZERO; wpl],
+                };
+                other
+            }
+        };
+        for i in [first, second] {
+            let r = self.caches[i].find(line).expect("holder");
+            self.caches[i].slot_mut(r).state = SmpState::Dirty;
+        }
+        first != second
     }
 
     /// BusRead: find a supplier (dirty cache flushes and becomes clean;
@@ -541,6 +627,20 @@ mod tests {
         for (addr, v) in flat {
             assert_eq!(s.coherent_peek(addr), v);
         }
+    }
+
+    #[test]
+    fn watchdog_clean_then_catches_broken_mrsw() {
+        let mut s = sys();
+        s.store(PuId(0), Addr(0), Word(1), Cycle(0));
+        s.load(PuId(2), Addr(0), Cycle(10));
+        assert_eq!(s.check_invariants(Cycle(20)), Vec::new());
+        assert!(s.fault_break_mrsw(Addr(0)));
+        let found = s.check_invariants(Cycle(30));
+        assert!(
+            found.iter().any(|v| v.kind == InvariantKind::Ownership),
+            "got {found:?}"
+        );
     }
 
     #[test]

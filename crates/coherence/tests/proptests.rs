@@ -1,7 +1,8 @@
 //! Property-based tests for the MRSW baseline: for any sequence of
 //! (sequentially completed) loads and stores from any processors, the
 //! system behaves as a single flat memory and never violates the
-//! single-writer invariant.
+//! single-writer invariant — and the watchdog agrees: silent on every
+//! healthy state, never silent after the MRSW corruption drill.
 
 use proptest::prelude::*;
 use svc_coherence::{SmpConfig, SmpSystem};
@@ -38,11 +39,37 @@ proptest! {
             }
             if i % 64 == 0 {
                 smp.assert_coherent();
+                prop_assert_eq!(smp.check_invariants(now), Vec::new());
             }
         }
         smp.assert_coherent();
+        prop_assert_eq!(smp.check_invariants(now), Vec::new());
         for (a, v) in model {
             prop_assert_eq!(smp.coherent_peek(a), v);
         }
+    }
+
+    /// The MRSW corruption drill (two dirty copies of one line) is
+    /// caught by the watchdog from ANY reachable cache state.
+    #[test]
+    fn smp_broken_mrsw_is_always_caught(
+        ops in proptest::collection::vec((0u64..64, 0usize..4, any::<bool>()), 1..120),
+    ) {
+        let mut smp = SmpSystem::new(SmpConfig::small_for_tests());
+        let mut now = Cycle(0);
+        for (i, (addr, pu, is_store)) in ops.into_iter().enumerate() {
+            let a = Addr(addr);
+            if is_store {
+                now = smp.store(PuId(pu), a, Word(i as u64 + 1), now);
+            } else {
+                now = smp.load(PuId(pu), a, now).done_at;
+            }
+        }
+        let hit = (0..64u64).any(|a| smp.fault_break_mrsw(Addr(a)));
+        prop_assume!(hit);
+        prop_assert!(
+            !smp.check_invariants(now).is_empty(),
+            "broken MRSW escaped the watchdog"
+        );
     }
 }

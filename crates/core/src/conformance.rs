@@ -17,9 +17,99 @@
 //! test suites; any new `VersionedMemory` implementation should be too.
 
 use svc_sim::rng::Xoshiro256;
-use svc_types::{AccessError, Addr, Cycle, PuId, TaskId, VersionedMemory, Word};
+use svc_types::{
+    AccessError, Addr, Cycle, InvariantViolation, LoadOutcome, MemStats, PuId, StoreOutcome,
+    TaskId, VersionedMemory, Word,
+};
 
 use crate::ideal::IdealMemory;
+
+/// Wraps a memory system so that every mutating call is followed by a
+/// full invariant sweep ([`VersionedMemory::check_invariants`], plus
+/// [`check_post_squash`](VersionedMemory::check_post_squash) after
+/// squashes), panicking on the first violation found. Combine with
+/// [`run_lockstep`] to property-test that a watchdog stays silent on
+/// healthy randomized executions:
+///
+/// `run_lockstep(&wl, Watched(SvcSystem::new(cfg)), seed)`
+#[derive(Clone)]
+pub struct Watched<M>(pub M);
+
+impl<M: VersionedMemory> Watched<M> {
+    fn sweep(&self, now: Cycle, after: &str) {
+        let found = self.0.check_invariants(now);
+        assert!(
+            found.is_empty(),
+            "watchdog violations after {after}: {found:?}"
+        );
+    }
+}
+
+impl<M: VersionedMemory> VersionedMemory for Watched<M> {
+    fn num_pus(&self) -> usize {
+        self.0.num_pus()
+    }
+
+    fn assign(&mut self, pu: PuId, task: TaskId) {
+        self.0.assign(pu, task);
+    }
+
+    fn load(&mut self, pu: PuId, addr: Addr, now: Cycle) -> Result<LoadOutcome, AccessError> {
+        let out = self.0.load(pu, addr, now)?;
+        self.sweep(now, "load");
+        Ok(out)
+    }
+
+    fn store(
+        &mut self,
+        pu: PuId,
+        addr: Addr,
+        value: Word,
+        now: Cycle,
+    ) -> Result<StoreOutcome, AccessError> {
+        let out = self.0.store(pu, addr, value, now)?;
+        self.sweep(now, "store");
+        Ok(out)
+    }
+
+    fn commit(&mut self, pu: PuId, now: Cycle) -> Cycle {
+        let done = self.0.commit(pu, now);
+        self.sweep(now, "commit");
+        done
+    }
+
+    fn squash(&mut self, pu: PuId) {
+        self.0.squash(pu);
+        let residue = self.0.check_post_squash(pu, Cycle(0));
+        assert!(residue.is_empty(), "post-squash residue: {residue:?}");
+        self.sweep(Cycle(0), "squash");
+    }
+
+    fn check_invariants(&self, now: Cycle) -> Vec<InvariantViolation> {
+        self.0.check_invariants(now)
+    }
+
+    fn check_post_squash(&self, pu: PuId, now: Cycle) -> Vec<InvariantViolation> {
+        self.0.check_post_squash(pu, now)
+    }
+
+    fn drain(&mut self) {
+        self.0.drain();
+        self.sweep(Cycle(0), "drain");
+    }
+
+    fn architectural(&self, addr: Addr) -> Word {
+        self.0.architectural(addr)
+    }
+
+    fn stats(&self) -> MemStats {
+        self.0.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.0.reset_stats();
+    }
+}
 
 /// One memory operation of a task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -63,6 +63,7 @@ mod snapshot;
 mod system;
 mod vcl;
 mod vol;
+pub mod watchdog;
 
 pub use config::{SvcConfig, SvcDesign};
 pub use ideal::IdealMemory;

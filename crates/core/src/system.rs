@@ -2,10 +2,11 @@
 //! MSHRs, writeback buffers and the next level of memory.
 
 use svc_mem::{Backing, Bus, CacheArray, MshrFile, WayRef, WritebackBuffer};
+use svc_sim::fault::{FaultEvent, FaultSite, Faults};
 use svc_sim::trace::{AccessOp, BusOp, Category, LineBits, TraceEvent, Tracer, VolOp};
 use svc_types::{
-    AccessError, Addr, Cycle, DataSource, LineId, LoadOutcome, MemStats, PuId, StoreOutcome,
-    TaskAssignments, TaskId, VersionedMemory, Violation, Word,
+    AccessError, Addr, Cycle, DataSource, InvariantViolation, LineId, LoadOutcome, MemStats, PuId,
+    StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Violation, Word,
 };
 
 use crate::config::SvcConfig;
@@ -33,6 +34,7 @@ pub struct SvcSystem {
     assignments: TaskAssignments,
     stats: MemStats,
     tracer: Tracer,
+    faults: Faults,
 }
 
 impl SvcSystem {
@@ -70,6 +72,7 @@ impl SvcSystem {
             assignments: TaskAssignments::new(config.num_pus),
             stats: MemStats::default(),
             tracer: Tracer::disabled(),
+            faults: Faults::disabled(),
             config,
         }
     }
@@ -86,6 +89,21 @@ impl SvcSystem {
             w.set_tracer(tracer.clone(), PuId(i));
         }
         self.tracer = tracer;
+    }
+
+    /// Attaches a fault injector to the whole memory system: the bus, the
+    /// per-PU MSHR files and writeback buffers, and the system's own
+    /// eviction/VCL/fill hook sites all share it. A disabled injector
+    /// costs one branch per hook site.
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.bus.set_faults(faults.clone());
+        for m in &mut self.mshrs {
+            m.set_faults(faults.clone());
+        }
+        for w in &mut self.wbufs {
+            w.set_faults(faults.clone());
+        }
+        self.faults = faults;
     }
 
     /// The configuration this system was built with.
@@ -190,6 +208,25 @@ impl SvcSystem {
                 op,
                 order,
             });
+    }
+
+    /// Emits a fault-injection event for the `fault` category.
+    fn emit_fault(
+        &self,
+        site: FaultSite,
+        pu: Option<PuId>,
+        line: Option<LineId>,
+        penalty: u64,
+        now: Cycle,
+    ) {
+        self.tracer.emit(now, Category::Fault, || {
+            TraceEvent::Fault(FaultEvent {
+                site,
+                pu,
+                line,
+                penalty,
+            })
+        });
     }
 
     /// Emits a completed access for the `access` category.
@@ -445,7 +482,22 @@ impl SvcSystem {
                 .copied()
                 .find(|&r| want.contains(&classify(self.caches[pu.index()].slot(r))))
         };
-        let victim = pick(&[LineState::Invalid])
+        // Fault hook: a forced eviction prefers a passive-dirty victim —
+        // legal (its committed data is written back), but it turns a free
+        // or clean castout into bus writeback traffic.
+        let forced = if self.faults.is_active() {
+            self.faults
+                .inject(FaultSite::ForcedEvict)
+                .and_then(|penalty| pick(&[LineState::PassiveDirty]).map(|r| (r, penalty)))
+        } else {
+            None
+        };
+        if let Some((_, penalty)) = forced {
+            self.emit_fault(FaultSite::ForcedEvict, Some(pu), Some(line), penalty, now);
+        }
+        let victim = forced
+            .map(|(r, _)| r)
+            .or_else(|| pick(&[LineState::Invalid]))
             .or_else(|| pick(&[LineState::PassiveClean]))
             .or_else(|| pick(&[LineState::PassiveDirty]))
             .or_else(|| {
@@ -668,6 +720,87 @@ impl SvcSystem {
             .and_then(|pu| self.assignments.task_of(pu))
     }
 
+    // -----------------------------------------------------------------
+    // Watchdog access and fault drills
+    // -----------------------------------------------------------------
+
+    /// Distinct tags of lines validly held by any cache, sorted (for the
+    /// invariant watchdog).
+    pub(crate) fn resident_lines(&self) -> Vec<LineId> {
+        let mut lines: Vec<LineId> = Vec::new();
+        for cache in &self.caches {
+            for l in cache.iter() {
+                if let Some(id) = l.line {
+                    if l.is_valid() && !lines.contains(&id) {
+                        lines.push(id);
+                    }
+                }
+            }
+        }
+        lines.sort();
+        lines
+    }
+
+    /// Whether `pu`'s copy of `line` has the exclusive (X) bit set.
+    pub(crate) fn line_exclusive(&self, pu: PuId, line: LineId) -> bool {
+        match self.caches[pu.index()].find(line) {
+            Some(r) => self.caches[pu.index()].slot(r).exclusive,
+            None => false,
+        }
+    }
+
+    /// Uncommitted valid lines still in `pu`'s cache (the post-squash
+    /// cleanliness check: there must be none).
+    pub(crate) fn speculative_lines_of(&self, pu: PuId) -> Vec<LineId> {
+        self.caches[pu.index()]
+            .iter()
+            .filter(|l| l.is_valid() && !l.committed)
+            .map(|l| l.line.expect("valid line has a tag"))
+            .collect()
+    }
+
+    /// Deliberately corrupts the state bits of `pu`'s copy of the line
+    /// containing `addr` into an illegal combination (a store bit on an
+    /// invalid sub-block, or a load bit on a committed line). Returns
+    /// `false` if `pu` holds no valid copy. **Watchdog drill only** — the
+    /// resulting state violates the protocol by construction.
+    #[doc(hidden)]
+    pub fn fault_flip_state_bit(&mut self, pu: PuId, addr: Addr) -> bool {
+        let g = self.config.geometry;
+        let line = g.line_of(addr);
+        let j = g.subblock_of(addr);
+        let Some(r) = self.caches[pu.index()].find(line) else {
+            return false;
+        };
+        let l = self.caches[pu.index()].slot_mut(r);
+        if !l.is_valid() {
+            return false;
+        }
+        if !l.valid.contains(j) {
+            l.store.set(j);
+        } else {
+            l.committed = true;
+            l.load.set(j);
+        }
+        true
+    }
+
+    /// Deliberately splices the VOL of the line containing `addr` into a
+    /// cycle: the youngest member's pointer is bent back to the oldest.
+    /// Returns `false` if no cache holds the line. **Watchdog drill
+    /// only.**
+    #[doc(hidden)]
+    pub fn fault_splice_vol(&mut self, addr: Addr) -> bool {
+        let line = self.config.geometry.line_of(addr);
+        let vol = order_vol(&self.snapshots(line));
+        let (Some(&first), Some(&last)) = (vol.first(), vol.last()) else {
+            return false;
+        };
+        let r = self.caches[last.index()].find(line).expect("VOL member");
+        self.caches[last.index()].slot_mut(r).next = Some(first);
+        true
+    }
+
     /// Caches eligible to snarf a fill of `line`: no copy, a free way, and
     /// an assigned task.
     fn snarf_candidates(&self, line: LineId, exclude: PuId) -> Vec<(PuId, TaskId)> {
@@ -805,6 +938,14 @@ impl VersionedMemory for SvcSystem {
         } else {
             self.config.timing.commit_flush_extra
         };
+        // Fault hook: the VCL takes extra cycles to answer this snoop.
+        let vcl_extra = match self.faults.inject(FaultSite::VclDelay) {
+            Some(p) => {
+                self.emit_fault(FaultSite::VclDelay, Some(pu), Some(line), p, now);
+                p
+            }
+            None => 0,
+        };
         // The MSHR file limits outstanding misses; a combined miss shares
         // the in-flight fill and skips the bus.
         let t = self.config.timing;
@@ -817,13 +958,13 @@ impl VersionedMemory for SvcSystem {
         self.emit_vol(line, VolOp::Splice, now);
         self.emit_line_transitions(line, before, now);
         let done = if mshr.combined {
-            mshr.data_ready
+            mshr.data_ready + vcl_extra
         } else {
             let grant = self.bus.transact_as(
                 BusOp::Read,
                 Some(pu),
                 Some(line),
-                evict_done + mshr.stalled,
+                evict_done + mshr.stalled + vcl_extra,
                 extra,
             );
             match source {
@@ -831,7 +972,15 @@ impl VersionedMemory for SvcSystem {
                     let penalty = self
                         .backing
                         .fill_penalty(line, self.config.geometry.words_per_line());
-                    grant.done + penalty
+                    // Fault hook: the next level answers late.
+                    let jitter = match self.faults.inject(FaultSite::MemJitter) {
+                        Some(j) => {
+                            self.emit_fault(FaultSite::MemJitter, Some(pu), Some(line), j, now);
+                            j
+                        }
+                        None => 0,
+                    };
+                    grant.done + penalty + jitter
                 }
                 _ => grant.done,
             }
@@ -987,6 +1136,14 @@ impl VersionedMemory for SvcSystem {
         } else {
             self.config.timing.commit_flush_extra
         };
+        // Fault hook: the VCL takes extra cycles to answer this snoop.
+        let vcl_extra = match self.faults.inject(FaultSite::VclDelay) {
+            Some(p) => {
+                self.emit_fault(FaultSite::VclDelay, Some(pu), Some(line), p, now);
+                p
+            }
+            None => 0,
+        };
         let t = self.config.timing;
         let mshr = self.mshrs[pu.index()].begin_miss(line, evict_done, t.bus_txn_cycles);
         let violation = self.apply_write_plan(&plan, pu, line, slot, j, off, value, fresh, now);
@@ -998,14 +1155,14 @@ impl VersionedMemory for SvcSystem {
         let done_at = if mshr.combined {
             // An outstanding transaction to this line carries the store's
             // mask as well; no separate bus transaction.
-            mshr.data_ready
+            mshr.data_ready + vcl_extra
         } else {
             self.bus
                 .transact_as(
                     BusOp::Write,
                     Some(pu),
                     Some(line),
-                    evict_done + mshr.stalled,
+                    evict_done + mshr.stalled + vcl_extra,
                     extra,
                 )
                 .done
@@ -1135,6 +1292,14 @@ impl VersionedMemory for SvcSystem {
         self.stats.squash_invalidations += invalidated;
         self.stats.squash_retained += retained;
         self.assignments.release(pu);
+    }
+
+    fn check_invariants(&self, now: Cycle) -> Vec<InvariantViolation> {
+        crate::watchdog::check_system(self, now)
+    }
+
+    fn check_post_squash(&self, pu: PuId, now: Cycle) -> Vec<InvariantViolation> {
+        crate::watchdog::check_post_squash(self, pu, now)
     }
 
     fn drain(&mut self) {

@@ -1,3 +1,4 @@
+use svc_sim::fault::{FaultEvent, FaultSite, Faults};
 use svc_sim::trace::{BusOp, Category, TraceEvent, Tracer};
 use svc_types::{Cycle, LineId, PuId};
 
@@ -29,6 +30,7 @@ pub struct Bus {
     transactions: u64,
     busy_cycles: u64,
     tracer: Tracer,
+    faults: Faults,
 }
 
 impl Bus {
@@ -61,6 +63,7 @@ impl Bus {
             transactions: 0,
             busy_cycles: 0,
             tracer: Tracer::disabled(),
+            faults: Faults::disabled(),
         }
     }
 
@@ -68,6 +71,13 @@ impl Bus {
     /// [`TraceEvent::BusTransaction`] when the `bus` category is enabled.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a fault injector. An active injector may drop a grant
+    /// (forcing a delayed re-arbitration) or delay arbitration; a
+    /// disabled one costs a single branch per transaction.
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
     }
 
     /// Arbitrates for the bus at `now`: the transaction completes at
@@ -89,7 +99,36 @@ impl Bus {
         now: Cycle,
         extra: u64,
     ) -> BusGrant {
-        let start = now.max(self.busy_until);
+        let mut request = now;
+        if self.faults.is_active() {
+            if let Some(penalty) = self.faults.inject(FaultSite::BusDrop) {
+                // The grant is dropped mid-arbitration: the address beats
+                // are wasted (an extra transaction) and the requestor must
+                // re-arbitrate after the penalty.
+                self.transactions += 1;
+                request += penalty;
+                self.tracer.emit(now, Category::Fault, || {
+                    TraceEvent::Fault(FaultEvent {
+                        site: FaultSite::BusDrop,
+                        pu,
+                        line,
+                        penalty,
+                    })
+                });
+            }
+            if let Some(penalty) = self.faults.inject(FaultSite::BusDelay) {
+                request += penalty;
+                self.tracer.emit(now, Category::Fault, || {
+                    TraceEvent::Fault(FaultEvent {
+                        site: FaultSite::BusDelay,
+                        pu,
+                        line,
+                        penalty,
+                    })
+                });
+            }
+        }
+        let start = request.max(self.busy_until);
         let occupancy = self.occupancy_cycles + extra;
         let done = start + (self.txn_cycles + extra);
         self.busy_until = start + occupancy;
@@ -207,6 +246,44 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn injected_drop_delays_and_counts_the_wasted_grant() {
+        use svc_sim::fault::FaultConfig;
+        let mut bus = Bus::new(3);
+        bus.set_faults(Faults::new(
+            &FaultConfig::parse("bus_drop=1.0,penalty=1").unwrap(),
+            9,
+        ));
+        let tracer = Tracer::new(Category::Fault.bit(), 16);
+        bus.set_tracer(tracer.clone());
+        let g = bus.transact(Cycle(0), 0);
+        assert_eq!(g.start, Cycle(1), "re-arbitrated after the penalty");
+        assert_eq!(bus.transactions(), 2, "the dropped attempt is counted");
+        assert!(matches!(
+            tracer.records()[0].event,
+            TraceEvent::Fault(e) if e.site == FaultSite::BusDrop
+        ));
+        // Same seed, same schedule.
+        let mut again = Bus::new(3);
+        again.set_faults(Faults::new(
+            &FaultConfig::parse("bus_drop=1.0,penalty=1").unwrap(),
+            9,
+        ));
+        assert_eq!(again.transact(Cycle(0), 0), g);
+    }
+
+    #[test]
+    fn disabled_faults_change_nothing() {
+        let mut plain = Bus::new(3);
+        let mut hooked = Bus::new(3);
+        hooked.set_faults(Faults::disabled());
+        for i in 0..10 {
+            assert_eq!(plain.transact(Cycle(i), 0), hooked.transact(Cycle(i), 0));
+        }
+        assert_eq!(plain.transactions(), hooked.transactions());
+        assert_eq!(plain.busy_cycles(), hooked.busy_cycles());
     }
 
     #[test]

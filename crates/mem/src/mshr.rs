@@ -1,3 +1,4 @@
+use svc_sim::fault::{FaultEvent, FaultSite, Faults};
 use svc_sim::trace::{Category, TraceEvent, Tracer};
 use svc_types::{Cycle, LineId, PuId};
 
@@ -49,6 +50,7 @@ pub struct MshrFile {
     total_combines: u64,
     total_stall_cycles: u64,
     tracer: Tracer,
+    faults: Faults,
     pu: PuId,
 }
 
@@ -69,6 +71,7 @@ impl MshrFile {
             total_combines: 0,
             total_stall_cycles: 0,
             tracer: Tracer::disabled(),
+            faults: Faults::disabled(),
             pu: PuId(0),
         }
     }
@@ -78,6 +81,12 @@ impl MshrFile {
     pub fn set_tracer(&mut self, tracer: Tracer, pu: PuId) {
         self.tracer = tracer;
         self.pu = pu;
+    }
+
+    /// Attaches a fault injector. An active injector may transiently fail
+    /// an allocation (the request stalls as if the file were full).
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
     }
 
     /// Presents a miss on `line` at `now` whose fill would take
@@ -109,7 +118,7 @@ impl MshrFile {
             };
         }
         // Allocate a new register, stalling for the earliest fill if full.
-        let (start, stalled) = if self.entries.len() < self.capacity {
+        let (mut start, mut stalled) = if self.entries.len() < self.capacity {
             (now, 0)
         } else {
             let earliest = self
@@ -127,6 +136,21 @@ impl MshrFile {
             let start = now.max(earliest);
             (start, start.since(now))
         };
+        if let Some(penalty) = self.faults.inject(FaultSite::MshrFail) {
+            // Transient allocation failure: the register is granted only
+            // after the penalty, as if the file had been full.
+            start += penalty;
+            stalled += penalty;
+            let (pu, fault_line) = (self.pu, line);
+            self.tracer.emit(now, Category::Fault, || {
+                TraceEvent::Fault(FaultEvent {
+                    site: FaultSite::MshrFail,
+                    pu: Some(pu),
+                    line: Some(fault_line),
+                    penalty,
+                })
+            });
+        }
         let done_at = start + fill_latency;
         self.entries.push(Entry {
             line,
@@ -240,6 +264,23 @@ mod tests {
         m.begin_miss(LineId(1), Cycle(0), 10);
         let b = m.begin_miss(LineId(2), Cycle(10), 10);
         assert_eq!(b.stalled, 0, "previous fill completed at cycle 10");
+    }
+
+    #[test]
+    fn injected_allocation_failure_stalls_the_fill() {
+        use svc_sim::fault::FaultConfig;
+        let mut m = MshrFile::new(4, 4);
+        m.set_faults(Faults::new(
+            &FaultConfig::parse("mshr_fail=1.0,penalty=1").unwrap(),
+            5,
+        ));
+        let r = m.begin_miss(LineId(1), Cycle(0), 10);
+        assert_eq!(r.stalled, 1, "allocation transiently refused");
+        assert_eq!(r.data_ready, Cycle(11));
+        // Combines share the outstanding fill and skip the hook.
+        let c = m.begin_miss(LineId(1), Cycle(0), 10);
+        assert!(c.combined);
+        assert_eq!(c.stalled, 0);
     }
 
     #[test]

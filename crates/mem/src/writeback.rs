@@ -1,5 +1,6 @@
 use std::collections::VecDeque;
 
+use svc_sim::fault::{FaultEvent, FaultSite, Faults};
 use svc_sim::trace::{Category, TraceEvent, Tracer};
 use svc_types::{Cycle, PuId};
 
@@ -32,6 +33,7 @@ pub struct WritebackBuffer {
     pushes: u64,
     stall_cycles: u64,
     tracer: Tracer,
+    faults: Faults,
     pu: PuId,
 }
 
@@ -52,6 +54,7 @@ impl WritebackBuffer {
             pushes: 0,
             stall_cycles: 0,
             tracer: Tracer::disabled(),
+            faults: Faults::disabled(),
             pu: PuId(0),
         }
     }
@@ -63,12 +66,18 @@ impl WritebackBuffer {
         self.pu = pu;
     }
 
+    /// Attaches a fault injector. An active injector may transiently
+    /// refuse a push (the pusher stalls as if the buffer had overflowed).
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
+    }
+
     /// Offers one castout at `now`; returns the cycle at which the buffer
     /// accepts it (equal to `now` unless the buffer is full).
     pub fn push(&mut self, now: Cycle) -> Cycle {
         self.expire(now);
         self.pushes += 1;
-        let (accepted, stalled) = if self.drains.len() < self.capacity {
+        let (mut accepted, mut stalled) = if self.drains.len() < self.capacity {
             (now, 0)
         } else {
             let oldest = *self.drains.front().expect("full buffer is non-empty");
@@ -76,6 +85,22 @@ impl WritebackBuffer {
             self.stall_cycles += oldest.since(now);
             (now.max(oldest), oldest.since(now))
         };
+        if let Some(penalty) = self.faults.inject(FaultSite::WbOverflow) {
+            // Transient overflow: the buffer refuses the entry until the
+            // penalty has elapsed.
+            accepted += penalty;
+            stalled += penalty;
+            self.stall_cycles += penalty;
+            let pu = self.pu;
+            self.tracer.emit(now, Category::Fault, || {
+                TraceEvent::Fault(FaultEvent {
+                    site: FaultSite::WbOverflow,
+                    pu: Some(pu),
+                    line: None,
+                    penalty,
+                })
+            });
+        }
         // Drains are serial: each begins after the previous one finishes.
         let start = accepted.max(self.last_drain_done);
         let done = start + self.drain_cycles;
@@ -157,6 +182,18 @@ mod tests {
         assert_eq!(wb.drained_by(), Cycle(12));
         assert_eq!(wb.occupancy(Cycle(4)), 2);
         assert_eq!(wb.occupancy(Cycle(12)), 0);
+    }
+
+    #[test]
+    fn injected_overflow_delays_acceptance() {
+        use svc_sim::fault::{FaultConfig, Faults};
+        let mut wb = WritebackBuffer::new(4, 4);
+        wb.set_faults(Faults::new(
+            &FaultConfig::parse("wb_overflow=1.0,penalty=1").unwrap(),
+            3,
+        ));
+        assert_eq!(wb.push(Cycle(0)), Cycle(1), "refused for one cycle");
+        assert_eq!(wb.stall_cycles(), 1);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 use std::collections::HashMap;
 
+use svc_sim::fault::{FaultEvent, FaultSite, Faults};
 use svc_sim::metrics::{MetricSource, MetricsRegistry};
 use svc_sim::rng::Xoshiro256;
 use svc_sim::stats::Histogram;
 use svc_sim::trace::{Category, TraceEvent, Tracer};
-use svc_types::{Addr, Cycle, MemStats, PuId, TaskId, VersionedMemory, Word};
+use svc_types::{Addr, Cycle, InvariantViolation, MemStats, PuId, TaskId, VersionedMemory, Word};
 
 use crate::predictor::PredictorModel;
 use crate::task::{Instr, TaskSource};
@@ -191,6 +192,9 @@ pub struct Engine<M> {
     mispredictions: u64,
     task_lengths: Histogram,
     tracer: Tracer,
+    faults: Faults,
+    watchdog_every: u64,
+    violations: Vec<InvariantViolation>,
 }
 
 /// Why a squash happened, for the report's breakdown.
@@ -199,6 +203,7 @@ enum SquashCause {
     Misprediction,
     Violation,
     Resource,
+    Fault,
 }
 
 impl<M: VersionedMemory> Engine<M> {
@@ -226,6 +231,9 @@ impl<M: VersionedMemory> Engine<M> {
             mispredictions: 0,
             task_lengths: Histogram::new(8, 32),
             tracer: Tracer::disabled(),
+            faults: Faults::disabled(),
+            watchdog_every: 0,
+            violations: Vec::new(),
             config,
         }
     }
@@ -237,6 +245,30 @@ impl<M: VersionedMemory> Engine<M> {
     /// [`set_tracer`]: svc_sim::trace::Tracer
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a fault injector to the engine (spurious squashes). The
+    /// memory system has its own [`set_faults`]-style hook; attach the
+    /// same handle there so every site draws from one seeded schedule.
+    ///
+    /// [`set_faults`]: svc_sim::fault::Faults
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
+    }
+
+    /// Enables the invariant watchdog: the memory system's
+    /// [`check_invariants`](VersionedMemory::check_invariants) runs at
+    /// every commit and squash boundary and additionally every `every`
+    /// cycles (`0` disables the watchdog entirely, the default). Every
+    /// violation is recorded (see [`violations`](Engine::violations)) and
+    /// emitted as a `fault`-category trace event; execution continues.
+    pub fn set_watchdog(&mut self, every: u64) {
+        self.watchdog_every = every;
+    }
+
+    /// Invariant violations the watchdog has collected so far.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
     }
 
     /// Consumes the engine, returning the memory system (for end-of-run
@@ -257,8 +289,15 @@ impl<M: VersionedMemory> Engine<M> {
         let mut committed_instrs = 0u64;
         let mut committed_tasks = 0u64;
         let mut hit_cycle_limit = false;
+        let mut next_watchdog = self.watchdog_every;
 
         loop {
+            // Periodic invariant sweep (watchdog enabled only).
+            if self.watchdog_every > 0 && now.0 >= next_watchdog {
+                let found = self.mem.check_invariants(now);
+                self.record_violations(found, now);
+                next_watchdog = now.0 + self.watchdog_every;
+            }
             // Termination checks.
             let any_running = self.pus.iter().any(|p| p.pos.is_some());
             let more_tasks = source.task(TaskId(self.next_pos)).is_some();
@@ -291,6 +330,27 @@ impl<M: VersionedMemory> Engine<M> {
                     self.next_pos += 1;
                     self.dispatch_ready = now + self.config.dispatch_cycles;
                     progressed = true;
+                }
+            }
+
+            // Fault hook: a spurious squash tears down the youngest
+            // running task — recoverable by construction (the sequencer
+            // re-dispatches it), but it exercises the whole squash/repair
+            // machinery under load.
+            if self.faults.is_active() {
+                if let Some(penalty) = self.faults.inject(FaultSite::SpuriousSquash) {
+                    if let Some(victim) = self.pus.iter().filter_map(|p| p.pos).max() {
+                        self.tracer.emit(now, Category::Fault, || {
+                            TraceEvent::Fault(FaultEvent {
+                                site: FaultSite::SpuriousSquash,
+                                pu: None,
+                                line: None,
+                                penalty,
+                            })
+                        });
+                        self.squash_from(victim, SquashCause::Fault, now);
+                        progressed = true;
+                    }
                 }
             }
 
@@ -329,6 +389,10 @@ impl<M: VersionedMemory> Engine<M> {
                             task: task.expect("committing PU has a task"),
                             instrs: n,
                         });
+                    if self.watchdog_every > 0 {
+                        let found = self.mem.check_invariants(now);
+                        self.record_violations(found, now);
+                    }
                     committed_instrs += n;
                     committed_tasks += 1;
                     self.task_lengths.record(n);
@@ -517,7 +581,7 @@ impl<M: VersionedMemory> Engine<M> {
     /// simple squash model), rewinding the sequencer to re-dispatch them.
     fn squash_from(&mut self, victim: u64, cause: SquashCause, now: Cycle) {
         match cause {
-            SquashCause::Misprediction => {}
+            SquashCause::Misprediction | SquashCause::Fault => {}
             SquashCause::Violation => self.violation_squashes += 1,
             SquashCause::Resource => self.resource_squashes += 1,
         }
@@ -525,6 +589,7 @@ impl<M: VersionedMemory> Engine<M> {
             SquashCause::Misprediction => svc_sim::trace::SquashCause::Misprediction,
             SquashCause::Violation => svc_sim::trace::SquashCause::Violation,
             SquashCause::Resource => svc_sim::trace::SquashCause::Resource,
+            SquashCause::Fault => svc_sim::trace::SquashCause::Fault,
         };
         let mut hit: Vec<(usize, u64)> = self
             .pus
@@ -543,12 +608,31 @@ impl<M: VersionedMemory> Engine<M> {
                     restart: TaskId(victim),
                 });
             self.mem.squash_at(PuId(pu), now);
+            if self.watchdog_every > 0 {
+                let found = self.mem.check_post_squash(PuId(pu), now);
+                self.record_violations(found, now);
+            }
             let ready = self.pus[pu].ready_at;
             self.pus[pu] = PuState::idle();
             self.pus[pu].ready_at = ready;
             self.squashes += 1;
         }
         self.next_pos = self.next_pos.min(victim);
+    }
+
+    /// Records watchdog findings: each is kept for
+    /// [`violations`](Engine::violations) and emitted as a trace event.
+    fn record_violations(&mut self, found: Vec<InvariantViolation>, now: Cycle) {
+        for v in found {
+            self.tracer
+                .emit(now, Category::Fault, || TraceEvent::InvariantViolation {
+                    kind: v.kind.name(),
+                    pu: v.pu,
+                    line: v.line,
+                    detail: v.detail.clone(),
+                });
+            self.violations.push(v);
+        }
     }
 
     /// The PU running the oldest task, if any.

@@ -389,7 +389,21 @@ pub mod bool {
 pub mod prelude {
     pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Skips the rest of the current case when its precondition does not
+/// hold. The offline shim simply ends the case (counting it as passed)
+/// rather than resampling, so keep preconditions likely-true.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
 }
 
 /// Asserts a condition inside a `proptest!` body.

@@ -1,0 +1,425 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! A [`Faults`] handle is threaded through the memory system and the
+//! execution engine the same way a [`Tracer`](crate::trace::Tracer) is:
+//! it is a cheap clone (`Rc` internally), every component holds one, and
+//! a disabled handle costs a single branch per potential injection site.
+//!
+//! Faults are injected from **per-site [`SplitMix64`] streams** derived
+//! from the run seed (`seed ^ SITE_SALT`), so the same seed reproduces the
+//! exact same fault schedule — which draws fire, which are absorbed, and
+//! the penalty cycles attached to each. Components that consult
+//! [`Faults::inject`] do so in simulation execution order, so a campaign
+//! run (`svc-sim faults --seed S`) is byte-for-byte reproducible.
+//!
+//! Every site models a *recoverable* disturbance — dropped or delayed bus
+//! grants, late memory responses, transient structural-hazard refusals,
+//! spurious squashes, forced (but legal) victim evictions. The injected
+//! penalty only perturbs *timing*; architectural results must not change,
+//! and the fault campaign asserts exactly that. Corruption-style faults
+//! (flipped state bits, spliced VOLs) are injected through dedicated
+//! `fault_*` methods on the memory systems and must be caught by the
+//! invariant watchdog instead.
+//!
+//! # Example
+//!
+//! ```
+//! use svc_sim::fault::{FaultConfig, FaultSite, Faults};
+//!
+//! let cfg = FaultConfig::parse("bus_delay=1.0").unwrap();
+//! let f = Faults::new(&cfg, 42);
+//! assert!(f.is_active());
+//! assert!(f.inject(FaultSite::BusDelay).is_some(), "rate 1.0 always fires");
+//! assert!(f.inject(FaultSite::MemJitter).is_none(), "rate 0 never fires");
+//! // Same seed, same schedule:
+//! let g = Faults::new(&cfg, 42);
+//! assert_eq!(g.inject(FaultSite::BusDelay), Faults::new(&cfg, 42).inject(FaultSite::BusDelay));
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use svc_types::{LineId, PuId};
+
+use crate::rng::SplitMix64;
+
+/// Number of distinct fault-injection sites.
+pub const NUM_SITES: usize = 8;
+
+/// Default upper bound (cycles) for an injected delay penalty.
+pub const DEFAULT_MAX_PENALTY: u64 = 8;
+
+/// Where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A bus transaction loses its grant and must re-arbitrate.
+    BusDrop,
+    /// A bus transaction wins arbitration late.
+    BusDelay,
+    /// The next level of memory answers late (response jitter).
+    MemJitter,
+    /// MSHR allocation transiently fails (structural hazard).
+    MshrFail,
+    /// The writeback buffer transiently refuses a push (overflow).
+    WbOverflow,
+    /// The sequencer squashes a task that did nothing wrong.
+    SpuriousSquash,
+    /// A replacement victimizes a committed line that could have stayed.
+    ForcedEvict,
+    /// The VCL answers a snooped request late.
+    VclDelay,
+}
+
+impl FaultSite {
+    /// All sites, in stable order (indexes match the internal streams).
+    pub const EVERY: [FaultSite; NUM_SITES] = [
+        FaultSite::BusDrop,
+        FaultSite::BusDelay,
+        FaultSite::MemJitter,
+        FaultSite::MshrFail,
+        FaultSite::WbOverflow,
+        FaultSite::SpuriousSquash,
+        FaultSite::ForcedEvict,
+        FaultSite::VclDelay,
+    ];
+
+    /// The name used in `SVC_FAULTS` specs, traces and campaign reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::BusDrop => "bus_drop",
+            FaultSite::BusDelay => "bus_delay",
+            FaultSite::MemJitter => "mem_jitter",
+            FaultSite::MshrFail => "mshr_fail",
+            FaultSite::WbOverflow => "wb_overflow",
+            FaultSite::SpuriousSquash => "spurious_squash",
+            FaultSite::ForcedEvict => "forced_evict",
+            FaultSite::VclDelay => "vcl_delay",
+        }
+    }
+
+    /// Per-site stream salt: the run seed is XORed with this before
+    /// seeding the site's SplitMix64 stream, so sites draw from
+    /// independent deterministic sequences.
+    fn salt(self) -> u64 {
+        // Odd multiples of the golden-ratio constant (distinct, fixed).
+        0x9E37_79B9_7F4A_7C15u64.wrapping_mul(2 * (self as u64) + 1)
+    }
+}
+
+/// A typed description of one injected fault, surfaced through the tracer
+/// as [`TraceEvent::Fault`](crate::trace::TraceEvent::Fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The site that fired.
+    pub site: FaultSite,
+    /// The PU involved, if attributable.
+    pub pu: Option<PuId>,
+    /// The line involved, if attributable.
+    pub line: Option<LineId>,
+    /// Extra cycles charged by the fault.
+    pub penalty: u64,
+}
+
+/// Per-site fault rates plus the penalty bound; parsed from `SVC_FAULTS`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability, per consultation, that each site fires (indexed as
+    /// [`FaultSite::EVERY`]).
+    pub rates: [f64; NUM_SITES],
+    /// Upper bound (cycles) on an injected delay penalty.
+    pub max_penalty: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            rates: [0.0; NUM_SITES],
+            max_penalty: DEFAULT_MAX_PENALTY,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether every rate is zero (nothing will ever fire).
+    pub fn is_empty(&self) -> bool {
+        self.rates.iter().all(|&r| r <= 0.0)
+    }
+
+    /// A config with every site firing at `rate`.
+    pub fn uniform(rate: f64) -> FaultConfig {
+        FaultConfig {
+            rates: [rate; NUM_SITES],
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Parses a spec like `"bus_drop=0.01,mshr_fail=0.005"`. The pseudo
+    /// site `all` sets every rate at once; `penalty=N` bounds injected
+    /// delays. An empty spec parses to the empty (disabled) config.
+    pub fn parse(spec: &str) -> Result<FaultConfig, String> {
+        let mut cfg = FaultConfig::default();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec token {token:?} is not key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            if key == "penalty" {
+                cfg.max_penalty = value
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("fault penalty {value:?} is not a positive integer"))?;
+                continue;
+            }
+            let rate: f64 = value
+                .parse()
+                .map_err(|_| format!("fault rate {value:?} is not a number"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("fault rate {rate} for {key:?} is outside [0, 1]"));
+            }
+            if key == "all" {
+                cfg.rates = [rate; NUM_SITES];
+                continue;
+            }
+            let site = FaultSite::EVERY
+                .into_iter()
+                .find(|s| s.name() == key)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown fault site {key:?} (known: all, penalty, {})",
+                        FaultSite::EVERY.map(FaultSite::name).join(", ")
+                    )
+                })?;
+            cfg.rates[site as usize] = rate;
+        }
+        Ok(cfg)
+    }
+}
+
+fn threshold(rate: f64) -> u64 {
+    if rate <= 0.0 {
+        0
+    } else if rate >= 1.0 {
+        u64::MAX
+    } else {
+        (rate * (u64::MAX as f64)) as u64
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    thresholds: [u64; NUM_SITES],
+    max_penalty: u64,
+    streams: [SplitMix64; NUM_SITES],
+    injected: [u64; NUM_SITES],
+}
+
+/// A cheap-to-clone fault-injection handle. All clones share one set of
+/// per-site streams and counters; a default-constructed handle is
+/// disabled and costs one branch per [`inject`](Faults::inject).
+#[derive(Debug, Clone, Default)]
+pub struct Faults {
+    inner: Option<Rc<RefCell<State>>>,
+}
+
+/// Handles compare by enabled-ness only, so simulator components keep
+/// their derived `PartialEq` implementations (mirrors `Tracer`).
+impl PartialEq for Faults {
+    fn eq(&self, other: &Faults) -> bool {
+        self.is_active() == other.is_active()
+    }
+}
+
+impl Eq for Faults {}
+
+impl Faults {
+    /// A disabled injector (same as `Faults::default()`).
+    pub fn disabled() -> Faults {
+        Faults::default()
+    }
+
+    /// An injector drawing each site's schedule from `seed ^ site-salt`.
+    /// An all-zero config yields a disabled handle.
+    pub fn new(config: &FaultConfig, seed: u64) -> Faults {
+        if config.is_empty() {
+            return Faults::disabled();
+        }
+        let mut thresholds = [0u64; NUM_SITES];
+        for site in FaultSite::EVERY {
+            thresholds[site as usize] = threshold(config.rates[site as usize]);
+        }
+        Faults {
+            inner: Some(Rc::new(RefCell::new(State {
+                thresholds,
+                max_penalty: config.max_penalty.max(1),
+                streams: FaultSite::EVERY.map(|s| SplitMix64::new(seed ^ s.salt())),
+                injected: [0; NUM_SITES],
+            }))),
+        }
+    }
+
+    /// Builds an injector from the environment: `SVC_FAULTS` holds the
+    /// spec (see [`FaultConfig::parse`]; unset or empty disables
+    /// injection, a malformed spec disables it with a warning).
+    pub fn from_env(seed: u64) -> Faults {
+        let Some(spec) = std::env::var("SVC_FAULTS").ok().filter(|s| !s.is_empty()) else {
+            return Faults::disabled();
+        };
+        match FaultConfig::parse(&spec) {
+            Ok(cfg) => Faults::new(&cfg, seed),
+            Err(e) => {
+                eprintln!("SVC_FAULTS: {e}; fault injection disabled");
+                Faults::disabled()
+            }
+        }
+    }
+
+    /// Whether any site can fire — the single branch on the fast path.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Consults `site`'s stream. Returns the penalty (at least one
+    /// cycle) when the fault fires, `None` otherwise. Disabled handles
+    /// return `None` after one branch and never touch any stream.
+    #[inline]
+    pub fn inject(&self, site: FaultSite) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let mut st = inner.borrow_mut();
+        let i = site as usize;
+        if st.thresholds[i] == 0 {
+            return None;
+        }
+        if st.streams[i].next_u64() >= st.thresholds[i] {
+            return None;
+        }
+        st.injected[i] += 1;
+        let max = st.max_penalty;
+        let penalty = 1 + st.streams[i].next_u64() % max;
+        Some(penalty)
+    }
+
+    /// How many times `site` has fired.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |s| s.borrow().injected[site as usize])
+    }
+
+    /// Total faults injected across every site.
+    pub fn total_injected(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |s| s.borrow().injected.iter().sum())
+    }
+
+    /// Per-site injection counts, in [`FaultSite::EVERY`] order.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        FaultSite::EVERY
+            .into_iter()
+            .map(|s| (s.name(), self.injected(s)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let f = Faults::disabled();
+        assert!(!f.is_active());
+        for site in FaultSite::EVERY {
+            assert_eq!(f.inject(site), None);
+        }
+        assert_eq!(f.total_injected(), 0);
+    }
+
+    #[test]
+    fn empty_config_is_disabled() {
+        assert!(!Faults::new(&FaultConfig::default(), 1).is_active());
+        let cfg = FaultConfig::parse("").unwrap();
+        assert!(cfg.is_empty());
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let cfg = FaultConfig::parse("bus_drop=0.5, mshr_fail=0.25, penalty=3").unwrap();
+        assert_eq!(cfg.rates[FaultSite::BusDrop as usize], 0.5);
+        assert_eq!(cfg.rates[FaultSite::MshrFail as usize], 0.25);
+        assert_eq!(cfg.rates[FaultSite::BusDelay as usize], 0.0);
+        assert_eq!(cfg.max_penalty, 3);
+        let all = FaultConfig::parse("all=0.01").unwrap();
+        assert!(all.rates.iter().all(|&r| r == 0.01));
+        assert!(FaultConfig::parse("bogus=0.1").is_err());
+        assert!(FaultConfig::parse("bus_drop=2.0").is_err());
+        assert!(FaultConfig::parse("bus_drop").is_err());
+        assert!(FaultConfig::parse("penalty=0").is_err());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultConfig::parse("all=0.3").unwrap();
+        let a = Faults::new(&cfg, 99);
+        let b = Faults::new(&cfg, 99);
+        for _ in 0..2000 {
+            for site in FaultSite::EVERY {
+                assert_eq!(a.inject(site), b.inject(site));
+            }
+        }
+        assert_eq!(a.total_injected(), b.total_injected());
+        assert!(a.total_injected() > 0, "rate 0.3 fires within 2000 draws");
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        let cfg = FaultConfig::parse("all=1.0").unwrap();
+        let f = Faults::new(&cfg, 7);
+        // Every site fires at rate 1.0 and counts independently.
+        for site in FaultSite::EVERY {
+            assert!(f.inject(site).is_some());
+            assert_eq!(f.injected(site), 1);
+        }
+        assert_eq!(f.total_injected(), NUM_SITES as u64);
+    }
+
+    #[test]
+    fn penalties_are_bounded_and_positive() {
+        let cfg = FaultConfig::parse("all=1.0,penalty=5").unwrap();
+        let f = Faults::new(&cfg, 3);
+        for _ in 0..100 {
+            for site in FaultSite::EVERY {
+                let p = f.inject(site).unwrap();
+                assert!((1..=5).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn clones_share_streams_and_counters() {
+        let cfg = FaultConfig::parse("bus_delay=1.0").unwrap();
+        let a = Faults::new(&cfg, 1);
+        let b = a.clone();
+        a.inject(FaultSite::BusDelay);
+        b.inject(FaultSite::BusDelay);
+        assert_eq!(a.injected(FaultSite::BusDelay), 2);
+        assert_eq!(b.injected(FaultSite::BusDelay), 2);
+    }
+
+    #[test]
+    fn counts_are_labelled_in_stable_order() {
+        let f = Faults::new(&FaultConfig::uniform(1.0), 2);
+        f.inject(FaultSite::VclDelay);
+        let counts = f.counts();
+        assert_eq!(counts.len(), NUM_SITES);
+        assert_eq!(counts[0].0, "bus_drop");
+        assert_eq!(counts[NUM_SITES - 1], ("vcl_delay", 1));
+    }
+}

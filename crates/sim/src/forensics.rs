@@ -42,6 +42,8 @@ fn touches_line(event: &TraceEvent, line: LineId, words_per_line: u64) -> bool {
         TraceEvent::Access { addr, .. } | TraceEvent::Violation { addr, .. } => {
             line_of(*addr, words_per_line) == line
         }
+        TraceEvent::Fault(e) => e.line == Some(line),
+        TraceEvent::InvariantViolation { line: l, .. } => *l == Some(line),
         TraceEvent::WritebackPush { .. }
         | TraceEvent::TaskDispatch { .. }
         | TraceEvent::TaskCommit { .. }

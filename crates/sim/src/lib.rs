@@ -16,7 +16,10 @@
 //! * [`metrics`] — a unified registry of named counter/gauge/histogram
 //!   metrics that subsystems export into;
 //! * [`forensics`] — causal squash-chain and line-history reconstruction
-//!   over recorded traces.
+//!   over recorded traces;
+//! * [`fault`] — deterministic fault injection: per-site SplitMix64
+//!   streams derived from the run seed, threaded through the memory
+//!   system and engine as a zero-cost-when-disabled handle.
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod forensics;
 pub mod metrics;
 pub mod rng;

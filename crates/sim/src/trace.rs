@@ -77,11 +77,13 @@ pub enum Category {
     Access,
     /// Task lifecycle: dispatch, commit, squash, violations.
     Task,
+    /// Injected faults and watchdog-detected invariant violations.
+    Fault,
 }
 
 impl Category {
     /// All categories, in emission-stable order.
-    pub const EVERY: [Category; 8] = [
+    pub const EVERY: [Category; 9] = [
         Category::Bus,
         Category::Mshr,
         Category::Writeback,
@@ -90,10 +92,11 @@ impl Category {
         Category::Vcl,
         Category::Access,
         Category::Task,
+        Category::Fault,
     ];
 
     /// Mask with every category enabled.
-    pub const ALL: u32 = (1 << 8) - 1;
+    pub const ALL: u32 = (1 << 9) - 1;
 
     /// This category's bit.
     #[inline]
@@ -112,6 +115,7 @@ impl Category {
             Category::Vcl => "vcl",
             Category::Access => "access",
             Category::Task => "task",
+            Category::Fault => "fault",
         }
     }
 }
@@ -203,6 +207,8 @@ impl AccessOp {
 pub enum SquashCause {
     /// The task (or an ancestor) was a wrong task prediction.
     Misprediction,
+    /// The fault injector forced a spurious squash (robustness drill).
+    Fault,
     /// A memory-dependence violation was detected.
     Violation,
     /// Squashed to free speculative resources for a stalled head.
@@ -214,6 +220,7 @@ impl SquashCause {
     pub fn name(self) -> &'static str {
         match self {
             SquashCause::Misprediction => "misprediction",
+            SquashCause::Fault => "fault",
             SquashCause::Violation => "violation",
             SquashCause::Resource => "resource",
         }
@@ -506,6 +513,19 @@ pub enum TraceEvent {
         /// The oldest position being re-dispatched (the walk's root).
         restart: TaskId,
     },
+    /// The fault injector fired at one of its sites.
+    Fault(crate::fault::FaultEvent),
+    /// The invariant watchdog detected a violation.
+    InvariantViolation {
+        /// The violated invariant's short name.
+        kind: &'static str,
+        /// The PU involved, if attributable.
+        pu: Option<PuId>,
+        /// The line involved, if attributable.
+        line: Option<LineId>,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -527,6 +547,7 @@ impl TraceEvent {
             | TraceEvent::TaskDispatch { .. }
             | TraceEvent::TaskCommit { .. }
             | TraceEvent::TaskSquash { .. } => Category::Task,
+            TraceEvent::Fault(_) | TraceEvent::InvariantViolation { .. } => Category::Fault,
         }
     }
 }
@@ -858,6 +879,31 @@ impl fmt::Display for Record {
                 cause.name(),
                 restart.0
             ),
+            TraceEvent::Fault(e) => {
+                write!(f, "FAULT {}", e.site.name())?;
+                if let Some(pu) = e.pu {
+                    write!(f, " {pu}")?;
+                }
+                if let Some(line) = e.line {
+                    write!(f, " line {}", line.0)?;
+                }
+                write!(f, " penalty={}", e.penalty)
+            }
+            TraceEvent::InvariantViolation {
+                kind,
+                pu,
+                line,
+                detail,
+            } => {
+                write!(f, "INVARIANT {kind}")?;
+                if let Some(pu) = pu {
+                    write!(f, " {pu}")?;
+                }
+                if let Some(line) = line {
+                    write!(f, " line {}", line.0)?;
+                }
+                write!(f, ": {detail}")
+            }
         }
     }
 }
@@ -1109,6 +1155,32 @@ fn event_fields_json(out: &mut String, event: &TraceEvent) {
                 restart.0
             );
         }
+        TraceEvent::Fault(e) => {
+            let _ = write!(out, "\"ev\":\"fault\",\"site\":\"{}\"", e.site.name());
+            if let Some(pu) = e.pu {
+                let _ = write!(out, ",\"pu\":{}", pu.0);
+            }
+            if let Some(line) = e.line {
+                let _ = write!(out, ",\"line\":{}", line.0);
+            }
+            let _ = write!(out, ",\"penalty\":{}", e.penalty);
+        }
+        TraceEvent::InvariantViolation {
+            kind,
+            pu,
+            line,
+            detail,
+        } => {
+            let _ = write!(out, "\"ev\":\"invariant\",\"kind\":\"{kind}\"");
+            if let Some(pu) = pu {
+                let _ = write!(out, ",\"pu\":{}", pu.0);
+            }
+            if let Some(line) = line {
+                let _ = write!(out, ",\"line\":{}", line.0);
+            }
+            out.push_str(",\"detail\":");
+            escape_json_into(out, detail);
+        }
     }
 }
 
@@ -1170,6 +1242,10 @@ pub fn render_chrome(records: &[Record], title: &str) -> String {
             TraceEvent::TaskDispatch { pu, .. } => (pu.0 as u64, "dispatch"),
             TraceEvent::TaskCommit { pu, .. } => (pu.0 as u64, "commit"),
             TraceEvent::TaskSquash { pu, .. } => (pu.0 as u64, "squash"),
+            TraceEvent::Fault(e) => (e.pu.map_or(98, |p| p.0 as u64), "fault"),
+            TraceEvent::InvariantViolation { pu, .. } => {
+                (pu.map_or(98, |p| p.0 as u64), "invariant")
+            }
         };
         let mut args = String::new();
         event_fields_json(&mut args, &r.event);
@@ -1325,6 +1401,38 @@ mod tests {
         let text = render_text(&t.records());
         assert!(text.contains("squash T5"));
         assert!(text.contains("cause=violation"));
+    }
+
+    #[test]
+    fn fault_events_render_in_every_sink() {
+        use crate::fault::{FaultEvent, FaultSite};
+        let t = Tracer::new(Category::Fault.bit(), 16);
+        t.emit(Cycle(7), Category::Fault, || {
+            TraceEvent::Fault(FaultEvent {
+                site: FaultSite::BusDrop,
+                pu: Some(PuId(1)),
+                line: Some(LineId(3)),
+                penalty: 4,
+            })
+        });
+        t.emit(Cycle(8), Category::Fault, || {
+            TraceEvent::InvariantViolation {
+                kind: "state_bits",
+                pu: Some(PuId(2)),
+                line: None,
+                detail: "store bits outside valid \"mask\"".to_string(),
+            }
+        });
+        let text = render_text(&t.records());
+        assert!(text.contains("FAULT bus_drop PU1 line 3 penalty=4"));
+        assert!(text.contains("INVARIANT state_bits PU2:"));
+        let jsonl = render_jsonl(&t.records());
+        assert!(jsonl.contains("\"ev\":\"fault\",\"site\":\"bus_drop\""));
+        assert!(jsonl.contains("\"ev\":\"invariant\",\"kind\":\"state_bits\""));
+        assert!(jsonl.contains("\\\"mask\\\""), "detail is escaped");
+        assert_eq!(parse_filter("fault").unwrap(), Category::Fault.bit());
+        let chrome = render_chrome(&t.records(), "faults");
+        assert!(chrome.contains("\"name\":\"invariant\""));
     }
 
     #[test]

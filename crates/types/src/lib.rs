@@ -35,6 +35,7 @@
 mod addr;
 mod assignment;
 mod ids;
+mod invariant;
 mod stats;
 mod time;
 mod versioned;
@@ -43,6 +44,7 @@ mod word;
 pub use addr::{Addr, LineId};
 pub use assignment::TaskAssignments;
 pub use ids::{PuId, TaskId};
+pub use invariant::{InvariantKind, InvariantViolation};
 pub use stats::MemStats;
 pub use time::Cycle;
 pub use versioned::{

@@ -1,6 +1,6 @@
 use core::fmt;
 
-use crate::{Addr, Cycle, MemStats, PuId, TaskId, Word};
+use crate::{Addr, Cycle, InvariantViolation, MemStats, PuId, TaskId, Word};
 
 /// Where the data answering a load came from. Feeds the miss-ratio
 /// accounting of Table 2: for the SVC "an access is counted as a miss if
@@ -171,6 +171,26 @@ pub trait VersionedMemory {
     fn squash_at(&mut self, pu: PuId, now: Cycle) {
         let _ = now;
         self.squash(pu);
+    }
+
+    /// Runs this memory system's invariant watchdog: protocol-level
+    /// consistency checks over the complete speculative state (e.g. VOL
+    /// acyclicity, state-bit legality, unique ownership). Returns every
+    /// violation found instead of panicking, so callers can feed
+    /// forensics and keep running. The default (used by implementations
+    /// without a watchdog, like the ideal memory) reports nothing.
+    fn check_invariants(&self, now: Cycle) -> Vec<InvariantViolation> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// Runs the post-squash cleanliness check for `pu`: immediately after
+    /// [`squash`](VersionedMemory::squash) no speculative state of the
+    /// squashed task may survive in `pu`'s cache/stage. The default
+    /// reports nothing.
+    fn check_post_squash(&self, pu: PuId, now: Cycle) -> Vec<InvariantViolation> {
+        let _ = (pu, now);
+        Vec::new()
     }
 
     /// Forces all committed state out to the next level of memory, so that

@@ -7,6 +7,7 @@
 //!               [--trace] [--trace-filter CATS] [--trace-out PREFIX]
 //! svc-sim trace [--addr N] [workload/memory flags as for run]
 //! svc-sim designs [--bench NAME] [--budget N] [--seed N]
+//! svc-sim faults [--seed N] [--budget N] [--rate R] [--pus N]
 //! svc-sim list
 //! ```
 //!
@@ -19,16 +20,24 @@
 //! `trace` runs a traced cell and prints the squash-forensics report —
 //! a line's version history plus the violation→squash causal chains —
 //! for the line containing `--addr`. `designs` walks the §3 design
-//! progression on one benchmark; `list` shows the available workloads.
+//! progression on one benchmark; `faults` runs the deterministic
+//! fault-injection campaign (see EXPERIMENTS.md); `list` shows the
+//! available workloads.
+//!
+//! Exit codes: 0 success, 2 usage error, 3 I/O error, 4 invariant
+//! violation / silent corruption ([`svc_repro::bench::cli`]).
 
 use std::process::ExitCode;
 
+use svc_repro::bench::cli::CliError;
 use svc_repro::bench::{report, run_source, run_source_with, MemoryKind, NUM_PUS};
 use svc_repro::multiscalar::{Engine, EngineConfig, TaskSource, VecTaskSource};
+use svc_repro::sim::fault::{FaultConfig, Faults};
 use svc_repro::sim::forensics;
+use svc_repro::sim::rng::SplitMix64;
 use svc_repro::sim::trace::{self, Tracer};
 use svc_repro::svc::{SvcConfig, SvcSystem};
-use svc_repro::types::VersionedMemory;
+use svc_repro::types::{Addr, Cycle, PuId, VersionedMemory};
 use svc_repro::workloads::{kernels, Spec95, SyntheticWorkload};
 
 /// Parsed command-line options.
@@ -49,6 +58,7 @@ struct Options {
     trace_filter: String,
     trace_out: Option<String>,
     addr: Option<u64>,
+    rate: f64,
 }
 
 impl Default for Options {
@@ -69,6 +79,7 @@ impl Default for Options {
             trace_filter: "all".to_string(),
             trace_out: None,
             addr: None,
+            rate: 0.02,
         }
     }
 }
@@ -78,7 +89,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
     let mut it = args.iter();
     o.command = it.next().cloned().ok_or("missing command")?;
-    if !matches!(o.command.as_str(), "run" | "designs" | "list" | "trace") {
+    if !matches!(
+        o.command.as_str(),
+        "run" | "designs" | "list" | "trace" | "faults"
+    ) {
         return Err(format!("unknown command {:?}", o.command));
     }
     while let Some(flag) = it.next() {
@@ -102,8 +116,12 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--trace-filter" => o.trace_filter = value()?,
             "--trace-out" => o.trace_out = Some(value()?),
             "--addr" => o.addr = Some(value()?.parse().map_err(|e| format!("--addr: {e}"))?),
+            "--rate" => o.rate = value()?.parse().map_err(|e| format!("--rate: {e}"))?,
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if !(0.0..=1.0).contains(&o.rate) || o.rate == 0.0 {
+        return Err(format!("--rate must be in (0, 1], got {}", o.rate));
     }
     if [o.bench.is_some(), o.kernel.is_some(), o.replay.is_some()]
         .into_iter()
@@ -190,11 +208,12 @@ fn memory_kind(o: &Options) -> MemoryKind {
 
 /// Builds the tracer the options ask for (`Tracer::disabled()` when
 /// tracing is off; ring capacity from `SVC_TRACE_CAP` as usual).
-fn cli_tracer(o: &Options, force: bool) -> Result<Tracer, String> {
+fn cli_tracer(o: &Options, force: bool) -> Result<Tracer, CliError> {
     if !o.trace && !force {
         return Ok(Tracer::disabled());
     }
-    let mask = trace::parse_filter(&o.trace_filter).map_err(|e| format!("--trace-filter: {e}"))?;
+    let mask = trace::parse_filter(&o.trace_filter)
+        .map_err(|e| CliError::Usage(format!("--trace-filter: {e}")))?;
     let capacity = std::env::var("SVC_TRACE_CAP")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -211,7 +230,7 @@ fn cli_tracer(o: &Options, force: bool) -> Result<Tracer, String> {
 fn run_selected(
     o: &Options,
     tracer: Tracer,
-) -> Result<(svc_repro::bench::ExperimentResult, String), String> {
+) -> Result<(svc_repro::bench::ExperimentResult, String), CliError> {
     let memory = memory_kind(o);
     let run = |src: &dyn TaskSource, cfg: EngineConfig| {
         if tracer.is_active() {
@@ -221,14 +240,15 @@ fn run_selected(
         }
     };
     Ok(if let Some(path) = &o.replay {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let src = svc_repro::workloads::parse_trace(&text).map_err(|e| e.to_string())?;
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+        let src = svc_repro::workloads::parse_trace(&text)
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
         (run(&src, engine_config(o, None)), path.clone())
     } else if let Some(k) = &o.kernel {
-        let src = lookup_kernel(k, o.seed)?;
+        let src = lookup_kernel(k, o.seed).map_err(CliError::Usage)?;
         (run(&src, engine_config(o, None)), k.clone())
     } else {
-        let bench = lookup_bench(o.bench.as_deref().unwrap_or("gcc"))?;
+        let bench = lookup_bench(o.bench.as_deref().unwrap_or("gcc")).map_err(CliError::Usage)?;
         let wl = bench.workload(o.seed);
         (
             run(&wl, engine_config(o, Some(&wl))),
@@ -238,7 +258,7 @@ fn run_selected(
 }
 
 /// Writes (with `--trace-out PREFIX`) or prints the recorded trace.
-fn emit_trace(o: &Options, tracer: &Tracer, title: &str) -> Result<(), String> {
+fn emit_trace(o: &Options, tracer: &Tracer, title: &str) -> Result<(), CliError> {
     let records = tracer.records();
     if let Some(prefix) = &o.trace_out {
         for (ext, text) in [
@@ -247,7 +267,7 @@ fn emit_trace(o: &Options, tracer: &Tracer, title: &str) -> Result<(), String> {
             ("trace.json", trace::render_chrome(&records, title)),
         ] {
             let path = format!("{prefix}.{ext}");
-            std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
+            std::fs::write(&path, text).map_err(|e| CliError::io(&path, e))?;
         }
         eprintln!(
             "trace: {} events ({} dropped) -> {}.{{log,jsonl,trace.json}}",
@@ -267,7 +287,7 @@ fn emit_trace(o: &Options, tracer: &Tracer, title: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(o: &Options) -> Result<(), String> {
+fn cmd_run(o: &Options) -> Result<(), CliError> {
     let tracer = cli_tracer(o, false)?;
     let (result, name) = run_selected(o, tracer.clone())?;
     if tracer.is_active() {
@@ -311,7 +331,7 @@ fn cmd_run(o: &Options) -> Result<(), String> {
 
 /// `svc-sim trace`: run a fully traced cell and print the forensics
 /// report for the line containing `--addr`.
-fn cmd_trace(o: &Options) -> Result<(), String> {
+fn cmd_trace(o: &Options) -> Result<(), CliError> {
     let addr = o.addr.expect("parse() enforces --addr for `trace`");
     let tracer = cli_tracer(o, true)?;
     let (_, name) = run_selected(o, tracer.clone())?;
@@ -333,8 +353,8 @@ fn cmd_trace(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_designs(o: &Options) -> Result<(), String> {
-    let bench = lookup_bench(o.bench.as_deref().unwrap_or("gcc"))?;
+fn cmd_designs(o: &Options) -> Result<(), CliError> {
+    let bench = lookup_bench(o.bench.as_deref().unwrap_or("gcc")).map_err(CliError::Usage)?;
     let wl = bench.workload(o.seed);
     println!(
         "design progression on {bench} ({} instructions):\n",
@@ -366,14 +386,221 @@ fn cmd_designs(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// `svc-sim faults`: the deterministic fault-injection campaign
+// ---------------------------------------------------------------------
+
+/// Kernels × SVC designs swept by the recovery campaign.
+const CAMPAIGN_KERNELS: [&str; 4] = [
+    "streaming",
+    "producer-consumer",
+    "reduction",
+    "false-sharing",
+];
+
+fn campaign_designs(pus: usize) -> [(&'static str, SvcConfig); 3] {
+    [
+        ("base", SvcConfig::base(pus)),
+        ("ecs", SvcConfig::ecs(pus)),
+        ("final", SvcConfig::final_design(pus)),
+    ]
+}
+
+/// Architectural words probed after draining — wide enough to cover
+/// every campaign kernel's address space.
+const PROBE_SPAN: u64 = 16 * 1024;
+
+/// What one campaign run left behind: the drained architectural image,
+/// the watchdog verdict, and the injection counters.
+struct CellOutcome {
+    probes: Vec<svc_repro::types::Word>,
+    violations: usize,
+    injected: u64,
+    counts: Vec<(&'static str, u64)>,
+}
+
+/// Runs `kernel` on `cfg` with the given injector (watchdog always on),
+/// drains, and probes the architectural state.
+fn run_fault_cell(
+    kernel: &str,
+    cfg: SvcConfig,
+    o: &Options,
+    seed: u64,
+    faults: Faults,
+) -> Result<CellOutcome, CliError> {
+    let src = lookup_kernel(kernel, seed).map_err(CliError::Usage)?;
+    let mut system = SvcSystem::new(cfg);
+    system.set_faults(faults.clone());
+    let engine_cfg = EngineConfig {
+        num_pus: o.pus,
+        max_instructions: o.budget,
+        seed,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(engine_cfg, system);
+    engine.set_faults(faults.clone());
+    engine.set_watchdog(64);
+    engine.run(&src as &dyn TaskSource);
+    let violations = engine.violations().len();
+    let mut mem = engine.into_memory();
+    mem.drain();
+    let probes = (0..PROBE_SPAN)
+        .map(|a| mem.architectural(Addr(a)))
+        .collect();
+    Ok(CellOutcome {
+        probes,
+        violations,
+        injected: faults.total_injected(),
+        counts: faults.counts(),
+    })
+}
+
+/// Corrupts a drilled system and asserts the watchdog catches it,
+/// printing the violations and the forensics causal chain for the
+/// corrupted line. `drill` is `state_bit` or `splice_vol`.
+fn run_drill(o: &Options, seed: u64, drill: &str) -> Result<(), CliError> {
+    let mask = trace::parse_filter("all").expect("'all' is a valid filter");
+    let tracer = Tracer::new(mask, 65_536);
+    let src = lookup_kernel("producer-consumer", seed).map_err(CliError::Usage)?;
+    let mut system = SvcSystem::new(SvcConfig::final_design(o.pus));
+    system.set_tracer(tracer.clone());
+    let engine_cfg = EngineConfig {
+        num_pus: o.pus,
+        max_instructions: o.budget.min(20_000),
+        seed,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(engine_cfg, system);
+    engine.set_tracer(tracer.clone());
+    let report = engine.run(&src as &dyn TaskSource);
+    let now = Cycle(report.cycles);
+    let mut mem = engine.into_memory();
+
+    let pre = mem.check_invariants(now);
+    if !pre.is_empty() {
+        return Err(CliError::Invariant(format!(
+            "drill {drill}: system dirty before corruption: {}",
+            pre[0]
+        )));
+    }
+    let corrupted = (0..PROBE_SPAN).map(Addr).find(|&a| match drill {
+        "state_bit" => mem.fault_flip_state_bit(PuId(0), a),
+        _ => mem.fault_splice_vol(a),
+    });
+    let Some(addr) = corrupted else {
+        return Err(CliError::Invariant(format!(
+            "drill {drill}: no resident line to corrupt (seed {seed:#x})"
+        )));
+    };
+    let found = mem.check_invariants(now);
+    if found.is_empty() {
+        return Err(CliError::Invariant(format!(
+            "drill {drill}: corruption at addr {} NOT caught by the watchdog",
+            addr.0
+        )));
+    }
+    println!(
+        "detected   drill={drill} addr={} violations={}",
+        addr.0,
+        found.len()
+    );
+    for v in found.iter().take(4) {
+        println!("           {v}");
+    }
+    // The forensics causal chain for the corrupted line: its version
+    // history as recorded by the tracer up to the corruption.
+    let wpl = SvcConfig::final_design(o.pus).geometry.words_per_line() as u64;
+    let line = forensics::line_of(addr, wpl);
+    let chain = forensics::render_line_report(&tracer.records(), line, wpl);
+    for l in chain.lines().take(12) {
+        println!("           | {l}");
+    }
+    Ok(())
+}
+
+/// `svc-sim faults`: sweep kernels × designs with every fault site
+/// firing at `--rate`, asserting each cell either recovers (drained
+/// architectural state identical to the fault-free reference) or is
+/// flagged by the watchdog; then run the corruption drills, which the
+/// watchdog must catch. Output is byte-identical for a given seed.
+fn cmd_faults(o: &Options) -> Result<(), CliError> {
+    let spec = format!("all={}", o.rate);
+    let fault_cfg = FaultConfig::parse(&spec).map_err(CliError::Usage)?;
+    println!(
+        "fault campaign: seed {:#x}, rate {}, budget {}",
+        o.seed, o.rate, o.budget
+    );
+
+    let mut cell_seeds = SplitMix64::new(o.seed);
+    let mut cells = 0u64;
+    let mut total_injected = 0u64;
+    for kernel in CAMPAIGN_KERNELS {
+        for (design, cfg) in campaign_designs(o.pus) {
+            let seed = cell_seeds.next_u64();
+            let reference = run_fault_cell(kernel, cfg, o, seed, Faults::disabled())?;
+            let faulted = run_fault_cell(kernel, cfg, o, seed, Faults::new(&fault_cfg, seed))?;
+            cells += 1;
+            total_injected += faulted.injected;
+            if reference.violations > 0 {
+                return Err(CliError::Invariant(format!(
+                    "{kernel}/{design}: fault-free reference tripped the watchdog"
+                )));
+            }
+            let verdict = if faulted.probes == reference.probes && faulted.violations == 0 {
+                "recovered"
+            } else if faulted.violations > 0 {
+                "detected"
+            } else {
+                let diverged = faulted
+                    .probes
+                    .iter()
+                    .zip(&reference.probes)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                return Err(CliError::Invariant(format!(
+                    "{kernel}/{design}: SILENT CORRUPTION — architectural state diverges \
+                     at addr {diverged} with no watchdog violation (seed {seed:#x})"
+                )));
+            };
+            let fired: Vec<String> = faulted
+                .counts
+                .iter()
+                .filter(|(_, n)| *n > 0)
+                .map(|(name, n)| format!("{name}={n}"))
+                .collect();
+            println!(
+                "{verdict}  kernel={kernel} design={design} seed={seed:#x} injected={} ({})",
+                faulted.injected,
+                fired.join(", "),
+            );
+        }
+    }
+    if total_injected == 0 {
+        return Err(CliError::Invariant(format!(
+            "campaign injected no faults across {cells} cells — rate {} too low",
+            o.rate
+        )));
+    }
+
+    let mut drill_seeds = SplitMix64::new(o.seed ^ 0xD2_11);
+    for drill in ["state_bit", "splice_vol"] {
+        run_drill(o, drill_seeds.next_u64(), drill)?;
+    }
+    println!(
+        "campaign: {cells} cells, {total_injected} faults injected, 100% recovered or detected; \
+         2/2 corruption drills caught"
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse(&args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: svc-sim run|trace|designs|list [flags] (see `cargo doc`)");
-            return ExitCode::from(2);
+            eprintln!("usage: svc-sim run|trace|designs|faults|list [flags] (see `cargo doc`)");
+            return ExitCode::from(svc_repro::bench::cli::EXIT_USAGE);
         }
     };
     let result = match opts.command.as_str() {
@@ -383,15 +610,10 @@ fn main() -> ExitCode {
         }
         "run" => cmd_run(&opts),
         "trace" => cmd_trace(&opts),
+        "faults" => cmd_faults(&opts),
         _ => cmd_designs(&opts),
     };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
-        }
-    }
+    svc_repro::bench::cli::exit_report(result)
 }
 
 #[cfg(test)]
