@@ -4,10 +4,12 @@
 use std::collections::HashMap;
 
 use svc_mem::{CacheGeometry, MainMemory};
+use svc_sim::profile::{AccessProfile, Profiler};
 use svc_sim::trace::{AccessOp, Category, TraceEvent, Tracer};
 use svc_types::{
-    AccessError, Addr, Cycle, DataSource, InvariantKind, InvariantViolation, LoadOutcome, MemStats,
-    PuId, StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Violation, Word,
+    AccessError, Addr, Cycle, DataSource, InvariantKind, InvariantViolation, LoadOutcome,
+    MemGauges, MemStats, PuId, StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Violation,
+    Word,
 };
 
 /// Configuration of an [`ArbSystem`].
@@ -88,6 +90,7 @@ pub struct ArbSystem {
     memory: MainMemory,
     stats: MemStats,
     tracer: Tracer,
+    profiler: Profiler,
 }
 
 impl ArbSystem {
@@ -107,8 +110,16 @@ impl ArbSystem {
             memory: MainMemory::new(),
             stats: MemStats::default(),
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
             config,
         }
+    }
+
+    /// Attaches a cycle-accounting profiler handle. The ARB has no
+    /// snooping bus, so only next-level fill penalties are reported; the
+    /// shared-structure access latency profiles as generic memory time.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// The configuration this system was built with.
@@ -246,6 +257,15 @@ impl VersionedMemory for ArbSystem {
                 let access = self.cache.read(addr, &mut self.memory);
                 if access.missed {
                     self.stats.next_level_fills += 1;
+                    if self.profiler.is_active() {
+                        self.profiler.note_access(
+                            pu,
+                            AccessProfile {
+                                mem_latency: self.config.memory_cycles,
+                                ..AccessProfile::default()
+                            },
+                        );
+                    }
                     (
                         access.value,
                         now + self.config.hit_cycles + self.config.memory_cycles,
@@ -363,6 +383,13 @@ impl VersionedMemory for ArbSystem {
             *stage = Stage::default();
         }
         self.assignments.release(pu);
+    }
+
+    fn profile_gauges(&self, _now: Cycle) -> MemGauges {
+        MemGauges {
+            outstanding_misses: 0,
+            live_versions: self.speculative_rows() as u64,
+        }
     }
 
     fn check_invariants(&self, now: Cycle) -> Vec<InvariantViolation> {

@@ -22,6 +22,7 @@ use svc::{SvcConfig, SvcSystem};
 use svc_bench::{cli, harness, publish_paper_grid, ExperimentResult, PAPER_SEED};
 use svc_mem::CacheGeometry;
 use svc_multiscalar::{Engine, EngineConfig, PredictorModel, TaskSource};
+use svc_sim::profile::Profiler;
 use svc_workloads::kernels;
 
 /// One ablation arm: a kernel plus an SVC configuration.
@@ -114,7 +115,11 @@ fn run(
         garbage_addr_space: 256,
         ..EngineConfig::default()
     };
-    let mut engine = Engine::new(engine_cfg, SvcSystem::new(cfg));
+    let profiler = Profiler::from_env(cfg.num_pus);
+    let mut system = SvcSystem::new(cfg);
+    system.set_profiler(profiler.clone());
+    let mut engine = Engine::new(engine_cfg, system);
+    engine.set_profiler(profiler.clone());
     let report = engine.run(src);
     ExperimentResult {
         workload: study.to_string(),
@@ -122,6 +127,7 @@ fn run(
         ipc: report.ipc(),
         miss_ratio: report.mem.miss_ratio(),
         bus_utilization: report.bus_utilization(),
+        profile: profiler.report(),
         report,
     }
 }
@@ -267,7 +273,7 @@ fn show(label: &str, r: &ExperimentResult) {
 }
 
 fn main() {
-    cli::reject_args("ablations");
+    cli::parse_profile_flag("ablations");
     let mut jobs = Vec::new();
     for &(study, arm_a, label_a, arm_b, label_b) in &STUDIES {
         jobs.push((study, arm_a, label_a));

@@ -24,7 +24,7 @@ const PAPER: [(&str, f64, f64, f64, f64); 7] = [
 ];
 
 fn main() {
-    cli::reject_args("calibrate");
+    cli::parse_profile_flag("calibrate");
     let budget = instruction_budget();
     let memories: Vec<MemoryKind> = (1..=4)
         .map(|h| MemoryKind::Arb {

@@ -5,7 +5,7 @@ use svc_sim::table::{fmt_ipc, fmt_ratio, Table};
 use svc_workloads::Spec95;
 
 fn main() {
-    cli::reject_args("calibrate64");
+    cli::parse_profile_flag("calibrate64");
     let budget = instruction_budget();
     let memories: Vec<MemoryKind> = (1..=4)
         .map(|h| MemoryKind::Arb {

@@ -21,7 +21,7 @@ use svc_workloads::Spec95;
 
 #[allow(dead_code)]
 fn main() {
-    cli::reject_args("fig19");
+    cli::parse_profile_flag("fig19");
     let run = run_figure(
         "fig19",
         32,

@@ -10,7 +10,7 @@
 mod fig19_impl;
 
 fn main() {
-    svc_bench::cli::reject_args("fig20");
+    svc_bench::cli::parse_profile_flag("fig20");
     let run = fig19_impl::run_figure(
         "fig20",
         64,

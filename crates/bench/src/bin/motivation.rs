@@ -18,6 +18,7 @@ use svc_arb::{ArbConfig, ArbSystem};
 use svc_bench::{cli, harness, publish_paper_grid, ExperimentResult, NUM_PUS, PAPER_SEED};
 use svc_lsq::{LsqConfig, LsqMemory};
 use svc_multiscalar::{Engine, EngineConfig, RunReport};
+use svc_sim::profile::Profiler;
 use svc_sim::table::{fmt_ipc, Table};
 use svc_types::VersionedMemory;
 use svc_workloads::Spec95;
@@ -43,7 +44,7 @@ impl Design {
     }
 }
 
-fn run<M: VersionedMemory>(mem: M, bench: Spec95, budget: u64) -> RunReport {
+fn run<M: VersionedMemory>(mem: M, bench: Spec95, budget: u64, profiler: &Profiler) -> RunReport {
     let wl = bench.workload(PAPER_SEED);
     let cfg = EngineConfig {
         num_pus: NUM_PUS,
@@ -55,10 +56,15 @@ fn run<M: VersionedMemory>(mem: M, bench: Spec95, budget: u64) -> RunReport {
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(cfg, mem);
+    engine.set_profiler(profiler.clone());
     engine.run(&wl)
 }
 
 fn run_cell(bench: Spec95, design: Design, budget: u64) -> ExperimentResult {
+    // The LSQ designs predate the profiler's memory-side hooks, so their
+    // memory time profiles as generic latency; the ARB and SVC report
+    // their full decompositions.
+    let profiler = Profiler::from_env(NUM_PUS);
     let report = match design {
         Design::Lsq16 => {
             let small = LsqConfig {
@@ -66,19 +72,24 @@ fn run_cell(bench: Spec95, design: Design, budget: u64) -> ExperimentResult {
                 load_entries: 16,
                 ..LsqConfig::default()
             };
-            run(LsqMemory::new(small), bench, budget)
+            run(LsqMemory::new(small), bench, budget, &profiler)
         }
-        Design::Lsq64 => run(LsqMemory::new(LsqConfig::default()), bench, budget),
-        Design::Arb2 => run(
-            ArbSystem::new(ArbConfig::paper(NUM_PUS, 2, 32)),
+        Design::Lsq64 => run(
+            LsqMemory::new(LsqConfig::default()),
             bench,
             budget,
+            &profiler,
         ),
-        Design::Svc => run(
-            SvcSystem::new(SvcConfig::final_design(NUM_PUS)),
-            bench,
-            budget,
-        ),
+        Design::Arb2 => {
+            let mut mem = ArbSystem::new(ArbConfig::paper(NUM_PUS, 2, 32));
+            mem.set_profiler(profiler.clone());
+            run(mem, bench, budget, &profiler)
+        }
+        Design::Svc => {
+            let mut mem = SvcSystem::new(SvcConfig::final_design(NUM_PUS));
+            mem.set_profiler(profiler.clone());
+            run(mem, bench, budget, &profiler)
+        }
     };
     ExperimentResult {
         workload: bench.name().to_string(),
@@ -86,6 +97,7 @@ fn run_cell(bench: Spec95, design: Design, budget: u64) -> ExperimentResult {
         ipc: report.ipc(),
         miss_ratio: report.mem.miss_ratio(),
         bus_utilization: report.bus_utilization(),
+        profile: profiler.report(),
         report,
     }
 }
@@ -93,7 +105,7 @@ fn run_cell(bench: Spec95, design: Design, budget: u64) -> ExperimentResult {
 const BENCHES: [Spec95; 3] = [Spec95::Compress, Spec95::Gcc, Spec95::Mgrid];
 
 fn main() {
-    cli::reject_args("motivation");
+    cli::parse_profile_flag("motivation");
     let budget: u64 = std::env::var("SVC_EXPERIMENT_BUDGET")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -52,14 +52,17 @@ const MEMORIES: [MemoryKind; 4] = [
 
 /// (metric, relative tolerance, absolute floor).
 ///
-/// `squashes` is an integer count on a fully deterministic grid, so any
-/// change of ±1 or more is drift (the 0.5 floor only absorbs float
-/// round-trip noise); `mshr_combine_rate` likewise must be bit-stable.
-const TOLERANCES: [(&str, f64, f64); 5] = [
+/// `squashes`, `wasted_instrs` and `squash_recovery_cycles` are integer
+/// counts on a fully deterministic grid, so any change of ±1 or more is
+/// drift (the 0.5 floor only absorbs float round-trip noise);
+/// `mshr_combine_rate` likewise must be bit-stable.
+const TOLERANCES: [(&str, f64, f64); 7] = [
     ("ipc", 0.05, 0.0),
     ("miss_ratio", 0.10, 0.005),
     ("bus_utilization", 0.10, 0.005),
     ("squashes", 0.0, 0.5),
+    ("wasted_instrs", 0.0, 0.5),
+    ("squash_recovery_cycles", 0.0, 0.5),
     ("mshr_combine_rate", 0.0, 1e-9),
 ];
 

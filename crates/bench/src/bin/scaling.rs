@@ -25,7 +25,7 @@ const MEMORIES: [MemoryKind; 2] = [
 ];
 
 fn main() {
-    cli::reject_args("scaling");
+    cli::parse_profile_flag("scaling");
     let budget: u64 = std::env::var("SVC_EXPERIMENT_BUDGET")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -32,7 +32,7 @@ const MEMORIES: [MemoryKind; 2] = [
 ];
 
 fn main() {
-    cli::reject_args("table2");
+    cli::parse_profile_flag("table2");
     println!("Table 2: Miss Ratios for ARB and SVC (32KB total data storage)\n");
     let budget = instruction_budget();
     let jobs = cross(&Spec95::ALL, &MEMORIES);

@@ -29,7 +29,7 @@ const MEMORIES: [MemoryKind; 2] = [
 ];
 
 fn main() {
-    cli::reject_args("table3");
+    cli::parse_profile_flag("table3");
     println!("Table 3: Snooping Bus Utilization for SVC\n");
     let budget = instruction_budget();
     let jobs = cross(&Spec95::ALL, &MEMORIES);

@@ -91,6 +91,25 @@ pub fn reject_args(name: &str) {
     }
 }
 
+/// Like [`reject_args`], but accepts the one flag the experiment
+/// binaries share: `--profile`, which enables the cycle-accounting
+/// profiler (equivalent to `SVC_PROFILE=1`) and makes the binary write
+/// `results/<name>.profile.json` next to its experiment document.
+/// Anything else exits with [`EXIT_USAGE`].
+pub fn parse_profile_flag(name: &str) {
+    for arg in std::env::args().skip(1) {
+        if arg == "--profile" {
+            std::env::set_var("SVC_PROFILE", "1");
+        } else {
+            eprintln!(
+                "usage error: {name} takes only --profile (got {arg:?}); \
+                 configure it via SVC_EXPERIMENT_BUDGET / SVC_THREADS / SVC_PROFILE"
+            );
+            std::process::exit(i32::from(EXIT_USAGE));
+        }
+    }
+}
+
 /// Standard `main` tail: prints the error to stderr and converts it to
 /// its exit code; `Ok` becomes success.
 pub fn exit_report(result: Result<(), CliError>) -> ExitCode {

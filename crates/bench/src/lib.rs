@@ -25,6 +25,7 @@ use svc_arb::{ArbConfig, ArbSystem};
 use svc_multiscalar::{Engine, EngineConfig, RunReport, TaskSource};
 use svc_sim::fault::Faults;
 use svc_sim::metrics::{MetricSource, MetricsRegistry};
+use svc_sim::profile::{ProfileReport, Profiler};
 use svc_sim::trace::Tracer;
 use svc_workloads::Spec95;
 
@@ -75,6 +76,12 @@ pub struct ExperimentResult {
     pub bus_utilization: f64,
     /// The full engine report, for deeper digging.
     pub report: RunReport,
+    /// The cycle-accounting profile, present only when `SVC_PROFILE`
+    /// enabled the profiler for this run. Never serialized into the
+    /// `results/<name>.json` document (which stays byte-identical with
+    /// the profiler on or off); published separately as
+    /// `results/<name>.profile.json`.
+    pub profile: Option<ProfileReport>,
 }
 
 impl ExperimentResult {
@@ -177,6 +184,7 @@ pub fn run_source_with(
     let label = memory.label(engine_cfg.num_pus);
     let faults = Faults::from_env(engine_cfg.seed);
     let watchdog = watchdog_from_env();
+    let profiler = Profiler::from_env(engine_cfg.num_pus);
     let report = match memory {
         MemoryKind::Svc { kb_per_cache } => {
             let mut cfg = SvcConfig::final_design(engine_cfg.num_pus);
@@ -184,10 +192,12 @@ pub fn run_source_with(
             let mut system = SvcSystem::new(cfg);
             system.set_tracer(tracer.clone());
             system.set_faults(faults.clone());
+            system.set_profiler(profiler.clone());
             let mut engine = Engine::new(engine_cfg, system);
             engine.set_tracer(tracer);
             engine.set_faults(faults);
             engine.set_watchdog(watchdog);
+            engine.set_profiler(profiler.clone());
             let report = engine.run(source);
             assert_watchdog_clean(watchdog, engine.violations(), &label);
             report
@@ -199,10 +209,12 @@ pub fn run_source_with(
             let cfg = ArbConfig::paper(engine_cfg.num_pus, hit_cycles, cache_kb);
             let mut system = ArbSystem::new(cfg);
             system.set_tracer(tracer.clone());
+            system.set_profiler(profiler.clone());
             let mut engine = Engine::new(engine_cfg, system);
             engine.set_tracer(tracer);
             engine.set_faults(faults);
             engine.set_watchdog(watchdog);
+            engine.set_profiler(profiler.clone());
             let report = engine.run(source);
             assert_watchdog_clean(watchdog, engine.violations(), &label);
             report
@@ -215,6 +227,7 @@ pub fn run_source_with(
         miss_ratio: report.mem.miss_ratio(),
         bus_utilization: report.bus_utilization(),
         report,
+        profile: profiler.report(),
     }
 }
 
@@ -237,11 +250,52 @@ fn write_trace_files(
         dir.join(format!("{stem}.jsonl")),
         svc_sim::trace::render_jsonl(&records),
     )?;
+    let counters = result
+        .profile
+        .as_ref()
+        .map(profile_counter_series)
+        .unwrap_or_default();
     std::fs::write(
         dir.join(format!("{stem}.trace.json")),
-        svc_sim::trace::render_chrome(&records, &stem),
+        svc_sim::trace::render_chrome_with_counters(&records, &stem, &counters),
     )?;
     Ok(())
+}
+
+/// The profiler's interval time series as Chrome-trace counter tracks:
+/// derived rates (IPC, bus utilization, squash rate per kilocycle) and
+/// raw gauges (outstanding misses, live versions).
+pub fn profile_counter_series(p: &ProfileReport) -> Vec<(String, Vec<(u64, f64)>)> {
+    let rate = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    let mut ipc = Vec::with_capacity(p.samples.len());
+    let mut bus = Vec::with_capacity(p.samples.len());
+    let mut squash = Vec::with_capacity(p.samples.len());
+    let mut misses = Vec::with_capacity(p.samples.len());
+    let mut versions = Vec::with_capacity(p.samples.len());
+    let mut prev = None;
+    for s in &p.samples {
+        let (pc, pi, psq, pb) = prev.unwrap_or((0, 0, 0, 0));
+        let dc = s.cycle - pc;
+        ipc.push((s.cycle, rate(s.committed_instrs - pi, dc)));
+        bus.push((s.cycle, rate(s.bus_busy_cycles - pb, dc)));
+        squash.push((s.cycle, rate((s.squashes - psq) * 1000, dc)));
+        misses.push((s.cycle, s.outstanding_misses as f64));
+        versions.push((s.cycle, s.live_versions as f64));
+        prev = Some((s.cycle, s.committed_instrs, s.squashes, s.bus_busy_cycles));
+    }
+    vec![
+        ("ipc".to_string(), ipc),
+        ("bus_utilization".to_string(), bus),
+        ("squashes_per_kcycle".to_string(), squash),
+        ("outstanding_misses".to_string(), misses),
+        ("live_versions".to_string(), versions),
+    ]
 }
 
 /// Runs one SPEC95 benchmark model on `memory` with the default budget
@@ -365,12 +419,47 @@ pub fn publish_grid(
         .collect();
     let doc = report::experiment_doc(name, budget, grid_seed, runs);
     report::write_experiment(name, &doc)?;
+    publish_profiles(
+        name,
+        budget,
+        grid_seed,
+        outcome.results.iter().zip(seeds.iter().copied()),
+    )?;
     let m = report::SelfMeasurement::from_reports(
         outcome.results.iter().map(|r| &r.report),
         outcome.wall.as_secs_f64(),
         outcome.threads,
     );
     report::record_snapshot(name, m)?;
+    Ok(())
+}
+
+/// Writes `results/<name>.profile.json` if any cell carries a
+/// cycle-accounting profile (i.e. the grid ran under `SVC_PROFILE`).
+/// With the profiler off this writes nothing, so unprofiled artifact
+/// regeneration leaves the results directory untouched.
+fn publish_profiles<'a>(
+    name: &str,
+    budget: u64,
+    grid_seed: u64,
+    cells: impl Iterator<Item = (&'a ExperimentResult, u64)>,
+) -> std::io::Result<()> {
+    let runs: Vec<report::Json> = cells
+        .filter_map(|(r, seed)| {
+            r.profile.as_ref().map(|p| {
+                report::Json::obj()
+                    .set("workload", r.workload.as_str().into())
+                    .set("memory", r.memory.as_str().into())
+                    .set("seed", seed.into())
+                    .set("profile", report::profile_report_json(p))
+            })
+        })
+        .collect();
+    if runs.is_empty() {
+        return Ok(());
+    }
+    let doc = report::profile_doc(name, budget, grid_seed, runs);
+    report::write_experiment(&format!("{name}.profile"), &doc)?;
     Ok(())
 }
 
@@ -395,6 +484,16 @@ pub fn publish_grid_failsafe(
         .collect();
     let doc = report::experiment_doc_failsafe(name, budget, grid_seed, runs, &outcome.failures);
     report::write_experiment(name, &doc)?;
+    publish_profiles(
+        name,
+        budget,
+        grid_seed,
+        outcome
+            .results
+            .iter()
+            .zip(seeds.iter().copied())
+            .filter_map(|(r, s)| r.as_ref().map(|r| (r, s))),
+    )?;
     let m = report::SelfMeasurement::from_reports(
         outcome.results.iter().flatten().map(|r| &r.report),
         outcome.wall.as_secs_f64(),

@@ -23,6 +23,7 @@ use std::path::{Path, PathBuf};
 
 use svc_multiscalar::RunReport;
 use svc_sim::metrics::{HistogramSummary, MetricValue, MetricsRegistry};
+use svc_sim::profile::{Bucket, ProfileReport};
 use svc_sim::stats::{Histogram, Running};
 use svc_types::MemStats;
 
@@ -36,6 +37,9 @@ pub const SCHEMA_EXPERIMENT: &str = "svc-experiments/v1";
 pub const SCHEMA_EXPERIMENT_V2: &str = "svc-experiments/v2";
 /// Schema tag of the `BENCH_experiments.json` perf snapshot.
 pub const SCHEMA_SNAPSHOT: &str = "svc-bench-snapshot/v1";
+/// Schema tag of `results/<name>.profile.json` cycle-accounting
+/// documents (emitted only when `SVC_PROFILE` is set).
+pub const SCHEMA_PROFILE: &str = "svc-profile/v1";
 
 // ---------------------------------------------------------------------
 // Value model
@@ -545,6 +549,95 @@ pub fn metrics_json(reg: &MetricsRegistry) -> Json {
     obj
 }
 
+/// A [`BucketSet`](svc_sim::profile::BucketSet) as an object, one key
+/// per bucket in [`Bucket::EVERY`] order.
+fn bucket_set_json(set: &[u64; svc_sim::profile::NUM_BUCKETS]) -> Json {
+    let mut obj = Json::obj();
+    for b in Bucket::EVERY {
+        obj = obj.set(b.name(), set[b as usize].into());
+    }
+    obj
+}
+
+/// A [`ProfileReport`] as an object: per-PU and total bucket
+/// attribution, the conservation check, the interval time series (raw
+/// cumulative counters plus rates derived between consecutive rows),
+/// and the top wasted-work addresses.
+pub fn profile_report_json(p: &ProfileReport) -> Json {
+    let rate = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    let mut series = Vec::with_capacity(p.samples.len());
+    let mut prev_cycle = 0u64;
+    let mut prev_instrs = 0u64;
+    let mut prev_squashes = 0u64;
+    let mut prev_busy = 0u64;
+    for s in &p.samples {
+        let dc = s.cycle - prev_cycle;
+        series.push(
+            Json::obj()
+                .set("cycle", s.cycle.into())
+                .set("committed_instrs", s.committed_instrs.into())
+                .set("squashes", s.squashes.into())
+                .set("bus_busy_cycles", s.bus_busy_cycles.into())
+                .set("outstanding_misses", s.outstanding_misses.into())
+                .set("live_versions", s.live_versions.into())
+                .set("ipc", rate(s.committed_instrs - prev_instrs, dc).into())
+                .set(
+                    "bus_utilization",
+                    rate(s.bus_busy_cycles - prev_busy, dc).into(),
+                )
+                .set("squash_rate", rate(s.squashes - prev_squashes, dc).into()),
+        );
+        prev_cycle = s.cycle;
+        prev_instrs = s.committed_instrs;
+        prev_squashes = s.squashes;
+        prev_busy = s.bus_busy_cycles;
+    }
+    let wasted: Vec<Json> = p
+        .wasted_addrs
+        .iter()
+        .map(|&(addr, count)| {
+            Json::obj()
+                .set("addr", addr.into())
+                .set("squashed_accesses", count.into())
+        })
+        .collect();
+    Json::obj()
+        .set("num_pus", p.num_pus.into())
+        .set("cycles", p.cycles.into())
+        .set("epoch", p.epoch.into())
+        .set("total", bucket_set_json(&p.totals()))
+        .set(
+            "per_pu",
+            Json::Arr(p.per_pu.iter().map(bucket_set_json).collect()),
+        )
+        .set(
+            "conservation",
+            Json::obj()
+                .set("expected", p.expected().into())
+                .set("attributed", p.attributed().into())
+                .set("ok", p.conservation_ok().into()),
+        )
+        .set("series", Json::Arr(series))
+        .set("wasted_addrs", Json::Arr(wasted))
+}
+
+/// The `results/<name>.profile.json` document envelope: one entry per
+/// profiled grid cell, in grid order.
+pub fn profile_doc(name: &str, budget: u64, grid_seed: u64, runs: Vec<Json>) -> Json {
+    Json::obj()
+        .set("schema", SCHEMA_PROFILE.into())
+        .set("experiment", name.into())
+        .set("budget", budget.into())
+        .set("grid_seed", grid_seed.into())
+        .set("runs", Json::Arr(runs))
+}
+
 /// One grid cell's result: workload, memory label, seed, the paper's
 /// three metrics plus the squash count and MSHR combine rate (the
 /// regression gate's per-cell diff set), the full engine report, and
@@ -558,6 +651,11 @@ pub fn experiment_result_json(result: &ExperimentResult, seed: u64) -> Json {
         .set("miss_ratio", result.miss_ratio.into())
         .set("bus_utilization", result.bus_utilization.into())
         .set("squashes", result.report.squashes.into())
+        .set("wasted_instrs", result.report.wasted_instrs.into())
+        .set(
+            "squash_recovery_cycles",
+            result.report.squash_recovery_cycles.into(),
+        )
         .set(
             "mshr_combine_rate",
             result.report.mem.mshr_combine_rate().into(),

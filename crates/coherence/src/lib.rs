@@ -31,6 +31,8 @@
 
 mod protocol;
 mod system;
+mod versioned;
 
 pub use protocol::{BusRequest, SmpState};
 pub use system::{SmpConfig, SmpSystem};
+pub use versioned::SmpVersioned;

@@ -3,6 +3,7 @@
 
 use svc_mem::{Bus, CacheArray, CacheGeometry, MainMemory, MemTiming, Slot, WayRef};
 use svc_sim::fault::Faults;
+use svc_sim::profile::{AccessProfile, Profiler};
 use svc_sim::trace::{BusOp, Category, TraceEvent, Tracer};
 use svc_types::{
     Addr, Cycle, DataSource, InvariantKind, InvariantViolation, LineId, LoadOutcome, MemStats,
@@ -70,6 +71,7 @@ pub struct SmpSystem {
     memory: MainMemory,
     stats: MemStats,
     tracer: Tracer,
+    profiler: Profiler,
 }
 
 impl SmpSystem {
@@ -88,8 +90,16 @@ impl SmpSystem {
             memory: MainMemory::new(),
             stats: MemStats::default(),
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
             config,
         }
+    }
+
+    /// Attaches a cycle-accounting profiler handle. Bus misses report
+    /// their latency decomposition (arbitration wait, transfer time,
+    /// memory penalty) to it.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// The configuration this system was built with.
@@ -221,7 +231,14 @@ impl SmpSystem {
         let mut s = self.stats;
         s.bus_transactions = self.bus.transactions();
         s.bus_busy_cycles = self.bus.busy_cycles();
+        s.bus_wait_cycles = self.bus.total_wait_cycles();
         s
+    }
+
+    /// Resets the statistics counters (cache contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+        self.bus.reset_stats();
     }
 
     /// Checks the MRSW invariant: at most one dirty copy of any line, and
@@ -358,6 +375,21 @@ impl SmpSystem {
             }
         }
         let wpl = self.config.geometry.words_per_line();
+        if self.profiler.is_active() {
+            self.profiler.note_access(
+                pu,
+                AccessProfile {
+                    mshr_stall: 0,
+                    bus_wait: grant.start.since(now),
+                    bus_transfer: grant.done.since(grant.start),
+                    mem_latency: if supplier.is_none() {
+                        self.config.timing.memory_cycles
+                    } else {
+                        0
+                    },
+                },
+            );
+        }
         let (data, done, source) = if let Some(i) = supplier {
             // Dirty holder flushes on the bus; memory is updated and the
             // holder's copy becomes Clean (Figure 3b: BusRead/Flush).
@@ -438,6 +470,7 @@ impl SmpSystem {
         // If the requestor does not hold the line, it needs its current
         // content (write-allocate): from the flushed dirty copy or memory.
         let mut done = grant.done;
+        let mut mem_penalty = 0;
         if self.caches[pu.index()].find(line).is_none() {
             let data = match fetched {
                 Some(d) => {
@@ -447,6 +480,7 @@ impl SmpSystem {
                 None => {
                     self.stats.next_level_fills += 1;
                     done += self.config.timing.memory_cycles;
+                    mem_penalty = self.config.timing.memory_cycles;
                     self.memory.read_line(line, wpl)
                 }
             };
@@ -461,6 +495,17 @@ impl SmpSystem {
             // cannot happen under MRSW, but keep memory consistent anyway.
             let masked: Vec<Option<Word>> = d.iter().map(|w| Some(*w)).collect();
             self.memory.write_line(line, &masked, wpl);
+        }
+        if self.profiler.is_active() {
+            self.profiler.note_access(
+                pu,
+                AccessProfile {
+                    mshr_stall: 0,
+                    bus_wait: grant.start.since(now),
+                    bus_transfer: grant.done.since(grant.start),
+                    mem_latency: mem_penalty,
+                },
+            );
         }
         done
     }

@@ -1,0 +1,147 @@
+//! [`VersionedMemory`] adapter over the SMP baseline.
+//!
+//! The SMP/MRSW machine is non-speculative: it has no versions to squash
+//! and no dependences to check, so it cannot *be* a speculative memory.
+//! This adapter is a **timing-model shim**, not an architectural
+//! conformance claim: it lets the multiscalar engine drive the SMP system
+//! with the same task loop used for the SVC and ARB, which is what the
+//! profiler's conservation tests (and the paper's Figure 19/20 baseline
+//! comparisons) need. Stores never report violations, commits are a
+//! single-cycle release, and squashes release the PU without undoing any
+//! memory state — wrong-path stores land in the coherent memory image, so
+//! the adapter must not be used where architectural results matter.
+
+use svc_types::{
+    AccessError, Addr, Cycle, InvariantViolation, LoadOutcome, MemGauges, MemStats, PuId,
+    StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Word,
+};
+
+use crate::system::{SmpConfig, SmpSystem};
+
+/// The SMP baseline wrapped for the multiscalar engine. See the module
+/// docs for the (deliberate) semantic holes.
+#[derive(Debug, Clone)]
+pub struct SmpVersioned {
+    system: SmpSystem,
+    assignments: TaskAssignments,
+}
+
+impl SmpVersioned {
+    /// Wraps a fresh [`SmpSystem`] built from `config`.
+    pub fn new(config: SmpConfig) -> SmpVersioned {
+        let num_pus = config.num_pus;
+        SmpVersioned {
+            system: SmpSystem::new(config),
+            assignments: TaskAssignments::new(num_pus),
+        }
+    }
+
+    /// The wrapped system, for configuration calls (`set_tracer`,
+    /// `set_profiler`) and inspection.
+    pub fn system_mut(&mut self) -> &mut SmpSystem {
+        &mut self.system
+    }
+
+    /// Read-only access to the wrapped system.
+    pub fn system(&self) -> &SmpSystem {
+        &self.system
+    }
+}
+
+impl VersionedMemory for SmpVersioned {
+    fn num_pus(&self) -> usize {
+        self.system.config().num_pus
+    }
+
+    fn assign(&mut self, pu: PuId, task: TaskId) {
+        self.assignments.assign(pu, task);
+    }
+
+    fn load(&mut self, pu: PuId, addr: Addr, now: Cycle) -> Result<LoadOutcome, AccessError> {
+        if self.assignments.task_of(pu).is_none() {
+            return Err(AccessError::NoTask(pu));
+        }
+        Ok(self.system.load(pu, addr, now))
+    }
+
+    fn store(
+        &mut self,
+        pu: PuId,
+        addr: Addr,
+        value: Word,
+        now: Cycle,
+    ) -> Result<StoreOutcome, AccessError> {
+        if self.assignments.task_of(pu).is_none() {
+            return Err(AccessError::NoTask(pu));
+        }
+        let done_at = self.system.store(pu, addr, value, now);
+        Ok(StoreOutcome {
+            done_at,
+            violation: None,
+        })
+    }
+
+    fn commit(&mut self, pu: PuId, now: Cycle) -> Cycle {
+        // Stores were globally ordered as they executed; committing is
+        // just releasing the PU.
+        self.assignments.release(pu);
+        now + 1
+    }
+
+    fn squash(&mut self, pu: PuId) {
+        // No speculative state to undo (see the module docs).
+        self.assignments.release(pu);
+    }
+
+    fn profile_gauges(&self, _now: Cycle) -> MemGauges {
+        // Non-speculative: no live versions, no tracked outstanding misses.
+        MemGauges::default()
+    }
+
+    fn check_invariants(&self, now: Cycle) -> Vec<InvariantViolation> {
+        self.system.check_invariants(now)
+    }
+
+    fn drain(&mut self) {}
+
+    fn architectural(&self, addr: Addr) -> Word {
+        self.system.coherent_peek(addr)
+    }
+
+    fn stats(&self) -> MemStats {
+        self.system.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.system.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_facing_surface_behaves() {
+        let mut m = SmpVersioned::new(SmpConfig::small_for_tests());
+        assert_eq!(m.num_pus(), 4);
+        assert!(matches!(
+            m.load(PuId(0), Addr(0), Cycle(0)),
+            Err(AccessError::NoTask(_))
+        ));
+        m.assign(PuId(0), TaskId(0));
+        let out = m.load(PuId(0), Addr(0), Cycle(0)).unwrap();
+        assert_eq!(out.value, Word::ZERO);
+        let st = m.store(PuId(0), Addr(0), Word(9), Cycle(20)).unwrap();
+        assert!(st.violation.is_none(), "MRSW never detects violations");
+        let done = m.commit(PuId(0), Cycle(30));
+        assert_eq!(done, Cycle(31));
+        assert_eq!(m.architectural(Addr(0)), Word(9));
+        // Squash releases the PU without undoing memory state.
+        m.assign(PuId(1), TaskId(1));
+        m.store(PuId(1), Addr(4), Word(7), Cycle(40)).unwrap();
+        m.squash(PuId(1));
+        assert_eq!(m.architectural(Addr(4)), Word(7), "timing shim: no undo");
+        assert!(m.check_invariants(Cycle(50)).is_empty());
+    }
+}

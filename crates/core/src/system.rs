@@ -3,10 +3,11 @@
 
 use svc_mem::{Backing, Bus, CacheArray, MshrFile, WayRef, WritebackBuffer};
 use svc_sim::fault::{FaultEvent, FaultSite, Faults};
+use svc_sim::profile::{AccessProfile, Profiler};
 use svc_sim::trace::{AccessOp, BusOp, Category, LineBits, TraceEvent, Tracer, VolOp};
 use svc_types::{
-    AccessError, Addr, Cycle, DataSource, InvariantViolation, LineId, LoadOutcome, MemStats, PuId,
-    StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Violation, Word,
+    AccessError, Addr, Cycle, DataSource, InvariantViolation, LineId, LoadOutcome, MemGauges,
+    MemStats, PuId, StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Violation, Word,
 };
 
 use crate::config::SvcConfig;
@@ -35,6 +36,7 @@ pub struct SvcSystem {
     stats: MemStats,
     tracer: Tracer,
     faults: Faults,
+    profiler: Profiler,
 }
 
 impl SvcSystem {
@@ -73,8 +75,18 @@ impl SvcSystem {
             stats: MemStats::default(),
             tracer: Tracer::disabled(),
             faults: Faults::disabled(),
+            profiler: Profiler::disabled(),
             config,
         }
+    }
+
+    /// Attaches a cycle-accounting profiler handle. Misses report their
+    /// latency decomposition (MSHR stall, arbitration wait, bus transfer,
+    /// memory penalty) to it so the engine can attribute the PU's blocked
+    /// cycles to the right buckets. A disabled profiler costs one branch
+    /// per miss.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Attaches a tracing handle to the whole memory system: the bus, the
@@ -958,16 +970,15 @@ impl VersionedMemory for SvcSystem {
         self.emit_vol(line, VolOp::Splice, now);
         self.emit_line_transitions(line, before, now);
         let done = if mshr.combined {
+            // A combined miss rides the outstanding fill: no new bus
+            // transaction, so its whole latency profiles as memory time.
             mshr.data_ready + vcl_extra
         } else {
-            let grant = self.bus.transact_as(
-                BusOp::Read,
-                Some(pu),
-                Some(line),
-                evict_done + mshr.stalled + vcl_extra,
-                extra,
-            );
-            match source {
+            let request = evict_done + mshr.stalled + vcl_extra;
+            let grant = self
+                .bus
+                .transact_as(BusOp::Read, Some(pu), Some(line), request, extra);
+            let mem_penalty = match source {
                 DataSource::NextLevel => {
                     let penalty = self
                         .backing
@@ -980,10 +991,22 @@ impl VersionedMemory for SvcSystem {
                         }
                         None => 0,
                     };
-                    grant.done + penalty + jitter
+                    penalty + jitter
                 }
-                _ => grant.done,
+                _ => 0,
+            };
+            if self.profiler.is_active() {
+                self.profiler.note_access(
+                    pu,
+                    AccessProfile {
+                        mshr_stall: mshr.stalled,
+                        bus_wait: grant.start.since(request),
+                        bus_transfer: grant.done.since(grant.start),
+                        mem_latency: mem_penalty,
+                    },
+                );
             }
+            grant.done + mem_penalty
         };
         let value = {
             let r = self.caches[pu.index()].find(line).expect("just installed");
@@ -1157,15 +1180,22 @@ impl VersionedMemory for SvcSystem {
             // mask as well; no separate bus transaction.
             mshr.data_ready + vcl_extra
         } else {
-            self.bus
-                .transact_as(
-                    BusOp::Write,
-                    Some(pu),
-                    Some(line),
-                    evict_done + mshr.stalled + vcl_extra,
-                    extra,
-                )
-                .done
+            let request = evict_done + mshr.stalled + vcl_extra;
+            let grant = self
+                .bus
+                .transact_as(BusOp::Write, Some(pu), Some(line), request, extra);
+            if self.profiler.is_active() {
+                self.profiler.note_access(
+                    pu,
+                    AccessProfile {
+                        mshr_stall: mshr.stalled,
+                        bus_wait: grant.start.since(request),
+                        bus_transfer: grant.done.since(grant.start),
+                        mem_latency: 0,
+                    },
+                );
+            }
+            grant.done
         };
         self.emit_access(pu, task, AccessOp::Store, addr, "accepted", done_at, now);
         if let Some(v) = &violation {
@@ -1294,6 +1324,19 @@ impl VersionedMemory for SvcSystem {
         self.assignments.release(pu);
     }
 
+    fn profile_gauges(&self, now: Cycle) -> MemGauges {
+        MemGauges {
+            outstanding_misses: self
+                .mshrs
+                .iter()
+                .map(|m| m.outstanding_at(now) as u64)
+                .sum(),
+            live_versions: (0..self.config.num_pus)
+                .map(|i| self.speculative_lines_of(PuId(i)).len() as u64)
+                .sum(),
+        }
+    }
+
     fn check_invariants(&self, now: Cycle) -> Vec<InvariantViolation> {
         crate::watchdog::check_system(self, now)
     }
@@ -1352,6 +1395,7 @@ impl VersionedMemory for SvcSystem {
         let mut s = self.stats;
         s.bus_transactions = self.bus.transactions();
         s.bus_busy_cycles = self.bus.busy_cycles();
+        s.bus_wait_cycles = self.bus.total_wait_cycles();
         let (l2_hits, l2_misses, _) = self.backing.l2_stats();
         s.l2_hits = l2_hits;
         s.l2_misses = l2_misses;

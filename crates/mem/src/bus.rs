@@ -29,6 +29,10 @@ pub struct Bus {
     busy_until: Cycle,
     transactions: u64,
     busy_cycles: u64,
+    /// Cycles each PU spent between request and grant (arbitration /
+    /// queueing delay), grown on demand to the highest requesting PU.
+    wait_cycles: Vec<u64>,
+    total_wait_cycles: u64,
     tracer: Tracer,
     faults: Faults,
 }
@@ -62,6 +66,8 @@ impl Bus {
             busy_until: Cycle::ZERO,
             transactions: 0,
             busy_cycles: 0,
+            wait_cycles: Vec::new(),
+            total_wait_cycles: 0,
             tracer: Tracer::disabled(),
             faults: Faults::disabled(),
         }
@@ -134,6 +140,16 @@ impl Bus {
         self.busy_until = start + occupancy;
         self.transactions += 1;
         self.busy_cycles += occupancy;
+        // Arbitration wait: cycles lost between the request at `now` and
+        // the grant at `start` (includes any injected fault delay).
+        let wait = start.since(now);
+        self.total_wait_cycles += wait;
+        if let Some(pu) = pu {
+            if self.wait_cycles.len() <= pu.index() {
+                self.wait_cycles.resize(pu.index() + 1, 0);
+            }
+            self.wait_cycles[pu.index()] += wait;
+        }
         self.tracer
             .emit(now, Category::Bus, || TraceEvent::BusTransaction {
                 op,
@@ -161,10 +177,29 @@ impl Bus {
         self.busy_cycles
     }
 
+    /// Cycles `pu` spent waiting between bus request and grant.
+    pub fn wait_cycles(&self, pu: PuId) -> u64 {
+        self.wait_cycles.get(pu.index()).copied().unwrap_or(0)
+    }
+
+    /// Per-PU arbitration-wait cycles, indexed by PU (may be shorter than
+    /// the PU count if higher PUs never requested).
+    pub fn per_pu_wait_cycles(&self) -> &[u64] {
+        &self.wait_cycles
+    }
+
+    /// Total arbitration-wait cycles over all requesters (including
+    /// transactions not attributed to a PU).
+    pub fn total_wait_cycles(&self) -> u64 {
+        self.total_wait_cycles
+    }
+
     /// Resets the statistics counters (not the busy state).
     pub fn reset_stats(&mut self) {
         self.transactions = 0;
         self.busy_cycles = 0;
+        self.wait_cycles.clear();
+        self.total_wait_cycles = 0;
     }
 }
 
@@ -284,6 +319,22 @@ mod tests {
         }
         assert_eq!(plain.transactions(), hooked.transactions());
         assert_eq!(plain.busy_cycles(), hooked.busy_cycles());
+    }
+
+    #[test]
+    fn arbitration_wait_is_attributed_per_pu() {
+        let mut bus = Bus::new(3);
+        bus.transact_as(BusOp::Read, Some(PuId(0)), None, Cycle(0), 0); // no wait
+        bus.transact_as(BusOp::Read, Some(PuId(2)), None, Cycle(1), 0); // waits 2
+        bus.transact(Cycle(2), 0); // anonymous, waits 4
+        assert_eq!(bus.wait_cycles(PuId(0)), 0);
+        assert_eq!(bus.wait_cycles(PuId(2)), 2);
+        assert_eq!(bus.wait_cycles(PuId(3)), 0, "never requested");
+        assert_eq!(bus.per_pu_wait_cycles(), &[0, 0, 2]);
+        assert_eq!(bus.total_wait_cycles(), 6, "anonymous wait still totals");
+        bus.reset_stats();
+        assert_eq!(bus.total_wait_cycles(), 0);
+        assert_eq!(bus.wait_cycles(PuId(2)), 0);
     }
 
     #[test]

@@ -179,6 +179,13 @@ impl MshrFile {
         self.entries.len()
     }
 
+    /// Number of fills still outstanding at `now`, without expiring
+    /// completed entries (a read-only view for the profiler's interval
+    /// sampler).
+    pub fn outstanding_at(&self, now: Cycle) -> usize {
+        self.entries.iter().filter(|e| e.done_at > now).count()
+    }
+
     /// Total misses presented (including combined ones).
     pub fn total_misses(&self) -> u64 {
         self.total_misses

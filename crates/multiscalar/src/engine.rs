@@ -2,6 +2,7 @@ use std::collections::HashMap;
 
 use svc_sim::fault::{FaultEvent, FaultSite, Faults};
 use svc_sim::metrics::{MetricSource, MetricsRegistry};
+use svc_sim::profile::Profiler;
 use svc_sim::rng::Xoshiro256;
 use svc_sim::stats::Histogram;
 use svc_sim::trace::{Category, TraceEvent, Tracer};
@@ -76,6 +77,12 @@ pub struct RunReport {
     pub resource_squashes: u64,
     /// Task-misprediction detections.
     pub mispredictions: u64,
+    /// Instructions that executed and were then thrown away by a squash
+    /// (the wasted re-execution cost of speculation).
+    pub wasted_instrs: u64,
+    /// PU-cycles spent blocked after a squash: the squashed PU remains
+    /// stalled on the latency of the access it was torn down under.
+    pub squash_recovery_cycles: u64,
     /// Distribution of committed task lengths (instructions; 8-wide
     /// buckets).
     pub task_lengths: Histogram,
@@ -113,7 +120,7 @@ impl RunReport {
     /// order — the single source of truth the JSON experiment reports
     /// iterate (`task_lengths` and `mem` are serialized separately as
     /// structured objects).
-    pub fn counter_fields(&self) -> [(&'static str, u64); 7] {
+    pub fn counter_fields(&self) -> [(&'static str, u64); 9] {
         [
             ("cycles", self.cycles),
             ("committed_instrs", self.committed_instrs),
@@ -122,6 +129,8 @@ impl RunReport {
             ("violation_squashes", self.violation_squashes),
             ("resource_squashes", self.resource_squashes),
             ("mispredictions", self.mispredictions),
+            ("wasted_instrs", self.wasted_instrs),
+            ("squash_recovery_cycles", self.squash_recovery_cycles),
         ]
     }
 }
@@ -190,9 +199,12 @@ pub struct Engine<M> {
     violation_squashes: u64,
     resource_squashes: u64,
     mispredictions: u64,
+    wasted_instrs: u64,
+    squash_recovery_cycles: u64,
     task_lengths: Histogram,
     tracer: Tracer,
     faults: Faults,
+    profiler: Profiler,
     watchdog_every: u64,
     violations: Vec<InvariantViolation>,
 }
@@ -229,9 +241,12 @@ impl<M: VersionedMemory> Engine<M> {
             violation_squashes: 0,
             resource_squashes: 0,
             mispredictions: 0,
+            wasted_instrs: 0,
+            squash_recovery_cycles: 0,
             task_lengths: Histogram::new(8, 32),
             tracer: Tracer::disabled(),
             faults: Faults::disabled(),
+            profiler: Profiler::disabled(),
             watchdog_every: 0,
             violations: Vec::new(),
             config,
@@ -254,6 +269,16 @@ impl<M: VersionedMemory> Engine<M> {
     /// [`set_faults`]: svc_sim::fault::Faults
     pub fn set_faults(&mut self, faults: Faults) {
         self.faults = faults;
+    }
+
+    /// Attaches a cycle-accounting profiler to the engine (dispatch,
+    /// execution, commit and squash attribution, plus the interval
+    /// sampler). Attach a clone of the same handle to the memory system
+    /// (its `set_profiler`-style hook) so per-access decompositions reach
+    /// the same books; keep a clone yourself to read the
+    /// [`report`](Profiler::report) after the run.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Enables the invariant watchdog: the memory system's
@@ -297,6 +322,13 @@ impl<M: VersionedMemory> Engine<M> {
                 let found = self.mem.check_invariants(now);
                 self.record_violations(found, now);
                 next_watchdog = now.0 + self.watchdog_every;
+            }
+            // Interval sampler (profiler enabled only).
+            if self.profiler.sample_due(now) {
+                let busy = self.mem.stats().bus_busy_cycles;
+                let gauges = self.mem.profile_gauges(now);
+                self.profiler
+                    .sample(now, committed_instrs, self.squashes, busy, gauges);
             }
             // Termination checks.
             let any_running = self.pus.iter().any(|p| p.pos.is_some());
@@ -396,6 +428,7 @@ impl<M: VersionedMemory> Engine<M> {
                     committed_instrs += n;
                     committed_tasks += 1;
                     self.task_lengths.record(n);
+                    self.profiler.on_commit(PuId(pu), now, done);
                     self.pus[pu] = PuState::idle();
                     self.pus[pu].ready_at = done;
                     progressed = true;
@@ -427,6 +460,15 @@ impl<M: VersionedMemory> Engine<M> {
             }
         }
 
+        if self.profiler.is_active() {
+            let busy = self.mem.stats().bus_busy_cycles;
+            let gauges = self.mem.profile_gauges(now);
+            self.profiler
+                .final_sample(now, committed_instrs, self.squashes, busy, gauges);
+            let tasked: Vec<bool> = self.pus.iter().map(|p| p.pos.is_some()).collect();
+            self.profiler.finish(now, &tasked);
+        }
+
         RunReport {
             cycles: now.0,
             committed_instrs,
@@ -435,6 +477,8 @@ impl<M: VersionedMemory> Engine<M> {
             violation_squashes: self.violation_squashes,
             resource_squashes: self.resource_squashes,
             mispredictions: self.mispredictions,
+            wasted_instrs: self.wasted_instrs,
+            squash_recovery_cycles: self.squash_recovery_cycles,
             task_lengths: self.task_lengths.clone(),
             mem: self.mem.stats(),
             hit_cycle_limit,
@@ -464,6 +508,8 @@ impl<M: VersionedMemory> Engine<M> {
                 Instr::Load(addr) => {
                     if now < self.pus[pu].port_free {
                         self.pus[pu].ready_at = self.pus[pu].port_free;
+                        self.profiler
+                            .on_port_block(PuId(pu), now, self.pus[pu].port_free);
                         break;
                     }
                     match self.mem.load(PuId(pu), addr, now) {
@@ -482,6 +528,7 @@ impl<M: VersionedMemory> Engine<M> {
                             self.pus[pu].port_free = now + 1;
                             let visible = if dep { out.done_at.0 } else { now.0 + 1 };
                             self.pus[pu].ready_at = Cycle(visible.max(now.0 + 1));
+                            self.profiler.on_load(PuId(pu), now, self.pus[pu].ready_at);
                         }
                         Err(_) => self.stall(pu, now),
                     }
@@ -491,11 +538,14 @@ impl<M: VersionedMemory> Engine<M> {
                 Instr::Store(addr, value) => {
                     if now < self.pus[pu].port_free {
                         self.pus[pu].ready_at = self.pus[pu].port_free;
+                        self.profiler
+                            .on_port_block(PuId(pu), now, self.pus[pu].port_free);
                         break;
                     }
                     match self.mem.store(PuId(pu), addr, value, now) {
                         Ok(out) => {
                             self.pus[pu].pc += 1;
+                            self.profiler.on_store(PuId(pu));
                             // Non-blocking for the pipeline; the store
                             // buffer absorbs roughly half the latency of
                             // reaching the memory structure, the rest
@@ -546,6 +596,7 @@ impl<M: VersionedMemory> Engine<M> {
             }
         }
         self.pus[pu].ready_at = now + 1;
+        self.profiler.on_stall(PuId(pu), now);
     }
 
     fn dispatch(&mut self, pu: usize, pos: u64, source: &dyn TaskSource, now: Cycle) {
@@ -565,6 +616,7 @@ impl<M: VersionedMemory> Engine<M> {
             });
         self.mem.assign(PuId(pu), TaskId(pos));
         let ready = now.max(self.pus[pu].ready_at) + self.config.dispatch_cycles;
+        self.profiler.on_dispatch(PuId(pu), now, ready);
         self.pus[pu] = PuState {
             pos: Some(pos),
             instrs,
@@ -613,6 +665,23 @@ impl<M: VersionedMemory> Engine<M> {
                 self.record_violations(found, now);
             }
             let ready = self.pus[pu].ready_at;
+            // Wasted-work metering: the instructions this task had already
+            // executed are thrown away, and the PU stays blocked on the
+            // latency of whatever access it was squashed under.
+            self.wasted_instrs += self.pus[pu].pc as u64;
+            self.squash_recovery_cycles += ready.since(now);
+            if self.profiler.is_active() {
+                let p = &self.pus[pu];
+                let touched = p.instrs[..p.pc.min(p.instrs.len())]
+                    .iter()
+                    .filter_map(|i| match i {
+                        Instr::Load(a) => Some(*a),
+                        Instr::Store(a, _) => Some(*a),
+                        Instr::Compute(_) => None,
+                    });
+                self.profiler.note_wasted(touched);
+                self.profiler.on_squash(PuId(pu), now, ready);
+            }
             self.pus[pu] = PuState::idle();
             self.pus[pu].ready_at = ready;
             self.squashes += 1;

@@ -19,7 +19,10 @@
 //!   over recorded traces;
 //! * [`fault`] — deterministic fault injection: per-site SplitMix64
 //!   streams derived from the run seed, threaded through the memory
-//!   system and engine as a zero-cost-when-disabled handle.
+//!   system and engine as a zero-cost-when-disabled handle;
+//! * [`profile`] — the cycle-accounting profiler: per-PU stall
+//!   attribution into conservation-checked buckets, wasted-work
+//!   metering, and an interval time-series sampler.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 pub mod fault;
 pub mod forensics;
 pub mod metrics;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod table;

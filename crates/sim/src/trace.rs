@@ -1207,6 +1207,19 @@ pub fn render_jsonl(records: &[Record]) -> String {
 /// transactions become duration (`X`) events on their PU's track, all
 /// other events become instants (`i`). `title` names the process.
 pub fn render_chrome(records: &[Record], title: &str) -> String {
+    render_chrome_with_counters(records, title, &[])
+}
+
+/// [`render_chrome`] plus counter tracks: each `(name, series)` pair
+/// becomes a Perfetto counter track (`ph:"C"`) with one value per
+/// `(cycle, value)` point — the profiler's interval time series (IPC,
+/// bus utilization, outstanding misses, …) rendered alongside the
+/// events.
+pub fn render_chrome_with_counters(
+    records: &[Record],
+    title: &str,
+    counters: &[(String, Vec<(u64, f64)>)],
+) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
     let push = |s: String, out: &mut String, first: &mut bool| {
@@ -1265,6 +1278,21 @@ pub fn render_chrome(records: &[Record], title: &str) -> String {
             ),
         };
         push(body, &mut out, &mut first);
+    }
+    for (name, series) in counters {
+        let escaped = escape_json(name);
+        for &(cycle, value) in series {
+            // Perfetto rejects NaN/inf; clamp to 0 like the JSON writer.
+            let v = if value.is_finite() { value } else { 0.0 };
+            push(
+                format!(
+                    "{{\"name\":{escaped},\"ph\":\"C\",\"ts\":{cycle},\"pid\":0,\
+                     \"args\":{{\"value\":{v}}}}}"
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
     }
     out.push_str("\n]}\n");
     out

@@ -48,6 +48,6 @@ pub use invariant::{InvariantKind, InvariantViolation};
 pub use stats::MemStats;
 pub use time::Cycle;
 pub use versioned::{
-    AccessError, DataSource, LoadOutcome, StoreOutcome, VersionedMemory, Violation,
+    AccessError, DataSource, LoadOutcome, MemGauges, StoreOutcome, VersionedMemory, Violation,
 };
 pub use word::Word;

@@ -33,6 +33,10 @@ pub struct MemStats {
     pub bus_transactions: u64,
     /// Cycles during which the snooping bus was occupied.
     pub bus_busy_cycles: u64,
+    /// Cycles requesters spent waiting between issuing a bus request and
+    /// receiving the grant (arbitration / queueing delay, summed over all
+    /// PUs).
+    pub bus_wait_cycles: u64,
     /// Lines written back to the next level of memory.
     pub writebacks: u64,
     /// Committed versions purged without writeback (superseded by a newer
@@ -94,7 +98,7 @@ impl MemStats {
     /// This is the single source of truth for serializers (the JSON
     /// experiment reports iterate it), so adding a field here propagates
     /// to every report without touching the writers.
-    pub fn fields(&self) -> [(&'static str, u64); 20] {
+    pub fn fields(&self) -> [(&'static str, u64); 21] {
         [
             ("loads", self.loads),
             ("stores", self.stores),
@@ -103,6 +107,7 @@ impl MemStats {
             ("next_level_fills", self.next_level_fills),
             ("bus_transactions", self.bus_transactions),
             ("bus_busy_cycles", self.bus_busy_cycles),
+            ("bus_wait_cycles", self.bus_wait_cycles),
             ("writebacks", self.writebacks),
             ("purged_versions", self.purged_versions),
             ("violations", self.violations),
@@ -147,6 +152,7 @@ impl MemStats {
             next_level_fills: d(self.next_level_fills, earlier.next_level_fills),
             bus_transactions: d(self.bus_transactions, earlier.bus_transactions),
             bus_busy_cycles: d(self.bus_busy_cycles, earlier.bus_busy_cycles),
+            bus_wait_cycles: d(self.bus_wait_cycles, earlier.bus_wait_cycles),
             writebacks: d(self.writebacks, earlier.writebacks),
             purged_versions: d(self.purged_versions, earlier.purged_versions),
             violations: d(self.violations, earlier.violations),

@@ -102,6 +102,19 @@ impl fmt::Display for AccessError {
 
 impl std::error::Error for AccessError {}
 
+/// Point-in-time occupancy gauges sampled by the cycle-accounting
+/// profiler's interval time series (see `svc_sim::profile`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemGauges {
+    /// Fills still outstanding across all MSHR files (or the equivalent
+    /// non-blocking-miss structures) at the sample point.
+    pub outstanding_misses: u64,
+    /// Live speculative versions: uncommitted VOL entries / speculative
+    /// lines (SVC), speculative rows (ARB). Zero for systems without
+    /// versioning state.
+    pub live_versions: u64,
+}
+
 /// A memory system that supports *speculative versioning*: buffering
 /// multiple uncommitted versions per location, supplying loads with the
 /// closest previous version, detecting memory-dependence violations, and
@@ -191,6 +204,14 @@ pub trait VersionedMemory {
     fn check_post_squash(&self, pu: PuId, now: Cycle) -> Vec<InvariantViolation> {
         let _ = (pu, now);
         Vec::new()
+    }
+
+    /// Point-in-time occupancy gauges for the profiler's interval
+    /// sampler. The default (systems without MSHRs or versioning state)
+    /// reports zeros.
+    fn profile_gauges(&self, now: Cycle) -> MemGauges {
+        let _ = now;
+        MemGauges::default()
     }
 
     /// Forces all committed state out to the next level of memory, so that

@@ -5,7 +5,9 @@
 //!               [--memory svc|arb] [--kb N] [--hit N] [--budget N]
 //!               [--seed N] [--pus N] [--json]
 //!               [--trace] [--trace-filter CATS] [--trace-out PREFIX]
+//!               [--profile] [--profile-out FILE]
 //! svc-sim trace [--addr N] [workload/memory flags as for run]
+//! svc-sim profile [--json] [workload/memory flags as for run]
 //! svc-sim designs [--bench NAME] [--budget N] [--seed N]
 //! svc-sim faults [--seed N] [--budget N] [--rate R] [--pus N]
 //! svc-sim list
@@ -13,16 +15,23 @@
 //!
 //! `run` executes one workload on one memory system and prints the
 //! report (`--json` emits the machine-readable `svc-experiments/v1`
-//! run object instead). With `--trace` it records cycle-stamped events
-//! (`--trace-filter` takes `all` or a comma list like `bus,task`) and
-//! either prints the text log or, with `--trace-out PREFIX`, writes
-//! `PREFIX.log`, `PREFIX.jsonl` and `PREFIX.trace.json` (Perfetto).
-//! `trace` runs a traced cell and prints the squash-forensics report —
-//! a line's version history plus the violation→squash causal chains —
-//! for the line containing `--addr`. `designs` walks the §3 design
-//! progression on one benchmark; `faults` runs the deterministic
-//! fault-injection campaign (see EXPERIMENTS.md); `list` shows the
-//! available workloads.
+//! run object instead; when `--trace-out` or `--profile-out` wrote
+//! artifacts, the object carries an `artifacts` map with their paths).
+//! With `--trace` it records cycle-stamped events (`--trace-filter`
+//! takes `all` or a comma list like `bus,task`) and either prints the
+//! text log or, with `--trace-out PREFIX`, writes `PREFIX.log`,
+//! `PREFIX.jsonl` and `PREFIX.trace.json` (Perfetto). With `--profile`
+//! it attaches the cycle-accounting profiler and appends the per-PU
+//! bucket table to the report; `--profile-out FILE` also writes the
+//! `svc-profile/v1` document. `trace` runs a traced cell and prints
+//! the squash-forensics report — a line's version history plus the
+//! violation→squash causal chains — for the line containing `--addr`.
+//! `profile` runs a profiled cell and prints the per-PU cycle
+//! attribution table plus the top wasted-work addresses (`--json`
+//! emits the `svc-profile/v1` document instead). `designs` walks the
+//! §3 design progression on one benchmark; `faults` runs the
+//! deterministic fault-injection campaign (see EXPERIMENTS.md);
+//! `list` shows the available workloads.
 //!
 //! Exit codes: 0 success, 2 usage error, 3 I/O error, 4 invariant
 //! violation / silent corruption ([`svc_repro::bench::cli`]).
@@ -30,10 +39,14 @@
 use std::process::ExitCode;
 
 use svc_repro::bench::cli::CliError;
-use svc_repro::bench::{report, run_source, run_source_with, MemoryKind, NUM_PUS};
+use svc_repro::bench::report::Json;
+use svc_repro::bench::{
+    report, run_source, run_source_with, ExperimentResult, MemoryKind, NUM_PUS,
+};
 use svc_repro::multiscalar::{Engine, EngineConfig, TaskSource, VecTaskSource};
 use svc_repro::sim::fault::{FaultConfig, Faults};
 use svc_repro::sim::forensics;
+use svc_repro::sim::profile::{Bucket, ProfileReport};
 use svc_repro::sim::rng::SplitMix64;
 use svc_repro::sim::trace::{self, Tracer};
 use svc_repro::svc::{SvcConfig, SvcSystem};
@@ -57,6 +70,8 @@ struct Options {
     trace: bool,
     trace_filter: String,
     trace_out: Option<String>,
+    profile: bool,
+    profile_out: Option<String>,
     addr: Option<u64>,
     rate: f64,
 }
@@ -78,6 +93,8 @@ impl Default for Options {
             trace: false,
             trace_filter: "all".to_string(),
             trace_out: None,
+            profile: false,
+            profile_out: None,
             addr: None,
             rate: 0.02,
         }
@@ -91,7 +108,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     o.command = it.next().cloned().ok_or("missing command")?;
     if !matches!(
         o.command.as_str(),
-        "run" | "designs" | "list" | "trace" | "faults"
+        "run" | "designs" | "list" | "trace" | "faults" | "profile"
     ) {
         return Err(format!("unknown command {:?}", o.command));
     }
@@ -115,6 +132,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--trace" | "-t" => o.trace = true,
             "--trace-filter" => o.trace_filter = value()?,
             "--trace-out" => o.trace_out = Some(value()?),
+            "--profile" | "-p" => o.profile = true,
+            "--profile-out" => o.profile_out = Some(value()?),
             "--addr" => o.addr = Some(value()?.parse().map_err(|e| format!("--addr: {e}"))?),
             "--rate" => o.rate = value()?.parse().map_err(|e| format!("--rate: {e}"))?,
             other => return Err(format!("unknown flag {other:?}")),
@@ -140,6 +159,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if o.command == "trace" && o.addr.is_none() {
         return Err("`svc-sim trace` needs --addr".to_string());
+    }
+    // `--profile-out` implies profiling, and the `profile` subcommand
+    // is always profiled.
+    if o.profile_out.is_some() || o.command == "profile" {
+        o.profile = true;
     }
     Ok(o)
 }
@@ -287,17 +311,137 @@ fn emit_trace(o: &Options, tracer: &Tracer, title: &str) -> Result<(), CliError>
     Ok(())
 }
 
+/// The line geometry of the memory system the options select, for
+/// mapping word addresses to cache lines in forensics / profile output.
+fn words_per_line(o: &Options) -> u64 {
+    match o.memory.as_str() {
+        "svc" => SvcConfig::paper_geometry(o.kb).words_per_line() as u64,
+        _ => svc_repro::arb::ArbConfig::paper(o.pus, o.hit, o.kb.max(32))
+            .cache_geometry
+            .words_per_line() as u64,
+    }
+}
+
+/// Wraps one run's profile in the `svc-profile/v1` document shape the
+/// experiment binaries publish, so `svc-sim` output parses with the
+/// same tooling.
+fn profile_doc_for(o: &Options, name: &str, result: &ExperimentResult) -> Json {
+    let p = result.profile.as_ref().expect("caller checked profile");
+    let run = Json::obj()
+        .set("workload", name.into())
+        .set("memory", result.memory.as_str().into())
+        .set("seed", o.seed.into())
+        .set("profile", report::profile_report_json(p));
+    report::profile_doc(name, o.budget, o.seed, vec![run])
+}
+
+/// Writes the `svc-profile/v1` document to `--profile-out` (if set and
+/// a profile was recorded) and returns the path written.
+fn write_profile_out(
+    o: &Options,
+    name: &str,
+    result: &ExperimentResult,
+) -> Result<Option<String>, CliError> {
+    let Some(path) = &o.profile_out else {
+        return Ok(None);
+    };
+    if result.profile.is_none() {
+        return Ok(None);
+    }
+    let doc = profile_doc_for(o, name, result);
+    std::fs::write(path, doc.render()).map_err(|e| CliError::io(path, e))?;
+    Ok(Some(path.clone()))
+}
+
+/// Renders the per-PU cycle-attribution table, the conservation line,
+/// and the top wasted-work addresses (with their cache lines, via the
+/// forensics address→line mapping).
+fn render_profile(p: &ProfileReport, wpl: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{:6}", "pu");
+    for b in Bucket::EVERY {
+        let _ = write!(out, " {:>15}", b.name());
+    }
+    out.push('\n');
+    for (i, set) in p.per_pu.iter().enumerate() {
+        let _ = write!(out, "pu{i:<4}");
+        for v in set {
+            let _ = write!(out, " {v:>15}");
+        }
+        out.push('\n');
+    }
+    let totals = p.totals();
+    let _ = write!(out, "{:6}", "total");
+    for v in totals {
+        let _ = write!(out, " {v:>15}");
+    }
+    out.push('\n');
+    let attributed = p.attributed().max(1);
+    let _ = write!(out, "{:6}", "%");
+    for v in totals {
+        let _ = write!(out, " {:>14.1}%", 100.0 * v as f64 / attributed as f64);
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "conservation: attributed {} of {} PU-cycles ({} cycles x {} PUs) -- {}",
+        p.attributed(),
+        p.expected(),
+        p.cycles,
+        p.num_pus,
+        if p.conservation_ok() {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
+    );
+    if !p.wasted_addrs.is_empty() {
+        let _ = writeln!(out, "top wasted-work addresses (squashed accesses):");
+        for &(addr, count) in &p.wasted_addrs {
+            let line = forensics::line_of(Addr(addr), wpl);
+            let _ = writeln!(
+                out,
+                "  addr {addr:>8}  line {:>6}  squashed {count}",
+                line.0
+            );
+        }
+    }
+    out
+}
+
 fn cmd_run(o: &Options) -> Result<(), CliError> {
+    if o.profile {
+        // The harness builds its profiler with `Profiler::from_env`, so
+        // the flag is exactly `SVC_PROFILE=1` for this process.
+        std::env::set_var("SVC_PROFILE", "1");
+    }
     let tracer = cli_tracer(o, false)?;
     let (result, name) = run_selected(o, tracer.clone())?;
     if tracer.is_active() {
         emit_trace(o, &tracer, &name)?;
     }
+    let profile_path = write_profile_out(o, &name, &result)?;
     if o.json {
-        println!(
-            "{}",
-            report::experiment_result_json(&result, o.seed).render()
-        );
+        let mut doc = report::experiment_result_json(&result, o.seed);
+        // Artifact paths, so tooling reading `--json` output can locate
+        // the trace sinks and profile document written alongside it.
+        let mut artifacts = Json::obj();
+        if tracer.is_active() {
+            if let Some(prefix) = &o.trace_out {
+                artifacts = artifacts
+                    .set("trace_log", format!("{prefix}.log").into())
+                    .set("trace_jsonl", format!("{prefix}.jsonl").into())
+                    .set("trace_chrome", format!("{prefix}.trace.json").into());
+            }
+        }
+        if let Some(path) = &profile_path {
+            artifacts = artifacts.set("profile", path.as_str().into());
+        }
+        if artifacts.as_obj().is_some_and(|m| !m.is_empty()) {
+            doc = doc.set("artifacts", artifacts);
+        }
+        println!("{}", doc.render());
         return Ok(());
     }
     println!("workload   {name}");
@@ -326,6 +470,48 @@ fn cmd_run(o: &Options) -> Result<(), CliError> {
         r.mem.writebacks,
         r.mem.snarfs
     );
+    if let Some(p) = &result.profile {
+        print!("{}", render_profile(p, words_per_line(o)));
+    }
+    if let Some(path) = &profile_path {
+        eprintln!("profile: -> {path}");
+    }
+    Ok(())
+}
+
+/// `svc-sim profile`: run one profiled cell and print the per-PU cycle
+/// attribution table plus the top wasted-work addresses (`--json`
+/// emits the `svc-profile/v1` document instead).
+fn cmd_profile(o: &Options) -> Result<(), CliError> {
+    std::env::set_var("SVC_PROFILE", "1");
+    let tracer = cli_tracer(o, false)?;
+    let (result, name) = run_selected(o, tracer.clone())?;
+    if tracer.is_active() {
+        emit_trace(o, &tracer, &name)?;
+    }
+    let profile_path = write_profile_out(o, &name, &result)?;
+    let Some(p) = &result.profile else {
+        return Err(CliError::Invariant(
+            "profiled run produced no profile report".to_string(),
+        ));
+    };
+    if o.json {
+        println!("{}", profile_doc_for(o, &name, &result).render());
+        return Ok(());
+    }
+    println!(
+        "workload   {name} on {} ({} cycles, {} PUs, epoch {}, {} samples)",
+        result.memory,
+        p.cycles,
+        p.num_pus,
+        p.epoch,
+        p.samples.len()
+    );
+    println!("IPC        {:.3}", result.ipc);
+    print!("{}", render_profile(p, words_per_line(o)));
+    if let Some(path) = &profile_path {
+        eprintln!("profile: -> {path}");
+    }
     Ok(())
 }
 
@@ -336,12 +522,7 @@ fn cmd_trace(o: &Options) -> Result<(), CliError> {
     let tracer = cli_tracer(o, true)?;
     let (_, name) = run_selected(o, tracer.clone())?;
     let records = tracer.records();
-    let wpl = match o.memory.as_str() {
-        "svc" => SvcConfig::paper_geometry(o.kb).words_per_line() as u64,
-        _ => svc_repro::arb::ArbConfig::paper(o.pus, o.hit, o.kb.max(32))
-            .cache_geometry
-            .words_per_line() as u64,
-    };
+    let wpl = words_per_line(o);
     let line = forensics::line_of(svc_repro::types::Addr(addr), wpl);
     println!(
         "workload {name}: {} traced events ({} dropped), line {} (addr {addr}, {wpl} words/line)",
@@ -599,7 +780,9 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: svc-sim run|trace|designs|faults|list [flags] (see `cargo doc`)");
+            eprintln!(
+                "usage: svc-sim run|trace|profile|designs|faults|list [flags] (see `cargo doc`)"
+            );
             return ExitCode::from(svc_repro::bench::cli::EXIT_USAGE);
         }
     };
@@ -610,6 +793,7 @@ fn main() -> ExitCode {
         }
         "run" => cmd_run(&opts),
         "trace" => cmd_trace(&opts),
+        "profile" => cmd_profile(&opts),
         "faults" => cmd_faults(&opts),
         _ => cmd_designs(&opts),
     };
@@ -699,6 +883,25 @@ mod tests {
             "--addr required"
         );
         assert!(parse(&argv("trace --addr 1 --trace-filter bogus")).is_err());
+    }
+
+    #[test]
+    fn parse_profile_flags() {
+        assert!(!parse(&argv("run")).unwrap().profile);
+        assert!(parse(&argv("run --profile --bench gcc")).unwrap().profile);
+        // --profile-out implies --profile.
+        let o = parse(&argv("run --profile-out /tmp/p.json")).unwrap();
+        assert!(o.profile);
+        assert_eq!(o.profile_out.as_deref(), Some("/tmp/p.json"));
+        assert!(parse(&argv("run --profile-out")).is_err());
+    }
+
+    #[test]
+    fn parse_profile_subcommand() {
+        let o = parse(&argv("profile --kernel reduction --json")).unwrap();
+        assert_eq!(o.command, "profile");
+        assert!(o.profile, "profile subcommand is always profiled");
+        assert!(o.json);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! The profiler's conservation invariant, as a property: on any
+//! generated program, on every memory system the engine can drive — SVC
+//! base and final designs, the ARB, and the SMP timing shim — every
+//! PU-cycle of the run is attributed to exactly one bucket, so the
+//! per-PU bucket totals sum to `cycles × num_pus`.
+
+use proptest::prelude::*;
+use svc_repro::arb::{ArbConfig, ArbSystem};
+use svc_repro::coherence::{SmpConfig, SmpVersioned};
+use svc_repro::multiscalar::{
+    Engine, EngineConfig, Instr, PredictorModel, TaskSource, VecTaskSource,
+};
+use svc_repro::sim::profile::{Bucket, Profiler};
+use svc_repro::svc::{SvcConfig, SvcSystem};
+use svc_repro::types::{Addr, VersionedMemory, Word};
+
+fn program_strategy() -> impl Strategy<Value = Vec<Vec<Instr>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            prop_oneof![
+                (0u64..48).prop_map(|a| Instr::Load(Addr(a))),
+                (0u64..48, 1u64..1000).prop_map(|(a, v)| Instr::Store(Addr(a), Word(v))),
+                (0u8..3).prop_map(Instr::Compute),
+            ],
+            1..8,
+        ),
+        1..24,
+    )
+}
+
+/// Runs `program` on `mem` (with `profiler` already attached to the
+/// memory side) and asserts the conservation invariant on the profile.
+fn check_conservation<M: VersionedMemory>(
+    label: &str,
+    program: &[Vec<Instr>],
+    cfg: &EngineConfig,
+    mem: M,
+    profiler: Profiler,
+) {
+    let src = VecTaskSource::new(program.to_vec());
+    let mut engine = Engine::new(*cfg, mem);
+    engine.set_profiler(profiler.clone());
+    let report = engine.run(&src as &dyn TaskSource);
+    let p = profiler.report().expect("active profiler yields a report");
+    assert_eq!(p.cycles, report.cycles, "{label}: profile spans the run");
+    assert!(
+        p.conservation_ok(),
+        "{label}: attributed {} PU-cycles, expected {} ({} cycles x {} PUs); totals {:?}",
+        p.attributed(),
+        p.expected(),
+        p.cycles,
+        p.num_pus,
+        p.totals(),
+    );
+    if report.committed_instrs > 0 {
+        assert!(
+            p.totals()[Bucket::Commit as usize] > 0,
+            "{label}: instructions committed but no cycles in the commit bucket"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_pu_cycle_lands_in_exactly_one_bucket(
+        program in program_strategy(),
+        accuracy in 0.6f64..1.0,
+        seed in 0u64..100_000,
+        pus in 2usize..5,
+    ) {
+        let cfg = EngineConfig {
+            num_pus: pus,
+            predictor: PredictorModel {
+                accuracy,
+                detect_cycles: 8,
+                seed,
+            },
+            seed,
+            garbage_addr_space: 48,
+            ..EngineConfig::default()
+        };
+        let epoch = 512; // small, so sampling is exercised too
+
+        for (label, svc_cfg) in [
+            ("svc-base", SvcConfig::base(pus)),
+            ("svc-final", SvcConfig::final_design(pus)),
+        ] {
+            let profiler = Profiler::new(pus, epoch);
+            let mut mem = SvcSystem::new(svc_cfg);
+            mem.set_profiler(profiler.clone());
+            check_conservation(label, &program, &cfg, mem, profiler);
+        }
+
+        let profiler = Profiler::new(pus, epoch);
+        let mut arb = ArbSystem::new(ArbConfig::paper(pus, 1, 32));
+        arb.set_profiler(profiler.clone());
+        check_conservation("arb", &program, &cfg, arb, profiler);
+
+        let profiler = Profiler::new(pus, epoch);
+        let mut smp_cfg = SmpConfig::small_for_tests();
+        smp_cfg.num_pus = pus;
+        let mut smp = SmpVersioned::new(smp_cfg);
+        smp.system_mut().set_profiler(profiler.clone());
+        check_conservation("smp", &program, &cfg, smp, profiler);
+    }
+}
