@@ -94,8 +94,7 @@ impl SharedCache {
         for slot in self.array.iter_mut() {
             if slot.dirty {
                 let line = slot.line.expect("dirty line has a tag");
-                let words: Vec<Option<Word>> = slot.data.iter().map(|w| Some(*w)).collect();
-                memory.write_line(line, &words, wpl);
+                memory.write_line_full(line, &slot.data, wpl);
                 slot.dirty = false;
             }
         }
@@ -122,8 +121,7 @@ impl SharedCache {
         let victim = self.array.slot(r);
         if victim.dirty {
             let vline = victim.line.expect("dirty line has a tag");
-            let words: Vec<Option<Word>> = victim.data.iter().map(|w| Some(*w)).collect();
-            memory.write_line(vline, &words, g.words_per_line());
+            memory.write_line_full(vline, &victim.data, g.words_per_line());
             self.writebacks += 1;
         }
         let data = memory.read_line(line, g.words_per_line());

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use smallvec::SmallVec;
 use svc_mem::{CacheGeometry, MainMemory};
 use svc_sim::profile::{AccessProfile, Profiler};
 use svc_sim::trace::{AccessOp, Category, TraceEvent, Tracer};
@@ -193,7 +194,7 @@ impl ArbSystem {
     }
 
     /// PUs ordered oldest-task-first, as `(stage index, task)`.
-    fn stage_order(&self) -> Vec<(usize, TaskId)> {
+    fn stage_order(&self) -> SmallVec<(usize, TaskId), 8> {
         self.assignments
             .program_order()
             .into_iter()

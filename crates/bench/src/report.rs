@@ -35,8 +35,14 @@ pub const SCHEMA_EXPERIMENT: &str = "svc-experiments/v1";
 /// (emitted only when a grid had failed cells; fully-healthy grids keep
 /// emitting byte-identical [`SCHEMA_EXPERIMENT`] documents).
 pub const SCHEMA_EXPERIMENT_V2: &str = "svc-experiments/v2";
-/// Schema tag of the `BENCH_experiments.json` perf snapshot.
-pub const SCHEMA_SNAPSHOT: &str = "svc-bench-snapshot/v1";
+/// Schema tag of the `BENCH_experiments.json` perf snapshot. The v2
+/// document keeps the v1 `experiments` section and adds two optional
+/// sections maintained by the `bench` trajectory driver: `previous`
+/// (the experiments section as it stood before the last
+/// [`rotate_snapshot`]) and `speedup` (per-experiment and aggregate
+/// simulated-cycles-per-second ratios of `experiments` over
+/// `previous`). v1 documents parse fine: both sections are absent.
+pub const SCHEMA_SNAPSHOT: &str = "svc-bench-snapshot/v2";
 /// Schema tag of `results/<name>.profile.json` cycle-accounting
 /// documents (emitted only when `SVC_PROFILE` is set).
 pub const SCHEMA_PROFILE: &str = "svc-profile/v1";
@@ -831,11 +837,97 @@ fn record_snapshot_at(path: &Path, experiment: &str, m: SelfMeasurement) -> io::
         .as_ref()
         .and_then(|doc| doc.get("experiments"))
         .cloned()
-        .unwrap_or_else(Json::obj);
-    let doc = Json::obj()
+        .unwrap_or_else(Json::obj)
+        .set(experiment, m.to_json());
+    let previous = existing.as_ref().and_then(|doc| doc.get("previous"));
+    let mut doc = Json::obj()
         .set("schema", SCHEMA_SNAPSHOT.into())
-        .set("experiments", experiments.set(experiment, m.to_json()));
+        .set("experiments", experiments.clone());
+    if let Some(prev) = previous {
+        doc = doc.set("previous", prev.clone());
+        if let Some(speedup) = speedup_json(&experiments, prev) {
+            doc = doc.set("speedup", speedup);
+        }
+    }
     std::fs::write(path, doc.render())
+}
+
+/// Rotates the perf snapshot: the current `experiments` section becomes
+/// `previous`, ready for a fresh sweep to fill `experiments` and let
+/// [`record_snapshot`] compute `speedup` against the rotated baseline.
+/// A missing or empty snapshot is left untouched.
+pub fn rotate_snapshot() -> io::Result<PathBuf> {
+    let path = snapshot_path();
+    rotate_snapshot_at(&path)?;
+    Ok(path)
+}
+
+fn rotate_snapshot_at(path: &Path) -> io::Result<()> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let Ok(doc) = parse(&text) else {
+        return Ok(());
+    };
+    let Some(experiments) = doc.get("experiments") else {
+        return Ok(());
+    };
+    if experiments.as_obj().is_none_or(|o| o.is_empty()) {
+        return Ok(());
+    }
+    let rotated = Json::obj()
+        .set("schema", SCHEMA_SNAPSHOT.into())
+        .set("experiments", Json::obj())
+        .set("previous", experiments.clone());
+    std::fs::write(path, rotated.render())
+}
+
+/// Extracts `(wall_s, sim_cycles, sim_cycles_per_sec)` from one
+/// snapshot experiment entry.
+fn snapshot_entry(entries: &Json, name: &str) -> Option<(f64, f64, f64)> {
+    let e = entries.get(name)?;
+    Some((
+        e.get("wall_s")?.as_f64()?,
+        e.get("sim_cycles")?.as_f64()?,
+        e.get("sim_cycles_per_sec")?.as_f64()?,
+    ))
+}
+
+/// The `speedup` section: per-experiment `sim_cycles_per_sec` ratios of
+/// `current` over `previous` for every experiment present in both, plus
+/// the aggregate ratio of total simulated cycles per total wall second
+/// over the common set. `None` when the sections share no experiments.
+fn speedup_json(current: &Json, previous: &Json) -> Option<Json> {
+    let mut per = Json::obj();
+    let mut common = 0usize;
+    let (mut cur_cycles, mut cur_wall) = (0.0, 0.0);
+    let (mut prev_cycles, mut prev_wall) = (0.0, 0.0);
+    for (name, _) in current.as_obj()? {
+        let Some((cw, cc, ccps)) = snapshot_entry(current, name) else {
+            continue;
+        };
+        let Some((pw, pc, pcps)) = snapshot_entry(previous, name) else {
+            continue;
+        };
+        if pcps <= 0.0 {
+            continue;
+        }
+        per = per.set(name, (ccps / pcps).into());
+        common += 1;
+        cur_cycles += cc;
+        cur_wall += cw;
+        prev_cycles += pc;
+        prev_wall += pw;
+    }
+    if common == 0 || cur_wall <= 0.0 || prev_wall <= 0.0 || prev_cycles <= 0.0 {
+        return None;
+    }
+    let aggregate = (cur_cycles / cur_wall) / (prev_cycles / prev_wall);
+    Some(
+        Json::obj()
+            .set("aggregate", aggregate.into())
+            .set("per_experiment", per),
+    )
 }
 
 #[cfg(test)]
@@ -932,6 +1024,73 @@ mod tests {
         assert_eq!(fj.get("attempts").and_then(Json::as_f64), Some(2.0));
         // Round-trips through the parser like any other document.
         assert_eq!(parse(&degraded.render()).expect("parses"), degraded);
+    }
+
+    #[test]
+    fn rotate_then_record_computes_speedup() {
+        let dir = std::env::temp_dir().join("svc_report_rotate_test");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let path = dir.join("BENCH_experiments.json");
+        let _ = std::fs::remove_file(&path);
+
+        // Rotating a missing snapshot is a no-op.
+        rotate_snapshot_at(&path).expect("rotate missing");
+        assert!(!path.exists());
+
+        let slow = SelfMeasurement {
+            wall_s: 2.0,
+            threads: 1,
+            jobs: 2,
+            sim_cycles: 1000,
+            committed_instrs: 500,
+        };
+        record_snapshot_at(&path, "table2", slow).expect("write");
+        record_snapshot_at(&path, "fig19", slow).expect("write");
+
+        rotate_snapshot_at(&path).expect("rotate");
+        let doc = parse(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        assert_eq!(
+            doc.get("experiments")
+                .and_then(Json::as_obj)
+                .map(<[_]>::len),
+            Some(0)
+        );
+        assert!(doc.get("previous").and_then(|p| p.get("table2")).is_some());
+
+        // A 2x-faster rerun of one experiment: per-experiment and
+        // aggregate speedups are both 2 (fig19 has no current entry yet,
+        // so it drops out of the common set).
+        let fast = SelfMeasurement {
+            wall_s: 1.0,
+            ..slow
+        };
+        record_snapshot_at(&path, "table2", fast).expect("write");
+        let doc = parse(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        let speedup = doc.get("speedup").expect("speedup");
+        assert_eq!(speedup.get("aggregate").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            speedup
+                .get("per_experiment")
+                .and_then(|p| p.get("table2"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert!(speedup
+            .get("per_experiment")
+            .and_then(|p| p.get("fig19"))
+            .is_none());
+
+        // Rotating again promotes the fresh sweep and drops speedup.
+        rotate_snapshot_at(&path).expect("rotate");
+        let doc = parse(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        assert!(doc.get("speedup").is_none());
+        assert_eq!(
+            doc.get("previous")
+                .and_then(|p| p.get("table2"))
+                .and_then(|t| t.get("wall_s"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
     }
 
     #[test]

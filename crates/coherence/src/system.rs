@@ -397,8 +397,7 @@ impl SmpSystem {
             let data = self.caches[i].slot(r).data.clone();
             self.caches[i].slot_mut(r).state = SmpState::Clean;
             self.emit_state(PuId(i), line, SmpState::Dirty, SmpState::Clean, now);
-            let masked: Vec<Option<Word>> = data.iter().map(|w| Some(*w)).collect();
-            self.memory.write_line(line, &masked, wpl);
+            self.memory.write_line_full(line, &data, wpl);
             self.stats.cache_transfers += 1;
             (data, grant.done, DataSource::Transfer)
         } else {
@@ -493,8 +492,7 @@ impl SmpSystem {
         } else if let Some(d) = fetched {
             // We held a stale clean copy while another cache had it dirty —
             // cannot happen under MRSW, but keep memory consistent anyway.
-            let masked: Vec<Option<Word>> = d.iter().map(|w| Some(*w)).collect();
-            self.memory.write_line(line, &masked, wpl);
+            self.memory.write_line_full(line, &d, wpl);
         }
         if self.profiler.is_active() {
             self.profiler.note_access(
@@ -524,10 +522,9 @@ impl SmpSystem {
         let victim_line = victim.held_line();
         if victim.state.is_dirty() {
             let vline = victim.line.expect("dirty line has a tag");
-            let data: Vec<Option<Word>> = victim.data.iter().map(|w| Some(*w)).collect();
             self.bus
                 .transact_as(BusOp::Wback, Some(pu), Some(vline), now, 0);
-            self.memory.write_line(vline, &data, wpl);
+            self.memory.write_line_full(vline, &victim.data, wpl);
             self.stats.writebacks += 1;
         }
         if let Some(vline) = victim_line {

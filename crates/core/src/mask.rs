@@ -95,9 +95,20 @@ impl SubMask {
         self.0.count_ones() as usize
     }
 
-    /// Iterator over the set sub-block indices, ascending.
+    /// Iterator over the set sub-block indices, ascending. A bit-scan
+    /// loop (`trailing_zeros` + clear-lowest), so iterating a sparse
+    /// mask costs one step per set bit, not 64.
     pub fn iter(self) -> impl Iterator<Item = usize> {
-        (0..64).filter(move |&i| self.contains(i))
+        let mut bits = self.0;
+        core::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
     }
 }
 

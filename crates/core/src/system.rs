@@ -1,6 +1,7 @@
 //! The complete SVC memory system: private caches, snooping bus, VCL,
 //! MSHRs, writeback buffers and the next level of memory.
 
+use smallvec::SmallVec;
 use svc_mem::{Backing, Bus, CacheArray, MshrFile, WayRef, WritebackBuffer};
 use svc_sim::fault::{FaultEvent, FaultSite, Faults};
 use svc_sim::profile::{AccessProfile, Profiler};
@@ -16,6 +17,35 @@ use crate::mask::SubMask;
 use crate::snapshot::LineSnapshot;
 use crate::vcl::{ReadPlan, SupplySource, Vcl, WritePlan};
 use crate::vol::{order_vol, vol_trace_entries};
+
+/// Data gathered for one fill, kept inline for paper-sized lines: per
+/// filled sub-block `(index, from_cache)` metadata plus a flat word
+/// buffer holding `w` words per entry in the same order.
+struct GatheredFill {
+    meta: SmallVec<(usize, bool), 8>,
+    words: SmallVec<Word, 8>,
+    w: usize,
+}
+
+impl GatheredFill {
+    /// `(sub-block, its words, from_cache)` per filled sub-block.
+    fn iter(&self) -> impl Iterator<Item = (usize, &[Word], bool)> {
+        self.meta
+            .iter()
+            .enumerate()
+            .map(move |(i, &(j, from_cache))| {
+                (j, &self.words[i * self.w..(i + 1) * self.w], from_cache)
+            })
+    }
+
+    /// Whether sub-block `j`'s data came from another cache.
+    fn from_cache(&self, j: usize) -> Option<bool> {
+        self.meta
+            .iter()
+            .find(|&&(fj, _)| fj == j)
+            .map(|&(_, from_cache)| from_cache)
+    }
+}
 
 /// The Speculative Versioning Cache memory system (paper Figure 5).
 ///
@@ -141,7 +171,7 @@ impl SvcSystem {
     /// The reconstructed Version Ordering List for the line containing
     /// `addr` (for tests and tracing).
     pub fn vol_of(&self, addr: Addr) -> Vec<PuId> {
-        order_vol(&self.snapshots(self.config.geometry.line_of(addr)))
+        order_vol(&self.snapshots(self.config.geometry.line_of(addr))).to_vec()
     }
 
     /// The word at `addr` as cached by `pu`, if the holding sub-block is
@@ -164,7 +194,7 @@ impl SvcSystem {
 
     /// Snooped snapshots of `line` (for the inspection helpers).
     pub(crate) fn snapshots_of(&self, line: LineId) -> Vec<LineSnapshot> {
-        self.snapshots(line)
+        self.snapshots(line).to_vec()
     }
 
     // -----------------------------------------------------------------
@@ -268,7 +298,7 @@ impl SvcSystem {
     // Snapshots and plan application
     // -----------------------------------------------------------------
 
-    fn snapshots(&self, line: LineId) -> Vec<LineSnapshot> {
+    pub(crate) fn snapshots(&self, line: LineId) -> SmallVec<LineSnapshot, 8> {
         (0..self.config.num_pus)
             .map(|i| {
                 let pu = PuId(i);
@@ -305,34 +335,47 @@ impl SvcSystem {
     }
 
     /// Words of sub-block `j` of `pu`'s copy of `line`.
-    fn read_subblock(&self, pu: PuId, line: LineId, j: usize) -> Vec<Word> {
+    fn read_subblock(&self, pu: PuId, line: LineId, j: usize) -> SmallVec<Word, 8> {
         let r = self.caches[pu.index()]
             .find(line)
             .expect("supplier holds the line");
         let l = self.caches[pu.index()].slot(r);
         let w = self.config.geometry.words_per_subblock();
-        l.data[j * w..(j + 1) * w].to_vec()
+        l.data[j * w..(j + 1) * w].iter().copied().collect()
     }
 
     /// Gathers the data for a fill: `(sub-block, words, from_cache)`.
-    fn gather_fill(
-        &mut self,
-        line: LineId,
-        fill: &[(usize, SupplySource)],
-    ) -> Vec<(usize, Vec<Word>, bool)> {
+    fn gather_fill(&mut self, line: LineId, fill: &[(usize, SupplySource)]) -> GatheredFill {
         let w = self.config.geometry.words_per_subblock();
         let wpl = self.config.geometry.words_per_line();
-        fill.iter()
-            .map(|&(j, src)| match src {
-                SupplySource::Cache(q) => (j, self.read_subblock(q, line, j), true),
-                SupplySource::Memory => {
-                    let words = (0..w)
-                        .map(|k| self.backing.read(line.word(j * w + k, wpl)))
-                        .collect();
-                    (j, words, false)
+        let mut gathered = GatheredFill {
+            meta: SmallVec::new(),
+            words: SmallVec::new(),
+            w,
+        };
+        for &(j, src) in fill {
+            match src {
+                SupplySource::Cache(q) => {
+                    let r = self.caches[q.index()]
+                        .find(line)
+                        .expect("supplier holds the line");
+                    let l = self.caches[q.index()].slot(r);
+                    gathered
+                        .words
+                        .extend(l.data[j * w..(j + 1) * w].iter().copied());
+                    gathered.meta.push((j, true));
                 }
-            })
-            .collect()
+                SupplySource::Memory => {
+                    for k in 0..w {
+                        gathered
+                            .words
+                            .push(self.backing.read(line.word(j * w + k, wpl)));
+                    }
+                    gathered.meta.push((j, false));
+                }
+            }
+        }
+        gathered
     }
 
     /// Installs a gathered fill into one cache slot. `set_load` is the
@@ -347,7 +390,7 @@ impl SvcSystem {
         pu: PuId,
         slot: WayRef,
         line: LineId,
-        data: &[(usize, Vec<Word>, bool)],
+        data: &GatheredFill,
         arch: bool,
         set_load: Option<usize>,
         fresh: bool,
@@ -364,11 +407,11 @@ impl SvcSystem {
         }
         let was_arch = l.arch || !l.is_valid();
         l.line = Some(line);
-        for (j, words, _) in data {
+        for (j, words, _) in data.iter() {
             for (k, word) in words.iter().enumerate() {
                 l.data[j * w + k] = *word;
             }
-            l.valid.set(*j);
+            l.valid.set(j);
         }
         l.committed = false;
         l.arch = arch && was_arch;
@@ -404,7 +447,7 @@ impl SvcSystem {
     /// Rewrites the VOL pointers of every copy of `line` to match `order`
     /// (members no longer valid are skipped).
     fn rewrite_pointers(&mut self, line: LineId, order: &[PuId]) {
-        let holders: Vec<PuId> = order
+        let holders: SmallVec<PuId, 8> = order
             .iter()
             .copied()
             .filter(|q| self.caches[q.index()].find(line).is_some())
@@ -623,11 +666,10 @@ impl SvcSystem {
         self.rewrite_pointers(line, &plan.vol_after);
         self.recompute_stale(line);
         // Classify the requested sub-block's source for miss accounting.
-        let (_, _, from_cache) = data
-            .iter()
-            .find(|&&(j, _, _)| j == requested)
+        let from_cache = data
+            .from_cache(requested)
             .expect("requested sub-block is in the fill");
-        if *from_cache {
+        if from_cache {
             self.stats.cache_transfers += 1;
             DataSource::Transfer
         } else {
@@ -684,11 +726,11 @@ impl SvcSystem {
             *l = SvcLine::invalid(words);
         }
         l.line = Some(line);
-        for (fj, words, _) in &data {
+        for (fj, words, _) in data.iter() {
             for (k, word) in words.iter().enumerate() {
                 l.data[fj * w + k] = *word;
             }
-            l.valid.set(*fj);
+            l.valid.set(fj);
         }
         l.data[off] = value;
         l.valid.set(j);
@@ -743,13 +785,14 @@ impl SvcSystem {
         for cache in &self.caches {
             for l in cache.iter() {
                 if let Some(id) = l.line {
-                    if l.is_valid() && !lines.contains(&id) {
+                    if l.is_valid() {
                         lines.push(id);
                     }
                 }
             }
         }
-        lines.sort();
+        lines.sort_unstable();
+        lines.dedup();
         lines
     }
 
@@ -769,6 +812,15 @@ impl SvcSystem {
             .filter(|l| l.is_valid() && !l.committed)
             .map(|l| l.line.expect("valid line has a tag"))
             .collect()
+    }
+
+    /// Number of uncommitted valid lines in `pu`'s cache (the gauge the
+    /// profiler samples every period — counted, not collected).
+    pub(crate) fn speculative_line_count(&self, pu: PuId) -> usize {
+        self.caches[pu.index()]
+            .iter()
+            .filter(|l| l.is_valid() && !l.committed)
+            .count()
     }
 
     /// Deliberately corrupts the state bits of `pu`'s copy of the line
@@ -815,9 +867,9 @@ impl SvcSystem {
 
     /// Caches eligible to snarf a fill of `line`: no copy, a free way, and
     /// an assigned task.
-    fn snarf_candidates(&self, line: LineId, exclude: PuId) -> Vec<(PuId, TaskId)> {
+    fn snarf_candidates(&self, line: LineId, exclude: PuId) -> SmallVec<(PuId, TaskId), 8> {
         if !self.config.snarfing {
-            return Vec::new();
+            return SmallVec::new();
         }
         (0..self.config.num_pus)
             .filter_map(|i| {
@@ -1332,7 +1384,7 @@ impl VersionedMemory for SvcSystem {
                 .map(|m| m.outstanding_at(now) as u64)
                 .sum(),
             live_versions: (0..self.config.num_pus)
-                .map(|i| self.speculative_lines_of(PuId(i)).len() as u64)
+                .map(|i| self.speculative_line_count(PuId(i)) as u64)
                 .sum(),
         }
     }

@@ -14,12 +14,22 @@
 //! Keeping the VCL pure makes the paper's figure walk-throughs directly
 //! testable; see the unit tests at the bottom of this module.
 
+use smallvec::SmallVec;
 use svc_sim::trace::{PlanKind, PlanSummary};
 use svc_types::{LineId, PuId, TaskId};
 
 use crate::mask::SubMask;
 use crate::snapshot::LineSnapshot;
-use crate::vol::order_vol;
+use crate::vol::{order_vol, VolOrder};
+
+/// Per-sub-block fill sources; inline for the common ≤8-sub-block case.
+pub type FillList = SmallVec<(usize, SupplySource), 8>;
+/// Per-PU sub-block masks (flush and invalidate sets).
+pub type MaskList = SmallVec<(PuId, SubMask), 8>;
+/// A short list of PUs (purge/demote/snarf/update sets).
+pub type PuList = SmallVec<PuId, 8>;
+/// Squash victims: `(pu, task)` pairs.
+pub type VictimList = SmallVec<(PuId, TaskId), 8>;
 
 fn fill_split(fill: &[(usize, SupplySource)]) -> (u32, u32) {
     let from_cache = fill
@@ -43,69 +53,69 @@ pub enum SupplySource {
 pub struct ReadPlan {
     /// Per filled sub-block: where its data comes from. Covers exactly the
     /// sub-blocks the requestor asked to fill.
-    pub fill: Vec<(usize, SupplySource)>,
+    pub fill: FillList,
     /// Whether the requestor's filled line is (a copy of) the architectural
     /// version — sets the A bit (§3.5.1).
     pub arch: bool,
     /// Committed winners to write back to memory, oldest-version data
     /// first: for each sub-block the *most recent committed* version is
     /// flushed (§3.4.1); superseded committed data is purged silently.
-    pub flush: Vec<(PuId, SubMask)>,
+    pub flush: MaskList,
     /// Committed lines to invalidate after the flush: on a read, the
     /// passive-*dirty* lines ("on a bus request, a line in passive dirty
     /// state is invalidated whether it is flushed or not", §3.8.1);
     /// passive-clean copies are retained.
-    pub purge: Vec<PuId>,
+    pub purge: PuList,
     /// With the retain-flushed optimization: passive-dirty lines whose
     /// entire store mask was flushed are demoted to passive-clean
     /// architectural copies instead of purged (§3.8.1's "further
     /// optimization").
-    pub demote: Vec<PuId>,
+    pub demote: PuList,
     /// Caches (beyond the requestor) that may snarf the fill (§3.6),
     /// already filtered to those whose correct version matches the
     /// requestor's for every filled sub-block.
-    pub snarfers: Vec<PuId>,
+    pub snarfers: PuList,
     /// The VOL after the transaction (including requestor and snarfers).
-    pub vol_after: Vec<PuId>,
+    pub vol_after: VolOrder,
 }
 
 /// The VCL's answer to a `BusWrite` request (paper §3.2.3, §3.4.2).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WritePlan {
     /// Fill sources for sub-blocks the requestor lacks (write-allocate).
-    pub fill: Vec<(usize, SupplySource)>,
+    pub fill: FillList,
     /// Committed winners to flush to memory before purging (§3.4.2:
     /// "it determines that version 1 has to be written back ... and the
     /// other versions can be invalidated").
-    pub flush: Vec<(PuId, SubMask)>,
+    pub flush: MaskList,
     /// All committed lines — purged on a store miss (Figure 13).
-    pub purge: Vec<PuId>,
+    pub purge: PuList,
     /// Uncommitted copies in the invalidation range (requestor's successor
     /// up to the next version): `(pu, sub-blocks to invalidate)`.
-    pub invalidate: Vec<(PuId, SubMask)>,
+    pub invalidate: MaskList,
     /// Hybrid update–invalidate (§3.8): non-violated copies in the range
     /// that receive the new data in place instead of being invalidated.
-    pub update: Vec<PuId>,
+    pub update: PuList,
     /// Tasks whose recorded use-before-define was exposed by this store —
     /// each must be squashed along with everything younger (§3.2.3).
-    pub victims: Vec<(PuId, TaskId)>,
+    pub victims: VictimList,
     /// The VOL after the transaction.
-    pub vol_after: Vec<PuId>,
+    pub vol_after: VolOrder,
 }
 
 /// The VCL's answer to a `BusWback` (dirty replacement) request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WbackPlan {
     /// Committed winners flushed to memory before the evicted data lands.
-    pub flush: Vec<(PuId, SubMask)>,
+    pub flush: MaskList,
     /// Committed lines purged (all of them — the castout supersedes or
     /// flushes every committed version of the line).
-    pub purge: Vec<PuId>,
+    pub purge: PuList,
     /// Sub-blocks of the evicted line whose data must be written to
     /// memory.
     pub write_evicted: SubMask,
     /// The VOL after the transaction (evictor removed).
-    pub vol_after: Vec<PuId>,
+    pub vol_after: VolOrder,
 }
 
 impl ReadPlan {
@@ -226,8 +236,8 @@ impl Vcl {
                 .iter()
                 .any(|&(q, m)| q == s.pu && s.store.minus(m).is_empty())
         };
-        let mut demote: Vec<PuId> = Vec::new();
-        let mut purge: Vec<PuId> = Vec::new();
+        let mut demote: PuList = SmallVec::new();
+        let mut purge: PuList = SmallVec::new();
         for s in vol.iter().filter(|s| s.committed && s.is_version()) {
             if self.retain_flushed && s.pu != pu && fully_flushed(s) {
                 demote.push(s.pu);
@@ -238,7 +248,7 @@ impl Vcl {
 
         // Snarfers: a candidate may copy the fill iff, for every filled
         // sub-block, its correct supplier equals the requestor's.
-        let snarfers: Vec<PuId> = if self.snarfing {
+        let snarfers: PuList = if self.snarfing {
             snarf_candidates
                 .iter()
                 .filter(|&&(q, qtask)| {
@@ -252,12 +262,12 @@ impl Vcl {
                 .map(|&(q, _)| q)
                 .collect()
         } else {
-            Vec::new()
+            SmallVec::new()
         };
 
         // VOL afterwards: survivors (clean committed + all uncommitted) in
         // order, with requestor and snarfers at their task positions.
-        let mut after: Vec<(Option<TaskId>, PuId)> = Vec::new();
+        let mut after: OrderBuf = SmallVec::new();
         for s in &vol {
             if s.pu == pu {
                 continue; // the requestor re-enters at its task position
@@ -305,14 +315,14 @@ impl Vcl {
         let fill = plan_fill(&vol, pos, pu, fill_mask, self.trust_stale);
         let (flush, _) = committed_winners(&vol);
         // Store miss purges every committed version/copy (Figure 13).
-        let purge: Vec<PuId> = vol.iter().filter(|s| s.committed).map(|s| s.pu).collect();
+        let purge: PuList = vol.iter().filter(|s| s.committed).map(|s| s.pu).collect();
 
         // Walk the successors: invalidate (or update) copies until the next
         // version of these sub-blocks, inclusive if it recorded a use
         // before definition (§3.2.3).
-        let mut invalidate: Vec<(PuId, SubMask)> = Vec::new();
-        let mut update: Vec<PuId> = Vec::new();
-        let mut victims: Vec<(PuId, TaskId)> = Vec::new();
+        let mut invalidate: MaskList = SmallVec::new();
+        let mut update: PuList = SmallVec::new();
+        let mut victims: VictimList = SmallVec::new();
         for s in vol.iter().filter(|s| !s.committed) {
             let stask = s.ordering_task().expect("uncommitted");
             if s.pu == pu || !task.is_older_than(stask) {
@@ -344,7 +354,7 @@ impl Vcl {
         // drop out; requestor joins at its position. (Squash victims keep
         // their membership here — the engine squashes them immediately,
         // which clears their whole cache.)
-        let mut after: Vec<(Option<TaskId>, PuId)> = Vec::new();
+        let mut after: OrderBuf = SmallVec::new();
         for s in vol.iter().filter(|s| !s.committed) {
             if s.pu == pu {
                 continue;
@@ -405,12 +415,12 @@ impl Vcl {
                 .collect();
             evict_store
         };
-        let purge: Vec<PuId> = vol
+        let purge: PuList = vol
             .iter()
             .filter(|s| s.committed || s.pu == pu)
             .map(|s| s.pu)
             .collect();
-        let mut after: Vec<(Option<TaskId>, PuId)> = Vec::new();
+        let mut after: OrderBuf = SmallVec::new();
         for s in vol.iter().filter(|s| !s.committed && s.pu != pu) {
             after.push((Some(s.ordering_task().expect("uncommitted")), s.pu));
         }
@@ -428,10 +438,12 @@ impl Vcl {
 // Internal helpers
 // ---------------------------------------------------------------------
 
+/// `(ordering task, pu)` pairs accumulated before [`finish_order`].
+type OrderBuf = SmallVec<(Option<TaskId>, PuId), 8>;
+
 /// Valid members in VOL order.
-fn ordered(snaps: &[LineSnapshot]) -> Vec<LineSnapshot> {
-    let order = order_vol(snaps);
-    order
+fn ordered(snaps: &[LineSnapshot]) -> SmallVec<LineSnapshot, 8> {
+    order_vol(snaps)
         .into_iter()
         .map(|pu| {
             *snaps
@@ -508,7 +520,7 @@ fn plan_fill(
     pu: PuId,
     fill_mask: SubMask,
     trust_stale: bool,
-) -> Vec<(usize, SupplySource)> {
+) -> FillList {
     fill_mask
         .iter()
         .map(|j| {
@@ -526,18 +538,21 @@ fn plan_fill(
 /// Returns the flush list (grouped per PU) and the raw `(pu, subblock)`
 /// winner pairs.
 /// Per-PU flush masks, plus the raw `(pu, sub-block)` winner pairs.
-type Winners = (Vec<(PuId, SubMask)>, Vec<(PuId, usize)>);
+type Winners = (MaskList, SmallVec<(PuId, usize), 8>);
 
 fn committed_winners(vol: &[LineSnapshot]) -> Winners {
-    let mut winners: Vec<(PuId, usize)> = Vec::new();
-    let committed: Vec<&LineSnapshot> = vol.iter().filter(|s| s.committed).collect();
-    for j in 0..64 {
+    let mut winners: SmallVec<(PuId, usize), 8> = SmallVec::new();
+    let committed: SmallVec<&LineSnapshot, 8> = vol.iter().filter(|s| s.committed).collect();
+    // Only sub-blocks some committed line actually stored can win; iterate
+    // their union (ascending) rather than all 64 positions.
+    let stored = committed.iter().fold(SubMask::EMPTY, |m, s| m | s.store);
+    for j in stored.iter() {
         // Youngest committed holder of S[j] wins.
         if let Some(s) = committed.iter().rev().find(|s| s.store.contains(j)) {
             winners.push((s.pu, j));
         }
     }
-    let mut flush: Vec<(PuId, SubMask)> = Vec::new();
+    let mut flush: MaskList = SmallVec::new();
     for &(pu, j) in &winners {
         match flush.iter_mut().find(|(q, _)| *q == pu) {
             Some((_, m)) => m.set(j),
@@ -550,7 +565,7 @@ fn committed_winners(vol: &[LineSnapshot]) -> Winners {
 /// Sorts `(ordering_task, pu)` pairs into a VOL: `None` (committed,
 /// retained) entries keep their relative order at the front; tasked
 /// entries follow by task id.
-fn finish_order(mut entries: Vec<(Option<TaskId>, PuId)>) -> Vec<PuId> {
+fn finish_order(mut entries: OrderBuf) -> VolOrder {
     // Stable sort: None < Some, Some sorted by task.
     entries.sort_by(|a, b| match (a.0, b.0) {
         (None, None) => core::cmp::Ordering::Equal,

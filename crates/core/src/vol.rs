@@ -9,10 +9,15 @@
 //! which *is* the repair — the system rewrites all pointers from the
 //! reconstructed order when it applies the plan.
 
+use smallvec::SmallVec;
 use svc_sim::trace::VolEntry;
 use svc_types::PuId;
 
 use crate::snapshot::LineSnapshot;
+
+/// A reconstructed VOL order: inline up to 8 members (one per PU in
+/// every paper configuration), heap beyond that.
+pub type VolOrder = SmallVec<PuId, 8>;
 
 /// The reconstructed VOL as trace entries (oldest first): each member's
 /// PU, current task, and whether it is a *version* (holds store data)
@@ -49,17 +54,18 @@ pub fn vol_trace_entries(snapshots: &[LineSnapshot]) -> Vec<VolEntry> {
 ///
 /// Panics if an uncommitted valid line sits on a PU with no assigned task
 /// (a system invariant violation).
-pub fn order_vol(snapshots: &[LineSnapshot]) -> Vec<PuId> {
-    let members: Vec<&LineSnapshot> = snapshots.iter().filter(|s| s.is_valid()).collect();
-
+pub fn order_vol(snapshots: &[LineSnapshot]) -> VolOrder {
     // --- Committed prefix: follow the pointer chain. ---
-    let committed: Vec<&LineSnapshot> = members.iter().copied().filter(|s| s.committed).collect();
-    let mut chain: Vec<PuId> = Vec::with_capacity(committed.len());
+    let committed: SmallVec<&LineSnapshot, 8> = snapshots
+        .iter()
+        .filter(|s| s.is_valid() && s.committed)
+        .collect();
+    let mut chain: VolOrder = SmallVec::new();
     if !committed.is_empty() {
         let is_committed_member = |pu: PuId| committed.iter().any(|s| s.pu == pu);
         // Heads: committed members not pointed to by any other committed
         // member.
-        let mut heads: Vec<&LineSnapshot> = committed
+        let mut heads: SmallVec<&LineSnapshot, 8> = committed
             .iter()
             .copied()
             .filter(|s| {
@@ -70,23 +76,19 @@ pub fn order_vol(snapshots: &[LineSnapshot]) -> Vec<PuId> {
             .collect();
         // Normally exactly one head; multiple fragments can only arise
         // from repaired state. Process heads deterministically by PU index.
-        heads.sort_by_key(|s| s.pu.index());
-        let mut visited = vec![false; snapshots.len()];
+        heads.sort_unstable_by_key(|s| s.pu.index());
         let lookup = |pu: PuId| committed.iter().copied().find(|s| s.pu == pu);
-        for head in heads {
+        for head in &heads {
             let mut cur = Some(head.pu);
             while let Some(pu) = cur {
                 if !is_committed_member(pu) {
                     break; // pointer leads out of the committed set
                 }
-                let idx = members
-                    .iter()
-                    .position(|s| s.pu == pu)
-                    .expect("committed member is a member");
-                if visited[idx] {
-                    break; // cycle protection (corrupt state)
+                // A PU appears in the chain at most once, so membership
+                // doubles as the cycle protection (corrupt state).
+                if chain.contains(&pu) {
+                    break;
                 }
-                visited[idx] = true;
                 chain.push(pu);
                 cur = lookup(pu).and_then(|s| s.next);
             }
@@ -101,8 +103,10 @@ pub fn order_vol(snapshots: &[LineSnapshot]) -> Vec<PuId> {
     }
 
     // --- Uncommitted suffix: order by current task. ---
-    let mut uncommitted: Vec<&LineSnapshot> =
-        members.iter().copied().filter(|s| !s.committed).collect();
+    let mut uncommitted: SmallVec<&LineSnapshot, 8> = snapshots
+        .iter()
+        .filter(|s| s.is_valid() && !s.committed)
+        .collect();
     uncommitted.sort_by_key(|s| s.ordering_task().expect("uncommitted lines have tasks"));
     chain.extend(uncommitted.iter().map(|s| s.pu));
     chain

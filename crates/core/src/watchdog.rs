@@ -35,6 +35,7 @@
 //!   [`check_post_squash`]): immediately after a squash, no uncommitted
 //!   valid line survives in the squashed PU's cache.
 
+use smallvec::SmallVec;
 use svc_types::{Cycle, InvariantKind, InvariantViolation, LineId, PuId};
 
 use crate::snapshot::LineSnapshot;
@@ -46,7 +47,7 @@ use crate::vol::order_vol;
 pub fn check_system(sys: &SvcSystem, now: Cycle) -> Vec<InvariantViolation> {
     let mut out = Vec::new();
     for line in sys.resident_lines() {
-        check_line(sys, line, &sys.snapshots_of(line), now, &mut out);
+        check_line(sys, line, &sys.snapshots(line), now, &mut out);
     }
     out
 }
@@ -89,7 +90,7 @@ fn check_line(
     now: Cycle,
     out: &mut Vec<InvariantViolation>,
 ) {
-    let holders: Vec<&LineSnapshot> = snaps.iter().filter(|s| s.is_valid()).collect();
+    let holders: SmallVec<&LineSnapshot, 8> = snaps.iter().filter(|s| s.is_valid()).collect();
     let mut orphaned = false;
     for s in &holders {
         if !s.store.minus(s.valid).is_empty() {
@@ -144,7 +145,8 @@ fn check_line(
     // to a non-holder is a legal dangling end, but revisiting a holder
     // already on the walk is a cycle. Report at most once per line.
     'walks: for start in &holders {
-        let mut visited: Vec<PuId> = vec![start.pu];
+        let mut visited: SmallVec<PuId, 8> = SmallVec::new();
+        visited.push(start.pu);
         let mut cur = start.next;
         while let Some(q) = cur {
             let Some(next_snap) = holders.iter().find(|s| s.pu == q) else {

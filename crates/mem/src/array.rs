@@ -1,6 +1,10 @@
+use smallvec::SmallVec;
 use svc_types::LineId;
 
 use crate::CacheGeometry;
+
+/// The ways of one set; inline for any associativity up to 8.
+pub type WayList = SmallVec<WayRef, 8>;
 
 /// The storage contract a protocol's line type must satisfy to live in a
 /// [`CacheArray`].
@@ -117,7 +121,7 @@ impl<S: Slot> CacheArray<S> {
 
     /// All ways of `line`'s set, in way order. The caller can scan these to
     /// pick an alternative victim when the LRU choice is not evictable.
-    pub fn ways_of_set(&self, line: LineId) -> Vec<WayRef> {
+    pub fn ways_of_set(&self, line: LineId) -> WayList {
         let set = self.geometry.set_index(line);
         (0..self.geometry.ways()).map(|w| (set, w)).collect()
     }
@@ -125,11 +129,12 @@ impl<S: Slot> CacheArray<S> {
     /// Ways of `line`'s set ordered least-recently-used first. Used to pick
     /// "a different replacement victim" (§3.2.5) when the LRU line cannot be
     /// replaced.
-    pub fn ways_by_lru(&self, line: LineId) -> Vec<WayRef> {
+    pub fn ways_by_lru(&self, line: LineId) -> WayList {
         let set = self.geometry.set_index(line);
-        let mut ways: Vec<usize> = (0..self.geometry.ways()).collect();
-        ways.sort_by_key(|&w| self.stamps[self.flat((set, w))]);
-        ways.into_iter().map(|w| (set, w)).collect()
+        let mut ways: WayList = (0..self.geometry.ways()).map(|w| (set, w)).collect();
+        // Stable: equal stamps (never-touched ways) keep way order.
+        ways.sort_by_key(|&(_, w)| self.stamps[self.flat((set, w))]);
+        ways
     }
 
     /// Iterates over every slot (for flash operations like "set the C bit

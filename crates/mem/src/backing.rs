@@ -148,8 +148,8 @@ impl Backing {
         let victim = l2.array.slot(r);
         if victim.dirty {
             let vline = victim.line.expect("dirty line has a tag");
-            let words: Vec<Option<Word>> = victim.data.iter().map(|w| Some(*w)).collect();
-            self.memory.write_line(vline, &words, g.words_per_line());
+            self.memory
+                .write_line_full(vline, &victim.data, g.words_per_line());
             l2.writebacks += 1;
         }
         let data = self.memory.read_line(l2_line, g.words_per_line());

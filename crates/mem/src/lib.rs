@@ -47,7 +47,7 @@ mod mshr;
 mod timing;
 mod writeback;
 
-pub use array::{CacheArray, Slot, WayRef};
+pub use array::{CacheArray, Slot, WayList, WayRef};
 pub use backing::{Backing, L2Config};
 pub use bus::{Bus, BusGrant};
 pub use geometry::CacheGeometry;

@@ -63,6 +63,20 @@ impl MainMemory {
         }
     }
 
+    /// Writes a full line the writer owns entirely — the common castout
+    /// and flush case, spared the per-word `Option` wrapping of
+    /// [`write_line`](Self::write_line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != words_per_line`.
+    pub fn write_line_full(&mut self, line: LineId, data: &[Word], words_per_line: usize) {
+        assert_eq!(data.len(), words_per_line);
+        for (i, w) in data.iter().enumerate() {
+            self.write(line.word(i, words_per_line), *w);
+        }
+    }
+
     /// Reads a word without counting it as traffic (for end-of-run
     /// verification).
     pub fn peek(&self, addr: Addr) -> Word {

@@ -1,5 +1,6 @@
 use std::collections::HashMap;
 
+use smallvec::SmallVec;
 use svc_sim::fault::{FaultEvent, FaultSite, Faults};
 use svc_sim::metrics::{MetricSource, MetricsRegistry};
 use svc_sim::profile::Profiler;
@@ -207,6 +208,15 @@ pub struct Engine<M> {
     profiler: Profiler,
     watchdog_every: u64,
     violations: Vec<InvariantViolation>,
+    /// Memoized `source.task(next_pos)` lookup. The termination check
+    /// needs "is there a task at `next_pos`?" every scheduler iteration,
+    /// but task sources generate their instruction list on every call —
+    /// without this cache the engine regenerates (and throws away) a
+    /// full task per simulated cycle. Sources are contractually
+    /// deterministic, so caching is invisible.
+    peek_pos: u64,
+    peek_task: Option<Vec<Instr>>,
+    peek_valid: bool,
 }
 
 /// Why a squash happened, for the report's breakdown.
@@ -249,8 +259,22 @@ impl<M: VersionedMemory> Engine<M> {
             profiler: Profiler::disabled(),
             watchdog_every: 0,
             violations: Vec::new(),
+            peek_pos: 0,
+            peek_task: None,
+            peek_valid: false,
             config,
         }
+    }
+
+    /// The task at `next_pos`, generated once and reused until the
+    /// sequencer moves (dispatch or squash rewind).
+    fn peek_next(&mut self, source: &dyn TaskSource) -> Option<&Vec<Instr>> {
+        if !self.peek_valid || self.peek_pos != self.next_pos {
+            self.peek_task = source.task(TaskId(self.next_pos));
+            self.peek_pos = self.next_pos;
+            self.peek_valid = true;
+        }
+        self.peek_task.as_ref()
     }
 
     /// Attaches `tracer` to the engine (task-lifecycle events). The memory
@@ -315,6 +339,15 @@ impl<M: VersionedMemory> Engine<M> {
         let mut committed_tasks = 0u64;
         let mut hit_cycle_limit = false;
         let mut next_watchdog = self.watchdog_every;
+        // Idle-cycle fast-forward: when no PU can make progress this
+        // cycle, jump the clock to the earliest cycle anything can
+        // happen instead of ticking empty cycles. `SVC_NO_FASTFORWARD=1`
+        // forces cycle-by-cycle stepping (the reference behavior the
+        // differential test compares against); an active fault injector
+        // disables jumping too, because injection sites draw from their
+        // schedule once per scheduler iteration, so skipping iterations
+        // would change the fault timeline.
+        let fast_forward = !std::env::var("SVC_NO_FASTFORWARD").is_ok_and(|v| v == "1");
 
         loop {
             // Periodic invariant sweep (watchdog enabled only).
@@ -332,7 +365,7 @@ impl<M: VersionedMemory> Engine<M> {
             }
             // Termination checks.
             let any_running = self.pus.iter().any(|p| p.pos.is_some());
-            let more_tasks = source.task(TaskId(self.next_pos)).is_some();
+            let more_tasks = self.peek_next(source).is_some();
             if !any_running && !more_tasks {
                 break;
             }
@@ -437,7 +470,7 @@ impl<M: VersionedMemory> Engine<M> {
 
             // 4. Advance time: to the next cycle if something happened, or
             //    jump to the next event when everything is waiting.
-            if progressed {
+            if progressed || !fast_forward || self.faults.is_active() {
                 now += 1;
             } else {
                 let mut next = Cycle(now.0 + 1);
@@ -452,6 +485,15 @@ impl<M: VersionedMemory> Engine<M> {
                 }
                 if more_tasks && self.pus.iter().any(|p| p.pos.is_none()) {
                     wake = Cycle(wake.0.min(self.dispatch_ready.0.max(next.0)));
+                }
+                // Never jump over an observability boundary: periodic
+                // watchdog sweeps and profiler sample rows must land on
+                // the same cycles as in a cycle-by-cycle run.
+                if self.watchdog_every > 0 {
+                    wake = Cycle(wake.0.min(next_watchdog));
+                }
+                if let Some(s) = self.profiler.next_sample_at() {
+                    wake = Cycle(wake.0.min(s));
                 }
                 if wake.0 != u64::MAX {
                     next = next.max(wake);
@@ -604,6 +646,9 @@ impl<M: VersionedMemory> Engine<M> {
         let wrong = self.config.predictor.mispredicts(TaskId(pos), attempt);
         let instrs = if wrong {
             self.garbage_task(pos, attempt)
+        } else if self.peek_valid && self.peek_pos == pos && self.peek_task.is_some() {
+            self.peek_valid = false;
+            self.peek_task.take().expect("checked")
         } else {
             source.task(TaskId(pos)).expect("dispatched past the end")
         };
@@ -714,16 +759,18 @@ impl<M: VersionedMemory> Engine<M> {
             .map(|(i, _)| i)
     }
 
-    /// PU indices ordered oldest task first (idle PUs last).
-    fn pu_program_order(&self) -> Vec<usize> {
-        let mut v: Vec<(usize, u64)> = self
+    /// PU indices ordered oldest task first (idle PUs excluded). Runs
+    /// once per scheduler iteration, so it stays allocation-free up to
+    /// the inline capacity.
+    fn pu_program_order(&self) -> SmallVec<usize, 8> {
+        let mut v: SmallVec<(usize, u64), 8> = self
             .pus
             .iter()
             .enumerate()
             .filter_map(|(i, p)| p.pos.map(|t| (i, t)))
             .collect();
-        v.sort_by_key(|&(_, t)| t);
-        v.into_iter().map(|(i, _)| i).collect()
+        v.sort_unstable_by_key(|&(_, t)| t);
+        v.iter().map(|&(i, _)| i).collect()
     }
 
     /// Deterministic wrong-path work for a mispredicted dispatch.

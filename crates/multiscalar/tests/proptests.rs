@@ -1,10 +1,14 @@
 //! Property-based tests of the execution engine: any generated program,
 //! with any predictor accuracy, commits every task exactly once, in
-//! order, with a correct final memory image.
+//! order, with a correct final memory image — and with a profiler
+//! attached, the stall-attribution conservation invariant holds under
+//! the default idle-cycle fast-forwarding scheduler (bulk-credited
+//! jumps must account for exactly the cycles they skip).
 
 use proptest::prelude::*;
-use svc::IdealMemory;
+use svc::{IdealMemory, SvcConfig, SvcSystem};
 use svc_multiscalar::{Engine, EngineConfig, Instr, PredictorModel, VecTaskSource};
+use svc_sim::profile::Profiler;
 use svc_types::{Addr, VersionedMemory, Word};
 
 fn program_strategy() -> impl Strategy<Value = Vec<Vec<Instr>>> {
@@ -65,5 +69,48 @@ proptest! {
         for (a, v) in serial {
             prop_assert_eq!(mem.architectural(a), v, "address {}", a);
         }
+    }
+
+    /// With a live profiler, every PU-cycle is attributed exactly once.
+    /// The environment is untouched here, so the engine runs its default
+    /// fast-forwarding scheduler: idle jumps are common on the SVC (long
+    /// fills stall every PU at once) and each jump bulk-credits the
+    /// profiler's stall windows — conservation catches any cycle the
+    /// jump loses or double-counts.
+    #[test]
+    fn profile_conservation_holds_under_fast_forward(
+        program in program_strategy(),
+        accuracy in 0.6f64..1.0,
+        seed in 0u64..100_000,
+        pus in 1usize..5,
+        epoch in 16u64..256,
+    ) {
+        let src = VecTaskSource::new(program);
+        let cfg = EngineConfig {
+            num_pus: pus,
+            predictor: PredictorModel {
+                accuracy,
+                detect_cycles: 8,
+                seed,
+            },
+            seed,
+            garbage_addr_space: 32,
+            ..EngineConfig::default()
+        };
+        let profiler = Profiler::new(pus, epoch);
+        let mut system = SvcSystem::new(SvcConfig::final_design(pus));
+        system.set_profiler(profiler.clone());
+        let mut engine = Engine::new(cfg, system);
+        engine.set_profiler(profiler.clone());
+        let report = engine.run(&src);
+        prop_assert!(!report.hit_cycle_limit);
+        let p = profiler.report().expect("live profiler yields a report");
+        prop_assert_eq!(p.cycles, report.cycles);
+        prop_assert!(
+            p.conservation_ok(),
+            "expected {} attributed {}",
+            p.expected(),
+            p.attributed()
+        );
     }
 }

@@ -541,6 +541,18 @@ impl Profiler {
         })
     }
 
+    /// The cycle of the next scheduled time-series row, if sampling is
+    /// on. The engine's idle-cycle fast-forward clamps its jumps here so
+    /// a fast-forwarded run samples at exactly the cycles a cycle-by-
+    /// cycle run would.
+    #[inline]
+    pub fn next_sample_at(&self) -> Option<u64> {
+        self.core.as_ref().and_then(|c| {
+            let c = c.borrow();
+            (c.epoch > 0).then_some(c.next_sample)
+        })
+    }
+
     /// Records a time-series row at `now` and schedules the next epoch.
     pub fn sample(
         &self,

@@ -1,0 +1,387 @@
+//! A self-contained, offline stand-in for the `smallvec` crate.
+//!
+//! The build environment has no crates.io access, so the real smallvec
+//! cannot be fetched. This crate implements the subset the workspace's
+//! hot paths need: a vector that stores up to `N` elements inline on the
+//! stack and only touches the heap when it grows past that. The VCL
+//! planning structures (`ReadPlan`/`WritePlan`/`WbackPlan`), per-line
+//! snapshot gathers and VOL reconstructions are all bounded by the PU
+//! count or the sub-blocks per line in practice, so with a suitable `N`
+//! a bus transaction plans without a single allocation.
+//!
+//! Differences from the real crate, chosen to stay entirely safe:
+//!
+//! * elements must be `Copy` (every hot-path element here is a small
+//!   plain-data tuple), which lets the first push fill the inline array
+//!   with copies of the pushed value instead of using `MaybeUninit`;
+//! * the API is the subset we use: `new`, `push`, `pop`, `clear`,
+//!   `truncate`, `retain`, `extend`, `from_iter`, slice deref, iteration
+//!   by value and by reference, and `Vec` interop for tests.
+
+#![forbid(unsafe_code)]
+
+/// A vector holding up to `N` elements inline, spilling to the heap
+/// beyond that.
+///
+/// # Example
+///
+/// ```
+/// use smallvec::SmallVec;
+/// let mut v: SmallVec<u32, 4> = SmallVec::new();
+/// v.push(1);
+/// v.push(2);
+/// assert_eq!(&v[..], &[1, 2]);
+/// assert!(!v.spilled());
+/// v.extend(0..8);
+/// assert!(v.spilled());
+/// assert_eq!(v.len(), 10);
+/// ```
+#[derive(Clone)]
+pub enum SmallVec<T: Copy, const N: usize> {
+    /// No elements yet (the inline buffer has nothing to copy from).
+    Empty,
+    /// Up to `N` elements in `buf[..len]`; the tail is padding holding
+    /// copies of previously pushed values.
+    Inline {
+        /// Inline storage.
+        buf: [T; N],
+        /// Number of live elements in `buf`.
+        len: usize,
+    },
+    /// Spilled to the heap.
+    Heap(Vec<T>),
+}
+
+impl<T: Copy, const N: usize> SmallVec<T, N> {
+    /// An empty vector. Allocation-free until it grows past `N`.
+    pub const fn new() -> SmallVec<T, N> {
+        SmallVec::Empty
+    }
+
+    /// Whether the contents live on the heap.
+    pub fn spilled(&self) -> bool {
+        matches!(self, SmallVec::Heap(_))
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            SmallVec::Empty => &[],
+            SmallVec::Inline { buf, len } => &buf[..*len],
+            SmallVec::Heap(v) => v,
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            SmallVec::Empty => &mut [],
+            SmallVec::Inline { buf, len } => &mut buf[..*len],
+            SmallVec::Heap(v) => v,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            SmallVec::Empty => 0,
+            SmallVec::Inline { len, .. } => *len,
+            SmallVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `value`.
+    pub fn push(&mut self, value: T) {
+        match self {
+            SmallVec::Empty => {
+                // `value` fills the whole buffer, so every slot is
+                // initialized without needing `T: Default` or unsafe.
+                *self = SmallVec::Inline {
+                    buf: [value; N],
+                    len: 1,
+                };
+            }
+            SmallVec::Inline { buf, len } => {
+                if *len < N {
+                    buf[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N * 2);
+                    v.extend_from_slice(&buf[..*len]);
+                    v.push(value);
+                    *self = SmallVec::Heap(v);
+                }
+            }
+            SmallVec::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        match self {
+            SmallVec::Empty => None,
+            SmallVec::Inline { buf, len } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    Some(buf[*len])
+                }
+            }
+            SmallVec::Heap(v) => v.pop(),
+        }
+    }
+
+    /// Removes every element. A heap spill keeps its capacity, so a
+    /// cleared scratch buffer stays allocation-free on reuse.
+    pub fn clear(&mut self) {
+        match self {
+            SmallVec::Empty => {}
+            SmallVec::Inline { len, .. } => *len = 0,
+            SmallVec::Heap(v) => v.clear(),
+        }
+    }
+
+    /// Shortens the vector to at most `len` elements.
+    pub fn truncate(&mut self, new_len: usize) {
+        match self {
+            SmallVec::Empty => {}
+            SmallVec::Inline { len, .. } => *len = (*len).min(new_len),
+            SmallVec::Heap(v) => v.truncate(new_len),
+        }
+    }
+
+    /// Keeps only the elements `f` accepts, preserving order.
+    pub fn retain(&mut self, mut f: impl FnMut(&T) -> bool) {
+        match self {
+            SmallVec::Empty => {}
+            SmallVec::Inline { buf, len } => {
+                let mut kept = 0;
+                for i in 0..*len {
+                    if f(&buf[i]) {
+                        buf[kept] = buf[i];
+                        kept += 1;
+                    }
+                }
+                *len = kept;
+            }
+            SmallVec::Heap(v) => v.retain(|x| f(x)),
+        }
+    }
+
+    /// The elements as a `Vec` (copies; for interop and tests).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl<T: Copy, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> SmallVec<T, N> {
+        SmallVec::new()
+    }
+}
+
+impl<T: Copy, const N: usize> core::ops::Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy, const N: usize> core::ops::DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + core::fmt::Debug, const N: usize> core::fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &SmallVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq<Vec<T>> for SmallVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq<SmallVec<T, N>> for Vec<T> {
+    fn eq(&self, other: &SmallVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]> for SmallVec<T, N> {
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Copy, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> SmallVec<T, N> {
+        let mut out = SmallVec::new();
+        out.extend(iter);
+        out
+    }
+}
+
+impl<T: Copy, const N: usize> From<Vec<T>> for SmallVec<T, N> {
+    fn from(v: Vec<T>) -> SmallVec<T, N> {
+        SmallVec::Heap(v)
+    }
+}
+
+/// By-value iteration (yields copies, front to back).
+pub struct IntoIter<T: Copy, const N: usize> {
+    vec: SmallVec<T, N>,
+    next: usize,
+}
+
+impl<T: Copy, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        let out = self.vec.as_slice().get(self.next).copied();
+        self.next += 1;
+        out
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.vec.len().saturating_sub(self.next);
+        (left, Some(left))
+    }
+}
+
+impl<T: Copy, const N: usize> ExactSizeIterator for IntoIter<T, N> {}
+
+impl<T: Copy, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> IntoIter<T, N> {
+        IntoIter { vec: self, next: 0 }
+    }
+}
+
+impl<'a, T: Copy, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = core::slice::Iter<'a, T>;
+    fn into_iter(self) -> core::slice::Iter<'a, T> {
+        self.as_slice().iter()
+    }
+}
+
+/// `smallvec![a, b, c]` — literal construction, mirroring `vec![]`.
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($($x:expr),+ $(,)?) => {{
+        let mut out = $crate::SmallVec::new();
+        $(out.push($x);)+
+        out
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: SmallVec<u8, 3> = SmallVec::new();
+        assert!(v.is_empty() && !v.spilled());
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert!(!v.spilled());
+        assert_eq!(v.len(), 3);
+        assert_eq!(&v[..], &[1, 2, 3]);
+        v.push(4);
+        assert!(v.spilled());
+        assert_eq!(&v[..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_clear_truncate() {
+        let mut v: SmallVec<u8, 2> = (0..5).collect();
+        assert!(v.spilled());
+        assert_eq!(v.pop(), Some(4));
+        v.truncate(2);
+        assert_eq!(&v[..], &[0, 1]);
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.pop(), None);
+        let mut w: SmallVec<u8, 2> = smallvec![7];
+        assert_eq!(w.pop(), Some(7));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn retain_preserves_order() {
+        let mut v: SmallVec<u32, 8> = (0..8).collect();
+        v.retain(|x| x % 2 == 0);
+        assert_eq!(&v[..], &[0, 2, 4, 6]);
+        let mut h: SmallVec<u32, 2> = (0..8).collect();
+        h.retain(|x| x % 2 == 1);
+        assert_eq!(&h[..], &[1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn sort_and_mutate_through_deref() {
+        let mut v: SmallVec<u32, 4> = smallvec![3, 1, 2];
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+        v[0] = 9;
+        assert_eq!(&v[..], &[9, 2, 3]);
+    }
+
+    #[test]
+    fn vec_interop_and_eq() {
+        let v: SmallVec<u32, 4> = smallvec![1, 2];
+        assert_eq!(v, vec![1, 2]);
+        assert_eq!(vec![1, 2], v);
+        assert_eq!(v, [1, 2]);
+        assert_eq!(v.to_vec(), vec![1, 2]);
+        let w: SmallVec<u32, 4> = SmallVec::from(vec![1, 2]);
+        assert_eq!(v, w);
+        assert!(w.spilled());
+    }
+
+    #[test]
+    fn iteration_by_value_and_reference() {
+        let v: SmallVec<u32, 4> = smallvec![1, 2, 3];
+        let by_ref: Vec<u32> = (&v).into_iter().copied().collect();
+        assert_eq!(by_ref, vec![1, 2, 3]);
+        let it = v.into_iter();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cleared_spill_keeps_capacity() {
+        let mut v: SmallVec<u32, 1> = (0..4).collect();
+        v.clear();
+        assert!(v.spilled(), "scratch reuse keeps the heap buffer");
+        v.push(9);
+        assert_eq!(&v[..], &[9]);
+    }
+}

@@ -1,4 +1,10 @@
+use smallvec::SmallVec;
+
 use crate::{PuId, TaskId};
+
+/// Occupied PUs in task order; inline for up to 8 PUs (every paper
+/// configuration).
+pub type PuOrder = SmallVec<PuId, 8>;
 
 /// The task-assignment table: which task each processing unit is currently
 /// executing, if any.
@@ -100,9 +106,9 @@ impl TaskAssignments {
 
     /// All occupied PUs ordered oldest task first — the implicit total order
     /// of paper §2.1 (the solid arrowheads in the paper's figures).
-    pub fn program_order(&self) -> Vec<PuId> {
-        let mut v: Vec<(PuId, TaskId)> = self.occupied().collect();
-        v.sort_by_key(|&(_, t)| t);
+    pub fn program_order(&self) -> PuOrder {
+        let mut v: SmallVec<(PuId, TaskId), 8> = self.occupied().collect();
+        v.sort_unstable_by_key(|&(_, t)| t);
         v.into_iter().map(|(pu, _)| pu).collect()
     }
 
@@ -122,30 +128,30 @@ impl TaskAssignments {
     /// the VCL to walk "the requestor's immediate successor (in task
     /// assignment order)" onward when a store invalidates later copies
     /// (paper §3.2.3).
-    pub fn successors_of(&self, pu: PuId) -> Vec<PuId> {
+    pub fn successors_of(&self, pu: PuId) -> PuOrder {
         let Some(me) = self.task_of(pu) else {
-            return Vec::new();
+            return SmallVec::new();
         };
-        let mut v: Vec<(PuId, TaskId)> = self
+        let mut v: SmallVec<(PuId, TaskId), 8> = self
             .occupied()
             .filter(|&(_, t)| me.is_older_than(t))
             .collect();
-        v.sort_by_key(|&(_, t)| t);
+        v.sort_unstable_by_key(|&(_, t)| t);
         v.into_iter().map(|(pu, _)| pu).collect()
     }
 
     /// Occupied PUs strictly older than `pu`'s task, youngest first (the
     /// reverse-order search direction used when locating the version to
     /// supply a load, paper §3.2.2).
-    pub fn predecessors_of(&self, pu: PuId) -> Vec<PuId> {
+    pub fn predecessors_of(&self, pu: PuId) -> PuOrder {
         let Some(me) = self.task_of(pu) else {
-            return Vec::new();
+            return SmallVec::new();
         };
-        let mut v: Vec<(PuId, TaskId)> = self
+        let mut v: SmallVec<(PuId, TaskId), 8> = self
             .occupied()
             .filter(|&(_, t)| t.is_older_than(me))
             .collect();
-        v.sort_by_key(|&(_, t)| core::cmp::Reverse(t));
+        v.sort_unstable_by_key(|&(_, t)| core::cmp::Reverse(t));
         v.into_iter().map(|(pu, _)| pu).collect()
     }
 

@@ -42,7 +42,7 @@ mod versioned;
 mod word;
 
 pub use addr::{Addr, LineId};
-pub use assignment::TaskAssignments;
+pub use assignment::{PuOrder, TaskAssignments};
 pub use ids::{PuId, TaskId};
 pub use invariant::{InvariantKind, InvariantViolation};
 pub use stats::MemStats;

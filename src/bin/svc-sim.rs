@@ -417,13 +417,26 @@ fn cmd_run(o: &Options) -> Result<(), CliError> {
         std::env::set_var("SVC_PROFILE", "1");
     }
     let tracer = cli_tracer(o, false)?;
+    let started = std::time::Instant::now();
     let (result, name) = run_selected(o, tracer.clone())?;
+    let wall_s = started.elapsed().as_secs_f64();
     if tracer.is_active() {
         emit_trace(o, &tracer, &name)?;
     }
     let profile_path = write_profile_out(o, &name, &result)?;
+    let cycles_per_sec = if wall_s > 0.0 {
+        result.report.cycles as f64 / wall_s
+    } else {
+        0.0
+    };
     if o.json {
-        let mut doc = report::experiment_result_json(&result, o.seed);
+        // Self-measurement rides along after the deterministic metrics:
+        // tooling diffing `--json` output across runs should strip
+        // `wall_s` / `sim_cycles_per_sec` first (as the regress-style
+        // identity checks do), since wall-clock data is never stable.
+        let mut doc = report::experiment_result_json(&result, o.seed)
+            .set("wall_s", wall_s.into())
+            .set("sim_cycles_per_sec", cycles_per_sec.into());
         // Artifact paths, so tooling reading `--json` output can locate
         // the trace sinks and profile document written alongside it.
         let mut artifacts = Json::obj();
@@ -469,6 +482,10 @@ fn cmd_run(o: &Options) -> Result<(), CliError> {
         r.mem.cache_transfers,
         r.mem.writebacks,
         r.mem.snarfs
+    );
+    println!(
+        "throughput {cycles_per_sec:.0} sim cycles/s ({} cycles in {wall_s:.3}s wall)",
+        r.cycles
     );
     if let Some(p) = &result.profile {
         print!("{}", render_profile(p, words_per_line(o)));
