@@ -9,8 +9,8 @@ use svc_sim::profile::{AccessProfile, Profiler};
 use svc_sim::trace::{AccessOp, Category, TraceEvent, Tracer};
 use svc_types::{
     AccessError, Addr, Cycle, DataSource, InvariantKind, InvariantViolation, LoadOutcome,
-    MemGauges, MemStats, PuId, StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Violation,
-    Word,
+    MemGauges, MemStats, ModelCheckable, Mutation, PuId, StateHasher, StoreOutcome,
+    TaskAssignments, TaskId, VersionedMemory, Violation, Word,
 };
 
 /// Configuration of an [`ArbSystem`].
@@ -330,7 +330,7 @@ impl VersionedMemory for ArbSystem {
                 victim = Some(t);
                 break;
             }
-            if row.stages[stage].stored {
+            if row.stages[stage].stored && !Mutation::ArbIgnoresShadow.enabled() {
                 break; // the next version shadows everything younger
             }
         }
@@ -488,6 +488,31 @@ impl VersionedMemory for ArbSystem {
 
     fn reset_stats(&mut self) {
         self.stats = MemStats::default();
+    }
+}
+
+impl ModelCheckable for ArbSystem {
+    fn fingerprint(&self, addrs: &[Addr], h: &mut StateHasher) {
+        for pu in 0..self.config.num_pus {
+            h.write_opt_u64(self.assignments.task_of(PuId(pu)).map(|t| t.0));
+        }
+        for &addr in addrs {
+            match self.index.get(&addr) {
+                None => h.write_u8(0),
+                Some(&i) => {
+                    h.write_u8(1);
+                    let row = &self.rows[i];
+                    for s in &row.stages {
+                        h.write_bool(s.loaded);
+                        h.write_bool(s.stored);
+                        h.write_u64(s.value.0);
+                    }
+                    h.write_opt_u64(row.arch.map(|v| v.0));
+                }
+            }
+            // The committed image under the row: backing cache + memory.
+            h.write_u64(self.cache.peek(addr, &self.memory).0);
+        }
     }
 }
 

@@ -19,11 +19,19 @@
 //! cap — reported with the cell's seed for reproduction), or `MISSING`
 //! (no baseline entry).
 //!
+//! The gate also re-runs the exhaustive model checker (`svc-check`) on
+//! every design's pinned bounds and diffs the explored state/transition
+//! counts against `results/check.json` — **exactly**, no tolerance:
+//! exploration is deterministic, so a single state of drift means the
+//! protocol's reachable behaviour changed.
+//!
 //! Usage: `regress` to check, `regress --update` to rewrite the
-//! baseline after an intentional behavior change.
+//! baseline (and `results/check.json`) after an intentional behavior
+//! change.
 //!
 //! Exit codes: 0 clean, 1 drift, 2 usage, 3 baseline I/O,
-//! 4 failed cells (simulator crash/timeout — worse than drift).
+//! 4 failed cells (simulator crash/timeout — worse than drift) or a
+//! model-check property violation.
 
 use std::process::ExitCode;
 
@@ -70,6 +78,40 @@ fn baseline_path() -> std::path::PathBuf {
     std::env::var_os("SVC_BASELINE")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| report::results_dir().join("baseline.json"))
+}
+
+fn check_path() -> std::path::PathBuf {
+    std::env::var_os("SVC_CHECK_BASELINE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| report::results_dir().join("check.json"))
+}
+
+/// Runs the model checker and diffs the explored counts against the
+/// pinned `results/check.json`. Returns the number of drift complaints
+/// (already printed); a property violation is fatal.
+fn check_gate() -> Result<usize, CliError> {
+    let fresh = svc_bench::checkgate::fresh_check_doc().map_err(CliError::Invariant)?;
+    let path = check_path();
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        CliError::io(
+            format!(
+                "{} (run `regress --update` to create the check baseline)",
+                path.display()
+            ),
+            e,
+        )
+    })?;
+    let baseline = report::parse(&text).map_err(|e| {
+        CliError::Io(format!(
+            "check baseline {} is not valid JSON: {e}",
+            path.display()
+        ))
+    })?;
+    let complaints = svc_bench::checkgate::diff_check(&baseline, &fresh);
+    for c in &complaints {
+        println!("DRIFT check: {c}");
+    }
+    Ok(complaints.len())
 }
 
 struct Fresh {
@@ -139,6 +181,10 @@ fn run(update: bool) -> Result<ExitCode, CliError> {
         }
         std::fs::write(&path, fresh.doc.render()).map_err(|e| CliError::io(path.display(), e))?;
         println!("baseline updated: {}", path.display());
+        let check_doc = svc_bench::checkgate::fresh_check_doc().map_err(CliError::Invariant)?;
+        let cpath = check_path();
+        std::fs::write(&cpath, check_doc.render()).map_err(|e| CliError::io(cpath.display(), e))?;
+        println!("check baseline updated: {}", cpath.display());
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -197,6 +243,9 @@ fn run(update: bool) -> Result<ExitCode, CliError> {
             }
         }
     }
+    // Exhaustive model-check gate: explored counts are pinned exactly.
+    drifted += check_gate()?;
+
     // Failed cells are absent from `runs`, so only flag a shape mismatch
     // the failures don't already explain.
     if base_runs.len() != fresh_runs.len() + fresh.failures.len() {

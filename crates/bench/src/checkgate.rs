@@ -1,0 +1,167 @@
+//! The model-check pin: `results/check.json` (`svc-check/v1`).
+//!
+//! Exhaustive exploration (crate `svc-check`) is deterministic: for the
+//! pinned per-design bounds, the number of distinct states and
+//! transitions is a function of the protocol implementation alone. The
+//! counts are therefore pinned **exactly** — a drift of even one state
+//! means the protocol's reachable behaviour changed, which is either a
+//! bug or an intentional change that must be re-baselined with
+//! `regress --update`.
+//!
+//! The document layout:
+//!
+//! ```json
+//! {
+//!   "schema": "svc-check/v1",
+//!   "designs": [
+//!     {"design": "svc-base", "states": ..., "transitions": ...,
+//!      "max_depth": ..., "violations": 0},
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! `violations` is always 0 in a written document: a violation or a
+//! truncated run refuses to produce a document at all.
+
+use svc_check::{explore_design, Limits, ALL_DESIGNS};
+
+use crate::report::Json;
+
+/// Schema identifier for the check document.
+pub const SCHEMA_CHECK: &str = "svc-check/v1";
+
+/// The metrics pinned exactly per design.
+const PINNED_METRICS: [&str; 4] = ["states", "transitions", "max_depth", "violations"];
+
+/// Explores every design at the pinned bounds and builds the check
+/// document. `Err` carries a rendered counterexample or truncation
+/// report — there is no document to write in that case.
+pub fn fresh_check_doc() -> Result<Json, String> {
+    let mut designs = Vec::new();
+    for design in ALL_DESIGNS {
+        let out = explore_design(design, &Limits::default());
+        if let Some(cx) = &out.violation {
+            return Err(format!(
+                "{}: property violation ({})\ncounterexample:\n{}",
+                design.name(),
+                cx.failure,
+                cx.script.render()
+            ));
+        }
+        if out.truncated {
+            return Err(format!(
+                "{}: exploration truncated at {} states",
+                design.name(),
+                out.states
+            ));
+        }
+        designs.push(
+            Json::obj()
+                .set("design", design.name().into())
+                .set("states", out.states.into())
+                .set("transitions", out.transitions.into())
+                .set("max_depth", out.max_depth.into())
+                .set("violations", 0u64.into()),
+        );
+    }
+    Ok(Json::obj()
+        .set("schema", SCHEMA_CHECK.into())
+        .set("designs", Json::Arr(designs)))
+}
+
+/// Diffs a fresh check document against the pinned baseline. Counts are
+/// compared exactly; every mismatch yields one human-readable
+/// complaint. Empty result = gate clean.
+pub fn diff_check(baseline: &Json, fresh: &Json) -> Vec<String> {
+    let mut complaints = Vec::new();
+    if baseline.get("schema").and_then(Json::as_str) != Some(SCHEMA_CHECK) {
+        complaints.push(format!("check baseline schema is not {SCHEMA_CHECK:?}"));
+    }
+    let empty = [];
+    let base = baseline
+        .get("designs")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let fresh_designs = fresh
+        .get("designs")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let name_of = |j: &Json| {
+        j.get("design")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    for f in fresh_designs {
+        let name = name_of(f);
+        let Some(b) = base.iter().find(|b| name_of(b) == name) else {
+            complaints.push(format!(
+                "{name}: missing from the check baseline (run `regress --update`?)"
+            ));
+            continue;
+        };
+        for metric in PINNED_METRICS {
+            let get = |j: &Json| j.get(metric).and_then(Json::as_f64);
+            let (bv, fv) = (get(b), get(f));
+            if bv != fv {
+                complaints.push(format!(
+                    "{name}.{metric}: baseline {}, now {} (explored counts are pinned exactly)",
+                    bv.map_or("absent".to_string(), |v| format!("{v}")),
+                    fv.map_or("absent".to_string(), |v| format!("{v}")),
+                ));
+            }
+        }
+    }
+    for b in base {
+        let name = name_of(b);
+        if !fresh_designs.iter().any(|f| name_of(f) == name) {
+            complaints.push(format!(
+                "{name}: in the check baseline but no longer explored"
+            ));
+        }
+    }
+    complaints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(states: u64) -> Json {
+        Json::obj().set("schema", SCHEMA_CHECK.into()).set(
+            "designs",
+            Json::Arr(vec![Json::obj()
+                .set("design", "svc-base".into())
+                .set("states", states.into())
+                .set("transitions", 10u64.into())
+                .set("max_depth", 3u64.into())
+                .set("violations", 0u64.into())]),
+        )
+    }
+
+    #[test]
+    fn identical_docs_are_clean() {
+        assert!(diff_check(&doc(5), &doc(5)).is_empty());
+    }
+
+    #[test]
+    fn one_state_of_drift_is_flagged() {
+        let complaints = diff_check(&doc(5), &doc(6));
+        assert_eq!(complaints.len(), 1);
+        assert!(complaints[0].contains("svc-base.states"), "{complaints:?}");
+    }
+
+    #[test]
+    fn missing_design_and_schema_are_flagged() {
+        let empty = Json::obj()
+            .set("schema", "other/v0".into())
+            .set("designs", Json::Arr(vec![]));
+        let complaints = diff_check(&empty, &doc(5));
+        assert!(complaints.iter().any(|c| c.contains("schema")));
+        assert!(complaints.iter().any(|c| c.contains("missing")));
+        // And the reverse direction: baseline entries that vanished.
+        let complaints = diff_check(&doc(5), &empty.set("schema", SCHEMA_CHECK.into()));
+        assert!(complaints.iter().any(|c| c.contains("no longer explored")));
+    }
+}

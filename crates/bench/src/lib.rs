@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkgate;
 pub mod cli;
 pub mod harness;
 pub mod report;

@@ -1,0 +1,27 @@
+//! Dev probe: per-design state counts and wall time. Not part of the
+//! shipped tooling (`svc-check report` is); kept as an example so bound
+//! tuning is repeatable.
+
+use std::time::Instant;
+
+use svc_check::{explore_design, Limits, ALL_DESIGNS};
+
+fn main() {
+    for design in ALL_DESIGNS {
+        let start = Instant::now();
+        let out = explore_design(design, &Limits::default());
+        println!(
+            "{:10} states={:8} transitions={:9} depth={:3} truncated={} violation={} ({:.2?})",
+            design.name(),
+            out.states,
+            out.transitions,
+            out.max_depth,
+            out.truncated,
+            out.violation.is_some(),
+            start.elapsed()
+        );
+        if let Some(cx) = &out.violation {
+            println!("--- {}\n{}", cx.failure, cx.script.render());
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The bounded action alphabet and the replayable trace format.
+//!
+//! A model-checking run explores interleavings of [`Action`]s — the
+//! engine-level operations a processing unit can issue against a
+//! [`svc_types::VersionedMemory`]. A [`Script`] is a serialised sequence
+//! of actions plus the design it targets; counterexamples are emitted as
+//! scripts so they can be replayed (`svc-check replay`), minimized, and
+//! turned into regression tests.
+//!
+//! The textual format is deliberately trivial — one action per line,
+//! `key=value` operands, `#` comments — so scripts stay readable in test
+//! sources and diffs:
+//!
+//! ```text
+//! design: svc-base
+//! # task 1 loads before task 0 stores: violation on the store
+//! load pu=1 addr=0
+//! store pu=0 addr=0 val=1
+//! ```
+
+use core::fmt;
+
+use svc_types::{Addr, PuId, Word};
+
+use crate::designs::DesignId;
+
+/// One engine-level operation against the memory system under test.
+///
+/// `Commit` and `Squash` name a PU, not a task: the checker only ever
+/// commits the PU holding the head (oldest) task and only ever squashes
+/// the PU holding the youngest, matching the multiscalar engine's
+/// head-commit / tail-squash discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// `pu` loads `addr`.
+    Load(PuId, Addr),
+    /// `pu` stores `val` to `addr`.
+    Store(PuId, Addr, Word),
+    /// `pu` (holding the head task) commits and, if the task budget
+    /// allows, is immediately re-dispatched with the next task.
+    Commit(PuId),
+    /// `pu` (holding the youngest running task) is squashed and
+    /// re-dispatched with the same task id, mirroring a dependence
+    /// recovery restart.
+    Squash(PuId),
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Load(pu, addr) => write!(f, "load pu={} addr={}", pu.0, addr.0),
+            Action::Store(pu, addr, val) => {
+                write!(f, "store pu={} addr={} val={}", pu.0, addr.0, val.0)
+            }
+            Action::Commit(pu) => write!(f, "commit pu={}", pu.0),
+            Action::Squash(pu) => write!(f, "squash pu={}", pu.0),
+        }
+    }
+}
+
+/// Parses one action line (no comments, already trimmed).
+pub fn parse_action(line: &str) -> Result<Action, String> {
+    let mut parts = line.split_whitespace();
+    let kind = parts.next().ok_or_else(|| "empty action".to_string())?;
+    let mut fields: Vec<(&str, u64)> = Vec::new();
+    for part in parts {
+        let (key, val) = part
+            .split_once('=')
+            .ok_or_else(|| format!("malformed operand {part:?} in {line:?}"))?;
+        let val: u64 = val
+            .parse()
+            .map_err(|_| format!("non-numeric operand {part:?} in {line:?}"))?;
+        fields.push((key, val));
+    }
+    let field = |key: &str| -> Result<u64, String> {
+        fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("action {line:?} is missing {key}="))
+    };
+    match kind {
+        "load" => Ok(Action::Load(
+            PuId(field("pu")? as usize),
+            Addr(field("addr")?),
+        )),
+        "store" => Ok(Action::Store(
+            PuId(field("pu")? as usize),
+            Addr(field("addr")?),
+            Word(field("val")?),
+        )),
+        "commit" => Ok(Action::Commit(PuId(field("pu")? as usize))),
+        "squash" => Ok(Action::Squash(PuId(field("pu")? as usize))),
+        other => Err(format!("unknown action kind {other:?}")),
+    }
+}
+
+/// A replayable trace: the design under test plus the action sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Script {
+    /// Which memory system (and bounds) the trace targets.
+    pub design: DesignId,
+    /// The actions, in issue order.
+    pub actions: Vec<Action>,
+}
+
+impl Script {
+    /// Serialises the script in the textual trace format. The output
+    /// round-trips through [`Script::parse`].
+    pub fn render(&self) -> String {
+        let mut out = format!("design: {}\n", self.design.name());
+        for action in &self.actions {
+            out.push_str(&action.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the textual trace format. Blank lines and `#` comments are
+    /// ignored; the `design:` header may appear anywhere but is required.
+    pub fn parse(text: &str) -> Result<Script, String> {
+        let mut design = None;
+        let mut actions = Vec::new();
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("design:") {
+                let name = rest.trim();
+                design = Some(
+                    DesignId::from_name(name).ok_or_else(|| format!("unknown design {name:?}"))?,
+                );
+            } else {
+                actions.push(parse_action(line)?);
+            }
+        }
+        Ok(Script {
+            design: design.ok_or_else(|| "script is missing a `design:` header".to_string())?,
+            actions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_round_trip() {
+        let actions = [
+            Action::Load(PuId(0), Addr(4)),
+            Action::Store(PuId(1), Addr(0), Word(2)),
+            Action::Commit(PuId(0)),
+            Action::Squash(PuId(1)),
+        ];
+        for a in actions {
+            assert_eq!(parse_action(&a.to_string()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn scripts_round_trip() {
+        let script = Script {
+            design: DesignId::SvcFinal,
+            actions: vec![
+                Action::Load(PuId(1), Addr(0)),
+                Action::Store(PuId(0), Addr(0), Word(1)),
+            ],
+        };
+        assert_eq!(Script::parse(&script.render()).unwrap(), script);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blank_lines() {
+        let text = "# a counterexample\n\ndesign: arb\n  load pu=0 addr=1\n# trailing\n";
+        let script = Script::parse(text).unwrap();
+        assert_eq!(script.design, DesignId::Arb);
+        assert_eq!(script.actions, vec![Action::Load(PuId(0), Addr(1))]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Script::parse("load pu=0 addr=0\n").is_err(), "no design");
+        assert!(Script::parse("design: svc-base\nfrob pu=0\n").is_err());
+        assert!(Script::parse("design: svc-base\nload pu=0\n").is_err());
+        assert!(Script::parse("design: nope\n").is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! The checkable designs, their bounded alphabets, and the dispatch
+//! front-ends (`explore_design` / `replay_design`).
+//!
+//! Each design gets a pinned small-state configuration: geometries are
+//! sized so that every address in the alphabet maps to its own set (no
+//! replacement pressure — capacity effects are timing, not protocol, and
+//! exercising them would only blow up the state space), and latencies
+//! are the repo's defaults. The bounds are part of the checked artifact:
+//! `results/check.json` pins the explored state and transition counts
+//! for these exact configurations, so changing a bound here is a
+//! baseline update.
+
+use svc::{SvcConfig, SvcSystem};
+use svc_arb::{ArbConfig, ArbSystem};
+use svc_coherence::{SmpConfig, SmpVersioned};
+use svc_mem::{CacheGeometry, MemTiming};
+use svc_types::{Addr, Mutation, Word};
+
+use crate::alphabet::{Action, Script};
+use crate::explorer::{
+    explore_generic, replay_generic, walk_generic, ExploreOutcome, Limits, ReplayOutcome,
+};
+use crate::minimize::minimize;
+
+/// A memory-system design the checker can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignId {
+    /// SVC §3.2 base design (one-word lines, eager commit).
+    SvcBase,
+    /// SVC §3.5 ECS design (lazy commit, stale reuse, arch retention).
+    SvcEcs,
+    /// SVC §3.8 final design (multi-word lines, hybrid update protocol).
+    SvcFinal,
+    /// The ARB baseline (shared speculative buffer).
+    Arb,
+    /// The SMP/MRSW invalidation-coherence baseline (non-speculative).
+    Smp,
+}
+
+/// All checkable designs, in report order.
+pub const ALL_DESIGNS: [DesignId; 5] = [
+    DesignId::SvcBase,
+    DesignId::SvcEcs,
+    DesignId::SvcFinal,
+    DesignId::Arb,
+    DesignId::Smp,
+];
+
+impl DesignId {
+    /// Stable name used in scripts, reports and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignId::SvcBase => "svc-base",
+            DesignId::SvcEcs => "svc-ecs",
+            DesignId::SvcFinal => "svc-final",
+            DesignId::Arb => "arb",
+            DesignId::Smp => "smp",
+        }
+    }
+
+    /// Inverse of [`DesignId::name`].
+    pub fn from_name(name: &str) -> Option<DesignId> {
+        ALL_DESIGNS.into_iter().find(|d| d.name() == name)
+    }
+
+    /// The pinned alphabet bounds for this design.
+    pub fn bounds(self) -> Bounds {
+        let values = vec![Word(1), Word(2)];
+        match self {
+            DesignId::SvcBase | DesignId::SvcEcs => Bounds {
+                // One-word lines: the two addresses are two lines in two
+                // sets, exercising cross-line VOL threading.
+                pus: 2,
+                addrs: vec![Addr(0), Addr(1)],
+                values,
+                max_tasks: 3,
+                allow_squash: true,
+                flat_oracle: false,
+            },
+            DesignId::SvcFinal => Bounds {
+                // Addr 0 and 1 share a 4-word line (distinct sub-blocks),
+                // exercising the per-sub-block L/S masks and partial-fill
+                // combining that only the multi-word-line design has.
+                pus: 2,
+                addrs: vec![Addr(0), Addr(1)],
+                values,
+                max_tasks: 3,
+                allow_squash: true,
+                flat_oracle: false,
+            },
+            DesignId::Arb => Bounds {
+                // Three PUs: the ARB's shadowing rule (an intervening
+                // version shields younger loads) is only observable with
+                // at least three concurrent tasks.
+                pus: 3,
+                addrs: vec![Addr(0), Addr(1)],
+                values,
+                max_tasks: 3,
+                allow_squash: true,
+                flat_oracle: false,
+            },
+            DesignId::Smp => Bounds {
+                // Non-speculative: squash would release the PU without
+                // undoing state, which is the documented timing-shim
+                // hole, not a protocol property worth exploring.
+                pus: 2,
+                addrs: vec![Addr(0), Addr(1)],
+                values,
+                max_tasks: 4,
+                allow_squash: false,
+                flat_oracle: true,
+            },
+        }
+    }
+}
+
+/// The design whose bounded exploration exposes each seeded mutation
+/// (`SVC_MUTATE=<site>`). Used by the mutation-kill harness and the
+/// `svc-check mutations` campaign.
+pub fn design_for_mutation(m: Mutation) -> DesignId {
+    match m {
+        // Needs lazy commits: committed lines that keep their L bits
+        // raise spurious violations on later stores.
+        Mutation::CommitKeepsLoadBits => DesignId::SvcEcs,
+        // Squash residue on speculative lines: caught by the
+        // post-squash sweep on any SVC design.
+        Mutation::SquashKeepsLine => DesignId::SvcBase,
+        // A load that never sets its L bit misses violations the oracle
+        // reports.
+        Mutation::LoadSkipsLBit => DesignId::SvcBase,
+        // The hybrid update-invalidate protocol of the final design is
+        // where a skipped invalidation leaves stale copies readable.
+        Mutation::StoreSkipsInvalidation => DesignId::SvcFinal,
+        // VOL splice order matters once multiple copies of a line are
+        // threaded; the final design exercises pointer rewrites.
+        Mutation::VolSpliceBackwards => DesignId::SvcFinal,
+        // ARB-only: ignoring the shadow of an intervening store yields
+        // a victim the oracle says is shielded.
+        Mutation::ArbIgnoresShadow => DesignId::Arb,
+        // SMP-only: dropped invalidations leave stale clean copies.
+        Mutation::SmpDropInvalidate => DesignId::Smp,
+    }
+}
+
+/// The bounded alphabet the explorer enumerates for one design.
+#[derive(Debug, Clone)]
+pub struct Bounds {
+    /// Number of processing units.
+    pub pus: usize,
+    /// Addresses loads and stores range over.
+    pub addrs: Vec<Addr>,
+    /// Values stores range over.
+    pub values: Vec<Word>,
+    /// Total tasks dispatched across the run (ids `0..max_tasks`).
+    pub max_tasks: u64,
+    /// Whether the tail-squash action is in the alphabet.
+    pub allow_squash: bool,
+    /// Whether the reference oracle is the flat sequential map (SMP)
+    /// rather than the ideal versioning memory.
+    pub flat_oracle: bool,
+}
+
+fn svc_system(design: DesignId) -> SvcSystem {
+    let pus = design.bounds().pus;
+    let mut cfg = match design {
+        DesignId::SvcBase => SvcConfig::base(pus),
+        DesignId::SvcEcs => SvcConfig::ecs(pus),
+        DesignId::SvcFinal => SvcConfig::final_design(pus),
+        _ => unreachable!("not an SVC design"),
+    };
+    cfg.geometry = match design {
+        // 2 sets x 2 ways, 4-word lines, per-word sub-blocks: addrs 0/1
+        // share line 0 (set 0), addr 4 is line 1 (set 1).
+        DesignId::SvcFinal => CacheGeometry::new(2, 2, 4, 1),
+        // One-word lines as the pedagogical designs assume.
+        _ => CacheGeometry::word_lines(4, 2),
+    };
+    SvcSystem::new(cfg)
+}
+
+fn arb_system() -> ArbSystem {
+    ArbSystem::new(ArbConfig {
+        num_pus: 3,
+        rows: 8,
+        hit_cycles: 1,
+        memory_cycles: 10,
+        cache_geometry: CacheGeometry::new(4, 1, 4, 4),
+    })
+}
+
+fn smp_system() -> SmpVersioned {
+    SmpVersioned::new(SmpConfig {
+        num_pus: 2,
+        geometry: CacheGeometry::word_lines(4, 2),
+        timing: MemTiming::PAPER,
+        exclusive: true,
+    })
+}
+
+/// Exhaustively explores `design`'s bounded state space. Counterexamples
+/// are minimized before being returned.
+pub fn explore_design(design: DesignId, limits: &Limits) -> ExploreOutcome {
+    let bounds = design.bounds();
+    let mut outcome = match design {
+        DesignId::SvcBase | DesignId::SvcEcs | DesignId::SvcFinal => {
+            explore_generic(design, &|| svc_system(design), &bounds, limits)
+        }
+        DesignId::Arb => explore_generic(design, &arb_system, &bounds, limits),
+        DesignId::Smp => explore_generic(design, &smp_system, &bounds, limits),
+    };
+    if let Some(cx) = outcome.violation.as_mut() {
+        cx.script.actions = minimize(design, &cx.script.actions);
+        // Re-derive the failure from the minimized trace (dropping
+        // actions can change which property fires first).
+        if let Ok(replay) = replay_design(design, &cx.script.actions) {
+            if let Some(failure) = replay.failure {
+                cx.failure = failure;
+            }
+        }
+    }
+    outcome
+}
+
+/// Replays an action sequence against a fresh instance of `design`.
+/// `Err` means the script itself is malformed (an action was not
+/// enabled); a property violation is reported in the `Ok` outcome.
+pub fn replay_design(design: DesignId, actions: &[Action]) -> Result<ReplayOutcome, String> {
+    let bounds = design.bounds();
+    match design {
+        DesignId::SvcBase | DesignId::SvcEcs | DesignId::SvcFinal => {
+            replay_generic(design, svc_system(design), &bounds, actions)
+        }
+        DesignId::Arb => replay_generic(design, arb_system(), &bounds, actions),
+        DesignId::Smp => replay_generic(design, smp_system(), &bounds, actions),
+    }
+}
+
+/// A deterministic pseudo-random walk of enabled actions through
+/// `design`'s bounded alphabet — a deep probe complementing the
+/// exhaustive-but-shallow breadth-first search. The walk stops early at
+/// a terminal state (all tasks committed) or at the first property
+/// failure (the failing action is kept, so replaying the script
+/// reproduces it).
+pub fn random_walk(design: DesignId, seed: u64, steps: usize) -> Script {
+    let bounds = design.bounds();
+    match design {
+        DesignId::SvcBase | DesignId::SvcEcs | DesignId::SvcFinal => {
+            walk_generic(design, svc_system(design), &bounds, seed, steps)
+        }
+        DesignId::Arb => walk_generic(design, arb_system(), &bounds, seed, steps),
+        DesignId::Smp => walk_generic(design, smp_system(), &bounds, seed, steps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for d in ALL_DESIGNS {
+            assert_eq!(DesignId::from_name(d.name()), Some(d));
+        }
+        assert_eq!(DesignId::from_name("nope"), None);
+    }
+
+    #[test]
+    fn bounds_are_self_consistent() {
+        for d in ALL_DESIGNS {
+            let b = d.bounds();
+            assert!(b.pus >= 2, "need concurrency to check anything");
+            assert!(b.max_tasks >= b.pus as u64);
+            assert!(!b.addrs.is_empty() && !b.values.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_walks_are_deterministic_and_clean() {
+        for d in ALL_DESIGNS {
+            let a = random_walk(d, 0xC0FFEE, 12);
+            let b = random_walk(d, 0xC0FFEE, 12);
+            assert_eq!(a, b, "{}: walk is not deterministic", d.name());
+            let out = replay_design(d, &a.actions).expect("walk actions are enabled");
+            assert!(out.failure.is_none(), "{}: {:?}", d.name(), out.failure);
+        }
+    }
+
+    #[test]
+    fn empty_replay_is_clean() {
+        for d in ALL_DESIGNS {
+            let out = replay_design(d, &[]).unwrap();
+            assert!(out.failure.is_none(), "{}: {:?}", d.name(), out.failure);
+        }
+    }
+}

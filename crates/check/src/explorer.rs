@@ -1,0 +1,550 @@
+//! Exhaustive explicit-state exploration of a bounded action alphabet.
+//!
+//! The checker drives the *real* memory-system implementations — not an
+//! abstraction of them — through every interleaving of a small action
+//! alphabet (per-PU loads/stores over a handful of addresses and values,
+//! head commits, tail squashes). States are deduplicated by a
+//! [`StateHasher`] fingerprint over functional state only (cache bits,
+//! VOL pointers, data, oracle state — never timing), so two paths that
+//! differ only in bus timing converge to one state.
+//!
+//! Exploration is breadth-first, which makes the first counterexample a
+//! shortest one. To keep memory proportional to the number of *states*
+//! rather than states × system size, the frontier stores only
+//! `(parent, action)` arena entries and each expanded node is
+//! reconstructed by replaying its action path from the initial state —
+//! sound because the systems are deterministic.
+//!
+//! Every transition is checked against the reference oracle:
+//!
+//! * load values must match the oracle exactly;
+//! * store violations must name exactly the oracle's victim;
+//! * `check_invariants` must stay clean, and `check_post_squash` after
+//!   every squash;
+//! * the committed view (clone + drain + `architectural`) must equal the
+//!   oracle's architectural state at every node.
+
+use std::collections::{HashSet, VecDeque};
+
+use svc_types::{Cycle, ModelCheckable, PuId, StateHasher, TaskId};
+
+use crate::alphabet::{Action, Script};
+use crate::designs::{Bounds, DesignId};
+use crate::oracle::Oracle;
+
+/// Exploration resource limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum number of distinct states to visit. Exceeding it sets
+    /// [`ExploreOutcome::truncated`]; a truncated run is *not* a pass.
+    pub max_states: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_states: 4_000_000,
+        }
+    }
+}
+
+/// What went wrong on a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The implementation refused an access the oracle allows.
+    Access,
+    /// A load observed a value different from the oracle's.
+    LoadValue,
+    /// A store's violation outcome (victim task) differed from the
+    /// oracle's.
+    Victim,
+    /// Residual speculative state survived a squash.
+    PostSquash,
+    /// A structural invariant (`check_invariants`) failed.
+    Invariant,
+    /// The committed view diverged from the oracle's architectural state.
+    CommittedView,
+}
+
+impl FailureKind {
+    /// Stable lowercase name, used in reports and generated tests.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Access => "access",
+            FailureKind::LoadValue => "load-value",
+            FailureKind::Victim => "victim",
+            FailureKind::PostSquash => "post-squash",
+            FailureKind::Invariant => "invariant",
+            FailureKind::CommittedView => "committed-view",
+        }
+    }
+}
+
+/// A checked property that failed, with human-readable detail.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Which property failed.
+    pub kind: FailureKind,
+    /// What was expected vs. observed.
+    pub detail: String,
+}
+
+impl core::fmt::Display for Failure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.detail)
+    }
+}
+
+/// A failing trace plus the property it fails.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The replayable action trace (already minimized by the front-end
+    /// entry points; raw out of the explorer).
+    pub script: Script,
+    /// The property violated by the final action.
+    pub failure: Failure,
+}
+
+/// Result of exploring one design's bounded state space.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// The design explored.
+    pub design: DesignId,
+    /// Distinct states visited (including the initial state).
+    pub states: u64,
+    /// Transitions examined (including those leading to known states).
+    pub transitions: u64,
+    /// Longest action path from the initial state to any frontier state.
+    pub max_depth: usize,
+    /// True if [`Limits::max_states`] stopped the run early. A truncated
+    /// run proves nothing and must be treated as a failure by gates.
+    pub truncated: bool,
+    /// The first (breadth-first shortest) property violation found.
+    pub violation: Option<Counterexample>,
+}
+
+/// Result of replaying a script against a fresh system.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The design replayed against.
+    pub design: DesignId,
+    /// Actions that applied cleanly.
+    pub executed: usize,
+    /// Failure raised by action `executed` (i.e. the first failing
+    /// action), if any.
+    pub failure: Option<Failure>,
+}
+
+/// One point in the explored graph: the implementation, its oracle, and
+/// the engine-level dispatch bookkeeping the alphabet depends on.
+#[derive(Clone)]
+struct Node<M> {
+    dut: M,
+    oracle: Oracle,
+    /// Task held by each PU (`None` once committed with no tasks left).
+    running: Vec<Option<TaskId>>,
+    /// Next task id to dispatch on commit, bounded by `Bounds::max_tasks`.
+    next_task: u64,
+    /// Current cycle. Functionally irrelevant (excluded from
+    /// fingerprints) but carried so `done_at` bookkeeping matches the
+    /// engine's.
+    now: Cycle,
+}
+
+impl<M: ModelCheckable> Node<M> {
+    fn dispatch(&mut self, pu: PuId, task: TaskId) {
+        self.running[pu.0] = Some(task);
+        self.dut.assign(pu, task);
+        self.oracle.assign(pu, task);
+    }
+
+    /// PU holding the oldest running task, if any.
+    fn head(&self) -> Option<PuId> {
+        self.running
+            .iter()
+            .enumerate()
+            .filter_map(|(pu, t)| t.map(|t| (t, PuId(pu))))
+            .min()
+            .map(|(_, pu)| pu)
+    }
+
+    /// PU holding the youngest running task, if any.
+    fn youngest(&self) -> Option<PuId> {
+        self.running
+            .iter()
+            .enumerate()
+            .filter_map(|(pu, t)| t.map(|t| (t, PuId(pu))))
+            .max()
+            .map(|(_, pu)| pu)
+    }
+
+    fn fingerprint(&self, bounds: &Bounds) -> u64 {
+        let mut h = StateHasher::new();
+        for t in &self.running {
+            h.write_opt_u64(t.map(|t| t.0));
+        }
+        h.write_u64(self.next_task);
+        self.dut.fingerprint(&bounds.addrs, &mut h);
+        self.oracle.fingerprint(&bounds.addrs, &mut h);
+        h.finish()
+    }
+}
+
+fn init_node<M: ModelCheckable>(dut: M, bounds: &Bounds) -> Node<M> {
+    assert!(
+        bounds.max_tasks >= bounds.pus as u64,
+        "initial dispatch needs one task per PU"
+    );
+    let mut node = Node {
+        dut,
+        oracle: if bounds.flat_oracle {
+            Oracle::flat()
+        } else {
+            Oracle::ideal(bounds.pus)
+        },
+        running: vec![None; bounds.pus],
+        next_task: 0,
+        now: Cycle(0),
+    };
+    for pu in 0..bounds.pus {
+        let task = TaskId(node.next_task);
+        node.next_task += 1;
+        node.dispatch(PuId(pu), task);
+    }
+    node
+}
+
+/// The deterministically-ordered actions enabled in `node`. Exploration
+/// order — and therefore the pinned transition counts — follow this
+/// enumeration: per-PU loads (address order), per-PU stores
+/// (address-major, value-minor), head commit, tail squash.
+fn enabled<M: ModelCheckable>(node: &Node<M>, bounds: &Bounds) -> Vec<Action> {
+    let mut out = Vec::new();
+    for pu in 0..bounds.pus {
+        if node.running[pu].is_none() {
+            continue;
+        }
+        for &addr in &bounds.addrs {
+            out.push(Action::Load(PuId(pu), addr));
+        }
+        for &addr in &bounds.addrs {
+            for &val in &bounds.values {
+                out.push(Action::Store(PuId(pu), addr, val));
+            }
+        }
+    }
+    if let Some(pu) = node.head() {
+        out.push(Action::Commit(pu));
+    }
+    if bounds.allow_squash {
+        // Squashing the head would be a task abort, not a dependence
+        // recovery; the alphabet only squashes a strictly younger task.
+        if let (Some(head), Some(tail)) = (node.head(), node.youngest()) {
+            if head != tail {
+                out.push(Action::Squash(tail));
+            }
+        }
+    }
+    out
+}
+
+/// Structural invariants plus committed-view conformance. Checked after
+/// every action.
+fn check_state<M: ModelCheckable + Clone>(node: &Node<M>, bounds: &Bounds) -> Result<(), Failure> {
+    let violations = node.dut.check_invariants(node.now);
+    if let Some(v) = violations.first() {
+        return Err(Failure {
+            kind: FailureKind::Invariant,
+            detail: format!("{v:?} ({} total)", violations.len()),
+        });
+    }
+    let mut probe = node.dut.clone();
+    probe.drain();
+    for &addr in &bounds.addrs {
+        let got = probe.architectural(addr);
+        let want = node.oracle.architectural(addr);
+        if got != want {
+            return Err(Failure {
+                kind: FailureKind::CommittedView,
+                detail: format!("addr {} committed view {} want {}", addr.0, got.0, want.0),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Applies one action to both the implementation and the oracle,
+/// mirroring the engine's dispatch/squash discipline, and checks every
+/// per-transition property.
+fn apply<M: ModelCheckable + Clone>(
+    node: &mut Node<M>,
+    action: Action,
+    bounds: &Bounds,
+) -> Result<(), Failure> {
+    node.now += 1;
+    let now = node.now;
+    match action {
+        Action::Load(pu, addr) => {
+            let out = node.dut.load(pu, addr, now).map_err(|e| Failure {
+                kind: FailureKind::Access,
+                detail: format!("load pu={} addr={} refused: {e:?}", pu.0, addr.0),
+            })?;
+            node.now = node.now.max(out.done_at);
+            let want = node.oracle.load(pu, addr, now);
+            if out.value != want {
+                return Err(Failure {
+                    kind: FailureKind::LoadValue,
+                    detail: format!(
+                        "pu={} addr={} loaded {} want {}",
+                        pu.0, addr.0, out.value.0, want.0
+                    ),
+                });
+            }
+        }
+        Action::Store(pu, addr, val) => {
+            let out = node.dut.store(pu, addr, val, now).map_err(|e| Failure {
+                kind: FailureKind::Access,
+                detail: format!("store pu={} addr={} refused: {e:?}", pu.0, addr.0),
+            })?;
+            node.now = node.now.max(out.done_at);
+            // Victims must agree exactly. Addresses are not compared:
+            // the SVC reports the violated *line* (the hardware's
+            // granularity) while the oracle reports the word, and the
+            // conformance harness likewise compares victims only.
+            let want = node.oracle.store(pu, addr, val, now);
+            let got_v = out.violation.map(|v| v.victim);
+            let want_v = want.map(|v| v.victim);
+            if got_v != want_v {
+                return Err(Failure {
+                    kind: FailureKind::Victim,
+                    detail: format!(
+                        "store pu={} addr={} violation {:?} want {:?}",
+                        pu.0, addr.0, got_v, want_v
+                    ),
+                });
+            }
+            if let Some(v) = out.violation {
+                recover(node, v.victim)?;
+            }
+        }
+        Action::Commit(pu) => {
+            debug_assert_eq!(Some(pu), node.head(), "only the head commits");
+            let done = node.dut.commit(pu, now);
+            node.now = node.now.max(done);
+            node.oracle.commit(pu, now);
+            node.running[pu.0] = None;
+            if node.next_task < bounds.max_tasks {
+                let task = TaskId(node.next_task);
+                node.next_task += 1;
+                node.dispatch(pu, task);
+            }
+        }
+        Action::Squash(pu) => {
+            let task = node.running[pu.0].expect("squash targets a running PU");
+            node.dut.squash(pu);
+            node.oracle.squash(pu);
+            node.running[pu.0] = None;
+            post_squash(node, pu)?;
+            // Dependence recovery restarts the same task.
+            node.dispatch(pu, task);
+        }
+    }
+    check_state(node, bounds)
+}
+
+fn post_squash<M: ModelCheckable>(node: &Node<M>, pu: PuId) -> Result<(), Failure> {
+    let residue = node.dut.check_post_squash(pu, node.now);
+    if let Some(v) = residue.first() {
+        return Err(Failure {
+            kind: FailureKind::PostSquash,
+            detail: format!("pu={}: {v:?} ({} total)", pu.0, residue.len()),
+        });
+    }
+    Ok(())
+}
+
+/// Squashes the violated task and everything younger (squashes are
+/// contiguous from the tail), then re-dispatches the same tasks in
+/// program order — byte-for-byte the discipline of the conformance
+/// harness's `run_lockstep`.
+fn recover<M: ModelCheckable + Clone>(node: &mut Node<M>, victim: TaskId) -> Result<(), Failure> {
+    let mut to_squash: Vec<(PuId, TaskId)> = node
+        .running
+        .iter()
+        .enumerate()
+        .filter_map(|(pu, t)| t.map(|t| (PuId(pu), t)))
+        .filter(|&(_, t)| t >= victim)
+        .collect();
+    to_squash.sort_by_key(|&(_, t)| core::cmp::Reverse(t));
+    for &(pu, _) in &to_squash {
+        node.dut.squash(pu);
+        node.oracle.squash(pu);
+        node.running[pu.0] = None;
+        post_squash(node, pu)?;
+    }
+    let mut tasks: Vec<TaskId> = to_squash.iter().map(|&(_, t)| t).collect();
+    tasks.sort();
+    for (&(pu, _), &task) in to_squash.iter().zip(&tasks) {
+        node.dispatch(pu, task);
+    }
+    Ok(())
+}
+
+/// Reconstructs the node reached by `actions` from the initial state.
+/// Panics if the path was not previously validated — exploration only
+/// replays paths it has already applied successfully.
+fn replay_path<M: ModelCheckable + Clone>(dut: M, bounds: &Bounds, actions: &[Action]) -> Node<M> {
+    let mut node = init_node(dut, bounds);
+    for &action in actions {
+        apply(&mut node, action, bounds).expect("previously-validated path replays cleanly");
+    }
+    node
+}
+
+/// The action path from the initial state to arena entry `id`.
+fn path_of(parents: &[(u32, Action)], mut id: u32) -> Vec<Action> {
+    let mut path = Vec::new();
+    while id != 0 {
+        let (parent, action) = parents[id as usize];
+        path.push(action);
+        id = parent;
+    }
+    path.reverse();
+    path
+}
+
+/// Breadth-first exhaustive exploration. See the module docs for the
+/// state representation and per-transition checks.
+pub(crate) fn explore_generic<M: ModelCheckable + Clone>(
+    design: DesignId,
+    mk: &dyn Fn() -> M,
+    bounds: &Bounds,
+    limits: &Limits,
+) -> ExploreOutcome {
+    let root = init_node(mk(), bounds);
+    let mut outcome = ExploreOutcome {
+        design,
+        states: 1,
+        transitions: 0,
+        max_depth: 0,
+        truncated: false,
+        violation: None,
+    };
+    if let Err(failure) = check_state(&root, bounds) {
+        outcome.violation = Some(Counterexample {
+            script: Script {
+                design,
+                actions: Vec::new(),
+            },
+            failure,
+        });
+        return outcome;
+    }
+    let mut visited: HashSet<u64> = HashSet::new();
+    visited.insert(root.fingerprint(bounds));
+    // Arena of (parent index, incoming action); entry 0 is the root with
+    // a dummy action that is never read.
+    let mut parents: Vec<(u32, Action)> = vec![(0, Action::Commit(PuId(0)))];
+    let mut frontier: VecDeque<(u32, usize)> = VecDeque::new();
+    frontier.push_back((0, 0));
+    'bfs: while let Some((id, depth)) = frontier.pop_front() {
+        let path = path_of(&parents, id);
+        let node = replay_path(mk(), bounds, &path);
+        for action in enabled(&node, bounds) {
+            outcome.transitions += 1;
+            let mut succ = node.clone();
+            if let Err(failure) = apply(&mut succ, action, bounds) {
+                let mut actions = path.clone();
+                actions.push(action);
+                outcome.states = visited.len() as u64;
+                outcome.violation = Some(Counterexample {
+                    script: Script { design, actions },
+                    failure,
+                });
+                return outcome;
+            }
+            if visited.insert(succ.fingerprint(bounds)) {
+                outcome.max_depth = outcome.max_depth.max(depth + 1);
+                if visited.len() as u64 > limits.max_states {
+                    outcome.truncated = true;
+                    break 'bfs;
+                }
+                parents.push((id, action));
+                frontier.push_back(((parents.len() - 1) as u32, depth + 1));
+            }
+        }
+    }
+    outcome.states = visited.len() as u64;
+    outcome
+}
+
+/// A deterministic pseudo-random walk of enabled actions: a *deep*
+/// probe through the same alphabet the breadth-first search covers
+/// exhaustively but shallowly. If an action fails a property it is
+/// still included as the final action, so replaying the returned script
+/// reproduces the failure.
+pub(crate) fn walk_generic<M: ModelCheckable + Clone>(
+    design: DesignId,
+    dut: M,
+    bounds: &Bounds,
+    seed: u64,
+    steps: usize,
+) -> Script {
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut node = init_node(dut, bounds);
+    let mut actions = Vec::new();
+    for _ in 0..steps {
+        let enabled_now = enabled(&node, bounds);
+        if enabled_now.is_empty() {
+            break;
+        }
+        // xorshift64: cheap, deterministic, dependency-free.
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let action = enabled_now[(rng % enabled_now.len() as u64) as usize];
+        actions.push(action);
+        if apply(&mut node, action, bounds).is_err() {
+            break;
+        }
+    }
+    Script { design, actions }
+}
+
+/// Replays a script, validating enabledness as it goes. Returns `Err`
+/// for malformed scripts (action against a PU with no task, commit of a
+/// non-head PU, ...) and `Ok` with an optional [`Failure`] otherwise.
+pub(crate) fn replay_generic<M: ModelCheckable + Clone>(
+    design: DesignId,
+    dut: M,
+    bounds: &Bounds,
+    actions: &[Action],
+) -> Result<ReplayOutcome, String> {
+    let mut node = init_node(dut, bounds);
+    if let Err(failure) = check_state(&node, bounds) {
+        return Ok(ReplayOutcome {
+            design,
+            executed: 0,
+            failure: Some(failure),
+        });
+    }
+    for (i, &action) in actions.iter().enumerate() {
+        if !enabled(&node, bounds).contains(&action) {
+            return Err(format!(
+                "action {i} ({action}) is not enabled at this point"
+            ));
+        }
+        if let Err(failure) = apply(&mut node, action, bounds) {
+            return Ok(ReplayOutcome {
+                design,
+                executed: i,
+                failure: Some(failure),
+            });
+        }
+    }
+    Ok(ReplayOutcome {
+        design,
+        executed: actions.len(),
+        failure: None,
+    })
+}

@@ -1,0 +1,47 @@
+//! Exhaustive explicit-state model checking for the repo's memory
+//! systems.
+//!
+//! The checker drives the **real implementations** — the SVC designs
+//! ([`svc::SvcSystem`]), the ARB baseline ([`svc_arb::ArbSystem`]) and
+//! the SMP coherence baseline ([`svc_coherence::SmpVersioned`]) —
+//! through *every* interleaving of a bounded action alphabet (per-PU
+//! loads/stores over a few addresses and values, head commits, tail
+//! squashes), deduplicating states by a functional-state fingerprint
+//! and checking, at every transition:
+//!
+//! * load-value and violation-victim agreement with the reference
+//!   oracle ([`svc::IdealMemory`], or a flat sequential map for SMP);
+//! * the structural invariant sweep (`check_invariants`) and
+//!   post-squash residue check;
+//! * committed-view conformance: clone + drain + `architectural` must
+//!   equal the oracle's architectural state.
+//!
+//! Violations come back as minimized, replayable [`Script`]s;
+//! [`emit::emit_test`] turns one into a standalone regression test. The
+//! seeded mutations of [`svc_types::mutate`] (enabled via `SVC_MUTATE`)
+//! prove the checker actually catches protocol bugs — see
+//! `tests/mutation_kill.rs`.
+//!
+//! Entry points: [`explore_design`] (exhaustive search),
+//! [`replay_design`] / [`replay_script_str`] (trace replay), and the
+//! `svc-check` binary in the root crate.
+
+pub mod alphabet;
+pub mod designs;
+pub mod emit;
+pub mod explorer;
+pub mod minimize;
+mod oracle;
+
+pub use alphabet::{parse_action, Action, Script};
+pub use designs::{
+    design_for_mutation, explore_design, random_walk, replay_design, Bounds, DesignId, ALL_DESIGNS,
+};
+pub use explorer::{Counterexample, ExploreOutcome, Failure, FailureKind, Limits, ReplayOutcome};
+
+/// Parses and replays a textual script. See [`Script::parse`] and
+/// [`replay_design`].
+pub fn replay_script_str(text: &str) -> Result<ReplayOutcome, String> {
+    let script = Script::parse(text)?;
+    replay_design(script.design, &script.actions)
+}

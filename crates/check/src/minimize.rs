@@ -1,0 +1,47 @@
+//! Counterexample minimization by greedy delta-debugging.
+//!
+//! Breadth-first search already yields a shortest *path* to a failing
+//! transition, but that path can still carry actions irrelevant to the
+//! failure (loads that only pad the interleaving, stores to unrelated
+//! addresses). Minimization repeatedly drops single actions, keeping a
+//! candidate only if it still fails: the result is 1-minimal — removing
+//! any one remaining action makes the trace pass or become malformed.
+//!
+//! Dropping an action can make a later one disabled (e.g. removing the
+//! commit that re-dispatched a PU). Such candidates replay as `Err` and
+//! are simply rejected — the final trace is always well-formed.
+
+use crate::alphabet::Action;
+use crate::designs::{replay_design, DesignId};
+
+/// True if `actions` is well-formed for `design` and ends in a failure.
+fn still_fails(design: DesignId, actions: &[Action]) -> bool {
+    matches!(replay_design(design, actions), Ok(out) if out.failure.is_some())
+}
+
+/// Greedily minimizes a failing trace. The input must fail; the output
+/// fails and is 1-minimal.
+pub fn minimize(design: DesignId, actions: &[Action]) -> Vec<Action> {
+    debug_assert!(
+        still_fails(design, actions),
+        "minimize needs a failing trace"
+    );
+    let mut best: Vec<Action> = actions.to_vec();
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < best.len() {
+            let mut candidate = best.clone();
+            candidate.remove(i);
+            if still_fails(design, &candidate) {
+                best = candidate;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}

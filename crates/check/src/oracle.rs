@@ -1,0 +1,142 @@
+//! Reference semantics the design under test is checked against.
+//!
+//! Speculative designs (SVC variants, ARB) are compared against
+//! [`svc::IdealMemory`] — the repo's exact versioning oracle: load values,
+//! violation victims, and the committed view must all agree. The SMP
+//! baseline is non-speculative (stores are globally ordered as they
+//! execute), so its oracle is a flat address map updated in program
+//! order.
+
+use std::collections::HashMap;
+
+use svc::IdealMemory;
+use svc_types::{
+    Addr, Cycle, ModelCheckable, PuId, StateHasher, TaskId, VersionedMemory, Violation, Word,
+};
+
+/// The reference model a design is checked against.
+// The size gap between the variants is fine: oracles live inside BFS
+// nodes that clone constantly, and boxing the *common* (Ideal) variant
+// would put an allocation on that hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub(crate) enum Oracle {
+    /// Exact speculative-versioning semantics.
+    Ideal(IdealMemory),
+    /// Sequential flat memory: every store is immediately architectural.
+    Flat(HashMap<Addr, Word>),
+}
+
+impl Oracle {
+    pub(crate) fn ideal(num_pus: usize) -> Oracle {
+        Oracle::Ideal(IdealMemory::new(num_pus, 1))
+    }
+
+    pub(crate) fn flat() -> Oracle {
+        Oracle::Flat(HashMap::new())
+    }
+
+    pub(crate) fn assign(&mut self, pu: PuId, task: TaskId) {
+        if let Oracle::Ideal(m) = self {
+            m.assign(pu, task);
+        }
+    }
+
+    /// The value a load by `pu` must observe.
+    pub(crate) fn load(&mut self, pu: PuId, addr: Addr, now: Cycle) -> Word {
+        match self {
+            Oracle::Ideal(m) => m.load(pu, addr, now).expect("oracle never stalls").value,
+            Oracle::Flat(mem) => mem.get(&addr).copied().unwrap_or(Word::ZERO),
+        }
+    }
+
+    /// The violation (if any) a store by `pu` must raise.
+    pub(crate) fn store(
+        &mut self,
+        pu: PuId,
+        addr: Addr,
+        value: Word,
+        now: Cycle,
+    ) -> Option<Violation> {
+        match self {
+            Oracle::Ideal(m) => {
+                m.store(pu, addr, value, now)
+                    .expect("oracle never stalls")
+                    .violation
+            }
+            Oracle::Flat(mem) => {
+                mem.insert(addr, value);
+                None
+            }
+        }
+    }
+
+    pub(crate) fn commit(&mut self, pu: PuId, now: Cycle) {
+        if let Oracle::Ideal(m) = self {
+            m.commit(pu, now);
+        }
+    }
+
+    pub(crate) fn squash(&mut self, pu: PuId) {
+        if let Oracle::Ideal(m) = self {
+            m.squash(pu);
+        }
+    }
+
+    /// The committed (architectural) value for `addr`.
+    pub(crate) fn architectural(&self, addr: Addr) -> Word {
+        match self {
+            Oracle::Ideal(m) => m.architectural(addr),
+            Oracle::Flat(mem) => mem.get(&addr).copied().unwrap_or(Word::ZERO),
+        }
+    }
+
+    pub(crate) fn fingerprint(&self, addrs: &[Addr], h: &mut StateHasher) {
+        match self {
+            Oracle::Ideal(m) => m.fingerprint(addrs, h),
+            Oracle::Flat(mem) => {
+                for &addr in addrs {
+                    h.write_opt_u64(mem.get(&addr).map(|v| v.0));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_oracle_is_sequential() {
+        let mut o = Oracle::flat();
+        o.assign(PuId(0), TaskId(0));
+        assert_eq!(o.load(PuId(0), Addr(0), Cycle(0)), Word::ZERO);
+        assert!(o.store(PuId(0), Addr(0), Word(7), Cycle(1)).is_none());
+        assert_eq!(o.load(PuId(1), Addr(0), Cycle(2)), Word(7));
+        assert_eq!(o.architectural(Addr(0)), Word(7));
+    }
+
+    #[test]
+    fn ideal_oracle_detects_violations() {
+        let mut o = Oracle::ideal(2);
+        o.assign(PuId(0), TaskId(0));
+        o.assign(PuId(1), TaskId(1));
+        o.load(PuId(1), Addr(0), Cycle(0));
+        let v = o.store(PuId(0), Addr(0), Word(1), Cycle(1)).unwrap();
+        assert_eq!(v.victim, TaskId(1));
+    }
+
+    #[test]
+    fn fingerprints_track_state() {
+        let addrs = [Addr(0), Addr(1)];
+        let mut a = Oracle::flat();
+        let b = a.clone();
+        a.store(PuId(0), Addr(1), Word(3), Cycle(0));
+        let mut ha = StateHasher::new();
+        let mut hb = StateHasher::new();
+        a.fingerprint(&addrs, &mut ha);
+        b.fingerprint(&addrs, &mut hb);
+        assert_ne!(ha.finish(), hb.finish());
+    }
+}

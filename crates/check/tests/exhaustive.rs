@@ -1,0 +1,92 @@
+//! Tier-1 exploration tests: every design is searched with zero property
+//! violations and byte-deterministic state/transition counts across two
+//! independent runs (the determinism the `results/check.json` pin relies
+//! on).
+//!
+//! Debug builds (the default `cargo test`) explore a bounded prefix of
+//! the state space — full exhaustion in an unoptimized build would take
+//! minutes per design. Release builds (`cargo test --release`, the CI
+//! model-check step, and the `regress` gate) remove the cap and require
+//! exhaustion.
+
+use svc_check::{explore_design, DesignId, ExploreOutcome, Limits, ALL_DESIGNS};
+
+fn limits() -> Limits {
+    if cfg!(debug_assertions) {
+        // Bounded smoke in debug: still thousands of real states per
+        // design through the real implementations.
+        Limits { max_states: 4_000 }
+    } else {
+        Limits::default()
+    }
+}
+
+fn explore(design: DesignId) -> ExploreOutcome {
+    let out = explore_design(design, &limits());
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            !out.truncated,
+            "{}: exploration truncated at {} states — raise Limits or shrink bounds",
+            design.name(),
+            out.states
+        );
+    }
+    if let Some(cx) = &out.violation {
+        panic!(
+            "{}: property violation ({})\ncounterexample:\n{}",
+            design.name(),
+            cx.failure,
+            cx.script.render()
+        );
+    }
+    out
+}
+
+fn check_design(design: DesignId) {
+    let a = explore(design);
+    let b = explore(design);
+    assert_eq!(
+        (a.states, a.transitions, a.max_depth),
+        (b.states, b.transitions, b.max_depth),
+        "{}: exploration is not deterministic",
+        design.name()
+    );
+    // A vacuous exploration (nothing enabled) would pass every check;
+    // insist the graph actually has depth.
+    assert!(
+        a.max_depth >= 3,
+        "{}: suspiciously shallow exploration (depth {})",
+        design.name(),
+        a.max_depth
+    );
+}
+
+#[test]
+fn svc_base_is_clean_and_deterministic() {
+    check_design(DesignId::SvcBase);
+}
+
+#[test]
+fn svc_ecs_is_clean_and_deterministic() {
+    check_design(DesignId::SvcEcs);
+}
+
+#[test]
+fn svc_final_is_clean_and_deterministic() {
+    check_design(DesignId::SvcFinal);
+}
+
+#[test]
+fn arb_is_clean_and_deterministic() {
+    check_design(DesignId::Arb);
+}
+
+#[test]
+fn smp_is_clean_and_deterministic() {
+    check_design(DesignId::Smp);
+}
+
+#[test]
+fn all_designs_are_enumerated() {
+    assert_eq!(ALL_DESIGNS.len(), 5, "add a test for the new design");
+}

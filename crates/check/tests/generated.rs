@@ -1,0 +1,31 @@
+//! Driver for the generated counterexample regression tests.
+//!
+//! Each module under `generated/` is a minimized model-checker
+//! counterexample for one seeded mutation site, rendered as a `#[test]`
+//! by `svc-check mutations --emit-tests crates/check/tests/generated`.
+//! Against the unmutated implementation every trace must replay cleanly;
+//! under its mutation the same trace fails the checker (verified by
+//! `mutation_kill.rs`). Regenerate the modules — never hand-edit them —
+//! after an intentional protocol change.
+
+#[path = "generated/arb_ignores_shadow.rs"]
+mod arb_ignores_shadow;
+#[path = "generated/commit_keeps_load_bits.rs"]
+mod commit_keeps_load_bits;
+#[path = "generated/load_skips_l_bit.rs"]
+mod load_skips_l_bit;
+#[path = "generated/smp_drop_invalidate.rs"]
+mod smp_drop_invalidate;
+#[path = "generated/squash_keeps_line.rs"]
+mod squash_keeps_line;
+#[path = "generated/store_skips_invalidation.rs"]
+mod store_skips_invalidation;
+#[path = "generated/vol_splice_backwards.rs"]
+mod vol_splice_backwards;
+
+/// One generated module per seeded mutation site — a new site without a
+/// committed counterexample fails here, not silently.
+#[test]
+fn every_mutation_site_has_a_generated_test() {
+    assert_eq!(svc_types::Mutation::ALL.len(), 7);
+}

@@ -1,0 +1,131 @@
+//! Mutation-kill verification: every seeded protocol mutation
+//! (`SVC_MUTATE=<site>`, see `svc_types::mutate`) must be caught by the
+//! model checker, with a minimized counterexample that still fails on
+//! replay.
+//!
+//! `SVC_MUTATE` is read once per process, so each kill runs in a child
+//! process: the parent re-executes this test binary with the mutation
+//! environment set and an `--exact` filter for the same test, and the
+//! child — detecting the active mutation — does the actual exploration.
+//! The parent insists on a `MUTATION-CAUGHT` marker in the child's
+//! output so a mis-filtered child (zero tests run, exit 0) cannot pass
+//! silently.
+
+use std::process::Command;
+
+use svc_check::{design_for_mutation, explore_design, replay_design, Limits};
+use svc_types::Mutation;
+
+/// Exploration budget for a mutated child. Every seeded mutation is
+/// caught within a few actions (BFS finds it in well under 10k states);
+/// the cap only bounds the damage if a future site is NOT caught.
+const CHILD_LIMITS: Limits = Limits {
+    max_states: 300_000,
+};
+
+fn child(site: Mutation, active: Mutation) {
+    assert_eq!(active, site, "child spawned with the wrong SVC_MUTATE");
+    let design = design_for_mutation(site);
+    let out = explore_design(design, &CHILD_LIMITS);
+    let cx = out.violation.unwrap_or_else(|| {
+        panic!(
+            "mutation {} NOT caught on {} within {} states (truncated={})",
+            site.key(),
+            design.name(),
+            out.states,
+            out.truncated
+        )
+    });
+    // Minimization must preserve the failure under the mutation.
+    let replay = replay_design(design, &cx.script.actions).expect("well-formed counterexample");
+    assert!(
+        replay.failure.is_some(),
+        "{}: minimized counterexample no longer fails under the mutation",
+        site.key()
+    );
+    println!(
+        "MUTATION-CAUGHT {} kind={} actions={}",
+        site.key(),
+        cx.failure.kind.name(),
+        cx.script.actions.len()
+    );
+}
+
+fn parent(site: Mutation, test_name: &str) {
+    let exe = std::env::current_exe().expect("test binary path");
+    let output = Command::new(exe)
+        .args([test_name, "--exact", "--nocapture"])
+        .env("SVC_MUTATE", site.key())
+        .output()
+        .expect("spawn mutated child");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "mutated child for {} failed:\n{stdout}\n{}",
+        site.key(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        stdout.contains(&format!("MUTATION-CAUGHT {}", site.key())),
+        "child for {} exited cleanly without catching the mutation:\n{stdout}",
+        site.key()
+    );
+}
+
+fn kill(site: Mutation, test_name: &str) {
+    match Mutation::active() {
+        Some(active) => child(site, active),
+        None => parent(site, test_name),
+    }
+}
+
+#[test]
+fn kills_commit_keeps_load_bits() {
+    kill(
+        Mutation::CommitKeepsLoadBits,
+        "kills_commit_keeps_load_bits",
+    );
+}
+
+#[test]
+fn kills_squash_keeps_line() {
+    kill(Mutation::SquashKeepsLine, "kills_squash_keeps_line");
+}
+
+#[test]
+fn kills_load_skips_l_bit() {
+    kill(Mutation::LoadSkipsLBit, "kills_load_skips_l_bit");
+}
+
+#[test]
+fn kills_store_skips_invalidation() {
+    kill(
+        Mutation::StoreSkipsInvalidation,
+        "kills_store_skips_invalidation",
+    );
+}
+
+#[test]
+fn kills_vol_splice_backwards() {
+    kill(Mutation::VolSpliceBackwards, "kills_vol_splice_backwards");
+}
+
+#[test]
+fn kills_arb_ignores_shadow() {
+    kill(Mutation::ArbIgnoresShadow, "kills_arb_ignores_shadow");
+}
+
+#[test]
+fn kills_smp_drop_invalidate() {
+    kill(Mutation::SmpDropInvalidate, "kills_smp_drop_invalidate");
+}
+
+/// Adding a mutation site without a kill test above fails here.
+#[test]
+fn every_site_has_a_kill_test() {
+    assert_eq!(
+        Mutation::ALL.len(),
+        7,
+        "add a kills_* test for the new site"
+    );
+}

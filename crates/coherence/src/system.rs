@@ -7,7 +7,7 @@ use svc_sim::profile::{AccessProfile, Profiler};
 use svc_sim::trace::{BusOp, Category, TraceEvent, Tracer};
 use svc_types::{
     Addr, Cycle, DataSource, InvariantKind, InvariantViolation, LineId, LoadOutcome, MemStats,
-    PuId, Word,
+    Mutation, PuId, StateHasher, Word,
 };
 
 use crate::protocol::SmpState;
@@ -224,6 +224,29 @@ impl SmpSystem {
             }
         }
         self.memory.peek(addr)
+    }
+
+    /// Feeds the functional coherence state over `addrs` into `h`: per
+    /// cache the state and word of each copy, plus the memory image.
+    /// Timing state (bus busy-until) is deliberately excluded — model
+    /// checker support, see [`svc_types::ModelCheckable`].
+    pub(crate) fn fingerprint(&self, addrs: &[Addr], h: &mut StateHasher) {
+        for &addr in addrs {
+            let line = self.config.geometry.line_of(addr);
+            let off = self.config.geometry.offset(addr);
+            for cache in &self.caches {
+                match cache.find(line) {
+                    None => h.write_u8(0),
+                    Some(r) => {
+                        let slot = cache.slot(r);
+                        h.write_u8(1);
+                        h.write_bytes(slot.state.name().as_bytes());
+                        h.write_u64(slot.data[off].0);
+                    }
+                }
+            }
+            h.write_u64(self.memory.peek(addr).0);
+        }
     }
 
     /// Statistics snapshot (bus fields included).
@@ -460,6 +483,8 @@ impl SmpSystem {
                 let from = slot.state;
                 if slot.state.is_dirty() {
                     fetched = Some(slot.data.clone());
+                } else if Mutation::SmpDropInvalidate.enabled() {
+                    continue; // seeded bug: stale clean copies survive
                 }
                 slot.state = SmpState::Invalid;
                 slot.line = None;

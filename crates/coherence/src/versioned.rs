@@ -12,8 +12,8 @@
 //! the adapter must not be used where architectural results matter.
 
 use svc_types::{
-    AccessError, Addr, Cycle, InvariantViolation, LoadOutcome, MemGauges, MemStats, PuId,
-    StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Word,
+    AccessError, Addr, Cycle, InvariantViolation, LoadOutcome, MemGauges, MemStats, ModelCheckable,
+    PuId, StateHasher, StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Word,
 };
 
 use crate::system::{SmpConfig, SmpSystem};
@@ -114,6 +114,15 @@ impl VersionedMemory for SmpVersioned {
 
     fn reset_stats(&mut self) {
         self.system.reset_stats();
+    }
+}
+
+impl ModelCheckable for SmpVersioned {
+    fn fingerprint(&self, addrs: &[Addr], h: &mut StateHasher) {
+        for pu in 0..self.num_pus() {
+            h.write_opt_u64(self.assignments.task_of(PuId(pu)).map(|t| t.0));
+        }
+        self.system.fingerprint(addrs, h);
     }
 }
 

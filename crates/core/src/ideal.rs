@@ -12,8 +12,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use svc_types::{
-    AccessError, Addr, Cycle, DataSource, LoadOutcome, MemStats, PuId, StoreOutcome,
-    TaskAssignments, TaskId, VersionedMemory, Violation, Word,
+    AccessError, Addr, Cycle, DataSource, LoadOutcome, MemStats, ModelCheckable, PuId, StateHasher,
+    StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Violation, Word,
 };
 
 /// The oracle versioned memory. See the module docs.
@@ -199,6 +199,40 @@ impl VersionedMemory for IdealMemory {
 
     fn reset_stats(&mut self) {
         self.stats = MemStats::default();
+    }
+}
+
+impl ModelCheckable for IdealMemory {
+    fn fingerprint(&self, addrs: &[Addr], h: &mut StateHasher) {
+        for pu in 0..self.assignments.num_pus() {
+            h.write_opt_u64(self.assignments.task_of(PuId(pu)).map(|t| t.0));
+        }
+        for &addr in addrs {
+            match self.versions.get(&addr) {
+                None => h.write_usize(0),
+                Some(vs) => {
+                    h.write_usize(vs.len());
+                    for (t, v) in vs {
+                        h.write_u64(t.0);
+                        h.write_u64(v.0);
+                    }
+                }
+            }
+            // Exposed-load records are hashed sorted: victim selection
+            // takes the minimum, so record order is not functional state.
+            match self.exposed_loads.get(&addr) {
+                None => h.write_usize(0),
+                Some(recs) => {
+                    let mut sorted: Vec<TaskId> = recs.clone();
+                    sorted.sort_unstable();
+                    h.write_usize(sorted.len());
+                    for t in sorted {
+                        h.write_u64(t.0);
+                    }
+                }
+            }
+            h.write_opt_u64(self.memory.get(&addr).map(|v| v.0));
+        }
     }
 }
 

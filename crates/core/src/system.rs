@@ -8,7 +8,8 @@ use svc_sim::profile::{AccessProfile, Profiler};
 use svc_sim::trace::{AccessOp, BusOp, Category, LineBits, TraceEvent, Tracer, VolOp};
 use svc_types::{
     AccessError, Addr, Cycle, DataSource, InvariantViolation, LineId, LoadOutcome, MemGauges,
-    MemStats, PuId, StoreOutcome, TaskAssignments, TaskId, VersionedMemory, Violation, Word,
+    MemStats, ModelCheckable, Mutation, PuId, StateHasher, StoreOutcome, TaskAssignments, TaskId,
+    VersionedMemory, Violation, Word,
 };
 
 use crate::config::SvcConfig;
@@ -39,7 +40,7 @@ impl GatheredFill {
     }
 
     /// Whether sub-block `j`'s data came from another cache.
-    fn from_cache(&self, j: usize) -> Option<bool> {
+    fn came_from_cache(&self, j: usize) -> Option<bool> {
         self.meta
             .iter()
             .find(|&&(fj, _)| fj == j)
@@ -416,7 +417,7 @@ impl SvcSystem {
         l.committed = false;
         l.arch = arch && was_arch;
         if let Some(j) = set_load {
-            if !l.store.contains(j) {
+            if !l.store.contains(j) && !Mutation::LoadSkipsLBit.enabled() {
                 l.load.set(j);
             }
         }
@@ -447,11 +448,14 @@ impl SvcSystem {
     /// Rewrites the VOL pointers of every copy of `line` to match `order`
     /// (members no longer valid are skipped).
     fn rewrite_pointers(&mut self, line: LineId, order: &[PuId]) {
-        let holders: SmallVec<PuId, 8> = order
+        let mut holders: SmallVec<PuId, 8> = order
             .iter()
             .copied()
             .filter(|q| self.caches[q.index()].find(line).is_some())
             .collect();
+        if Mutation::VolSpliceBackwards.enabled() {
+            holders.reverse();
+        }
         let sole = holders.len() == 1;
         for (i, &q) in holders.iter().enumerate() {
             let r = self.caches[q.index()].find(line).expect("holder");
@@ -667,7 +671,7 @@ impl SvcSystem {
         self.recompute_stale(line);
         // Classify the requested sub-block's source for miss accounting.
         let from_cache = data
-            .from_cache(requested)
+            .came_from_cache(requested)
             .expect("requested sub-block is in the fill");
         if from_cache {
             self.stats.cache_transfers += 1;
@@ -698,7 +702,7 @@ impl SvcSystem {
         self.apply_purge(line, &plan.purge, &plan.flush);
         // Invalidate stale copies in the range (partial, per sub-block).
         for &(q, mask) in &plan.invalidate {
-            if q == pu {
+            if q == pu || Mutation::StoreSkipsInvalidation.enabled() {
                 continue;
             }
             if let Some(r) = self.caches[q.index()].find(line) {
@@ -916,7 +920,7 @@ impl VersionedMemory for SvcSystem {
                 let value = l.data[off];
                 let from = l.bits();
                 let l = self.caches[pu.index()].slot_mut(r);
-                if !l.store.contains(j) {
+                if !l.store.contains(j) && !Mutation::LoadSkipsLBit.enabled() {
                     l.load.set(j);
                 }
                 self.caches[pu.index()].touch(r);
@@ -1272,7 +1276,9 @@ impl VersionedMemory for SvcSystem {
                 if l.is_valid() {
                     let from = l.bits();
                     l.committed = true;
-                    l.load = SubMask::EMPTY;
+                    if !Mutation::CommitKeepsLoadBits.enabled() {
+                        l.load = SubMask::EMPTY;
+                    }
                     if trace_lines {
                         let to = l.bits();
                         if from != to {
@@ -1354,6 +1360,8 @@ impl VersionedMemory for SvcSystem {
                 // passive-clean so the next task re-validates via C.
                 l.committed = true;
                 l.load = SubMask::EMPTY;
+                retained += 1;
+            } else if Mutation::SquashKeepsLine.enabled() {
                 retained += 1;
             } else {
                 l.invalidate();
@@ -1471,6 +1479,49 @@ impl VersionedMemory for SvcSystem {
         }
         for w in &mut self.wbufs {
             w.reset_stats();
+        }
+    }
+}
+
+impl ModelCheckable for SvcSystem {
+    fn fingerprint(&self, addrs: &[Addr], h: &mut StateHasher) {
+        let w = self.config.geometry.words_per_subblock();
+        for pu in 0..self.config.num_pus {
+            h.write_opt_u64(self.assignments.task_of(PuId(pu)).map(|t| t.0));
+        }
+        // Every slot of every cache in flat (set-major) order: the full
+        // protocol state plus the data of valid sub-blocks. Invalid
+        // sub-blocks' words are unreadable garbage and are skipped so
+        // they cannot split otherwise-identical states. LRU stamps,
+        // MSHR timestamps and writeback drain queues are timing-only
+        // and deliberately excluded.
+        for cache in &self.caches {
+            for l in cache.iter() {
+                if !l.is_valid() {
+                    h.write_u8(0);
+                    continue;
+                }
+                h.write_u8(1);
+                h.write_u64(l.line.expect("valid line has a tag").0);
+                h.write_u64(l.valid.0);
+                h.write_u64(l.store.0);
+                h.write_u64(l.load.0);
+                h.write_bool(l.committed);
+                h.write_bool(l.stale);
+                h.write_bool(l.arch);
+                h.write_bool(l.exclusive);
+                h.write_opt_u64(l.next.map(|p| p.0 as u64));
+                for j in l.valid.iter() {
+                    for k in 0..w {
+                        h.write_u64(l.data[j * w + k].0);
+                    }
+                }
+            }
+        }
+        // The committed image at the next level, over the checker's
+        // bounded address alphabet.
+        for &addr in addrs {
+            h.write_u64(self.backing.peek(addr).0);
         }
     }
 }

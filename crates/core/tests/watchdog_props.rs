@@ -1,11 +1,15 @@
 //! Property tests for the invariant watchdog.
 //!
-//! Two directions: the watchdog must stay **silent** on healthy
+//! Three directions: the watchdog must stay **silent** on healthy
 //! randomized executions of every SVC design generation (no false
 //! positives — the `Watched` wrapper sweeps every invariant after every
-//! memory operation), and it must **always catch** each deterministic
+//! memory operation), it must **always catch** each deterministic
 //! corruption drill regardless of which execution state the drill lands
-//! in (no false negatives).
+//! in (no false negatives), and its verdicts must **agree with the
+//! model checker's oracle**: random deep walks through `svc-check`'s
+//! bounded alphabet replay cleanly, i.e. wherever the checker finds the
+//! implementation conformant the watchdog is silent too (the replay
+//! sweeps `check_invariants` after every action).
 
 use proptest::prelude::*;
 use svc::conformance::{run_lockstep, Watched, Workload};
@@ -36,6 +40,38 @@ proptest! {
             SvcConfig::final_design(pus),
         ] {
             run_lockstep(&wl, Watched(SvcSystem::new(cfg)), seed);
+        }
+    }
+
+    /// Checker-clean ⇒ watchdog-silent, probed on random *deep* walks
+    /// the bounded breadth-first search cannot reach: every walk through
+    /// the model checker's action alphabet must replay with no failure
+    /// of any kind. A watchdog false positive would surface as an
+    /// `Invariant`/`PostSquash` failure kind, a conformance bug as
+    /// `LoadValue`/`Victim`/`CommittedView` — the assertion separates
+    /// them so a disagreement names the side that is wrong.
+    #[test]
+    fn checker_oracle_and_watchdog_agree_on_random_walks(
+        seed in 0u64..1_000_000,
+        steps in 5usize..48,
+    ) {
+        use svc_check::{random_walk, replay_design, DesignId, FailureKind};
+        for design in [DesignId::SvcBase, DesignId::SvcEcs, DesignId::SvcFinal] {
+            let script = random_walk(design, seed, steps);
+            let out = replay_design(design, &script.actions)
+                .expect("walks only take enabled actions");
+            if let Some(f) = &out.failure {
+                let side = match f.kind {
+                    FailureKind::Invariant | FailureKind::PostSquash =>
+                        "watchdog fired where the checker's oracle was clean",
+                    _ => "conformance to the ideal oracle broke",
+                };
+                prop_assert!(
+                    false,
+                    "{}: {side}: {} at action {}\n{}",
+                    design.name(), f, out.executed, script.render()
+                );
+            }
         }
     }
 }

@@ -1,0 +1,26 @@
+//! The driving trait of the explicit-state model checker (`svc-check`).
+
+use crate::{Addr, StateHasher, VersionedMemory};
+
+/// A [`VersionedMemory`] that the explicit-state model checker can
+/// explore exhaustively.
+///
+/// The only capability the checker needs beyond the `VersionedMemory`
+/// protocol itself (plus `Clone`, required at the call sites) is a
+/// *functional-state fingerprint* for its visited set:
+/// [`fingerprint`](ModelCheckable::fingerprint) must feed every bit of
+/// state that can influence future load values, violation victims,
+/// invariant verdicts or the committed memory image — and must *exclude*
+/// pure timing state (bus busy-until cycles, MSHR timestamps, writeback
+/// drain queues), because the checker merges timing-divergent states
+/// whose functional futures are identical.
+///
+/// `addrs` is the checker's bounded address alphabet; implementations
+/// hash their backing-memory image over exactly these addresses (the
+/// checker never touches any other address, so the rest of memory is
+/// invariant).
+pub trait ModelCheckable: VersionedMemory {
+    /// Feeds this system's functional state into `h`, deterministically:
+    /// the same state must hash identically across runs and toolchains.
+    fn fingerprint(&self, addrs: &[Addr], h: &mut StateHasher);
+}

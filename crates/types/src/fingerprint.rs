@@ -1,0 +1,138 @@
+//! Deterministic state fingerprinting for the explicit-state model
+//! checker (`svc-check`).
+//!
+//! The checker dedupes visited states by a 64-bit fingerprint of each
+//! memory system's *functional* state (line bits, pointers, data, task
+//! assignments, architectural image) while deliberately excluding pure
+//! timing state (bus busy-until, MSHR timestamps, writeback drain
+//! queues): two states that differ only in timing have identical
+//! functional successors, so merging them is sound and shrinks the
+//! search space.
+//!
+//! [`StateHasher`] is FNV-1a over 64 bits — not `DefaultHasher`, whose
+//! output is allowed to change between Rust releases. The checker pins
+//! explored-state counts in `results/check.json`, so the fingerprint
+//! must be stable across toolchains and runs.
+
+/// A deterministic 64-bit FNV-1a hasher for state fingerprints.
+///
+/// # Example
+///
+/// ```
+/// use svc_types::StateHasher;
+///
+/// let mut a = StateHasher::new();
+/// a.write_u64(7);
+/// let mut b = StateHasher::new();
+/// b.write_u64(7);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x00000100000001b3;
+
+impl StateHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> StateHasher {
+        StateHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds one byte.
+    #[inline]
+    pub fn write_u8(&mut self, v: u8) {
+        self.state ^= v as u64;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Feeds a `u64`, little-endian.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Feeds a `usize` (as `u64`, so fingerprints match across widths).
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a boolean as one byte.
+    #[inline]
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Feeds an optional `u64`, distinguishing `None` from any value.
+    #[inline]
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.write_u8(0),
+            Some(v) => {
+                self.write_u8(1);
+                self.write_u64(v);
+            }
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// The fingerprint accumulated so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StateHasher {
+    fn default() -> StateHasher {
+        StateHasher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = StateHasher::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = StateHasher::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish(), "order must matter");
+
+        let mut c = StateHasher::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c — pins the algorithm itself.
+        let mut h = StateHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn option_none_differs_from_zero() {
+        let mut a = StateHasher::new();
+        a.write_opt_u64(None);
+        let mut b = StateHasher::new();
+        b.write_opt_u64(Some(0));
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -34,8 +34,11 @@
 
 mod addr;
 mod assignment;
+mod checkable;
+mod fingerprint;
 mod ids;
 mod invariant;
+pub mod mutate;
 mod stats;
 mod time;
 mod versioned;
@@ -43,8 +46,11 @@ mod word;
 
 pub use addr::{Addr, LineId};
 pub use assignment::{PuOrder, TaskAssignments};
+pub use checkable::ModelCheckable;
+pub use fingerprint::StateHasher;
 pub use ids::{PuId, TaskId};
 pub use invariant::{InvariantKind, InvariantViolation};
+pub use mutate::Mutation;
 pub use stats::MemStats;
 pub use time::Cycle;
 pub use versioned::{

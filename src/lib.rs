@@ -18,6 +18,9 @@
 //!   and kernels;
 //! * [`bench`](mod@bench) — the experiment harness regenerating every
 //!   table and figure of the paper;
+//! * [`check`] — the exhaustive explicit-state model checker driving
+//!   the real implementations through every bounded interleaving
+//!   (see the `svc-check` binary);
 //! * [`types`], [`mem`], [`sim`] — shared
 //!   vocabulary, the memory substrate, and simulation utilities.
 //!
@@ -38,6 +41,7 @@
 pub use svc;
 pub use svc_arb as arb;
 pub use svc_bench as bench;
+pub use svc_check as check;
 pub use svc_coherence as coherence;
 pub use svc_lsq as lsq;
 pub use svc_mem as mem;

@@ -146,3 +146,102 @@ fn arb_and_svc_conform_on_the_same_random_workloads() {
         run_lockstep(&wl, ArbSystem::new(ArbConfig::paper(4, 1, 32)), seed);
     }
 }
+
+#[test]
+fn smp_versioned_shim_stays_coherent_under_concurrent_interleavings() {
+    // Concurrent complement to the sequential test above: all four PUs
+    // hold live tasks at once and their loads/stores interleave. The MRSW
+    // substrate is non-speculative, so every store is immediately part of
+    // the coherent image — a flat map is the exact oracle (the same one
+    // the model checker pins for the `smp` design). The snooped caches
+    // must agree with it at every load AND stay mutually coherent.
+    use svc_repro::coherence::{SmpConfig, SmpVersioned};
+    use svc_repro::types::{Cycle, PuId};
+    let mut smp = SmpVersioned::new(SmpConfig::small_for_tests());
+    let pus = smp.num_pus();
+    let mut model = std::collections::HashMap::new();
+    let mut now = Cycle(0);
+    let mut next_task = 0u64;
+    for pu in 0..pus {
+        smp.assign(PuId(pu), TaskId(next_task));
+        next_task += 1;
+    }
+    // Deterministic xorshift mix so consecutive ops hop PUs and addresses
+    // (sharing, invalidation, and write-back traffic all occur).
+    let mut rng = 0x5EED_u64;
+    for _ in 0..2_000 {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let pu = PuId((rng % pus as u64) as usize);
+        let a = Addr((rng >> 8) % 16);
+        now += 1;
+        match (rng >> 16) % 8 {
+            0..=2 => {
+                let st = smp.store(pu, a, Word(rng >> 24), now).unwrap();
+                assert!(st.violation.is_none(), "MRSW never detects violations");
+                model.insert(a, Word(rng >> 24));
+            }
+            3 => {
+                // Retire and redispatch, so task ids keep advancing.
+                smp.commit(pu, now);
+                smp.assign(pu, TaskId(next_task));
+                next_task += 1;
+            }
+            _ => {
+                let out = smp.load(pu, a, now).unwrap();
+                assert_eq!(
+                    out.value,
+                    model.get(&a).copied().unwrap_or(Word::ZERO),
+                    "stale copy readable at {a} on {pu:?}"
+                );
+            }
+        }
+        smp.system().assert_coherent();
+    }
+    for a in (0..16).map(Addr) {
+        assert_eq!(
+            smp.architectural(a),
+            model.get(&a).copied().unwrap_or(Word::ZERO),
+            "final image diverged at {a}"
+        );
+    }
+    assert!(smp.check_invariants(now).is_empty());
+
+    // Deep random walks through the model checker's bounded alphabet must
+    // replay clean too (the checker's flat oracle makes the same claim
+    // exhaustively for short runs; the walks probe far past its horizon).
+    use svc_repro::check::{random_walk, replay_design, DesignId};
+    for seed in 0..8 {
+        let script = random_walk(DesignId::Smp, seed, 64);
+        let out = replay_design(DesignId::Smp, &script.actions).unwrap();
+        assert!(
+            out.failure.is_none(),
+            "{:?}\n{}",
+            out.failure,
+            script.render()
+        );
+    }
+}
+
+#[test]
+fn lsq_baseline_conforms_to_the_ideal_oracle() {
+    use svc_repro::lsq::{LsqConfig, LsqMemory};
+    // Lockstep conformance: loads, violation victims and squash recovery
+    // must match IdealMemory step for step.
+    for seed in 0..4 {
+        let wl = Workload::random(seed, 16, 24, 4);
+        run_lockstep(&wl, LsqMemory::new(LsqConfig::default()), seed);
+    }
+    // And a full engine run (dispatch, mispredicts, violations, squashes)
+    // must commit exactly the ideal architectural state.
+    let mut profile = WorkloadProfile::demo();
+    profile.num_tasks = 200;
+    profile.mispredict_rate = 0.03;
+    let wl = SyntheticWorkload::new(profile, 23);
+    let ideal = run_engine(IdealMemory::new(4, 1), &wl, 23);
+    let lsq = run_engine(LsqMemory::new(LsqConfig::default()), &wl, 23);
+    for a in touched(&wl) {
+        assert_eq!(lsq.architectural(a), ideal.architectural(a), "lsq at {a}");
+    }
+}
