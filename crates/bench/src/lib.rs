@@ -20,6 +20,7 @@ pub mod checkgate;
 pub mod cli;
 pub mod harness;
 pub mod report;
+pub mod soak;
 
 use svc::{SvcConfig, SvcSystem};
 use svc_arb::{ArbConfig, ArbSystem};

@@ -46,6 +46,9 @@ pub const SCHEMA_SNAPSHOT: &str = "svc-bench-snapshot/v2";
 /// Schema tag of `results/<name>.profile.json` cycle-accounting
 /// documents (emitted only when `SVC_PROFILE` is set).
 pub const SCHEMA_PROFILE: &str = "svc-profile/v1";
+/// Schema tag of the `results/soak.json` snapshot `svc-sim serve`
+/// flushes on shutdown (see [`crate::soak::soak_doc`]).
+pub const SCHEMA_SOAK: &str = "svc-soak/v1";
 
 // ---------------------------------------------------------------------
 // Value model
@@ -542,15 +545,30 @@ pub fn histogram_summary_json(s: &HistogramSummary) -> Json {
 }
 
 /// A [`MetricsRegistry`] as an object, keys in registration order.
+/// Unlabeled entries keep their bare names (existing artifacts are
+/// byte-identical); labeled entries render their series key as
+/// `name{k="v",…}` and full distributions reuse the [`histogram_json`]
+/// shape.
 pub fn metrics_json(reg: &MetricsRegistry) -> Json {
     let mut obj = Json::obj();
-    for (name, value) in reg.iter() {
-        let v = match value {
+    for e in reg.iter_entries() {
+        let v = match &e.value {
             MetricValue::Counter(c) => Json::from(*c),
             MetricValue::Gauge(g) => Json::from(*g),
             MetricValue::Histogram(s) => histogram_summary_json(s),
+            MetricValue::Distribution(h) => histogram_json(h),
         };
-        obj = obj.set(name, v);
+        let key = if e.labels.is_empty() {
+            e.name.clone()
+        } else {
+            let labels: Vec<String> = e
+                .labels
+                .iter()
+                .map(|(k, val)| format!("{k}=\"{}\"", svc_sim::metrics::escape_label_value(val)))
+                .collect();
+            format!("{}{{{}}}", e.name, labels.join(","))
+        };
+        obj = obj.set(&key, v);
     }
     obj
 }
@@ -613,7 +631,7 @@ pub fn profile_report_json(p: &ProfileReport) -> Json {
                 .set("squashed_accesses", count.into())
         })
         .collect();
-    Json::obj()
+    let mut obj = Json::obj()
         .set("num_pus", p.num_pus.into())
         .set("cycles", p.cycles.into())
         .set("epoch", p.epoch.into())
@@ -630,7 +648,14 @@ pub fn profile_report_json(p: &ProfileReport) -> Json {
                 .set("ok", p.conservation_ok().into()),
         )
         .set("series", Json::Arr(series))
-        .set("wasted_addrs", Json::Arr(wasted))
+        .set("wasted_addrs", Json::Arr(wasted));
+    // Only rolling-window runs carry this key, so documents from runs
+    // that never evicted a row stay byte-identical to before the window
+    // existed.
+    if p.intervals_dropped > 0 {
+        obj = obj.set("intervals_dropped", p.intervals_dropped.into());
+    }
+    obj
 }
 
 /// The `results/<name>.profile.json` document envelope: one entry per

@@ -1,0 +1,86 @@
+//! Bounded-soak integration smoke: the whole telemetry surface —
+//! per-tick Prometheus text, rolling profile documents, healthz, and
+//! the final `svc-soak/v1` snapshot — must be byte-identical across
+//! repeat runs of the same seeded configuration, and the snapshot must
+//! round-trip through the JSON parser.
+
+use svc_bench::report::{self, parse, SCHEMA_SOAK};
+use svc_bench::soak::{healthz_json, run_soak, soak_doc, SoakConfig};
+use svc_sim::fault::StormSchedule;
+
+fn cfg() -> SoakConfig {
+    SoakConfig {
+        seed: 0xBEEF,
+        ticks: 14, // crosses a full mix rotation and two storm periods
+        slice_budget: 4_000,
+        storm: StormSchedule {
+            period: 6,
+            duration: 2,
+            rate: 0.05,
+            penalty: 6,
+        },
+        ..SoakConfig::default()
+    }
+}
+
+/// Runs one bounded soak, capturing every telemetry artifact the serve
+/// observer would publish at each tick.
+fn soak_artifacts() -> (Vec<String>, String) {
+    let c = cfg();
+    let mut per_tick = Vec::new();
+    let state = run_soak(&c, |s| {
+        per_tick.push(format!(
+            "{}\n{}\n{}",
+            s.metrics().render_prometheus(),
+            report::profile_report_json(&s.profile_report(&c)).render(),
+            healthz_json(s).render()
+        ));
+        true
+    });
+    (per_tick, soak_doc(&c, &state).render())
+}
+
+#[test]
+fn telemetry_stream_is_byte_identical_across_runs() {
+    let (ticks_a, doc_a) = soak_artifacts();
+    let (ticks_b, doc_b) = soak_artifacts();
+    assert_eq!(ticks_a.len(), 14);
+    for (i, (a, b)) in ticks_a.iter().zip(&ticks_b).enumerate() {
+        assert_eq!(a, b, "tick {} telemetry diverged", i + 1);
+    }
+    assert_eq!(doc_a, doc_b, "final snapshot diverged");
+}
+
+#[test]
+fn soak_doc_round_trips_through_the_parser() {
+    let (_, doc) = soak_artifacts();
+    let parsed = parse(&doc).expect("soak doc parses");
+    assert_eq!(parsed.render(), doc, "parse/render identity");
+    assert_eq!(
+        parsed.get("schema").and_then(|j| j.as_str()),
+        Some(SCHEMA_SOAK)
+    );
+    let obj = parsed.as_obj().expect("object root");
+    for key in ["seed", "ticks", "storm", "metrics", "healthz", "profile"] {
+        assert!(
+            obj.iter().any(|(k, _)| k == key),
+            "snapshot carries {key:?}"
+        );
+    }
+}
+
+#[test]
+fn storms_recover_and_healthz_stays_ok() {
+    let c = cfg();
+    let state = run_soak(&c, |_| true);
+    assert!(state.storms_started >= 2, "two storm periods elapsed");
+    assert!(state.storm_slices >= 4, "two slices per storm");
+    assert!(state.faults_injected > 0, "storms injected faults");
+    assert_eq!(
+        state.storm_slices, state.storm_slices_clean,
+        "every storm slice recovered with a clean watchdog"
+    );
+    assert!(state.healthy());
+    let health = healthz_json(&state).render();
+    assert!(health.contains("\"status\": \"ok\""), "{health}");
+}

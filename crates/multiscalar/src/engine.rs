@@ -7,7 +7,9 @@ use svc_sim::profile::Profiler;
 use svc_sim::rng::Xoshiro256;
 use svc_sim::stats::Histogram;
 use svc_sim::trace::{Category, TraceEvent, Tracer};
-use svc_types::{Addr, Cycle, InvariantViolation, MemStats, PuId, TaskId, VersionedMemory, Word};
+use svc_types::{
+    Addr, Cycle, InvariantViolation, MemGauges, MemStats, PuId, TaskId, VersionedMemory, Word,
+};
 
 use crate::predictor::PredictorModel;
 use crate::task::{Instr, TaskSource};
@@ -87,6 +89,14 @@ pub struct RunReport {
     /// Distribution of committed task lengths (instructions; 8-wide
     /// buckets).
     pub task_lengths: Histogram,
+    /// Distribution of dispatch-to-commit latency of committed tasks
+    /// (cycles; 64-wide buckets). Not part of the serialized experiment
+    /// artifacts — consumed by the soak loop's live telemetry.
+    pub task_latency: Histogram,
+    /// Distribution of squash depths: tasks torn down per squash event
+    /// (1-wide buckets). Not part of the serialized experiment
+    /// artifacts — consumed by the soak loop's live telemetry.
+    pub squash_depths: Histogram,
     /// Final memory-system statistics.
     pub mem: MemStats,
     /// Whether the run stopped on the cycle safety limit.
@@ -160,6 +170,8 @@ struct PuState {
     pos: Option<u64>,
     instrs: Vec<Instr>,
     pc: usize,
+    /// When the running task was dispatched (for commit-latency metering).
+    dispatched_at: Cycle,
     ready_at: Cycle,
     /// The PU's memory port: a store occupies it until the memory system
     /// has accepted the store (its full latency — this is where a shared
@@ -177,6 +189,7 @@ impl PuState {
             pos: None,
             instrs: Vec::new(),
             pc: 0,
+            dispatched_at: Cycle::ZERO,
             ready_at: Cycle::ZERO,
             port_free: Cycle::ZERO,
             wrong: false,
@@ -184,6 +197,40 @@ impl PuState {
             done: false,
         }
     }
+}
+
+/// A point-in-time snapshot of engine-level state, handed to an
+/// [`EpochSink`] at every profiler-epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSnapshot {
+    /// The cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// Instructions committed so far.
+    pub committed_instrs: u64,
+    /// Tasks committed so far.
+    pub committed_tasks: u64,
+    /// Squash events so far.
+    pub squashes: u64,
+    /// Cumulative memory-system statistics at the snapshot point.
+    pub mem: MemStats,
+    /// Point-in-time memory gauges (outstanding misses, live versions).
+    pub gauges: MemGauges,
+}
+
+/// A consumer of periodic [`EpochSnapshot`]s.
+///
+/// The engine calls [`on_epoch`](EpochSink::on_epoch) at exactly the
+/// cycles the profiler's interval sampler fires (so a sink is only
+/// driven when an enabled profiler with a non-zero epoch is attached),
+/// and the idle-cycle fast-forward already lands on those cycles —
+/// attaching a sink never changes the simulated timeline. The soak
+/// server uses this to derive per-epoch bus-wait and MSHR-occupancy
+/// histograms without touching engine internals.
+///
+/// `Debug` is a supertrait so the engine keeps its derived `Debug`.
+pub trait EpochSink: std::fmt::Debug {
+    /// Called once per profiler epoch with the current snapshot.
+    fn on_epoch(&mut self, snap: &EpochSnapshot);
 }
 
 /// The hierarchical execution engine: sequencer + PUs over a speculative
@@ -203,9 +250,12 @@ pub struct Engine<M> {
     wasted_instrs: u64,
     squash_recovery_cycles: u64,
     task_lengths: Histogram,
+    task_latency: Histogram,
+    squash_depths: Histogram,
     tracer: Tracer,
     faults: Faults,
     profiler: Profiler,
+    epoch_sink: Option<Box<dyn EpochSink>>,
     watchdog_every: u64,
     violations: Vec<InvariantViolation>,
     /// Memoized `source.task(next_pos)` lookup. The termination check
@@ -254,9 +304,12 @@ impl<M: VersionedMemory> Engine<M> {
             wasted_instrs: 0,
             squash_recovery_cycles: 0,
             task_lengths: Histogram::new(8, 32),
+            task_latency: Histogram::new(64, 64),
+            squash_depths: Histogram::new(1, 8),
             tracer: Tracer::disabled(),
             faults: Faults::disabled(),
             profiler: Profiler::disabled(),
+            epoch_sink: None,
             watchdog_every: 0,
             violations: Vec::new(),
             peek_pos: 0,
@@ -315,6 +368,18 @@ impl<M: VersionedMemory> Engine<M> {
         self.watchdog_every = every;
     }
 
+    /// Attaches a periodic snapshot consumer, driven at profiler-epoch
+    /// boundaries (see [`EpochSink`]). Requires an enabled profiler with
+    /// a non-zero sampling epoch to ever fire.
+    pub fn set_epoch_sink(&mut self, sink: Box<dyn EpochSink>) {
+        self.epoch_sink = Some(sink);
+    }
+
+    /// Detaches the epoch sink, if one was attached.
+    pub fn take_epoch_sink(&mut self) -> Option<Box<dyn EpochSink>> {
+        self.epoch_sink.take()
+    }
+
     /// Invariant violations the watchdog has collected so far.
     pub fn violations(&self) -> &[InvariantViolation] {
         &self.violations
@@ -362,6 +427,16 @@ impl<M: VersionedMemory> Engine<M> {
                 let gauges = self.mem.profile_gauges(now);
                 self.profiler
                     .sample(now, committed_instrs, self.squashes, busy, gauges);
+                if let Some(sink) = &mut self.epoch_sink {
+                    sink.on_epoch(&EpochSnapshot {
+                        cycle: now.0,
+                        committed_instrs,
+                        committed_tasks,
+                        squashes: self.squashes,
+                        mem: self.mem.stats(),
+                        gauges,
+                    });
+                }
             }
             // Termination checks.
             let any_running = self.pus.iter().any(|p| p.pos.is_some());
@@ -447,6 +522,7 @@ impl<M: VersionedMemory> Engine<M> {
                 if p.done && !p.wrong && now >= p.ready_at {
                     let n = p.instrs.len() as u64;
                     let task = p.pos.map(TaskId);
+                    let latency = now.since(p.dispatched_at);
                     let done = self.mem.commit(PuId(pu), now);
                     self.tracer
                         .emit(now, Category::Task, || TraceEvent::TaskCommit {
@@ -461,6 +537,7 @@ impl<M: VersionedMemory> Engine<M> {
                     committed_instrs += n;
                     committed_tasks += 1;
                     self.task_lengths.record(n);
+                    self.task_latency.record(latency);
                     self.profiler.on_commit(PuId(pu), now, done);
                     self.pus[pu] = PuState::idle();
                     self.pus[pu].ready_at = done;
@@ -522,6 +599,8 @@ impl<M: VersionedMemory> Engine<M> {
             wasted_instrs: self.wasted_instrs,
             squash_recovery_cycles: self.squash_recovery_cycles,
             task_lengths: self.task_lengths.clone(),
+            task_latency: self.task_latency.clone(),
+            squash_depths: self.squash_depths.clone(),
             mem: self.mem.stats(),
             hit_cycle_limit,
         }
@@ -666,6 +745,7 @@ impl<M: VersionedMemory> Engine<M> {
             pos: Some(pos),
             instrs,
             pc: 0,
+            dispatched_at: now,
             ready_at: ready,
             port_free: ready,
             wrong,
@@ -696,6 +776,9 @@ impl<M: VersionedMemory> Engine<M> {
             .filter(|&(_, t)| t >= victim)
             .collect();
         hit.sort_by_key(|&(_, t)| core::cmp::Reverse(t));
+        if !hit.is_empty() {
+            self.squash_depths.record(hit.len() as u64);
+        }
         for &(pu, task) in &hit {
             self.tracer
                 .emit(now, Category::Task, || TraceEvent::TaskSquash {

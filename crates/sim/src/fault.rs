@@ -201,6 +201,132 @@ impl FaultConfig {
     }
 }
 
+/// A periodic fault-storm schedule for soak runs: every `period` ticks
+/// of the soak clock, faults rain uniformly at `rate` for the final
+/// `duration` ticks of the period (so each period opens calm and closes
+/// stormy — recovery is observable in between). Deterministic: whether a
+/// tick is stormy is a pure function of the tick number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormSchedule {
+    /// Ticks per storm cycle.
+    pub period: u64,
+    /// Stormy ticks at the end of each period (`1..=period`).
+    pub duration: u64,
+    /// Per-site fault rate while the storm is active.
+    pub rate: f64,
+    /// Upper bound (cycles) on injected delay penalties.
+    pub penalty: u64,
+}
+
+impl Default for StormSchedule {
+    fn default() -> StormSchedule {
+        StormSchedule {
+            period: 8,
+            duration: 2,
+            rate: 0.02,
+            penalty: DEFAULT_MAX_PENALTY,
+        }
+    }
+}
+
+impl StormSchedule {
+    /// Parses a spec like `"period=8,duration=2,rate=0.02,penalty=6"`;
+    /// omitted keys keep their defaults. `duration` must stay within
+    /// `1..=period` and `rate` within `[0, 1]`.
+    pub fn parse(spec: &str) -> Result<StormSchedule, String> {
+        let mut s = StormSchedule::default();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("storm spec token {token:?} is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "period" => {
+                    s.period = value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            format!("storm period {value:?} is not a positive integer")
+                        })?;
+                }
+                "duration" => {
+                    s.duration = value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            format!("storm duration {value:?} is not a positive integer")
+                        })?;
+                }
+                "rate" => {
+                    let rate: f64 = value
+                        .parse()
+                        .map_err(|_| format!("storm rate {value:?} is not a number"))?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(format!("storm rate {rate} is outside [0, 1]"));
+                    }
+                    s.rate = rate;
+                }
+                "penalty" => {
+                    s.penalty = value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            format!("storm penalty {value:?} is not a positive integer")
+                        })?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown storm key {other:?} (known: period, duration, rate, penalty)"
+                    ));
+                }
+            }
+        }
+        if s.duration > s.period {
+            return Err(format!(
+                "storm duration {} exceeds period {}",
+                s.duration, s.period
+            ));
+        }
+        Ok(s)
+    }
+
+    /// Whether `tick` falls inside a storm (the last `duration` ticks of
+    /// each period).
+    pub fn active(&self, tick: u64) -> bool {
+        tick % self.period >= self.period - self.duration
+    }
+
+    /// Which storm `tick` belongs to (the period index); meaningful only
+    /// when [`active`](StormSchedule::active).
+    pub fn storm_index(&self, tick: u64) -> u64 {
+        tick / self.period
+    }
+
+    /// The uniform fault config a storm tick runs under.
+    pub fn config(&self) -> FaultConfig {
+        FaultConfig {
+            rates: [self.rate; NUM_SITES],
+            max_penalty: self.penalty,
+        }
+    }
+
+    /// Renders the canonical spec string (re-parseable by
+    /// [`parse`](StormSchedule::parse)).
+    pub fn spec(&self) -> String {
+        format!(
+            "period={},duration={},rate={},penalty={}",
+            self.period, self.duration, self.rate, self.penalty
+        )
+    }
+}
+
 fn threshold(rate: f64) -> u64 {
     if rate <= 0.0 {
         0
@@ -421,5 +547,31 @@ mod tests {
         assert_eq!(counts.len(), NUM_SITES);
         assert_eq!(counts[0].0, "bus_drop");
         assert_eq!(counts[NUM_SITES - 1], ("vcl_delay", 1));
+    }
+
+    #[test]
+    fn storm_schedule_phases() {
+        let s = StormSchedule::parse("period=8,duration=2,rate=0.5,penalty=6").unwrap();
+        // Stormy ticks are the last `duration` of each period.
+        for t in [6, 7, 14, 15] {
+            assert!(s.active(t), "tick {t} should be stormy");
+        }
+        for t in [0, 1, 5, 8, 13] {
+            assert!(!s.active(t), "tick {t} should be calm");
+        }
+        assert_eq!(s.storm_index(6), 0);
+        assert_eq!(s.storm_index(14), 1);
+        assert_eq!(s.config().max_penalty, 6);
+        assert!(!s.config().is_empty());
+        assert_eq!(StormSchedule::parse(&s.spec()).unwrap(), s);
+    }
+
+    #[test]
+    fn storm_schedule_rejects_bad_specs() {
+        assert!(StormSchedule::parse("period=0").is_err());
+        assert!(StormSchedule::parse("duration=9,period=4").is_err());
+        assert!(StormSchedule::parse("rate=1.5").is_err());
+        assert!(StormSchedule::parse("bogus=1").is_err());
+        assert_eq!(StormSchedule::parse("").unwrap(), StormSchedule::default());
     }
 }

@@ -22,7 +22,10 @@
 //!   system and engine as a zero-cost-when-disabled handle;
 //! * [`profile`] — the cycle-accounting profiler: per-PU stall
 //!   attribution into conservation-checked buckets, wasted-work
-//!   metering, and an interval time-series sampler.
+//!   metering, and an interval time-series sampler;
+//! * [`telemetry`] — a tiny `std::net`-only HTTP server exporting live
+//!   soak-run state: `/metrics` (Prometheus text exposition),
+//!   `/profile` (rolling interval JSON), `/healthz`.
 //!
 //! # Example
 //!
@@ -45,4 +48,5 @@ pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod telemetry;
 pub mod trace;

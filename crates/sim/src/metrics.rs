@@ -71,16 +71,30 @@ pub enum MetricValue {
     Gauge(f64),
     /// A summarized distribution.
     Histogram(HistogramSummary),
+    /// A full fixed-bucket distribution, kept bucket-by-bucket so the
+    /// Prometheus exposition can render cumulative `_bucket{le=…}` lines.
+    Distribution(Histogram),
+}
+
+/// One registry entry: a name, optional labels, and a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Raw metric name as registered (dots allowed; sanitized on export).
+    pub name: String,
+    /// Label key/value pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
 }
 
 /// An ordered registry of named metrics.
 ///
 /// Registration order is preserved (it becomes the JSON key order, which
 /// keeps experiment artifacts byte-deterministic); re-registering an
-/// existing name replaces its value in place.
+/// existing name (with identical labels) replaces its value in place.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
-    entries: Vec<(String, MetricValue)>,
+    entries: Vec<MetricEntry>,
 }
 
 impl MetricsRegistry {
@@ -89,22 +103,49 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    fn set(&mut self, name: &str, value: MetricValue) {
-        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| n == name) {
-            slot.1 = value;
+    fn set(&mut self, name: &str, labels: &[(&str, &str)], value: MetricValue) {
+        let found = self.entries.iter_mut().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|(have, (k, v))| have.0 == *k && have.1 == *v)
+        });
+        if let Some(slot) = found {
+            slot.value = value;
         } else {
-            self.entries.push((name.to_string(), value));
+            self.entries.push(MetricEntry {
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                value,
+            });
         }
     }
 
     /// Registers (or replaces) a counter.
     pub fn counter(&mut self, name: &str, value: u64) {
-        self.set(name, MetricValue::Counter(value));
+        self.set(name, &[], MetricValue::Counter(value));
+    }
+
+    /// Registers (or replaces) a labeled counter. The same name may carry
+    /// many label sets (`soak.slices{workload="streaming"}`, …); each
+    /// (name, labels) pair is one entry.
+    pub fn counter_with(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.set(name, labels, MetricValue::Counter(value));
     }
 
     /// Registers (or replaces) a gauge.
     pub fn gauge(&mut self, name: &str, value: f64) {
-        self.set(name, MetricValue::Gauge(value));
+        self.set(name, &[], MetricValue::Gauge(value));
+    }
+
+    /// Registers (or replaces) a labeled gauge.
+    pub fn gauge_with(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.set(name, labels, MetricValue::Gauge(value));
     }
 
     /// Registers `num / den` as a gauge; a zero denominator registers 0.0
@@ -115,17 +156,27 @@ impl MetricsRegistry {
         } else {
             num as f64 / den as f64
         };
-        self.set(name, MetricValue::Gauge(value));
+        self.set(name, &[], MetricValue::Gauge(value));
     }
 
     /// Registers (or replaces) a histogram summary.
     pub fn histogram(&mut self, name: &str, h: &Histogram) {
-        self.set(name, MetricValue::Histogram(HistogramSummary::of(h)));
+        self.set(name, &[], MetricValue::Histogram(HistogramSummary::of(h)));
     }
 
-    /// Looks a metric up by name.
+    /// Registers (or replaces) a full bucket-by-bucket distribution.
+    pub fn distribution(&mut self, name: &str, h: &Histogram) {
+        self.set(name, &[], MetricValue::Distribution(h.clone()));
+    }
+
+    /// Looks a metric up by name (first entry with that name; labeled
+    /// series share a name, so prefer [`iter_entries`](Self::iter_entries)
+    /// when labels matter).
     pub fn get(&self, name: &str) -> Option<&MetricValue> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
     }
 
     /// Convenience: the value of a counter, if `name` is one.
@@ -146,7 +197,12 @@ impl MetricsRegistry {
 
     /// Iterates metrics in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
-        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+        self.entries.iter().map(|e| (e.name.as_str(), &e.value))
+    }
+
+    /// Iterates full entries (name, labels, value) in registration order.
+    pub fn iter_entries(&self) -> impl Iterator<Item = &MetricEntry> {
+        self.entries.iter()
     }
 
     /// Number of registered metrics.
@@ -157,6 +213,161 @@ impl MetricsRegistry {
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE` line per metric family, then one
+    /// sample line per entry. Names are passed through
+    /// [`sanitize_metric_name`] (registry names like
+    /// `mem.bus_wait_cycles` use `.` which is illegal in the exposition
+    /// charset) and label values through [`escape_label_value`].
+    ///
+    /// * counters/gauges render as single samples;
+    /// * [`MetricValue::Histogram`] summaries render as a `summary`
+    ///   family: `{quantile="…"}` samples plus `_count`;
+    /// * [`MetricValue::Distribution`] renders as a full `histogram`
+    ///   family: cumulative `_bucket{le="…"}` lines (ending in
+    ///   `le="+Inf"`), `_sum`, and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: Vec<String> = Vec::new();
+        for e in &self.entries {
+            let name = sanitize_metric_name(&e.name);
+            let kind = match e.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "summary",
+                MetricValue::Distribution(_) => "histogram",
+            };
+            if !typed.contains(&name) {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                typed.push(name.clone());
+            }
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{name}{} {v}\n", render_labels(&e.labels, &[])));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{name}{} {}\n",
+                        render_labels(&e.labels, &[]),
+                        render_f64(*v)
+                    ));
+                }
+                MetricValue::Histogram(s) => {
+                    for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                        if let Some(v) = v {
+                            out.push_str(&format!(
+                                "{name}{} {v}\n",
+                                render_labels(&e.labels, &[("quantile", q)])
+                            ));
+                        }
+                    }
+                    out.push_str(&format!(
+                        "{name}_count{} {}\n",
+                        render_labels(&e.labels, &[]),
+                        s.total
+                    ));
+                }
+                MetricValue::Distribution(h) => {
+                    let cumulative = h.cumulative_counts();
+                    for (i, c) in cumulative.iter().enumerate() {
+                        let le = h.bucket_bound(i).to_string();
+                        out.push_str(&format!(
+                            "{name}_bucket{} {c}\n",
+                            render_labels(&e.labels, &[("le", &le)])
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{} {}\n",
+                        render_labels(&e.labels, &[("le", "+Inf")]),
+                        h.total()
+                    ));
+                    out.push_str(&format!(
+                        "{name}_sum{} {}\n",
+                        render_labels(&e.labels, &[]),
+                        h.sum()
+                    ));
+                    out.push_str(&format!(
+                        "{name}_count{} {}\n",
+                        render_labels(&e.labels, &[]),
+                        h.total()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Maps an arbitrary registry name onto the Prometheus metric-name
+/// charset `[a-zA-Z_:][a-zA-Z0-9_:]*`: every illegal character becomes
+/// `_`, and a leading digit gains a `_` prefix. Empty input becomes
+/// `"_"`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        if ok {
+            out.push(ch);
+        } else if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the text exposition rules: backslash,
+/// double-quote, and newline become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",…}` from entry labels plus trailing extras
+/// (`quantile`, `le`); empty input renders as the empty string.
+fn render_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = Vec::with_capacity(labels.len() + extra.len());
+    for (k, v) in labels {
+        parts.push(format!(
+            "{}=\"{}\"",
+            sanitize_metric_name(k),
+            escape_label_value(v)
+        ));
+    }
+    for (k, v) in extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Renders a gauge value: finite values via Rust's shortest-round-trip
+/// `{}` formatting, non-finite as Prometheus' `NaN`/`+Inf`/`-Inf`.
+fn render_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
     }
 }
 
@@ -224,5 +435,62 @@ mod tests {
             }
             other => panic!("expected histogram, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sanitize_maps_onto_legal_charset() {
+        assert_eq!(
+            sanitize_metric_name("mem.bus_wait_cycles"),
+            "mem_bus_wait_cycles"
+        );
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok:name_2"), "ok:name_2");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn escape_label_value_rules() {
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+    }
+
+    #[test]
+    fn labeled_entries_are_distinct_series() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_with("slices", &[("workload", "streaming")], 3);
+        reg.counter_with("slices", &[("workload", "reduction")], 5);
+        reg.counter_with("slices", &[("workload", "streaming")], 4);
+        assert_eq!(reg.len(), 2, "same labels replace, different labels append");
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE slices counter").count(), 1);
+        assert!(text.contains("slices{workload=\"streaming\"} 4\n"));
+        assert!(text.contains("slices{workload=\"reduction\"} 5\n"));
+    }
+
+    #[test]
+    fn exposition_renders_all_value_kinds() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("mem.accesses", 10);
+        reg.gauge("bus.utilization", 0.25);
+        let mut h = Histogram::new(10, 2);
+        for s in [1, 11, 99] {
+            h.record(s);
+        }
+        reg.histogram("task.lengths", &h);
+        reg.distribution("task.latency", &h);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE mem_accesses counter\nmem_accesses 10\n"));
+        assert!(text.contains("# TYPE bus_utilization gauge\nbus_utilization 0.25\n"));
+        assert!(text.contains("# TYPE task_lengths summary\n"));
+        assert!(text.contains("task_lengths{quantile=\"0.5\"}"));
+        assert!(text.contains("task_lengths_count 3\n"));
+        assert!(text.contains("# TYPE task_latency histogram\n"));
+        assert!(text.contains("task_latency_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("task_latency_bucket{le=\"20\"} 2\n"));
+        assert!(text.contains("task_latency_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("task_latency_sum 111\n"));
+        assert!(text.contains("task_latency_count 3\n"));
     }
 }

@@ -204,6 +204,10 @@ pub struct ProfileReport {
     /// Top wasted-work addresses `(word address, squashed accesses)`,
     /// most-squashed first.
     pub wasted_addrs: Vec<(u64, u64)>,
+    /// Interval rows evicted by the rolling sample window (0 when the
+    /// window was never exceeded, keeping artifacts byte-identical to
+    /// unbounded runs).
+    pub intervals_dropped: u64,
 }
 
 impl ProfileReport {
@@ -345,6 +349,10 @@ struct Core {
     epoch: u64,
     next_sample: u64,
     samples: Vec<Sample>,
+    /// Rolling retention cap on `samples` (0 = unbounded).
+    window: usize,
+    /// Rows evicted by the rolling window.
+    dropped: u64,
     finished: Option<u64>,
 }
 
@@ -387,15 +395,18 @@ impl Profiler {
                 epoch,
                 next_sample: epoch,
                 samples: Vec::new(),
+                window: 0,
+                dropped: 0,
                 finished: None,
             }))),
         }
     }
 
     /// Builds a profiler from the environment: any non-empty
-    /// `SVC_PROFILE` other than `0` enables it, and `SVC_PROFILE_EPOCH`
+    /// `SVC_PROFILE` other than `0` enables it, `SVC_PROFILE_EPOCH`
     /// overrides the sampling epoch (default [`DEFAULT_EPOCH`]; `0`
-    /// disables sampling).
+    /// disables sampling), and `SVC_PROFILE_WINDOW` caps interval
+    /// retention (default unbounded).
     pub fn from_env(num_pus: usize) -> Profiler {
         let on = std::env::var("SVC_PROFILE")
             .ok()
@@ -407,7 +418,31 @@ impl Profiler {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_EPOCH);
-        Profiler::new(num_pus, epoch)
+        let p = Profiler::new(num_pus, epoch);
+        if let Some(window) = std::env::var("SVC_PROFILE_WINDOW")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            p.set_window(window);
+        }
+        p
+    }
+
+    /// Caps interval-sample retention at the `window` most recent rows
+    /// (`0` = unbounded, the default). Older rows are evicted as new
+    /// samples arrive and counted in
+    /// [`intervals_dropped`](Profiler::intervals_dropped) — long soak
+    /// runs stay bounded-memory while short runs remain byte-identical
+    /// to the unbounded behaviour.
+    pub fn set_window(&self, window: usize) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().window = window;
+        }
+    }
+
+    /// Interval rows evicted by the rolling window so far.
+    pub fn intervals_dropped(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.borrow().dropped)
     }
 
     /// Whether the profiler is recording — the single branch on the fast
@@ -573,6 +608,11 @@ impl Profiler {
                 live_versions: gauges.live_versions,
             });
             core.next_sample = now.0 + core.epoch;
+            if core.window > 0 && core.samples.len() > core.window {
+                let excess = core.samples.len() - core.window;
+                core.samples.drain(..excess);
+                core.dropped += excess as u64;
+            }
         }
     }
 
@@ -636,6 +676,7 @@ impl Profiler {
             per_pu: core.pus.iter().map(|p| p.buckets).collect(),
             samples: core.samples.clone(),
             wasted_addrs: wasted,
+            intervals_dropped: core.dropped,
         })
     }
 }
@@ -646,6 +687,32 @@ mod tests {
 
     fn commit_total(r: &ProfileReport, b: Bucket) -> u64 {
         r.totals()[b as usize]
+    }
+
+    #[test]
+    fn rolling_window_evicts_and_counts() {
+        let p = Profiler::new(1, 10);
+        p.set_window(3);
+        for i in 1..=6u64 {
+            p.sample(Cycle(i * 10), i, 0, 0, MemGauges::default());
+        }
+        p.finish(Cycle(60), &[false]);
+        let r = p.report().unwrap();
+        assert_eq!(r.intervals_dropped, 3);
+        assert_eq!(r.samples.len(), 3);
+        assert_eq!(r.samples[0].cycle, 40, "oldest rows evicted first");
+
+        // A window never exceeded is byte-identical to unbounded.
+        let p = Profiler::new(1, 10);
+        p.set_window(16);
+        let q = Profiler::new(1, 10);
+        for i in 1..=4u64 {
+            p.sample(Cycle(i * 10), i, 0, 0, MemGauges::default());
+            q.sample(Cycle(i * 10), i, 0, 0, MemGauges::default());
+        }
+        p.finish(Cycle(40), &[false]);
+        q.finish(Cycle(40), &[false]);
+        assert_eq!(p.report(), q.report());
     }
 
     #[test]

@@ -94,6 +94,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     overflow: u64,
     total: u64,
+    sum: u64,
 }
 
 impl Histogram {
@@ -110,6 +111,7 @@ impl Histogram {
             counts: vec![0; buckets],
             overflow: 0,
             total: 0,
+            sum: 0,
         }
     }
 
@@ -122,6 +124,7 @@ impl Histogram {
             self.overflow += 1;
         }
         self.total += 1;
+        self.sum = self.sum.saturating_add(sample);
     }
 
     /// Count in bucket `i`.
@@ -151,6 +154,64 @@ impl Histogram {
     /// Total samples recorded.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Sum of all recorded sample values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of regular buckets (excluding the overflow bucket).
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Exclusive upper bound of bucket `i`: `(i + 1) * width`. A sample
+    /// `s` lands in bucket `i` iff `bucket_bound(i.wrapping_sub(1)) <= s
+    /// < bucket_bound(i)` — the boundary vocabulary the Prometheus-style
+    /// exposition renderer and [`quantile`](Histogram::quantile) share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_bound(&self, i: usize) -> u64 {
+        assert!(i < self.counts.len(), "bucket index out of range");
+        (i as u64 + 1) * self.width
+    }
+
+    /// Cumulative counts: element `i` is the number of samples strictly
+    /// below [`bucket_bound(i)`](Histogram::bucket_bound). The last
+    /// element plus [`overflow`](Histogram::overflow) equals
+    /// [`total`](Histogram::total).
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// Folds another histogram of identical shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths or bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.width, other.width, "bucket widths must match");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket counts must match"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// The first sample value not representable by a regular bucket:
@@ -270,5 +331,46 @@ mod tests {
     #[should_panic(expected = "width must be positive")]
     fn zero_width_panics() {
         Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn histogram_bounds_and_cumulative() {
+        let mut h = Histogram::new(10, 3);
+        for s in [0, 9, 10, 25, 29, 30, 1000] {
+            h.record(s);
+        }
+        assert_eq!(h.num_buckets(), 3);
+        assert_eq!(h.bucket_bound(0), 10);
+        assert_eq!(h.bucket_bound(2), 30);
+        assert_eq!(h.cumulative_counts(), vec![2, 3, 5]);
+        assert_eq!(
+            h.cumulative_counts().last().unwrap() + h.overflow(),
+            h.total()
+        );
+        assert_eq!(h.sum(), 1103);
+    }
+
+    #[test]
+    fn histogram_merge_adds_everything() {
+        let mut a = Histogram::new(10, 3);
+        let mut b = Histogram::new(10, 3);
+        for s in [1, 11, 99] {
+            a.record(s);
+        }
+        for s in [2, 21, 200] {
+            b.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.overflow(), 2);
+        assert_eq!(a.bucket(0), 2);
+        assert_eq!(a.sum(), 334);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(10, 3);
+        a.merge(&Histogram::new(5, 3));
     }
 }

@@ -1,0 +1,219 @@
+//! A tiny dependency-free HTTP exporter for live soak telemetry.
+//!
+//! The simulator core is single-threaded (its instrumentation handles —
+//! [`Tracer`], [`Faults`], [`Profiler`] — share `Rc<RefCell<…>>` cores
+//! and are deliberately not `Send`), so live export works by *snapshot
+//! hand-off*: the soak loop periodically renders plain strings into a
+//! [`SharedSnapshot`] (an `Arc<Mutex<…>>` of pre-rendered bodies), and a
+//! single background accept thread serves them verbatim:
+//!
+//! * `GET /metrics` — Prometheus text exposition format (version 0.0.4),
+//!   rendered by [`MetricsRegistry::render_prometheus`];
+//! * `GET /profile` — a rolling `svc-profile/v1` JSON window of the
+//!   profiler's interval samples;
+//! * `GET /healthz` — watchdog status and fault-campaign recovery counts
+//!   as JSON.
+//!
+//! Everything uses `std::net` only — no external HTTP dependency, in the
+//! spirit of the repo's offline build. One request per connection
+//! (`Connection: close`), which is all a scrape loop needs.
+//!
+//! [`Tracer`]: crate::trace::Tracer
+//! [`Faults`]: crate::fault::Faults
+//! [`Profiler`]: crate::profile::Profiler
+//! [`MetricsRegistry::render_prometheus`]: crate::metrics::MetricsRegistry::render_prometheus
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest request head we will buffer before answering; scrapes are
+/// tiny, so anything bigger is junk we can cut off.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// The pre-rendered response bodies the server hands out. The producer
+/// (the soak loop) re-renders these after every slice; readers get
+/// whichever snapshot was last published — a scrape is never blocked on
+/// the simulator and never sees a half-written body.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Body of `/metrics` (Prometheus text exposition format).
+    pub metrics_text: String,
+    /// Body of `/profile` (`svc-profile/v1` JSON).
+    pub profile_json: String,
+    /// Body of `/healthz` (JSON).
+    pub healthz_json: String,
+}
+
+/// Shared handle between the producer (soak loop) and the server thread.
+pub type SharedSnapshot = Arc<Mutex<TelemetrySnapshot>>;
+
+/// A fresh, empty [`SharedSnapshot`].
+pub fn shared_snapshot() -> SharedSnapshot {
+    Arc::new(Mutex::new(TelemetrySnapshot::default()))
+}
+
+/// A running telemetry HTTP server: one listener, one accept thread.
+///
+/// Dropping the server (or calling [`shutdown`](TelemetryServer::shutdown))
+/// stops the thread promptly: the stop flag is raised and a wake-up
+/// connection is made so the blocking `accept` returns.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `shared` in a background thread.
+    pub fn bind(addr: &str, shared: SharedSnapshot) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("svc-telemetry".into())
+            .spawn(move || serve_loop(listener, shared, flag))?;
+        Ok(TelemetryServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (port resolved if `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(listener: TcpListener, shared: SharedSnapshot, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(stream) = conn {
+            // Per-connection errors (client hung up mid-request, timeout)
+            // only affect that scrape; the server keeps accepting.
+            let _ = handle_conn(stream, &shared);
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &SharedSnapshot) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("").split('?').next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        // A poisoned lock (producer panicked) serves empty bodies rather
+        // than killing the exporter.
+        let snap = shared.lock().map(|s| s.clone()).unwrap_or_default();
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                snap.metrics_text,
+            ),
+            "/profile" => ("200 OK", "application/json", snap.profile_json),
+            "/healthz" => ("200 OK", "application/json", snap.healthz_json),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found (try /metrics, /profile, /healthz)\n".to_string(),
+            ),
+        }
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_snapshot_bodies_and_404s() {
+        let shared = shared_snapshot();
+        shared.lock().unwrap().metrics_text = "# TYPE up gauge\nup 1\n".into();
+        shared.lock().unwrap().healthz_json = "{\"status\": \"ok\"}".into();
+        let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        let addr = server.local_addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.ends_with("up 1\n"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.contains("application/json"));
+        assert!(health.ends_with("{\"status\": \"ok\"}"));
+
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+
+        // Producer updates are visible to later scrapes.
+        shared.lock().unwrap().metrics_text = "up 2\n".into();
+        assert!(get(addr, "/metrics").ends_with("up 2\n"));
+
+        server.shutdown();
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based checks of [`svc_sim::stats::Histogram`]: the bucket
+//! bookkeeping that backs the Prometheus `/metrics` exposition must
+//! conserve samples exactly and report monotone quantiles, for any
+//! geometry and any sample stream.
+
+use proptest::prelude::*;
+use svc_sim::rng::SplitMix64;
+use svc_sim::stats::Histogram;
+
+/// Records `n` samples from a seeded stream bounded to `span`.
+fn filled(width: u64, buckets: usize, seed: u64, n: usize, span: u64) -> Histogram {
+    let mut h = Histogram::new(width, buckets);
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..n {
+        h.record(rng.next_u64() % span.max(1));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Σ bucket counts + overflow == number of recorded samples: no
+    /// sample is ever lost or double-counted, whatever the geometry.
+    #[test]
+    fn bucket_counts_conserve_samples(
+        width in 1u64..512,
+        buckets in 1usize..48,
+        seed in 0u64..1_000_000,
+        n in 0usize..400,
+        span in 1u64..100_000,
+    ) {
+        let h = filled(width, buckets, seed, n, span);
+        let in_buckets: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(in_buckets + h.overflow(), n as u64);
+        prop_assert_eq!(h.total(), n as u64);
+        // The cumulative view agrees: its last entry covers everything
+        // below the overflow region.
+        let cum = h.cumulative_counts();
+        prop_assert_eq!(*cum.last().unwrap() + h.overflow(), n as u64);
+        // And it is non-decreasing, as `le`-style cumulative counts
+        // must be.
+        for w in cum.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Quantiles are monotone in q: a higher quantile never reports a
+    /// smaller upper bound.
+    #[test]
+    fn quantiles_are_monotone(
+        width in 1u64..256,
+        buckets in 1usize..32,
+        seed in 0u64..1_000_000,
+        n in 1usize..300,
+        span in 1u64..50_000,
+    ) {
+        let h = filled(width, buckets, seed, n, span);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut prev: Option<u64> = None;
+        for &q in &qs {
+            // With n >= 1 every quantile is defined.
+            let v = h.quantile(q);
+            prop_assert!(v.is_some(), "quantile({}) on non-empty histogram", q);
+            if let (Some(p), Some(v)) = (prev, v) {
+                prop_assert!(p <= v, "quantile must be monotone: q={} gave {} < {}", q, v, p);
+            }
+            prev = v;
+        }
+    }
+
+    /// Bucket boundaries are strictly increasing multiples of the
+    /// width, and every cumulative count at bound `i` counts exactly
+    /// the samples `< bound(i)` recorded below the overflow region.
+    #[test]
+    fn bounds_and_cumulative_agree(
+        width in 1u64..128,
+        buckets in 1usize..24,
+        seed in 0u64..1_000_000,
+        n in 0usize..200,
+    ) {
+        let span = width.saturating_mul(buckets as u64 + 4).max(1);
+        let h = filled(width, buckets, seed, n, span);
+        // Replay the same stream to count expectations independently.
+        let mut rng = SplitMix64::new(seed);
+        let samples: Vec<u64> = (0..n).map(|_| rng.next_u64() % span).collect();
+        for (i, &c) in h.cumulative_counts().iter().enumerate() {
+            let bound = h.bucket_bound(i);
+            prop_assert_eq!(bound, width * (i as u64 + 1));
+            let expected = samples.iter().filter(|&&s| s < bound).count() as u64;
+            prop_assert_eq!(c, expected, "cumulative at bound {}", bound);
+        }
+    }
+
+    /// Merging two histograms of the same geometry adds every counter:
+    /// totals, per-bucket counts, overflow and sums.
+    #[test]
+    fn merge_adds_everything(
+        width in 1u64..128,
+        buckets in 1usize..24,
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+        n_a in 0usize..200,
+        n_b in 0usize..200,
+    ) {
+        let span = width.saturating_mul(buckets as u64 + 4).max(1);
+        let a = filled(width, buckets, seed_a, n_a, span);
+        let b = filled(width, buckets, seed_b, n_b, span);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.total(), a.total() + b.total());
+        prop_assert_eq!(merged.overflow(), a.overflow() + b.overflow());
+        prop_assert_eq!(merged.sum(), a.sum() + b.sum());
+        for i in 0..merged.num_buckets() {
+            prop_assert_eq!(merged.bucket(i), a.bucket(i) + b.bucket(i));
+        }
+    }
+}

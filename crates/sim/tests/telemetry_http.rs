@@ -1,0 +1,115 @@
+//! End-to-end exercise of the telemetry HTTP server over real sockets:
+//! routing, content types, live snapshot updates, malformed requests,
+//! and clean shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use svc_sim::telemetry::{shared_snapshot, TelemetryServer};
+
+/// Sends one raw HTTP request and returns the full response text.
+fn request(addr: &std::net::SocketAddr, req: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(req.as_bytes()).expect("write request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read response");
+    body
+}
+
+fn get(addr: &std::net::SocketAddr, path: &str) -> String {
+    request(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+#[test]
+fn serves_all_endpoints_with_correct_types() {
+    let shared = shared_snapshot();
+    {
+        let mut snap = shared.lock().unwrap();
+        snap.metrics_text = "# TYPE soak_ticks counter\nsoak_ticks 3\n".to_string();
+        snap.profile_json = "{\n  \"schema\": \"svc-profile/v1\"\n}".to_string();
+        snap.healthz_json = "{\n  \"status\": \"ok\"\n}".to_string();
+    }
+    let server = TelemetryServer::bind("127.0.0.1:0", shared.clone()).expect("bind");
+    let addr = server.local_addr();
+
+    let metrics = get(&addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+    assert!(
+        metrics.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "Prometheus exposition content type: {metrics}"
+    );
+    assert!(metrics.contains("soak_ticks 3"));
+
+    let profile = get(&addr, "/profile");
+    assert!(
+        profile.contains("Content-Type: application/json"),
+        "{profile}"
+    );
+    assert!(profile.contains("svc-profile/v1"));
+
+    let healthz = get(&addr, "/healthz");
+    assert!(
+        healthz.contains("Content-Type: application/json"),
+        "{healthz}"
+    );
+    assert!(healthz.contains("\"status\": \"ok\""));
+
+    server.shutdown();
+}
+
+#[test]
+fn reflects_snapshot_updates_live() {
+    let shared = shared_snapshot();
+    let server = TelemetryServer::bind("127.0.0.1:0", shared.clone()).expect("bind");
+    let addr = server.local_addr();
+
+    let before = get(&addr, "/healthz");
+    assert!(before.contains("HTTP/1.1 200 OK"), "{before}");
+
+    shared.lock().unwrap().healthz_json = "{\"status\": \"degraded\"}".to_string();
+    let after = get(&addr, "/healthz");
+    assert!(after.contains("degraded"), "update visible: {after}");
+
+    server.shutdown();
+}
+
+#[test]
+fn rejects_unknown_paths_and_methods() {
+    let shared = shared_snapshot();
+    let server = TelemetryServer::bind("127.0.0.1:0", shared).expect("bind");
+    let addr = server.local_addr();
+
+    let missing = get(&addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    let post = request(
+        &addr,
+        "POST /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+
+    server.shutdown();
+}
+
+#[test]
+fn content_length_matches_body() {
+    let shared = shared_snapshot();
+    shared.lock().unwrap().metrics_text = "abc 1\n".to_string();
+    let server = TelemetryServer::bind("127.0.0.1:0", shared).expect("bind");
+    let addr = server.local_addr();
+
+    let resp = get(&addr, "/metrics");
+    let (head, body) = resp.split_once("\r\n\r\n").expect("header/body split");
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .parse()
+        .expect("numeric length");
+    assert_eq!(len, body.len(), "advertised length matches body bytes");
+
+    server.shutdown();
+}

@@ -144,6 +144,36 @@ pub fn pointer_chase(tasks: u64, hops: usize, table: u64, seed: u64) -> VecTaskS
     VecTaskSource::new(v).with_name("pointer-chase")
 }
 
+/// Tunable-conflict kernel: each task does a few read-modify-write
+/// rounds, each hitting a small shared hot set with probability
+/// `density` (a cross-task dependence ripe for violation squashes) and a
+/// task-private word otherwise. Sweeping `density` in `[0, 1]`
+/// interpolates [`streaming`]-like independence into
+/// [`producer_consumer`]-like conflict storms — the soak server's
+/// randomized variants draw it per slice from a seeded stream.
+pub fn conflict_density(tasks: u64, density: f64, seed: u64) -> VecTaskSource {
+    const HOT_WORDS: u64 = 4;
+    const ROUNDS: u64 = 3;
+    let mut rng = Xoshiro256::seed_from(seed);
+    let v = (0..tasks)
+        .map(|i| {
+            let mut t = Vec::new();
+            for k in 0..ROUNDS {
+                let addr = if rng.gen_bool(density) {
+                    Addr(rng.gen_range(0..HOT_WORDS))
+                } else {
+                    Addr((1 << 16) + i * ROUNDS + k)
+                };
+                t.push(Instr::Load(addr));
+                t.push(Instr::Compute(1));
+                t.push(Instr::Store(addr, Word(i + k + 1)));
+            }
+            t
+        })
+        .collect();
+    VecTaskSource::new(v).with_name("conflict-density")
+}
+
 #[cfg(test)]
 mod tests {
     use svc_multiscalar::TaskSource;
@@ -184,5 +214,26 @@ mod tests {
         for i in 0..10 {
             assert_eq!(a.task(TaskId(i)), b.task(TaskId(i)));
         }
+    }
+
+    #[test]
+    fn conflict_density_spans_private_to_shared() {
+        let a = conflict_density(16, 0.5, 7);
+        let b = conflict_density(16, 0.5, 7);
+        for i in 0..16 {
+            assert_eq!(a.task(TaskId(i)), b.task(TaskId(i)), "seeded determinism");
+        }
+        let hot = |src: &VecTaskSource| {
+            (0..16u64)
+                .flat_map(|i| src.task(TaskId(i)).unwrap())
+                .filter(|ins| matches!(ins, Instr::Store(a, _) if a.0 < 4))
+                .count()
+        };
+        assert_eq!(hot(&conflict_density(16, 0.0, 7)), 0, "0.0 is all-private");
+        assert_eq!(
+            hot(&conflict_density(16, 1.0, 7)),
+            48,
+            "1.0 is all-shared (3 rounds x 16 tasks)"
+        );
     }
 }

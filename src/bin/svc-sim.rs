@@ -10,6 +10,9 @@
 //! svc-sim profile [--json] [workload/memory flags as for run]
 //! svc-sim designs [--bench NAME] [--budget N] [--seed N]
 //! svc-sim faults [--seed N] [--budget N] [--rate R] [--pus N]
+//! svc-sim serve [--port N] [--ticks N] [--seed N] [--pus N] [--kb N]
+//!               [--slice-budget N] [--storm SPEC] [--addr-file FILE]
+//!               [--out FILE]
 //! svc-sim list
 //! ```
 //!
@@ -31,7 +34,15 @@
 //! emits the `svc-profile/v1` document instead). `designs` walks the
 //! §3 design progression on one benchmark; `faults` runs the
 //! deterministic fault-injection campaign (see EXPERIMENTS.md);
-//! `list` shows the available workloads.
+//! `serve` runs the soak loop — a seeded rotation of workload mixes
+//! with periodic fault storms — while a local HTTP endpoint exports
+//! `/metrics` (Prometheus text format), `/profile` (rolling
+//! `svc-profile/v1` windows) and `/healthz`; `--ticks 0` (the
+//! default) runs until SIGINT/SIGTERM, and shutdown flushes a
+//! `svc-soak/v1` snapshot to `results/soak.json` (or `--out`). The
+//! bound address goes to stderr and, with `--addr-file`, to a file,
+//! so stdout stays byte-deterministic for a given seed and tick
+//! budget. `list` shows the available workloads.
 //!
 //! Exit codes: 0 success, 2 usage error, 3 I/O error, 4 invariant
 //! violation / silent corruption ([`svc_repro::bench::cli`]).
@@ -41,13 +52,14 @@ use std::process::ExitCode;
 use svc_repro::bench::cli::CliError;
 use svc_repro::bench::report::Json;
 use svc_repro::bench::{
-    report, run_source, run_source_with, ExperimentResult, MemoryKind, NUM_PUS,
+    report, run_source, run_source_with, soak, ExperimentResult, MemoryKind, NUM_PUS,
 };
 use svc_repro::multiscalar::{Engine, EngineConfig, TaskSource, VecTaskSource};
-use svc_repro::sim::fault::{FaultConfig, Faults};
+use svc_repro::sim::fault::{FaultConfig, Faults, StormSchedule};
 use svc_repro::sim::forensics;
 use svc_repro::sim::profile::{Bucket, ProfileReport};
 use svc_repro::sim::rng::SplitMix64;
+use svc_repro::sim::telemetry::{shared_snapshot, TelemetryServer};
 use svc_repro::sim::trace::{self, Tracer};
 use svc_repro::svc::{SvcConfig, SvcSystem};
 use svc_repro::types::{Addr, Cycle, PuId, VersionedMemory};
@@ -74,6 +86,12 @@ struct Options {
     profile_out: Option<String>,
     addr: Option<u64>,
     rate: f64,
+    port: u16,
+    ticks: u64,
+    slice_budget: u64,
+    storm: Option<String>,
+    addr_file: Option<String>,
+    out: Option<String>,
 }
 
 impl Default for Options {
@@ -97,6 +115,12 @@ impl Default for Options {
             profile_out: None,
             addr: None,
             rate: 0.02,
+            port: 0,
+            ticks: 0,
+            slice_budget: 20_000,
+            storm: None,
+            addr_file: None,
+            out: None,
         }
     }
 }
@@ -108,7 +132,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     o.command = it.next().cloned().ok_or("missing command")?;
     if !matches!(
         o.command.as_str(),
-        "run" | "designs" | "list" | "trace" | "faults" | "profile"
+        "run" | "designs" | "list" | "trace" | "faults" | "profile" | "serve"
     ) {
         return Err(format!("unknown command {:?}", o.command));
     }
@@ -136,6 +160,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--profile-out" => o.profile_out = Some(value()?),
             "--addr" => o.addr = Some(value()?.parse().map_err(|e| format!("--addr: {e}"))?),
             "--rate" => o.rate = value()?.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--port" => o.port = value()?.parse().map_err(|e| format!("--port: {e}"))?,
+            "--ticks" => o.ticks = value()?.parse().map_err(|e| format!("--ticks: {e}"))?,
+            "--slice-budget" => {
+                o.slice_budget = value()?
+                    .parse()
+                    .map_err(|e| format!("--slice-budget: {e}"))?;
+            }
+            "--storm" => o.storm = Some(value()?),
+            "--addr-file" => o.addr_file = Some(value()?),
+            "--out" => o.out = Some(value()?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -159,6 +193,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if o.command == "trace" && o.addr.is_none() {
         return Err("`svc-sim trace` needs --addr".to_string());
+    }
+    // Validate the storm spec up front too — `serve` may run for hours.
+    if let Some(spec) = &o.storm {
+        StormSchedule::parse(spec).map_err(|e| format!("--storm: {e}"))?;
+    }
+    if o.command == "serve" && o.slice_budget == 0 {
+        return Err("--slice-budget must be positive".to_string());
     }
     // `--profile-out` implies profiling, and the `profile` subcommand
     // is always profiled.
@@ -791,6 +832,143 @@ fn cmd_faults(o: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// `svc-sim serve`: the long-running soak server
+// ---------------------------------------------------------------------
+
+/// SIGINT/SIGTERM handling for `serve`. A handler may only do
+/// async-signal-safe work, so it just raises an atomic flag that the
+/// soak observer polls between ticks — the shutdown path then runs on
+/// the main thread (final snapshot flush, HTTP server join).
+mod shutdown {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Installs the flag-raising handler for SIGINT and SIGTERM.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, handle);
+            signal(SIGTERM, handle);
+        }
+    }
+
+    /// Whether a shutdown signal has arrived.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+/// The `svc-profile/v1` document served at `/profile`: the soak-wide
+/// rolling interval window wrapped in the same envelope the experiment
+/// binaries publish, so existing tooling parses it unchanged.
+fn serve_profile_doc(cfg: &soak::SoakConfig, state: &soak::SoakState) -> Json {
+    let run = Json::obj()
+        .set("workload", "soak".into())
+        .set("memory", "svc".into())
+        .set("seed", cfg.seed.into())
+        .set(
+            "profile",
+            report::profile_report_json(&state.profile_report(cfg)),
+        );
+    report::profile_doc("soak", cfg.slice_budget, cfg.seed, vec![run])
+}
+
+/// One deterministic stdout line per tick, so bounded soaks are
+/// byte-identical across invocations for a given seed.
+fn serve_tick_line(s: &soak::SoakState) -> String {
+    format!(
+        "tick {:>6} mix={:<18} cycles={} instrs={} squashes={} faults={} storm={}",
+        s.ticks,
+        s.last_mix,
+        s.cycles,
+        s.committed_instrs,
+        s.squashes,
+        s.faults_injected,
+        if s.storm_active { "yes" } else { "no" }
+    )
+}
+
+/// `svc-sim serve`: run the soak loop (unbounded unless `--ticks N`)
+/// while exporting `/metrics`, `/profile` and `/healthz` over HTTP,
+/// then flush the `svc-soak/v1` snapshot on exit.
+fn cmd_serve(o: &Options) -> Result<(), CliError> {
+    let storm = match &o.storm {
+        Some(spec) => StormSchedule::parse(spec).map_err(CliError::Usage)?,
+        None => StormSchedule::default(),
+    };
+    let cfg = soak::SoakConfig {
+        seed: o.seed,
+        ticks: o.ticks,
+        slice_budget: o.slice_budget,
+        kb: o.kb,
+        pus: o.pus,
+        storm,
+        ..soak::SoakConfig::default()
+    };
+    shutdown::install();
+    let shared = shared_snapshot();
+    let server = TelemetryServer::bind(&format!("127.0.0.1:{}", o.port), shared.clone())
+        .map_err(|e| CliError::io("telemetry bind", e))?;
+    // The ephemeral port goes to stderr (and optionally a file), never
+    // stdout: stdout is the byte-deterministic soak log.
+    eprintln!("serve: listening on http://{}", server.local_addr());
+    eprintln!("serve: endpoints /metrics /profile /healthz");
+    if let Some(path) = &o.addr_file {
+        std::fs::write(path, server.local_addr().to_string()).map_err(|e| CliError::io(path, e))?;
+    }
+    // Seed `/healthz` before the first tick so early scrapes see a
+    // well-formed body rather than an empty one.
+    if let Ok(mut snap) = shared.lock() {
+        snap.healthz_json = Json::obj().set("status", "starting".into()).render();
+    }
+    let state = soak::run_soak(&cfg, |s| {
+        println!("{}", serve_tick_line(s));
+        if let Ok(mut snap) = shared.lock() {
+            snap.metrics_text = s.metrics().render_prometheus();
+            snap.profile_json = serve_profile_doc(&cfg, s).render();
+            snap.healthz_json = soak::healthz_json(s).render();
+        }
+        !shutdown::requested()
+    });
+    server.shutdown();
+    let doc = soak::soak_doc(&cfg, &state);
+    let path = match &o.out {
+        Some(p) => std::path::PathBuf::from(p),
+        None => report::results_dir().join("soak.json"),
+    };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir.display(), e))?;
+        }
+    }
+    std::fs::write(&path, doc.render()).map_err(|e| CliError::io(path.display(), e))?;
+    eprintln!("serve: snapshot -> {}", path.display());
+    println!(
+        "soak: {} ticks, {} cycles, {} instrs, {} tasks, {} squashes, {} faults, {} storms, {} watchdog violations",
+        state.ticks,
+        state.cycles,
+        state.committed_instrs,
+        state.committed_tasks,
+        state.squashes,
+        state.faults_injected,
+        state.storms_started,
+        state.watchdog_violations
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse(&args) {
@@ -798,7 +976,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: svc-sim run|trace|profile|designs|faults|list [flags] (see `cargo doc`)"
+                "usage: svc-sim run|trace|profile|designs|faults|serve|list [flags] (see `cargo doc`)"
             );
             return ExitCode::from(svc_repro::bench::cli::EXIT_USAGE);
         }
@@ -812,6 +990,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&opts),
         "profile" => cmd_profile(&opts),
         "faults" => cmd_faults(&opts),
+        "serve" => cmd_serve(&opts),
         _ => cmd_designs(&opts),
     };
     svc_repro::bench::cli::exit_report(result)
@@ -919,6 +1098,43 @@ mod tests {
         assert_eq!(o.command, "profile");
         assert!(o.profile, "profile subcommand is always profiled");
         assert!(o.json);
+    }
+
+    #[test]
+    fn parse_serve_defaults() {
+        let o = parse(&argv("serve")).unwrap();
+        assert_eq!(o.command, "serve");
+        assert_eq!(o.port, 0, "ephemeral port by default");
+        assert_eq!(o.ticks, 0, "unbounded by default");
+        assert_eq!(o.slice_budget, 20_000);
+        assert!(o.storm.is_none());
+        assert!(o.addr_file.is_none());
+        assert!(o.out.is_none());
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let o = parse(&argv(
+            "serve --port 9100 --ticks 24 --seed 7 --slice-budget 5000 \
+             --storm period=6,duration=2,rate=0.1 --addr-file /tmp/a --out /tmp/s.json",
+        ))
+        .unwrap();
+        assert_eq!(o.port, 9100);
+        assert_eq!(o.ticks, 24);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.slice_budget, 5000);
+        assert_eq!(o.storm.as_deref(), Some("period=6,duration=2,rate=0.1"));
+        assert_eq!(o.addr_file.as_deref(), Some("/tmp/a"));
+        assert_eq!(o.out.as_deref(), Some("/tmp/s.json"));
+    }
+
+    #[test]
+    fn parse_serve_rejects_bad_input() {
+        assert!(parse(&argv("serve --port notaport")).is_err());
+        assert!(parse(&argv("serve --slice-budget 0")).is_err());
+        // Bad storm specs fail at parse time, not hours into a soak.
+        assert!(parse(&argv("serve --storm period=0")).is_err());
+        assert!(parse(&argv("serve --storm bogus=1")).is_err());
     }
 
     #[test]
