@@ -136,6 +136,38 @@ impl SharedCache {
     }
 }
 
+impl svc_types::Checkpointable for DataLine {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.line.save_state(w);
+        self.dirty.save_state(w);
+        self.data.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.line.restore_state(r)?;
+        self.dirty.restore_state(r)?;
+        self.data.restore_state(r)
+    }
+}
+
+impl svc_types::Checkpointable for SharedCache {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.array.save_state(w);
+        self.fills.save_state(w);
+        self.writebacks.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.array.restore_state(r)?;
+        self.fills.restore_state(r)?;
+        self.writebacks.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use svc_mem::CacheGeometry;

@@ -516,6 +516,89 @@ impl ModelCheckable for ArbSystem {
     }
 }
 
+impl svc_types::Checkpointable for Stage {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.loaded.save_state(w);
+        self.stored.save_state(w);
+        self.value.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.loaded.restore_state(r)?;
+        self.stored.restore_state(r)?;
+        self.value.restore_state(r)
+    }
+}
+
+/// Checkpoints the complete mutable ARB state: every row's stage bits,
+/// values and architectural version, the address index and free list,
+/// task assignments, the shared backing cache (including LRU stamps) and
+/// main memory, plus accumulated stats. Configuration is not stored;
+/// restore targets a freshly built system with the same [`ArbConfig`].
+impl svc_types::Checkpointable for ArbSystem {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        w.put_usize(self.rows.len());
+        for row in &self.rows {
+            row.addr.save_state(w);
+            row.stages.save_state(w);
+            row.arch.save_state(w);
+        }
+        self.index.save_state(w);
+        self.free.save_state(w);
+        self.assignments.save_state(w);
+        self.cache.save_state(w);
+        self.memory.save_state(w);
+        self.stats.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        let n = r.take_usize()?;
+        if n > self.config.rows {
+            return Err(svc_types::CkptError::corrupt(format!(
+                "{n} ARB rows exceed the configured capacity {}",
+                self.config.rows
+            )));
+        }
+        self.rows.clear();
+        for _ in 0..n {
+            let mut row = Row::new(Addr(0), self.config.num_pus);
+            row.addr.restore_state(r)?;
+            row.stages.restore_state(r)?;
+            row.arch.restore_state(r)?;
+            if row.stages.len() != self.config.num_pus {
+                return Err(svc_types::CkptError::corrupt(format!(
+                    "ARB row with {} stages, system has {} PUs",
+                    row.stages.len(),
+                    self.config.num_pus
+                )));
+            }
+            self.rows.push(row);
+        }
+        self.index.restore_state(r)?;
+        self.free.restore_state(r)?;
+        for (&addr, &i) in &self.index {
+            if i >= self.rows.len() || self.rows[i].addr != addr {
+                return Err(svc_types::CkptError::corrupt(
+                    "ARB index disagrees with the restored rows",
+                ));
+            }
+        }
+        if self.free.iter().any(|&i| i >= self.rows.len()) {
+            return Err(svc_types::CkptError::corrupt(
+                "ARB free-list entry out of range",
+            ));
+        }
+        self.assignments.restore_state(r)?;
+        self.cache.restore_state(r)?;
+        self.memory.restore_state(r)?;
+        self.stats.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -179,11 +179,13 @@ fn run(update: bool) -> Result<ExitCode, CliError> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir.display(), e))?;
         }
-        std::fs::write(&path, fresh.doc.render()).map_err(|e| CliError::io(path.display(), e))?;
+        svc_bench::report::write_atomic(&path, fresh.doc.render().as_bytes())
+            .map_err(|e| CliError::io(path.display(), e))?;
         println!("baseline updated: {}", path.display());
         let check_doc = svc_bench::checkgate::fresh_check_doc().map_err(CliError::Invariant)?;
         let cpath = check_path();
-        std::fs::write(&cpath, check_doc.render()).map_err(|e| CliError::io(cpath.display(), e))?;
+        svc_bench::report::write_atomic(&cpath, check_doc.render().as_bytes())
+            .map_err(|e| CliError::io(cpath.display(), e))?;
         println!("check baseline updated: {}", cpath.display());
         return Ok(ExitCode::SUCCESS);
     }

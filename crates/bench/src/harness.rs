@@ -289,6 +289,179 @@ where
     }
 }
 
+// ---------------------------------------------------------------------
+// Resumable grids: the cell journal
+// ---------------------------------------------------------------------
+
+/// Kind tag of one journaled grid cell.
+pub const GRID_CELL_KIND: &str = "svc-grid-cell/v1";
+
+/// A directory of finished grid-cell results, one checkpoint file per
+/// cell, written atomically as each cell completes.
+///
+/// An interrupted grid leaves the journal holding every cell that
+/// finished before the crash; rerunning the same grid against the same
+/// journal loads those cells instead of re-simulating them. Every load
+/// is validated — kind tag, content checksum, grid seed, cell index,
+/// per-cell seed and the caller's cell label must all match — so a
+/// stale or foreign journal degrades to a plain re-run, never to wrong
+/// results.
+pub struct GridJournal {
+    dir: std::path::PathBuf,
+    grid_seed: u64,
+}
+
+impl GridJournal {
+    /// Opens (creating if needed) a journal directory for a grid with
+    /// the given seed.
+    pub fn open(
+        dir: impl Into<std::path::PathBuf>,
+        grid_seed: u64,
+    ) -> std::io::Result<GridJournal> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(GridJournal { dir, grid_seed })
+    }
+
+    /// The journal's directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn cell_path(&self, index: usize) -> std::path::PathBuf {
+        self.dir.join(format!("cell-{index:04}.svc"))
+    }
+
+    /// Loads cell `index` if a journaled result exists and survives
+    /// every validation; `None` (= re-run the cell) otherwise.
+    pub fn load<R: svc_types::Checkpointable + Default>(
+        &self,
+        index: usize,
+        seed: u64,
+        label: &str,
+    ) -> Option<R> {
+        let bytes = std::fs::read(self.cell_path(index)).ok()?;
+        let (kind, payload) = svc_sim::checkpoint::decode(&bytes).ok()?;
+        if kind != GRID_CELL_KIND {
+            return None;
+        }
+        let mut r = svc_types::CkptReader::new(&payload);
+        let matches = (|| {
+            Some(
+                r.take_u64().ok()? == self.grid_seed
+                    && r.take_usize().ok()? == index
+                    && r.take_u64().ok()? == seed
+                    && r.take_str().ok()? == label,
+            )
+        })()
+        .unwrap_or(false);
+        if !matches {
+            return None;
+        }
+        let mut out = R::default();
+        out.restore_state(&mut r).ok()?;
+        r.finish().ok()?;
+        Some(out)
+    }
+
+    /// Journals a finished cell (atomic tmp + fsync + rename).
+    pub fn store<R: svc_types::Checkpointable>(
+        &self,
+        index: usize,
+        seed: u64,
+        label: &str,
+        result: &R,
+    ) -> std::io::Result<()> {
+        let mut w = svc_types::CkptWriter::new();
+        w.put_u64(self.grid_seed);
+        w.put_usize(index);
+        w.put_u64(seed);
+        w.put_str(label);
+        result.save_state(&mut w);
+        let blob = svc_sim::checkpoint::encode(GRID_CELL_KIND, &w.into_bytes());
+        svc_sim::checkpoint::write_atomic(&self.cell_path(index), &blob)
+    }
+}
+
+/// [`run_grid_with_threads`] with a cell journal: cells already in the
+/// journal are loaded instead of run, and every freshly-run cell is
+/// journaled the moment it finishes. `label` names a cell for
+/// validation (e.g. `"gcc/SVC 8KB"`), guarding against a journal left
+/// behind by a *different* grid that happens to share seed and shape.
+///
+/// Results are byte-identical to an un-journaled run at any thread
+/// count — a journal hit returns exactly the bytes the cell persisted,
+/// and the persistence round-trip is itself checkpoint-validated.
+pub fn run_grid_resumable<J, R, F, L>(
+    jobs: &[J],
+    grid_seed: u64,
+    threads: usize,
+    journal: &GridJournal,
+    label: L,
+    run: F,
+) -> GridOutcome<R>
+where
+    J: Sync,
+    R: Send + svc_types::Checkpointable + Default,
+    F: Fn(&J, u64) -> R + Sync,
+    L: Fn(&J) -> String + Sync,
+{
+    let started = Instant::now();
+    let seeds = job_seeds(grid_seed, jobs.len());
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let mut pending: Vec<usize> = Vec::new();
+    for i in 0..jobs.len() {
+        match journal.load::<R>(i, seeds[i], &label(&jobs[i])) {
+            Some(r) => *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r),
+            None => pending.push(i),
+        }
+    }
+    let recovered = jobs.len() - pending.len();
+    if recovered > 0 {
+        eprintln!(
+            "grid journal {}: {recovered}/{} cell(s) recovered, {} to run",
+            journal.dir().display(),
+            jobs.len(),
+            pending.len()
+        );
+    }
+    let workers = threads.clamp(1, pending.len().max(1));
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= pending.len() {
+                    break;
+                }
+                let i = pending[k];
+                let result = run(&jobs[i], seeds[i]);
+                // Journal first, then publish: a cell is only "done"
+                // once it would survive a crash. A full disk degrades
+                // resumability, not the run itself.
+                if let Err(e) = journal.store(i, seeds[i], &label(&jobs[i]), &result) {
+                    eprintln!("grid journal: cell {i} not saved (continuing): {e}");
+                }
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| panic!("job {i}: worker thread died before storing a result"))
+        })
+        .collect();
+    GridOutcome {
+        results,
+        threads: workers,
+        wall: started.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,5 +566,85 @@ mod tests {
         });
         assert_eq!(out.failures.len(), 1);
         assert_eq!(out.failures[0].attempts, 3);
+    }
+
+    fn journal_scratch(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("svc-grid-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// An interrupted grid (journal holding a strict subset of cells)
+    /// restarts from the completed cells: only the missing ones run,
+    /// and the results match an uninterrupted run exactly.
+    #[test]
+    fn journaled_grid_resumes_from_completed_cells() {
+        let dir = journal_scratch("resume");
+        let jobs: Vec<u64> = (0..9).collect();
+        let label = |j: &u64| format!("job-{j}");
+        let ran = AtomicUsize::new(0);
+        let run = |j: &u64, seed: u64| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            j.wrapping_mul(31) ^ seed
+        };
+
+        let journal = GridJournal::open(&dir, 42).expect("open journal");
+        let full = run_grid_resumable(&jobs, 42, 4, &journal, label, run);
+        assert_eq!(ran.swap(0, Ordering::Relaxed), 9);
+        let plain = run_grid_with_threads(&jobs, 42, 1, run);
+        assert_eq!(full.results, plain.results, "journal changed the results");
+        ran.store(0, Ordering::Relaxed);
+
+        // Simulate the interruption: drop three cells from the journal.
+        for i in [1usize, 4, 7] {
+            std::fs::remove_file(dir.join(format!("cell-{i:04}.svc"))).expect("drop cell");
+        }
+        let resumed = run_grid_resumable(&jobs, 42, 4, &journal, label, run);
+        assert_eq!(ran.load(Ordering::Relaxed), 3, "only missing cells re-run");
+        assert_eq!(resumed.results, full.results);
+
+        // A fully-journaled grid re-runs nothing at all.
+        ran.store(0, Ordering::Relaxed);
+        let warm = run_grid_resumable(&jobs, 42, 4, &journal, label, run);
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        assert_eq!(warm.results, full.results);
+    }
+
+    /// Torn cell files, foreign grid seeds and mismatched labels are
+    /// all rejected at load — the cell silently re-runs instead of
+    /// poisoning the grid with stale results.
+    #[test]
+    fn journal_rejects_torn_and_foreign_cells() {
+        let dir = journal_scratch("reject");
+        let jobs: Vec<u64> = (0..4).collect();
+        let run = |j: &u64, seed: u64| *j ^ seed;
+        let journal = GridJournal::open(&dir, 7).expect("open journal");
+        let label = |j: &u64| format!("job-{j}");
+        let full = run_grid_resumable(&jobs, 7, 2, &journal, label, run);
+
+        // Tear cell 0 mid-file: checksum mismatch.
+        let cell0 = dir.join("cell-0000.svc");
+        let bytes = std::fs::read(&cell0).expect("cell 0");
+        std::fs::write(&cell0, &bytes[..bytes.len() / 2]).expect("truncate");
+        assert!(journal
+            .load::<u64>(0, job_seeds(7, 4)[0], "job-0")
+            .is_none());
+
+        // A journal opened under a different grid seed rejects cell 1.
+        let foreign = GridJournal::open(&dir, 8).expect("open foreign");
+        assert!(foreign
+            .load::<u64>(1, job_seeds(7, 4)[1], "job-1")
+            .is_none());
+
+        // A mismatched label rejects cell 2.
+        assert!(journal
+            .load::<u64>(2, job_seeds(7, 4)[2], "job-other")
+            .is_none());
+
+        // And the grid still heals: the torn cell re-runs to the same
+        // result.
+        let healed = run_grid_resumable(&jobs, 7, 2, &journal, label, run);
+        assert_eq!(healed.results, full.results);
     }
 }

@@ -86,6 +86,45 @@ pub struct ExperimentResult {
     pub profile: Option<ProfileReport>,
 }
 
+impl Default for ExperimentResult {
+    fn default() -> ExperimentResult {
+        ExperimentResult {
+            workload: String::new(),
+            memory: String::new(),
+            ipc: 0.0,
+            miss_ratio: 0.0,
+            bus_utilization: 0.0,
+            report: RunReport::default(),
+            profile: None,
+        }
+    }
+}
+
+impl svc_types::Checkpointable for ExperimentResult {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.workload.save_state(w);
+        self.memory.save_state(w);
+        self.ipc.save_state(w);
+        self.miss_ratio.save_state(w);
+        self.bus_utilization.save_state(w);
+        self.report.save_state(w);
+        self.profile.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.workload.restore_state(r)?;
+        self.memory.restore_state(r)?;
+        self.ipc.restore_state(r)?;
+        self.miss_ratio.restore_state(r)?;
+        self.bus_utilization.restore_state(r)?;
+        self.report.restore_state(r)?;
+        self.profile.restore_state(r)?;
+        Ok(())
+    }
+}
+
 impl ExperimentResult {
     /// This cell's unified metrics registry (engine counters, derived
     /// rates, the task-length histogram, and every memory-system
@@ -183,11 +222,79 @@ pub fn run_source_with(
     engine_cfg: EngineConfig,
     tracer: Tracer,
 ) -> ExperimentResult {
+    match prepare_engine(memory, engine_cfg, tracer) {
+        PreparedEngine::Svc(mut p) => {
+            let report = p.engine.run(source);
+            p.finish(source.name(), report)
+        }
+        PreparedEngine::Arb(mut p) => {
+            let report = p.engine.run(source);
+            p.finish(source.name(), report)
+        }
+    }
+}
+
+/// A fully attached engine (tracer, env-driven faults, watchdog,
+/// profiler — the exact wiring of [`run_source_with`]) plus the pieces
+/// needed to assemble an [`ExperimentResult`] once the run completes.
+/// For callers that drive the run themselves, like the `svc-sim`
+/// checkpointing driver pausing at cycle boundaries.
+#[derive(Debug)]
+pub struct Prepared<M> {
+    /// The engine, ready to run (or to restore a checkpoint into).
+    pub engine: Engine<M>,
+    /// The attached profiler handle (for the result's profile report).
+    pub profiler: Profiler,
+    /// The watchdog period the engine was armed with.
+    pub watchdog: u64,
+    /// The memory-system label for reports.
+    pub label: String,
+}
+
+impl<M: svc_types::VersionedMemory> Prepared<M> {
+    /// Assembles the result after the engine finished, enforcing the
+    /// env-driven watchdog contract.
+    pub fn finish(&mut self, workload: &str, report: RunReport) -> ExperimentResult {
+        assert_watchdog_clean(self.watchdog, self.engine.violations(), &self.label);
+        ExperimentResult {
+            workload: workload.to_string(),
+            memory: self.label.clone(),
+            ipc: report.ipc(),
+            miss_ratio: report.mem.miss_ratio(),
+            bus_utilization: report.bus_utilization(),
+            report,
+            profile: self.profiler.report(),
+        }
+    }
+}
+
+/// [`Prepared`] over whichever memory system [`MemoryKind`] selects.
+///
+/// The variants differ in size (the SVC carries per-PU caches the ARB
+/// doesn't), but exactly one exists per run and it lives on the stack
+/// only briefly before the driver destructures it, so boxing would
+/// buy nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum PreparedEngine {
+    /// An engine over the final-design SVC.
+    Svc(Prepared<SvcSystem>),
+    /// An engine over the ARB baseline.
+    Arb(Prepared<ArbSystem>),
+}
+
+/// Builds the fully attached engine for `memory` — the construction
+/// half of [`run_source_with`], shared with resumable drivers.
+pub fn prepare_engine(
+    memory: MemoryKind,
+    engine_cfg: EngineConfig,
+    tracer: Tracer,
+) -> PreparedEngine {
     let label = memory.label(engine_cfg.num_pus);
     let faults = Faults::from_env(engine_cfg.seed);
     let watchdog = watchdog_from_env();
     let profiler = Profiler::from_env(engine_cfg.num_pus);
-    let report = match memory {
+    match memory {
         MemoryKind::Svc { kb_per_cache } => {
             let mut cfg = SvcConfig::final_design(engine_cfg.num_pus);
             cfg.geometry = SvcConfig::paper_geometry(kb_per_cache);
@@ -200,9 +307,12 @@ pub fn run_source_with(
             engine.set_faults(faults);
             engine.set_watchdog(watchdog);
             engine.set_profiler(profiler.clone());
-            let report = engine.run(source);
-            assert_watchdog_clean(watchdog, engine.violations(), &label);
-            report
+            PreparedEngine::Svc(Prepared {
+                engine,
+                profiler,
+                watchdog,
+                label,
+            })
         }
         MemoryKind::Arb {
             hit_cycles,
@@ -217,19 +327,13 @@ pub fn run_source_with(
             engine.set_faults(faults);
             engine.set_watchdog(watchdog);
             engine.set_profiler(profiler.clone());
-            let report = engine.run(source);
-            assert_watchdog_clean(watchdog, engine.violations(), &label);
-            report
+            PreparedEngine::Arb(Prepared {
+                engine,
+                profiler,
+                watchdog,
+                label,
+            })
         }
-    };
-    ExperimentResult {
-        workload: source.name().to_string(),
-        memory: label,
-        ipc: report.ipc(),
-        miss_ratio: report.mem.miss_ratio(),
-        bus_utilization: report.bus_utilization(),
-        report,
-        profile: profiler.report(),
     }
 }
 
@@ -244,22 +348,22 @@ fn write_trace_files(
     std::fs::create_dir_all(dir)?;
     let records = tracer.records();
     let stem = format!("{}-{}-{}", result.workload, result.memory, seed);
-    std::fs::write(
-        dir.join(format!("{stem}.log")),
-        svc_sim::trace::render_text(&records),
+    report::write_atomic(
+        &dir.join(format!("{stem}.log")),
+        svc_sim::trace::render_text(&records).as_bytes(),
     )?;
-    std::fs::write(
-        dir.join(format!("{stem}.jsonl")),
-        svc_sim::trace::render_jsonl(&records),
+    report::write_atomic(
+        &dir.join(format!("{stem}.jsonl")),
+        svc_sim::trace::render_jsonl(&records).as_bytes(),
     )?;
     let counters = result
         .profile
         .as_ref()
         .map(profile_counter_series)
         .unwrap_or_default();
-    std::fs::write(
-        dir.join(format!("{stem}.trace.json")),
-        svc_sim::trace::render_chrome_with_counters(&records, &stem, &counters),
+    report::write_atomic(
+        &dir.join(format!("{stem}.trace.json")),
+        svc_sim::trace::render_chrome_with_counters(&records, &stem, &counters).as_bytes(),
     )?;
     Ok(())
 }
@@ -357,10 +461,50 @@ pub fn cross(benches: &[Spec95], memories: &[MemoryKind]) -> Vec<GridJob> {
     jobs
 }
 
+/// Env var naming a directory for the grid-cell journal. When set, the
+/// standard grids ([`run_paper_grid`] / [`run_derived_grid`]) journal
+/// every finished cell there and, on a re-run after an interruption,
+/// restart from the completed cells instead of re-simulating them.
+pub const GRID_JOURNAL_ENV: &str = "SVC_GRID_JOURNAL";
+
+/// One cell's validation label inside the journal (workload + memory).
+fn grid_cell_label(job: &GridJob) -> String {
+    format!("{}/{}", job.bench.name(), job.memory.label(NUM_PUS))
+}
+
+/// Runs a standard experiment grid, through the cell journal when
+/// `SVC_GRID_JOURNAL` is set (separate per-grid subdirectories keyed by
+/// grid seed and shape, so one journal directory serves many grids).
+fn run_experiment_grid(
+    jobs: &[GridJob],
+    grid_seed: u64,
+    run: impl Fn(&GridJob, u64) -> ExperimentResult + Sync,
+) -> harness::GridOutcome<ExperimentResult> {
+    if let Some(dir) = std::env::var_os(GRID_JOURNAL_ENV) {
+        let sub =
+            std::path::PathBuf::from(dir).join(format!("grid-{grid_seed:016x}-{:03}", jobs.len()));
+        match harness::GridJournal::open(sub, grid_seed) {
+            Ok(journal) => {
+                return harness::run_grid_resumable(
+                    jobs,
+                    grid_seed,
+                    harness::threads_from_env(),
+                    &journal,
+                    grid_cell_label,
+                    run,
+                )
+            }
+            // An unusable journal dir degrades to a plain run.
+            Err(e) => eprintln!("grid journal unavailable (running without): {e}"),
+        }
+    }
+    harness::run_grid(jobs, grid_seed, run)
+}
+
 /// Runs a grid in parallel with every cell pinned to [`PAPER_SEED`]
 /// (the paper-artifact path; see [`PAPER_SEED`] for why).
 pub fn run_paper_grid(jobs: &[GridJob], budget: u64) -> harness::GridOutcome<ExperimentResult> {
-    harness::run_grid(jobs, PAPER_SEED, |job, _derived| {
+    run_experiment_grid(jobs, PAPER_SEED, |job, _derived| {
         run_spec95_with(job.bench, job.memory, budget, PAPER_SEED)
     })
 }
@@ -372,7 +516,7 @@ pub fn run_derived_grid(
     grid_seed: u64,
     budget: u64,
 ) -> harness::GridOutcome<ExperimentResult> {
-    harness::run_grid(jobs, grid_seed, |job, seed| {
+    run_experiment_grid(jobs, grid_seed, |job, seed| {
         run_spec95_with(job.bench, job.memory, budget, seed)
     })
 }

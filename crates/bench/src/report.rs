@@ -756,12 +756,21 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
+/// Crash-atomic file write for result artifacts: write to a `.tmp`
+/// sibling, fsync, rename over the destination. A reader (or a process
+/// killed mid-write) sees either the old complete file or the new
+/// complete file, never a torn one. All harness artifact writers go
+/// through here.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    svc_sim::checkpoint::write_atomic(path, bytes)
+}
+
 /// Writes `doc` to `results/<name>.json`, creating the directory.
 pub fn write_experiment(name: &str, doc: &Json) -> io::Result<PathBuf> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, doc.render())?;
+    write_atomic(&path, doc.render().as_bytes())?;
     Ok(path)
 }
 
@@ -874,7 +883,7 @@ fn record_snapshot_at(path: &Path, experiment: &str, m: SelfMeasurement) -> io::
             doc = doc.set("speedup", speedup);
         }
     }
-    std::fs::write(path, doc.render())
+    write_atomic(path, doc.render().as_bytes())
 }
 
 /// Rotates the perf snapshot: the current `experiments` section becomes
@@ -904,7 +913,7 @@ fn rotate_snapshot_at(path: &Path) -> io::Result<()> {
         .set("schema", SCHEMA_SNAPSHOT.into())
         .set("experiments", Json::obj())
         .set("previous", experiments.clone());
-    std::fs::write(path, rotated.render())
+    write_atomic(path, rotated.render().as_bytes())
 }
 
 /// Extracts `(wall_s, sim_cycles, sim_cycles_per_sec)` from one

@@ -447,10 +447,28 @@ fn run_slice(cfg: &SoakConfig, state: &mut SoakState, tick: u64, density: f64, s
 /// snapshot and prints its progress line); returning `false` stops the
 /// loop. With `cfg.ticks == 0` the loop runs until the observer says
 /// stop.
-pub fn run_soak(cfg: &SoakConfig, mut observer: impl FnMut(&SoakState) -> bool) -> SoakState {
-    let mut state = SoakState::new(cfg);
+pub fn run_soak(cfg: &SoakConfig, observer: impl FnMut(&SoakState) -> bool) -> SoakState {
+    run_soak_from(cfg, SoakState::new(cfg), observer)
+}
+
+/// Continues a soak from a restored [`SoakState`] — the resume path of
+/// `svc-sim resume`. Ticks are slice boundaries, so the cumulative state
+/// is the *only* thing a soak carries between ticks; the per-tick seed
+/// and density streams draw exactly once per tick, so their positions
+/// are a pure function of `state.ticks` and are rebuilt by fast-forward.
+/// `run_soak_from` after `k` ticks is byte-identical to an uninterrupted
+/// [`run_soak`] passing tick `k`.
+pub fn run_soak_from(
+    cfg: &SoakConfig,
+    mut state: SoakState,
+    mut observer: impl FnMut(&SoakState) -> bool,
+) -> SoakState {
     let mut seeds = SplitMix64::new(cfg.seed ^ SEED_SALT);
     let mut densities = SplitMix64::new(cfg.seed ^ DENSITY_SALT);
+    for _ in 0..state.ticks {
+        seeds.next_u64();
+        densities.next_u64();
+    }
     loop {
         let tick = state.ticks;
         if cfg.ticks > 0 && tick >= cfg.ticks {
@@ -466,6 +484,157 @@ pub fn run_soak(cfg: &SoakConfig, mut observer: impl FnMut(&SoakState) -> bool) 
         }
     }
     state
+}
+
+impl svc_types::Checkpointable for SoakConfig {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.seed.save_state(w);
+        self.ticks.save_state(w);
+        self.slice_tasks.save_state(w);
+        self.slice_budget.save_state(w);
+        self.kb.save_state(w);
+        self.pus.save_state(w);
+        self.epoch.save_state(w);
+        self.window.save_state(w);
+        self.sample_window.save_state(w);
+        self.watchdog.save_state(w);
+        // The storm schedule round-trips through its canonical spec
+        // string (`StormSchedule::spec` / `parse`).
+        w.put_str(&self.storm.spec());
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.seed.restore_state(r)?;
+        self.ticks.restore_state(r)?;
+        self.slice_tasks.restore_state(r)?;
+        self.slice_budget.restore_state(r)?;
+        self.kb.restore_state(r)?;
+        self.pus.restore_state(r)?;
+        self.epoch.restore_state(r)?;
+        self.window.restore_state(r)?;
+        self.sample_window.restore_state(r)?;
+        self.watchdog.restore_state(r)?;
+        let spec = r.take_str()?;
+        self.storm = StormSchedule::parse(&spec)
+            .map_err(|e| svc_types::CkptError::corrupt(format!("bad storm spec {spec:?}: {e}")))?;
+        if self.pus == 0 {
+            return Err(svc_types::CkptError::corrupt("soak config with 0 PUs"));
+        }
+        Ok(())
+    }
+}
+
+impl svc_types::Checkpointable for SoakState {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.ticks.save_state(w);
+        self.cycles.save_state(w);
+        self.committed_instrs.save_state(w);
+        self.committed_tasks.save_state(w);
+        self.squashes.save_state(w);
+        self.wasted_instrs.save_state(w);
+        self.watchdog_violations.save_state(w);
+        self.faults_injected.save_state(w);
+        self.fault_counts.save_state(w);
+        self.storms_started.save_state(w);
+        self.storm_slices.save_state(w);
+        self.storm_slices_clean.save_state(w);
+        self.storm_active.save_state(w);
+        self.slices_per_mix.save_state(w);
+        // `last_mix` points into MIX_NAMES; 255 encodes the pre-first-
+        // tick empty label.
+        let mix = MIX_NAMES.iter().position(|&m| m == self.last_mix);
+        w.put_u8(mix.map_or(255, |i| i as u8));
+        self.intervals_dropped.save_state(w);
+        self.task_latency.save_state(w);
+        self.squash_depth.save_state(w);
+        self.bus_wait.save_state(w);
+        self.mshr_occupancy.save_state(w);
+        w.put_usize(self.per_pu.len());
+        for pu in &self.per_pu {
+            pu.save_state(w);
+        }
+        self.samples.save_state(w);
+        self.base_cycles.save_state(w);
+        self.base_instrs.save_state(w);
+        self.base_squashes.save_state(w);
+        self.base_busy.save_state(w);
+        self.last_storm.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.ticks.restore_state(r)?;
+        self.cycles.restore_state(r)?;
+        self.committed_instrs.restore_state(r)?;
+        self.committed_tasks.restore_state(r)?;
+        self.squashes.restore_state(r)?;
+        self.wasted_instrs.restore_state(r)?;
+        self.watchdog_violations.restore_state(r)?;
+        self.faults_injected.restore_state(r)?;
+        self.fault_counts.restore_state(r)?;
+        self.storms_started.restore_state(r)?;
+        self.storm_slices.restore_state(r)?;
+        self.storm_slices_clean.restore_state(r)?;
+        self.storm_active.restore_state(r)?;
+        self.slices_per_mix.restore_state(r)?;
+        self.last_mix = match r.take_u8()? {
+            255 => "",
+            i => *MIX_NAMES
+                .get(i as usize)
+                .ok_or_else(|| svc_types::CkptError::corrupt(format!("unknown mix index {i}")))?,
+        };
+        self.intervals_dropped.restore_state(r)?;
+        self.task_latency.restore_state(r)?;
+        self.squash_depth.restore_state(r)?;
+        self.bus_wait.restore_state(r)?;
+        self.mshr_occupancy.restore_state(r)?;
+        let n = r.take_usize()?;
+        if n != self.per_pu.len() {
+            return Err(svc_types::CkptError::corrupt(format!(
+                "checkpoint has {n} PUs, soak configured for {}",
+                self.per_pu.len()
+            )));
+        }
+        for pu in &mut self.per_pu {
+            pu.restore_state(r)?;
+        }
+        self.samples.restore_state(r)?;
+        self.base_cycles.restore_state(r)?;
+        self.base_instrs.restore_state(r)?;
+        self.base_squashes.restore_state(r)?;
+        self.base_busy.restore_state(r)?;
+        self.last_storm.restore_state(r)
+    }
+}
+
+/// The checkpoint payload of a soak: config + cumulative state in one
+/// blob, so `svc-sim resume` needs nothing but the file. The kind tag
+/// for [`svc_sim::checkpoint::encode`].
+pub const SOAK_CKPT_KIND: &str = "svc-soak-state/v1";
+
+/// Serializes a soak checkpoint payload (pair with
+/// [`svc_sim::checkpoint::encode`] for the on-disk container).
+pub fn soak_ckpt_payload(cfg: &SoakConfig, state: &SoakState) -> Vec<u8> {
+    use svc_types::Checkpointable as _;
+    let mut w = svc_types::CkptWriter::new();
+    cfg.save_state(&mut w);
+    state.save_state(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a soak checkpoint payload back into config + state.
+pub fn soak_ckpt_restore(payload: &[u8]) -> Result<(SoakConfig, SoakState), svc_types::CkptError> {
+    use svc_types::Checkpointable as _;
+    let mut r = svc_types::CkptReader::new(payload);
+    let mut cfg = SoakConfig::default();
+    cfg.restore_state(&mut r)?;
+    let mut state = SoakState::new(&cfg);
+    state.restore_state(&mut r)?;
+    r.finish()?;
+    Ok((cfg, state))
 }
 
 #[cfg(test)]
@@ -520,6 +689,40 @@ mod tests {
         let profile = state.profile_report(&cfg);
         assert!(profile.conservation_ok(), "summed attribution conserves");
         assert!(state.committed_instrs > 0);
+    }
+
+    #[test]
+    fn resumed_soak_is_byte_identical() {
+        let cfg = SoakConfig { ticks: 6, ..tiny() };
+        let want = soak_doc(&cfg, &run_soak(&cfg, |_| true)).render();
+
+        // Stop after 3 ticks, round-trip through the checkpoint payload
+        // (as a killed-and-restarted process would), and continue.
+        let half = run_soak(&cfg, |s| s.ticks < 3);
+        assert_eq!(half.ticks, 3);
+        let payload = soak_ckpt_payload(&cfg, &half);
+        drop(half);
+        let (rcfg, rstate) = soak_ckpt_restore(&payload).expect("payload restores");
+        assert_eq!(rcfg, cfg);
+        let done = run_soak_from(&rcfg, rstate, |_| true);
+        assert_eq!(
+            soak_doc(&rcfg, &done).render(),
+            want,
+            "resumed soak diverged from uninterrupted soak"
+        );
+    }
+
+    #[test]
+    fn soak_payload_rejects_truncation() {
+        let cfg = SoakConfig { ticks: 2, ..tiny() };
+        let state = run_soak(&cfg, |_| true);
+        let payload = soak_ckpt_payload(&cfg, &state);
+        for cut in [0, 1, payload.len() / 2, payload.len() - 1] {
+            assert!(
+                soak_ckpt_restore(&payload[..cut]).is_err(),
+                "prefix of {cut} bytes restored without error"
+            );
+        }
     }
 
     #[test]

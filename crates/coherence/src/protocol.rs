@@ -54,6 +54,34 @@ impl fmt::Display for SmpState {
     }
 }
 
+impl svc_types::Checkpointable for SmpState {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        w.put_u8(match self {
+            SmpState::Invalid => 0,
+            SmpState::Clean => 1,
+            SmpState::CleanExclusive => 2,
+            SmpState::Dirty => 3,
+        });
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        *self = match r.take_u8()? {
+            0 => SmpState::Invalid,
+            1 => SmpState::Clean,
+            2 => SmpState::CleanExclusive,
+            3 => SmpState::Dirty,
+            tag => {
+                return Err(svc_types::CkptError::corrupt(format!(
+                    "unknown SMP state tag {tag}"
+                )))
+            }
+        };
+        Ok(())
+    }
+}
+
 /// The bus request types of the snooping protocol (paper Figure 3b).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BusRequest {

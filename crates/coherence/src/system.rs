@@ -565,6 +565,56 @@ impl SmpSystem {
     }
 }
 
+impl svc_types::Checkpointable for SmpLine {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.line.save_state(w);
+        self.state.save_state(w);
+        self.data.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.line.restore_state(r)?;
+        self.state.restore_state(r)?;
+        self.data.restore_state(r)
+    }
+}
+
+/// Checkpoints the complete mutable SMP state: every cache line
+/// (coherence state, tag, data, LRU stamps), the bus timing counters,
+/// main memory and accumulated stats. Configuration is not stored;
+/// restore targets a freshly built system with the same [`SmpConfig`].
+impl svc_types::Checkpointable for SmpSystem {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        w.put_usize(self.caches.len());
+        for c in &self.caches {
+            c.save_state(w);
+        }
+        self.bus.save_state(w);
+        self.memory.save_state(w);
+        self.stats.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        let n = r.take_usize()?;
+        if n != self.caches.len() {
+            return Err(svc_types::CkptError::corrupt(format!(
+                "system built with {} PUs, checkpoint has {n}",
+                self.caches.len()
+            )));
+        }
+        for c in &mut self.caches {
+            c.restore_state(r)?;
+        }
+        self.bus.restore_state(r)?;
+        self.memory.restore_state(r)?;
+        self.stats.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

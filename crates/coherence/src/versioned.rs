@@ -126,6 +126,20 @@ impl ModelCheckable for SmpVersioned {
     }
 }
 
+impl svc_types::Checkpointable for SmpVersioned {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.system.save_state(w);
+        self.assignments.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.system.restore_state(r)?;
+        self.assignments.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

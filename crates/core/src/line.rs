@@ -149,6 +149,36 @@ impl Slot for SvcLine {
     }
 }
 
+impl svc_types::Checkpointable for SvcLine {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.line.save_state(w);
+        self.valid.save_state(w);
+        self.store.save_state(w);
+        self.load.save_state(w);
+        self.committed.save_state(w);
+        self.stale.save_state(w);
+        self.arch.save_state(w);
+        self.next.save_state(w);
+        self.exclusive.save_state(w);
+        self.data.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.line.restore_state(r)?;
+        self.valid.restore_state(r)?;
+        self.store.restore_state(r)?;
+        self.load.restore_state(r)?;
+        self.committed.restore_state(r)?;
+        self.stale.restore_state(r)?;
+        self.arch.restore_state(r)?;
+        self.next.restore_state(r)?;
+        self.exclusive.restore_state(r)?;
+        self.data.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -154,6 +154,18 @@ impl fmt::Binary for SubMask {
     }
 }
 
+impl svc_types::Checkpointable for SubMask {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.0.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.0.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1525,3 +1525,60 @@ impl ModelCheckable for SvcSystem {
         }
     }
 }
+
+/// Checkpoints the complete mutable state of the memory system: every
+/// cache line (state bits, VOL pointers, data), the bus and backing
+/// store, MSHRs, writeback buffers, task assignments, accumulated stats
+/// and fault-injection streams. Unlike [`ModelCheckable::fingerprint`],
+/// timing state (LRU stamps, drain queues, busy-until) is included — a
+/// restored system must continue cycle-for-cycle identically.
+///
+/// Configuration (geometry, capacities, design knobs) is *not* stored;
+/// restore targets a freshly built system with the same [`SvcConfig`] and
+/// cross-checks the structural facts it can (PU count, lines per cache,
+/// fault thresholds).
+impl svc_types::Checkpointable for SvcSystem {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        w.put_usize(self.caches.len());
+        for c in &self.caches {
+            c.save_state(w);
+        }
+        self.bus.save_state(w);
+        self.backing.save_state(w);
+        for m in &self.mshrs {
+            m.save_state(w);
+        }
+        for b in &self.wbufs {
+            b.save_state(w);
+        }
+        self.assignments.save_state(w);
+        self.stats.save_state(w);
+        self.faults.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        let n = r.take_usize()?;
+        if n != self.caches.len() {
+            return Err(svc_types::CkptError::corrupt(format!(
+                "system built with {} PUs, checkpoint has {n}",
+                self.caches.len()
+            )));
+        }
+        for c in &mut self.caches {
+            c.restore_state(r)?;
+        }
+        self.bus.restore_state(r)?;
+        self.backing.restore_state(r)?;
+        for m in &mut self.mshrs {
+            m.restore_state(r)?;
+        }
+        for b in &mut self.wbufs {
+            b.restore_state(r)?;
+        }
+        self.assignments.restore_state(r)?;
+        self.stats.restore_state(r)?;
+        self.faults.restore_state(r)
+    }
+}

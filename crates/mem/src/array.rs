@@ -158,6 +158,30 @@ impl<S: Slot> CacheArray<S> {
     }
 }
 
+impl<S: Slot + svc_types::Checkpointable> svc_types::Checkpointable for CacheArray<S> {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.slots.save_state(w);
+        self.stamps.save_state(w);
+        self.tick.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        let lines = self.geometry.lines();
+        self.slots.restore_state(r)?;
+        self.stamps.restore_state(r)?;
+        self.tick.restore_state(r)?;
+        if self.slots.len() != lines || self.stamps.len() != lines {
+            return Err(svc_types::CkptError::corrupt(format!(
+                "cache array geometry holds {lines} lines, checkpoint has {}",
+                self.slots.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

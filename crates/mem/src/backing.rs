@@ -181,6 +181,53 @@ impl Backing {
     }
 }
 
+impl svc_types::Checkpointable for L2Line {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.line.save_state(w);
+        self.dirty.save_state(w);
+        self.data.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.line.restore_state(r)?;
+        self.dirty.restore_state(r)?;
+        self.data.restore_state(r)
+    }
+}
+
+impl svc_types::Checkpointable for Backing {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        w.put_bool(self.l2.is_some());
+        if let Some(l2) = &self.l2 {
+            l2.array.save_state(w);
+            l2.hits.save_state(w);
+            l2.misses.save_state(w);
+            l2.writebacks.save_state(w);
+        }
+        self.memory.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        let has_l2 = r.take_bool()?;
+        if has_l2 != self.l2.is_some() {
+            return Err(svc_types::CkptError::corrupt(
+                "L2 configuration disagrees with the checkpoint",
+            ));
+        }
+        if let Some(l2) = &mut self.l2 {
+            l2.array.restore_state(r)?;
+            l2.hits.restore_state(r)?;
+            l2.misses.restore_state(r)?;
+            l2.writebacks.restore_state(r)?;
+        }
+        self.memory.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -203,6 +203,26 @@ impl Bus {
     }
 }
 
+impl svc_types::Checkpointable for Bus {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.busy_until.save_state(w);
+        self.transactions.save_state(w);
+        self.busy_cycles.save_state(w);
+        self.wait_cycles.save_state(w);
+        self.total_wait_cycles.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.busy_until.restore_state(r)?;
+        self.transactions.restore_state(r)?;
+        self.busy_cycles.restore_state(r)?;
+        self.wait_cycles.restore_state(r)?;
+        self.total_wait_cycles.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -106,6 +106,22 @@ impl MainMemory {
     }
 }
 
+impl svc_types::Checkpointable for MainMemory {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.words.save_state(w);
+        self.reads.save_state(w);
+        self.writes.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.words.restore_state(r)?;
+        self.reads.restore_state(r)?;
+        self.writes.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -229,6 +229,57 @@ impl MshrFile {
     }
 }
 
+impl svc_types::Checkpointable for Entry {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.line.save_state(w);
+        self.done_at.save_state(w);
+        self.combines.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.line.restore_state(r)?;
+        self.done_at.restore_state(r)?;
+        self.combines.restore_state(r)
+    }
+}
+
+impl Default for Entry {
+    fn default() -> Entry {
+        Entry {
+            line: LineId(0),
+            done_at: Cycle::ZERO,
+            combines: 0,
+        }
+    }
+}
+
+impl svc_types::Checkpointable for MshrFile {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.entries.save_state(w);
+        self.total_misses.save_state(w);
+        self.total_combines.save_state(w);
+        self.total_stall_cycles.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.entries.restore_state(r)?;
+        if self.entries.len() > self.capacity {
+            return Err(svc_types::CkptError::corrupt(format!(
+                "{} outstanding MSHR entries exceed capacity {}",
+                self.entries.len(),
+                self.capacity
+            )));
+        }
+        self.total_misses.restore_state(r)?;
+        self.total_combines.restore_state(r)?;
+        self.total_stall_cycles.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

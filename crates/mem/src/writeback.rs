@@ -152,6 +152,37 @@ impl WritebackBuffer {
     }
 }
 
+impl svc_types::Checkpointable for WritebackBuffer {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        w.put_usize(self.drains.len());
+        for d in &self.drains {
+            d.save_state(w);
+        }
+        self.last_drain_done.save_state(w);
+        self.pushes.save_state(w);
+        self.stall_cycles.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        let n = r.take_usize()?;
+        if n > self.capacity {
+            return Err(svc_types::CkptError::corrupt(format!(
+                "{n} buffered writebacks exceed capacity {}",
+                self.capacity
+            )));
+        }
+        self.drains.clear();
+        for _ in 0..n {
+            self.drains.push_back(r.take::<Cycle>()?);
+        }
+        self.last_drain_done.restore_state(r)?;
+        self.pushes.restore_state(r)?;
+        self.stall_cycles.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

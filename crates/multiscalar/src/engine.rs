@@ -103,6 +103,29 @@ pub struct RunReport {
     pub hit_cycle_limit: bool,
 }
 
+impl Default for RunReport {
+    /// An all-zero report with the engine's canonical histogram shapes
+    /// (so a checkpoint restore — which validates shape — accepts it).
+    fn default() -> RunReport {
+        RunReport {
+            cycles: 0,
+            committed_instrs: 0,
+            committed_tasks: 0,
+            squashes: 0,
+            violation_squashes: 0,
+            resource_squashes: 0,
+            mispredictions: 0,
+            wasted_instrs: 0,
+            squash_recovery_cycles: 0,
+            task_lengths: Histogram::new(8, 32),
+            task_latency: Histogram::new(64, 64),
+            squash_depths: Histogram::new(1, 8),
+            mem: MemStats::default(),
+            hit_cycle_limit: false,
+        }
+    }
+}
+
 impl RunReport {
     /// Mean committed task length in instructions.
     pub fn avg_task_len(&self) -> f64 {
@@ -258,6 +281,15 @@ pub struct Engine<M> {
     epoch_sink: Option<Box<dyn EpochSink>>,
     watchdog_every: u64,
     violations: Vec<InvariantViolation>,
+    // -- run cursor ---------------------------------------------------
+    // The scheduler loop's progress, kept on the engine (rather than as
+    // locals of `run`) so a run can be suspended at a cycle boundary,
+    // checkpointed, and resumed without observable difference.
+    now: Cycle,
+    committed_instrs: u64,
+    committed_tasks: u64,
+    hit_cycle_limit: bool,
+    next_watchdog: u64,
     /// Memoized `source.task(next_pos)` lookup. The termination check
     /// needs "is there a task at `next_pos`?" every scheduler iteration,
     /// but task sources generate their instruction list on every call —
@@ -312,6 +344,11 @@ impl<M: VersionedMemory> Engine<M> {
             epoch_sink: None,
             watchdog_every: 0,
             violations: Vec::new(),
+            now: Cycle::ZERO,
+            committed_instrs: 0,
+            committed_tasks: 0,
+            hit_cycle_limit: false,
+            next_watchdog: 0,
             peek_pos: 0,
             peek_task: None,
             peek_valid: false,
@@ -366,6 +403,9 @@ impl<M: VersionedMemory> Engine<M> {
     /// emitted as a `fault`-category trace event; execution continues.
     pub fn set_watchdog(&mut self, every: u64) {
         self.watchdog_every = every;
+        // First periodic sweep one interval in (matching the sweep
+        // schedule of a run started with the watchdog already set).
+        self.next_watchdog = every;
     }
 
     /// Attaches a periodic snapshot consumer, driven at profiler-epoch
@@ -399,11 +439,24 @@ impl<M: VersionedMemory> Engine<M> {
     /// Runs `source` to completion (or to the configured instruction or
     /// cycle budget) and reports the results.
     pub fn run(&mut self, source: &dyn TaskSource) -> RunReport {
-        let mut now = Cycle::ZERO;
-        let mut committed_instrs = 0u64;
-        let mut committed_tasks = 0u64;
-        let mut hit_cycle_limit = false;
-        let mut next_watchdog = self.watchdog_every;
+        let finished = self.run_until(source, None);
+        debug_assert!(finished, "run_until(None) only returns on completion");
+        self.finish()
+    }
+
+    /// The current simulated cycle of a run in progress (or just ended).
+    pub fn cycle(&self) -> u64 {
+        self.now.0
+    }
+
+    /// Drives the scheduler loop until the run completes (`true`) or the
+    /// clock reaches `stop_at` (`false`; the engine is paused at a cycle
+    /// boundary and a later `run_until` call continues with no observable
+    /// difference — the pause cycle's watchdog sweep and profiler sample
+    /// run on resumption, exactly once). `run_until(source, None)`
+    /// followed by [`finish`](Engine::finish) is exactly
+    /// [`run`](Engine::run).
+    pub fn run_until(&mut self, source: &dyn TaskSource, stop_at: Option<u64>) -> bool {
         // Idle-cycle fast-forward: when no PU can make progress this
         // cycle, jump the clock to the earliest cycle anything can
         // happen instead of ticking empty cycles. `SVC_NO_FASTFORWARD=1`
@@ -415,23 +468,29 @@ impl<M: VersionedMemory> Engine<M> {
         let fast_forward = !std::env::var("SVC_NO_FASTFORWARD").is_ok_and(|v| v == "1");
 
         loop {
+            let now = self.now;
+            // Checkpoint boundary: yield *before* this cycle's sweeps and
+            // events, so they happen exactly once — on the resumed side.
+            if stop_at.is_some_and(|s| now.0 >= s) {
+                return false;
+            }
             // Periodic invariant sweep (watchdog enabled only).
-            if self.watchdog_every > 0 && now.0 >= next_watchdog {
+            if self.watchdog_every > 0 && now.0 >= self.next_watchdog {
                 let found = self.mem.check_invariants(now);
                 self.record_violations(found, now);
-                next_watchdog = now.0 + self.watchdog_every;
+                self.next_watchdog = now.0 + self.watchdog_every;
             }
             // Interval sampler (profiler enabled only).
             if self.profiler.sample_due(now) {
                 let busy = self.mem.stats().bus_busy_cycles;
                 let gauges = self.mem.profile_gauges(now);
                 self.profiler
-                    .sample(now, committed_instrs, self.squashes, busy, gauges);
+                    .sample(now, self.committed_instrs, self.squashes, busy, gauges);
                 if let Some(sink) = &mut self.epoch_sink {
                     sink.on_epoch(&EpochSnapshot {
                         cycle: now.0,
-                        committed_instrs,
-                        committed_tasks,
+                        committed_instrs: self.committed_instrs,
+                        committed_tasks: self.committed_tasks,
                         squashes: self.squashes,
                         mem: self.mem.stats(),
                         gauges,
@@ -444,12 +503,13 @@ impl<M: VersionedMemory> Engine<M> {
             if !any_running && !more_tasks {
                 break;
             }
-            if self.config.max_instructions > 0 && committed_instrs >= self.config.max_instructions
+            if self.config.max_instructions > 0
+                && self.committed_instrs >= self.config.max_instructions
             {
                 break;
             }
             if now.0 >= self.config.max_cycles {
-                hit_cycle_limit = true;
+                self.hit_cycle_limit = true;
                 break;
             }
 
@@ -534,8 +594,8 @@ impl<M: VersionedMemory> Engine<M> {
                         let found = self.mem.check_invariants(now);
                         self.record_violations(found, now);
                     }
-                    committed_instrs += n;
-                    committed_tasks += 1;
+                    self.committed_instrs += n;
+                    self.committed_tasks += 1;
                     self.task_lengths.record(n);
                     self.task_latency.record(latency);
                     self.profiler.on_commit(PuId(pu), now, done);
@@ -548,7 +608,7 @@ impl<M: VersionedMemory> Engine<M> {
             // 4. Advance time: to the next cycle if something happened, or
             //    jump to the next event when everything is waiting.
             if progressed || !fast_forward || self.faults.is_active() {
-                now += 1;
+                self.now = now + 1;
             } else {
                 let mut next = Cycle(now.0 + 1);
                 let mut wake = Cycle(u64::MAX);
@@ -567,7 +627,7 @@ impl<M: VersionedMemory> Engine<M> {
                 // watchdog sweeps and profiler sample rows must land on
                 // the same cycles as in a cycle-by-cycle run.
                 if self.watchdog_every > 0 {
-                    wake = Cycle(wake.0.min(next_watchdog));
+                    wake = Cycle(wake.0.min(self.next_watchdog));
                 }
                 if let Some(s) = self.profiler.next_sample_at() {
                     wake = Cycle(wake.0.min(s));
@@ -575,23 +635,29 @@ impl<M: VersionedMemory> Engine<M> {
                 if wake.0 != u64::MAX {
                     next = next.max(wake);
                 }
-                now = next;
+                self.now = next;
             }
         }
+        true
+    }
 
+    /// Closes out a completed run — final profiler sample, report
+    /// assembly. Must follow a `run_until` call that returned `true`.
+    pub fn finish(&mut self) -> RunReport {
+        let now = self.now;
         if self.profiler.is_active() {
             let busy = self.mem.stats().bus_busy_cycles;
             let gauges = self.mem.profile_gauges(now);
             self.profiler
-                .final_sample(now, committed_instrs, self.squashes, busy, gauges);
+                .final_sample(now, self.committed_instrs, self.squashes, busy, gauges);
             let tasked: Vec<bool> = self.pus.iter().map(|p| p.pos.is_some()).collect();
             self.profiler.finish(now, &tasked);
         }
 
         RunReport {
             cycles: now.0,
-            committed_instrs,
-            committed_tasks,
+            committed_instrs: self.committed_instrs,
+            committed_tasks: self.committed_tasks,
             squashes: self.squashes,
             violation_squashes: self.violation_squashes,
             resource_squashes: self.resource_squashes,
@@ -602,7 +668,7 @@ impl<M: VersionedMemory> Engine<M> {
             task_latency: self.task_latency.clone(),
             squash_depths: self.squash_depths.clone(),
             mem: self.mem.stats(),
-            hit_cycle_limit,
+            hit_cycle_limit: self.hit_cycle_limit,
         }
     }
 
@@ -877,5 +943,161 @@ impl<M: VersionedMemory> Engine<M> {
                 }
             })
             .collect()
+    }
+}
+
+impl svc_types::Checkpointable for PuState {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.pos.save_state(w);
+        self.instrs.save_state(w);
+        self.pc.save_state(w);
+        self.dispatched_at.save_state(w);
+        self.ready_at.save_state(w);
+        self.port_free.save_state(w);
+        self.wrong.save_state(w);
+        self.detect_at.save_state(w);
+        self.done.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.pos.restore_state(r)?;
+        self.instrs.restore_state(r)?;
+        self.pc.restore_state(r)?;
+        self.dispatched_at.restore_state(r)?;
+        self.ready_at.restore_state(r)?;
+        self.port_free.restore_state(r)?;
+        self.wrong.restore_state(r)?;
+        self.detect_at.restore_state(r)?;
+        self.done.restore_state(r)?;
+        if self.pc > self.instrs.len() {
+            return Err(svc_types::CkptError::corrupt(format!(
+                "PU pc {} beyond task of {} instructions",
+                self.pc,
+                self.instrs.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl svc_types::Checkpointable for RunReport {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.cycles.save_state(w);
+        self.committed_instrs.save_state(w);
+        self.committed_tasks.save_state(w);
+        self.squashes.save_state(w);
+        self.violation_squashes.save_state(w);
+        self.resource_squashes.save_state(w);
+        self.mispredictions.save_state(w);
+        self.wasted_instrs.save_state(w);
+        self.squash_recovery_cycles.save_state(w);
+        self.task_lengths.save_state(w);
+        self.task_latency.save_state(w);
+        self.squash_depths.save_state(w);
+        self.mem.save_state(w);
+        self.hit_cycle_limit.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.cycles.restore_state(r)?;
+        self.committed_instrs.restore_state(r)?;
+        self.committed_tasks.restore_state(r)?;
+        self.squashes.restore_state(r)?;
+        self.violation_squashes.restore_state(r)?;
+        self.resource_squashes.restore_state(r)?;
+        self.mispredictions.restore_state(r)?;
+        self.wasted_instrs.restore_state(r)?;
+        self.squash_recovery_cycles.restore_state(r)?;
+        self.task_lengths.restore_state(r)?;
+        self.task_latency.restore_state(r)?;
+        self.squash_depths.restore_state(r)?;
+        self.mem.restore_state(r)?;
+        self.hit_cycle_limit.restore_state(r)
+    }
+}
+
+/// Engine checkpointing covers the memory system and the full scheduler
+/// state — per-PU execution cursors, the sequencer, every report counter
+/// and histogram, attached fault streams, the profiler's accumulators,
+/// and the run cursor — so a `run_until` paused at a cycle boundary can
+/// be serialized and resumed with no observable difference.
+///
+/// Not serialized: the tracer ring and the epoch sink (observers, not
+/// simulation state — reattach after restore if wanted) and the task
+/// source (reconstructed from config; sources are contractually
+/// deterministic). The peek memo is invalidated on restore and re-asked
+/// of the source.
+impl<M: VersionedMemory + svc_types::Checkpointable> svc_types::Checkpointable for Engine<M> {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.mem.save_state(w);
+        w.put_usize(self.pus.len());
+        for pu in &self.pus {
+            pu.save_state(w);
+        }
+        self.attempts.save_state(w);
+        self.next_pos.save_state(w);
+        self.dispatch_ready.save_state(w);
+        self.squashes.save_state(w);
+        self.violation_squashes.save_state(w);
+        self.resource_squashes.save_state(w);
+        self.mispredictions.save_state(w);
+        self.wasted_instrs.save_state(w);
+        self.squash_recovery_cycles.save_state(w);
+        self.task_lengths.save_state(w);
+        self.task_latency.save_state(w);
+        self.squash_depths.save_state(w);
+        self.faults.save_state(w);
+        self.profiler.save_state(w);
+        self.violations.save_state(w);
+        self.now.save_state(w);
+        self.committed_instrs.save_state(w);
+        self.committed_tasks.save_state(w);
+        self.hit_cycle_limit.save_state(w);
+        self.next_watchdog.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.mem.restore_state(r)?;
+        let n = r.take_usize()?;
+        if n != self.pus.len() {
+            return Err(svc_types::CkptError::corrupt(format!(
+                "checkpoint has {n} PUs, engine has {}",
+                self.pus.len()
+            )));
+        }
+        for pu in &mut self.pus {
+            pu.restore_state(r)?;
+        }
+        self.attempts.restore_state(r)?;
+        self.next_pos.restore_state(r)?;
+        self.dispatch_ready.restore_state(r)?;
+        self.squashes.restore_state(r)?;
+        self.violation_squashes.restore_state(r)?;
+        self.resource_squashes.restore_state(r)?;
+        self.mispredictions.restore_state(r)?;
+        self.wasted_instrs.restore_state(r)?;
+        self.squash_recovery_cycles.restore_state(r)?;
+        self.task_lengths.restore_state(r)?;
+        self.task_latency.restore_state(r)?;
+        self.squash_depths.restore_state(r)?;
+        self.faults.restore_state(r)?;
+        self.profiler.restore_state(r)?;
+        self.violations.restore_state(r)?;
+        self.now.restore_state(r)?;
+        self.committed_instrs.restore_state(r)?;
+        self.committed_tasks.restore_state(r)?;
+        self.hit_cycle_limit.restore_state(r)?;
+        self.next_watchdog.restore_state(r)?;
+        // The memo caches a lookup against a task source the checkpoint
+        // does not carry; drop it so the next peek re-asks the source.
+        self.peek_task = None;
+        self.peek_valid = false;
+        Ok(())
     }
 }

@@ -12,6 +12,52 @@ pub enum Instr {
     Store(Addr, Word),
 }
 
+impl Default for Instr {
+    fn default() -> Instr {
+        Instr::Compute(0)
+    }
+}
+
+impl svc_types::Checkpointable for Instr {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        match self {
+            Instr::Compute(c) => {
+                w.put_u8(0);
+                w.put_u8(*c);
+            }
+            Instr::Load(addr) => {
+                w.put_u8(1);
+                addr.save_state(w);
+            }
+            Instr::Store(addr, value) => {
+                w.put_u8(2);
+                addr.save_state(w);
+                value.save_state(w);
+            }
+        }
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        *self = match r.take_u8()? {
+            0 => Instr::Compute(r.take_u8()?),
+            1 => Instr::Load(r.take::<Addr>()?),
+            2 => {
+                let addr = r.take::<Addr>()?;
+                let value = r.take::<Word>()?;
+                Instr::Store(addr, value)
+            }
+            tag => {
+                return Err(svc_types::CkptError::corrupt(format!(
+                    "unknown Instr tag {tag}"
+                )))
+            }
+        };
+        Ok(())
+    }
+}
+
 /// A deterministic source of tasks: the dynamic task sequence of a
 /// program.
 ///

@@ -1,0 +1,192 @@
+//! Engine checkpoint/restore: a run paused at a cycle boundary,
+//! serialized, restored into a freshly built engine, and continued must
+//! be indistinguishable from an uninterrupted run — same report, same
+//! final serialized state.
+
+use svc::{SvcConfig, SvcSystem};
+use svc_multiscalar::{Engine, EngineConfig, Instr, VecTaskSource};
+use svc_sim::fault::{FaultConfig, Faults};
+use svc_sim::profile::Profiler;
+use svc_types::{Addr, Checkpointable, CkptError, CkptReader, CkptWriter, Word};
+
+const PUS: usize = 4;
+
+/// Value-passing chain: forces violations, squashes, and replays, so a
+/// checkpoint taken mid-run carries non-trivial speculative state.
+fn chain_program(n: u64) -> VecTaskSource {
+    let tasks = (0..n)
+        .map(|i| {
+            let mut t = Vec::new();
+            if i > 0 {
+                t.push(Instr::Load(Addr(i - 1)));
+            }
+            t.extend([Instr::Compute(1); 4]);
+            t.push(Instr::Store(Addr(i), Word(i + 1)));
+            t
+        })
+        .collect();
+    VecTaskSource::new(tasks).with_name("chain")
+}
+
+struct Attach {
+    faults: Option<(FaultConfig, u64)>,
+    profiler: bool,
+    watchdog: u64,
+}
+
+impl Attach {
+    fn plain() -> Attach {
+        Attach {
+            faults: None,
+            profiler: false,
+            watchdog: 0,
+        }
+    }
+
+    fn full() -> Attach {
+        Attach {
+            faults: Some((FaultConfig::uniform(0.02), 0xFA11)),
+            profiler: true,
+            watchdog: 64,
+        }
+    }
+
+    /// Builds the engine exactly as a resuming process would: from
+    /// config alone, attachments recreated, no run state.
+    fn build(&self) -> Engine<SvcSystem> {
+        let mut system = SvcSystem::new(SvcConfig::final_design(PUS));
+        let faults = match &self.faults {
+            Some((cfg, seed)) => Faults::new(cfg, *seed),
+            None => Faults::disabled(),
+        };
+        let profiler = if self.profiler {
+            Profiler::new(PUS, 128)
+        } else {
+            Profiler::disabled()
+        };
+        system.set_faults(faults.clone());
+        system.set_profiler(profiler.clone());
+        let engine_cfg = EngineConfig {
+            num_pus: PUS,
+            seed: 7,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(engine_cfg, system);
+        engine.set_faults(faults);
+        engine.set_profiler(profiler);
+        engine.set_watchdog(self.watchdog);
+        engine
+    }
+}
+
+fn snapshot(engine: &Engine<SvcSystem>) -> Vec<u8> {
+    let mut w = CkptWriter::new();
+    engine.save_state(&mut w);
+    w.into_bytes()
+}
+
+fn restore(engine: &mut Engine<SvcSystem>, bytes: &[u8]) -> Result<(), CkptError> {
+    let mut r = CkptReader::new(bytes);
+    engine.restore_state(&mut r)?;
+    r.finish()
+}
+
+/// Reference: one uninterrupted run.
+fn reference(attach: &Attach, src: &VecTaskSource) -> (svc_multiscalar::RunReport, Vec<u8>) {
+    let mut engine = attach.build();
+    let report = engine.run(src);
+    let state = snapshot(&engine);
+    (report, state)
+}
+
+#[test]
+fn pause_resume_without_serialization_is_invisible() {
+    let src = chain_program(40);
+    let attach = Attach::plain();
+    let (want, want_state) = reference(&attach, &src);
+
+    let mut engine = attach.build();
+    let mut stop = 3u64;
+    while !engine.run_until(&src, Some(stop)) {
+        stop += 17;
+    }
+    let got = engine.finish();
+    assert_eq!(got, want, "chopped run diverged from uninterrupted run");
+    assert_eq!(snapshot(&engine), want_state);
+}
+
+#[test]
+fn checkpoint_restore_continue_matches_uninterrupted() {
+    let src = chain_program(40);
+    for attach in [Attach::plain(), Attach::full()] {
+        let (want, want_state) = reference(&attach, &src);
+
+        // Run a while, checkpoint, and throw the engine away.
+        let mut first = attach.build();
+        let finished = first.run_until(&src, Some(25));
+        assert!(!finished, "program should outlast 25 cycles");
+        let bytes = snapshot(&first);
+        drop(first);
+
+        // A fresh process: rebuild from config, restore, continue.
+        let mut resumed = attach.build();
+        restore(&mut resumed, &bytes).expect("restore");
+        // Save-after-restore must reproduce the exact bytes (full
+        // round-trip stability, not just behavioral equivalence).
+        assert_eq!(snapshot(&resumed), bytes);
+        while !resumed.run_until(&src, Some(resumed.cycle() + 100)) {}
+        let got = resumed.finish();
+        assert_eq!(got, want, "resumed run diverged from uninterrupted run");
+        assert_eq!(snapshot(&resumed), want_state);
+    }
+}
+
+#[test]
+fn restore_rejects_truncation_everywhere() {
+    let src = chain_program(40);
+    let attach = Attach::full();
+    let mut engine = attach.build();
+    assert!(!engine.run_until(&src, Some(40)));
+    let bytes = snapshot(&engine);
+    // Every proper prefix must fail loudly, never restore garbage.
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        let mut fresh = attach.build();
+        assert!(
+            restore(&mut fresh, &bytes[..cut]).is_err(),
+            "prefix of {cut} bytes restored without error"
+        );
+    }
+}
+
+#[test]
+fn restore_rejects_geometry_mismatch() {
+    let src = chain_program(40);
+    let mut engine = Attach::plain().build();
+    assert!(!engine.run_until(&src, Some(25)));
+    let bytes = snapshot(&engine);
+
+    // An engine over a different PU count must refuse the payload.
+    let system = SvcSystem::new(SvcConfig::final_design(2));
+    let mut other = Engine::new(
+        EngineConfig {
+            num_pus: 2,
+            seed: 7,
+            ..EngineConfig::default()
+        },
+        system,
+    );
+    assert!(restore(&mut other, &bytes).is_err());
+}
+
+#[test]
+fn restore_rejects_attachment_mismatch() {
+    let src = chain_program(40);
+    let mut engine = Attach::full().build();
+    assert!(!engine.run_until(&src, Some(25)));
+    let bytes = snapshot(&engine);
+
+    // Resuming without the fault streams the checkpoint carries must be
+    // an error, not a silently different simulation.
+    let mut bare = Attach::plain().build();
+    assert!(restore(&mut bare, &bytes).is_err());
+}

@@ -454,6 +454,52 @@ impl Faults {
     }
 }
 
+/// A checkpoint captures every per-site stream position and injected
+/// counter, so a resumed faulted run draws the exact same schedule the
+/// uninterrupted run would have. The handle itself must already be
+/// attached (built from the same `FaultConfig` and seed) before restore;
+/// thresholds are saved only to cross-check that configuration.
+impl svc_types::Checkpointable for Faults {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        match &self.inner {
+            None => w.put_bool(false),
+            Some(inner) => {
+                w.put_bool(true);
+                let st = inner.borrow();
+                st.thresholds.save_state(w);
+                st.max_penalty.save_state(w);
+                st.streams.save_state(w);
+                st.injected.save_state(w);
+            }
+        }
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        let active = r.take_bool()?;
+        if active != self.is_active() {
+            return Err(svc_types::CkptError::corrupt(
+                "fault-injector attachment disagrees with the checkpoint",
+            ));
+        }
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let mut st = inner.borrow_mut();
+        let expected = st.thresholds;
+        st.thresholds.restore_state(r)?;
+        if st.thresholds != expected {
+            return Err(svc_types::CkptError::corrupt(
+                "fault thresholds disagree with the configured rates",
+            ));
+        }
+        st.max_penalty.restore_state(r)?;
+        st.streams.restore_state(r)?;
+        st.injected.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,9 @@
 //! * [`profile`] — the cycle-accounting profiler: per-PU stall
 //!   attribution into conservation-checked buckets, wasted-work
 //!   metering, and an interval time-series sampler;
+//! * [`checkpoint`] — crash-safe checkpoint files: a versioned,
+//!   checksummed container, atomic tmp+fsync+rename writes, and a bounded
+//!   on-disk ring with newest-valid recovery;
 //! * [`telemetry`] — a tiny `std::net`-only HTTP server exporting live
 //!   soak-run state: `/metrics` (Prometheus text exposition),
 //!   `/profile` (rolling interval JSON), `/healthz`.
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod fault;
 pub mod forensics;
 pub mod metrics;

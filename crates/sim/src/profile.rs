@@ -172,7 +172,7 @@ impl AccessProfile {
 /// One row of the interval time series: raw cumulative counters at a
 /// sample point. Derived rates (IPC, bus utilization, squash rate) are
 /// computed from consecutive rows at render time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Sample {
     /// Simulated cycle the sample was taken at.
     pub cycle: u64,
@@ -189,7 +189,7 @@ pub struct Sample {
 }
 
 /// The finished profile of one run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileReport {
     /// Number of PUs profiled.
     pub num_pus: usize,
@@ -678,6 +678,217 @@ impl Profiler {
             wasted_addrs: wasted,
             intervals_dropped: core.dropped,
         })
+    }
+}
+
+// -- checkpointing ----------------------------------------------------
+
+impl svc_types::Checkpointable for Bucket {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        w.put_u8(*self as u8);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        let tag = r.take_u8()?;
+        *self = *Bucket::EVERY
+            .get(tag as usize)
+            .ok_or_else(|| svc_types::CkptError::corrupt(format!("unknown bucket tag {tag}")))?;
+        Ok(())
+    }
+}
+
+impl svc_types::Checkpointable for AccessProfile {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.mshr_stall.save_state(w);
+        self.bus_wait.save_state(w);
+        self.bus_transfer.save_state(w);
+        self.mem_latency.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.mshr_stall.restore_state(r)?;
+        self.bus_wait.restore_state(r)?;
+        self.bus_transfer.restore_state(r)?;
+        self.mem_latency.restore_state(r)
+    }
+}
+
+impl svc_types::Checkpointable for Sample {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.cycle.save_state(w);
+        self.committed_instrs.save_state(w);
+        self.squashes.save_state(w);
+        self.bus_busy_cycles.save_state(w);
+        self.outstanding_misses.save_state(w);
+        self.live_versions.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.cycle.restore_state(r)?;
+        self.committed_instrs.restore_state(r)?;
+        self.squashes.restore_state(r)?;
+        self.bus_busy_cycles.restore_state(r)?;
+        self.outstanding_misses.restore_state(r)?;
+        self.live_versions.restore_state(r)
+    }
+}
+
+impl svc_types::Checkpointable for ProfileReport {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.num_pus.save_state(w);
+        self.cycles.save_state(w);
+        self.epoch.save_state(w);
+        self.per_pu.save_state(w);
+        self.samples.save_state(w);
+        self.wasted_addrs.save_state(w);
+        self.intervals_dropped.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.num_pus.restore_state(r)?;
+        self.cycles.restore_state(r)?;
+        self.epoch.restore_state(r)?;
+        self.per_pu.restore_state(r)?;
+        self.samples.restore_state(r)?;
+        self.wasted_addrs.restore_state(r)?;
+        self.intervals_dropped.restore_state(r)
+    }
+}
+
+impl Default for Window {
+    fn default() -> Window {
+        Window {
+            start: 0,
+            end: 0,
+            profile: AccessProfile::default(),
+            fill: Bucket::Commit,
+        }
+    }
+}
+
+impl svc_types::Checkpointable for Window {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.start.save_state(w);
+        self.end.save_state(w);
+        self.profile.save_state(w);
+        self.fill.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.start.restore_state(r)?;
+        self.end.restore_state(r)?;
+        self.profile.restore_state(r)?;
+        self.fill.restore_state(r)
+    }
+}
+
+impl svc_types::Checkpointable for PuAcct {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.cursor.save_state(w);
+        self.pending.save_state(w);
+        self.windows.save_state(w);
+        self.buckets.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.cursor.restore_state(r)?;
+        self.pending.restore_state(r)?;
+        self.windows.restore_state(r)?;
+        self.buckets.restore_state(r)
+    }
+}
+
+/// An enabled profiler checkpoints its full accounting core — cursors,
+/// pending cycles, queued windows, bucket totals, the wasted-work map and
+/// the interval time series — so a resumed run reports identically to an
+/// uninterrupted one. Restore requires the same attachment: a checkpoint
+/// of an enabled profiler cannot restore into a disabled handle (and
+/// vice versa), because the handle is shared by reference with the
+/// simulator components and cannot be re-wired after construction.
+impl svc_types::Checkpointable for Profiler {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        w.put_bool(self.is_active());
+        let Some(core) = &self.core else {
+            return;
+        };
+        let core = core.borrow();
+        core.pus.len().save_state(w);
+        core.pus.save_state(w);
+        core.slot.save_state(w);
+        core.port_debt.save_state(w);
+        w.put_usize(core.wasted.len());
+        for (&addr, &count) in &core.wasted {
+            addr.save_state(w);
+            count.save_state(w);
+        }
+        core.epoch.save_state(w);
+        core.next_sample.save_state(w);
+        core.samples.save_state(w);
+        core.window.save_state(w);
+        core.dropped.save_state(w);
+        core.finished.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        let active = r.take_bool()?;
+        if active != self.is_active() {
+            return Err(svc_types::CkptError::corrupt(
+                "profiler attachment disagrees with the checkpoint",
+            ));
+        }
+        let Some(core) = &self.core else {
+            return Ok(());
+        };
+        let mut core = core.borrow_mut();
+        let num_pus = r.take_usize()?;
+        if num_pus != core.pus.len() {
+            return Err(svc_types::CkptError::corrupt(format!(
+                "profiler built for {} PUs, checkpoint has {num_pus}",
+                core.pus.len()
+            )));
+        }
+        core.pus.restore_state(r)?;
+        core.slot.restore_state(r)?;
+        core.port_debt.restore_state(r)?;
+        if core.slot.len() != num_pus || core.port_debt.len() != num_pus {
+            return Err(svc_types::CkptError::corrupt(
+                "profiler per-PU vectors disagree in length",
+            ));
+        }
+        let n = r.take_usize()?;
+        core.wasted.clear();
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let addr = r.take::<u64>()?;
+            if prev.is_some_and(|p| p >= addr) {
+                return Err(svc_types::CkptError::corrupt(
+                    "wasted-work map keys out of order",
+                ));
+            }
+            prev = Some(addr);
+            let count = r.take::<u64>()?;
+            core.wasted.insert(addr, count);
+        }
+        core.epoch.restore_state(r)?;
+        core.next_sample.restore_state(r)?;
+        core.samples.restore_state(r)?;
+        core.window.restore_state(r)?;
+        core.dropped.restore_state(r)?;
+        core.finished.restore_state(r)
     }
 }
 

@@ -145,6 +145,48 @@ impl Xoshiro256 {
     }
 }
 
+impl Default for SplitMix64 {
+    fn default() -> SplitMix64 {
+        SplitMix64::new(0)
+    }
+}
+
+impl svc_types::Checkpointable for SplitMix64 {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.state.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.state.restore_state(r)
+    }
+}
+
+impl Default for Xoshiro256 {
+    fn default() -> Xoshiro256 {
+        Xoshiro256::seed_from(0)
+    }
+}
+
+impl svc_types::Checkpointable for Xoshiro256 {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.s.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.s.restore_state(r)?;
+        if self.s == [0; 4] {
+            return Err(svc_types::CkptError::corrupt(
+                "all-zero xoshiro256 state is unreachable",
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,6 +84,24 @@ impl Running {
     }
 }
 
+impl svc_types::Checkpointable for Running {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.count.save_state(w);
+        self.sum.save_state(w);
+        self.min.save_state(w);
+        self.max.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        self.count.restore_state(r)?;
+        self.sum.restore_state(r)?;
+        self.min.restore_state(r)?;
+        self.max.restore_state(r)
+    }
+}
+
 /// A fixed-bucket histogram of `u64` samples with an overflow bucket.
 ///
 /// Buckets are `[i*width, (i+1)*width)`; samples at or beyond
@@ -246,6 +264,35 @@ impl Histogram {
             }
         }
         Some(self.overflow_threshold())
+    }
+}
+
+impl svc_types::Checkpointable for Histogram {
+    fn save_state(&self, w: &mut svc_types::CkptWriter) {
+        self.width.save_state(w);
+        self.counts.save_state(w);
+        self.overflow.save_state(w);
+        self.total.save_state(w);
+        self.sum.save_state(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut svc_types::CkptReader<'_>,
+    ) -> Result<(), svc_types::CkptError> {
+        let (width, buckets) = (self.width, self.counts.len());
+        self.width.restore_state(r)?;
+        self.counts.restore_state(r)?;
+        self.overflow.restore_state(r)?;
+        self.total.restore_state(r)?;
+        self.sum.restore_state(r)?;
+        if self.width != width || self.counts.len() != buckets {
+            return Err(svc_types::CkptError::corrupt(format!(
+                "histogram shape {width}x{buckets} disagrees with checkpoint {}x{}",
+                self.width,
+                self.counts.len()
+            )));
+        }
+        Ok(())
     }
 }
 

@@ -34,6 +34,10 @@ use std::time::Duration;
 /// tiny, so anything bigger is junk we can cut off.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
+/// Longest request line we will parse (a scrape's is under 40 bytes);
+/// longer ones are answered with 431 instead of being processed.
+const MAX_REQUEST_LINE: usize = 1024;
+
 /// The pre-rendered response bodies the server hands out. The producer
 /// (the soak loop) re-renders these after every slice; readers get
 /// whichever snapshot was last published — a scrape is never blocked on
@@ -71,8 +75,13 @@ pub struct TelemetryServer {
 impl TelemetryServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// starts serving `shared` in a background thread.
+    ///
+    /// A transiently busy port (`AddrInUse` — e.g. the previous soak's
+    /// socket still in TIME_WAIT after a crash-restart) is retried a few
+    /// times with backoff before giving up; any other bind error is
+    /// immediately fatal.
     pub fn bind(addr: &str, shared: SharedSnapshot) -> std::io::Result<TelemetryServer> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = bind_with_retry(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
@@ -112,15 +121,47 @@ impl Drop for TelemetryServer {
     }
 }
 
+/// Bounded bind retry: `AddrInUse` backs off and retries (40 ms, 80 ms,
+/// … doubling), anything else fails immediately.
+fn bind_with_retry(addr: &str) -> std::io::Result<TcpListener> {
+    const ATTEMPTS: u32 = 5;
+    let mut backoff = Duration::from_millis(40);
+    for attempt in 0.. {
+        match TcpListener::bind(addr) {
+            Ok(l) => return Ok(l),
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && attempt + 1 < ATTEMPTS => {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("loop exits by return")
+}
+
 fn serve_loop(listener: TcpListener, shared: SharedSnapshot, stop: Arc<AtomicBool>) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         if let Ok(stream) = conn {
-            // Per-connection errors (client hung up mid-request, timeout)
-            // only affect that scrape; the server keeps accepting.
-            let _ = handle_conn(stream, &shared);
+            // Each connection gets its own handler thread, so one
+            // stalled or malicious client can tie up at most its own
+            // 5-second timeout, never the accept loop — `/metrics`
+            // stays scrapeable throughout. Per-connection errors
+            // (client hung up mid-request, timeout) only affect that
+            // scrape.
+            let snap = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name("svc-telemetry-conn".into())
+                .spawn(move || {
+                    let _ = handle_conn(stream, &snap);
+                });
+            if spawned.is_err() {
+                // Out of threads: drop the connection and keep
+                // accepting rather than dying.
+                continue;
+            }
         }
     }
 }
@@ -130,13 +171,18 @@ fn handle_conn(mut stream: TcpStream, shared: &SharedSnapshot) -> std::io::Resul
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut buf = Vec::new();
     let mut chunk = [0u8; 1024];
+    let mut oversized = false;
     loop {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             break;
         }
         buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            oversized = true;
             break;
         }
     }
@@ -145,7 +191,13 @@ fn handle_conn(mut stream: TcpStream, shared: &SharedSnapshot) -> std::io::Resul
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("").split('?').next().unwrap_or("");
-    let (status, content_type, body) = if method != "GET" {
+    let (status, content_type, body) = if oversized || request_line.len() > MAX_REQUEST_LINE {
+        (
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            "request too large\n".to_string(),
+        )
+    } else if method != "GET" {
         (
             "405 Method Not Allowed",
             "text/plain; charset=utf-8",
@@ -214,6 +266,54 @@ mod tests {
         shared.lock().unwrap().metrics_text = "up 2\n".into();
         assert!(get(addr, "/metrics").ends_with("up 2\n"));
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_does_not_wedge_scrapes() {
+        let shared = shared_snapshot();
+        shared.lock().unwrap().metrics_text = "up 1\n".into();
+        let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        let addr = server.local_addr();
+
+        // Open connections that never send a request. With a serial
+        // accept loop each would hold the server for its full 5 s read
+        // timeout; with per-connection handlers a real scrape gets
+        // through immediately.
+        let _stalled: Vec<TcpStream> = (0..3).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let started = std::time::Instant::now();
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "scrape blocked behind stalled clients ({:?})",
+            started.elapsed()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_requests_are_cut_off() {
+        let shared = shared_snapshot();
+        let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        let addr = server.local_addr();
+
+        // A request line beyond the cap gets a 431, not a parse.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let long = "x".repeat(2 * MAX_REQUEST_LINE);
+        write!(s, "GET /{long} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 431"), "got: {out}");
+
+        // A head that never terminates is cut off at the buffer cap.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let junk = vec![b'a'; MAX_REQUEST_BYTES + 512];
+        s.write_all(b"GET /metrics HTTP/1.1\r\n").unwrap();
+        s.write_all(&junk).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 431"), "got: {out}");
         server.shutdown();
     }
 }

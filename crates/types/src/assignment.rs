@@ -164,6 +164,24 @@ impl TaskAssignments {
     }
 }
 
+impl crate::Checkpointable for TaskAssignments {
+    fn save_state(&self, w: &mut crate::CkptWriter) {
+        self.task_of.save_state(w);
+    }
+    fn restore_state(&mut self, r: &mut crate::CkptReader<'_>) -> Result<(), crate::CkptError> {
+        let before = self.task_of.len();
+        self.task_of.restore_state(r)?;
+        if self.task_of.len() != before {
+            return Err(crate::CkptError::corrupt(format!(
+                "assignment table for {} PUs, checkpoint has {}",
+                before,
+                self.task_of.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

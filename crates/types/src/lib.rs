@@ -35,6 +35,7 @@
 mod addr;
 mod assignment;
 mod checkable;
+pub mod ckpt;
 mod fingerprint;
 mod ids;
 mod invariant;
@@ -47,6 +48,7 @@ mod word;
 pub use addr::{Addr, LineId};
 pub use assignment::{PuOrder, TaskAssignments};
 pub use checkable::ModelCheckable;
+pub use ckpt::{Checkpointable, CkptError, CkptReader, CkptWriter};
 pub use fingerprint::StateHasher;
 pub use ids::{PuId, TaskId};
 pub use invariant::{InvariantKind, InvariantViolation};

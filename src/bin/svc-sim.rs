@@ -52,9 +52,11 @@ use std::process::ExitCode;
 use svc_repro::bench::cli::CliError;
 use svc_repro::bench::report::Json;
 use svc_repro::bench::{
-    report, run_source, run_source_with, soak, ExperimentResult, MemoryKind, NUM_PUS,
+    prepare_engine, report, run_source, run_source_with, soak, ExperimentResult, MemoryKind,
+    Prepared, PreparedEngine, NUM_PUS,
 };
 use svc_repro::multiscalar::{Engine, EngineConfig, TaskSource, VecTaskSource};
+use svc_repro::sim::checkpoint::{self, CheckpointRing};
 use svc_repro::sim::fault::{FaultConfig, Faults, StormSchedule};
 use svc_repro::sim::forensics;
 use svc_repro::sim::profile::{Bucket, ProfileReport};
@@ -62,7 +64,9 @@ use svc_repro::sim::rng::SplitMix64;
 use svc_repro::sim::telemetry::{shared_snapshot, TelemetryServer};
 use svc_repro::sim::trace::{self, Tracer};
 use svc_repro::svc::{SvcConfig, SvcSystem};
-use svc_repro::types::{Addr, Cycle, PuId, VersionedMemory};
+use svc_repro::types::{
+    Addr, Checkpointable, CkptError, CkptReader, CkptWriter, Cycle, PuId, VersionedMemory,
+};
 use svc_repro::workloads::{kernels, Spec95, SyntheticWorkload};
 
 /// Parsed command-line options.
@@ -92,6 +96,17 @@ struct Options {
     storm: Option<String>,
     addr_file: Option<String>,
     out: Option<String>,
+    /// Checkpoint cadence: simulated cycles for `run`, ticks for
+    /// `serve`/`resume` (0 = off / command default).
+    checkpoint_every: u64,
+    /// `run`: the single checkpoint file, atomically overwritten.
+    checkpoint_out: Option<String>,
+    /// `serve`: directory holding a ring of checkpoints.
+    checkpoint_dir: Option<String>,
+    /// Ring retention for `--checkpoint-dir`.
+    checkpoint_keep: usize,
+    /// `resume`: the checkpoint file (or ring directory) to restart from.
+    resume_path: Option<String>,
 }
 
 impl Default for Options {
@@ -121,6 +136,11 @@ impl Default for Options {
             storm: None,
             addr_file: None,
             out: None,
+            checkpoint_every: 0,
+            checkpoint_out: None,
+            checkpoint_dir: None,
+            checkpoint_keep: 4,
+            resume_path: None,
         }
     }
 }
@@ -132,7 +152,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     o.command = it.next().cloned().ok_or("missing command")?;
     if !matches!(
         o.command.as_str(),
-        "run" | "designs" | "list" | "trace" | "faults" | "profile" | "serve"
+        "run" | "designs" | "list" | "trace" | "faults" | "profile" | "serve" | "resume"
     ) {
         return Err(format!("unknown command {:?}", o.command));
     }
@@ -170,6 +190,23 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--storm" => o.storm = Some(value()?),
             "--addr-file" => o.addr_file = Some(value()?),
             "--out" => o.out = Some(value()?),
+            "--checkpoint-every" => {
+                o.checkpoint_every = value()?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+            }
+            "--checkpoint-out" => o.checkpoint_out = Some(value()?),
+            "--checkpoint-dir" => o.checkpoint_dir = Some(value()?),
+            "--checkpoint-keep" => {
+                o.checkpoint_keep = value()?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-keep: {e}"))?;
+            }
+            other
+                if o.command == "resume" && o.resume_path.is_none() && !other.starts_with('-') =>
+            {
+                o.resume_path = Some(other.to_string());
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -205,6 +242,31 @@ fn parse(args: &[String]) -> Result<Options, String> {
     // is always profiled.
     if o.profile_out.is_some() || o.command == "profile" {
         o.profile = true;
+    }
+    if o.checkpoint_keep == 0 {
+        return Err("--checkpoint-keep must be at least 1".to_string());
+    }
+    if o.command == "run" {
+        if o.checkpoint_every > 0 && o.checkpoint_out.is_none() {
+            return Err("--checkpoint-every needs --checkpoint-out for `run`".to_string());
+        }
+        if o.checkpoint_out.is_some() {
+            if o.trace || o.trace_out.is_some() {
+                // The trace ring is an observer, not simulation state;
+                // it is not part of a checkpoint, so a resumed run
+                // could not reproduce it.
+                return Err("--trace cannot be combined with checkpointing".to_string());
+            }
+            if o.checkpoint_every == 0 {
+                o.checkpoint_every = 250_000;
+            }
+        }
+    }
+    if o.command == "serve" && o.checkpoint_dir.is_some() && o.checkpoint_every == 0 {
+        o.checkpoint_every = 1;
+    }
+    if o.command == "resume" && o.resume_path.is_none() {
+        return Err("`svc-sim resume` needs a checkpoint file or ring directory".to_string());
     }
     Ok(o)
 }
@@ -287,6 +349,29 @@ fn cli_tracer(o: &Options, force: bool) -> Result<Tracer, CliError> {
     Ok(Tracer::new(mask, capacity))
 }
 
+/// Builds the selected workload (bench/kernel/replay), its display
+/// name, and the engine configuration it implies. Pure construction —
+/// shared by the direct runner and the checkpoint/resume drivers, which
+/// must rebuild the exact same source from a checkpoint header.
+fn select_source(o: &Options) -> Result<(Box<dyn TaskSource>, String, EngineConfig), CliError> {
+    Ok(if let Some(path) = &o.replay {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+        let src = svc_repro::workloads::parse_trace(&text)
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        let cfg = engine_config(o, None);
+        (Box::new(src), path.clone(), cfg)
+    } else if let Some(k) = &o.kernel {
+        let src = lookup_kernel(k, o.seed).map_err(CliError::Usage)?;
+        let cfg = engine_config(o, None);
+        (Box::new(src), k.clone(), cfg)
+    } else {
+        let bench = lookup_bench(o.bench.as_deref().unwrap_or("gcc")).map_err(CliError::Usage)?;
+        let wl = bench.workload(o.seed);
+        let cfg = engine_config(o, Some(&wl));
+        (Box::new(wl), bench.name().to_string(), cfg)
+    })
+}
+
 /// Runs the selected workload (bench/kernel/replay) on the selected
 /// memory system. An active `tracer` is attached explicitly; a disabled
 /// one falls back to [`run_source`], which keeps the `SVC_TRACE` /
@@ -297,29 +382,269 @@ fn run_selected(
     tracer: Tracer,
 ) -> Result<(svc_repro::bench::ExperimentResult, String), CliError> {
     let memory = memory_kind(o);
-    let run = |src: &dyn TaskSource, cfg: EngineConfig| {
-        if tracer.is_active() {
-            run_source_with(src, memory, cfg, tracer.clone())
+    let (src, name, cfg) = select_source(o)?;
+    let result = if tracer.is_active() {
+        run_source_with(src.as_ref(), memory, cfg, tracer)
+    } else {
+        run_source(src.as_ref(), memory, cfg)
+    };
+    Ok((result, name))
+}
+
+// ---------------------------------------------------------------------
+// Checkpointed runs and resume
+// ---------------------------------------------------------------------
+
+/// Kind tag of a `run` checkpoint (header + engine state).
+const RUN_CKPT_KIND: &str = "svc-run/v1";
+
+/// Environment knobs that shape the engine's attachments
+/// (profiler/watchdog/faults). They are part of a run checkpoint's
+/// header so `resume` rebuilds identical attachments no matter what the
+/// resuming shell exported.
+const HEADER_ENV: [&str; 5] = [
+    "SVC_PROFILE",
+    "SVC_PROFILE_EPOCH",
+    "SVC_PROFILE_WINDOW",
+    "SVC_WATCHDOG",
+    "SVC_FAULTS",
+];
+
+/// Serializes everything `resume` needs to rebuild the workload, the
+/// memory system, and the engine attachments before restoring state.
+fn save_run_header(o: &Options, w: &mut CkptWriter) {
+    if let Some(path) = &o.replay {
+        w.put_u8(2);
+        w.put_str(path);
+    } else if let Some(k) = &o.kernel {
+        w.put_u8(1);
+        w.put_str(k);
+    } else {
+        w.put_u8(0);
+        w.put_str(o.bench.as_deref().unwrap_or("gcc"));
+    }
+    w.put_str(&o.memory);
+    w.put_usize(o.kb);
+    w.put_u64(o.hit);
+    w.put_u64(o.budget);
+    w.put_u64(o.seed);
+    w.put_usize(o.pus);
+    for key in HEADER_ENV {
+        match std::env::var(key) {
+            Ok(v) => {
+                w.put_bool(true);
+                w.put_str(&v);
+            }
+            Err(_) => w.put_bool(false),
+        }
+    }
+}
+
+/// Rebuilds the run options a checkpoint header describes and restores
+/// the attachment env knobs into this process.
+fn restore_run_header(r: &mut CkptReader<'_>) -> Result<Options, CkptError> {
+    let mut o = Options {
+        command: "run".to_string(),
+        ..Options::default()
+    };
+    let tag = r.take_u8()?;
+    let name = r.take_str()?;
+    match tag {
+        0 => o.bench = Some(name),
+        1 => o.kernel = Some(name),
+        2 => o.replay = Some(name),
+        t => return Err(CkptError::corrupt(format!("unknown workload tag {t}"))),
+    }
+    o.memory = r.take_str()?;
+    if !matches!(o.memory.as_str(), "svc" | "arb") {
+        return Err(CkptError::corrupt(format!(
+            "unknown memory kind {:?}",
+            o.memory
+        )));
+    }
+    o.kb = r.take_usize()?;
+    o.hit = r.take_u64()?;
+    o.budget = r.take_u64()?;
+    o.seed = r.take_u64()?;
+    o.pus = r.take_usize()?;
+    if o.pus == 0 {
+        return Err(CkptError::corrupt("checkpoint with 0 PUs"));
+    }
+    for key in HEADER_ENV {
+        if r.take_bool()? {
+            std::env::set_var(key, r.take_str()?);
         } else {
-            run_source(src, memory, cfg)
+            std::env::remove_var(key);
+        }
+    }
+    Ok(o)
+}
+
+/// Startup probe: `path`'s parent directory must exist (created if
+/// needed) and accept an atomic write, so an unwritable destination is
+/// a typed I/O failure (exit 3) *before* hours of simulation, not a
+/// panic at the first flush.
+fn probe_writable(path: &std::path::Path) -> Result<(), CliError> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| CliError::io(dir.display(), e))?;
+    let probe = dir.join(".svc-write-probe");
+    checkpoint::write_atomic(&probe, b"probe")
+        .and_then(|()| std::fs::remove_file(&probe))
+        .map_err(|e| CliError::io(dir.display(), e))
+}
+
+/// Drives a prepared engine to completion, atomically rewriting the
+/// checkpoint file at every `--checkpoint-every` cycle boundary.
+fn drive_checkpointed<M>(
+    p: &mut Prepared<M>,
+    source: &dyn TaskSource,
+    name: &str,
+    o: &Options,
+    out: &std::path::Path,
+) -> Result<ExperimentResult, CliError>
+where
+    M: VersionedMemory + Checkpointable,
+{
+    let every = o.checkpoint_every;
+    loop {
+        let stop = match every {
+            0 => None,
+            n => Some(p.engine.cycle() + n),
+        };
+        if p.engine.run_until(source, stop) {
+            break;
+        }
+        let mut w = CkptWriter::new();
+        save_run_header(o, &mut w);
+        p.engine.save_state(&mut w);
+        let blob = checkpoint::encode(RUN_CKPT_KIND, &w.into_bytes());
+        checkpoint::write_atomic(out, &blob).map_err(|e| CliError::io(out.display(), e))?;
+    }
+    let report = p.engine.finish();
+    Ok(p.finish(name, report))
+}
+
+/// The checkpointing variant of [`run_selected`]: same workload, same
+/// memory system, same attachments, but driven in `--checkpoint-every`
+/// slices with the engine state flushed between them.
+fn run_checkpointed(o: &Options) -> Result<(ExperimentResult, String), CliError> {
+    let (src, name, cfg) = select_source(o)?;
+    let out = std::path::PathBuf::from(o.checkpoint_out.as_deref().expect("caller checked"));
+    probe_writable(&out)?;
+    let result = match prepare_engine(memory_kind(o), cfg, Tracer::disabled()) {
+        PreparedEngine::Svc(mut p) => drive_checkpointed(&mut p, src.as_ref(), &name, o, &out)?,
+        PreparedEngine::Arb(mut p) => drive_checkpointed(&mut p, src.as_ref(), &name, o, &out)?,
+    };
+    Ok((result, name))
+}
+
+/// Loads a checkpoint from a file, or the newest valid one from a ring
+/// directory (skipping torn/corrupt files by checksum).
+fn load_checkpoint(
+    path: &std::path::Path,
+    keep: usize,
+) -> Result<(std::path::PathBuf, String, Vec<u8>), CliError> {
+    if path.is_dir() {
+        let ring = CheckpointRing::open(path, keep).map_err(|e| CliError::io(path.display(), e))?;
+        let ckpt = ring
+            .newest_valid()
+            .map_err(|e| CliError::io(path.display(), e))?
+            .ok_or_else(|| {
+                CliError::Invariant(format!(
+                    "{}: no valid checkpoint in ring (all torn or empty)",
+                    path.display()
+                ))
+            })?;
+        eprintln!(
+            "resume: ring {} -> checkpoint #{} ({})",
+            path.display(),
+            ckpt.seq,
+            ckpt.kind
+        );
+        Ok((ckpt.path, ckpt.kind, ckpt.payload))
+    } else {
+        let bytes = std::fs::read(path).map_err(|e| CliError::io(path.display(), e))?;
+        let (kind, payload) = checkpoint::decode(&bytes)
+            .map_err(|e| CliError::Invariant(format!("{}: {e}", path.display())))?;
+        Ok((path.to_path_buf(), kind, payload))
+    }
+}
+
+/// `svc-sim resume <ckpt>`: restart a checkpointed `run` or soak from
+/// its saved state and carry it to completion.
+fn cmd_resume(o: &Options) -> Result<(), CliError> {
+    let given = std::path::PathBuf::from(o.resume_path.as_deref().expect("parse checked"));
+    let (ckpt_path, kind, payload) = load_checkpoint(&given, o.checkpoint_keep)?;
+    match kind.as_str() {
+        RUN_CKPT_KIND => resume_run(o, &ckpt_path, &payload),
+        soak::SOAK_CKPT_KIND => resume_soak(o, &given, &payload),
+        other => Err(CliError::Invariant(format!(
+            "{}: unknown checkpoint kind {other:?}",
+            ckpt_path.display()
+        ))),
+    }
+}
+
+/// Resumes a `run` checkpoint: rebuild workload + engine from the
+/// header, restore the engine state, continue (checkpointing onward to
+/// the same file when `--checkpoint-every` is given), and print the
+/// report exactly as `run` would.
+fn resume_run(o: &Options, ckpt_path: &std::path::Path, payload: &[u8]) -> Result<(), CliError> {
+    let corrupt = |e: CkptError| CliError::Invariant(format!("{}: {e}", ckpt_path.display()));
+    let mut r = CkptReader::new(payload);
+    let mut o2 = restore_run_header(&mut r).map_err(corrupt)?;
+    o2.json = o.json;
+    o2.checkpoint_every = o.checkpoint_every;
+    o2.checkpoint_out = Some(ckpt_path.display().to_string());
+    o2.profile_out = o.profile_out.clone();
+
+    let (src, name, cfg) = select_source(&o2)?;
+    let started = std::time::Instant::now();
+    let result = match prepare_engine(memory_kind(&o2), cfg, Tracer::disabled()) {
+        PreparedEngine::Svc(mut p) => {
+            p.engine
+                .restore_state(&mut r)
+                .and_then(|()| r.finish())
+                .map_err(corrupt)?;
+            eprintln!("resume: {} at cycle {}", name, p.engine.cycle());
+            drive_checkpointed(&mut p, src.as_ref(), &name, &o2, ckpt_path)?
+        }
+        PreparedEngine::Arb(mut p) => {
+            p.engine
+                .restore_state(&mut r)
+                .and_then(|()| r.finish())
+                .map_err(corrupt)?;
+            eprintln!("resume: {} at cycle {}", name, p.engine.cycle());
+            drive_checkpointed(&mut p, src.as_ref(), &name, &o2, ckpt_path)?
         }
     };
-    Ok(if let Some(path) = &o.replay {
-        let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
-        let src = svc_repro::workloads::parse_trace(&text)
-            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
-        (run(&src, engine_config(o, None)), path.clone())
-    } else if let Some(k) = &o.kernel {
-        let src = lookup_kernel(k, o.seed).map_err(CliError::Usage)?;
-        (run(&src, engine_config(o, None)), k.clone())
-    } else {
-        let bench = lookup_bench(o.bench.as_deref().unwrap_or("gcc")).map_err(CliError::Usage)?;
-        let wl = bench.workload(o.seed);
-        (
-            run(&wl, engine_config(o, Some(&wl))),
-            bench.name().to_string(),
-        )
-    })
+    let wall_s = started.elapsed().as_secs_f64();
+    print_run_result(&o2, &name, &result, wall_s, None)
+}
+
+/// Resumes a soak checkpoint: restore config + cumulative state and
+/// re-enter the serve loop (telemetry server, ring checkpointing, final
+/// snapshot flush) from the saved tick.
+fn resume_soak(o: &Options, given: &std::path::Path, payload: &[u8]) -> Result<(), CliError> {
+    let (mut cfg, state) = soak::soak_ckpt_restore(payload)
+        .map_err(|e| CliError::Invariant(format!("{}: {e}", given.display())))?;
+    if o.ticks > 0 {
+        cfg.ticks = o.ticks;
+    }
+    // Keep checkpointing into the ring we resumed from (or an explicit
+    // --checkpoint-dir override).
+    let mut o2 = o.clone();
+    if o2.checkpoint_dir.is_none() && given.is_dir() {
+        o2.checkpoint_dir = Some(given.display().to_string());
+    }
+    if o2.checkpoint_dir.is_some() && o2.checkpoint_every == 0 {
+        o2.checkpoint_every = 1;
+    }
+    eprintln!("resume: soak at tick {}", state.ticks);
+    serve_soak(&o2, cfg, Some(state))
 }
 
 /// Writes (with `--trace-out PREFIX`) or prints the recorded trace.
@@ -332,7 +657,8 @@ fn emit_trace(o: &Options, tracer: &Tracer, title: &str) -> Result<(), CliError>
             ("trace.json", trace::render_chrome(&records, title)),
         ] {
             let path = format!("{prefix}.{ext}");
-            std::fs::write(&path, text).map_err(|e| CliError::io(&path, e))?;
+            report::write_atomic(std::path::Path::new(&path), text.as_bytes())
+                .map_err(|e| CliError::io(&path, e))?;
         }
         eprintln!(
             "trace: {} events ({} dropped) -> {}.{{log,jsonl,trace.json}}",
@@ -390,7 +716,8 @@ fn write_profile_out(
         return Ok(None);
     }
     let doc = profile_doc_for(o, name, result);
-    std::fs::write(path, doc.render()).map_err(|e| CliError::io(path, e))?;
+    report::write_atomic(std::path::Path::new(path), doc.render().as_bytes())
+        .map_err(|e| CliError::io(path, e))?;
     Ok(Some(path.clone()))
 }
 
@@ -457,6 +784,15 @@ fn cmd_run(o: &Options) -> Result<(), CliError> {
         // the flag is exactly `SVC_PROFILE=1` for this process.
         std::env::set_var("SVC_PROFILE", "1");
     }
+    if o.checkpoint_out.is_some() {
+        // Checkpointed runs drive the engine in slices; tracing is
+        // rejected at parse time, so the plain path below never races
+        // a tracer against the checkpoint cadence.
+        let started = std::time::Instant::now();
+        let (result, name) = run_checkpointed(o)?;
+        let wall_s = started.elapsed().as_secs_f64();
+        return print_run_result(o, &name, &result, wall_s, None);
+    }
     let tracer = cli_tracer(o, false)?;
     let started = std::time::Instant::now();
     let (result, name) = run_selected(o, tracer.clone())?;
@@ -464,7 +800,24 @@ fn cmd_run(o: &Options) -> Result<(), CliError> {
     if tracer.is_active() {
         emit_trace(o, &tracer, &name)?;
     }
-    let profile_path = write_profile_out(o, &name, &result)?;
+    let trace_prefix = if tracer.is_active() {
+        o.trace_out.as_deref()
+    } else {
+        None
+    };
+    print_run_result(o, &name, &result, wall_s, trace_prefix)
+}
+
+/// The shared tail of `run` and `resume`: profile artifact, `--json`
+/// document or the human-readable report.
+fn print_run_result(
+    o: &Options,
+    name: &str,
+    result: &ExperimentResult,
+    wall_s: f64,
+    trace_prefix: Option<&str>,
+) -> Result<(), CliError> {
+    let profile_path = write_profile_out(o, name, result)?;
     let cycles_per_sec = if wall_s > 0.0 {
         result.report.cycles as f64 / wall_s
     } else {
@@ -475,19 +828,17 @@ fn cmd_run(o: &Options) -> Result<(), CliError> {
         // tooling diffing `--json` output across runs should strip
         // `wall_s` / `sim_cycles_per_sec` first (as the regress-style
         // identity checks do), since wall-clock data is never stable.
-        let mut doc = report::experiment_result_json(&result, o.seed)
+        let mut doc = report::experiment_result_json(result, o.seed)
             .set("wall_s", wall_s.into())
             .set("sim_cycles_per_sec", cycles_per_sec.into());
         // Artifact paths, so tooling reading `--json` output can locate
         // the trace sinks and profile document written alongside it.
         let mut artifacts = Json::obj();
-        if tracer.is_active() {
-            if let Some(prefix) = &o.trace_out {
-                artifacts = artifacts
-                    .set("trace_log", format!("{prefix}.log").into())
-                    .set("trace_jsonl", format!("{prefix}.jsonl").into())
-                    .set("trace_chrome", format!("{prefix}.trace.json").into());
-            }
+        if let Some(prefix) = trace_prefix {
+            artifacts = artifacts
+                .set("trace_log", format!("{prefix}.log").into())
+                .set("trace_jsonl", format!("{prefix}.jsonl").into())
+                .set("trace_chrome", format!("{prefix}.trace.json").into());
         }
         if let Some(path) = &profile_path {
             artifacts = artifacts.set("profile", path.as_str().into());
@@ -917,6 +1268,42 @@ fn cmd_serve(o: &Options) -> Result<(), CliError> {
         storm,
         ..soak::SoakConfig::default()
     };
+    serve_soak(o, cfg, None)
+}
+
+/// The serve loop proper, shared by `serve` (fresh state) and `resume`
+/// (state restored from a soak checkpoint). Destinations are probed at
+/// startup so an unwritable `--out` or `--checkpoint-dir` is a typed
+/// I/O failure (exit 3) before the soak starts, not a panic hours in.
+fn serve_soak(
+    o: &Options,
+    cfg: soak::SoakConfig,
+    resume: Option<soak::SoakState>,
+) -> Result<(), CliError> {
+    let out_path = match &o.out {
+        Some(p) => std::path::PathBuf::from(p),
+        None => report::results_dir().join("soak.json"),
+    };
+    probe_writable(&out_path)?;
+    let mut ring = match &o.checkpoint_dir {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            std::fs::create_dir_all(&dir).map_err(|e| CliError::io(dir.display(), e))?;
+            probe_writable(&dir.join("ckpt"))?;
+            let ring = CheckpointRing::open(&dir, o.checkpoint_keep)
+                .map_err(|e| CliError::io(dir.display(), e))?;
+            eprintln!(
+                "serve: checkpointing to {} (every {} tick(s), keep {})",
+                dir.display(),
+                o.checkpoint_every.max(1),
+                o.checkpoint_keep
+            );
+            Some(ring)
+        }
+        None => None,
+    };
+    let every = o.checkpoint_every.max(1);
+
     shutdown::install();
     let shared = shared_snapshot();
     let server = TelemetryServer::bind(&format!("127.0.0.1:{}", o.port), shared.clone())
@@ -926,34 +1313,71 @@ fn cmd_serve(o: &Options) -> Result<(), CliError> {
     eprintln!("serve: listening on http://{}", server.local_addr());
     eprintln!("serve: endpoints /metrics /profile /healthz");
     if let Some(path) = &o.addr_file {
-        std::fs::write(path, server.local_addr().to_string()).map_err(|e| CliError::io(path, e))?;
+        report::write_atomic(
+            std::path::Path::new(path),
+            server.local_addr().to_string().as_bytes(),
+        )
+        .map_err(|e| CliError::io(path, e))?;
     }
     // Seed `/healthz` before the first tick so early scrapes see a
     // well-formed body rather than an empty one.
     if let Ok(mut snap) = shared.lock() {
         snap.healthz_json = Json::obj().set("status", "starting".into()).render();
     }
-    let state = soak::run_soak(&cfg, |s| {
-        println!("{}", serve_tick_line(s));
-        if let Ok(mut snap) = shared.lock() {
-            snap.metrics_text = s.metrics().render_prometheus();
-            snap.profile_json = serve_profile_doc(&cfg, s).render();
-            snap.healthz_json = soak::healthz_json(s).render();
+    // (seq, tick) of the last checkpoint this process wrote; surfaced
+    // in `/healthz` so operators can watch checkpoint freshness. The
+    // observer lives in its own scope so its `ring` borrow ends before
+    // the final checkpoint below.
+    let state = {
+        let mut last_ckpt: Option<(u64, u64)> = None;
+        let mut observer = |s: &soak::SoakState| {
+            println!("{}", serve_tick_line(s));
+            if let Some(ring) = ring.as_mut() {
+                if s.ticks.is_multiple_of(every) {
+                    let payload = soak::soak_ckpt_payload(&cfg, s);
+                    match ring.write(soak::SOAK_CKPT_KIND, &payload) {
+                        Ok(_) => last_ckpt = Some((ring.next_seq().saturating_sub(1), s.ticks)),
+                        // A full disk mid-soak degrades checkpointing,
+                        // not the soak itself.
+                        Err(e) => eprintln!("serve: checkpoint write failed (continuing): {e}"),
+                    }
+                }
+            }
+            if let Ok(mut snap) = shared.lock() {
+                snap.metrics_text = s.metrics().render_prometheus();
+                snap.profile_json = serve_profile_doc(&cfg, s).render();
+                let mut hz = soak::healthz_json(s);
+                if let Some((seq, tick)) = last_ckpt {
+                    hz = hz.set(
+                        "checkpoint",
+                        Json::obj()
+                            .set("seq", seq.into())
+                            .set("age_ticks", s.ticks.saturating_sub(tick).into())
+                            .set("valid", true.into()),
+                    );
+                }
+                snap.healthz_json = hz.render();
+            }
+            !shutdown::requested()
+        };
+        match resume {
+            Some(s) => soak::run_soak_from(&cfg, s, &mut observer),
+            None => soak::run_soak(&cfg, &mut observer),
         }
-        !shutdown::requested()
-    });
-    server.shutdown();
-    let doc = soak::soak_doc(&cfg, &state);
-    let path = match &o.out {
-        Some(p) => std::path::PathBuf::from(p),
-        None => report::results_dir().join("soak.json"),
     };
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir.display(), e))?;
+    // Final checkpoint at the stopping tick, so a `resume` after a clean
+    // shutdown continues from exactly where the soak stopped.
+    if let Some(ring) = ring.as_mut() {
+        let payload = soak::soak_ckpt_payload(&cfg, &state);
+        if let Err(e) = ring.write(soak::SOAK_CKPT_KIND, &payload) {
+            eprintln!("serve: final checkpoint write failed: {e}");
         }
     }
-    std::fs::write(&path, doc.render()).map_err(|e| CliError::io(path.display(), e))?;
+    server.shutdown();
+    let doc = soak::soak_doc(&cfg, &state);
+    let path = out_path;
+    report::write_atomic(&path, doc.render().as_bytes())
+        .map_err(|e| CliError::io(path.display(), e))?;
     eprintln!("serve: snapshot -> {}", path.display());
     println!(
         "soak: {} ticks, {} cycles, {} instrs, {} tasks, {} squashes, {} faults, {} storms, {} watchdog violations",
@@ -976,7 +1400,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: svc-sim run|trace|profile|designs|faults|serve|list [flags] (see `cargo doc`)"
+                "usage: svc-sim run|trace|profile|designs|faults|serve|resume|list [flags] (see `cargo doc`)"
             );
             return ExitCode::from(svc_repro::bench::cli::EXIT_USAGE);
         }
@@ -991,6 +1415,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&opts),
         "faults" => cmd_faults(&opts),
         "serve" => cmd_serve(&opts),
+        "resume" => cmd_resume(&opts),
         _ => cmd_designs(&opts),
     };
     svc_repro::bench::cli::exit_report(result)
@@ -1143,5 +1568,49 @@ mod tests {
         assert!(lookup_bench("nope").is_err());
         assert!(lookup_kernel("reduction", 1).is_ok());
         assert!(lookup_kernel("nope", 1).is_err());
+    }
+
+    #[test]
+    fn parse_checkpoint_flags() {
+        let o = parse(&argv(
+            "run --bench gcc --checkpoint-out /tmp/c.svc --checkpoint-every 5000",
+        ))
+        .unwrap();
+        assert_eq!(o.checkpoint_out.as_deref(), Some("/tmp/c.svc"));
+        assert_eq!(o.checkpoint_every, 5000);
+
+        // --checkpoint-out alone gets the default cadence.
+        let o = parse(&argv("run --checkpoint-out /tmp/c.svc")).unwrap();
+        assert_eq!(o.checkpoint_every, 250_000);
+
+        let o = parse(&argv(
+            "serve --checkpoint-dir /tmp/ring --checkpoint-keep 2",
+        ))
+        .unwrap();
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("/tmp/ring"));
+        assert_eq!(o.checkpoint_keep, 2);
+        // serve checkpoints every tick unless told otherwise.
+        assert_eq!(o.checkpoint_every, 1);
+    }
+
+    #[test]
+    fn parse_checkpoint_rejects_bad_combinations() {
+        // A cadence with nowhere to write.
+        assert!(parse(&argv("run --checkpoint-every 1000")).is_err());
+        // Tracing and checkpointing are mutually exclusive.
+        assert!(parse(&argv("run --trace --checkpoint-out /tmp/c.svc")).is_err());
+        // The ring must keep at least one checkpoint.
+        assert!(parse(&argv("serve --checkpoint-dir /tmp/r --checkpoint-keep 0")).is_err());
+    }
+
+    #[test]
+    fn parse_resume_subcommand() {
+        let o = parse(&argv("resume /tmp/ring --ticks 50 --json")).unwrap();
+        assert_eq!(o.command, "resume");
+        assert_eq!(o.resume_path.as_deref(), Some("/tmp/ring"));
+        assert_eq!(o.ticks, 50);
+        assert!(o.json);
+        // The checkpoint (file or ring directory) is mandatory.
+        assert!(parse(&argv("resume")).is_err());
     }
 }

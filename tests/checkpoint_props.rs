@@ -1,0 +1,183 @@
+//! Property tests for checkpoint round-trips: for *any* reachable
+//! memory-system state — SVC base/ECS/final, the ARB baseline, and the
+//! MRSW SMP system — `restore(checkpoint(s))` into a freshly
+//! constructed system reproduces the state exactly. Equality is checked
+//! two ways: the model checker's functional fingerprint
+//! ([`svc_types::StateHasher`]) and byte-identity of a second
+//! checkpoint taken from the restored system (which also covers pure
+//! timing state the fingerprint deliberately excludes).
+
+use proptest::prelude::*;
+use svc_repro::arb::{ArbConfig, ArbSystem};
+use svc_repro::coherence::{SmpConfig, SmpSystem};
+use svc_repro::svc::{SvcConfig, SvcSystem};
+use svc_repro::types::{
+    Addr, Checkpointable, CkptReader, CkptWriter, Cycle, ModelCheckable, PuId, StateHasher, TaskId,
+    VersionedMemory, Word,
+};
+
+const PUS: usize = 4;
+
+fn save_bytes<T: Checkpointable>(t: &T) -> Vec<u8> {
+    let mut w = CkptWriter::new();
+    t.save_state(&mut w);
+    w.into_bytes()
+}
+
+fn restore_from<T: Checkpointable>(t: &mut T, bytes: &[u8]) {
+    let mut r = CkptReader::new(bytes);
+    t.restore_state(&mut r).expect("restore");
+    r.finish().expect("trailing bytes after restore");
+}
+
+/// Drives a versioned memory through a randomized mix of stores, loads,
+/// head commits and violation-triggered squash recoveries, mirroring
+/// the engine's dispatch discipline (only the head commits; a violation
+/// squashes the victim and everything younger, youngest first).
+fn drive<M: VersionedMemory>(m: &mut M, ops: &[(u64, usize, u8)]) {
+    let n = m.num_pus();
+    let mut running: Vec<Option<TaskId>> = (0..n).map(|i| Some(TaskId(i as u64))).collect();
+    for i in 0..n {
+        m.assign(PuId(i), TaskId(i as u64));
+    }
+    let mut next = n as u64;
+    let mut now = Cycle(0);
+    for &(addr, pu, kind) in ops {
+        let pu = PuId(pu % n);
+        if running[pu.0].is_none() {
+            continue;
+        }
+        let a = Addr(addr);
+        match kind % 4 {
+            // Stores dominate: they are what create versioning state.
+            // Replacement stalls / structural rejections (`Err`) leave
+            // the request unexecuted; the state stays valid.
+            0 | 1 => {
+                if let Ok(out) = m.store(pu, a, Word(addr + now.0 + 1), now) {
+                    now = out.done_at;
+                    if let Some(v) = out.violation {
+                        let mut hit: Vec<(PuId, TaskId)> = running
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, t)| t.filter(|t| *t >= v.victim).map(|t| (PuId(i), t)))
+                            .collect();
+                        hit.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
+                        for &(p, _) in &hit {
+                            m.squash(p);
+                            running[p.0] = None;
+                        }
+                        for (i, slot) in running.iter_mut().enumerate() {
+                            if slot.is_none() {
+                                let t = TaskId(next);
+                                next += 1;
+                                *slot = Some(t);
+                                m.assign(PuId(i), t);
+                            }
+                        }
+                    }
+                }
+            }
+            2 => {
+                if let Ok(out) = m.load(pu, a, now) {
+                    now = out.done_at;
+                }
+            }
+            _ => {
+                let head = running.iter().flatten().min().copied();
+                if running[pu.0] == head {
+                    now = m.commit(pu, now);
+                    let t = TaskId(next);
+                    next += 1;
+                    running[pu.0] = Some(t);
+                    m.assign(pu, t);
+                }
+            }
+        }
+    }
+}
+
+/// checkpoint → restore-into-fresh → fingerprints equal AND a second
+/// checkpoint is byte-identical to the first.
+fn assert_round_trip<M>(driven: &M, fresh: &mut M)
+where
+    M: ModelCheckable + Checkpointable,
+{
+    let bytes = save_bytes(driven);
+    restore_from(fresh, &bytes);
+
+    let addrs: Vec<Addr> = (0..96).map(Addr).collect();
+    let mut ha = StateHasher::new();
+    driven.fingerprint(&addrs, &mut ha);
+    let mut hb = StateHasher::new();
+    fresh.fingerprint(&addrs, &mut hb);
+    assert_eq!(ha.finish(), hb.finish(), "functional fingerprint diverged");
+
+    assert_eq!(save_bytes(fresh), bytes, "re-checkpoint not byte-identical");
+}
+
+fn svc_round_trip(cfg: fn(usize) -> SvcConfig, ops: &[(u64, usize, u8)]) {
+    let mut sys = SvcSystem::new(cfg(PUS));
+    drive(&mut sys, ops);
+    assert_round_trip(&sys, &mut SvcSystem::new(cfg(PUS)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn svc_base_state_round_trips(
+        ops in proptest::collection::vec((0u64..96, 0usize..PUS, any::<u8>()), 1..250),
+    ) {
+        svc_round_trip(SvcConfig::base, &ops);
+    }
+
+    #[test]
+    fn svc_ecs_state_round_trips(
+        ops in proptest::collection::vec((0u64..96, 0usize..PUS, any::<u8>()), 1..250),
+    ) {
+        svc_round_trip(SvcConfig::ecs, &ops);
+    }
+
+    #[test]
+    fn svc_final_state_round_trips(
+        ops in proptest::collection::vec((0u64..96, 0usize..PUS, any::<u8>()), 1..250),
+    ) {
+        svc_round_trip(SvcConfig::final_design, &ops);
+    }
+
+    #[test]
+    fn arb_state_round_trips(
+        ops in proptest::collection::vec((0u64..96, 0usize..PUS, any::<u8>()), 1..250),
+    ) {
+        let mut sys = ArbSystem::new(ArbConfig::paper(PUS, 2, 32));
+        drive(&mut sys, &ops);
+        assert_round_trip(&sys, &mut ArbSystem::new(ArbConfig::paper(PUS, 2, 32)));
+    }
+
+    /// The SMP system is not a `VersionedMemory`, so it gets its own
+    /// driver (plain coherent loads/stores) and its own equality check:
+    /// byte-identical re-checkpoint plus the coherent memory image over
+    /// the address alphabet.
+    #[test]
+    fn smp_state_round_trips(
+        ops in proptest::collection::vec((0u64..96, 0usize..PUS, any::<bool>()), 1..250),
+    ) {
+        let mut smp = SmpSystem::new(SmpConfig::small_for_tests());
+        let mut now = Cycle(0);
+        for (i, &(addr, pu, is_store)) in ops.iter().enumerate() {
+            let a = Addr(addr);
+            if is_store {
+                now = smp.store(PuId(pu), a, Word(i as u64 + 1), now);
+            } else {
+                now = smp.load(PuId(pu), a, now).done_at;
+            }
+        }
+        let bytes = save_bytes(&smp);
+        let mut fresh = SmpSystem::new(SmpConfig::small_for_tests());
+        restore_from(&mut fresh, &bytes);
+        prop_assert_eq!(save_bytes(&fresh), bytes.clone(), "re-checkpoint not byte-identical");
+        for a in 0..96u64 {
+            prop_assert_eq!(fresh.coherent_peek(Addr(a)), smp.coherent_peek(Addr(a)));
+        }
+    }
+}
