@@ -1,0 +1,662 @@
+//! The analyses themselves: squash-cascade attribution, version-lifetime
+//! accounting, bus-contention heatmaps, and the conservation check that
+//! ties cascade costs back to the profiler's stall buckets.
+//!
+//! Everything here is a pure function from trace records (plus an
+//! optional profile join) to a deterministic `svc-analysis/v1` JSON
+//! document — byte-identical output for identical inputs, so the
+//! documents can be diffed and golden-tested.
+
+use std::collections::BTreeMap;
+
+use svc_bench::report::{Json, SCHEMA_ANALYSIS};
+use svc_sim::forensics::{self, LIFETIME_STATES};
+use svc_sim::profile::{Bucket, DEFAULT_EPOCH};
+use svc_sim::table::Table;
+use svc_sim::trace::{Record, TraceEvent};
+
+use crate::input::ProfileJoin;
+
+/// Default line geometry when no `--wpl` override is given (the paper
+/// configuration's 32-byte lines).
+pub const DEFAULT_WORDS_PER_LINE: u64 = 8;
+/// Default address-set count for the contention heatmap.
+pub const DEFAULT_SETS: u64 = 64;
+/// Cascades serialized in full detail, ranked by total cost.
+pub const RANKED_CASCADES: usize = 32;
+/// Member chains detailed per ranked cascade.
+pub const CHAIN_DETAIL: usize = 8;
+/// Lifetime rows serialized (the busiest lines by VOL activity).
+pub const LIFETIME_TOP_N: usize = 64;
+
+/// Knobs for [`analyze`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzeConfig {
+    /// Words per cache line (address → line mapping).
+    pub words_per_line: u64,
+    /// Address sets for the contention heatmap (`line % sets`).
+    pub sets: u64,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> AnalyzeConfig {
+        AnalyzeConfig {
+            words_per_line: DEFAULT_WORDS_PER_LINE,
+            sets: DEFAULT_SETS,
+        }
+    }
+}
+
+/// The last simulated cycle the trace is evidence for: the profile's
+/// cycle count when available, otherwise the latest completion time any
+/// record mentions.
+fn end_cycle(records: &[Record], profile: Option<&ProfileJoin>) -> u64 {
+    if let Some(p) = profile {
+        if p.cycles > 0 {
+            return p.cycles;
+        }
+    }
+    let mut end = 0;
+    for r in records {
+        end = end.max(r.cycle);
+        match &r.event {
+            TraceEvent::BusTransaction { done, .. } => end = end.max(done.0),
+            TraceEvent::Access { done_at, .. } => end = end.max(done_at.0),
+            TraceEvent::TaskSquash { until, .. } => end = end.max(until.0),
+            _ => {}
+        }
+    }
+    end
+}
+
+fn cascade_section(records: &[Record], cfg: &AnalyzeConfig, end: u64) -> (Json, u64) {
+    let chains = forensics::squash_chains(records, cfg.words_per_line);
+    let costs = forensics::chain_costs(records, &chains, end);
+    let groups = forensics::cascades(&chains, &costs);
+
+    let mut wasted = 0u64;
+    let mut recovery = 0u64;
+    for g in &groups {
+        wasted += g.wasted_exec_cycles;
+        recovery += g.recovery_cycles;
+    }
+    let total = wasted + recovery;
+
+    let mut ranked = Vec::new();
+    for g in groups.iter().take(RANKED_CASCADES) {
+        let root = &chains[g.members[0]];
+        let mut members = Vec::new();
+        for &i in g.members.iter().take(CHAIN_DETAIL) {
+            let c = &chains[i];
+            members.push(
+                Json::obj()
+                    .set("cycle", c.cycle.into())
+                    .set("addr", c.addr.0.into())
+                    .set("line", c.line.0.into())
+                    .set("store_pu", (c.store_pu.0 as u64).into())
+                    .set("store_task", c.store_task.0.into())
+                    .set("victim", c.victim.0.into())
+                    .set(
+                        "squashed",
+                        Json::Arr(c.squashed.iter().map(|(_, t)| t.0.into()).collect()),
+                    ),
+            );
+        }
+        ranked.push(
+            Json::obj()
+                .set("root_cycle", root.cycle.into())
+                .set("addr", root.addr.0.into())
+                .set("line", root.line.0.into())
+                .set("members", (g.members.len() as u64).into())
+                .set("wasted_exec_cycles", g.wasted_exec_cycles.into())
+                .set("recovery_cycles", g.recovery_cycles.into())
+                .set("total_cost", g.total_cost().into())
+                .set("chains", Json::Arr(members)),
+        );
+    }
+
+    let section = Json::obj()
+        .set("chains", (chains.len() as u64).into())
+        .set("count", (groups.len() as u64).into())
+        .set("wasted_exec_cycles", wasted.into())
+        .set("recovery_cycles", recovery.into())
+        .set("total_cost", total.into())
+        .set("ranked", Json::Arr(ranked));
+    (section, total)
+}
+
+fn lifetime_section(records: &[Record], end: u64) -> Json {
+    let mut lifetimes = forensics::line_lifetimes(records, end);
+    // Busiest lines first (VOL churn, then sheer occupancy), line id as
+    // the deterministic tiebreak.
+    lifetimes.sort_by(|a, b| {
+        let act = |l: &forensics::LineLifetime| (l.vol_events, l.load_cycles + l.store_cycles);
+        act(b).cmp(&act(a)).then(a.line.0.cmp(&b.line.0))
+    });
+
+    let mut totals = forensics::LineLifetime::default();
+    for l in &lifetimes {
+        totals.vol_events += l.vol_events;
+        totals.splices += l.splices;
+        totals.purges += l.purges;
+        totals.snarfs += l.snarfs;
+        totals.flash_reverts += l.flash_reverts;
+        totals.version_sum += l.version_sum;
+        totals.max_versions = totals.max_versions.max(l.max_versions);
+    }
+
+    let row = |l: &forensics::LineLifetime| {
+        let mut states = Json::obj();
+        for (name, cycles) in LIFETIME_STATES.iter().zip(l.state_cycles) {
+            states = states.set(name, cycles.into());
+        }
+        Json::obj()
+            .set("line", l.line.0.into())
+            .set("states", states)
+            .set("load_cycles", l.load_cycles.into())
+            .set("store_cycles", l.store_cycles.into())
+            .set("stale_cycles", l.stale_cycles.into())
+            .set("max_versions", l.max_versions.into())
+            .set(
+                "avg_versions",
+                if l.vol_events > 0 {
+                    (l.version_sum as f64 / l.vol_events as f64).into()
+                } else {
+                    Json::Num(0.0)
+                },
+            )
+            .set("vol_events", l.vol_events.into())
+            .set("splices", l.splices.into())
+            .set("purges", l.purges.into())
+            .set("snarfs", l.snarfs.into())
+            .set("flash_reverts", l.flash_reverts.into())
+    };
+
+    Json::obj()
+        .set("lines_seen", (lifetimes.len() as u64).into())
+        .set(
+            "totals",
+            Json::obj()
+                .set("vol_events", totals.vol_events.into())
+                .set("splices", totals.splices.into())
+                .set("purges", totals.purges.into())
+                .set("snarfs", totals.snarfs.into())
+                .set("flash_reverts", totals.flash_reverts.into())
+                .set("max_versions", totals.max_versions.into()),
+        )
+        .set(
+            "lines",
+            Json::Arr(lifetimes.iter().take(LIFETIME_TOP_N).map(row).collect()),
+        )
+}
+
+fn contention_section(
+    records: &[Record],
+    cfg: &AnalyzeConfig,
+    profile: Option<&ProfileJoin>,
+) -> Json {
+    let epoch = profile
+        .map(|p| p.epoch)
+        .filter(|&e| e > 0)
+        .unwrap_or(DEFAULT_EPOCH);
+
+    // (set, epoch-index) -> (busy cycles, transactions)
+    let mut cells: BTreeMap<(u64, u64), (u64, u64)> = BTreeMap::new();
+    let mut per_pu: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    let mut total_busy = 0u64;
+    let mut total_ops = 0u64;
+    let mut unattributed_busy = 0u64;
+    for r in records {
+        let TraceEvent::BusTransaction {
+            pu,
+            line,
+            start,
+            done,
+            ..
+        } = &r.event
+        else {
+            continue;
+        };
+        let busy = done.0.saturating_sub(start.0);
+        total_busy += busy;
+        total_ops += 1;
+        if let Some(p) = pu {
+            let e = per_pu.entry(p.0 as u64).or_default();
+            e.0 += busy;
+            e.1 += 1;
+        }
+        match line {
+            Some(l) => {
+                let cell = cells.entry((l.0 % cfg.sets, start.0 / epoch)).or_default();
+                cell.0 += busy;
+                cell.1 += 1;
+            }
+            None => unattributed_busy += busy,
+        }
+    }
+
+    // Attribute the profiler's bus_wait bucket to cells proportionally
+    // to their share of occupancy: a cell that kept the bus busy for a
+    // third of all busy cycles is charged a third of the waiting.
+    let bus_wait = profile.map(|p| p.total(Bucket::BusWait));
+    let wait_share = |busy: u64| -> Option<u64> {
+        let wait = bus_wait?;
+        if total_busy == 0 {
+            return Some(0);
+        }
+        Some((wait as u128 * busy as u128 / total_busy as u128) as u64)
+    };
+
+    let cell_rows: Vec<Json> = cells
+        .iter()
+        .map(|(&(set, epoch_idx), &(busy, ops))| {
+            let mut row = Json::obj()
+                .set("set", set.into())
+                .set("epoch", epoch_idx.into())
+                .set("busy", busy.into())
+                .set("ops", ops.into());
+            if let Some(w) = wait_share(busy) {
+                row = row.set("bus_wait", w.into());
+            }
+            row
+        })
+        .collect();
+    let pu_rows: Vec<Json> = per_pu
+        .iter()
+        .map(|(&pu, &(busy, ops))| {
+            let mut row = Json::obj()
+                .set("pu", pu.into())
+                .set("busy", busy.into())
+                .set("ops", ops.into());
+            if let Some(w) = wait_share(busy) {
+                row = row.set("bus_wait", w.into());
+            }
+            row
+        })
+        .collect();
+
+    let mut section = Json::obj()
+        .set("epoch", epoch.into())
+        .set("sets", cfg.sets.into())
+        .set("transactions", total_ops.into())
+        .set("bus_busy_cycles", total_busy.into());
+    if unattributed_busy > 0 {
+        section = section.set("unattributed_busy", unattributed_busy.into());
+    }
+    if let Some(wait) = bus_wait {
+        section = section.set("bus_wait_cycles", wait.into());
+    }
+    section
+        .set("cells", Json::Arr(cell_rows))
+        .set("per_pu", Json::Arr(pu_rows))
+}
+
+/// Runs every analysis over a trace and serializes the results as a
+/// `svc-analysis/v1` document.
+pub fn analyze(
+    records: &[Record],
+    skipped: u64,
+    profile: Option<&ProfileJoin>,
+    cfg: &AnalyzeConfig,
+) -> Json {
+    let end = end_cycle(records, profile);
+    let (cascades, cascade_cost) = cascade_section(records, cfg, end);
+
+    let mut trace_meta = Json::obj()
+        .set("events", (records.len() as u64).into())
+        .set("end_cycle", end.into())
+        .set("words_per_line", cfg.words_per_line.into())
+        .set("sets", cfg.sets.into());
+    if skipped > 0 {
+        trace_meta = trace_meta.set("skipped_lines", skipped.into());
+    }
+
+    let mut doc = Json::obj()
+        .set("schema", SCHEMA_ANALYSIS.into())
+        .set("trace", trace_meta)
+        .set("cascades", cascades)
+        .set("lifetimes", lifetime_section(records, end))
+        .set("contention", contention_section(records, cfg, profile));
+
+    if let Some(p) = profile {
+        // Every cascade's cost is a lower bound on the cycles the
+        // profiler binned as wasted execution + squash recovery; the
+        // sum over all cascades must stay under the bucket totals.
+        let wasted = p.total(Bucket::WastedExec);
+        let recovery = p.total(Bucket::SquashRecovery);
+        let bound = wasted + recovery;
+        doc = doc.set(
+            "conservation",
+            Json::obj()
+                .set("cascade_cost", cascade_cost.into())
+                .set("wasted_exec_bucket", wasted.into())
+                .set("squash_recovery_bucket", recovery.into())
+                .set("bound", bound.into())
+                .set("within_bound", (cascade_cost <= bound).into()),
+        );
+    }
+    doc
+}
+
+fn f(v: Option<&Json>) -> f64 {
+    v.and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn n(v: Option<&Json>) -> u64 {
+    f(v) as u64
+}
+
+/// Renders an `svc-analysis/v1` document as text tables (the non-`--json`
+/// output of `svc-analyze trace` / `report`).
+pub fn render_text(doc: &Json) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    if let Some(t) = doc.get("trace") {
+        let _ = writeln!(
+            out,
+            "trace      {} events, end cycle {}, {} words/line, {} sets",
+            n(t.get("events")),
+            n(t.get("end_cycle")),
+            n(t.get("words_per_line")),
+            n(t.get("sets")),
+        );
+    }
+
+    if let Some(c) = doc.get("cascades") {
+        let _ = writeln!(
+            out,
+            "cascades   {} (from {} squash chains): {} wasted-exec + {} recovery = {} cycles",
+            n(c.get("count")),
+            n(c.get("chains")),
+            n(c.get("wasted_exec_cycles")),
+            n(c.get("recovery_cycles")),
+            n(c.get("total_cost")),
+        );
+        let ranked = c.get("ranked").and_then(Json::as_arr).unwrap_or(&[]);
+        if !ranked.is_empty() {
+            let mut table = Table::new(vec![
+                "#".into(),
+                "root cycle".into(),
+                "addr".into(),
+                "line".into(),
+                "chains".into(),
+                "wasted".into(),
+                "recovery".into(),
+                "cost".into(),
+            ]);
+            for (i, g) in ranked.iter().enumerate() {
+                table.row(vec![
+                    format!("{}", i + 1),
+                    n(g.get("root_cycle")).to_string(),
+                    n(g.get("addr")).to_string(),
+                    n(g.get("line")).to_string(),
+                    n(g.get("members")).to_string(),
+                    n(g.get("wasted_exec_cycles")).to_string(),
+                    n(g.get("recovery_cycles")).to_string(),
+                    n(g.get("total_cost")).to_string(),
+                ]);
+            }
+            out.push_str(&table.render());
+        }
+    }
+
+    if let Some(l) = doc.get("lifetimes") {
+        let totals = l.get("totals");
+        let _ = writeln!(
+            out,
+            "lifetimes  {} lines: {} VOL events ({} splices, {} purges), {} snarfs, {} flash reverts, max {} versions",
+            n(l.get("lines_seen")),
+            n(totals.and_then(|t| t.get("vol_events"))),
+            n(totals.and_then(|t| t.get("splices"))),
+            n(totals.and_then(|t| t.get("purges"))),
+            n(totals.and_then(|t| t.get("snarfs"))),
+            n(totals.and_then(|t| t.get("flash_reverts"))),
+            n(totals.and_then(|t| t.get("max_versions"))),
+        );
+        let lines = l.get("lines").and_then(Json::as_arr).unwrap_or(&[]);
+        if !lines.is_empty() {
+            let mut head = vec!["line".to_string()];
+            head.extend(LIFETIME_STATES.iter().map(|s| s.to_string()));
+            head.extend(
+                ["load cyc", "store cyc", "max ver", "vol", "snarf", "revert"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
+            let mut table = Table::new(head);
+            for row in lines {
+                let states = row.get("states");
+                let mut cells = vec![n(row.get("line")).to_string()];
+                cells.extend(
+                    LIFETIME_STATES
+                        .iter()
+                        .map(|s| n(states.and_then(|st| st.get(s))).to_string()),
+                );
+                cells.push(n(row.get("load_cycles")).to_string());
+                cells.push(n(row.get("store_cycles")).to_string());
+                cells.push(n(row.get("max_versions")).to_string());
+                cells.push(n(row.get("vol_events")).to_string());
+                cells.push(n(row.get("snarfs")).to_string());
+                cells.push(n(row.get("flash_reverts")).to_string());
+                table.row(cells);
+            }
+            out.push_str(&table.render());
+        }
+    }
+
+    if let Some(c) = doc.get("contention") {
+        let _ = writeln!(
+            out,
+            "contention {} bus transactions, {} busy cycles (epoch {}, {} sets)",
+            n(c.get("transactions")),
+            n(c.get("bus_busy_cycles")),
+            n(c.get("epoch")),
+            n(c.get("sets")),
+        );
+        let cells = c.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
+        if !cells.is_empty() {
+            let with_wait = cells[0].get("bus_wait").is_some();
+            let mut head = vec![
+                "set".to_string(),
+                "epoch".to_string(),
+                "busy".to_string(),
+                "ops".to_string(),
+            ];
+            if with_wait {
+                head.push("bus wait".to_string());
+            }
+            let mut table = Table::new(head);
+            // Hottest cells first in the text view; the document itself
+            // stays in (set, epoch) order for diffing.
+            let mut sorted: Vec<&Json> = cells.iter().collect();
+            sorted.sort_by_key(|cell| std::cmp::Reverse(n(cell.get("busy"))));
+            for cell in sorted.into_iter().take(16) {
+                let mut row = vec![
+                    n(cell.get("set")).to_string(),
+                    n(cell.get("epoch")).to_string(),
+                    n(cell.get("busy")).to_string(),
+                    n(cell.get("ops")).to_string(),
+                ];
+                if with_wait {
+                    row.push(n(cell.get("bus_wait")).to_string());
+                }
+                table.row(row);
+            }
+            out.push_str(&table.render());
+        }
+    }
+
+    if let Some(cv) = doc.get("conservation") {
+        let _ = writeln!(
+            out,
+            "conservation: cascade cost {} <= wasted_exec {} + squash_recovery {} -- {}",
+            n(cv.get("cascade_cost")),
+            n(cv.get("wasted_exec_bucket")),
+            n(cv.get("squash_recovery_bucket")),
+            if matches!(cv.get("within_bound"), Some(Json::Bool(true))) {
+                "OK"
+            } else {
+                "VIOLATED"
+            },
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svc_sim::trace::{AccessOp, SquashCause, VolEntry, VolOp};
+    use svc_types::{Addr, Cycle, LineId, PuId, TaskId};
+
+    fn rec(cycle: u64, seq: u64, event: TraceEvent) -> Record {
+        Record { cycle, seq, event }
+    }
+
+    fn fixture() -> Vec<Record> {
+        vec![
+            rec(
+                2,
+                0,
+                TraceEvent::TaskDispatch {
+                    pu: PuId(1),
+                    task: TaskId(2),
+                    attempt: 1,
+                    wrong_path: false,
+                },
+            ),
+            rec(
+                4,
+                1,
+                TraceEvent::BusTransaction {
+                    op: svc_sim::trace::BusOp::Read,
+                    pu: Some(PuId(1)),
+                    line: Some(LineId(16)),
+                    start: Cycle(4),
+                    done: Cycle(9),
+                    extra: 0,
+                },
+            ),
+            rec(
+                5,
+                2,
+                TraceEvent::Access {
+                    pu: PuId(1),
+                    task: TaskId(2),
+                    op: AccessOp::Load,
+                    addr: Addr(128),
+                    source: "next-level",
+                    done_at: Cycle(9),
+                },
+            ),
+            rec(
+                10,
+                3,
+                TraceEvent::VolReorder {
+                    line: LineId(16),
+                    op: VolOp::Splice,
+                    order: vec![
+                        VolEntry {
+                            pu: PuId(0),
+                            task: Some(TaskId(1)),
+                            version: true,
+                        },
+                        VolEntry {
+                            pu: PuId(1),
+                            task: Some(TaskId(2)),
+                            version: true,
+                        },
+                    ],
+                },
+            ),
+            rec(
+                12,
+                4,
+                TraceEvent::Violation {
+                    pu: PuId(0),
+                    task: TaskId(1),
+                    victim: TaskId(2),
+                    addr: Addr(128),
+                },
+            ),
+            rec(
+                12,
+                5,
+                TraceEvent::TaskSquash {
+                    pu: PuId(1),
+                    task: TaskId(2),
+                    cause: SquashCause::Violation,
+                    restart: TaskId(2),
+                    until: Cycle(18),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn analysis_doc_is_deterministic_and_complete() {
+        let records = fixture();
+        let cfg = AnalyzeConfig::default();
+        let a = analyze(&records, 0, None, &cfg).render();
+        let b = analyze(&records, 0, None, &cfg).render();
+        assert_eq!(a, b);
+        let doc = svc_bench::report::parse(&a).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(SCHEMA_ANALYSIS)
+        );
+        let cascades = doc.get("cascades").unwrap();
+        assert_eq!(n(cascades.get("count")), 1);
+        assert_eq!(n(cascades.get("chains")), 1);
+        // One squashed task, blackout [12, 18), one uncovered issue
+        // cycle at 5 (the load window [6, 9) does not cover its own
+        // issue cycle).
+        assert_eq!(n(cascades.get("recovery_cycles")), 6);
+        assert_eq!(n(cascades.get("wasted_exec_cycles")), 1);
+        let contention = doc.get("contention").unwrap();
+        assert_eq!(n(contention.get("transactions")), 1);
+        assert_eq!(n(contention.get("bus_busy_cycles")), 5);
+        let lifetimes = doc.get("lifetimes").unwrap();
+        assert_eq!(n(lifetimes.get("totals").unwrap().get("splices")), 1);
+    }
+
+    #[test]
+    fn conservation_uses_profile_buckets() {
+        let records = fixture();
+        let mut profile = ProfileJoin {
+            cycles: 40,
+            num_pus: 4,
+            epoch: 16,
+            totals: Default::default(),
+        };
+        profile.totals.insert("wasted_exec".into(), 10);
+        profile.totals.insert("squash_recovery".into(), 10);
+        profile.totals.insert("bus_wait".into(), 20);
+        let doc = analyze(&records, 0, Some(&profile), &AnalyzeConfig::default());
+        let cv = doc.get("conservation").unwrap();
+        assert_eq!(n(cv.get("cascade_cost")), 7);
+        assert_eq!(n(cv.get("bound")), 20);
+        assert!(matches!(cv.get("within_bound"), Some(Json::Bool(true))));
+        // The single cell carries all of the attributed bus_wait.
+        let cells = doc
+            .get("contention")
+            .unwrap()
+            .get("cells")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(n(cells[0].get("bus_wait")), 20);
+        assert_eq!(n(cells[0].get("epoch")), 0);
+        assert_eq!(n(cells[0].get("set")), 16);
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_section() {
+        let records = fixture();
+        let doc = analyze(&records, 0, None, &AnalyzeConfig::default());
+        let text = render_text(&doc);
+        for needle in ["trace", "cascades", "lifetimes", "contention"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! `svc-analyze`: offline trace/profile analytics and cross-run
+//! regression forensics.
+//!
+//! ```text
+//! svc-analyze trace TRACE.jsonl [--profile P.json] [--wpl N] [--sets N]
+//!                               [--json] [--html] [--out FILE]
+//! svc-analyze compare A.json B.json [--profile PA.json PB.json]
+//!                               [--json] [--html] [--out FILE]
+//! svc-analyze report DOC.json  [--html] [--out FILE]
+//! ```
+//!
+//! `trace` ingests a JSONL trace (as written by `svc-sim run
+//! --trace-out`) and emits an `svc-analysis/v1` document; `compare`
+//! diffs two result documents (`svc-sim run --json` output or
+//! `svc-experiments/v1|v2` files); `report` re-renders an existing
+//! `svc-analysis/v1` document as text tables or self-contained HTML.
+//! Exit codes follow the harness convention: 2 usage, 3 I/O,
+//! 4 invariant.
+
+use std::process::ExitCode;
+
+use svc_analyze::analysis::{self, AnalyzeConfig};
+use svc_analyze::{compare, html, input};
+use svc_bench::cli::{exit_report, CliError};
+use svc_bench::report::{self, Json};
+
+const USAGE: &str = "usage: svc-analyze <command> [args]
+  trace TRACE.jsonl [--profile P.json] [--wpl N] [--sets N] [--json] [--html] [--out FILE]
+  compare A.json B.json [--profile PA.json PB.json] [--json] [--html] [--out FILE]
+  report DOC.json [--html] [--out FILE]";
+
+/// How the resulting document leaves the process.
+#[derive(Default)]
+struct Output {
+    json: bool,
+    html: bool,
+    out: Option<String>,
+}
+
+impl Output {
+    /// Writes/prints `doc`, rendering text tables via `render` unless
+    /// `--json` / `--html` asked for another shape.
+    fn emit(
+        &self,
+        doc: &Json,
+        title: &str,
+        render: impl Fn(&Json) -> String,
+    ) -> Result<(), CliError> {
+        let body = if self.html {
+            html::render_html(doc, title)
+        } else if self.json || self.out.is_some() {
+            doc.render()
+        } else {
+            render(doc)
+        };
+        match &self.out {
+            Some(path) => {
+                report::write_atomic(std::path::Path::new(path), body.as_bytes())
+                    .map_err(|e| CliError::io(path, e))?;
+                eprintln!("analysis: -> {path}");
+                Ok(())
+            }
+            None => {
+                print!("{body}");
+                Ok(())
+            }
+        }
+    }
+}
+
+fn read_doc(path: &str) -> Result<Json, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+    report::parse(&text).map_err(|e| CliError::Invariant(format!("{path}: {e}")))
+}
+
+fn read_profile(path: &str) -> Result<input::ProfileJoin, CliError> {
+    input::parse_profile_doc(&read_doc(path)?)
+        .map_err(|e| CliError::Invariant(format!("{path}: {e}")))
+}
+
+fn parse_u64(flag: &str, value: &str) -> Result<u64, CliError> {
+    value
+        .parse::<u64>()
+        .map_err(|_| CliError::Usage(format!("{flag} wants a number, got {value:?}")))
+        .and_then(|v| {
+            if v == 0 {
+                Err(CliError::Usage(format!("{flag} must be nonzero")))
+            } else {
+                Ok(v)
+            }
+        })
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    let mut trace_path: Option<&str> = None;
+    let mut profile_path: Option<&str> = None;
+    let mut cfg = AnalyzeConfig::default();
+    let mut output = Output::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(format!("{arg} wants a value")))
+        };
+        match arg.as_str() {
+            "--profile" => profile_path = Some(value()?),
+            "--wpl" => cfg.words_per_line = parse_u64("--wpl", value()?)?,
+            "--sets" => cfg.sets = parse_u64("--sets", value()?)?,
+            "--json" => output.json = true,
+            "--html" => output.html = true,
+            "--out" => output.out = Some(value()?.to_string()),
+            _ if !arg.starts_with('-') && trace_path.is_none() => {
+                trace_path = Some(arg.as_str());
+            }
+            _ => return Err(CliError::Usage(format!("unknown trace argument {arg:?}"))),
+        }
+    }
+    let path = trace_path.ok_or_else(|| CliError::Usage("trace wants a TRACE.jsonl".into()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+    let loaded = input::parse_trace_jsonl(&text);
+    if loaded.records.is_empty() {
+        return Err(CliError::Invariant(format!(
+            "{path}: no trace records decoded ({} lines skipped)",
+            loaded.skipped
+        )));
+    }
+    let profile = profile_path.map(read_profile).transpose()?;
+    let doc = analysis::analyze(&loaded.records, loaded.skipped, profile.as_ref(), &cfg);
+    output.emit(&doc, &format!("svc-analyze: {path}"), analysis::render_text)
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), CliError> {
+    let mut inputs: Vec<&str> = Vec::new();
+    let mut profiles: Vec<&str> = Vec::new();
+    let mut output = Output::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::Usage(format!("{arg} wants a value")))
+        };
+        match arg.as_str() {
+            "--profile" => {
+                profiles.push(value()?);
+                profiles.push(value()?);
+            }
+            "--json" => output.json = true,
+            "--html" => output.html = true,
+            "--out" => output.out = Some(value()?.to_string()),
+            _ if !arg.starts_with('-') && inputs.len() < 2 => inputs.push(arg.as_str()),
+            _ => return Err(CliError::Usage(format!("unknown compare argument {arg:?}"))),
+        }
+    }
+    let [a, b] = inputs[..] else {
+        return Err(CliError::Usage(
+            "compare wants exactly A.json B.json".into(),
+        ));
+    };
+    let (doc_a, doc_b) = (read_doc(a)?, read_doc(b)?);
+    let joined = match profiles[..] {
+        [] => None,
+        [pa, pb] => Some((read_profile(pa)?, read_profile(pb)?)),
+        _ => {
+            return Err(CliError::Usage(
+                "--profile wants exactly two files (one per side), given once".into(),
+            ))
+        }
+    };
+    let doc = compare::compare(
+        a,
+        &doc_a,
+        b,
+        &doc_b,
+        joined.as_ref().map(|(pa, pb)| (pa, pb)),
+    )
+    .map_err(CliError::Invariant)?;
+    output.emit(
+        &doc,
+        &format!("svc-analyze: {a} vs {b}"),
+        compare::render_compare_text,
+    )
+}
+
+fn cmd_report(args: &[String]) -> Result<(), CliError> {
+    let mut input_path: Option<&str> = None;
+    let mut output = Output::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--html" => output.html = true,
+            "--json" => output.json = true,
+            "--out" => {
+                output.out = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage("--out wants a value".into()))?,
+                );
+            }
+            _ if !arg.starts_with('-') && input_path.is_none() => input_path = Some(arg.as_str()),
+            _ => return Err(CliError::Usage(format!("unknown report argument {arg:?}"))),
+        }
+    }
+    let path = input_path.ok_or_else(|| CliError::Usage("report wants a DOC.json".into()))?;
+    let doc = read_doc(path)?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("?");
+    if schema != report::SCHEMA_ANALYSIS {
+        return Err(CliError::Invariant(format!(
+            "{path}: expected a {} document, got schema {schema:?}",
+            report::SCHEMA_ANALYSIS
+        )));
+    }
+    let render = |d: &Json| {
+        if d.get("compare").is_some() {
+            compare::render_compare_text(d)
+        } else {
+            analysis::render_text(d)
+        }
+    };
+    output.emit(&doc, &format!("svc-analyze: {path}"), render)
+}
+
+fn run() -> Result<(), CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::Usage(format!("missing command\n{USAGE}")));
+    };
+    match cmd.as_str() {
+        "trace" => cmd_trace(rest),
+        "compare" => cmd_compare(rest),
+        "report" => cmd_report(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
+    }
+}
+
+fn main() -> ExitCode {
+    exit_report(run())
+}

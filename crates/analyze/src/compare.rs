@@ -1,0 +1,368 @@
+//! Cross-run regression forensics: pair the runs of two result
+//! documents, diff their metrics, and explain the deltas in terms of
+//! squash/stall structure (optionally joined against the two runs'
+//! profiler bucket totals).
+//!
+//! Accepts both document shapes the harness produces: `svc-sim run
+//! --json` output (a single run object) and `svc-experiments/v1|v2`
+//! documents (a `runs` array).
+
+use svc_bench::report::{Json, SCHEMA_ANALYSIS};
+use svc_sim::profile::Bucket;
+use svc_sim::table::Table;
+
+use crate::input::ProfileJoin;
+
+/// Metrics diffed per paired run: name, where it lives, and whether an
+/// increase is a regression (for the findings heuristic).
+const RUN_METRICS: [(&str, Place, bool); 10] = [
+    ("ipc", Place::Top, false),
+    ("miss_ratio", Place::Top, true),
+    ("bus_utilization", Place::Top, true),
+    ("squashes", Place::Top, true),
+    ("wasted_instrs", Place::Top, true),
+    ("cycles", Place::Report, true),
+    ("committed_instrs", Place::Report, false),
+    ("violation_squashes", Place::Report, true),
+    ("resource_squashes", Place::Report, true),
+    ("squash_recovery_cycles", Place::Report, true),
+];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Place {
+    /// Top-level field of the run object.
+    Top,
+    /// Field of the nested `report` object.
+    Report,
+}
+
+fn metric_of(run: &Json, name: &str, place: Place) -> Option<f64> {
+    match place {
+        Place::Top => run.get(name)?.as_f64(),
+        Place::Report => run.get("report")?.get(name)?.as_f64(),
+    }
+}
+
+/// A run's identity within a document: `workload/memory/seed`.
+fn run_key(run: &Json) -> String {
+    let s = |k: &str| run.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+    let seed = run
+        .get("seed")
+        .and_then(Json::as_f64)
+        .map(|v| format!("{}", v as u64))
+        .unwrap_or_else(|| "?".into());
+    format!("{}/{}/{}", s("workload"), s("memory"), seed)
+}
+
+/// The run objects inside a document, in document order.
+fn runs_of(doc: &Json) -> Result<Vec<&Json>, String> {
+    if let Some(runs) = doc.get("runs").and_then(Json::as_arr) {
+        return Ok(runs.iter().collect());
+    }
+    if doc.get("workload").is_some() {
+        return Ok(vec![doc]);
+    }
+    Err(format!(
+        "document is neither an experiment result (schema {:?}) nor `svc-sim run --json` output",
+        doc.get("schema").and_then(Json::as_str).unwrap_or("?")
+    ))
+}
+
+fn pct(a: f64, b: f64) -> f64 {
+    if a == 0.0 {
+        if b == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * (b - a) / a
+    }
+}
+
+/// Diffs two result documents. `profiles` optionally joins the runs'
+/// `svc-profile/v1` bucket totals into the explanation.
+pub fn compare(
+    label_a: &str,
+    doc_a: &Json,
+    label_b: &str,
+    doc_b: &Json,
+    profiles: Option<(&ProfileJoin, &ProfileJoin)>,
+) -> Result<Json, String> {
+    let runs_a = runs_of(doc_a).map_err(|e| format!("{label_a}: {e}"))?;
+    let runs_b = runs_of(doc_b).map_err(|e| format!("{label_b}: {e}"))?;
+
+    let mut findings: Vec<String> = Vec::new();
+    let mut paired = Vec::new();
+    let mut unmatched = 0u64;
+    for ra in &runs_a {
+        let key = run_key(ra);
+        let Some(rb) = runs_b.iter().find(|rb| run_key(rb) == key) else {
+            unmatched += 1;
+            continue;
+        };
+
+        let mut metrics = Json::obj();
+        let mut suspects: Vec<(f64, String)> = Vec::new();
+        let mut ipc_delta_pct = 0.0;
+        for (name, place, worse_if_up) in RUN_METRICS {
+            let (Some(va), Some(vb)) = (metric_of(ra, name, place), metric_of(rb, name, place))
+            else {
+                continue;
+            };
+            let delta = vb - va;
+            metrics = metrics.set(
+                name,
+                Json::obj()
+                    .set("a", va.into())
+                    .set("b", vb.into())
+                    .set("delta", delta.into()),
+            );
+            if name == "ipc" {
+                ipc_delta_pct = pct(va, vb);
+            } else if worse_if_up && delta > 0.0 {
+                let rel = pct(va, vb);
+                suspects.push((
+                    rel,
+                    format!("{name} +{rel:.1}% ({} -> {})", fmt_num(va), fmt_num(vb)),
+                ));
+            }
+        }
+        let regressed = ipc_delta_pct < -0.1;
+        if regressed {
+            suspects.sort_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
+            let why: Vec<String> = suspects.into_iter().take(3).map(|(_, s)| s).collect();
+            let why = if why.is_empty() {
+                "no stall-side counter moved".to_string()
+            } else {
+                why.join(", ")
+            };
+            findings.push(format!("{key}: ipc {ipc_delta_pct:+.1}% -- {why}"));
+        }
+        paired.push(
+            Json::obj()
+                .set("key", key.into())
+                .set("regressed", regressed.into())
+                .set("metrics", metrics),
+        );
+    }
+
+    let mut section = Json::obj()
+        .set(
+            "a",
+            Json::obj()
+                .set("label", label_a.into())
+                .set("runs", (runs_a.len() as u64).into()),
+        )
+        .set(
+            "b",
+            Json::obj()
+                .set("label", label_b.into())
+                .set("runs", (runs_b.len() as u64).into()),
+        );
+    if unmatched > 0 {
+        section = section.set("unmatched_runs", unmatched.into());
+    }
+    section = section.set("runs", Json::Arr(paired));
+
+    if let Some((pa, pb)) = profiles {
+        let mut buckets = Json::obj();
+        let mut top: Option<(i128, Bucket)> = None;
+        for b in Bucket::EVERY {
+            let (va, vb) = (pa.total(b), pb.total(b));
+            let delta = vb as i128 - va as i128;
+            buckets = buckets.set(
+                b.name(),
+                Json::obj()
+                    .set("a", va.into())
+                    .set("b", vb.into())
+                    .set("delta", Json::Num(delta as f64)),
+            );
+            let grew = !matches!(b, Bucket::Commit) && delta > 0;
+            if grew && top.is_none_or(|(best, _)| delta > best) {
+                top = Some((delta, b));
+            }
+        }
+        section = section.set("buckets", buckets);
+        if let Some((delta, b)) = top {
+            findings.push(format!(
+                "profiler: {} grew by {delta} PU-cycles ({} -> {}), the largest stall-side shift",
+                b.name(),
+                pa.total(b),
+                pb.total(b)
+            ));
+        }
+    }
+
+    section = section.set(
+        "findings",
+        Json::Arr(findings.iter().map(|s| s.as_str().into()).collect()),
+    );
+    Ok(Json::obj()
+        .set("schema", SCHEMA_ANALYSIS.into())
+        .set("compare", section))
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders a comparison document as text tables.
+pub fn render_compare_text(doc: &Json) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let Some(c) = doc.get("compare") else {
+        return "not a comparison document\n".into();
+    };
+    let label = |side: &str| {
+        c.get(side)
+            .and_then(|s| s.get("label"))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let _ = writeln!(out, "compare    a={}  b={}", label("a"), label("b"));
+    for run in c.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
+        let key = run.get("key").and_then(Json::as_str).unwrap_or("?");
+        let _ = writeln!(out, "run {key}");
+        let mut table = Table::new(vec![
+            "metric".into(),
+            "a".into(),
+            "b".into(),
+            "delta".into(),
+        ]);
+        if let Some(metrics) = run.get("metrics").and_then(Json::as_obj) {
+            for (name, m) in metrics {
+                let g = |k: &str| m.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                table.row(vec![
+                    name.clone(),
+                    fmt_num(g("a")),
+                    fmt_num(g("b")),
+                    fmt_num(g("delta")),
+                ]);
+            }
+        }
+        out.push_str(&table.render());
+    }
+    if let Some(buckets) = c.get("buckets").and_then(Json::as_obj) {
+        let _ = writeln!(out, "profiler buckets (PU-cycles)");
+        let mut table = Table::new(vec![
+            "bucket".into(),
+            "a".into(),
+            "b".into(),
+            "delta".into(),
+        ]);
+        for (name, m) in buckets {
+            let g = |k: &str| m.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            table.row(vec![
+                name.clone(),
+                fmt_num(g("a")),
+                fmt_num(g("b")),
+                fmt_num(g("delta")),
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    let findings = c.get("findings").and_then(Json::as_arr).unwrap_or(&[]);
+    if findings.is_empty() {
+        let _ = writeln!(out, "findings   none (no run regressed)");
+    } else {
+        for f in findings {
+            let _ = writeln!(out, "finding    {}", f.as_str().unwrap_or("?"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svc_bench::report;
+
+    fn run_doc(ipc: f64, squashes: u64, recovery: u64) -> Json {
+        Json::obj()
+            .set("workload", "mcf".into())
+            .set("memory", "svc".into())
+            .set("seed", 42u64.into())
+            .set("ipc", ipc.into())
+            .set("miss_ratio", 0.1.into())
+            .set("bus_utilization", 0.5.into())
+            .set("squashes", squashes.into())
+            .set("wasted_instrs", (squashes * 10).into())
+            .set(
+                "report",
+                Json::obj()
+                    .set("cycles", 1000u64.into())
+                    .set("committed_instrs", (1000.0 * ipc).into())
+                    .set("violation_squashes", squashes.into())
+                    .set("resource_squashes", 0u64.into())
+                    .set("squash_recovery_cycles", recovery.into()),
+            )
+    }
+
+    #[test]
+    fn explains_an_injected_slowdown() {
+        let a = run_doc(1.5, 10, 100);
+        let b = run_doc(1.0, 40, 420);
+        let doc = compare("a.json", &a, "b.json", &b, None).unwrap();
+        let c = doc.get("compare").unwrap();
+        let findings = c.get("findings").and_then(Json::as_arr).unwrap();
+        assert_eq!(findings.len(), 1);
+        let text = findings[0].as_str().unwrap();
+        assert!(text.contains("mcf/svc/42"), "{text}");
+        assert!(text.contains("squash"), "{text}");
+        // Deterministic rendering, parseable round trip.
+        let rendered = doc.render();
+        assert_eq!(report::parse(&rendered).unwrap().render(), rendered);
+        let tables = render_compare_text(&doc);
+        assert!(tables.contains("ipc"), "{tables}");
+    }
+
+    #[test]
+    fn experiment_docs_pair_runs_by_key() {
+        let exp = |ipc| {
+            Json::obj()
+                .set("schema", report::SCHEMA_EXPERIMENT.into())
+                .set("runs", Json::Arr(vec![run_doc(ipc, 5, 50)]))
+        };
+        let doc = compare("a", &exp(1.0), "b", &exp(1.0), None).unwrap();
+        let c = doc.get("compare").unwrap();
+        assert_eq!(
+            c.get("runs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        let findings = c.get("findings").and_then(Json::as_arr).unwrap();
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn bucket_join_names_the_largest_stall_shift() {
+        use std::collections::BTreeMap;
+        let mk = |wait: u64| {
+            let mut totals = BTreeMap::new();
+            totals.insert("commit".to_string(), 500);
+            totals.insert("bus_wait".to_string(), wait);
+            crate::input::ProfileJoin {
+                cycles: 1000,
+                num_pus: 4,
+                epoch: 0,
+                totals,
+            }
+        };
+        let (pa, pb) = (mk(40), mk(400));
+        let a = run_doc(1.0, 5, 50);
+        let doc = compare("a", &a, "b", &a, Some((&pa, &pb))).unwrap();
+        let findings = doc
+            .get("compare")
+            .unwrap()
+            .get("findings")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].as_str().unwrap().contains("bus_wait"));
+    }
+}

@@ -1,0 +1,427 @@
+//! Self-contained HTML rendering of `svc-analysis/v1` documents: one
+//! file, inline CSS and inline SVG, no external assets, so the report
+//! can be archived next to the run artifacts and opened anywhere.
+
+use svc_bench::report::Json;
+use svc_sim::forensics::LIFETIME_STATES;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+fn num(v: Option<&Json>) -> f64 {
+    v.and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn int(v: Option<&Json>) -> u64 {
+    num(v) as u64
+}
+
+/// A horizontal bar chart as inline SVG: one bar per `(label, value)`.
+fn svg_bars(rows: &[(String, u64)], unit: &str) -> String {
+    use std::fmt::Write as _;
+    if rows.is_empty() {
+        return String::new();
+    }
+    let max = rows.iter().map(|r| r.1).max().unwrap_or(0).max(1);
+    let bar_h = 18;
+    let gap = 4;
+    let label_w = 180;
+    let chart_w = 420;
+    let h = rows.len() * (bar_h + gap);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" role=\"img\">",
+        w = label_w + chart_w + 80,
+    );
+    for (i, (label, value)) in rows.iter().enumerate() {
+        let y = i * (bar_h + gap);
+        let w = (*value as u128 * chart_w as u128 / max as u128) as u64;
+        let _ = write!(
+            out,
+            "<text x=\"{lx}\" y=\"{ty}\" text-anchor=\"end\" class=\"lbl\">{label}</text>\
+             <rect x=\"{bx}\" y=\"{y}\" width=\"{w}\" height=\"{bar_h}\" class=\"bar\"/>\
+             <text x=\"{vx}\" y=\"{ty}\" class=\"val\">{value}{unit}</text>",
+            lx = label_w - 6,
+            ty = y + bar_h - 4,
+            bx = label_w,
+            vx = label_w + w as usize + 6,
+            label = esc(label),
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// The contention heatmap as inline SVG: epochs on x, address sets on
+/// y, cell darkness proportional to bus-busy cycles.
+fn svg_heatmap(cells: &[Json]) -> String {
+    use std::fmt::Write as _;
+    if cells.is_empty() {
+        return String::new();
+    }
+    let mut max_busy = 1u64;
+    let mut max_set = 0u64;
+    let mut max_epoch = 0u64;
+    for c in cells {
+        max_busy = max_busy.max(int(c.get("busy")));
+        max_set = max_set.max(int(c.get("set")));
+        max_epoch = max_epoch.max(int(c.get("epoch")));
+    }
+    let cell = 12u64;
+    let w = (max_epoch + 1) * cell + 60;
+    let h = (max_set + 1) * cell + 20;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" role=\"img\">"
+    );
+    for c in cells {
+        let busy = int(c.get("busy"));
+        let x = int(c.get("epoch")) * cell + 40;
+        let y = int(c.get("set")) * cell;
+        // 9 shades, darkest = hottest.
+        let shade = 0xe8u64.saturating_sub(busy * 0xc0 / max_busy);
+        let _ = write!(
+            out,
+            "<rect x=\"{x}\" y=\"{y}\" width=\"{cell}\" height=\"{cell}\" \
+             fill=\"rgb({shade},{shade},255)\"><title>set {s} epoch {e}: {busy} busy cycles\
+             </title></rect>",
+            s = int(c.get("set")),
+            e = int(c.get("epoch")),
+        );
+    }
+    let _ = write!(
+        out,
+        "<text x=\"0\" y=\"12\" class=\"lbl\">set</text>\
+         <text x=\"40\" y=\"{ty}\" class=\"lbl\">epoch &rarr;</text></svg>",
+        ty = h - 4
+    );
+    out
+}
+
+fn table_open(out: &mut String, headers: &[&str]) {
+    out.push_str("<table><thead><tr>");
+    for h in headers {
+        out.push_str(&format!("<th>{}</th>", esc(h)));
+    }
+    out.push_str("</tr></thead><tbody>");
+}
+
+fn table_row(out: &mut String, cells: &[String]) {
+    out.push_str("<tr>");
+    for c in cells {
+        out.push_str(&format!("<td>{}</td>", esc(c)));
+    }
+    out.push_str("</tr>");
+}
+
+fn cascade_html(out: &mut String, doc: &Json) {
+    use std::fmt::Write as _;
+    let Some(c) = doc.get("cascades") else { return };
+    let _ = write!(
+        out,
+        "<section id=\"cascades\"><h2>Squash cascades</h2>\
+         <p>{count} cascades from {chains} violation chains: \
+         <b>{wasted}</b> wasted-execution + <b>{rec}</b> recovery \
+         = <b>{cost}</b> PU-cycles attributed.</p>",
+        count = int(c.get("count")),
+        chains = int(c.get("chains")),
+        wasted = int(c.get("wasted_exec_cycles")),
+        rec = int(c.get("recovery_cycles")),
+        cost = int(c.get("total_cost")),
+    );
+    let ranked = c.get("ranked").and_then(Json::as_arr).unwrap_or(&[]);
+    let bars: Vec<(String, u64)> = ranked
+        .iter()
+        .map(|g| {
+            (
+                format!(
+                    "cycle {} line {}",
+                    int(g.get("root_cycle")),
+                    int(g.get("line"))
+                ),
+                int(g.get("total_cost")),
+            )
+        })
+        .collect();
+    out.push_str(&svg_bars(&bars, " cyc"));
+    if !ranked.is_empty() {
+        table_open(
+            out,
+            &[
+                "#",
+                "root cycle",
+                "addr",
+                "line",
+                "chains",
+                "wasted",
+                "recovery",
+                "cost",
+            ],
+        );
+        for (i, g) in ranked.iter().enumerate() {
+            table_row(
+                out,
+                &[
+                    format!("{}", i + 1),
+                    int(g.get("root_cycle")).to_string(),
+                    int(g.get("addr")).to_string(),
+                    int(g.get("line")).to_string(),
+                    int(g.get("members")).to_string(),
+                    int(g.get("wasted_exec_cycles")).to_string(),
+                    int(g.get("recovery_cycles")).to_string(),
+                    int(g.get("total_cost")).to_string(),
+                ],
+            );
+        }
+        out.push_str("</tbody></table>");
+    }
+    out.push_str("</section>");
+}
+
+fn lifetime_html(out: &mut String, doc: &Json) {
+    use std::fmt::Write as _;
+    let Some(l) = doc.get("lifetimes") else {
+        return;
+    };
+    let totals = l.get("totals");
+    let _ = write!(
+        out,
+        "<section id=\"lifetimes\"><h2>Version lifetimes</h2>\
+         <p>{lines} lines: {vol} VOL events ({sp} splices, {pu} purges), \
+         {sn} snarfs, {fr} flash reverts, up to {mv} live versions.</p>",
+        lines = int(l.get("lines_seen")),
+        vol = int(totals.and_then(|t| t.get("vol_events"))),
+        sp = int(totals.and_then(|t| t.get("splices"))),
+        pu = int(totals.and_then(|t| t.get("purges"))),
+        sn = int(totals.and_then(|t| t.get("snarfs"))),
+        fr = int(totals.and_then(|t| t.get("flash_reverts"))),
+        mv = int(totals.and_then(|t| t.get("max_versions"))),
+    );
+    let lines = l.get("lines").and_then(Json::as_arr).unwrap_or(&[]);
+    if !lines.is_empty() {
+        let mut headers = vec!["line"];
+        headers.extend(LIFETIME_STATES);
+        headers.extend(["load cyc", "store cyc", "max ver", "vol", "snarf", "revert"]);
+        table_open(out, &headers);
+        for row in lines {
+            let states = row.get("states");
+            let mut cells = vec![int(row.get("line")).to_string()];
+            for s in LIFETIME_STATES {
+                cells.push(int(states.and_then(|st| st.get(s))).to_string());
+            }
+            for k in [
+                "load_cycles",
+                "store_cycles",
+                "max_versions",
+                "vol_events",
+                "snarfs",
+                "flash_reverts",
+            ] {
+                cells.push(int(row.get(k)).to_string());
+            }
+            table_row(out, &cells);
+        }
+        out.push_str("</tbody></table>");
+    }
+    out.push_str("</section>");
+}
+
+fn contention_html(out: &mut String, doc: &Json) {
+    use std::fmt::Write as _;
+    let Some(c) = doc.get("contention") else {
+        return;
+    };
+    let _ = write!(
+        out,
+        "<section id=\"contention\"><h2>Bus contention</h2>\
+         <p>{ops} transactions, {busy} bus-busy cycles, binned by \
+         address set &times; {epoch}-cycle profiler epoch.</p>",
+        ops = int(c.get("transactions")),
+        busy = int(c.get("bus_busy_cycles")),
+        epoch = int(c.get("epoch")),
+    );
+    out.push_str(&svg_heatmap(
+        c.get("cells").and_then(Json::as_arr).unwrap_or(&[]),
+    ));
+    let pus = c.get("per_pu").and_then(Json::as_arr).unwrap_or(&[]);
+    if !pus.is_empty() {
+        let with_wait = pus[0].get("bus_wait").is_some();
+        let mut headers = vec!["pu", "busy cycles", "transactions"];
+        if with_wait {
+            headers.push("attributed bus wait");
+        }
+        table_open(out, &headers);
+        for p in pus {
+            let mut cells = vec![
+                format!("pu{}", int(p.get("pu"))),
+                int(p.get("busy")).to_string(),
+                int(p.get("ops")).to_string(),
+            ];
+            if with_wait {
+                cells.push(int(p.get("bus_wait")).to_string());
+            }
+            table_row(out, &cells);
+        }
+        out.push_str("</tbody></table>");
+    }
+    out.push_str("</section>");
+}
+
+fn conservation_html(out: &mut String, doc: &Json) {
+    use std::fmt::Write as _;
+    let Some(cv) = doc.get("conservation") else {
+        return;
+    };
+    let ok = matches!(cv.get("within_bound"), Some(Json::Bool(true)));
+    let _ = write!(
+        out,
+        "<section id=\"conservation\"><h2>Conservation</h2>\
+         <p class=\"{cls}\">cascade cost {cost} &le; wasted_exec {we} + \
+         squash_recovery {sr} = {bound} &mdash; {verdict}</p></section>",
+        cls = if ok { "ok" } else { "bad" },
+        cost = int(cv.get("cascade_cost")),
+        we = int(cv.get("wasted_exec_bucket")),
+        sr = int(cv.get("squash_recovery_bucket")),
+        bound = int(cv.get("bound")),
+        verdict = if ok { "OK" } else { "VIOLATED" },
+    );
+}
+
+fn compare_html(out: &mut String, doc: &Json) {
+    use std::fmt::Write as _;
+    let Some(c) = doc.get("compare") else { return };
+    let label = |side: &str| {
+        c.get(side)
+            .and_then(|s| s.get("label"))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let _ = write!(
+        out,
+        "<section id=\"compare\"><h2>Run comparison</h2>\
+         <p>a = <code>{a}</code> &nbsp; b = <code>{b}</code></p>",
+        a = esc(&label("a")),
+        b = esc(&label("b")),
+    );
+    for f in c.get("findings").and_then(Json::as_arr).unwrap_or(&[]) {
+        let _ = write!(
+            out,
+            "<p class=\"bad\">{}</p>",
+            esc(f.as_str().unwrap_or("?"))
+        );
+    }
+    for run in c.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
+        let _ = write!(
+            out,
+            "<h3>{}</h3>",
+            esc(run.get("key").and_then(Json::as_str).unwrap_or("?"))
+        );
+        table_open(out, &["metric", "a", "b", "delta"]);
+        if let Some(metrics) = run.get("metrics").and_then(Json::as_obj) {
+            for (name, m) in metrics {
+                let g = |k: &str| num(m.get(k));
+                table_row(
+                    out,
+                    &[
+                        name.clone(),
+                        format!("{}", g("a")),
+                        format!("{}", g("b")),
+                        format!("{}", g("delta")),
+                    ],
+                );
+            }
+        }
+        out.push_str("</tbody></table>");
+    }
+    if let Some(buckets) = c.get("buckets").and_then(Json::as_obj) {
+        out.push_str("<h3>Profiler buckets</h3>");
+        table_open(out, &["bucket", "a", "b", "delta"]);
+        for (name, m) in buckets {
+            let g = |k: &str| num(m.get(k));
+            table_row(
+                out,
+                &[
+                    name.clone(),
+                    format!("{}", g("a")),
+                    format!("{}", g("b")),
+                    format!("{}", g("delta")),
+                ],
+            );
+        }
+        out.push_str("</tbody></table>");
+    }
+    out.push_str("</section>");
+}
+
+/// Renders an `svc-analysis/v1` document (analysis or comparison) as a
+/// single self-contained HTML page.
+pub fn render_html(doc: &Json, title: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>{title}</title><style>\
+         body{{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:72rem;\
+         padding:0 1rem;color:#1a1a2e}}\
+         h1,h2{{border-bottom:1px solid #ccd;padding-bottom:.2rem}}\
+         table{{border-collapse:collapse;margin:.8rem 0}}\
+         th,td{{border:1px solid #ccd;padding:.2rem .6rem;text-align:right}}\
+         th:first-child,td:first-child{{text-align:left}}\
+         .bar{{fill:#4a6fa5}}.lbl{{font-size:11px;fill:#555}}.val{{font-size:11px;fill:#333}}\
+         .ok{{color:#176b37}}.bad{{color:#a11c1c}}\
+         code{{background:#eef;padding:0 .3rem}}\
+         </style></head><body><h1>{title}</h1>",
+        title = esc(title),
+    );
+    if let Some(t) = doc.get("trace") {
+        let _ = write!(
+            out,
+            "<p id=\"summary\">{ev} trace events to cycle {end} \
+             ({wpl} words/line, {sets} address sets).</p>",
+            ev = int(t.get("events")),
+            end = int(t.get("end_cycle")),
+            wpl = int(t.get("words_per_line")),
+            sets = int(t.get("sets")),
+        );
+    }
+    cascade_html(&mut out, doc);
+    lifetime_html(&mut out, doc);
+    contention_html(&mut out, doc);
+    conservation_html(&mut out, doc);
+    compare_html(&mut out, doc);
+    out.push_str("</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_markup() {
+        assert_eq!(esc("<a&b>\"c'"), "&lt;a&amp;b&gt;&quot;c&#39;");
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let svg = svg_bars(&[("x".into(), 10), ("y".into(), 5)], "");
+        assert!(svg.contains("width=\"420\""), "{svg}");
+        assert!(svg.contains("width=\"210\""), "{svg}");
+    }
+}

@@ -1,0 +1,363 @@
+//! Artifact ingestion: trace JSONL back into [`Record`]s, and
+//! `svc-profile/v1` documents into the join points the analyses need.
+//!
+//! The JSONL reader is deliberately lenient: lines whose `ev` tag it does
+//! not model (coherence-baseline transitions, fault-injector events) are
+//! counted rather than rejected, so a trace from a newer writer — or one
+//! interleaved with other output — still loads.
+
+use std::collections::BTreeMap;
+
+use svc_bench::report::{self, Json};
+use svc_sim::profile::Bucket;
+use svc_sim::trace::{
+    intern_access_source, AccessOp, BusOp, LineBits, PlanKind, PlanSummary, Record, SquashCause,
+    TraceEvent, VolEntry, VolOp,
+};
+use svc_types::{Addr, Cycle, LineId, PuId, TaskId};
+
+/// A trace re-read from JSONL.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadedTrace {
+    /// The reconstructed records, in file order.
+    pub records: Vec<Record>,
+    /// Non-empty lines that did not reconstruct (unknown `ev` tag,
+    /// missing fields, or non-JSON content).
+    pub skipped: u64,
+}
+
+fn num(obj: &Json, key: &str) -> Option<u64> {
+    obj.get(key)?.as_f64().map(|x| x as u64)
+}
+
+fn string<'j>(obj: &'j Json, key: &str) -> Option<&'j str> {
+    obj.get(key)?.as_str()
+}
+
+fn boolean(obj: &Json, key: &str) -> Option<bool> {
+    match obj.get(key)? {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn bits(obj: &Json, key: &str) -> Option<LineBits> {
+    let b = obj.get(key)?;
+    Some(LineBits {
+        valid: num(b, "v")?,
+        store: num(b, "s")?,
+        load: num(b, "l")?,
+        committed: num(b, "c")? != 0,
+        stale: num(b, "t")? != 0,
+        arch: num(b, "a")? != 0,
+        exclusive: num(b, "x")? != 0,
+    })
+}
+
+fn vol_order(obj: &Json) -> Option<Vec<VolEntry>> {
+    let mut order = Vec::new();
+    for e in obj.get("order")?.as_arr()? {
+        order.push(VolEntry {
+            pu: PuId(num(e, "pu")? as usize),
+            task: num(e, "task").map(TaskId),
+            version: boolean(e, "ver")?,
+        });
+    }
+    Some(order)
+}
+
+/// Reconstructs one JSONL object into an event, or `None` for tags the
+/// analyzer does not model.
+fn event_of(obj: &Json) -> Option<TraceEvent> {
+    Some(match string(obj, "ev")? {
+        "bus" => TraceEvent::BusTransaction {
+            op: BusOp::from_name(string(obj, "op")?)?,
+            pu: num(obj, "pu").map(|p| PuId(p as usize)),
+            line: num(obj, "line").map(LineId),
+            start: Cycle(num(obj, "start")?),
+            done: Cycle(num(obj, "done")?),
+            extra: num(obj, "extra")?,
+        },
+        "mshr_alloc" => TraceEvent::MshrAllocate {
+            pu: PuId(num(obj, "pu")? as usize),
+            line: LineId(num(obj, "line")?),
+            data_ready: Cycle(num(obj, "ready")?),
+            stalled: num(obj, "stalled")?,
+        },
+        "mshr_combine" => TraceEvent::MshrCombine {
+            pu: PuId(num(obj, "pu")? as usize),
+            line: LineId(num(obj, "line")?),
+            data_ready: Cycle(num(obj, "ready")?),
+        },
+        "mshr_retire" => TraceEvent::MshrRetire {
+            pu: PuId(num(obj, "pu")? as usize),
+            line: LineId(num(obj, "line")?),
+        },
+        "wb_push" => TraceEvent::WritebackPush {
+            pu: PuId(num(obj, "pu")? as usize),
+            accepted: Cycle(num(obj, "accepted")?),
+            stalled: num(obj, "stalled")?,
+            occupancy: num(obj, "occ")? as usize,
+        },
+        "line" => TraceEvent::LineTransition {
+            pu: PuId(num(obj, "pu")? as usize),
+            line: LineId(num(obj, "line")?),
+            from: bits(obj, "from")?,
+            to: bits(obj, "to")?,
+        },
+        "vol" => TraceEvent::VolReorder {
+            line: LineId(num(obj, "line")?),
+            op: VolOp::from_name(string(obj, "op")?)?,
+            order: vol_order(obj)?,
+        },
+        "plan" => {
+            let mut victims = Vec::new();
+            for v in obj.get("victims")?.as_arr()? {
+                victims.push(TaskId(v.as_f64()? as u64));
+            }
+            TraceEvent::VclPlan(PlanSummary {
+                kind: PlanKind::from_name(string(obj, "kind")?)?,
+                pu: PuId(num(obj, "pu")? as usize),
+                task: num(obj, "task").map(TaskId),
+                line: LineId(num(obj, "line")?),
+                fill_from_cache: num(obj, "fill_cache")? as u32,
+                fill_from_memory: num(obj, "fill_mem")? as u32,
+                flush: num(obj, "flush")? as u32,
+                purge: num(obj, "purge")? as u32,
+                invalidate: num(obj, "inval")? as u32,
+                update: num(obj, "update")? as u32,
+                snarfers: num(obj, "snarf")? as u32,
+                victims,
+                arch: boolean(obj, "arch")?,
+            })
+        }
+        "access" => TraceEvent::Access {
+            pu: PuId(num(obj, "pu")? as usize),
+            task: TaskId(num(obj, "task")?),
+            op: AccessOp::from_name(string(obj, "op")?)?,
+            addr: Addr(num(obj, "addr")?),
+            source: intern_access_source(string(obj, "src")?),
+            done_at: Cycle(num(obj, "done")?),
+        },
+        "violation" => TraceEvent::Violation {
+            pu: PuId(num(obj, "pu")? as usize),
+            task: TaskId(num(obj, "task")?),
+            victim: TaskId(num(obj, "victim")?),
+            addr: Addr(num(obj, "addr")?),
+        },
+        "dispatch" => TraceEvent::TaskDispatch {
+            pu: PuId(num(obj, "pu")? as usize),
+            task: TaskId(num(obj, "task")?),
+            attempt: num(obj, "attempt")? as u32,
+            wrong_path: boolean(obj, "wrong")?,
+        },
+        "commit" => TraceEvent::TaskCommit {
+            pu: PuId(num(obj, "pu")? as usize),
+            task: TaskId(num(obj, "task")?),
+            instrs: num(obj, "instrs")?,
+        },
+        "squash" => TraceEvent::TaskSquash {
+            pu: PuId(num(obj, "pu")? as usize),
+            task: TaskId(num(obj, "task")?),
+            cause: SquashCause::from_name(string(obj, "cause")?)?,
+            restart: TaskId(num(obj, "restart")?),
+            // Traces written before the squash-recovery window was
+            // recorded carry no `until`: a zero-length blackout.
+            until: Cycle(num(obj, "until").unwrap_or_else(|| num(obj, "cycle").unwrap_or(0))),
+        },
+        _ => return None,
+    })
+}
+
+/// Parses a trace JSONL document (as written by `svc-sim run
+/// --trace-out`) back into records.
+pub fn parse_trace_jsonl(text: &str) -> LoadedTrace {
+    let mut out = LoadedTrace::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = report::parse(line).ok().and_then(|obj| {
+            Some(Record {
+                cycle: num(&obj, "cycle")?,
+                seq: num(&obj, "seq")?,
+                event: event_of(&obj)?,
+            })
+        });
+        match parsed {
+            Some(r) => out.records.push(r),
+            None => out.skipped += 1,
+        }
+    }
+    out
+}
+
+/// The slice of a profile the analyses join against: run extent, epoch
+/// and the summed stall buckets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileJoin {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// PUs profiled.
+    pub num_pus: u64,
+    /// Sampling epoch (0 = sampling was off).
+    pub epoch: u64,
+    /// Bucket totals over all PUs, by stable bucket name.
+    pub totals: BTreeMap<String, u64>,
+}
+
+impl ProfileJoin {
+    /// One bucket's total (0 if absent).
+    pub fn total(&self, bucket: Bucket) -> u64 {
+        self.totals.get(bucket.name()).copied().unwrap_or(0)
+    }
+
+    /// Builds the join directly from an in-process report (the `svc-sim
+    /// run --analyze` path, no JSON round-trip).
+    pub fn from_report(p: &svc_sim::profile::ProfileReport) -> ProfileJoin {
+        let totals = p.totals();
+        ProfileJoin {
+            cycles: p.cycles,
+            num_pus: p.num_pus as u64,
+            epoch: p.epoch,
+            totals: Bucket::EVERY
+                .into_iter()
+                .map(|b| (b.name().to_string(), totals[b as usize]))
+                .collect(),
+        }
+    }
+}
+
+/// Extracts the join points from a `svc-profile/v1` document (the first
+/// run's profile — `svc-sim` writes exactly one).
+pub fn parse_profile_doc(doc: &Json) -> Result<ProfileJoin, String> {
+    let schema = string(doc, "schema").unwrap_or("?");
+    if schema != report::SCHEMA_PROFILE {
+        return Err(format!(
+            "expected a {} document, got schema {schema:?}",
+            report::SCHEMA_PROFILE
+        ));
+    }
+    let run = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .and_then(<[Json]>::first)
+        .ok_or("profile document has no runs")?;
+    let p = run.get("profile").ok_or("run entry has no profile")?;
+    let mut totals = BTreeMap::new();
+    if let Some(fields) = p.get("total").and_then(Json::as_obj) {
+        for (name, value) in fields {
+            totals.insert(name.clone(), value.as_f64().unwrap_or(0.0) as u64);
+        }
+    }
+    Ok(ProfileJoin {
+        cycles: num(p, "cycles").ok_or("profile has no cycles")?,
+        num_pus: num(p, "num_pus").unwrap_or(0),
+        epoch: num(p, "epoch").unwrap_or(0),
+        totals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svc_sim::trace::{render_jsonl, Category, Tracer};
+
+    #[test]
+    fn jsonl_round_trips_through_the_reader() {
+        let t = Tracer::new(Category::ALL, 64);
+        t.emit(Cycle(3), Category::Bus, || TraceEvent::BusTransaction {
+            op: BusOp::Read,
+            pu: Some(PuId(1)),
+            line: Some(LineId(7)),
+            start: Cycle(3),
+            done: Cycle(6),
+            extra: 2,
+        });
+        t.emit(Cycle(5), Category::Access, || TraceEvent::Access {
+            pu: PuId(0),
+            task: TaskId(4),
+            op: AccessOp::Store,
+            addr: Addr(129),
+            source: "accepted",
+            done_at: Cycle(9),
+        });
+        t.emit(Cycle(6), Category::Vol, || TraceEvent::VolReorder {
+            line: LineId(2),
+            op: VolOp::Splice,
+            order: vec![VolEntry {
+                pu: PuId(1),
+                task: Some(TaskId(2)),
+                version: true,
+            }],
+        });
+        t.emit(Cycle(7), Category::Line, || TraceEvent::LineTransition {
+            pu: PuId(2),
+            line: LineId(2),
+            from: LineBits::default(),
+            to: LineBits {
+                valid: 0b11,
+                store: 0b1,
+                load: 0,
+                committed: false,
+                stale: true,
+                arch: false,
+                exclusive: true,
+            },
+        });
+        t.emit(Cycle(8), Category::Task, || TraceEvent::TaskSquash {
+            pu: PuId(1),
+            task: TaskId(2),
+            cause: SquashCause::Violation,
+            restart: TaskId(2),
+            until: Cycle(12),
+        });
+        let records = t.records();
+        let loaded = parse_trace_jsonl(&render_jsonl(&records));
+        assert_eq!(loaded.skipped, 0);
+        assert_eq!(loaded.records, records);
+    }
+
+    #[test]
+    fn unknown_lines_are_counted_not_fatal() {
+        let text = "not json\n{\"cycle\":1,\"seq\":0,\"cat\":\"fault\",\"ev\":\"fault\",\
+                    \"site\":\"bus_drop\",\"penalty\":4}\n\
+                    {\"cycle\":2,\"seq\":1,\"cat\":\"task\",\"ev\":\"commit\",\"pu\":0,\
+                    \"task\":3,\"instrs\":10}\n";
+        let loaded = parse_trace_jsonl(text);
+        assert_eq!(loaded.skipped, 2);
+        assert_eq!(loaded.records.len(), 1);
+    }
+
+    #[test]
+    fn squash_without_until_defaults_to_its_cycle() {
+        let text = "{\"cycle\":9,\"seq\":0,\"cat\":\"task\",\"ev\":\"squash\",\"pu\":1,\
+                    \"task\":2,\"cause\":\"violation\",\"restart\":2}\n";
+        let loaded = parse_trace_jsonl(text);
+        assert_eq!(loaded.records.len(), 1);
+        assert!(matches!(
+            loaded.records[0].event,
+            TraceEvent::TaskSquash {
+                until: Cycle(9),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn profile_join_reads_bucket_totals() {
+        let doc = report::parse(
+            r#"{"schema":"svc-profile/v1","runs":[{"workload":"w","profile":
+                {"num_pus":4,"cycles":1000,"epoch":64,
+                 "total":{"commit":100,"wasted_exec":7,"squash_recovery":13}}}]}"#,
+        )
+        .unwrap();
+        let join = parse_profile_doc(&doc).unwrap();
+        assert_eq!(join.cycles, 1000);
+        assert_eq!(join.epoch, 64);
+        assert_eq!(join.total(Bucket::WastedExec), 7);
+        assert_eq!(join.total(Bucket::SquashRecovery), 13);
+        assert_eq!(join.total(Bucket::BusWait), 0);
+    }
+}

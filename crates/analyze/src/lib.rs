@@ -1,0 +1,44 @@
+//! Offline analytics over the harness's run artifacts: trace JSONL,
+//! `svc-profile/v1` profiles and experiment/run result documents.
+//!
+//! Three analyses, all pure functions producing deterministic
+//! `svc-analysis/v1` JSON (see [`analysis::analyze`]):
+//!
+//! - **Squash-cascade attribution** — [`svc_sim::forensics`]'s violation
+//!   chains grouped into cascade trees (a squash that re-triggers
+//!   violations joins its trigger's cascade), each costed in PU-cycles
+//!   of re-executed work plus recovery blackout.
+//! - **Version lifetimes** — per-line time in the paper's five
+//!   line states (`I`/`AC`/`AD`/`PC`/`PD`), live-version counts, VOL
+//!   splice/purge churn, snarfs and flash reverts.
+//! - **Bus contention** — bus-busy cycles binned by address set ×
+//!   profiler epoch, with the profiler's `bus_wait` bucket attributed
+//!   proportionally to each bin's occupancy.
+//!
+//! [`compare`] diffs two runs (or whole experiment documents) and
+//! explains metric deltas via stall-bucket and squash-structure shifts;
+//! [`html`] renders any document as one self-contained HTML page.
+//!
+//! The `svc-analyze` binary fronts all of this; `svc-sim run --analyze`
+//! calls [`analyze_records`] in-process on the trace it just captured.
+
+pub mod analysis;
+pub mod compare;
+pub mod html;
+pub mod input;
+
+use svc_bench::report::Json;
+use svc_sim::profile::ProfileReport;
+use svc_sim::trace::Record;
+
+/// In-process entry point: analyze already-decoded trace records with
+/// an optional live profile (no JSON round trip).
+pub fn analyze_records(
+    records: &[Record],
+    skipped: u64,
+    profile: Option<&ProfileReport>,
+    cfg: &analysis::AnalyzeConfig,
+) -> Json {
+    let join = profile.map(input::ProfileJoin::from_report);
+    analysis::analyze(records, skipped, join.as_ref(), cfg)
+}

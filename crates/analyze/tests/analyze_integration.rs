@@ -1,0 +1,178 @@
+//! End-to-end tests for the analyzer against *real* traced + profiled
+//! runs of the SVC final design — not hand-built fixtures.
+//!
+//! Covers the observability guarantees the analyzer advertises:
+//! byte-identical `svc-analysis/v1` output run-to-run and across
+//! worker-thread counts (the in-process mirror of
+//! `SVC_EXPERIMENT_THREADS=1/2/8`), the JSONL round trip, the
+//! self-contained HTML report, and the conservation property that
+//! cascade cost never exceeds the profiler's `wasted_exec +
+//! squash_recovery` stall buckets for the same run.
+
+use svc::{SvcConfig, SvcSystem};
+use svc_analyze::analysis::{render_text, AnalyzeConfig};
+use svc_analyze::input::parse_trace_jsonl;
+use svc_analyze::{analyze_records, html};
+use svc_bench::report::Json;
+use svc_multiscalar::{Engine, EngineConfig};
+use svc_sim::profile::{ProfileReport, Profiler};
+use svc_sim::trace::{render_jsonl, Category, Record, Tracer};
+use svc_workloads::kernels;
+
+const PUS: usize = 4;
+const EPOCH: u64 = 1024;
+
+/// One pinned cell: the false-sharing kernel on the 4x8KB final design,
+/// fully traced and profiled. Everything downstream of this is a pure
+/// function of (seed, budget).
+fn traced_run(seed: u64, budget: u64) -> (Vec<Record>, ProfileReport) {
+    let tracer = Tracer::new(Category::ALL, 1 << 20);
+    let profiler = Profiler::new(PUS, EPOCH);
+    let mut svc_cfg = SvcConfig::final_design(PUS);
+    svc_cfg.geometry = SvcConfig::paper_geometry(8);
+    let mut system = SvcSystem::new(svc_cfg);
+    system.set_tracer(tracer.clone());
+    system.set_profiler(profiler.clone());
+    let engine_cfg = EngineConfig {
+        num_pus: PUS,
+        max_instructions: budget,
+        seed,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(engine_cfg, system);
+    engine.set_tracer(tracer.clone());
+    engine.set_profiler(profiler.clone());
+    let source = kernels::false_sharing(256, 6);
+    let _report = engine.run(&source);
+    let profile = profiler.report().expect("profiler ran to completion");
+    (tracer.records(), profile)
+}
+
+fn doc_bytes(seed: u64, budget: u64) -> String {
+    let (records, profile) = traced_run(seed, budget);
+    analyze_records(&records, 0, Some(&profile), &AnalyzeConfig::default()).render()
+}
+
+fn num(doc: &Json, path: &[&str]) -> f64 {
+    let mut cur = doc;
+    for key in path {
+        cur = cur.get(key).unwrap_or_else(|| panic!("missing key {key}"));
+    }
+    cur.as_f64().expect("numeric leaf")
+}
+
+#[test]
+fn analysis_doc_is_byte_identical_across_runs_and_thread_counts() {
+    let golden = doc_bytes(7, 4000);
+    assert!(golden.contains("\"schema\": \"svc-analysis/v1\""));
+
+    // Repeat the identical cell from pools of 1, 2 and 8 worker
+    // threads — the in-process equivalent of running the experiment
+    // grid at SVC_EXPERIMENT_THREADS=1/2/8. Every worker must produce
+    // the golden bytes regardless of scheduling.
+    for workers in [1usize, 2, 8] {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| std::thread::spawn(|| doc_bytes(7, 4000)))
+            .collect();
+        for h in handles {
+            let got = h.join().expect("worker panicked");
+            assert_eq!(got, golden, "analysis diverged at {workers} workers");
+        }
+    }
+}
+
+#[test]
+fn jsonl_round_trip_preserves_every_analysis_section() {
+    let (records, profile) = traced_run(11, 4000);
+    let jsonl = render_jsonl(&records);
+    let loaded = parse_trace_jsonl(&jsonl);
+    assert_eq!(
+        loaded.records.len() as u64 + loaded.skipped,
+        records.len() as u64,
+        "reader must account for every trace line"
+    );
+
+    // Unmodeled categories may be skipped, but every *analysis* section
+    // is computed from modeled events only, so the offline path must
+    // agree exactly with the in-process path.
+    let cfg = AnalyzeConfig::default();
+    let direct = analyze_records(&records, 0, Some(&profile), &cfg);
+    let offline = analyze_records(&loaded.records, loaded.skipped, Some(&profile), &cfg);
+    for section in ["cascades", "lifetimes", "contention", "conservation"] {
+        let a = direct.get(section).expect(section).render();
+        let b = offline.get(section).expect(section).render();
+        assert_eq!(
+            a, b,
+            "section {section} changed across the JSONL round trip"
+        );
+    }
+}
+
+#[test]
+fn html_report_is_self_contained_with_expected_anchors() {
+    let (records, profile) = traced_run(3, 3000);
+    let doc = analyze_records(&records, 0, Some(&profile), &AnalyzeConfig::default());
+    let page = html::render_html(&doc, "integration smoke");
+
+    assert!(page.starts_with("<!DOCTYPE html>"));
+    assert!(page.trim_end().ends_with("</html>"));
+    for anchor in [
+        "id=\"summary\"",
+        "id=\"cascades\"",
+        "id=\"lifetimes\"",
+        "id=\"contention\"",
+        "id=\"conservation\"",
+    ] {
+        assert!(page.contains(anchor), "missing anchor {anchor}");
+    }
+    assert!(page.contains("<svg"), "report should inline SVG charts");
+    assert!(page.contains("<table"), "report should inline tables");
+    // Self-contained: no external stylesheets, scripts or images.
+    for banned in ["http://", "https://", "<script", "<link", "<img"] {
+        assert!(!page.contains(banned), "external asset marker {banned:?}");
+    }
+
+    // The text renderer covers the same document.
+    let text = render_text(&doc);
+    for heading in ["cascade", "lifetime", "contention"] {
+        assert!(
+            text.to_lowercase().contains(heading),
+            "text report missing {heading} section"
+        );
+    }
+}
+
+#[test]
+fn cascade_cost_is_bounded_by_profiler_stall_buckets() {
+    // Property, over several seeds of a violation-heavy kernel: the
+    // analyzer's cascade cost (re-executed work + recovery blackout)
+    // can never exceed what the profiler charged to the same two stall
+    // buckets. Equality is allowed; exceeding it would mean the
+    // analyzer invented wasted cycles the machine never spent.
+    let mut total_cascades = 0.0;
+    for seed in [1u64, 2, 5, 11, 42] {
+        let (records, profile) = traced_run(seed, 5000);
+        let doc = analyze_records(&records, 0, Some(&profile), &AnalyzeConfig::default());
+
+        let cost = num(&doc, &["cascades", "total_cost"]);
+        let bound = num(&doc, &["conservation", "bound"]);
+        let wasted = num(&doc, &["conservation", "wasted_exec_bucket"]);
+        let recovery = num(&doc, &["conservation", "squash_recovery_bucket"]);
+        assert_eq!(bound, wasted + recovery);
+        assert!(
+            cost <= bound,
+            "seed {seed}: cascade cost {cost} exceeds profiler bound {bound}"
+        );
+        assert_eq!(
+            doc.get("conservation").and_then(|c| c.get("within_bound")),
+            Some(&Json::Bool(true))
+        );
+        total_cascades += num(&doc, &["cascades", "count"]);
+    }
+    // The kernel is built to violate: the property must not pass
+    // vacuously on squash-free runs.
+    assert!(
+        total_cascades > 0.0,
+        "expected at least one squash cascade across the seed sweep"
+    );
+}

@@ -46,6 +46,9 @@ pub const SCHEMA_SNAPSHOT: &str = "svc-bench-snapshot/v2";
 /// Schema tag of `results/<name>.profile.json` cycle-accounting
 /// documents (emitted only when `SVC_PROFILE` is set).
 pub const SCHEMA_PROFILE: &str = "svc-profile/v1";
+/// Schema tag of `svc-analyze`'s offline-analysis documents (cascade
+/// attribution, version lifetimes, contention heatmaps, run diffs).
+pub const SCHEMA_ANALYSIS: &str = "svc-analysis/v1";
 /// Schema tag of the `results/soak.json` snapshot `svc-sim serve`
 /// flushes on shutdown (see [`crate::soak::soak_doc`]).
 pub const SCHEMA_SOAK: &str = "svc-soak/v1";

@@ -140,6 +140,10 @@ pub struct SoakState {
     /// Interval rows dropped by rolling windows (per-slice profiler
     /// windows plus the global series window).
     pub intervals_dropped: u64,
+    /// Idle-gap fast-forward jumps taken by slice engines.
+    pub ff_jumps: u64,
+    /// Simulated cycles skipped by those jumps.
+    pub ff_skipped_cycles: u64,
     /// Dispatch-to-commit latency of committed tasks (cycles).
     pub task_latency: Histogram,
     /// Tasks torn down per squash event.
@@ -180,6 +184,8 @@ impl SoakState {
             slices_per_mix: [0; MIX_NAMES.len()],
             last_mix: "",
             intervals_dropped: 0,
+            ff_jumps: 0,
+            ff_skipped_cycles: 0,
             task_latency: Histogram::new(64, 64),
             squash_depth: Histogram::new(1, 8),
             bus_wait: Histogram::new(256, 32),
@@ -231,6 +237,14 @@ impl SoakState {
         for (site, count) in FaultSite::EVERY.iter().zip(self.fault_counts.iter()) {
             reg.counter_with("soak.faults", &[("site", site.name())], *count);
         }
+        // Fast-forward effectiveness as one labeled family, so a single
+        // dashboard query graphs jumps against the cycles they saved.
+        reg.counter_with("soak.fast_forward", &[("kind", "jumps")], self.ff_jumps);
+        reg.counter_with(
+            "soak.fast_forward",
+            &[("kind", "skipped_cycles")],
+            self.ff_skipped_cycles,
+        );
         reg.distribution("soak.task_latency_cycles", &self.task_latency);
         reg.distribution("soak.squash_depth_tasks", &self.squash_depth);
         reg.distribution("soak.bus_wait_cycles_per_epoch", &self.bus_wait);
@@ -378,6 +392,8 @@ fn run_slice(cfg: &SoakConfig, state: &mut SoakState, tick: u64, density: f64, s
     // Fold the slice into cumulative state.
     state.ticks += 1;
     state.committed_instrs += report.committed_instrs;
+    state.ff_jumps += report.ff_jumps;
+    state.ff_skipped_cycles += report.ff_skipped_cycles;
     state.committed_tasks += report.committed_tasks;
     state.squashes += report.squashes;
     state.wasted_instrs += report.wasted_instrs;
@@ -561,6 +577,8 @@ impl svc_types::Checkpointable for SoakState {
         self.base_squashes.save_state(w);
         self.base_busy.save_state(w);
         self.last_storm.save_state(w);
+        self.ff_jumps.save_state(w);
+        self.ff_skipped_cycles.save_state(w);
     }
     fn restore_state(
         &mut self,
@@ -606,7 +624,9 @@ impl svc_types::Checkpointable for SoakState {
         self.base_instrs.restore_state(r)?;
         self.base_squashes.restore_state(r)?;
         self.base_busy.restore_state(r)?;
-        self.last_storm.restore_state(r)
+        self.last_storm.restore_state(r)?;
+        self.ff_jumps.restore_state(r)?;
+        self.ff_skipped_cycles.restore_state(r)
     }
 }
 
@@ -689,6 +709,25 @@ mod tests {
         let profile = state.profile_report(&cfg);
         assert!(profile.conservation_ok(), "summed attribution conserves");
         assert!(state.committed_instrs > 0);
+    }
+
+    #[test]
+    fn metrics_export_fast_forward_series() {
+        let cfg = SoakConfig { ticks: 3, ..tiny() };
+        let state = run_soak(&cfg, |_| true);
+        let prom = state.metrics().render_prometheus();
+        assert!(
+            prom.contains("soak_fast_forward{kind=\"jumps\"}"),
+            "missing jump series in:\n{prom}"
+        );
+        assert!(
+            prom.contains("soak_fast_forward{kind=\"skipped_cycles\"}"),
+            "missing skipped-cycles series in:\n{prom}"
+        );
+        // The slice engines idle between task dispatches, so a healthy
+        // soak fast-forwards at least once.
+        assert!(state.ff_jumps > 0, "no fast-forward jumps recorded");
+        assert!(state.ff_skipped_cycles >= state.ff_jumps);
     }
 
     #[test]

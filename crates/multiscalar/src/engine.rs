@@ -101,6 +101,14 @@ pub struct RunReport {
     pub mem: MemStats,
     /// Whether the run stopped on the cycle safety limit.
     pub hit_cycle_limit: bool,
+    /// Idle-cycle fast-forward jumps taken (clock advances of more than
+    /// one cycle). Not part of the serialized experiment artifacts —
+    /// consumed by the soak loop's live telemetry.
+    pub ff_jumps: u64,
+    /// Simulated cycles the fast-forward skipped over (beyond the
+    /// one-cycle step each jump replaces). Not part of the serialized
+    /// experiment artifacts — consumed by the soak loop's live telemetry.
+    pub ff_skipped_cycles: u64,
 }
 
 impl Default for RunReport {
@@ -122,6 +130,8 @@ impl Default for RunReport {
             squash_depths: Histogram::new(1, 8),
             mem: MemStats::default(),
             hit_cycle_limit: false,
+            ff_jumps: 0,
+            ff_skipped_cycles: 0,
         }
     }
 }
@@ -290,6 +300,8 @@ pub struct Engine<M> {
     committed_tasks: u64,
     hit_cycle_limit: bool,
     next_watchdog: u64,
+    ff_jumps: u64,
+    ff_skipped_cycles: u64,
     /// Memoized `source.task(next_pos)` lookup. The termination check
     /// needs "is there a task at `next_pos`?" every scheduler iteration,
     /// but task sources generate their instruction list on every call —
@@ -349,6 +361,8 @@ impl<M: VersionedMemory> Engine<M> {
             committed_tasks: 0,
             hit_cycle_limit: false,
             next_watchdog: 0,
+            ff_jumps: 0,
+            ff_skipped_cycles: 0,
             peek_pos: 0,
             peek_task: None,
             peek_valid: false,
@@ -635,6 +649,10 @@ impl<M: VersionedMemory> Engine<M> {
                 if wake.0 != u64::MAX {
                     next = next.max(wake);
                 }
+                if next.0 > now.0 + 1 {
+                    self.ff_jumps += 1;
+                    self.ff_skipped_cycles += next.0 - (now.0 + 1);
+                }
                 self.now = next;
             }
         }
@@ -669,6 +687,8 @@ impl<M: VersionedMemory> Engine<M> {
             squash_depths: self.squash_depths.clone(),
             mem: self.mem.stats(),
             hit_cycle_limit: self.hit_cycle_limit,
+            ff_jumps: self.ff_jumps,
+            ff_skipped_cycles: self.ff_skipped_cycles,
         }
     }
 
@@ -846,19 +866,20 @@ impl<M: VersionedMemory> Engine<M> {
             self.squash_depths.record(hit.len() as u64);
         }
         for &(pu, task) in &hit {
+            let ready = self.pus[pu].ready_at;
             self.tracer
                 .emit(now, Category::Task, || TraceEvent::TaskSquash {
                     pu: PuId(pu),
                     task: TaskId(task),
                     cause: trace_cause,
                     restart: TaskId(victim),
+                    until: ready,
                 });
             self.mem.squash_at(PuId(pu), now);
             if self.watchdog_every > 0 {
                 let found = self.mem.check_post_squash(PuId(pu), now);
                 self.record_violations(found, now);
             }
-            let ready = self.pus[pu].ready_at;
             // Wasted-work metering: the instructions this task had already
             // executed are thrown away, and the PU stays blocked on the
             // latency of whatever access it was squashed under.
@@ -998,6 +1019,8 @@ impl svc_types::Checkpointable for RunReport {
         self.squash_depths.save_state(w);
         self.mem.save_state(w);
         self.hit_cycle_limit.save_state(w);
+        self.ff_jumps.save_state(w);
+        self.ff_skipped_cycles.save_state(w);
     }
     fn restore_state(
         &mut self,
@@ -1016,7 +1039,9 @@ impl svc_types::Checkpointable for RunReport {
         self.task_latency.restore_state(r)?;
         self.squash_depths.restore_state(r)?;
         self.mem.restore_state(r)?;
-        self.hit_cycle_limit.restore_state(r)
+        self.hit_cycle_limit.restore_state(r)?;
+        self.ff_jumps.restore_state(r)?;
+        self.ff_skipped_cycles.restore_state(r)
     }
 }
 
@@ -1058,6 +1083,8 @@ impl<M: VersionedMemory + svc_types::Checkpointable> svc_types::Checkpointable f
         self.committed_tasks.save_state(w);
         self.hit_cycle_limit.save_state(w);
         self.next_watchdog.save_state(w);
+        self.ff_jumps.save_state(w);
+        self.ff_skipped_cycles.save_state(w);
     }
     fn restore_state(
         &mut self,
@@ -1094,6 +1121,8 @@ impl<M: VersionedMemory + svc_types::Checkpointable> svc_types::Checkpointable f
         self.committed_tasks.restore_state(r)?;
         self.hit_cycle_limit.restore_state(r)?;
         self.next_watchdog.restore_state(r)?;
+        self.ff_jumps.restore_state(r)?;
+        self.ff_skipped_cycles.restore_state(r)?;
         // The memo caches a lookup against a task source the checkpoint
         // does not carry; drop it so the next peek re-asks the source.
         self.peek_task = None;

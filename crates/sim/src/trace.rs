@@ -118,6 +118,11 @@ impl Category {
             Category::Fault => "fault",
         }
     }
+
+    /// The inverse of [`name`](Category::name), for JSONL re-parsers.
+    pub fn from_name(name: &str) -> Option<Category> {
+        Category::EVERY.into_iter().find(|c| c.name() == name)
+    }
 }
 
 /// Parses a comma-separated category filter (`"bus,vol,task"`) into a
@@ -181,6 +186,19 @@ impl BusOp {
             BusOp::Other => "BusOther",
         }
     }
+
+    /// The inverse of [`name`](BusOp::name), for JSONL re-parsers.
+    pub fn from_name(name: &str) -> Option<BusOp> {
+        [
+            BusOp::Read,
+            BusOp::Write,
+            BusOp::Wback,
+            BusOp::Commit,
+            BusOp::Other,
+        ]
+        .into_iter()
+        .find(|op| op.name() == name)
+    }
 }
 
 /// A load or a store, for [`TraceEvent::Access`].
@@ -198,6 +216,15 @@ impl AccessOp {
         match self {
             AccessOp::Load => "load",
             AccessOp::Store => "store",
+        }
+    }
+
+    /// The inverse of [`name`](AccessOp::name), for JSONL re-parsers.
+    pub fn from_name(name: &str) -> Option<AccessOp> {
+        match name {
+            "load" => Some(AccessOp::Load),
+            "store" => Some(AccessOp::Store),
+            _ => None,
         }
     }
 }
@@ -224,6 +251,18 @@ impl SquashCause {
             SquashCause::Violation => "violation",
             SquashCause::Resource => "resource",
         }
+    }
+
+    /// The inverse of [`name`](SquashCause::name), for JSONL re-parsers.
+    pub fn from_name(name: &str) -> Option<SquashCause> {
+        [
+            SquashCause::Misprediction,
+            SquashCause::Fault,
+            SquashCause::Violation,
+            SquashCause::Resource,
+        ]
+        .into_iter()
+        .find(|c| c.name() == name)
     }
 }
 
@@ -310,6 +349,15 @@ impl VolOp {
             VolOp::Purge => "purge",
         }
     }
+
+    /// The inverse of [`name`](VolOp::name), for JSONL re-parsers.
+    pub fn from_name(name: &str) -> Option<VolOp> {
+        match name {
+            "splice" => Some(VolOp::Splice),
+            "purge" => Some(VolOp::Purge),
+            _ => None,
+        }
+    }
 }
 
 /// Which VCL planner produced a [`TraceEvent::VclPlan`].
@@ -331,6 +379,30 @@ impl PlanKind {
             PlanKind::Write => "write",
             PlanKind::Wback => "wback",
         }
+    }
+
+    /// The inverse of [`name`](PlanKind::name), for JSONL re-parsers.
+    pub fn from_name(name: &str) -> Option<PlanKind> {
+        match name {
+            "read" => Some(PlanKind::Read),
+            "write" => Some(PlanKind::Write),
+            "wback" => Some(PlanKind::Wback),
+            _ => None,
+        }
+    }
+}
+
+/// Interns an [`TraceEvent::Access`] `source` string back to the
+/// `&'static str` the simulator emits, for JSONL re-parsers. Unknown
+/// values intern as `"?"` rather than failing, so a trace from a newer
+/// writer still loads.
+pub fn intern_access_source(source: &str) -> &'static str {
+    match source {
+        "local" => "local",
+        "transfer" => "transfer",
+        "next-level" => "next-level",
+        "accepted" => "accepted",
+        _ => "?",
     }
 }
 
@@ -512,6 +584,9 @@ pub enum TraceEvent {
         cause: SquashCause,
         /// The oldest position being re-dispatched (the walk's root).
         restart: TaskId,
+        /// When the PU unblocks: it stays stalled on the latency of the
+        /// access it was torn down under (the squash-recovery window).
+        until: Cycle,
     },
     /// The fault injector fired at one of its sites.
     Fault(crate::fault::FaultEvent),
@@ -872,12 +947,14 @@ impl fmt::Display for Record {
                 task,
                 cause,
                 restart,
+                until,
             } => write!(
                 f,
-                "squash T{} on {pu} cause={} restart=T{}",
+                "squash T{} on {pu} cause={} restart=T{} until={}",
                 task.0,
                 cause.name(),
-                restart.0
+                restart.0,
+                until.0
             ),
             TraceEvent::Fault(e) => {
                 write!(f, "FAULT {}", e.site.name())?;
@@ -1145,14 +1222,16 @@ fn event_fields_json(out: &mut String, event: &TraceEvent) {
             task,
             cause,
             restart,
+            until,
         } => {
             let _ = write!(
                 out,
-                "\"ev\":\"squash\",\"pu\":{},\"task\":{},\"cause\":\"{}\",\"restart\":{}",
+                "\"ev\":\"squash\",\"pu\":{},\"task\":{},\"cause\":\"{}\",\"restart\":{},\"until\":{}",
                 pu.0,
                 task.0,
                 cause.name(),
-                restart.0
+                restart.0,
+                until.0
             );
         }
         TraceEvent::Fault(e) => {
@@ -1425,10 +1504,12 @@ mod tests {
             task: TaskId(5),
             cause: SquashCause::Violation,
             restart: TaskId(4),
+            until: Cycle(9),
         });
         let text = render_text(&t.records());
         assert!(text.contains("squash T5"));
         assert!(text.contains("cause=violation"));
+        assert!(text.contains("until=9"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!               [--seed N] [--pus N] [--json]
 //!               [--trace] [--trace-filter CATS] [--trace-out PREFIX]
 //!               [--profile] [--profile-out FILE]
+//!               [--analyze] [--analyze-out FILE]
 //! svc-sim trace [--addr N] [workload/memory flags as for run]
 //! svc-sim profile [--json] [workload/memory flags as for run]
 //! svc-sim designs [--bench NAME] [--budget N] [--seed N]
@@ -18,8 +19,13 @@
 //!
 //! `run` executes one workload on one memory system and prints the
 //! report (`--json` emits the machine-readable `svc-experiments/v1`
-//! run object instead; when `--trace-out` or `--profile-out` wrote
-//! artifacts, the object carries an `artifacts` map with their paths).
+//! run object instead; when `--trace-out`, `--profile-out`,
+//! `--checkpoint-out` or `--analyze-out` wrote artifacts, the object
+//! carries an `artifacts` map with their paths). With `--analyze` the
+//! captured trace is fed through the offline analyzer (squash-cascade
+//! attribution, version lifetimes, bus contention — see `svc-analyze`)
+//! and the `svc-analysis/v1` tables follow the report, or the document
+//! goes to `--analyze-out FILE`.
 //! With `--trace` it records cycle-stamped events (`--trace-filter`
 //! takes `all` or a comma list like `bus,task`) and either prints the
 //! text log or, with `--trace-out PREFIX`, writes `PREFIX.log`,
@@ -88,6 +94,11 @@ struct Options {
     trace_out: Option<String>,
     profile: bool,
     profile_out: Option<String>,
+    /// `run`: feed the captured trace through the offline analyzer.
+    analyze: bool,
+    /// `run`: write the `svc-analysis/v1` document here (implies
+    /// `--analyze`).
+    analyze_out: Option<String>,
     addr: Option<u64>,
     rate: f64,
     port: u16,
@@ -128,6 +139,8 @@ impl Default for Options {
             trace_out: None,
             profile: false,
             profile_out: None,
+            analyze: false,
+            analyze_out: None,
             addr: None,
             rate: 0.02,
             port: 0,
@@ -178,6 +191,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--trace-out" => o.trace_out = Some(value()?),
             "--profile" | "-p" => o.profile = true,
             "--profile-out" => o.profile_out = Some(value()?),
+            "--analyze" => o.analyze = true,
+            "--analyze-out" => o.analyze_out = Some(value()?),
             "--addr" => o.addr = Some(value()?.parse().map_err(|e| format!("--addr: {e}"))?),
             "--rate" => o.rate = value()?.parse().map_err(|e| format!("--rate: {e}"))?,
             "--port" => o.port = value()?.parse().map_err(|e| format!("--port: {e}"))?,
@@ -245,6 +260,23 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if o.checkpoint_keep == 0 {
         return Err("--checkpoint-keep must be at least 1".to_string());
+    }
+    // `--analyze-out` implies analysis; analysis needs a captured trace.
+    if o.analyze_out.is_some() {
+        o.analyze = true;
+    }
+    if o.analyze {
+        if o.command != "run" {
+            return Err("--analyze only applies to `run`".to_string());
+        }
+        if !o.trace {
+            return Err("--analyze needs --trace (it analyzes the captured trace)".to_string());
+        }
+        if o.json && o.analyze_out.is_none() {
+            // `--json` keeps stdout a single document; the analysis
+            // must go to a file of its own.
+            return Err("--analyze with --json needs --analyze-out".to_string());
+        }
     }
     if o.command == "run" {
         if o.checkpoint_every > 0 && o.checkpoint_out.is_none() {
@@ -622,7 +654,7 @@ fn resume_run(o: &Options, ckpt_path: &std::path::Path, payload: &[u8]) -> Resul
         }
     };
     let wall_s = started.elapsed().as_secs_f64();
-    print_run_result(&o2, &name, &result, wall_s, None)
+    print_run_result(&o2, &name, &result, wall_s, None, None)
 }
 
 /// Resumes a soak checkpoint: restore config + cumulative state and
@@ -791,7 +823,7 @@ fn cmd_run(o: &Options) -> Result<(), CliError> {
         let started = std::time::Instant::now();
         let (result, name) = run_checkpointed(o)?;
         let wall_s = started.elapsed().as_secs_f64();
-        return print_run_result(o, &name, &result, wall_s, None);
+        return print_run_result(o, &name, &result, wall_s, None, None);
     }
     let tracer = cli_tracer(o, false)?;
     let started = std::time::Instant::now();
@@ -805,7 +837,45 @@ fn cmd_run(o: &Options) -> Result<(), CliError> {
     } else {
         None
     };
-    print_run_result(o, &name, &result, wall_s, trace_prefix)
+    // Offline analysis of the trace we just captured, in-process (no
+    // JSONL round trip). With `--analyze-out` the document is written
+    // and advertised under `artifacts.analysis`; without it the text
+    // tables follow the human-readable report.
+    let analysis = if o.analyze {
+        let cfg = svc_repro::analyze::analysis::AnalyzeConfig {
+            words_per_line: words_per_line(o),
+            ..Default::default()
+        };
+        Some(svc_repro::analyze::analyze_records(
+            &tracer.records(),
+            0,
+            result.profile.as_ref(),
+            &cfg,
+        ))
+    } else {
+        None
+    };
+    let analysis_path = match (&analysis, &o.analyze_out) {
+        (Some(doc), Some(path)) => {
+            report::write_atomic(std::path::Path::new(path), doc.render().as_bytes())
+                .map_err(|e| CliError::io(path, e))?;
+            eprintln!("analysis: -> {path}");
+            Some(path.clone())
+        }
+        _ => None,
+    };
+    print_run_result(
+        o,
+        &name,
+        &result,
+        wall_s,
+        trace_prefix,
+        analysis_path.as_deref(),
+    )?;
+    if let (Some(doc), None) = (&analysis, &o.analyze_out) {
+        print!("{}", svc_repro::analyze::analysis::render_text(doc));
+    }
+    Ok(())
 }
 
 /// The shared tail of `run` and `resume`: profile artifact, `--json`
@@ -816,6 +886,7 @@ fn print_run_result(
     result: &ExperimentResult,
     wall_s: f64,
     trace_prefix: Option<&str>,
+    analysis_path: Option<&str>,
 ) -> Result<(), CliError> {
     let profile_path = write_profile_out(o, name, result)?;
     let cycles_per_sec = if wall_s > 0.0 {
@@ -842,6 +913,12 @@ fn print_run_result(
         }
         if let Some(path) = &profile_path {
             artifacts = artifacts.set("profile", path.as_str().into());
+        }
+        if let Some(path) = &o.checkpoint_out {
+            artifacts = artifacts.set("checkpoint", path.as_str().into());
+        }
+        if let Some(path) = analysis_path {
+            artifacts = artifacts.set("analysis", path.into());
         }
         if artifacts.as_obj().is_some_and(|m| !m.is_empty()) {
             doc = doc.set("artifacts", artifacts);
@@ -1330,13 +1407,26 @@ fn serve_soak(
     // the final checkpoint below.
     let state = {
         let mut last_ckpt: Option<(u64, u64)> = None;
+        // Checkpoint write telemetry (count, last/total wall latency).
+        // Wall-clock data stays in this process's exporter copy of the
+        // registry and never enters SoakState, so `results/soak.json`
+        // remains a pure function of (seed, ticks).
+        let mut ckpt_writes = 0u64;
+        let mut ckpt_last_micros = 0u64;
+        let mut ckpt_total_micros = 0u64;
         let mut observer = |s: &soak::SoakState| {
             println!("{}", serve_tick_line(s));
             if let Some(ring) = ring.as_mut() {
                 if s.ticks.is_multiple_of(every) {
                     let payload = soak::soak_ckpt_payload(&cfg, s);
+                    let write_started = std::time::Instant::now();
                     match ring.write(soak::SOAK_CKPT_KIND, &payload) {
-                        Ok(_) => last_ckpt = Some((ring.next_seq().saturating_sub(1), s.ticks)),
+                        Ok(_) => {
+                            last_ckpt = Some((ring.next_seq().saturating_sub(1), s.ticks));
+                            ckpt_writes += 1;
+                            ckpt_last_micros = write_started.elapsed().as_micros() as u64;
+                            ckpt_total_micros += ckpt_last_micros;
+                        }
                         // A full disk mid-soak degrades checkpointing,
                         // not the soak itself.
                         Err(e) => eprintln!("serve: checkpoint write failed (continuing): {e}"),
@@ -1344,7 +1434,27 @@ fn serve_soak(
                 }
             }
             if let Ok(mut snap) = shared.lock() {
-                snap.metrics_text = s.metrics().render_prometheus();
+                let mut reg = s.metrics();
+                if let Some((seq, tick)) = last_ckpt {
+                    reg.counter("soak.checkpoint_writes", ckpt_writes);
+                    reg.gauge_with("soak.checkpoint", &[("field", "seq")], seq as f64);
+                    reg.gauge_with(
+                        "soak.checkpoint",
+                        &[("field", "age_ticks")],
+                        s.ticks.saturating_sub(tick) as f64,
+                    );
+                    reg.gauge_with(
+                        "soak.checkpoint_write_micros",
+                        &[("stat", "last")],
+                        ckpt_last_micros as f64,
+                    );
+                    reg.gauge_with(
+                        "soak.checkpoint_write_micros",
+                        &[("stat", "total")],
+                        ckpt_total_micros as f64,
+                    );
+                }
+                snap.metrics_text = reg.render_prometheus();
                 snap.profile_json = serve_profile_doc(&cfg, s).render();
                 let mut hz = soak::healthz_json(s);
                 if let Some((seq, tick)) = last_ckpt {
@@ -1515,6 +1625,23 @@ mod tests {
         assert!(o.profile);
         assert_eq!(o.profile_out.as_deref(), Some("/tmp/p.json"));
         assert!(parse(&argv("run --profile-out")).is_err());
+    }
+
+    #[test]
+    fn parse_analyze_flags() {
+        // --analyze rides on a captured trace.
+        assert!(parse(&argv("run --analyze")).is_err());
+        assert!(parse(&argv("run --trace --analyze")).unwrap().analyze);
+        // --analyze-out implies --analyze.
+        let o = parse(&argv("run --trace --analyze-out /tmp/a.json")).unwrap();
+        assert!(o.analyze);
+        assert_eq!(o.analyze_out.as_deref(), Some("/tmp/a.json"));
+        // --json keeps stdout a single document, so the analysis needs
+        // its own sink.
+        assert!(parse(&argv("run --trace --json --analyze")).is_err());
+        assert!(parse(&argv("run --trace --json --analyze-out /tmp/a.json")).is_ok());
+        // Only `run` analyzes.
+        assert!(parse(&argv("serve --analyze")).is_err());
     }
 
     #[test]

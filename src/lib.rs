@@ -21,6 +21,9 @@
 //! * [`check`] — the exhaustive explicit-state model checker driving
 //!   the real implementations through every bounded interleaving
 //!   (see the `svc-check` binary);
+//! * [`analyze`] — offline trace/profile analytics: squash-cascade
+//!   attribution, version lifetimes, bus-contention heatmaps and
+//!   cross-run regression forensics (see the `svc-analyze` binary);
 //! * [`types`], [`mem`], [`sim`] — shared
 //!   vocabulary, the memory substrate, and simulation utilities.
 //!
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use svc;
+pub use svc_analyze as analyze;
 pub use svc_arb as arb;
 pub use svc_bench as bench;
 pub use svc_check as check;

@@ -320,12 +320,24 @@ fn healthz_reports_checkpoint_freshness() {
 }
 
 /// Normalizes a `run --json` document: wall-clock self-measurement is
-/// never stable, everything else must be.
+/// never stable, and the `artifacts` map (the checkpointed side
+/// advertises its `--checkpoint-out` path; the reference has none) is
+/// checked separately — everything else must be byte-stable.
 fn normalized(text: &[u8]) -> String {
     let doc = parse(std::str::from_utf8(text).expect("utf8")).expect("json parses");
-    doc.set("wall_s", 0.0.into())
+    let doc = match doc
+        .set("wall_s", 0.0.into())
         .set("sim_cycles_per_sec", 0.0.into())
-        .render()
+    {
+        svc_repro::bench::report::Json::Obj(fields) => svc_repro::bench::report::Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "artifacts")
+                .collect(),
+        ),
+        other => other,
+    };
+    doc.render()
 }
 
 #[test]
@@ -381,6 +393,22 @@ fn sigkilled_run_resumes_byte_identical() {
         .output()
         .expect("resume run");
     assert!(resumed.status.success(), "resume exited nonzero");
+    // The resumed run keeps checkpointing into the same file and
+    // advertises it; the uninterrupted reference ran without
+    // checkpoint flags and must advertise nothing.
+    let resumed_doc =
+        parse(std::str::from_utf8(&resumed.stdout).expect("utf8")).expect("json parses");
+    assert_eq!(
+        resumed_doc
+            .get("artifacts")
+            .and_then(|a| a.get("checkpoint"))
+            .and_then(svc_repro::bench::report::Json::as_str),
+        Some(ckpt.display().to_string().as_str()),
+        "resumed run must advertise its checkpoint artifact"
+    );
+    let reference_doc =
+        parse(std::str::from_utf8(&reference.stdout).expect("utf8")).expect("json parses");
+    assert!(reference_doc.get("artifacts").is_none());
     assert_eq!(
         normalized(&resumed.stdout),
         normalized(&reference.stdout),
