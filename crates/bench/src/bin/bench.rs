@@ -23,13 +23,14 @@ use svc_workloads::Spec95;
 
 /// Every binary that contributes an entry to the snapshot, in sweep
 /// order (cheap sanity grids last so an early failure surfaces fast).
-const EXPERIMENTS: [&str; 9] = [
+const EXPERIMENTS: [&str; 10] = [
     "motivation",
     "table2",
     "table3",
     "fig19",
     "fig20",
     "scaling",
+    "scaling-xl",
     "ablations",
     "calibrate",
     "calibrate64",

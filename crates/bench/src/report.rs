@@ -42,7 +42,7 @@ pub const SCHEMA_EXPERIMENT_V2: &str = "svc-experiments/v2";
 /// [`rotate_snapshot`]) and `speedup` (per-experiment and aggregate
 /// simulated-cycles-per-second ratios of `experiments` over
 /// `previous`). v1 documents parse fine: both sections are absent.
-pub const SCHEMA_SNAPSHOT: &str = "svc-bench-snapshot/v2";
+pub const SCHEMA_SNAPSHOT: &str = "svc-bench-snapshot/v3";
 /// Schema tag of `results/<name>.profile.json` cycle-accounting
 /// documents (emitted only when `SVC_PROFILE` is set).
 pub const SCHEMA_PROFILE: &str = "svc-profile/v1";
@@ -784,8 +784,12 @@ pub fn write_experiment(name: &str, doc: &Json) -> io::Result<PathBuf> {
 pub struct SelfMeasurement {
     /// Wall-clock seconds for the whole grid.
     pub wall_s: f64,
-    /// Worker threads used.
+    /// Harness worker threads used (inter-run parallelism).
     pub threads: usize,
+    /// Engine lanes per run (intra-run parallelism, `SVC_ENGINE_THREADS`).
+    pub engine_threads: usize,
+    /// Logical cores on the measuring host.
+    pub host_cores: usize,
     /// Grid cells executed.
     pub jobs: usize,
     /// Total simulated cycles across the grid.
@@ -796,6 +800,8 @@ pub struct SelfMeasurement {
 
 impl SelfMeasurement {
     /// Aggregates a grid's engine reports plus the harness timing.
+    /// `engine_threads` and `host_cores` come from the environment: the
+    /// measurement describes the conditions the wall clock ran under.
     pub fn from_reports<'a>(
         reports: impl Iterator<Item = &'a RunReport>,
         wall_s: f64,
@@ -812,6 +818,8 @@ impl SelfMeasurement {
         SelfMeasurement {
             wall_s,
             threads,
+            engine_threads: svc_multiscalar::engine_threads_from_env(),
+            host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
             jobs,
             sim_cycles,
             committed_instrs,
@@ -840,6 +848,8 @@ impl SelfMeasurement {
         Json::obj()
             .set("wall_s", self.wall_s.into())
             .set("threads", self.threads.into())
+            .set("engine_threads", self.engine_threads.into())
+            .set("host_cores", self.host_cores.into())
             .set("jobs", self.jobs.into())
             .set("sim_cycles", self.sim_cycles.into())
             .set("committed_instrs", self.committed_instrs.into())
@@ -1077,6 +1087,8 @@ mod tests {
         let slow = SelfMeasurement {
             wall_s: 2.0,
             threads: 1,
+            engine_threads: 1,
+            host_cores: 8,
             jobs: 2,
             sim_cycles: 1000,
             committed_instrs: 500,
@@ -1131,6 +1143,66 @@ mod tests {
     }
 
     #[test]
+    fn v2_snapshot_rotates_and_speeds_up_against_v3() {
+        // A committed snapshot from before the schema bump: entries
+        // carry no engine_threads/host_cores and the old schema tag.
+        let dir = std::env::temp_dir().join("svc_report_v2_compat_test");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let path = dir.join("BENCH_experiments.json");
+        let v2_entry = Json::obj()
+            .set("wall_s", 2.0.into())
+            .set("threads", 1.0.into())
+            .set("jobs", 2.0.into())
+            .set("sim_cycles", 1000.0.into())
+            .set("committed_instrs", 500.0.into())
+            .set("sim_cycles_per_sec", 500.0.into())
+            .set("committed_instrs_per_sec", 250.0.into());
+        let v2 = Json::obj()
+            .set("schema", "svc-bench-snapshot/v2".into())
+            .set("experiments", Json::obj().set("table2", v2_entry));
+        std::fs::write(&path, v2.render()).expect("seed v2 snapshot");
+
+        // Rotation promotes the v2 entries to `previous` unchanged and
+        // upgrades the document tag.
+        rotate_snapshot_at(&path).expect("rotate v2");
+        let doc = parse(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(SCHEMA_SNAPSHOT)
+        );
+        assert!(doc.get("previous").and_then(|p| p.get("table2")).is_some());
+
+        // A fresh v3 measurement computes its speedup against the v2
+        // baseline: readers only touch the fields both schemas share.
+        let fast = SelfMeasurement {
+            wall_s: 1.0,
+            threads: 1,
+            engine_threads: 2,
+            host_cores: 8,
+            jobs: 2,
+            sim_cycles: 1000,
+            committed_instrs: 500,
+        };
+        record_snapshot_at(&path, "table2", fast).expect("record v3");
+        let doc = parse(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        let entry = doc
+            .get("experiments")
+            .and_then(|e| e.get("table2"))
+            .unwrap();
+        assert_eq!(
+            entry.get("engine_threads").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(entry.get("host_cores").and_then(Json::as_f64), Some(8.0));
+        assert_eq!(
+            doc.get("speedup")
+                .and_then(|s| s.get("aggregate"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
     fn snapshot_merge_keeps_other_entries() {
         let dir = std::env::temp_dir().join("svc_report_test");
         std::fs::create_dir_all(&dir).expect("tmp");
@@ -1139,6 +1211,8 @@ mod tests {
         let m = SelfMeasurement {
             wall_s: 1.0,
             threads: 4,
+            engine_threads: 2,
+            host_cores: 8,
             jobs: 2,
             sim_cycles: 1000,
             committed_instrs: 500,

@@ -1,0 +1,247 @@
+//! Differential test for the parallel planning engine: sharding a
+//! simulated machine's per-cycle access planning across threads must be
+//! invisible in every serialized artifact. `SVC_ENGINE_THREADS=N` picks
+//! the lane count; this binary runs the same work at 1, 2 and 8 lanes
+//! and demands bytes identical to the unset (sequential) baseline —
+//! run documents, trace JSONL, profile reports, and checkpoint payloads
+//! alike.
+//!
+//! Everything lives in ONE `#[test]`: the toggle is a process-global
+//! environment variable, so scenarios must run sequentially, never in
+//! parallel test threads.
+
+use svc::{SvcConfig, SvcSystem};
+use svc_bench::harness::job_seeds;
+use svc_bench::report::{self, Json};
+use svc_bench::{
+    cross, run_derived_grid, run_source, run_source_with, run_spec95_with, ExperimentResult,
+    MemoryKind, PAPER_SEED,
+};
+use svc_multiscalar::{Engine, EngineConfig, Instr, VecTaskSource};
+use svc_sim::trace::{render_jsonl, Category, Tracer, DEFAULT_CAPACITY};
+use svc_types::{Addr, Checkpointable, CkptReader, CkptWriter, Word};
+use svc_workloads::Spec95;
+
+/// A pinned grid at a small budget: the suite below runs four times
+/// (baseline + three thread counts), so each pass must stay
+/// seconds-scale.
+const GRID_SEED: u64 = 0x9A51;
+const BUDGET: u64 = 15_000;
+const BENCHES: [Spec95; 3] = [Spec95::Gcc, Spec95::Ijpeg, Spec95::Mgrid];
+const MEMORIES: [MemoryKind; 2] = [
+    MemoryKind::Arb {
+        hit_cycles: 1,
+        cache_kb: 32,
+    },
+    MemoryKind::Svc { kb_per_cache: 8 },
+];
+
+fn set_threads(n: Option<u32>) {
+    match n {
+        Some(n) => std::env::set_var("SVC_ENGINE_THREADS", n.to_string()),
+        None => std::env::remove_var("SVC_ENGINE_THREADS"),
+    }
+}
+
+/// Renders the pinned grid as a full `svc-experiments/v1` document.
+fn grid_doc() -> String {
+    let jobs = cross(&BENCHES, &MEMORIES);
+    let outcome = run_derived_grid(&jobs, GRID_SEED, BUDGET);
+    let seeds = job_seeds(GRID_SEED, jobs.len());
+    let runs = outcome
+        .results
+        .iter()
+        .zip(&seeds)
+        .map(|(r, &s)| report::experiment_result_json(r, s))
+        .collect();
+    report::experiment_doc("parallel-equiv", BUDGET, GRID_SEED, runs).render()
+}
+
+/// Renders one cell (run report + metrics registry) as JSON.
+fn cell_json(result: &ExperimentResult) -> String {
+    report::experiment_result_json(result, PAPER_SEED).render()
+}
+
+/// One faulted campaign cell: planning self-disables under an active
+/// injector, and the fault timeline must not move by a single draw.
+fn faulted_cell() -> String {
+    std::env::set_var("SVC_FAULTS", "all=0.01, penalty=5");
+    let result = run_spec95_with(
+        Spec95::Gcc,
+        MemoryKind::Svc { kb_per_cache: 8 },
+        BUDGET,
+        PAPER_SEED,
+    );
+    std::env::remove_var("SVC_FAULTS");
+    cell_json(&result)
+}
+
+/// One traced + profiled cell: every trace event must land on the same
+/// cycle in the same order, and stall attribution must both conserve
+/// and match bytewise.
+fn traced_profiled_cell() -> String {
+    std::env::set_var("SVC_PROFILE", "1");
+    let tracer = Tracer::new(Category::ALL, DEFAULT_CAPACITY);
+    let wl = Spec95::Mgrid.workload(PAPER_SEED);
+    let cfg = EngineConfig {
+        num_pus: 4,
+        predictor: wl.profile().predictor(PAPER_SEED),
+        max_instructions: BUDGET,
+        seed: PAPER_SEED,
+        garbage_addr_space: wl.profile().hot_set.max(64),
+        load_dep_frac: wl.profile().load_dep_frac,
+        ..EngineConfig::default()
+    };
+    let result = run_source_with(
+        &wl,
+        MemoryKind::Svc { kb_per_cache: 8 },
+        cfg,
+        tracer.clone(),
+    );
+    std::env::remove_var("SVC_PROFILE");
+    let profile = result.profile.as_ref().expect("SVC_PROFILE=1");
+    assert!(
+        profile.conservation_ok(),
+        "stall attribution violates conservation: expected {}, attributed {}",
+        profile.expected(),
+        profile.attributed()
+    );
+    format!(
+        "{}{}{}",
+        cell_json(&result),
+        render_jsonl(&tracer.records()),
+        report::profile_report_json(profile).render()
+    )
+}
+
+/// Value-passing chain with enough cross-task traffic to keep several
+/// PUs planning per cycle (violations, squashes, replays included).
+fn chain_program(n: u64) -> VecTaskSource {
+    let tasks = (0..n)
+        .map(|i| {
+            let mut t = Vec::new();
+            if i > 0 {
+                t.push(Instr::Load(Addr(i - 1)));
+            }
+            t.extend([Instr::Compute(1); 2]);
+            t.push(Instr::Store(Addr(i), Word(i + 1)));
+            t
+        })
+        .collect();
+    VecTaskSource::new(tasks).with_name("chain")
+}
+
+fn chain_engine(pus: usize) -> Engine<SvcSystem> {
+    let cfg = EngineConfig {
+        num_pus: pus,
+        seed: 7,
+        ..EngineConfig::default()
+    };
+    Engine::new(cfg, SvcSystem::new(SvcConfig::final_design(pus)))
+}
+
+fn snapshot(engine: &Engine<SvcSystem>) -> Vec<u8> {
+    let mut w = CkptWriter::new();
+    engine.save_state(&mut w);
+    w.into_bytes()
+}
+
+/// One checkpoint/resume cell: pause mid-run, serialize, restore into a
+/// fresh engine (which re-reads `SVC_ENGINE_THREADS`), continue. Both
+/// the final report and the final serialized state must match the
+/// baseline — checkpoints are thread-count-independent in both
+/// directions.
+fn checkpoint_resume_cell() -> String {
+    let src = chain_program(48);
+    let mut engine = chain_engine(8);
+    while !engine.run_until(&src, Some(engine.cycle() + 13)) {
+        if engine.cycle() > 40 {
+            break;
+        }
+    }
+    let mid = snapshot(&engine);
+    let mut resumed = chain_engine(8);
+    let mut r = CkptReader::new(&mid);
+    resumed
+        .restore_state(&mut r)
+        .expect("mid-run state restores");
+    r.finish().expect("no trailing bytes");
+    while !resumed.run_until(&src, Some(resumed.cycle() + 17)) {}
+    let report = resumed.finish();
+    format!("{report:?}{:?}", snapshot(&resumed))
+}
+
+/// One big-machine cell (64 PUs): wide enough that a planning epoch
+/// sees many concurrent accesses. Returns the rendered cell plus the
+/// engine's barrier count so the harness can prove the pool engaged.
+fn high_pu_cell() -> String {
+    let wl = Spec95::Ijpeg.workload(PAPER_SEED);
+    let cfg = EngineConfig {
+        num_pus: 64,
+        predictor: wl.profile().predictor(PAPER_SEED),
+        max_instructions: 30_000,
+        seed: PAPER_SEED,
+        garbage_addr_space: wl.profile().hot_set.max(64),
+        load_dep_frac: wl.profile().load_dep_frac,
+        ..EngineConfig::default()
+    };
+    let result = run_source(&wl, MemoryKind::Svc { kb_per_cache: 8 }, cfg);
+    cell_json(&result)
+}
+
+/// All five scenarios under the current `SVC_ENGINE_THREADS` setting.
+fn suite() -> [String; 5] {
+    [
+        grid_doc(),
+        faulted_cell(),
+        traced_profiled_cell(),
+        checkpoint_resume_cell(),
+        high_pu_cell(),
+    ]
+}
+
+#[test]
+fn parallel_planning_is_byte_identical_to_sequential() {
+    const NAMES: [&str; 5] = [
+        "pinned grid document",
+        "faulted campaign cell",
+        "traced+profiled cell",
+        "checkpoint/resume cell",
+        "64-PU cell",
+    ];
+
+    set_threads(None);
+    let baseline = suite();
+
+    for threads in [1, 2, 8] {
+        set_threads(Some(threads));
+        let got = suite();
+        for (name, (want, have)) in NAMES.iter().zip(baseline.iter().zip(got.iter())) {
+            assert_eq!(
+                want, have,
+                "SVC_ENGINE_THREADS={threads} changed the {name}"
+            );
+        }
+    }
+
+    // Sanity 1: the parallel path actually engaged — a wide machine at
+    // 8 lanes must cross at least one planning barrier.
+    set_threads(Some(8));
+    let src = chain_program(200);
+    let mut engine = chain_engine(16);
+    engine.run(&src);
+    let (threads, barriers, _nanos) = engine.par_stats();
+    assert_eq!(threads, 8, "engine did not pick up SVC_ENGINE_THREADS");
+    assert!(
+        barriers > 0,
+        "8-lane run of a 16-PU chain never planned in parallel"
+    );
+    set_threads(None);
+
+    // Sanity 2: the documents carry real runs, not empty grids.
+    let doc = report::parse(&baseline[0]).expect("grid doc parses");
+    assert_eq!(
+        doc.get("runs").and_then(Json::as_arr).map(<[_]>::len),
+        Some(6)
+    );
+}

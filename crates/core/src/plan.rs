@@ -1,0 +1,278 @@
+//! Pure planning for parallel access pre-computation.
+//!
+//! The expensive part of an SVC miss is *deciding* — snapshotting the
+//! line across every cache, ordering the VOL, and running the VCL's
+//! combinational planning — not *applying* the decision. This module
+//! factors that decision work into pure functions over a [`PlanView`]
+//! (read-only borrows of the caches, assignment table, VCL and config) so
+//! [`SvcSystem::plan_batch`](crate::SvcSystem) can run it for several
+//! PUs' predicted accesses on worker threads, ahead of the engine's
+//! issue phase.
+//!
+//! Correctness contract: a plan produced here for the current state,
+//! redeemed while that state is unchanged (the engine guards this with a
+//! conflict-set footprint plus a squash counter), yields *byte-identical*
+//! values to what the inline miss path would compute — the apply code in
+//! `system.rs` is shared, only the source of the decision differs. Any
+//! situation the planner does not model (local hits, replacement stalls)
+//! is [`SvcPlan::Fallback`], which makes the redeemer recompute inline.
+
+use smallvec::SmallVec;
+use svc_types::{Addr, LineId, PuId, TaskId};
+
+use crate::config::SvcConfig;
+use crate::line::{LineState, SvcLine};
+use crate::mask::SubMask;
+use crate::snapshot::LineSnapshot;
+use crate::vcl::{ReadPlan, Vcl, WritePlan};
+use svc_mem::{CacheArray, WayRef};
+
+/// Read-only borrows of everything the VCL-side planning reads. Built
+/// from a live [`SvcSystem`](crate::SvcSystem) (inline planning and the
+/// shared snapshot/snarf helpers) or from the detached
+/// [`PlanCtx`](crate::system::PlanCtx) a worker thread holds.
+pub(crate) struct PlanView<'a> {
+    pub caches: &'a [CacheArray<SvcLine>],
+    pub assignments: &'a svc_types::TaskAssignments,
+    pub vcl: Vcl,
+    pub config: &'a SvcConfig,
+}
+
+/// How the planned access gets a slot: the line is already resident, or
+/// a *clean* victim way is claimed. Dirty victims are never planned —
+/// their BusWback mutates same-set state (purging other caches' copies)
+/// before the VCL plans the miss itself, so a plan computed ahead of the
+/// wback could diverge from the inline path; those misses fall back.
+#[derive(Debug, Clone)]
+pub(crate) enum Residency {
+    /// The cache already holds the line at this way.
+    Resident(WayRef),
+    /// Claim this way (its current state is clean, so the castout is
+    /// silent).
+    Claim(WayRef),
+}
+
+/// Precomputed products of a BusRead miss.
+#[derive(Debug, Clone)]
+pub(crate) struct ReadMissPlan {
+    pub residency: Residency,
+    pub fresh: bool,
+    pub fill_mask: SubMask,
+    pub plan: ReadPlan,
+}
+
+/// Precomputed products of a BusWrite miss.
+#[derive(Debug, Clone)]
+pub(crate) struct WriteMissPlan {
+    pub residency: Residency,
+    pub fresh: bool,
+    pub fill_mask: SubMask,
+    pub plan: WritePlan,
+}
+
+/// The planner's verdict for one predicted access. `Fallback` covers
+/// every cheap or unplannable case (local hit, §3.4.3 reuse, X-bit
+/// store, no task, replacement stall, dirty-victim eviction): the
+/// redeemer recomputes inline, which is exactly the sequential behavior.
+#[derive(Debug, Clone)]
+pub(crate) enum SvcPlan {
+    Fallback,
+    ReadMiss(ReadMissPlan),
+    WriteMiss(WriteMissPlan),
+}
+
+impl<'a> PlanView<'a> {
+    /// Per-PU snapshots of `line` — the VCL's input (paper Figure 5).
+    pub fn snapshots(&self, line: LineId) -> SmallVec<LineSnapshot, 8> {
+        (0..self.config.num_pus)
+            .map(|i| {
+                let pu = PuId(i);
+                let task = self.assignments.task_of(pu);
+                match self.caches[i].find(line) {
+                    Some(r) => {
+                        let l = self.caches[i].slot(r);
+                        LineSnapshot {
+                            pu,
+                            task,
+                            valid: l.valid,
+                            store: l.store,
+                            load: l.load,
+                            committed: l.committed,
+                            stale: l.stale,
+                            arch: l.arch,
+                            next: l.next,
+                        }
+                    }
+                    None => LineSnapshot {
+                        pu,
+                        task,
+                        valid: SubMask::EMPTY,
+                        store: SubMask::EMPTY,
+                        load: SubMask::EMPTY,
+                        committed: false,
+                        stale: false,
+                        arch: false,
+                        next: None,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Caches eligible to snarf a fill of `line`: no copy, a free way,
+    /// and an assigned task.
+    pub fn snarf_candidates(&self, line: LineId, exclude: PuId) -> SmallVec<(PuId, TaskId), 8> {
+        if !self.config.snarfing {
+            return SmallVec::new();
+        }
+        (0..self.config.num_pus)
+            .filter_map(|i| {
+                let q = PuId(i);
+                if q == exclude || self.caches[i].find(line).is_some() {
+                    return None;
+                }
+                let task = self.assignments.task_of(q)?;
+                let r = self.caches[i].victim_way(line);
+                if self.caches[i].slot(r).state() == LineState::Invalid {
+                    Some((q, task))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Head task's id, if any task is running.
+    pub fn head_task(&self) -> Option<TaskId> {
+        self.assignments
+            .head()
+            .and_then(|pu| self.assignments.task_of(pu))
+    }
+
+    /// Mirrors the victim selection of `SvcSystem::ensure_resident`
+    /// (fault-free path): resident slot, else the §3.2.5/§3.8.1 victim
+    /// preference chain. `None` means a replacement stall or a dirty
+    /// victim — both unplannable, both handled inline via fallback.
+    fn plan_residency(&self, pu: PuId, line: LineId) -> Option<Residency> {
+        if let Some(r) = self.caches[pu.index()].find(line) {
+            return Some(Residency::Resident(r));
+        }
+        let is_head = self.assignments.head() == Some(pu);
+        let ways = self.caches[pu.index()].ways_by_lru(line);
+        let pick = |want: &[LineState]| {
+            ways.iter()
+                .copied()
+                .find(|&r| want.contains(&self.caches[pu.index()].slot(r).state()))
+        };
+        let victim = pick(&[LineState::Invalid])
+            .or_else(|| pick(&[LineState::PassiveClean]))
+            .or_else(|| pick(&[LineState::PassiveDirty]))
+            .or_else(|| {
+                if is_head {
+                    pick(&[LineState::ActiveClean]).or_else(|| pick(&[LineState::ActiveDirty]))
+                } else {
+                    None
+                }
+            })?;
+        match self.caches[pu.index()].slot(victim).state() {
+            LineState::Invalid | LineState::PassiveClean | LineState::ActiveClean => {
+                Some(Residency::Claim(victim))
+            }
+            // Dirty victim: the BusWback would run between this plan and
+            // its redemption — unplannable, see [`Residency`].
+            LineState::PassiveDirty | LineState::ActiveDirty => None,
+        }
+    }
+
+    /// The slot state the access will see after residency is applied:
+    /// `(fresh, valid-mask-we-already-hold)`. Matches the inline miss
+    /// path's `fresh` formula, evaluated against the post-`ensure_resident`
+    /// slot (a claimed way is always fresh and empty).
+    fn freshness(&self, pu: PuId, residency: &Residency) -> (bool, SubMask) {
+        match residency {
+            Residency::Resident(r) => {
+                let l = self.caches[pu.index()].slot(*r);
+                let fresh = l.committed || l.valid.is_empty();
+                (fresh, if fresh { SubMask::EMPTY } else { l.valid })
+            }
+            Residency::Claim(_) => (true, SubMask::EMPTY),
+        }
+    }
+
+    /// Plans a predicted load. See [`SvcPlan`] for the fallback rules.
+    pub fn plan_load(&self, pu: PuId, addr: Addr) -> SvcPlan {
+        let Some(task) = self.assignments.task_of(pu) else {
+            return SvcPlan::Fallback;
+        };
+        let g = self.config.geometry;
+        let line = g.line_of(addr);
+        let j = g.subblock_of(addr);
+        if let Some(r) = self.caches[pu.index()].find(line) {
+            let l = self.caches[pu.index()].slot(r);
+            if !l.committed && l.valid.contains(j) {
+                return SvcPlan::Fallback; // local active hit
+            }
+            if l.committed
+                && self.config.stale_bit
+                && !l.stale
+                && l.store.is_empty()
+                && l.valid.contains(j)
+            {
+                return SvcPlan::Fallback; // §3.4.3 stale-copy reuse
+            }
+        }
+        let Some(residency) = self.plan_residency(pu, line) else {
+            return SvcPlan::Fallback; // replacement stall
+        };
+        let (fresh, have) = self.freshness(pu, &residency);
+        let fill_mask = SubMask::all(g.subblocks_per_line()).minus(have);
+        let snaps = self.snapshots(line);
+        let candidates = self.snarf_candidates(line, pu);
+        let plan = self
+            .vcl
+            .plan_read(&snaps, pu, task, self.head_task(), fill_mask, &candidates);
+        SvcPlan::ReadMiss(ReadMissPlan {
+            residency,
+            fresh,
+            fill_mask,
+            plan,
+        })
+    }
+
+    /// Plans a predicted store. See [`SvcPlan`] for the fallback rules.
+    pub fn plan_store(&self, pu: PuId, addr: Addr) -> SvcPlan {
+        let Some(task) = self.assignments.task_of(pu) else {
+            return SvcPlan::Fallback;
+        };
+        let g = self.config.geometry;
+        let line = g.line_of(addr);
+        let j = g.subblock_of(addr);
+        if let Some(r) = self.caches[pu.index()].find(line) {
+            let l = self.caches[pu.index()].slot(r);
+            let covers = g.words_per_subblock() == 1 || l.valid.contains(j);
+            if !l.committed && !l.store.is_empty() && l.next.is_none() && covers {
+                return SvcPlan::Fallback; // local owner hit
+            }
+            if l.exclusive && !l.stale && l.next.is_none() && covers {
+                return SvcPlan::Fallback; // X-bit silent store
+            }
+        }
+        let Some(residency) = self.plan_residency(pu, line) else {
+            return SvcPlan::Fallback; // replacement stall
+        };
+        let (fresh, have) = self.freshness(pu, &residency);
+        let store_mask = SubMask::single(j);
+        let mut fill_mask = SubMask::all(g.subblocks_per_line()).minus(have);
+        if g.words_per_subblock() == 1 {
+            fill_mask = fill_mask.minus(store_mask);
+        }
+        let snaps = self.snapshots(line);
+        let plan = self.vcl.plan_write(&snaps, pu, task, store_mask, fill_mask);
+        SvcPlan::WriteMiss(WriteMissPlan {
+            residency,
+            fresh,
+            fill_mask,
+            plan,
+        })
+    }
+}

@@ -1,0 +1,256 @@
+//! A deterministic epoch-barrier worker pool.
+//!
+//! [`EpochPool`] runs one *epoch* at a time: the coordinator hands the
+//! pool an owned, read-only context plus a batch of jobs, the jobs fan
+//! out over persistent worker threads (plus the coordinator itself), and
+//! the barrier at the end of the epoch returns the context and every
+//! result **in job order** — so the output is a pure function of
+//! `(context, jobs)` and completely independent of thread count or
+//! scheduling. This is the machinery behind `SVC_ENGINE_THREADS`: the
+//! simulated machine's per-cycle planning work is sharded across cores
+//! while the apply order stays canonical.
+//!
+//! The pool is 100% safe Rust. Ownership of the context is *moved* into
+//! an [`std::sync::Arc`] for the epoch and recovered at the barrier:
+//! workers drop their clone of the `Arc` before reporting results, so by
+//! the time every result has been received the coordinator holds the only
+//! reference and `Arc::try_unwrap` returns the context (a short yield
+//! loop covers the window between a worker's drop and the receiver
+//! observing it).
+//!
+//! # Example
+//!
+//! ```
+//! use svc_sim::epoch::EpochPool;
+//!
+//! fn square(ctx: &u64, job: &u64) -> u64 {
+//!     ctx * job * job
+//! }
+//!
+//! let mut pool: EpochPool<u64, u64, u64> = EpochPool::new(2, square);
+//! let (ctx, out) = pool.run_epoch(3, vec![1, 2, 3, 4]);
+//! assert_eq!(ctx, 3);
+//! assert_eq!(out, vec![3, 12, 27, 48]); // job order, any thread count
+//! ```
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One epoch's work packet for a worker: a shared context and the
+/// `(job index, job)` pairs assigned to that worker.
+struct Packet<C, J> {
+    ctx: Arc<C>,
+    jobs: Vec<(usize, J)>,
+}
+
+/// A persistent pool of worker threads advancing in epochs with a
+/// barrier after each one; results come back in job order regardless of
+/// thread count. See the [module docs](self) for the model.
+pub struct EpochPool<C, J, R> {
+    f: fn(&C, &J) -> R,
+    senders: Vec<mpsc::Sender<Packet<C, J>>>,
+    results: mpsc::Receiver<Vec<(usize, R)>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<C, J, R> std::fmt::Debug for EpochPool<C, J, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochPool")
+            .field("workers", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<C, J, R> EpochPool<C, J, R>
+where
+    C: Send + Sync + 'static,
+    J: Send + 'static,
+    R: Send + 'static,
+{
+    /// Creates a pool with `workers` persistent worker threads applying
+    /// `f` to each job. `workers` may be 0 (every epoch then runs
+    /// entirely on the coordinator — same results, no threads).
+    pub fn new(workers: usize, f: fn(&C, &J) -> R) -> EpochPool<C, J, R> {
+        let (result_tx, results) = mpsc::channel::<Vec<(usize, R)>>();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<Packet<C, J>>();
+            let out = result_tx.clone();
+            let handle = std::thread::spawn(move || {
+                while let Ok(packet) = rx.recv() {
+                    let Packet { ctx, jobs } = packet;
+                    let done: Vec<(usize, R)> =
+                        jobs.iter().map(|(i, j)| (*i, f(&ctx, j))).collect();
+                    // Release the context *before* reporting, so the
+                    // coordinator can reclaim it at the barrier.
+                    drop(ctx);
+                    if out.send(done).is_err() {
+                        break; // pool dropped mid-epoch
+                    }
+                }
+            });
+            senders.push(tx);
+            handles.push(handle);
+        }
+        EpochPool {
+            f,
+            senders,
+            results,
+            handles,
+        }
+    }
+
+    /// Number of worker threads (the coordinator adds one more lane).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs one epoch: fans `jobs` out over the workers and the
+    /// coordinator, blocks at the barrier, and returns the context and
+    /// the results in job order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread has panicked (poisoned pool).
+    pub fn run_epoch(&mut self, ctx: C, jobs: Vec<J>) -> (C, Vec<R>) {
+        let n = jobs.len();
+        let lanes = self.handles.len() + 1;
+        let ctx = Arc::new(ctx);
+        let mut indexed: Vec<(usize, J)> = jobs.into_iter().enumerate().collect();
+
+        // Contiguous chunks, coordinator takes the first. `div_ceil`
+        // keeps the coordinator's chunk the largest, so it never idles
+        // at the barrier waiting for a bigger worker chunk.
+        let chunk = n.div_ceil(lanes);
+        let mut own: Vec<(usize, J)> = Vec::new();
+        let mut dispatched = 0usize;
+        if chunk > 0 {
+            let rest = indexed.split_off(chunk.min(indexed.len()));
+            own = indexed;
+            indexed = rest;
+            for sender in &self.senders {
+                if indexed.is_empty() {
+                    break;
+                }
+                let rest = indexed.split_off(chunk.min(indexed.len()));
+                let packet = Packet {
+                    ctx: Arc::clone(&ctx),
+                    jobs: indexed,
+                };
+                sender.send(packet).expect("worker thread died");
+                dispatched += 1;
+                indexed = rest;
+            }
+        }
+        debug_assert!(indexed.is_empty());
+
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, j) in &own {
+            out[*i] = Some((self.f)(&ctx, j));
+        }
+        drop(own);
+        for _ in 0..dispatched {
+            let batch = self.results.recv().expect("worker thread died");
+            for (i, r) in batch {
+                out[i] = Some(r);
+            }
+        }
+
+        // Every worker dropped its clone before sending its batch, so
+        // the unwrap succeeds — modulo the tiny window between a
+        // worker's `drop(ctx)` and this thread observing the decrement.
+        let mut ctx = ctx;
+        let ctx = loop {
+            match Arc::try_unwrap(ctx) {
+                Ok(c) => break c,
+                Err(still_shared) => {
+                    ctx = still_shared;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        let results = out
+            .into_iter()
+            .map(|r| r.expect("every job produced a result"))
+            .collect();
+        (ctx, results)
+    }
+}
+
+impl<C, J, R> Drop for EpochPool<C, J, R> {
+    fn drop(&mut self) {
+        // Closing the channels ends each worker's recv loop.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mul(ctx: &u64, job: &u64) -> u64 {
+        ctx * job
+    }
+
+    #[test]
+    fn results_in_job_order_any_worker_count() {
+        let jobs: Vec<u64> = (0..97).collect();
+        let want: Vec<u64> = jobs.iter().map(|j| 7 * j).collect();
+        for workers in [0, 1, 2, 3, 8] {
+            let mut pool: EpochPool<u64, u64, u64> = EpochPool::new(workers, mul);
+            let (ctx, got) = pool.run_epoch(7, jobs.clone());
+            assert_eq!(ctx, 7);
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_epoch_returns_context() {
+        let mut pool: EpochPool<u64, u64, u64> = EpochPool::new(2, mul);
+        let (ctx, got) = pool.run_epoch(5, Vec::new());
+        assert_eq!(ctx, 5);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn pool_survives_many_epochs() {
+        let mut pool: EpochPool<u64, u64, u64> = EpochPool::new(3, mul);
+        for e in 0..200 {
+            let jobs: Vec<u64> = (0..(e % 11)).collect();
+            let n = jobs.len();
+            let (ctx, got) = pool.run_epoch(e, jobs);
+            assert_eq!(ctx, e);
+            assert_eq!(got.len(), n);
+            for (j, r) in got.iter().enumerate() {
+                assert_eq!(*r, e * j as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_jobs_than_lanes() {
+        let mut pool: EpochPool<u64, u64, u64> = EpochPool::new(8, mul);
+        let (_, got) = pool.run_epoch(2, vec![21]);
+        assert_eq!(got, vec![42]);
+    }
+
+    #[test]
+    fn context_ownership_round_trips() {
+        // A non-Clone context proves ownership really moves through the
+        // pool and back.
+        #[derive(PartialEq, Debug)]
+        struct Ctx(Vec<u64>);
+        fn sum(ctx: &Ctx, job: &usize) -> u64 {
+            ctx.0.iter().sum::<u64>() + *job as u64
+        }
+        let mut pool: EpochPool<Ctx, usize, u64> = EpochPool::new(2, sum);
+        let (ctx, got) = pool.run_epoch(Ctx(vec![1, 2, 3]), vec![0, 1]);
+        assert_eq!(ctx, Ctx(vec![1, 2, 3]));
+        assert_eq!(got, vec![6, 7]);
+    }
+}

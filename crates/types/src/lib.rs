@@ -56,6 +56,7 @@ pub use mutate::Mutation;
 pub use stats::MemStats;
 pub use time::Cycle;
 pub use versioned::{
-    AccessError, DataSource, LoadOutcome, MemGauges, StoreOutcome, VersionedMemory, Violation,
+    AccessError, DataSource, LoadOutcome, MemGauges, PlanToken, PlannedOp, StoreOutcome,
+    VersionedMemory, Violation,
 };
 pub use word::Word;
